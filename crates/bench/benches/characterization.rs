@@ -1,0 +1,42 @@
+//! Characterization cost: what building the macromodel tables takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::Simulator;
+use proxim_model::single::SingleInputModel;
+use proxim_model::thresholds::{extract_vtc_family, Thresholds};
+use proxim_numeric::pwl::Edge;
+use std::hint::black_box;
+
+fn bench_vtc_family(c: &mut Criterion) {
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    c.bench_function("vtc_family_nand2_61pts", |b| {
+        b.iter(|| {
+            let fam = extract_vtc_family(&cell, &tech, 100e-15, 61).expect("extraction succeeds");
+            black_box(fam.thresholds().v_il)
+        })
+    });
+}
+
+fn bench_single_input_model(c: &mut Criterion) {
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let th = Thresholds::new(1.2, 3.4, 5.0);
+    let sim = Simulator::new(&cell, &tech, th, 100e-15, 0.1);
+    let grid = [150e-12, 600e-12, 1800e-12];
+    c.bench_function("single_input_model_3pt", |b| {
+        b.iter(|| {
+            let m = SingleInputModel::characterize(&sim, 0, Edge::Rising, &grid)
+                .expect("characterization succeeds");
+            black_box(m.delay(400e-12, 100e-15))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vtc_family, bench_single_input_model
+);
+criterion_main!(benches);

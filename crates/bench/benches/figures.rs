@@ -1,0 +1,71 @@
+//! One benchmark per experiment id: the cost of regenerating each figure
+//! and table at minimal sweep sizes (the data path, not the full grids).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxim_bench::env::{ExperimentEnv, Fidelity};
+use proxim_bench::{fig1_2, fig2_1, fig3_3, fig4_2, fig6_1, table5_1};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn env() -> &'static ExperimentEnv {
+    static ENV: OnceLock<ExperimentEnv> = OnceLock::new();
+    ENV.get_or_init(|| ExperimentEnv::new(Fidelity::Fast))
+}
+
+fn bench_fig1_2(c: &mut Criterion) {
+    let env = env();
+    c.bench_function("fig1_2_3pts", |b| {
+        b.iter(|| black_box(fig1_2::run(env, 3).expect("runs").falling.len()))
+    });
+}
+
+fn bench_fig2_1(c: &mut Criterion) {
+    let env = env();
+    c.bench_function("fig2_1_vtc_family_41pts", |b| {
+        b.iter(|| {
+            let fam = fig2_1::run(&env.cell, &env.tech, env.model.reference_load(), 41)
+                .expect("runs");
+            black_box(fam.curves().len())
+        })
+    });
+}
+
+fn bench_fig3_3(c: &mut Criterion) {
+    let env = env();
+    c.bench_function("fig3_3_3pts", |b| {
+        b.iter(|| black_box(fig3_3::run(env, 3).expect("runs").len()))
+    });
+}
+
+fn bench_fig4_2(c: &mut Criterion) {
+    c.bench_function("fig4_2_storage_table", |b| {
+        b.iter(|| black_box(fig4_2::run(8, 8, 8).len()))
+    });
+}
+
+fn bench_table5_1(c: &mut Criterion) {
+    let env = env();
+    c.bench_function("table5_1_2cfg", |b| {
+        b.iter(|| black_box(table5_1::run(env, 2, 5).expect("runs").delay.mean))
+    });
+}
+
+fn bench_fig6_1(c: &mut Criterion) {
+    let env = env();
+    c.bench_function("fig6_1_3pts", |b| {
+        b.iter(|| black_box(fig6_1::run(env, 3).expect("runs").len()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_2,
+        bench_fig2_1,
+        bench_fig3_3,
+        bench_fig4_2,
+        bench_table5_1,
+        bench_fig6_1
+);
+criterion_main!(benches);

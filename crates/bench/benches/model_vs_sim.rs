@@ -1,0 +1,84 @@
+//! The macromodeling speed claim: evaluating the characterized proximity
+//! model versus running a full transient simulation of the same scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxim_bench::env::{ExperimentEnv, Fidelity};
+use proxim_model::measure::InputEvent;
+use proxim_numeric::pwl::Edge;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn env() -> &'static ExperimentEnv {
+    static ENV: OnceLock<ExperimentEnv> = OnceLock::new();
+    ENV.get_or_init(|| ExperimentEnv::new(Fidelity::Fast))
+}
+
+fn scenario() -> [InputEvent; 3] {
+    [
+        InputEvent::new(0, Edge::Falling, 0.0, 500e-12),
+        InputEvent::new(1, Edge::Falling, 120e-12, 300e-12),
+        InputEvent::new(2, Edge::Falling, -80e-12, 900e-12),
+    ]
+}
+
+fn bench_model_query(c: &mut Criterion) {
+    let env = env();
+    let events = scenario();
+    c.bench_function("proximity_model_query", |b| {
+        b.iter(|| {
+            let t = env.model.gate_timing(black_box(&events)).expect("query succeeds");
+            black_box(t.delay)
+        })
+    });
+}
+
+fn bench_full_transient(c: &mut Criterion) {
+    let env = env();
+    let events = scenario();
+    let sim = env.reference_simulator();
+    let th = env.thresholds();
+    c.bench_function("full_transient_reference", |b| {
+        b.iter(|| {
+            let r = sim.simulate(black_box(&events)).expect("sim succeeds");
+            black_box(r.delay_from(0, &th).expect("crossing exists"))
+        })
+    });
+}
+
+fn bench_baseline_query(c: &mut Criterion) {
+    let env = env();
+    let events = scenario();
+    c.bench_function("single_input_baseline_query", |b| {
+        b.iter(|| {
+            let t = proxim_model::baseline::single_switching_timing(
+                &env.model,
+                black_box(&events),
+            )
+            .expect("query succeeds");
+            black_box(t.delay)
+        })
+    });
+}
+
+fn bench_persist_roundtrip(c: &mut Criterion) {
+    let env = env();
+    let json = env.model.to_json().expect("serializes");
+    c.bench_function("model_to_json", |b| {
+        b.iter(|| black_box(env.model.to_json().expect("serializes").len()))
+    });
+    c.bench_function("model_from_json", |b| {
+        b.iter(|| {
+            let m = proxim_model::ProximityModel::from_json(black_box(&json))
+                .expect("parses");
+            black_box(m.table_entries())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_model_query, bench_full_transient, bench_baseline_query,
+        bench_persist_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Simulator kernel costs: DC operating point, transient step throughput,
+//! and the dense LU underneath them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxim_cells::{Cell, Technology};
+use proxim_numeric::linalg::Matrix;
+use proxim_spice::circuit::Waveform;
+use proxim_spice::tran::TranOptions;
+use std::hint::black_box;
+
+fn nand3_netlist() -> (proxim_cells::CellNetlist, Technology) {
+    let tech = Technology::demo_5v();
+    let net = Cell::nand(3).netlist(&tech, 100e-15);
+    (net, tech)
+}
+
+fn bench_dc_op(c: &mut Criterion) {
+    let (mut net, tech) = nand3_netlist();
+    for pin in 0..3 {
+        net.set_level(pin, true);
+    }
+    let _ = tech;
+    c.bench_function("nand3_dc_op", |b| {
+        b.iter(|| black_box(net.circuit.dc_op().expect("converges").voltages()[1]))
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let (mut net, tech) = nand3_netlist();
+    net.set_level(1, true);
+    net.set_level(2, true);
+    net.set_waveform(0, Waveform::ramp(0.3e-9, 0.5e-9, 0.0, tech.vdd));
+    c.bench_function("nand3_transient_5ns", |b| {
+        b.iter(|| {
+            let r = net.circuit.tran(&TranOptions::to(5e-9)).expect("converges");
+            black_box(r.accepted_steps)
+        })
+    });
+}
+
+fn bench_lu(c: &mut Criterion) {
+    // The MNA system size of the NAND3 plus sources.
+    let n = 12;
+    let mut a = Matrix::zeros(n, n);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+    };
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = next();
+        }
+        a[(i, i)] += n as f64;
+    }
+    let b_vec: Vec<f64> = (0..n).map(|_| next()).collect();
+    c.bench_function("dense_lu_solve_12", |b| {
+        b.iter(|| {
+            let lu = a.lu().expect("well conditioned");
+            black_box(lu.solve(black_box(&b_vec)))
+        })
+    });
+}
+
+fn bench_vtc_sweep(c: &mut Criterion) {
+    let tech = Technology::demo_5v();
+    let mut net = Cell::nand(2).netlist(&tech, 100e-15);
+    net.set_level(1, true);
+    c.bench_function("nand2_vtc_sweep_51", |b| {
+        b.iter(|| {
+            let sw = net
+                .circuit
+                .dc_sweep("Va", 0.0, tech.vdd, 51)
+                .expect("sweep converges");
+            black_box(sw.len())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dc_op, bench_transient, bench_lu, bench_vtc_sweep
+);
+criterion_main!(benches);

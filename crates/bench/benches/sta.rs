@@ -1,0 +1,100 @@
+//! Netlist timing cost under the proximity model versus classic STA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxim_bench::env::{ExperimentEnv, Fidelity};
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::ProximityModel;
+use proxim_numeric::pwl::Edge;
+use proxim_sta::circuits::ripple_carry_adder;
+use proxim_sta::timing::{DelayMode, PiAssignment, Sta};
+use proxim_sta::TimingLibrary;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn library() -> &'static (TimingLibrary, proxim_sta::CellId) {
+    static LIB: OnceLock<(TimingLibrary, proxim_sta::CellId)> = OnceLock::new();
+    LIB.get_or_init(|| {
+        let tech = Technology::demo_5v();
+        let model =
+            ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
+                .expect("characterization succeeds");
+        let mut lib = TimingLibrary::new();
+        let id = lib.add(model);
+        (lib, id)
+    })
+}
+
+fn ripple_assignments(
+    ins: &[proxim_sta::NetId],
+    bits: usize,
+) -> Vec<PiAssignment> {
+    let mut assignments = Vec::new();
+    for (k, &net) in ins.iter().enumerate() {
+        if k == 0 {
+            assignments.push(PiAssignment::switching(net, Edge::Rising, 0.0, 300e-12));
+        } else if k <= bits {
+            assignments.push(PiAssignment::stable(net, true));
+        } else {
+            assignments.push(PiAssignment::stable(net, false));
+        }
+    }
+    assignments
+}
+
+fn bench_sta_modes(c: &mut Criterion) {
+    let (lib, nand2) = library();
+    let bits = 8;
+    let (nl, ins, _) = ripple_carry_adder(*nand2, bits);
+    let sta = Sta::new(lib, &nl);
+    let assignments = ripple_assignments(&ins, bits);
+
+    let mut group = c.benchmark_group("sta_adder8");
+    group.bench_function("proximity", |b| {
+        b.iter(|| {
+            let r = sta.run(black_box(&assignments), DelayMode::Proximity).expect("runs");
+            black_box(r.critical_arrival())
+        })
+    });
+    group.bench_function("single_input", |b| {
+        b.iter(|| {
+            let r = sta.run(black_box(&assignments), DelayMode::SingleInput).expect("runs");
+            black_box(r.critical_arrival())
+        })
+    });
+    group.finish();
+}
+
+fn bench_env_smoke(c: &mut Criterion) {
+    // Keeps the shared fast environment characterization measured once.
+    c.bench_function("fast_env_query", |b| {
+        static ENV: OnceLock<ExperimentEnv> = OnceLock::new();
+        let env = ENV.get_or_init(|| ExperimentEnv::new(Fidelity::Fast));
+        let events = [
+            proxim_model::measure::InputEvent::new(0, Edge::Falling, 0.0, 400e-12),
+            proxim_model::measure::InputEvent::new(1, Edge::Falling, 50e-12, 400e-12),
+        ];
+        b.iter(|| black_box(env.model.gate_timing(&events).expect("query succeeds").delay))
+    });
+}
+
+fn bench_parse_c17(c: &mut Criterion) {
+    use proxim_sta::parse::{parse_bench, C17_BENCH};
+    let (_, nand2) = library();
+    c.bench_function("parse_bench_c17", |b| {
+        b.iter(|| {
+            let p = parse_bench(black_box(C17_BENCH), |ty, fanin| {
+                (ty == "NAND" && fanin == 2).then_some(*nand2)
+            })
+            .expect("parses");
+            black_box(p.netlist.gates().len())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sta_modes, bench_env_smoke, bench_parse_c17
+);
+criterion_main!(benches);

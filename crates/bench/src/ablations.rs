@@ -1,0 +1,505 @@
+//! Ablations of the design choices DESIGN.md calls out: the correction
+//! term, the dominance ordering, dual-table grid resolution, and the
+//! transient integrator.
+
+use crate::env::ExperimentEnv;
+use crate::table5_1::{events_for, population};
+use proxim_cells::{Cell, Technology};
+use proxim_model::algorithm::{compose, CorrectionTerm};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::dominance::RankedEvent;
+use proxim_model::dual::DualInputModel;
+use proxim_model::measure::InputEvent;
+use proxim_model::{ModelError, ProximityModel};
+use proxim_numeric::grid::{linspace, logspace};
+use proxim_numeric::pwl::Edge;
+use proxim_numeric::Summary;
+use proxim_spice::tran::Integrator;
+
+/// Correction-term ablation: delay error with and without the correction.
+#[derive(Debug, Clone)]
+pub struct CorrectionAblation {
+    /// With the correction applied (the paper's method).
+    pub with_correction: Summary,
+    /// Without it.
+    pub without_correction: Summary,
+}
+
+/// Runs the correction ablation on the Table 5-1 population.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a simulation or model query fails.
+pub fn correction(
+    env: &ExperimentEnv,
+    count: usize,
+    seed: u64,
+) -> Result<CorrectionAblation, ModelError> {
+    let sim = env.reference_simulator();
+    let th = env.thresholds();
+    let c_load = env.model.reference_load();
+    let mut with = Vec::with_capacity(count);
+    let mut without = Vec::with_capacity(count);
+
+    for cfg in population(count, seed) {
+        let events = events_for(env, &cfg);
+        let on = env.model.gate_timing_opts(&events, c_load, true)?;
+        let off = env.model.gate_timing_opts(&events, c_load, false)?;
+        let r = sim.simulate(&events)?;
+        let k = events.iter().position(|e| e.pin == on.reference_pin).expect("pin");
+        let d_sim = r.delay_from(k, &th)?;
+        with.push((on.delay - d_sim) / d_sim * 100.0);
+        without.push((off.delay - d_sim) / d_sim * 100.0);
+    }
+    Ok(CorrectionAblation {
+        with_correction: Summary::of(&with),
+        without_correction: Summary::of(&without),
+    })
+}
+
+/// Dominance-rule ablation: the paper's crossing-time ranking versus naive
+/// arrival-order ranking, on dual-input falling scenarios where the two
+/// rules disagree (a slow early input and a fast late one).
+#[derive(Debug, Clone)]
+pub struct DominanceAblation {
+    /// Delay error with the paper's ranking, in percent.
+    pub paper_rule: Summary,
+    /// Delay error referencing the first-arriving input instead.
+    pub arrival_rule: Summary,
+}
+
+/// Runs the dominance ablation.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a simulation or model query fails.
+pub fn dominance(env: &ExperimentEnv, points: usize) -> Result<DominanceAblation, ModelError> {
+    let edge = Edge::Falling;
+    let sim = env.reference_simulator();
+    let th = env.thresholds();
+    let c_load = env.model.reference_load();
+    let single = |pin: usize| {
+        env.model.single_model(pin, edge).ok_or_else(|| ModelError::InvalidQuery {
+            detail: format!("pin {pin} uncharacterized"),
+        })
+    };
+    let duals: Vec<Option<&DualInputModel>> = (0..env.cell.input_count())
+        .map(|p| env.model.dual_model(p, edge))
+        .collect();
+
+    // A slow input a arrives first; a fast input b arrives inside the
+    // disagreement band 0 < s < Δ_a - Δ_b where b's crossing is earlier.
+    let tau_a = 1500e-12;
+    let tau_b = 100e-12;
+    let d_a = single(0)?.delay(tau_a, c_load);
+    let d_b = single(1)?.delay(tau_b, c_load);
+    let band = (d_a - d_b).max(1e-12);
+
+    let mut paper_errs = Vec::new();
+    let mut arrival_errs = Vec::new();
+    for s in linspace(0.1 * band, 0.9 * band, points) {
+        let e_a = InputEvent::new(0, edge, 0.0, tau_a);
+        let arrival_a = e_a.arrival(&th);
+        let frac_b = InputEvent::new(1, edge, 0.0, tau_b).arrival(&th);
+        let e_b = InputEvent::new(1, edge, arrival_a + s - frac_b, tau_b);
+        let events = [e_a, e_b];
+
+        // Paper rule (through the model).
+        let paper = env.model.gate_timing_opts(&events, c_load, false)?;
+        // Naive rule: force the first-arriving input (a) as the reference.
+        let ranked: Vec<RankedEvent> = events
+            .iter()
+            .map(|e| {
+                let sm = single(e.pin).expect("characterized");
+                RankedEvent {
+                    event: *e,
+                    arrival: e.arrival(&th),
+                    d1: sm.delay(e.transition_time(), c_load),
+                    t1: sm.transition(e.transition_time(), c_load),
+                }
+            })
+            .collect();
+        let naive = compose(
+            &ranked,
+            &|dom, _| duals.get(dom).copied().flatten(),
+            CorrectionTerm::default(),
+            false,
+            true,
+        );
+
+        let r = sim.simulate(&events)?;
+        let arrival_sim = {
+            let k = events.iter().position(|e| e.pin == paper.reference_pin).expect("pin");
+            events[k].arrival(&th) + r.delay_from(k, &th)?
+        };
+        let d_ref = arrival_sim - events[0].arrival(&th).min(events[1].arrival(&th));
+        paper_errs.push((paper.output_arrival - arrival_sim) / d_ref * 100.0);
+        arrival_errs.push((naive.output_arrival - arrival_sim) / d_ref * 100.0);
+    }
+    Ok(DominanceAblation {
+        paper_rule: Summary::of(&paper_errs),
+        arrival_rule: Summary::of(&arrival_errs),
+    })
+}
+
+/// Grid-resolution ablation: characterize a NAND2 at several dual-table
+/// resolutions and report the validation error of each.
+#[derive(Debug, Clone)]
+pub struct GridAblation {
+    /// `(points per dual axis, delay error summary)` rows.
+    pub rows: Vec<(usize, Summary)>,
+}
+
+/// Runs the grid ablation (NAND2 to bound characterization cost).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if characterization or validation fails.
+pub fn grid(points_per_axis: &[usize], configs: usize) -> Result<GridAblation, ModelError> {
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let mut rows = Vec::new();
+    for &g in points_per_axis {
+        let opts = CharacterizeOptions {
+            tau_grid: logspace(50e-12, 2000e-12, 4),
+            dual_u_grid: logspace(0.2, 8.0, g),
+            dual_v_grid: logspace(0.2, 8.0, g),
+            dual_w_grid: linspace(-2.0, 1.5, (2 * g).max(4)),
+            glitch: false,
+            ..CharacterizeOptions::fast()
+        };
+        let model = ProximityModel::characterize(&cell, &tech, &opts)?;
+        let sim = proxim_model::characterize::Simulator::new(
+            &cell,
+            &tech,
+            *model.thresholds(),
+            model.reference_load(),
+            0.05,
+        );
+        let th = *model.thresholds();
+        let mut errs = Vec::with_capacity(configs);
+        let pop = population(configs, 99);
+        for cfg in pop {
+            // Two-input version: drop the third event.
+            let e_a = InputEvent::new(0, Edge::Falling, 0.0, cfg.tau[0]);
+            let arrival_a = e_a.arrival(&th);
+            let frac_b = InputEvent::new(1, Edge::Falling, 0.0, cfg.tau[1]).arrival(&th);
+            let e_b = InputEvent::new(1, Edge::Falling, arrival_a + cfg.s_ab - frac_b, cfg.tau[1]);
+            let events = [e_a, e_b];
+            let predicted = model.gate_timing(&events)?;
+            let r = sim.simulate(&events)?;
+            let k = events.iter().position(|e| e.pin == predicted.reference_pin).expect("pin");
+            let d_sim = r.delay_from(k, &th)?;
+            errs.push((predicted.delay - d_sim) / d_sim * 100.0);
+        }
+        rows.push((g, Summary::of(&errs)));
+    }
+    Ok(GridAblation { rows })
+}
+
+/// Analytic-form ablation: the table macromodels versus fitted closed forms
+/// (§3's remark that closed forms exist), reporting accuracy and storage.
+#[derive(Debug, Clone)]
+pub struct AnalyticAblation {
+    /// R² of the two-coefficient single-input delay law.
+    pub single_delay_r2: f64,
+    /// R² of the ten-coefficient dual-input delay surface.
+    pub dual_delay_r2: f64,
+    /// Delay error of table-backed predictions on a τ sweep, in percent.
+    pub table_errs: Summary,
+    /// Delay error of closed-form predictions on the same sweep.
+    pub analytic_errs: Summary,
+    /// `(table entries, coefficients)` for the single+dual pair.
+    pub storage: (usize, usize),
+}
+
+/// Runs the analytic ablation on a NAND2 single+dual model pair.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] on characterization or fitting failure.
+pub fn analytic(env: &ExperimentEnv, points: usize) -> Result<AnalyticAblation, ModelError> {
+    use proxim_model::analytic::{AnalyticDual, AnalyticSingle};
+
+    let edge = Edge::Falling;
+    let c_load = env.model.reference_load();
+    let single = env.model.single_model(0, edge).ok_or_else(|| {
+        ModelError::InvalidQuery { detail: "pin 0 uncharacterized".into() }
+    })?;
+    let dual = env.model.dual_model(0, edge).ok_or_else(|| {
+        ModelError::InvalidQuery { detail: "pin 0 dual uncharacterized".into() }
+    })?;
+    let fit_single = AnalyticSingle::fit(single)?;
+    let fit_dual = AnalyticDual::fit(dual, ((0.15, 9.0), (0.15, 9.0), (-2.5, 1.0)), 7)?;
+
+    // Validate single-input delay over a τ sweep against simulation.
+    let sim = env.reference_simulator();
+    let th = env.thresholds();
+    let mut table_errs = Vec::new();
+    let mut analytic_errs = Vec::new();
+    for tau in proxim_numeric::grid::logspace(60e-12, 1900e-12, points) {
+        let r = sim.simulate(&[InputEvent::new(0, edge, 0.0, tau)])?;
+        let d_sim = r.delay_from(0, &th)?;
+        table_errs.push((single.delay(tau, c_load) - d_sim) / d_sim * 100.0);
+        analytic_errs.push((fit_single.delay(tau, c_load) - d_sim) / d_sim * 100.0);
+    }
+
+    Ok(AnalyticAblation {
+        single_delay_r2: fit_single.delay_r2,
+        dual_delay_r2: fit_dual.delay_r2,
+        table_errs: Summary::of(&table_errs),
+        analytic_errs: Summary::of(&analytic_errs),
+        storage: (
+            single.table_len() + dual.table_len(),
+            fit_single.coefficient_count() + fit_dual.coefficient_count(),
+        ),
+    })
+}
+
+/// Prints the analytic ablation.
+pub fn print_analytic(a: &AnalyticAblation) {
+    println!("\nAblation: table vs closed-form macromodels (NAND3 pin a, falling)");
+    println!(
+        "fit quality: single delay R² = {:.4}, dual delay surface R² = {:.4}",
+        a.single_delay_r2, a.dual_delay_r2
+    );
+    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "backend", "mean", "std-dev", "max", "min");
+    for (name, s) in [("table", &a.table_errs), ("closed form", &a.analytic_errs)] {
+        println!(
+            "{:>14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            name, s.mean, s.std_dev, s.max, s.min
+        );
+    }
+    println!(
+        "storage: {} table entries vs {} coefficients ({}x reduction)",
+        a.storage.0,
+        a.storage.1,
+        a.storage.0 / a.storage.1.max(1)
+    );
+}
+
+/// Pair-matrix ablation: the paper's `2n` dual-model scheme versus the full
+/// `n(n-1)` pair matrix (Fig 4-2 option 2a), evaluated on the Table 5-1
+/// population with a NAND3 characterized once including the extra pairs.
+#[derive(Debug, Clone)]
+pub struct PairAblation {
+    /// Delay error with the paper's 2n scheme.
+    pub paper_scheme: Summary,
+    /// Delay error with exact-pair lookups.
+    pub pair_matrix: Summary,
+    /// Stored dual-table entries under each scheme.
+    pub entries: (usize, usize),
+}
+
+/// Runs the pair-matrix ablation. Characterizes its own NAND3 with
+/// `full_pair_matrix` enabled (medium grids to bound cost).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if characterization or validation fails.
+pub fn pairs(configs: usize, seed: u64) -> Result<PairAblation, ModelError> {
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(3);
+    let opts = CharacterizeOptions {
+        full_pair_matrix: true,
+        glitch: false,
+        ..CharacterizeOptions::medium()
+    };
+    let matrix_model = ProximityModel::characterize(&cell, &tech, &opts)?;
+    // The same model *without* its extras behaves as the paper scheme; we
+    // rebuild one cheaply by re-characterizing without the matrix flag.
+    let paper_model = ProximityModel::characterize(
+        &cell,
+        &tech,
+        &CharacterizeOptions { full_pair_matrix: false, ..opts },
+    )?;
+
+    let th = *matrix_model.thresholds();
+    let sim = proxim_model::characterize::Simulator::new(
+        &cell,
+        &tech,
+        th,
+        matrix_model.reference_load(),
+        0.04,
+    );
+    let mut paper_errs = Vec::with_capacity(configs);
+    let mut matrix_errs = Vec::with_capacity(configs);
+    for cfg in population(configs, seed) {
+        let e_a = InputEvent::new(0, Edge::Falling, 0.0, cfg.tau[0]);
+        let arrival_a = e_a.arrival(&th);
+        let place = |pin: usize, tau: f64, s: f64| {
+            let frac = InputEvent::new(pin, Edge::Falling, 0.0, tau).arrival(&th);
+            InputEvent::new(pin, Edge::Falling, arrival_a + s - frac, tau)
+        };
+        let events = [e_a, place(1, cfg.tau[1], cfg.s_ab), place(2, cfg.tau[2], cfg.s_ac)];
+
+        let p = paper_model.gate_timing(&events)?;
+        let m = matrix_model.gate_timing(&events)?;
+        let r = sim.simulate(&events)?;
+        let k = events.iter().position(|e| e.pin == p.reference_pin).expect("pin");
+        let d_sim = r.delay_from(k, &th)?;
+        let arrival_sim = events[k].arrival(&th) + d_sim;
+        paper_errs.push((p.output_arrival - arrival_sim) / d_sim * 100.0);
+        matrix_errs.push((m.output_arrival - arrival_sim) / d_sim * 100.0);
+    }
+
+    let dual_entries = |model: &ProximityModel| {
+        let primary: usize = (0..cell.input_count())
+            .flat_map(|p| {
+                [Edge::Rising, Edge::Falling]
+                    .into_iter()
+                    .filter_map(move |e| model.dual_model(p, e).map(|m| m.table_len()))
+            })
+            .sum();
+        primary + model.extra_dual_models().iter().map(|m| m.table_len()).sum::<usize>()
+    };
+    Ok(PairAblation {
+        paper_scheme: Summary::of(&paper_errs),
+        pair_matrix: Summary::of(&matrix_errs),
+        entries: (dual_entries(&paper_model), dual_entries(&matrix_model)),
+    })
+}
+
+/// Prints the pair ablation.
+pub fn print_pairs(p: &PairAblation) {
+    println!("\nAblation: dual-model storage scheme (NAND3, output-arrival error %)");
+    println!(
+        "{:>22} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "scheme", "mean", "std-dev", "max", "min", "entries"
+    );
+    for (name, s, e) in [
+        ("paper 2n", &p.paper_scheme, p.entries.0),
+        ("full pair matrix", &p.pair_matrix, p.entries.1),
+    ] {
+        println!(
+            "{:>22} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>12}",
+            name, s.mean, s.std_dev, s.max, s.min, e
+        );
+    }
+}
+
+/// Integrator ablation: the Fig 1-2(a) sweep under trapezoidal versus
+/// backward-Euler integration; reports the worst relative delay deviation.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a simulation fails.
+pub fn integrator(env: &ExperimentEnv, points: usize) -> Result<f64, ModelError> {
+    let th = env.thresholds();
+    let tau = 500e-12;
+    let mut worst: f64 = 0.0;
+    for s in linspace(-300e-12, 500e-12, points) {
+        let e_a = InputEvent::new(0, Edge::Falling, 0.0, tau);
+        let arrival_a = e_a.arrival(&th);
+        let frac_b = InputEvent::new(1, Edge::Falling, 0.0, tau).arrival(&th);
+        let e_b = InputEvent::new(1, Edge::Falling, arrival_a + s - frac_b, tau);
+
+        let mut delays = Vec::new();
+        for method in [Integrator::Trapezoidal, Integrator::BackwardEuler] {
+            let scenario =
+                proxim_model::measure::Scenario::resolve(&env.cell, &[e_a, e_b])?;
+            let mut net = env.cell.netlist(&env.tech, env.model.reference_load());
+            for (pin, lv) in scenario.stable_levels.iter().enumerate() {
+                if let Some(h) = lv {
+                    net.set_level(pin, *h);
+                }
+            }
+            let shift = 0.3e-9 - e_b.ramp.t_start.min(0.0);
+            let ea = e_a.delayed(shift);
+            let eb = e_b.delayed(shift);
+            net.set_waveform(ea.pin, ea.ramp.waveform(env.tech.vdd));
+            net.set_waveform(eb.pin, eb.ramp.waveform(env.tech.vdd));
+            let t_end = (ea.ramp.t_start + tau).max(eb.ramp.t_start + tau) + 4e-9;
+            let opts = proxim_spice::tran::TranOptions::to(t_end)
+                .with_dv_max(0.03)
+                .with_integrator(method);
+            let r = net.circuit.tran(&opts)?;
+            let out = r.waveform(net.out);
+            let t_out = out
+                .first_rising_crossing(th.v_il)
+                .ok_or_else(|| ModelError::MissingCrossing { what: "integrator ablation".into() })?;
+            delays.push(t_out - ea.arrival(&th));
+        }
+        let dev = (delays[0] - delays[1]).abs() / delays[0].abs().max(1e-15);
+        worst = worst.max(dev);
+    }
+    Ok(worst)
+}
+
+/// Prints all ablation results.
+pub fn print_correction(c: &CorrectionAblation) {
+    println!("\nAblation: simultaneous-step correction term (delay error %)");
+    println!("{:>20} {:>10} {:>10} {:>10} {:>10}", "variant", "mean", "std-dev", "max", "min");
+    for (name, s) in [("with correction", &c.with_correction), ("without", &c.without_correction)]
+    {
+        println!(
+            "{:>20} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            name, s.mean, s.std_dev, s.max, s.min
+        );
+    }
+}
+
+/// Prints the dominance ablation.
+pub fn print_dominance(d: &DominanceAblation) {
+    println!("\nAblation: dominance rule (output-arrival error %, disagreement band)");
+    println!("{:>20} {:>10} {:>10} {:>10} {:>10}", "variant", "mean", "std-dev", "max", "min");
+    for (name, s) in [("crossing (paper)", &d.paper_rule), ("naive arrival", &d.arrival_rule)] {
+        println!(
+            "{:>20} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            name, s.mean, s.std_dev, s.max, s.min
+        );
+    }
+}
+
+/// Prints the grid ablation.
+pub fn print_grid(g: &GridAblation) {
+    println!("\nAblation: dual-table grid resolution (NAND2, delay error %)");
+    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "points/axis", "mean", "std-dev", "max", "min");
+    for (pts, s) in &g.rows {
+        println!(
+            "{:>14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            pts, s.mean, s.std_dev, s.max, s.min
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Fidelity;
+
+    #[test]
+    fn correction_reduces_error_spread() {
+        let env = ExperimentEnv::new(Fidelity::Fast);
+        let c = correction(&env, 8, 3).unwrap();
+        // The correction should not make things dramatically worse; on
+        // proximity-heavy populations it tightens the spread.
+        assert!(
+            c.with_correction.std_dev + c.with_correction.mean.abs()
+                <= c.without_correction.std_dev + c.without_correction.mean.abs() + 2.0,
+            "with {:?} vs without {:?}",
+            c.with_correction,
+            c.without_correction
+        );
+    }
+
+    #[test]
+    fn paper_dominance_rule_beats_arrival_order() {
+        let env = ExperimentEnv::new(Fidelity::Fast);
+        let d = dominance(&env, 4).unwrap();
+        let spread = |s: &Summary| s.mean.abs() + s.std_dev;
+        assert!(
+            spread(&d.paper_rule) <= spread(&d.arrival_rule) + 1.0,
+            "paper {:?} vs naive {:?}",
+            d.paper_rule,
+            d.arrival_rule
+        );
+    }
+
+    #[test]
+    fn integrators_agree() {
+        let env = ExperimentEnv::new(Fidelity::Fast);
+        let worst = integrator(&env, 3).unwrap();
+        assert!(worst < 0.05, "integrator disagreement {worst}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Regenerates every table and figure of the paper (see DESIGN.md §4).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--fast] [ids...]
+//! ids: fig1-2 fig2-1 fig3-3 fig4-2 table5-1 fig5-1 fig6-1 baselines
+//!      ablate-correction ablate-dominance ablate-grid ablate-integrator all
+//! ```
+//!
+//! `--fast` uses reduced characterization grids (seconds instead of
+//! minutes); the shapes survive, the error statistics loosen.
+
+use proxim_bench::env::{ExperimentEnv, Fidelity};
+use proxim_bench::{ablations, baselines, fanin, fig1_2, fig2_1, fig3_3, fig4_2, fig6_1, path_validation, table5_1};
+use std::process::ExitCode;
+
+const ALL: &[&str] = &[
+    "fig1-2",
+    "fig2-1",
+    "fig3-3",
+    "fig4-2",
+    "table5-1",
+    "fig5-1",
+    "fig6-1",
+    "baselines",
+    "fanin",
+    "path-validation",
+    "ablate-correction",
+    "ablate-dominance",
+    "ablate-grid",
+    "ablate-pairs",
+    "ablate-analytic",
+    "ablate-integrator",
+];
+
+fn main() -> ExitCode {
+    let mut fast = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--help" | "-h" => {
+                println!("usage: experiments [--fast] [ids...|all]\nids: {}", ALL.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ALL.contains(&id.as_str()) {
+            eprintln!("unknown experiment id {id:?}; known: {}", ALL.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let fidelity = if fast { Fidelity::Fast } else { Fidelity::Full };
+    let (sweep_points, t51_count) = if fast { (9, 12) } else { (25, 100) };
+
+    // Experiments that don't need the characterized model run first.
+    if ids.iter().any(|i| i == "fig4-2") {
+        fig4_2::print(&fig4_2::run(8, 8, 8), None);
+    }
+    if ids.iter().any(|i| i == "ablate-grid") {
+        let points = if fast { vec![2, 3] } else { vec![2, 4, 6] };
+        let configs = if fast { 6 } else { 25 };
+        match ablations::grid(&points, configs) {
+            Ok(g) => ablations::print_grid(&g),
+            Err(e) => {
+                eprintln!("ablate-grid failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ids.iter().any(|i| i == "fanin") {
+        let (max_n, configs) = if fast { (3, 5) } else { (4, 25) };
+        let opts = if fast {
+            proxim_model::characterize::CharacterizeOptions::fast()
+        } else {
+            proxim_model::characterize::CharacterizeOptions::medium()
+        };
+        match fanin::run(max_n, configs, &opts) {
+            Ok(rows) => fanin::print(&rows),
+            Err(e) => {
+                eprintln!("fanin failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ids.iter().any(|i| i == "path-validation") {
+        let opts = if fast {
+            proxim_model::characterize::CharacterizeOptions::fast()
+        } else {
+            proxim_model::characterize::CharacterizeOptions::medium()
+        };
+        match path_validation::run(&opts) {
+            Ok(v) => path_validation::print(&v),
+            Err(e) => {
+                eprintln!("path-validation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ids.iter().any(|i| i == "ablate-pairs") {
+        let configs = if fast { 6 } else { 30 };
+        match ablations::pairs(configs, 1996) {
+            Ok(p) => ablations::print_pairs(&p),
+            Err(e) => {
+                eprintln!("ablate-pairs failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let needs_env = ids
+        .iter()
+        .any(|i| !matches!(i.as_str(), "fig4-2" | "ablate-grid" | "ablate-pairs" | "fanin" | "path-validation"));
+    if !needs_env {
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "characterizing NAND3 at {} fidelity (this runs the full VTC + macromodel flow)...",
+        if fast { "fast" } else { "paper" }
+    );
+    let start = std::time::Instant::now();
+    let env = ExperimentEnv::new(fidelity);
+    eprintln!(
+        "characterization done in {:.1} s ({} table entries)",
+        start.elapsed().as_secs_f64(),
+        env.model.table_entries()
+    );
+
+    let mut t51_cache: Option<table5_1::Table51> = None;
+    for id in &ids {
+        let result: Result<(), Box<dyn std::error::Error>> = (|| {
+            match id.as_str() {
+                "fig1-2" => {
+                    let fig = fig1_2::run(&env, sweep_points)?;
+                    fig1_2::print(&fig);
+                    let c = fig1_2::checks(&fig);
+                    println!(
+                        "\nheadline factors: falling speedup {:.2}x, rising slowdown {:.2}x",
+                        c.falling_speedup_factor, c.rising_slowdown_factor
+                    );
+                }
+                "fig2-1" => {
+                    let points = if fast { 121 } else { 301 };
+                    let family =
+                        fig2_1::run(&env.cell, &env.tech, env.model.reference_load(), points)?;
+                    fig2_1::print(&env.cell, &family);
+                }
+                "fig3-3" => {
+                    let series = fig3_3::run(&env, sweep_points)?;
+                    fig3_3::print(&series);
+                }
+                "fig4-2" => {
+                    // Re-print with the actual model footprint attached.
+                    fig4_2::print(&fig4_2::run(8, 8, 8), Some(&env.model));
+                }
+                "table5-1" | "fig5-1" => {
+                    if t51_cache.is_none() {
+                        t51_cache = Some(table5_1::run(&env, t51_count, 1996)?);
+                    }
+                    let t = t51_cache.as_ref().expect("just filled");
+                    if id == "table5-1" {
+                        table5_1::print(t);
+                    } else {
+                        table5_1::print_histograms(t);
+                    }
+                }
+                "fig6-1" => {
+                    let series = fig6_1::run(&env, sweep_points.min(15))?;
+                    fig6_1::print(&series, env.thresholds().v_il);
+                }
+                "baselines" => {
+                    let count = if fast { 8 } else { 50 };
+                    let c = baselines::run(&env, count, 1996)?;
+                    baselines::print(&c);
+                }
+                "ablate-correction" => {
+                    let count = if fast { 8 } else { 50 };
+                    let c = ablations::correction(&env, count, 1996)?;
+                    ablations::print_correction(&c);
+                }
+                "ablate-dominance" => {
+                    let d = ablations::dominance(&env, if fast { 4 } else { 9 })?;
+                    ablations::print_dominance(&d);
+                }
+                "ablate-analytic" => {
+                    let a = ablations::analytic(&env, if fast { 5 } else { 11 })?;
+                    ablations::print_analytic(&a);
+                }
+                "ablate-integrator" => {
+                    let worst = ablations::integrator(&env, if fast { 3 } else { 7 })?;
+                    println!(
+                        "\nAblation: trapezoidal vs backward-Euler worst delay deviation: {:.3}%",
+                        worst * 100.0
+                    );
+                }
+                "ablate-grid" | "ablate-pairs" | "fanin" | "path-validation" => {} // handled above
+                _ => unreachable!("ids validated"),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("experiment {id} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,99 @@
+//! Shared experiment environment: technology, device under test, and the
+//! characterized model, built once per process.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::{CharacterizeOptions, Simulator};
+use proxim_model::{ProximityModel, Thresholds};
+
+/// Fidelity of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Paper-scale grids (minutes of characterization).
+    Full,
+    /// Reduced grids for smoke runs and benches (seconds).
+    Fast,
+}
+
+impl Fidelity {
+    /// Characterization options for this fidelity.
+    pub fn options(self) -> CharacterizeOptions {
+        match self {
+            Self::Full => CharacterizeOptions {
+                glitch: true,
+                ..CharacterizeOptions::default()
+            },
+            Self::Fast => CharacterizeOptions {
+                glitch: true,
+                ..CharacterizeOptions::fast()
+            },
+        }
+    }
+}
+
+/// The standard experiment environment: the paper's 3-input NAND in the
+/// demo technology, with its characterized proximity model.
+#[derive(Debug)]
+pub struct ExperimentEnv {
+    /// The process technology.
+    pub tech: Technology,
+    /// The device under test (3-input NAND, Figure 1-1 of the paper).
+    pub cell: Cell,
+    /// The characterized model.
+    pub model: ProximityModel,
+    /// Run fidelity.
+    pub fidelity: Fidelity,
+}
+
+impl ExperimentEnv {
+    /// Characterizes the standard environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if characterization fails (the demo technology is known-good,
+    /// so a failure indicates a build problem worth surfacing loudly).
+    pub fn new(fidelity: Fidelity) -> Self {
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(3);
+        let model = ProximityModel::characterize(&cell, &tech, &fidelity.options())
+            .expect("characterizing the reference NAND3 must succeed");
+        Self { tech, cell, model, fidelity }
+    }
+
+    /// The measurement thresholds the model selected.
+    pub fn thresholds(&self) -> Thresholds {
+        *self.model.thresholds()
+    }
+
+    /// A validation simulator bound to the model's reference load, with a
+    /// tighter accuracy knob than characterization (it plays the role of
+    /// the paper's HSPICE golden runs).
+    pub fn reference_simulator(&self) -> Simulator<'_> {
+        Simulator::new(
+            &self.cell,
+            &self.tech,
+            *self.model.thresholds(),
+            self.model.reference_load(),
+            (self.model.dv_max() * 0.6).max(0.02),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_env_builds() {
+        let env = ExperimentEnv::new(Fidelity::Fast);
+        assert_eq!(env.cell.input_count(), 3);
+        let th = env.thresholds();
+        assert!(th.v_il < th.v_ih);
+    }
+
+    #[test]
+    fn fidelity_options_differ() {
+        assert!(
+            Fidelity::Full.options().tau_grid.len() > Fidelity::Fast.options().tau_grid.len()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Fan-in scaling: the §4 claim that `ProximityDelay` handles any fan-in by
+//! repeated application of the dual-input model — validated by running the
+//! Table 5-1 flow on NAND2, NAND3 and NAND4 and watching how the error
+//! statistics evolve with the number of folded inputs.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::validate::{validate, ValidateOptions};
+use proxim_model::{ModelError, ProximityModel};
+use proxim_numeric::Summary;
+
+/// One fan-in row.
+#[derive(Debug, Clone)]
+pub struct FaninRow {
+    /// Gate fan-in.
+    pub n: usize,
+    /// Delay-error summary, in percent.
+    pub delay: Summary,
+    /// Transition-time-error summary, in percent.
+    pub trans: Summary,
+    /// Total stored table entries.
+    pub entries: usize,
+}
+
+/// Validates NAND gates of fan-in 2..=`max_n` over `configs` random
+/// scenarios each.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if characterization or validation fails.
+pub fn run(
+    max_n: usize,
+    configs: usize,
+    opts: &CharacterizeOptions,
+) -> Result<Vec<FaninRow>, ModelError> {
+    let tech = Technology::demo_5v();
+    let mut rows = Vec::new();
+    for n in 2..=max_n {
+        let cell = Cell::nand(n);
+        let model = ProximityModel::characterize(&cell, &tech, opts)?;
+        let report = validate(
+            &model,
+            &ValidateOptions { configs, dv_max: opts.dv_max * 0.6, ..ValidateOptions::default() },
+        )?;
+        rows.push(FaninRow {
+            n,
+            delay: report.delay,
+            trans: report.trans,
+            entries: model.table_entries(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Prints the fan-in table.
+pub fn print(rows: &[FaninRow]) {
+    println!("\nFan-in scaling: NAND2..NAND{} on the Table 5-1 population", rows.last().map_or(0, |r| r.n));
+    println!(
+        "{:>4} {:>22} {:>22} {:>10}",
+        "n", "delay err (mean/sd %)", "trans err (mean/sd %)", "entries"
+    );
+    for r in rows {
+        println!(
+            "{:>4} {:>11.2} /{:>8.2} {:>11.2} /{:>8.2} {:>10}",
+            r.n, r.delay.mean, r.delay.std_dev, r.trans.mean, r.trans.std_dev, r.entries
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanin_rows_stay_bounded_at_fast_fidelity() {
+        let rows = run(3, 5, &CharacterizeOptions::fast()).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.delay.mean.abs() < 20.0 && r.delay.std_dev < 25.0,
+                "n = {}: {:?}",
+                r.n,
+                r.delay
+            );
+        }
+        // Storage grows linearly-ish with fan-in (the 2n scheme).
+        assert!(rows[1].entries > rows[0].entries);
+        assert!(rows[1].entries < 3 * rows[0].entries);
+    }
+}

@@ -1,0 +1,161 @@
+//! Figure 1-2: delay and output transition time of the 3-input NAND as a
+//! function of the separation between the transitions on inputs `a` and `b`
+//! (input `c` stable at its non-controlling value).
+//!
+//! Four panels: (a) delay and (b) output rise time for *falling* inputs;
+//! (c) delay and (d) output fall time for *rising* inputs. τ_a is fixed at
+//! 500 ps and τ_b takes {100, 500, 1000} ps. All values are measured on the
+//! circuit simulator relative to input `a`, exactly as the paper measures
+//! its HSPICE sweeps.
+
+use crate::env::ExperimentEnv;
+use proxim_model::measure::InputEvent;
+use proxim_model::ModelError;
+use proxim_numeric::grid::linspace;
+use proxim_numeric::pwl::Edge;
+
+/// One sweep series: a fixed τ_b and the per-separation measurements.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Partner transition time, in seconds.
+    pub tau_b: f64,
+    /// `(separation, delay, output transition time)` rows, in seconds.
+    pub rows: Vec<(f64, f64, f64)>,
+}
+
+/// The regenerated figure: one panel pair per input edge.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Falling-input series (panels a and b).
+    pub falling: Vec<Series>,
+    /// Rising-input series (panels c and d).
+    pub rising: Vec<Series>,
+}
+
+/// Regenerates the figure with `points` separations per series.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a simulation fails; points whose output never
+/// completes a transition are skipped (they do not occur for same-direction
+/// pairs).
+pub fn run(env: &ExperimentEnv, points: usize) -> Result<Fig12, ModelError> {
+    let tau_a = 500e-12;
+    let tau_bs = [100e-12, 500e-12, 1000e-12];
+    let sim = env.reference_simulator();
+    let th = env.thresholds();
+
+    let mut panels = Vec::new();
+    for edge in [Edge::Falling, Edge::Rising] {
+        let mut series = Vec::new();
+        for &tau_b in &tau_bs {
+            // Separation convention per panel: `a` is the causing input in
+            // both cases and delay is measured from it. Falling inputs
+            // (parallel pull-ups): `b` trails `a` by `s` and its transition
+            // is blocked once `s` exceeds the proximity window. Rising
+            // inputs (series stack): `b` leads `a` by `s`, and for large
+            // `s` its transistor is fully on before `a` ramps.
+            let seps = linspace(0.0, 800e-12, points);
+            let mut rows = Vec::with_capacity(points);
+            for &s in &seps {
+                let e_a = InputEvent::new(0, edge, 0.0, tau_a);
+                let arrival_a = e_a.arrival(&th);
+                let b_target = match edge {
+                    Edge::Falling => arrival_a + s,
+                    Edge::Rising => arrival_a - s,
+                };
+                let frac_b = InputEvent::new(1, edge, 0.0, tau_b).arrival(&th);
+                let e_b = InputEvent::new(1, edge, b_target - frac_b, tau_b);
+                let r = sim.simulate(&[e_a, e_b])?;
+                let delay = r.delay_from(0, &th)?;
+                let trans = r.transition_time(&th)?;
+                rows.push((s, delay, trans));
+            }
+            series.push(Series { tau_b, rows });
+        }
+        panels.push(series);
+    }
+    let rising = panels.pop().expect("two panels pushed");
+    let falling = panels.pop().expect("two panels pushed");
+    Ok(Fig12 { falling, rising })
+}
+
+/// Prints the figure as aligned columns (ps units).
+pub fn print(fig: &Fig12) {
+    for (label, series, effect) in [
+        ("Fig 1-2(a,b): falling inputs a,b (output rises)", &fig.falling, "speedup"),
+        ("Fig 1-2(c,d): rising inputs a,b (output falls)", &fig.rising, "slowdown"),
+    ] {
+        println!("\n{label} — proximity {effect}");
+        print!("{:>10}", "s [ps]");
+        for s in series.iter() {
+            print!(
+                "{:>14}{:>14}",
+                format!("d(tb={})", (s.tau_b * 1e12) as i64),
+                format!("tt(tb={})", (s.tau_b * 1e12) as i64)
+            );
+        }
+        println!();
+        let n = series[0].rows.len();
+        for k in 0..n {
+            print!("{:>10.0}", series[0].rows[k].0 * 1e12);
+            for s in series.iter() {
+                print!("{:>14.1}{:>14.1}", s.rows[k].1 * 1e12, s.rows[k].2 * 1e12);
+            }
+            println!();
+        }
+    }
+}
+
+/// The paper's qualitative claims for this figure, checked programmatically
+/// (used by integration tests and by `EXPERIMENTS.md` generation).
+pub struct Fig12Checks {
+    /// Falling inputs: delay at close proximity < delay at far separation.
+    pub falling_speedup_factor: f64,
+    /// Rising inputs: delay at close proximity > delay at far separation.
+    pub rising_slowdown_factor: f64,
+}
+
+/// Computes the headline factors: far-separation delay divided by
+/// zero-separation delay (falling: proximity speeds the output, so the
+/// factor exceeds 1), and the inverse ratio (rising: proximity slows it).
+pub fn checks(fig: &Fig12) -> Fig12Checks {
+    let factor = |series: &Series| {
+        let near = series.rows.first().expect("series is non-empty").1;
+        let far = series.rows.last().expect("series is non-empty").1;
+        (far, near)
+    };
+    // Use the slowest partner (τ_b = 1000 ps): a fast partner is already
+    // done ramping at zero separation and barely perturbs the output.
+    let (far_f, near_f) = factor(fig.falling.last().expect("three series"));
+    let (far_r, near_r) = factor(fig.rising.last().expect("three series"));
+    Fig12Checks {
+        falling_speedup_factor: far_f / near_f,
+        rising_slowdown_factor: near_r / far_r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Fidelity;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let env = ExperimentEnv::new(Fidelity::Fast);
+        let fig = run(&env, 7).unwrap();
+        assert_eq!(fig.falling.len(), 3);
+        assert_eq!(fig.rising.len(), 3);
+        let c = checks(&fig);
+        assert!(
+            c.falling_speedup_factor > 1.05,
+            "falling proximity must speed the output: {}",
+            c.falling_speedup_factor
+        );
+        assert!(
+            c.rising_slowdown_factor > 1.05,
+            "rising proximity must slow the output: {}",
+            c.rising_slowdown_factor
+        );
+    }
+}

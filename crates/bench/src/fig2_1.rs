@@ -1,0 +1,132 @@
+//! Figure 2-1: the family of voltage-transfer curves of the 3-input NAND
+//! (one per combination of switching inputs) and the table of candidate
+//! thresholds, plus the paper's min-`V_il` / max-`V_ih` selection.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::thresholds::{extract_vtc_family, VtcFamily};
+use proxim_model::ModelError;
+
+/// Regenerates the VTC family at the given sweep resolution.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a DC sweep fails to converge.
+pub fn run(
+    cell: &Cell,
+    tech: &Technology,
+    c_load: f64,
+    points: usize,
+) -> Result<VtcFamily, ModelError> {
+    extract_vtc_family(cell, tech, c_load, points)
+}
+
+/// Prints the threshold table (the analogue of Figure 2-1(c)) and the
+/// selected measurement thresholds.
+pub fn print(cell: &Cell, family: &VtcFamily) {
+    println!("\nFig 2-1(c): VTC thresholds per switching combination (V)");
+    println!("{:>12} {:>8} {:>8} {:>8}", "switching", "V_il", "V_m", "V_ih");
+    for c in family.curves() {
+        let pins: Vec<String> = c
+            .switching_pins()
+            .iter()
+            .map(|&p| cell.input_names()[p].clone())
+            .collect();
+        println!(
+            "{:>12} {:>8.3} {:>8.3} {:>8.3}",
+            pins.join("+"),
+            c.v_il,
+            c.v_m,
+            c.v_ih
+        );
+    }
+    let th = family.thresholds();
+    println!(
+        "selected thresholds: V_il = {:.3} V (minimum), V_ih = {:.3} V (maximum)",
+        th.v_il, th.v_ih
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand3_family_matches_paper_structure() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(3);
+        let family = run(&cell, &tech, 100e-15, 121).unwrap();
+        // 2^3 - 1 = 7 sensitizable combinations for a NAND.
+        assert_eq!(family.curves().len(), 7);
+        // Every curve satisfies V_il < V_m < V_ih.
+        for c in family.curves() {
+            assert!(c.v_il < c.v_m && c.v_m < c.v_ih, "curve {:#b}", c.switching_mask);
+        }
+        // The paper's guarantee: min V_il < every V_m < max V_ih.
+        let th = family.thresholds();
+        for c in family.curves() {
+            assert!(th.v_il < c.v_m && c.v_m < th.v_ih);
+        }
+    }
+
+    #[test]
+    fn nand_extremes_come_from_the_paper_predicted_curves() {
+        // §2: "In case of a NAND gate, the V_il chosen would be from the
+        // input closest to the ground and V_ih would be from the VTC
+        // corresponding to all inputs switching at the same time."
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(3);
+        let family = run(&cell, &tech, 100e-15, 121).unwrap();
+        let min_curve = family
+            .curves()
+            .iter()
+            .min_by(|a, b| a.v_il.partial_cmp(&b.v_il).unwrap())
+            .unwrap();
+        assert_eq!(min_curve.switching_mask, 0b100, "bottom input alone gives min V_il");
+        let max_curve = family
+            .curves()
+            .iter()
+            .max_by(|a, b| a.v_ih.partial_cmp(&b.v_ih).unwrap())
+            .unwrap();
+        assert_eq!(max_curve.switching_mask, 0b111, "all switching gives max V_ih");
+    }
+
+    #[test]
+    fn nor_extremes_come_from_the_paper_predicted_curves() {
+        // §2: "For the case of NOR gates, V_il would be chosen from the VTC
+        // corresponding to all inputs switching at the same time and V_ih
+        // chosen from the input closest to the power rail."
+        let tech = Technology::demo_5v();
+        let cell = Cell::nor(3);
+        let family = run(&cell, &tech, 100e-15, 121).unwrap();
+        let min_curve = family
+            .curves()
+            .iter()
+            .min_by(|a, b| a.v_il.partial_cmp(&b.v_il).unwrap())
+            .unwrap();
+        assert_eq!(min_curve.switching_mask, 0b111, "all switching gives min V_il");
+        let max_curve = family
+            .curves()
+            .iter()
+            .max_by(|a, b| a.v_ih.partial_cmp(&b.v_ih).unwrap())
+            .unwrap();
+        // Pin 0 is the series PMOS closest to the supply.
+        assert_eq!(max_curve.switching_mask, 0b001, "top input alone gives max V_ih");
+    }
+
+    #[test]
+    fn stack_position_shifts_vtc() {
+        // The VTC when only the bottom input switches differs from the top
+        // input: body effect and stack position move V_m.
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(3);
+        let family = run(&cell, &tech, 100e-15, 121).unwrap();
+        let top = family.curve_for_mask(0b001).unwrap();
+        let bottom = family.curve_for_mask(0b100).unwrap();
+        assert!(
+            (top.v_m - bottom.v_m).abs() > 5e-3,
+            "stack position should shift V_m: top {} vs bottom {}",
+            top.v_m,
+            bottom.v_m
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 3-3: the proximity effect on delay with the delay *referenced to
+//! the dominant input*, exhibiting the discontinuity where the dominant
+//! input changes (the measurement reference switches), and the dual-input
+//! macromodel tracking the simulation.
+//!
+//! Setup per the paper: the NAND3 with `c` tied to its non-controlling
+//! value, falling inputs, τ_a = 500 ps, τ_b ∈ {100, 500, 1000} ps, s_ab
+//! swept from `-(Δ_b⁽¹⁾ + τ_b)` to `Δ_a⁽¹⁾ + τ_a`.
+
+use crate::env::ExperimentEnv;
+use proxim_model::measure::InputEvent;
+use proxim_model::ModelError;
+use proxim_numeric::grid::linspace;
+use proxim_numeric::pwl::Edge;
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Separation `s_ab`, in seconds.
+    pub s: f64,
+    /// Which input is dominant at this separation (0 = a, 1 = b).
+    pub dominant: usize,
+    /// Simulated delay relative to the dominant input.
+    pub delay_sim: f64,
+    /// Model-predicted delay relative to the dominant input.
+    pub delay_model: f64,
+}
+
+/// One series at fixed τ_b, with the predicted crossover separation.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// The partner transition time, in seconds.
+    pub tau_b: f64,
+    /// The dominance crossover `s = Δ_a⁽¹⁾ − Δ_b⁽¹⁾` (§3), in seconds.
+    pub crossover: f64,
+    /// The sweep rows.
+    pub rows: Vec<Row>,
+}
+
+/// Regenerates the figure.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] on simulation or model-query failure.
+pub fn run(env: &ExperimentEnv, points: usize) -> Result<Vec<Series>, ModelError> {
+    let edge = Edge::Falling;
+    let tau_a = 500e-12;
+    let sim = env.reference_simulator();
+    let th = env.thresholds();
+    let c_load = env.model.reference_load();
+
+    let single_a = env
+        .model
+        .single_model(0, edge)
+        .ok_or_else(|| ModelError::InvalidQuery { detail: "pin a uncharacterized".into() })?;
+    let d_a = single_a.delay(tau_a, c_load);
+    let t_a = single_a.transition(tau_a, c_load);
+
+    let mut out = Vec::new();
+    for &tau_b in &[100e-12, 500e-12, 1000e-12] {
+        let single_b = env.model.single_model(1, edge).ok_or_else(|| {
+            ModelError::InvalidQuery { detail: "pin b uncharacterized".into() }
+        })?;
+        let d_b = single_b.delay(tau_b, c_load);
+        let t_b = single_b.transition(tau_b, c_load);
+        let crossover = d_a - d_b;
+
+        let seps = linspace(-(d_b + tau_b), d_a + tau_a, points);
+        let mut rows = Vec::with_capacity(points);
+        for &s in &seps {
+            let e_a = InputEvent::new(0, edge, 0.0, tau_a);
+            let arrival_a = e_a.arrival(&th);
+            let frac_b = InputEvent::new(1, edge, 0.0, tau_b).arrival(&th);
+            let e_b = InputEvent::new(1, edge, arrival_a + s - frac_b, tau_b);
+
+            let events = [e_a, e_b];
+            let predicted = env.model.gate_timing(&events)?;
+            let dominant = predicted.reference_pin;
+
+            let r = sim.simulate(&events)?;
+            let k_ref = events
+                .iter()
+                .position(|e| e.pin == dominant)
+                .expect("reference pin is one of the events");
+            let delay_sim = r.delay_from(k_ref, &th)?;
+            rows.push(Row { s, dominant, delay_sim, delay_model: predicted.delay });
+        }
+        out.push(Series { tau_b, crossover, rows });
+        let _ = (t_a, t_b); // transition windows are exercised by fig1_2
+    }
+    Ok(out)
+}
+
+/// Prints the figure.
+pub fn print(series: &[Series]) {
+    for s in series {
+        println!(
+            "\nFig 3-3: tau_a = 500 ps, tau_b = {:.0} ps — crossover at s = {:.1} ps",
+            s.tau_b * 1e12,
+            s.crossover * 1e12
+        );
+        println!("{:>10} {:>5} {:>12} {:>12} {:>8}", "s [ps]", "dom", "sim [ps]", "model [ps]", "err %");
+        for r in &s.rows {
+            let err = (r.delay_model - r.delay_sim) / r.delay_sim * 100.0;
+            println!(
+                "{:>10.0} {:>5} {:>12.1} {:>12.1} {:>8.2}",
+                r.s * 1e12,
+                if r.dominant == 0 { "a" } else { "b" },
+                r.delay_sim * 1e12,
+                r.delay_model * 1e12,
+                err
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Fidelity;
+
+    #[test]
+    fn dominance_crossover_appears() {
+        let env = ExperimentEnv::new(Fidelity::Fast);
+        let series = run(&env, 9).unwrap();
+        assert_eq!(series.len(), 3);
+        // For the fast-partner series (tau_b = 100 ps) the reference must
+        // switch from b (negative separations: b's crossing is earliest) to
+        // a (large positive separations).
+        let fast = &series[0];
+        assert_eq!(fast.rows.first().unwrap().dominant, 1, "b dominates early");
+        assert_eq!(fast.rows.last().unwrap().dominant, 0, "a dominates late");
+        // The model tracks simulation within a loose band at fast fidelity.
+        for r in &fast.rows {
+            let err = (r.delay_model - r.delay_sim).abs() / r.delay_sim;
+            assert!(err < 0.35, "model diverges at s = {}: {err}", r.s);
+        }
+    }
+}

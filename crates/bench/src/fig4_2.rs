@@ -1,0 +1,68 @@
+//! Figure 4-2: storage complexity of the modeling options — the full
+//! `(2n−1)`-argument model, the per-pair dual-input matrix, and the paper's
+//! `2n`-macromodel scheme — plus the entries the characterized model
+//! actually stores.
+
+use proxim_model::algorithm::{storage_entries, StorageScheme};
+use proxim_model::ProximityModel;
+
+/// One row of the storage table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Gate fan-in.
+    pub n: usize,
+    /// Entries under the direct full model.
+    pub full: u128,
+    /// Entries under the pair matrix.
+    pub pair_matrix: u128,
+    /// Entries under the paper's scheme.
+    pub paper: u128,
+}
+
+/// Computes the table for fan-ins `1..=max_n` with the given per-axis grid
+/// sizes.
+pub fn run(max_n: usize, grid1: usize, grid3: usize) -> Vec<Row> {
+    (1..=max_n)
+        .map(|n| Row {
+            n,
+            full: storage_entries(n, grid1, grid3, StorageScheme::Full),
+            pair_matrix: storage_entries(n, grid1, grid3, StorageScheme::PairMatrix),
+            paper: storage_entries(n, grid1, grid3, StorageScheme::Paper),
+        })
+        .collect()
+}
+
+/// Prints the table, optionally annotating with a real model's footprint.
+pub fn print(rows: &[Row], actual: Option<&ProximityModel>) {
+    println!("\nFig 4-2: storage (table entries per modeled quantity)");
+    println!("{:>4} {:>24} {:>16} {:>12}", "n", "full (4.1)", "pair matrix", "paper (2n)");
+    for r in rows {
+        println!("{:>4} {:>24} {:>16} {:>12}", r.n, r.full, r.pair_matrix, r.paper);
+    }
+    if let Some(m) = actual {
+        println!(
+            "characterized NAND{} model stores {} entries total (delay + transition + glitch)",
+            m.cell().input_count(),
+            m.table_entries()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_is_linear_and_full_is_exponential() {
+        let rows = run(8, 8, 8);
+        assert_eq!(rows.len(), 8);
+        // Paper scheme doubles when n doubles.
+        assert_eq!(rows[7].paper, 2 * rows[3].paper);
+        // Full model explodes: n=8 has 8 * 8^15 entries.
+        assert_eq!(rows[7].full, 8 * 8u128.pow(15));
+        // Ordering for n >= 3: full > matrix > paper.
+        for r in &rows[2..] {
+            assert!(r.full > r.pair_matrix && r.pair_matrix > r.paper, "n = {}", r.n);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Experiment harness for the proxim suite.
+//!
+//! Every table and figure in the paper's evaluation maps to one module here
+//! (see DESIGN.md §4 for the index); the `experiments` binary dispatches on
+//! experiment ids and prints the regenerated rows/series. The Criterion
+//! benches under `benches/` exercise the same code paths at reduced sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod baselines;
+pub mod env;
+pub mod fanin;
+pub mod fig1_2;
+pub mod fig2_1;
+pub mod fig3_3;
+pub mod fig4_2;
+pub mod fig6_1;
+pub mod path_validation;
+pub mod table5_1;
+
+pub use env::ExperimentEnv;

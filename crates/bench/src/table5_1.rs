@@ -1,0 +1,191 @@
+//! Table 5-1 and Figure 5-1: the paper's headline validation — the model
+//! against circuit simulation over randomly generated three-input
+//! configurations.
+//!
+//! Per §5 of the paper: the NAND3 is driven with falling inputs whose
+//! transition times are uniform in [50 ps, 2000 ps] and whose separations
+//! `s_ab`, `s_ac` are uniform in [−500 ps, +500 ps]; 100 configurations are
+//! generated, and the percentage errors of the model's delay and output
+//! rise time against simulation are summarized (mean / std-dev / max / min)
+//! and histogrammed.
+
+use crate::env::ExperimentEnv;
+use proxim_model::measure::InputEvent;
+use proxim_model::ModelError;
+use proxim_numeric::pwl::Edge;
+use proxim_numeric::{Histogram, Summary};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One random input configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Transition times of a, b, c, in seconds.
+    pub tau: [f64; 3],
+    /// Separations of b and c from a, in seconds.
+    pub s_ab: f64,
+    /// Separation of c from a, in seconds.
+    pub s_ac: f64,
+}
+
+/// Draws the paper's random population.
+pub fn population(count: usize, seed: u64) -> Vec<Config> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Config {
+            tau: [
+                rng.random_range(50e-12..2000e-12),
+                rng.random_range(50e-12..2000e-12),
+                rng.random_range(50e-12..2000e-12),
+            ],
+            s_ab: rng.random_range(-500e-12..500e-12),
+            s_ac: rng.random_range(-500e-12..500e-12),
+        })
+        .collect()
+}
+
+/// Builds the three falling input events of a configuration, with arrivals
+/// placed so `s_ab`/`s_ac` are exact separations in the paper's sense.
+pub fn events_for(env: &ExperimentEnv, cfg: &Config) -> [InputEvent; 3] {
+    let th = env.thresholds();
+    let e_a = InputEvent::new(0, Edge::Falling, 0.0, cfg.tau[0]);
+    let arrival_a = e_a.arrival(&th);
+    let place = |pin: usize, tau: f64, s: f64| {
+        let frac = InputEvent::new(pin, Edge::Falling, 0.0, tau).arrival(&th);
+        InputEvent::new(pin, Edge::Falling, arrival_a + s - frac, tau)
+    };
+    [e_a, place(1, cfg.tau[1], cfg.s_ab), place(2, cfg.tau[2], cfg.s_ac)]
+}
+
+/// The per-configuration comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// The configuration.
+    pub config: Config,
+    /// Delay percentage error (model vs simulation).
+    pub delay_err_pct: f64,
+    /// Output-transition-time percentage error.
+    pub trans_err_pct: f64,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table51 {
+    /// Per-configuration results.
+    pub comparisons: Vec<Comparison>,
+    /// Delay error summary (the table's first column).
+    pub delay: Summary,
+    /// Rise-time error summary (the table's second column).
+    pub rise_time: Summary,
+}
+
+/// Runs the validation over `count` random configurations.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a simulation or model query fails.
+pub fn run(env: &ExperimentEnv, count: usize, seed: u64) -> Result<Table51, ModelError> {
+    let sim = env.reference_simulator();
+    let th = env.thresholds();
+    let mut comparisons = Vec::with_capacity(count);
+
+    for cfg in population(count, seed) {
+        let events = events_for(env, &cfg);
+        let predicted = env.model.gate_timing(&events)?;
+        let r = sim.simulate(&events)?;
+        let k_ref = events
+            .iter()
+            .position(|e| e.pin == predicted.reference_pin)
+            .expect("reference pin is among the events");
+        let delay_sim = r.delay_from(k_ref, &th)?;
+        let trans_sim = r.transition_time(&th)?;
+        comparisons.push(Comparison {
+            config: cfg,
+            delay_err_pct: (predicted.delay - delay_sim) / delay_sim * 100.0,
+            trans_err_pct: (predicted.output_transition - trans_sim) / trans_sim * 100.0,
+        });
+    }
+
+    let delay = Summary::of(
+        &comparisons.iter().map(|c| c.delay_err_pct).collect::<Vec<_>>(),
+    );
+    let rise_time = Summary::of(
+        &comparisons.iter().map(|c| c.trans_err_pct).collect::<Vec<_>>(),
+    );
+    Ok(Table51 { comparisons, delay, rise_time })
+}
+
+/// Prints Table 5-1 alongside the paper's reported numbers.
+pub fn print(t: &Table51) {
+    println!("\nTable 5-1: model vs circuit simulation ({} configs)", t.comparisons.len());
+    println!("{:>12} {:>12} {:>12} {:>14} {:>14}", "quantity", "this repo", "", "paper", "");
+    println!("{:>12} {:>12} {:>12} {:>14} {:>14}", "", "delay", "rise time", "delay", "rise time");
+    let rows = [
+        ("mean %", t.delay.mean, t.rise_time.mean, 1.4, -1.33),
+        ("std-dev %", t.delay.std_dev, t.rise_time.std_dev, 2.46, 4.82),
+        ("max %", t.delay.max, t.rise_time.max, 8.54, 11.51),
+        ("min %", t.delay.min, t.rise_time.min, -6.94, -13.15),
+    ];
+    for (label, d, r, pd, pr) in rows {
+        println!("{label:>12} {d:>12.2} {r:>12.2} {pd:>14.2} {pr:>14.2}");
+    }
+}
+
+/// Builds the Figure 5-1 error histograms (2 % bins for delay, 3 % for the
+/// rise time, matching the wider tolerance the paper reports).
+pub fn histograms(t: &Table51) -> (Histogram, Histogram) {
+    let mut delay = Histogram::new(-12.0, 12.0, 12);
+    delay.extend(t.comparisons.iter().map(|c| c.delay_err_pct));
+    let mut trans = Histogram::new(-18.0, 18.0, 12);
+    trans.extend(t.comparisons.iter().map(|c| c.trans_err_pct));
+    (delay, trans)
+}
+
+/// Prints Figure 5-1 as text bar charts.
+pub fn print_histograms(t: &Table51) {
+    let (d, r) = histograms(t);
+    println!("\nFig 5-1(a): delay error distribution [%]");
+    print!("{}", d.to_bar_chart(40));
+    if d.underflow() + d.overflow() > 0 {
+        println!("(out of range: {} below, {} above)", d.underflow(), d.overflow());
+    }
+    println!("\nFig 5-1(b): rise-time error distribution [%]");
+    print!("{}", r.to_bar_chart(40));
+    if r.underflow() + r.overflow() > 0 {
+        println!("(out of range: {} below, {} above)", r.underflow(), r.overflow());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Fidelity;
+
+    #[test]
+    fn population_is_deterministic_and_in_range() {
+        let p1 = population(20, 7);
+        let p2 = population(20, 7);
+        assert_eq!(p1, p2);
+        for c in &p1 {
+            for &t in &c.tau {
+                assert!((50e-12..2000e-12).contains(&t));
+            }
+            assert!((-500e-12..500e-12).contains(&c.s_ab));
+            assert!((-500e-12..500e-12).contains(&c.s_ac));
+        }
+        assert_ne!(population(20, 8), p1, "different seeds differ");
+    }
+
+    #[test]
+    fn small_population_validates_within_loose_band() {
+        // Fast fidelity with 10 configs: errors stay within a loose band
+        // (the full-fidelity run in EXPERIMENTS.md tightens this).
+        let env = ExperimentEnv::new(Fidelity::Fast);
+        let t = run(&env, 10, 42).unwrap();
+        assert_eq!(t.comparisons.len(), 10);
+        assert!(t.delay.mean.abs() < 15.0, "delay mean {}", t.delay.mean);
+        assert!(t.delay.max < 40.0 && t.delay.min > -40.0);
+        let (d, _) = histograms(&t);
+        assert_eq!(d.total(), 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! CMOS standard-cell generators and technology descriptions.
+//!
+//! The paper's experiments run on a three-input CMOS NAND gate (Figure 1-1)
+//! simulated in HSPICE. This crate provides the equivalent substrate:
+//! a [`Technology`] (process parameters plus supply) and a [`Cell`]
+//! description — a pull-down network of NMOS devices whose dual pull-up
+//! network is derived automatically — that elaborates into a
+//! [`proxim_spice::Circuit`] netlist with per-node junction parasitics.
+//!
+//! # Example
+//!
+//! ```
+//! use proxim_cells::{Cell, Technology};
+//!
+//! let tech = Technology::demo_5v();
+//! let nand3 = Cell::nand(3);
+//! assert_eq!(nand3.input_count(), 3);
+//! // Logic check: output low only when all inputs are high.
+//! assert!(!nand3.output_for(&[true, true, true]));
+//! assert!(nand3.output_for(&[true, false, true]));
+//!
+//! // Elaborate a netlist with a 100 fF load.
+//! let net = nand3.netlist(&tech, 100e-15);
+//! let op = net.circuit.dc_op().expect("dc converges");
+//! assert!(op.voltage(net.out) > 0.9 * tech.vdd); // inputs default low -> output high
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod stimulus;
+pub mod tech;
+
+pub use cell::{Cell, CellNetlist, Network};
+pub use stimulus::InputRamp;
+pub use tech::Technology;

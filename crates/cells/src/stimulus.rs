@@ -1,0 +1,130 @@
+//! Stimulus construction for characterization and validation runs.
+//!
+//! The paper drives gate inputs with piecewise-linear ramps whose start
+//! times and transition times are precisely controlled ("in order to
+//! precisely control the separations and rise times of the inputs,
+//! piecewise-linear inputs were used", §5). [`InputRamp`] captures one such
+//! ramp and converts to a [`Waveform`].
+
+use proxim_numeric::pwl::Edge;
+use proxim_spice::circuit::Waveform;
+
+/// One controlled input ramp: direction, start time, and transition time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputRamp {
+    /// Transition direction.
+    pub edge: Edge,
+    /// Time at which the ramp leaves its initial rail, in seconds.
+    pub t_start: f64,
+    /// Full-swing (rail-to-rail) transition time, in seconds.
+    pub transition_time: f64,
+}
+
+impl InputRamp {
+    /// A rising ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition_time` is not strictly positive.
+    pub fn rising(t_start: f64, transition_time: f64) -> Self {
+        assert!(transition_time > 0.0, "transition time must be positive");
+        Self { edge: Edge::Rising, t_start, transition_time }
+    }
+
+    /// A falling ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition_time` is not strictly positive.
+    pub fn falling(t_start: f64, transition_time: f64) -> Self {
+        assert!(transition_time > 0.0, "transition time must be positive");
+        Self { edge: Edge::Falling, t_start, transition_time }
+    }
+
+    /// The rail the ramp starts from, for supply `vdd`.
+    pub fn v_from(&self, vdd: f64) -> f64 {
+        match self.edge {
+            Edge::Rising => 0.0,
+            Edge::Falling => vdd,
+        }
+    }
+
+    /// The rail the ramp ends at, for supply `vdd`.
+    pub fn v_to(&self, vdd: f64) -> f64 {
+        match self.edge {
+            Edge::Rising => vdd,
+            Edge::Falling => 0.0,
+        }
+    }
+
+    /// The time the ramp crosses voltage `v` (must lie between the rails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the ramp's voltage span.
+    pub fn crossing_time(&self, v: f64, vdd: f64) -> f64 {
+        let (v0, v1) = (self.v_from(vdd), self.v_to(vdd));
+        let frac = (v - v0) / (v1 - v0);
+        assert!((0.0..=1.0).contains(&frac), "voltage {v} outside ramp span");
+        self.t_start + frac * self.transition_time
+    }
+
+    /// Converts to a simulator stimulus for supply `vdd`.
+    pub fn waveform(&self, vdd: f64) -> Waveform {
+        Waveform::ramp(self.t_start, self.transition_time, self.v_from(vdd), self.v_to(vdd))
+    }
+
+    /// Returns the ramp delayed by `dt` (negative advances it).
+    pub fn delayed(mut self, dt: f64) -> Self {
+        self.t_start += dt;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rising_ramp_rails() {
+        let r = InputRamp::rising(1e-9, 0.5e-9);
+        assert_eq!(r.v_from(5.0), 0.0);
+        assert_eq!(r.v_to(5.0), 5.0);
+    }
+
+    #[test]
+    fn falling_ramp_rails() {
+        let r = InputRamp::falling(0.0, 1e-9);
+        assert_eq!(r.v_from(3.3), 3.3);
+        assert_eq!(r.v_to(3.3), 0.0);
+    }
+
+    #[test]
+    fn crossing_time_linear() {
+        let r = InputRamp::rising(1e-9, 1e-9);
+        assert!((r.crossing_time(2.5, 5.0) - 1.5e-9).abs() < 1e-15);
+        let f = InputRamp::falling(0.0, 2e-9);
+        assert!((f.crossing_time(2.5, 5.0) - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn waveform_matches_ramp() {
+        let r = InputRamp::rising(1e-9, 1e-9);
+        let w = r.waveform(5.0);
+        assert_eq!(w.value_at(0.5e-9), 0.0);
+        assert!((w.value_at(1.5e-9) - 2.5).abs() < 1e-9);
+        assert_eq!(w.value_at(3e-9), 5.0);
+    }
+
+    #[test]
+    fn delayed_shifts_start() {
+        let r = InputRamp::rising(1e-9, 1e-9).delayed(0.25e-9);
+        assert!((r.t_start - 1.25e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside ramp span")]
+    fn crossing_outside_span_panics() {
+        InputRamp::rising(0.0, 1e-9).crossing_time(6.0, 5.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Prior-art baselines the paper compares against (§1).
+//!
+//! - [`single_switching_timing`]: the classic timing-analysis assumption
+//!   that only one input switches at a time — the *causing* input (the one
+//!   whose transition logically completes the output transition) is found
+//!   and its single-input macromodel used verbatim. Proximity acceleration/
+//!   deceleration is ignored entirely.
+//! - [`CollapsedInverter`]: the series/parallel transistor-collapsing method
+//!   of Jun et al. \[8\] and Nabavi-Lishi & Rumin \[13\] — the multi-input gate
+//!   is reduced to an equivalent inverter (series devices divide the
+//!   effective width, parallel switching devices add), driven by an
+//!   equivalent input waveform (the causing input's ramp). Separations enter
+//!   only through the choice of that waveform, which is exactly the
+//!   shortcoming the paper identifies.
+
+use crate::error::ModelError;
+use crate::measure::{causing_rank, InputEvent, Scenario};
+use crate::model::{GateTiming, ProximityModel};
+use crate::single::SingleInputModel;
+use crate::thresholds::Thresholds;
+use proxim_cells::{Cell, Network, Technology};
+use proxim_numeric::pwl::Edge;
+use std::collections::HashMap;
+
+/// The classic single-input-switching timing model: the causing input's
+/// single-input delay and transition time, with all proximity interaction
+/// ignored.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the scenario is invalid or the causing pin has
+/// no characterized single-input model.
+pub fn single_switching_timing(
+    model: &ProximityModel,
+    events: &[InputEvent],
+) -> Result<GateTiming, ModelError> {
+    single_switching_timing_at_load(model, events, model.reference_load())
+}
+
+/// [`single_switching_timing`] at an explicit output load.
+///
+/// # Errors
+///
+/// Same conditions as [`single_switching_timing`].
+pub fn single_switching_timing_at_load(
+    model: &ProximityModel,
+    events: &[InputEvent],
+    c_load: f64,
+) -> Result<GateTiming, ModelError> {
+    let scenario = Scenario::resolve(model.cell(), events)?;
+    let causing = causing_rank(model.cell(), events, &scenario, model.thresholds())?;
+    let e = &events[causing.event_index];
+    let single = model.single_model(e.pin, e.edge()).ok_or_else(|| {
+        ModelError::InvalidQuery {
+            detail: format!("no single-input model for pin {} {}", e.pin, e.edge()),
+        }
+    })?;
+    let tau = e.transition_time();
+    let delay = single.delay(tau, c_load);
+    let trans = single.transition(tau, c_load);
+    let arrival = e.arrival(model.thresholds());
+    Ok(GateTiming {
+        reference_pin: e.pin,
+        delay,
+        output_transition: trans,
+        output_arrival: arrival + delay,
+        output_edge: scenario.output_edge,
+        inputs_in_window: 1,
+    })
+}
+
+/// Computes the effective width multiplier of a switch network by series/
+/// parallel conductance reduction, counting each switching or stable-ON
+/// device as one unit of conductance and stable-OFF devices as opens.
+///
+/// Returns `None` when the network is entirely blocked.
+fn conductance_units(net: &Network, on: &dyn Fn(usize) -> bool) -> Option<f64> {
+    match net {
+        Network::Input(i) => {
+            if on(*i) {
+                Some(1.0)
+            } else {
+                None
+            }
+        }
+        Network::Series(xs) => {
+            let mut inv_sum = 0.0;
+            for x in xs {
+                inv_sum += 1.0 / conductance_units(x, on)?;
+            }
+            Some(1.0 / inv_sum)
+        }
+        Network::Parallel(xs) => {
+            let g: f64 = xs
+                .iter()
+                .filter_map(|x| conductance_units(x, on))
+                .sum();
+            if g > 0.0 {
+                Some(g)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The collapse-to-inverter baseline, with a cache of characterized
+/// equivalent inverters (keyed by quantized effective widths).
+#[derive(Debug)]
+pub struct CollapsedInverter {
+    tech: Technology,
+    c_load: f64,
+    dv_max: f64,
+    tau_grid: Vec<f64>,
+    cache: HashMap<(u64, u64, bool), SingleInputModel>,
+}
+
+impl CollapsedInverter {
+    /// Creates a baseline evaluator; `tau_grid` controls the equivalent
+    /// inverter's characterization sweep.
+    pub fn new(tech: Technology, c_load: f64, dv_max: f64, tau_grid: Vec<f64>) -> Self {
+        Self { tech, c_load, dv_max, tau_grid, cache: HashMap::new() }
+    }
+
+    /// Evaluates the baseline on a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the scenario is invalid or the equivalent
+    /// inverter fails to characterize.
+    pub fn timing(
+        &mut self,
+        cell: &Cell,
+        thresholds: Thresholds,
+        events: &[InputEvent],
+    ) -> Result<GateTiming, ModelError> {
+        let scenario = Scenario::resolve(cell, events)?;
+        let causing = causing_rank(cell, events, &scenario, &thresholds)?;
+        let cause = &events[causing.event_index];
+
+        // Device states at the end of the scenario (all events completed).
+        let n = cell.input_count();
+        let mut final_levels = vec![false; n];
+        for (pin, lv) in scenario.stable_levels.iter().enumerate() {
+            if let Some(h) = lv {
+                final_levels[pin] = *h;
+            }
+        }
+        for e in events {
+            final_levels[e.pin] = e.edge() == Edge::Rising;
+        }
+
+        // Effective widths of the conducting network after the transition.
+        let pdn = cell.pdn();
+        let pun = pdn.dual();
+        let (wn_eff, wp_eff) = match scenario.output_edge {
+            Edge::Falling => {
+                let g = conductance_units(pdn, &|i| final_levels[i]).ok_or_else(|| {
+                    ModelError::InvalidQuery { detail: "pull-down never conducts".into() }
+                })?;
+                (cell.wn() * g, cell.wp())
+            }
+            Edge::Rising => {
+                let g = conductance_units(&pun, &|i| !final_levels[i]).ok_or_else(|| {
+                    ModelError::InvalidQuery { detail: "pull-up never conducts".into() }
+                })?;
+                (cell.wn(), cell.wp() * g)
+            }
+        };
+
+        let c_load = self.c_load;
+        let single = self.equivalent_inverter(wn_eff, wp_eff, cause.edge(), thresholds)?;
+        let tau = cause.transition_time();
+        let delay = single.delay(tau, c_load);
+        let trans = single.transition(tau, c_load);
+        let arrival = cause.arrival(&thresholds);
+        Ok(GateTiming {
+            reference_pin: cause.pin,
+            delay,
+            output_transition: trans,
+            output_arrival: arrival + delay,
+            output_edge: scenario.output_edge,
+            inputs_in_window: 1,
+        })
+    }
+
+    fn equivalent_inverter(
+        &mut self,
+        wn: f64,
+        wp: f64,
+        input_edge: Edge,
+        thresholds: Thresholds,
+    ) -> Result<&SingleInputModel, ModelError> {
+        let key = (
+            (wn * 1e12).round() as u64,
+            (wp * 1e12).round() as u64,
+            input_edge == Edge::Rising,
+        );
+        if !self.cache.contains_key(&key) {
+            let inv = Cell::inv().with_widths(wn, wp);
+            let sim = crate::characterize::Simulator::new(
+                &inv,
+                &self.tech,
+                thresholds,
+                self.c_load,
+                self.dv_max,
+            );
+            let model = SingleInputModel::characterize(&sim, 0, input_edge, &self.tau_grid)?;
+            self.cache.insert(key, model);
+        }
+        Ok(self.cache.get(&key).expect("just inserted"))
+    }
+
+    /// Number of distinct equivalent inverters characterized so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causing_event_for_rising_nand_inputs_is_last_arrival() {
+        let cell = Cell::nand(3);
+        let th = Thresholds::new(1.2, 3.4, 5.0);
+        let events = vec![
+            InputEvent::new(0, Edge::Rising, 0.3e-9, 100e-12),
+            InputEvent::new(1, Edge::Rising, 0.0, 100e-12),
+            InputEvent::new(2, Edge::Rising, 0.1e-9, 100e-12),
+        ];
+        let s = Scenario::resolve(&cell, &events).unwrap();
+        let c = causing_rank(&cell, &events, &s, &th).unwrap();
+        assert_eq!(c.rank, 3, "series stack completes with the last riser");
+        assert_eq!(events[c.event_index].pin, 0);
+    }
+
+    #[test]
+    fn causing_event_for_falling_nand_inputs_is_first_arrival() {
+        let cell = Cell::nand(3);
+        let th = Thresholds::new(1.2, 3.4, 5.0);
+        let events = vec![
+            InputEvent::new(0, Edge::Falling, 0.3e-9, 100e-12),
+            InputEvent::new(1, Edge::Falling, 0.0, 100e-12),
+        ];
+        let s = Scenario::resolve(&cell, &events).unwrap();
+        let c = causing_rank(&cell, &events, &s, &th).unwrap();
+        assert_eq!(c.rank, 1, "any falling input opens the pull-up");
+        assert_eq!(events[c.event_index].pin, 1);
+    }
+
+    #[test]
+    fn conductance_units_series_divides() {
+        let net = Network::Series(vec![
+            Network::Input(0),
+            Network::Input(1),
+            Network::Input(2),
+        ]);
+        let g = conductance_units(&net, &|_| true).unwrap();
+        assert!((g - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_units_parallel_adds_only_on_branches() {
+        let net = Network::Parallel(vec![Network::Input(0), Network::Input(1)]);
+        assert_eq!(conductance_units(&net, &|i| i == 0), Some(1.0));
+        assert_eq!(conductance_units(&net, &|_| true), Some(2.0));
+        assert_eq!(conductance_units(&net, &|_| false), None);
+    }
+
+    #[test]
+    fn conductance_units_aoi() {
+        // AOI21 PDN: (0 series 1) parallel 2.
+        let net = Network::Parallel(vec![
+            Network::Series(vec![Network::Input(0), Network::Input(1)]),
+            Network::Input(2),
+        ]);
+        // Both branches on: 0.5 + 1.
+        assert!((conductance_units(&net, &|_| true).unwrap() - 1.5).abs() < 1e-12);
+        // Only series branch: 0.5.
+        assert!(
+            (conductance_units(&net, &|i| i != 2).unwrap() - 0.5).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn collapsed_inverter_cache_reuses_models() {
+        let tech = Technology::demo_5v();
+        let th = Thresholds::new(1.2, 3.4, 5.0);
+        let mut base = CollapsedInverter::new(
+            tech,
+            100e-15,
+            0.12,
+            vec![150e-12, 600e-12, 1800e-12],
+        );
+        let cell = Cell::nand(2);
+        let events = vec![
+            InputEvent::new(0, Edge::Rising, 0.0, 300e-12),
+            InputEvent::new(1, Edge::Rising, 0.0, 300e-12),
+        ];
+        let t1 = base.timing(&cell, th, &events).unwrap();
+        assert_eq!(base.cache_len(), 1);
+        let t2 = base.timing(&cell, th, &events).unwrap();
+        assert_eq!(base.cache_len(), 1, "same widths hit the cache");
+        assert_eq!(t1.delay, t2.delay);
+        assert!(t1.delay > 0.0);
+        assert_eq!(t1.output_edge, Edge::Falling);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dominant-input identification (§3).
+//!
+//! The dominant input is **not** the one that switches first: it is the one
+//! whose *single-input output response* would cross the delay-measurement
+//! threshold first. For two inputs `a` (arriving first) and `b`, `b`
+//! dominates while `s_ab < Δ_az⁽¹⁾ − Δ_bz⁽¹⁾`; equivalently, inputs are
+//! ranked by `arrival + Δ⁽¹⁾`. The paper's relabeling step (Fig 4-1, step 1)
+//! is exactly a sort on that key.
+
+use crate::measure::InputEvent;
+
+/// An input event annotated with its arrival and single-input response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedEvent {
+    /// The underlying event.
+    pub event: InputEvent,
+    /// Arrival time at the input measurement threshold.
+    pub arrival: f64,
+    /// Single-input delay `Δ⁽¹⁾` for this pin/edge/τ.
+    pub d1: f64,
+    /// Single-input output transition time `τ⁽¹⁾`.
+    pub t1: f64,
+}
+
+impl RankedEvent {
+    /// The dominance key: the time the single-input output crossing would
+    /// occur (`arrival + Δ⁽¹⁾`). Smaller is more dominant.
+    pub fn crossing_time(&self) -> f64 {
+        self.arrival + self.d1
+    }
+}
+
+/// Sorts events by dominance (most dominant first).
+///
+/// Ties (identical crossing times) keep their original relative order, which
+/// mirrors the paper's observation that for identical simultaneous inputs
+/// "our algorithm will identify one of the inputs as the dominant one and
+/// proceed" — the correction term then absorbs the resulting error.
+pub fn rank_by_dominance(mut events: Vec<RankedEvent>) -> Vec<RankedEvent> {
+    events.sort_by(|a, b| {
+        a.crossing_time()
+            .partial_cmp(&b.crossing_time())
+            .expect("crossing times are finite")
+    });
+    events
+}
+
+/// Ranks events for a scenario with causing rank `k` (see
+/// [`crate::measure::causing_rank`]).
+///
+/// The paper derives dominance for parallel (OR-like) conduction, where the
+/// *earliest* single-input crossing dominates — that is `k = 1` and this
+/// reduces to [`rank_by_dominance`]. For series (AND-like) conduction the
+/// output is gated by the *latest* crossing (Fig. 1-2(c): delay decreases
+/// with separation for rising NAND inputs), so the dominant input is the
+/// latest crossing; generally the dominant is the `k`-th smallest crossing,
+/// and the remaining inputs are ordered by temporal closeness to it —
+/// closeness is what sets the strength of the proximity perturbation.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `1..=events.len()`.
+pub fn rank_for_scenario(events: Vec<RankedEvent>, k: usize) -> Vec<RankedEvent> {
+    assert!(k >= 1 && k <= events.len(), "causing rank out of range");
+    let sorted = rank_by_dominance(events);
+    if k == 1 {
+        return sorted;
+    }
+    let dom = sorted[k - 1];
+    let dom_cross = dom.crossing_time();
+    let mut rest: Vec<RankedEvent> = sorted
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| i != k - 1)
+        .map(|(_, e)| e)
+        .collect();
+    rest.sort_by(|a, b| {
+        let da = (a.crossing_time() - dom_cross).abs();
+        let db = (b.crossing_time() - dom_cross).abs();
+        da.partial_cmp(&db).expect("crossing times are finite")
+    });
+    let mut out = Vec::with_capacity(rest.len() + 1);
+    out.push(dom);
+    out.extend(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxim_numeric::pwl::Edge;
+
+    fn ev(pin: usize, arrival: f64, d1: f64) -> RankedEvent {
+        RankedEvent {
+            event: InputEvent::new(pin, Edge::Rising, arrival, 100e-12),
+            arrival,
+            d1,
+            t1: 100e-12,
+        }
+    }
+
+    #[test]
+    fn later_but_faster_input_dominates() {
+        // a arrives first but responds slowly; b arrives 50 ps later with a
+        // 200 ps faster response: b dominates (the paper's Figure 3-2).
+        let a = ev(0, 0.0, 500e-12);
+        let b = ev(1, 50e-12, 250e-12);
+        let ranked = rank_by_dominance(vec![a, b]);
+        assert_eq!(ranked[0].event.pin, 1);
+        assert_eq!(ranked[1].event.pin, 0);
+    }
+
+    #[test]
+    fn crossover_at_delay_difference() {
+        // Dominance flips exactly when s_ab = Δ_a - Δ_b.
+        let d_a = 500e-12;
+        let d_b = 250e-12;
+        let boundary = d_a - d_b;
+        let a = ev(0, 0.0, d_a);
+        let before = rank_by_dominance(vec![a, ev(1, boundary - 1e-15, d_b)]);
+        assert_eq!(before[0].event.pin, 1, "just inside: b still dominates");
+        let after = rank_by_dominance(vec![a, ev(1, boundary + 1e-15, d_b)]);
+        assert_eq!(after[0].event.pin, 0, "just past: a dominates");
+    }
+
+    #[test]
+    fn ties_preserve_input_order() {
+        let ranked = rank_by_dominance(vec![ev(2, 0.0, 100e-12), ev(7, 0.0, 100e-12)]);
+        assert_eq!(ranked[0].event.pin, 2);
+        assert_eq!(ranked[1].event.pin, 7);
+    }
+
+    #[test]
+    fn ranking_is_permutation_invariant() {
+        let evs = vec![ev(0, 0.0, 300e-12), ev(1, 100e-12, 100e-12), ev(2, 50e-12, 400e-12)];
+        let mut reversed = evs.clone();
+        reversed.reverse();
+        let r1: Vec<usize> =
+            rank_by_dominance(evs).iter().map(|r| r.event.pin).collect();
+        let r2: Vec<usize> =
+            rank_by_dominance(reversed).iter().map(|r| r.event.pin).collect();
+        assert_eq!(r1, r2);
+    }
+}

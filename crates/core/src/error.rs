@@ -1,0 +1,90 @@
+//! Error type for characterization and model evaluation.
+
+use proxim_spice::AnalysisError;
+use std::fmt;
+
+/// The error returned by characterization and model queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The underlying circuit simulation failed.
+    Simulation(AnalysisError),
+    /// A simulated waveform never crossed a measurement threshold.
+    MissingCrossing {
+        /// What was being measured.
+        what: String,
+    },
+    /// A VTC did not exhibit the expected unity-gain points.
+    MalformedVtc {
+        /// Which switching combination produced it.
+        detail: String,
+    },
+    /// The model was queried outside its characterized validity.
+    InvalidQuery {
+        /// Why the query is invalid.
+        detail: String,
+    },
+    /// Characterization produced an inconsistent table.
+    Table(String),
+    /// Saving or loading a characterized model failed.
+    Persist {
+        /// The underlying serialization or I/O failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Simulation(e) => write!(f, "simulation failed: {e}"),
+            Self::MissingCrossing { what } => {
+                write!(f, "waveform never crossed the measurement threshold while {what}")
+            }
+            Self::MalformedVtc { detail } => write!(f, "malformed VTC: {detail}"),
+            Self::InvalidQuery { detail } => write!(f, "invalid model query: {detail}"),
+            Self::Table(s) => write!(f, "characterization table error: {s}"),
+            Self::Persist { detail } => write!(f, "failed to persist model: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for ModelError {
+    fn from(e: AnalysisError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+impl From<proxim_numeric::interp::BuildTableError> for ModelError {
+    fn from(e: proxim_numeric::interp::BuildTableError) -> Self {
+        Self::Table(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::MissingCrossing { what: "measuring delay".into() };
+        assert!(e.to_string().contains("never crossed"));
+        let e = ModelError::InvalidQuery { detail: "no switching inputs".into() };
+        assert!(e.to_string().contains("invalid model query"));
+    }
+
+    #[test]
+    fn from_analysis_error_preserves_source() {
+        use std::error::Error;
+        let inner = AnalysisError::Singular { analysis: "op".into() };
+        let e = ModelError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

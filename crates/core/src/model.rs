@@ -1,0 +1,704 @@
+//! The characterized proximity model and its query API.
+//!
+//! [`ProximityModel::characterize`] runs the complete flow of the paper:
+//! VTC-family extraction and threshold selection (§2), single-input and
+//! dual-input macromodel construction (§3), the simultaneous-step correction
+//! term (§4), and optionally the glitch model (§6). The result answers
+//! timing queries for arbitrary multi-input switching scenarios via
+//! [`ProximityModel::gate_timing`].
+
+use crate::algorithm::{compose, CorrectionTerm};
+use crate::characterize::{CharacterizeOptions, Simulator};
+use crate::dominance::{rank_for_scenario, RankedEvent};
+use crate::dual::DualInputModel;
+use crate::error::ModelError;
+use crate::glitch::GlitchModel;
+use crate::measure::{InputEvent, Scenario};
+use crate::nldm::LoadSlewModel;
+use crate::single::SingleInputModel;
+use crate::thresholds::{extract_vtc_family, Thresholds, VtcFamily};
+use proxim_cells::{Cell, Technology};
+use proxim_numeric::pwl::Edge;
+
+/// The model's answer for one gate switching scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateTiming {
+    /// The input pin the delay is referenced to (the dominant input).
+    pub reference_pin: usize,
+    /// Propagation delay from that pin's threshold crossing, in seconds.
+    pub delay: f64,
+    /// Output transition time between `V_il` and `V_ih`, in seconds.
+    pub output_transition: f64,
+    /// Absolute output arrival time, in seconds.
+    pub output_arrival: f64,
+    /// The output transition direction.
+    pub output_edge: Edge,
+    /// Number of inputs that fell inside the proximity window.
+    pub inputs_in_window: usize,
+}
+
+fn eidx(edge: Edge) -> usize {
+    match edge {
+        Edge::Rising => 0,
+        Edge::Falling => 1,
+    }
+}
+
+/// A fully characterized temporal-proximity model for one cell.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ProximityModel {
+    cell: Cell,
+    tech: Technology,
+    thresholds: Thresholds,
+    vtc: VtcFamily,
+    c_ref: f64,
+    dv_max: f64,
+    /// `singles[pin][input-edge index]`.
+    singles: Vec<[Option<SingleInputModel>; 2]>,
+    /// `duals[pin][input-edge index]` — the paper's `2n` scheme.
+    duals: Vec<[Option<DualInputModel>; 2]>,
+    /// Extra pair models when the full matrix was requested (ablation).
+    extra_duals: Vec<DualInputModel>,
+    /// `corrections[output-edge index]`.
+    corrections: [CorrectionTerm; 2],
+    /// Calibrated full-swing ramp-stretch factors, by output-edge index
+    /// (see [`crate::calibrate`]).
+    ramp_stretch: [f64; 2],
+    /// Optional NLDM-style load-slew surfaces, `[pin][input-edge index]`.
+    nldm: Vec<[Option<LoadSlewModel>; 2]>,
+    /// Glitch models, at most one per causer edge.
+    glitches: Vec<GlitchModel>,
+}
+
+impl ProximityModel {
+    /// Characterizes a cell against the circuit simulator.
+    ///
+    /// This is the expensive call: it runs the VTC sweeps and every
+    /// characterization transient. With [`CharacterizeOptions::default`] on
+    /// a 3-input gate expect a few thousand transient analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any underlying simulation fails or a
+    /// table cannot be built.
+    pub fn characterize(
+        cell: &Cell,
+        tech: &Technology,
+        opts: &CharacterizeOptions,
+    ) -> Result<Self, ModelError> {
+        let n = cell.input_count();
+        let vtc = extract_vtc_family(cell, tech, opts.c_load, opts.vtc_points)?;
+        let thresholds = vtc.thresholds();
+        let sim = Simulator::new(cell, tech, thresholds, opts.c_load, opts.dv_max);
+
+        // Single-input macromodels for every sensitizable (pin, edge).
+        let mut singles: Vec<[Option<SingleInputModel>; 2]> = vec![[None, None]; n];
+        #[allow(clippy::needless_range_loop)] // pin is an identity, not an index walk
+        for pin in 0..n {
+            for edge in [Edge::Rising, Edge::Falling] {
+                let probe = [InputEvent::new(pin, edge, 0.0, opts.tau_grid[0])];
+                if Scenario::resolve(cell, &probe).is_ok() {
+                    singles[pin][eidx(edge)] = Some(SingleInputModel::characterize(
+                        &sim,
+                        pin,
+                        edge,
+                        &opts.tau_grid,
+                    )?);
+                }
+            }
+        }
+
+        // Dual-input macromodels: one partner per pin (the paper's 2n
+        // scheme), optionally the full matrix.
+        let mut duals: Vec<[Option<DualInputModel>; 2]> = vec![[None, None]; n];
+        let mut extra_duals = Vec::new();
+        if n >= 2 {
+            for pin in 0..n {
+                for edge in [Edge::Rising, Edge::Falling] {
+                    let Some(single) = singles[pin][eidx(edge)].as_ref() else {
+                        continue;
+                    };
+                    let partners: Vec<usize> =
+                        (1..n).map(|k| (pin + k) % n).collect();
+                    for (which, &partner) in partners.iter().enumerate() {
+                        let probe = [
+                            InputEvent::new(pin, edge, 0.0, opts.tau_grid[0]),
+                            InputEvent::new(partner, edge, 0.0, opts.tau_grid[0]),
+                        ];
+                        if Scenario::resolve(cell, &probe).is_err() {
+                            continue;
+                        }
+                        let m = DualInputModel::characterize(
+                            &sim,
+                            single,
+                            partner,
+                            &opts.dual_u_grid,
+                            &opts.dual_v_grid,
+                            &opts.dual_w_grid,
+                        )?;
+                        if which == 0 || duals[pin][eidx(edge)].is_none() {
+                            if duals[pin][eidx(edge)].is_none() {
+                                duals[pin][eidx(edge)] = Some(m);
+                            } else {
+                                extra_duals.push(m);
+                            }
+                        } else {
+                            extra_duals.push(m);
+                        }
+                        if !opts.full_pair_matrix {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut model = Self {
+            cell: cell.clone(),
+            tech: tech.clone(),
+            thresholds,
+            vtc,
+            c_ref: opts.c_load,
+            dv_max: opts.dv_max,
+            singles,
+            duals,
+            extra_duals,
+            corrections: [CorrectionTerm::default(); 2],
+            ramp_stretch: [1.0; 2],
+            nldm: Vec::new(),
+            glitches: Vec::new(),
+        };
+
+        // Optional NLDM-style load-slew surfaces (beyond the paper's fixed
+        // load form; see crate::nldm for why).
+        if let Some(load_grid) = &opts.load_grid {
+            let mut nldm: Vec<[Option<LoadSlewModel>; 2]> = vec![[None, None]; n];
+            #[allow(clippy::needless_range_loop)] // pin is an identity, not an index walk
+            for pin in 0..n {
+                for edge in [Edge::Rising, Edge::Falling] {
+                    if model.singles[pin][eidx(edge)].is_none() {
+                        continue;
+                    }
+                    nldm[pin][eidx(edge)] = Some(LoadSlewModel::characterize(
+                        &sim,
+                        pin,
+                        edge,
+                        &opts.tau_grid,
+                        load_grid,
+                    )?);
+                }
+            }
+            model.nldm = nldm;
+        }
+
+        // Driver-receiver ramp-stretch calibration: a two-stage self-chain
+        // per input edge pins down the equivalent full-swing ramp the next
+        // stage actually sees (used by netlist timing).
+        for input_edge in [Edge::Rising, Edge::Falling] {
+            let Some(single_a) = model.singles[0][eidx(input_edge)].as_ref() else {
+                continue;
+            };
+            let out_edge = single_a.output_edge;
+            let Some(single_b) = model.singles[0][eidx(out_edge)].as_ref() else {
+                continue;
+            };
+            if let Ok(f) = crate::calibrate::calibrate_stretch(
+                cell,
+                tech,
+                &thresholds,
+                input_edge,
+                single_a,
+                single_b,
+                opts.c_load,
+                opts.dv_max,
+            ) {
+                model.ramp_stretch[eidx(out_edge)] = f;
+            }
+        }
+
+        // Correction terms (§4): difference between simulation and the
+        // uncorrected composition when near-step signals hit all inputs
+        // simultaneously. The fastest characterized τ stands in for the
+        // paper's step input so the single-input tables stay in range.
+        if n >= 2 {
+            let tau_step = opts
+                .tau_grid
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            for edge in [Edge::Rising, Edge::Falling] {
+                let events: Vec<InputEvent> =
+                    (0..n).map(|p| InputEvent::new(p, edge, 0.0, tau_step)).collect();
+                if Scenario::resolve(cell, &events).is_err() {
+                    continue;
+                }
+                let model_t =
+                    match model.gate_timing_opts(&events, opts.c_load, false) {
+                        Ok(t) => t,
+                        Err(_) => continue,
+                    };
+                let r = sim.simulate(&events)?;
+                let k_ref = events
+                    .iter()
+                    .position(|e| e.pin == model_t.reference_pin)
+                    .expect("reference pin comes from the events");
+                let d_sim = r.delay_from(k_ref, &thresholds)?;
+                let t_sim = r.transition_time(&thresholds)?;
+                model.corrections[eidx(r.output_edge)] = CorrectionTerm {
+                    delay: d_sim - model_t.delay,
+                    trans: t_sim - model_t.output_transition,
+                };
+            }
+        }
+
+        // Glitch models (§6): causer pin 1 / blocker pin 0 when available,
+        // matching the paper's a/b labeling on the NAND.
+        if opts.glitch && n >= 2 {
+            let (causer, blocker) = (1usize.min(n - 1), 0usize);
+            for edge in [Edge::Rising, Edge::Falling] {
+                let Some(single) = model.singles[causer][eidx(edge)].clone() else {
+                    continue;
+                };
+                let g = GlitchModel::characterize(
+                    &sim,
+                    &single,
+                    blocker,
+                    &opts.glitch_u_grid,
+                    &opts.glitch_v_grid,
+                    &opts.glitch_w_grid,
+                )?;
+                model.glitches.push(g);
+            }
+        }
+
+        Ok(model)
+    }
+
+    /// Computes the gate timing for a multi-input switching scenario at the
+    /// characterized reference load, with the correction term applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuery`] for empty/mixed-edge scenarios
+    /// or pins without characterized models.
+    pub fn gate_timing(&self, events: &[InputEvent]) -> Result<GateTiming, ModelError> {
+        self.gate_timing_opts(events, self.c_ref, true)
+    }
+
+    /// [`ProximityModel::gate_timing`] at an explicit output load.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProximityModel::gate_timing`].
+    pub fn gate_timing_at_load(
+        &self,
+        events: &[InputEvent],
+        c_load: f64,
+    ) -> Result<GateTiming, ModelError> {
+        self.gate_timing_opts(events, c_load, true)
+    }
+
+    /// Full-control variant: explicit load and correction toggle (the
+    /// correction ablation of DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuery`] for empty or mixed-edge
+    /// scenarios, or when a switching pin has no characterized model.
+    pub fn gate_timing_opts(
+        &self,
+        events: &[InputEvent],
+        c_load: f64,
+        use_correction: bool,
+    ) -> Result<GateTiming, ModelError> {
+        let scenario = Scenario::resolve(&self.cell, events)?;
+        self.gate_timing_scenario(events, &scenario, c_load, use_correction)
+    }
+
+    /// Gate timing with *known* stable-pin levels, as in netlist timing
+    /// where non-switching pins carry actual circuit values (see
+    /// [`Scenario::from_levels`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuery`] if the output does not flip
+    /// under the given levels, edges are mixed, or models are missing.
+    pub fn gate_timing_with_levels(
+        &self,
+        events: &[InputEvent],
+        stable_levels: &[Option<bool>],
+        c_load: f64,
+    ) -> Result<GateTiming, ModelError> {
+        let scenario = Scenario::from_levels(&self.cell, events, stable_levels)?;
+        self.gate_timing_scenario(events, &scenario, c_load, true)
+    }
+
+    fn gate_timing_scenario(
+        &self,
+        events: &[InputEvent],
+        scenario: &Scenario,
+        c_load: f64,
+        use_correction: bool,
+    ) -> Result<GateTiming, ModelError> {
+        let edge = events[0].edge();
+        if events.iter().any(|e| e.edge() != edge) {
+            return Err(ModelError::InvalidQuery {
+                detail: "proximity timing requires all inputs to switch the same way \
+                         (use the glitch model for opposing transitions)"
+                    .into(),
+            });
+        }
+
+        // Near the reference load, the paper's dimensionless tables are
+        // exact at their characterization points; far from it, the
+        // fixed-load form drops the junction-to-load group and the NLDM
+        // surfaces (when characterized) are the accurate source of
+        // Δ⁽¹⁾/τ⁽¹⁾ (see crate::nldm).
+        let off_reference = !(0.7..=1.4).contains(&(c_load / self.c_ref));
+        let mut ranked = Vec::with_capacity(events.len());
+        for e in events {
+            let single = self.single_model(e.pin, edge).ok_or_else(|| {
+                ModelError::InvalidQuery {
+                    detail: format!("no single-input model for pin {} {edge}", e.pin),
+                }
+            })?;
+            let tau = e.transition_time();
+            let (d1, t1) = match self.load_slew_model(e.pin, edge) {
+                Some(nldm) if off_reference => {
+                    (nldm.delay(tau, c_load), nldm.transition(tau, c_load))
+                }
+                _ => (single.delay(tau, c_load), single.transition(tau, c_load)),
+            };
+            ranked.push(RankedEvent {
+                event: *e,
+                arrival: e.arrival(&self.thresholds),
+                d1,
+                t1,
+            });
+        }
+        // Conduction style: rank 1 (first arrival flips the output) is the
+        // paper's OR-like case; higher ranks gate the output on later
+        // arrivals (AND-like) and rank accordingly.
+        let causing =
+            crate::measure::causing_rank(&self.cell, events, scenario, &self.thresholds)?;
+        let or_like = causing.rank == 1;
+        let ranked = rank_for_scenario(ranked, causing.rank);
+
+        // Pair-aware lookup: prefer an exact (dominant, partner) model when
+        // the full matrix was characterized, fall back to the paper's 2n
+        // scheme (one model per dominant pin).
+        let lookup = |dom: usize, partner: usize| -> Option<&DualInputModel> {
+            self.dual_model_for_pair(dom, partner, edge)
+                .or_else(|| self.duals.get(dom)?.get(eidx(edge))?.as_ref())
+        };
+        let correction = self.corrections[eidx(scenario.output_edge)];
+        let outcome = compose(&ranked, &lookup, correction, use_correction, or_like);
+
+        Ok(GateTiming {
+            reference_pin: outcome.reference_pin,
+            delay: outcome.delay,
+            output_transition: outcome.trans,
+            output_arrival: outcome.output_arrival,
+            output_edge: scenario.output_edge,
+            inputs_in_window: outcome.inputs_in_window,
+        })
+    }
+
+    /// The cell this model describes.
+    pub fn cell(&self) -> &Cell {
+        &self.cell
+    }
+
+    /// The technology the model was characterized in.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The selected measurement thresholds.
+    pub fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    /// The extracted VTC family (for reporting, as in Fig. 2-1).
+    pub fn vtc_family(&self) -> &VtcFamily {
+        &self.vtc
+    }
+
+    /// The load the model was characterized at.
+    pub fn reference_load(&self) -> f64 {
+        self.c_ref
+    }
+
+    /// The transient accuracy knob used during characterization.
+    pub fn dv_max(&self) -> f64 {
+        self.dv_max
+    }
+
+    /// The single-input macromodel for `(pin, input edge)`, if characterized.
+    pub fn single_model(&self, pin: usize, edge: Edge) -> Option<&SingleInputModel> {
+        self.singles.get(pin)?.get(eidx(edge))?.as_ref()
+    }
+
+    /// The NLDM-style load-slew surface for `(pin, input edge)`, when the
+    /// characterization requested one (`CharacterizeOptions::load_grid`).
+    pub fn load_slew_model(&self, pin: usize, edge: Edge) -> Option<&LoadSlewModel> {
+        self.nldm.get(pin)?.get(eidx(edge))?.as_ref()
+    }
+
+    /// The dual-input macromodel whose dominant pin is `pin`, if
+    /// characterized.
+    pub fn dual_model(&self, pin: usize, edge: Edge) -> Option<&DualInputModel> {
+        self.duals.get(pin)?.get(eidx(edge))?.as_ref()
+    }
+
+    /// The characterized correction term for an output edge.
+    pub fn correction(&self, output_edge: Edge) -> CorrectionTerm {
+        self.corrections[eidx(output_edge)]
+    }
+
+    /// The glitch model whose causer switches with `causer_edge`, if
+    /// characterized.
+    pub fn glitch_model(&self, causer_edge: Edge) -> Option<&GlitchModel> {
+        self.glitches.iter().find(|g| g.causer_edge == causer_edge)
+    }
+
+    /// The calibrated full-swing ramp-stretch factor for outputs
+    /// transitioning with `output_edge`: how much longer the equivalent
+    /// linear ramp seen by a downstream stage is than the linear
+    /// extrapolation of the threshold-to-threshold transition time
+    /// (driver-receiver calibrated; see [`crate::calibrate`]). 1.0 when the
+    /// calibration chain could not be built.
+    pub fn tail_factor(&self, output_edge: Edge) -> f64 {
+        self.ramp_stretch[eidx(output_edge)]
+    }
+
+    /// The mean measured 5-95 % edge tail factor for outputs transitioning
+    /// with `output_edge` (see [`SingleInputModel::tail_factor`]) — the
+    /// physical upper bound on [`ProximityModel::tail_factor`].
+    pub fn measured_tail_factor(&self, output_edge: Edge) -> f64 {
+        let factors: Vec<f64> = self
+            .singles
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|m| m.output_edge == output_edge)
+            .map(|m| m.tail_factor())
+            .collect();
+        if factors.is_empty() {
+            1.0
+        } else {
+            factors.iter().sum::<f64>() / factors.len() as f64
+        }
+    }
+
+    /// Extra dual models characterized under the full-matrix option.
+    pub fn extra_dual_models(&self) -> &[DualInputModel] {
+        &self.extra_duals
+    }
+
+    /// The exact-pair dual model for `(dominant, partner)`, if the full
+    /// matrix was characterized (checks the primary slot and the extras).
+    pub fn dual_model_for_pair(
+        &self,
+        dominant: usize,
+        partner: usize,
+        edge: Edge,
+    ) -> Option<&DualInputModel> {
+        if self.extra_duals.is_empty() {
+            return None;
+        }
+        if let Some(m) = self.duals.get(dominant)?.get(eidx(edge))?.as_ref() {
+            if m.partner == partner {
+                return Some(m);
+            }
+        }
+        self.extra_duals
+            .iter()
+            .find(|m| m.pin == dominant && m.partner == partner && m.input_edge == edge)
+    }
+
+    /// Total stored table entries across all macromodels — the storage cost
+    /// this model actually pays (Fig. 4-2 accounting).
+    pub fn table_entries(&self) -> usize {
+        let s: usize = self
+            .singles
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|m| m.table_len())
+            .sum();
+        let d: usize = self
+            .duals
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|m| m.table_len())
+            .sum();
+        let x: usize = self.extra_duals.iter().map(|m| m.table_len()).sum();
+        let g: usize = self.glitches.iter().map(|m| m.table_len()).sum();
+        let l: usize = self
+            .nldm
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|m| m.table_len())
+            .sum();
+        s + d + x + g + l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_model() -> ProximityModel {
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast()).unwrap()
+    }
+
+    #[test]
+    fn characterized_model_has_all_parts() {
+        let m = quick_model();
+        for pin in 0..2 {
+            for edge in [Edge::Rising, Edge::Falling] {
+                assert!(m.single_model(pin, edge).is_some(), "single {pin} {edge}");
+                assert!(m.dual_model(pin, edge).is_some(), "dual {pin} {edge}");
+            }
+        }
+        assert!(m.table_entries() > 0);
+        // NAND thresholds: V_il below mid-rail, V_ih above.
+        let th = m.thresholds();
+        assert!(th.v_il < 2.5 && th.v_ih > 2.5, "{th:?}");
+    }
+
+    #[test]
+    fn single_event_matches_single_model() {
+        let m = quick_model();
+        let e = InputEvent::new(0, Edge::Rising, 0.0, 400e-12);
+        let t = m.gate_timing(&[e]).unwrap();
+        let single = m.single_model(0, Edge::Rising).unwrap();
+        assert!((t.delay - single.delay(400e-12, m.reference_load())).abs() < 1e-18);
+        assert_eq!(t.output_edge, Edge::Falling);
+        assert_eq!(t.inputs_in_window, 1);
+    }
+
+    #[test]
+    fn far_separation_falling_degenerates_to_dominant_single() {
+        // OR-like (falling inputs): a partner arriving far outside the
+        // proximity window has exactly no effect.
+        let m = quick_model();
+        let events = [
+            InputEvent::new(0, Edge::Falling, 0.0, 400e-12),
+            InputEvent::new(1, Edge::Falling, 50e-9, 400e-12),
+        ];
+        let t = m.gate_timing(&events).unwrap();
+        let alone = m.gate_timing(&[events[0]]).unwrap();
+        assert_eq!(t.inputs_in_window, 1);
+        assert_eq!(t.reference_pin, 0);
+        assert!((t.delay - alone.delay).abs() < 1e-15);
+    }
+
+    #[test]
+    fn far_separation_rising_references_the_late_input() {
+        // AND-like (rising inputs): the output is gated by the last-arriving
+        // input; with 50 ns of separation the early partner is fully on and
+        // the timing approaches the late input's single-input response.
+        let m = quick_model();
+        let events = [
+            InputEvent::new(0, Edge::Rising, 0.0, 400e-12),
+            InputEvent::new(1, Edge::Rising, 50e-9, 400e-12),
+        ];
+        let t = m.gate_timing(&events).unwrap();
+        assert_eq!(t.reference_pin, 1, "late riser is the reference");
+        let alone = m.gate_timing(&[events[1]]).unwrap();
+        let rel = (t.output_arrival - 50e-9 - alone.delay
+            - events[1].arrival(m.thresholds())
+            + 50e-9)
+            .abs()
+            / alone.delay;
+        // Table-corner clamping leaves a small residual; 10% is ample.
+        assert!(rel < 0.10, "relative deviation {rel}");
+    }
+
+    #[test]
+    fn model_tracks_simulation_for_simultaneous_inputs() {
+        let m = quick_model();
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        let sim = Simulator::new(&cell, &tech, *m.thresholds(), m.reference_load(), 0.08);
+        let events = [
+            InputEvent::new(0, Edge::Rising, 0.0, 500e-12),
+            InputEvent::new(1, Edge::Rising, 0.0, 500e-12),
+        ];
+        let predicted = m.gate_timing(&events).unwrap();
+        let r = sim.simulate(&events).unwrap();
+        let k = events
+            .iter()
+            .position(|e| e.pin == predicted.reference_pin)
+            .unwrap();
+        let measured = r.delay_from(k, m.thresholds()).unwrap();
+        let err = (predicted.delay - measured).abs() / measured;
+        assert!(
+            err < 0.10,
+            "model {} vs sim {} ({}% error)",
+            predicted.delay,
+            measured,
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn mixed_edges_are_rejected() {
+        let m = quick_model();
+        let events = [
+            InputEvent::new(0, Edge::Rising, 0.0, 400e-12),
+            InputEvent::new(1, Edge::Falling, 0.0, 400e-12),
+        ];
+        assert!(matches!(
+            m.gate_timing(&events),
+            Err(ModelError::InvalidQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn delay_positive_across_wild_scenarios() {
+        // The §2 property: with min-V_il / max-V_ih thresholds, delay is
+        // positive for any separations and transition times.
+        let m = quick_model();
+        for &(s, tau0, tau1) in &[
+            (0.0, 100e-12, 1500e-12),
+            (-400e-12, 1500e-12, 100e-12),
+            (300e-12, 800e-12, 800e-12),
+            (-1000e-12, 200e-12, 1900e-12),
+        ] {
+            for edge in [Edge::Rising, Edge::Falling] {
+                let events = [
+                    InputEvent::new(0, edge, 0.0, tau0),
+                    InputEvent::new(1, edge, s, tau1),
+                ];
+                let t = m.gate_timing(&events).unwrap();
+                assert!(
+                    t.delay > 0.0,
+                    "negative delay for s={s} tau=({tau0},{tau1}) {edge}: {}",
+                    t.delay
+                );
+                assert!(t.output_transition > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_characterizes_without_duals() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let m =
+            ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast()).unwrap();
+        assert!(m.single_model(0, Edge::Rising).is_some());
+        assert!(m.dual_model(0, Edge::Rising).is_none());
+        let t = m
+            .gate_timing(&[InputEvent::new(0, Edge::Rising, 0.0, 300e-12)])
+            .unwrap();
+        assert!(t.delay > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Model persistence.
+//!
+//! Characterization costs thousands of transient analyses; the resulting
+//! [`ProximityModel`] is plain data (tables, thresholds, VTC curves) and is
+//! serialized to JSON so a library can be characterized once and shipped —
+//! the moral equivalent of a `.lib` file in a conventional flow.
+
+use crate::error::ModelError;
+use crate::model::ProximityModel;
+use std::fs;
+use std::path::Path;
+
+impl ProximityModel {
+    /// Serializes the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Persist`] if serialization fails (it cannot for
+    /// a well-formed model; the variant exists for forward compatibility).
+    pub fn to_json(&self) -> Result<String, ModelError> {
+        serde_json::to_string(self).map_err(|e| ModelError::Persist { detail: e.to_string() })
+    }
+
+    /// Deserializes a model from JSON produced by [`ProximityModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Persist`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, ModelError> {
+        serde_json::from_str(text).map_err(|e| ModelError::Persist { detail: e.to_string() })
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Persist`] on serialization or I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
+        fs::write(path.as_ref(), self.to_json()?)
+            .map_err(|e| ModelError::Persist { detail: e.to_string() })
+    }
+
+    /// Loads a model from a file written by [`ProximityModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Persist`] on I/O or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelError> {
+        let text = fs::read_to_string(path.as_ref())
+            .map_err(|e| ModelError::Persist { detail: e.to_string() })?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::CharacterizeOptions;
+    use crate::measure::InputEvent;
+    use proxim_cells::{Cell, Technology};
+    use proxim_numeric::pwl::Edge;
+
+    #[test]
+    fn json_roundtrip_preserves_every_answer() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        let opts = CharacterizeOptions { glitch: true, ..CharacterizeOptions::fast() };
+        let model = ProximityModel::characterize(&cell, &tech, &opts).unwrap();
+
+        let json = model.to_json().unwrap();
+        let back = ProximityModel::from_json(&json).unwrap();
+
+        assert_eq!(model.thresholds(), back.thresholds());
+        assert_eq!(model.table_entries(), back.table_entries());
+        for &(s, tau_a, tau_b) in
+            &[(0.0, 400e-12, 400e-12), (150e-12, 800e-12, 200e-12), (-300e-12, 120e-12, 1700e-12)]
+        {
+            for edge in [Edge::Rising, Edge::Falling] {
+                let events = [
+                    InputEvent::new(0, edge, 0.0, tau_a),
+                    InputEvent::new(1, edge, s, tau_b),
+                ];
+                let a = model.gate_timing(&events).unwrap();
+                let b = back.gate_timing(&events).unwrap();
+                // JSON float parsing may differ in the last ULP.
+                let close = |x: f64, y: f64| (x - y).abs() <= 1e-12 * x.abs().max(y.abs());
+                assert!(close(a.delay, b.delay), "{edge} s={s}: {} vs {}", a.delay, b.delay);
+                assert!(close(a.output_transition, b.output_transition));
+                assert_eq!(a.reference_pin, b.reference_pin);
+            }
+        }
+        // Glitch model survives too.
+        assert_eq!(
+            model.glitch_model(Edge::Rising).is_some(),
+            back.glitch_model(Edge::Rising).is_some()
+        );
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let model =
+            ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast()).unwrap();
+        let dir = std::env::temp_dir().join("proxim_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inv_model.json");
+        model.save(&path).unwrap();
+        let back = ProximityModel::load(&path).unwrap();
+        assert_eq!(model.thresholds(), back.thresholds());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let e = ProximityModel::from_json("{not json").unwrap_err();
+        assert!(matches!(e, ModelError::Persist { .. }));
+        assert!(e.to_string().contains("persist"));
+    }
+
+    #[test]
+    fn load_missing_file_is_reported() {
+        let e = ProximityModel::load("/nonexistent/path/model.json").unwrap_err();
+        assert!(matches!(e, ModelError::Persist { .. }));
+    }
+}

@@ -1,0 +1,222 @@
+//! Model validation against the circuit simulator.
+//!
+//! The paper validates its macromodels by comparing against HSPICE over
+//! randomly generated input configurations (§5). [`validate`] packages that
+//! flow for any characterized model: generate scenarios, simulate, query the
+//! model, and summarize percentage errors — so downstream users can qualify
+//! their own cells the way Table 5-1 qualifies the NAND3.
+
+use crate::characterize::Simulator;
+use crate::error::ModelError;
+use crate::measure::InputEvent;
+use crate::model::ProximityModel;
+use proxim_numeric::pwl::Edge;
+use proxim_numeric::Summary;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Controls for a validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateOptions {
+    /// Number of random configurations.
+    pub configs: usize,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+    /// Input transition-time range, in seconds.
+    pub tau_range: (f64, f64),
+    /// Separation range (each non-reference input vs. the first), in
+    /// seconds.
+    pub separation_range: (f64, f64),
+    /// Input edge for all switching inputs.
+    pub edge: Edge,
+    /// How many inputs switch per scenario (clamped to the cell fan-in).
+    pub switching_inputs: usize,
+    /// Golden-simulation accuracy knob.
+    pub dv_max: f64,
+}
+
+impl Default for ValidateOptions {
+    /// The paper's §5 setup: 100 configs, τ ∈ [50 ps, 2000 ps],
+    /// s ∈ [−500 ps, +500 ps], falling inputs, all pins switching.
+    fn default() -> Self {
+        Self {
+            configs: 100,
+            seed: 1996,
+            tau_range: (50e-12, 2000e-12),
+            separation_range: (-500e-12, 500e-12),
+            edge: Edge::Falling,
+            switching_inputs: usize::MAX,
+            dv_max: 0.03,
+        }
+    }
+}
+
+/// One validated configuration.
+#[derive(Debug, Clone)]
+pub struct ValidatedConfig {
+    /// The events that were applied.
+    pub events: Vec<InputEvent>,
+    /// Simulated delay (relative to the model's reference pin), in seconds.
+    pub delay_sim: f64,
+    /// Model delay, in seconds.
+    pub delay_model: f64,
+    /// Simulated output transition time, in seconds.
+    pub trans_sim: f64,
+    /// Model output transition time, in seconds.
+    pub trans_model: f64,
+}
+
+impl ValidatedConfig {
+    /// Delay percentage error.
+    pub fn delay_err_pct(&self) -> f64 {
+        (self.delay_model - self.delay_sim) / self.delay_sim * 100.0
+    }
+
+    /// Transition-time percentage error.
+    pub fn trans_err_pct(&self) -> f64 {
+        (self.trans_model - self.trans_sim) / self.trans_sim * 100.0
+    }
+}
+
+/// The result of a validation run.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Per-configuration detail.
+    pub configs: Vec<ValidatedConfig>,
+    /// Delay-error summary, in percent.
+    pub delay: Summary,
+    /// Transition-time-error summary, in percent.
+    pub trans: Summary,
+}
+
+impl ValidationReport {
+    /// The worst absolute delay error, in percent.
+    pub fn worst_delay_err_pct(&self) -> f64 {
+        self.delay.max.abs().max(self.delay.min.abs())
+    }
+}
+
+/// Validates a characterized model against fresh golden simulations.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a scenario cannot be resolved or a simulation
+/// fails.
+///
+/// # Panics
+///
+/// Panics if `opts.configs == 0` or a range is inverted.
+pub fn validate(model: &ProximityModel, opts: &ValidateOptions) -> Result<ValidationReport, ModelError> {
+    assert!(opts.configs > 0, "validation needs at least one configuration");
+    assert!(opts.tau_range.0 < opts.tau_range.1, "tau range inverted");
+    assert!(
+        opts.separation_range.0 <= opts.separation_range.1,
+        "separation range inverted"
+    );
+    let n = model.cell().input_count().min(opts.switching_inputs.max(1));
+    let th = *model.thresholds();
+    let sim = Simulator::new(
+        model.cell(),
+        model.tech(),
+        th,
+        model.reference_load(),
+        opts.dv_max,
+    );
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut configs = Vec::with_capacity(opts.configs);
+
+    for _ in 0..opts.configs {
+        let tau0 = rng.random_range(opts.tau_range.0..opts.tau_range.1);
+        let e0 = InputEvent::new(0, opts.edge, 0.0, tau0);
+        let arrival0 = e0.arrival(&th);
+        let mut events = vec![e0];
+        for pin in 1..n {
+            let tau = rng.random_range(opts.tau_range.0..opts.tau_range.1);
+            let s = if opts.separation_range.0 == opts.separation_range.1 {
+                opts.separation_range.0
+            } else {
+                rng.random_range(opts.separation_range.0..opts.separation_range.1)
+            };
+            let frac = InputEvent::new(pin, opts.edge, 0.0, tau).arrival(&th);
+            events.push(InputEvent::new(pin, opts.edge, arrival0 + s - frac, tau));
+        }
+
+        let predicted = model.gate_timing(&events)?;
+        let r = sim.simulate(&events)?;
+        let k = events
+            .iter()
+            .position(|e| e.pin == predicted.reference_pin)
+            .expect("reference pin is among the events");
+        let delay_sim = r.delay_from(k, &th)?;
+        let trans_sim = r.transition_time(&th)?;
+        configs.push(ValidatedConfig {
+            events,
+            delay_sim,
+            delay_model: predicted.delay,
+            trans_sim,
+            trans_model: predicted.output_transition,
+        });
+    }
+
+    let delay = Summary::of(&configs.iter().map(|c| c.delay_err_pct()).collect::<Vec<_>>());
+    let trans = Summary::of(&configs.iter().map(|c| c.trans_err_pct()).collect::<Vec<_>>());
+    Ok(ValidationReport { configs, delay, trans })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::CharacterizeOptions;
+    use proxim_cells::{Cell, Technology};
+
+    #[test]
+    fn validation_runs_and_is_reproducible() {
+        let tech = Technology::demo_5v();
+        let model =
+            ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
+                .unwrap();
+        let opts = ValidateOptions { configs: 5, dv_max: 0.08, ..ValidateOptions::default() };
+        let a = validate(&model, &opts).unwrap();
+        let b = validate(&model, &opts).unwrap();
+        assert_eq!(a.configs.len(), 5);
+        assert_eq!(a.delay.mean, b.delay.mean, "same seed, same report");
+        assert!(a.worst_delay_err_pct() < 50.0, "fast fidelity sanity band");
+    }
+
+    #[test]
+    fn rising_edge_validation_also_works() {
+        let tech = Technology::demo_5v();
+        let model =
+            ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
+                .unwrap();
+        let opts = ValidateOptions {
+            configs: 4,
+            edge: Edge::Rising,
+            dv_max: 0.08,
+            ..ValidateOptions::default()
+        };
+        let r = validate(&model, &opts).unwrap();
+        assert_eq!(r.configs.len(), 4);
+        for c in &r.configs {
+            assert!(c.delay_sim > 0.0 && c.delay_model > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_switching_input_validation() {
+        let tech = Technology::demo_5v();
+        let model =
+            ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
+                .unwrap();
+        let opts = ValidateOptions {
+            configs: 4,
+            switching_inputs: 1,
+            dv_max: 0.08,
+            ..ValidateOptions::default()
+        };
+        let r = validate(&model, &opts).unwrap();
+        // Single-input queries hit the characterization points' own law:
+        // errors stay small even at fast fidelity.
+        assert!(r.worst_delay_err_pct() < 10.0, "{:?}", r.delay);
+    }
+}

@@ -1,0 +1,197 @@
+//! Linear least-squares fitting.
+//!
+//! The paper remarks that "closed form analytical forms for these
+//! macromodels do exist" (§3). [`polyfit`] and [`lstsq`] provide the
+//! machinery to fit such forms to characterization data; the analytic
+//! macromodel backend in `proxim-model` builds on them.
+
+use crate::linalg::Matrix;
+use std::fmt;
+
+/// The error returned when a fit is under-determined or singular.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    what: String,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "least-squares fit failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Solves the linear least-squares problem `min ||A x - b||₂` through the
+/// normal equations `AᵀA x = Aᵀb`.
+///
+/// `rows` holds the design matrix row by row; every row must have the same
+/// length (the number of coefficients).
+///
+/// # Errors
+///
+/// Returns [`FitError`] if there are fewer rows than coefficients or the
+/// normal matrix is singular (collinear basis functions).
+pub fn lstsq(rows: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, FitError> {
+    let m = rows.len();
+    if m == 0 {
+        return Err(FitError { what: "no data points".into() });
+    }
+    let n = rows[0].len();
+    if n == 0 {
+        return Err(FitError { what: "no basis functions".into() });
+    }
+    if m < n {
+        return Err(FitError {
+            what: format!("{m} points cannot determine {n} coefficients"),
+        });
+    }
+    if b.len() != m {
+        return Err(FitError { what: "rhs length mismatch".into() });
+    }
+    let mut ata = Matrix::zeros(n, n);
+    let mut atb = vec![0.0; n];
+    for (row, &y) in rows.iter().zip(b) {
+        if row.len() != n {
+            return Err(FitError { what: "ragged design matrix".into() });
+        }
+        for i in 0..n {
+            atb[i] += row[i] * y;
+            for j in 0..n {
+                ata.add(i, j, row[i] * row[j]);
+            }
+        }
+    }
+    ata.solve(&atb).map_err(|e| FitError { what: e.to_string() })
+}
+
+/// Fits a polynomial of the given `degree` to `(x, y)` samples, returning
+/// coefficients in ascending order (`c[0] + c[1] x + ...`).
+///
+/// # Errors
+///
+/// Returns [`FitError`] if there are fewer than `degree + 1` samples or the
+/// abscissae are degenerate.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError { what: "xs/ys length mismatch".into() });
+    }
+    let rows: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|&x| {
+            let mut row = Vec::with_capacity(degree + 1);
+            let mut p = 1.0;
+            for _ in 0..=degree {
+                row.push(p);
+                p *= x;
+            }
+            row
+        })
+        .collect();
+    lstsq(&rows, ys)
+}
+
+/// Evaluates a polynomial with ascending coefficients at `x` (Horner).
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// The coefficient of determination `R²` of predictions against truth.
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than the
+/// mean.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or of different lengths.
+pub fn r_squared(truth: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty sample");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyfit_recovers_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|k| k as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - 3.0 * x + 0.5 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-9);
+        assert!((c[1] + 3.0).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyfit_least_squares_on_noisy_line() {
+        // Symmetric noise around y = x leaves the slope at 1.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.1, 0.9, 2.1, 2.9];
+        let c = polyfit(&xs, &ys, 1).unwrap();
+        assert!((c[1] - 0.96).abs() < 0.05, "slope {}", c[1]);
+    }
+
+    #[test]
+    fn polyval_matches_direct_evaluation() {
+        let c = [1.0, -2.0, 3.0];
+        for x in [-1.0, 0.0, 0.5, 2.0] {
+            let direct = 1.0 - 2.0 * x + 3.0 * x * x;
+            assert!((polyval(&c, x) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lstsq_rejects_underdetermined() {
+        let rows = vec![vec![1.0, 2.0]];
+        assert!(lstsq(&rows, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn lstsq_rejects_collinear_basis() {
+        let rows = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        assert!(lstsq(&rows, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn lstsq_multivariate_plane() {
+        // z = 1 + 2x - y over a grid.
+        let mut rows = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let (x, y) = (i as f64, j as f64);
+                rows.push(vec![1.0, x, y]);
+                b.push(1.0 + 2.0 * x - y);
+            }
+        }
+        let c = lstsq(&rows, &b).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-9);
+        assert!((c[1] - 2.0).abs() < 1e-9);
+        assert!((c[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&y, &y), 1.0);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&y, &mean_pred).abs() < 1e-12);
+    }
+}

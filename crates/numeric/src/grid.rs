@@ -1,0 +1,139 @@
+//! Sample-grid construction for characterization sweeps.
+
+/// `n` linearly spaced samples covering `[lo, hi]` inclusive.
+///
+/// For `n == 1` the single sample is `lo`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let g = proxim_numeric::grid::linspace(0.0, 1.0, 5);
+/// assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "linspace requires at least one sample");
+    if n == 1 {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+/// `n` logarithmically spaced samples covering `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or if `lo` or `hi` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// let g = proxim_numeric::grid::logspace(1.0, 100.0, 3);
+/// assert!((g[1] - 10.0).abs() < 1e-12);
+/// ```
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > 0.0, "logspace requires positive bounds");
+    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+}
+
+/// Locates `x` in a sorted grid, returning the index `i` of the left edge of
+/// the containing cell, clamped to `[0, grid.len() - 2]`.
+///
+/// Out-of-range `x` selects the first or last cell, which gives clamped
+/// extrapolation when combined with clamped interpolation weights.
+///
+/// # Panics
+///
+/// Panics if the grid has fewer than two points.
+pub fn locate(grid: &[f64], x: f64) -> usize {
+    assert!(grid.len() >= 2, "locate requires at least two grid points");
+    match grid.binary_search_by(|g| g.partial_cmp(&x).expect("grid values must not be NaN")) {
+        Ok(i) => i.min(grid.len() - 2),
+        Err(0) => 0,
+        Err(i) => (i - 1).min(grid.len() - 2),
+    }
+}
+
+/// The clamped interpolation weight of `x` within cell `i` of `grid`:
+/// 0 at the left edge, 1 at the right edge, clamped outside.
+pub fn cell_weight(grid: &[f64], i: usize, x: f64) -> f64 {
+    let (a, b) = (grid[i], grid[i + 1]);
+    if b == a {
+        return 0.0;
+    }
+    ((x - a) / (b - a)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_exact() {
+        let g = linspace(-2.0, 3.0, 11);
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], -2.0);
+        assert!((g[10] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_single_point() {
+        assert_eq!(linspace(4.0, 9.0, 1), vec![4.0]);
+    }
+
+    #[test]
+    fn linspace_reverse_direction() {
+        let g = linspace(1.0, 0.0, 3);
+        assert_eq!(g, vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn linspace_zero_panics() {
+        linspace(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let g = logspace(1e-12, 1e-9, 4);
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bounds")]
+    fn logspace_rejects_nonpositive() {
+        logspace(0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn locate_interior_and_edges() {
+        let g = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(locate(&g, -5.0), 0);
+        assert_eq!(locate(&g, 0.0), 0);
+        assert_eq!(locate(&g, 0.5), 0);
+        assert_eq!(locate(&g, 1.0), 1);
+        assert_eq!(locate(&g, 2.7), 2);
+        assert_eq!(locate(&g, 3.0), 2);
+        assert_eq!(locate(&g, 99.0), 2);
+    }
+
+    #[test]
+    fn cell_weight_clamps() {
+        let g = [0.0, 2.0];
+        assert_eq!(cell_weight(&g, 0, -1.0), 0.0);
+        assert_eq!(cell_weight(&g, 0, 1.0), 0.5);
+        assert_eq!(cell_weight(&g, 0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn cell_weight_degenerate_cell() {
+        let g = [1.0, 1.0];
+        assert_eq!(cell_weight(&g, 0, 1.0), 0.0);
+    }
+}

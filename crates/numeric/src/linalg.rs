@@ -1,0 +1,373 @@
+//! Dense matrices and LU factorization with partial pivoting.
+//!
+//! The circuits in this workspace are small (a handful of transistors), so a
+//! dense row-major matrix with `O(n^3)` LU is the right tool: it is simple,
+//! cache-friendly at these sizes, and has no failure modes beyond genuine
+//! singularity.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use proxim_numeric::linalg::Matrix;
+///
+/// let mut a = Matrix::zeros(2, 2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 4.0;
+/// let lu = a.lu().expect("diagonal matrix is nonsingular");
+/// let x = lu.solve(&[2.0, 8.0]);
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major nested slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "row {i} has inconsistent length");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `v` to entry `(i, j)` — the fundamental MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is out of bounds.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self[(i, j)] += v;
+    }
+
+    /// Matrix-vector product `A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// LU-factorizes the matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot smaller than `1e-300` in
+    /// magnitude is encountered, i.e. the matrix is numerically singular.
+    pub fn lu(&self) -> Result<LuFactors, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "LU requires a square matrix");
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(SingularMatrixError { pivot_index: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let f = lu[i * n + k] / pivot;
+                lu[i * n + k] = f;
+                if f != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= f * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm, sign })
+    }
+
+    /// Convenience: factorize and solve `A x = b` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        Ok(self.lu()?.solve(b))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The error returned when LU factorization encounters a zero pivot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// The elimination step at which the pivot vanished.
+    pub pivot_index: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular at pivot {}", self.pivot_index)
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// The result of LU factorization: `P A = L U` stored compactly.
+///
+/// Obtained from [`Matrix::lu`]; reusable for multiple right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    #[allow(clippy::needless_range_loop)] // textbook substitution indexing
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch in solve");
+        let n = self.n;
+        // Apply the permutation, then forward-substitute through L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back-substitute through U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// The determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = a.solve(&[1.0, 2.0]).unwrap_err();
+        assert_eq!(err.pivot_index, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn determinant_of_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, 5.0], &[0.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        assert!((lu.det() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_flips_with_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = a.lu().unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factors_reusable_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 4.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let lu = a.lu().unwrap();
+        for b in [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [5.0, -3.0, 2.0]] {
+            let x = lu.solve(&b);
+            assert!(residual_norm(&a, &x, &b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add(0, 0, 1.5);
+        a.add(0, 0, 2.5);
+        assert_eq!(a[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut a = Matrix::identity(3);
+        a.clear();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn random_well_conditioned_systems_solve_accurately() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = next();
+                }
+                // Diagonal dominance keeps the system well conditioned.
+                a[(i, i)] += n as f64;
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = a.solve(&b).unwrap();
+            assert!(residual_norm(&a, &x, &b) < 1e-10, "n = {n}");
+        }
+    }
+}

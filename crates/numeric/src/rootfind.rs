@@ -1,0 +1,225 @@
+//! Bracketing root finders.
+//!
+//! Used throughout the suite to refine threshold crossings on simulated
+//! waveforms and to locate the unity-gain (`dVout/dVin = -1`) points and the
+//! switching threshold `V_m` on voltage-transfer curves.
+
+use std::fmt;
+
+/// The error returned when a root finder is given an invalid bracket or
+/// fails to converge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootFindError {
+    /// `f(a)` and `f(b)` have the same sign, so no root is bracketed.
+    NoBracket {
+        /// `f` at the left end of the candidate bracket.
+        fa: f64,
+        /// `f` at the right end of the candidate bracket.
+        fb: f64,
+    },
+    /// The iteration limit was reached before the tolerance was met.
+    NoConvergence {
+        /// The best estimate when iteration stopped.
+        best: f64,
+    },
+}
+
+impl fmt::Display for RootFindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoBracket { fa, fb } => {
+                write!(f, "no sign change in bracket: f(a) = {fa:.3e}, f(b) = {fb:.3e}")
+            }
+            Self::NoConvergence { best } => {
+                write!(f, "root finder failed to converge (best estimate {best:.6e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootFindError {}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Robust but linearly convergent; used as the fallback when Brent's method
+/// is not warranted.
+///
+/// # Errors
+///
+/// Returns [`RootFindError::NoBracket`] if `f(a)` and `f(b)` have the same
+/// strict sign.
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    xtol: f64,
+) -> Result<f64, RootFindError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootFindError::NoBracket { fa, fb });
+    }
+    // 200 halvings shrink any f64 interval below resolution.
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        if (b - a).abs() <= xtol {
+            return Ok(m);
+        }
+        let fm = f(m);
+        if fm == 0.0 {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation guarded by bisection).
+///
+/// # Errors
+///
+/// Returns [`RootFindError::NoBracket`] if the bracket is invalid, or
+/// [`RootFindError::NoConvergence`] after 100 iterations.
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    a0: f64,
+    b0: f64,
+    xtol: f64,
+) -> Result<f64, RootFindError> {
+    let (mut a, mut b) = (a0, b0);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootFindError::NoBracket { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..100 {
+        if fb == 0.0 || (b - a).abs() < xtol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let within = (lo.min(b)..=lo.max(b)).contains(&s);
+        let step_ok = if mflag {
+            (s - b).abs() < 0.5 * (b - c).abs()
+        } else {
+            (s - b).abs() < 0.5 * d.abs()
+        };
+        if !within || !step_ok {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c - b;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootFindError::NoConvergence { best: b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_linear() {
+        let r = bisect(|x| x - 1.5, 0.0, 4.0, 1e-12).unwrap();
+        assert!((r - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_no_bracket() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12).unwrap_err();
+        assert!(matches!(err, RootFindError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn brent_polynomial() {
+        // x^3 - 2x - 5 has a root near 2.0945514815.
+        let r = brent(|x| x * x * x - 2.0 * x - 5.0, 2.0, 3.0, 1e-14).unwrap();
+        assert!((r - 2.0945514815423265).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14).unwrap();
+        assert!((r - 0.7390851332151607).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_steep_function() {
+        // Steep exponential: tests the interpolation guards.
+        let r = brent(|x| (20.0 * x).exp() - 1000.0, 0.0, 1.0, 1e-13).unwrap();
+        assert!((r - 1000f64.ln() / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_reports_missing_bracket() {
+        let err = brent(|x| x * x + 1.0, -2.0, 2.0, 1e-12).unwrap_err();
+        assert!(err.to_string().contains("no sign change"));
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_shared_problem() {
+        let f = |x: f64| x.exp() - 2.0;
+        let rb = brent(f, 0.0, 2.0, 1e-13).unwrap();
+        let ri = bisect(f, 0.0, 2.0, 1e-13).unwrap();
+        assert!((rb - ri).abs() < 1e-10);
+        assert!((rb - std::f64::consts::LN_2).abs() < 1e-10);
+    }
+}

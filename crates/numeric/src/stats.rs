@@ -1,0 +1,232 @@
+//! Summary statistics and histograms for experimental validation.
+//!
+//! Table 5-1 of the paper reports the mean, standard deviation, maximum and
+//! minimum of the percentage error over 100 random configurations, and
+//! Figure 5-1 shows the error distribution as bar charts. [`Summary`] and
+//! [`Histogram`] regenerate both.
+
+use std::fmt;
+
+/// Mean / standard deviation / extrema of a sample, in the format of the
+/// paper's Table 5-1.
+///
+/// # Example
+///
+/// ```
+/// use proxim_numeric::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n - 1` denominator; 0 for `n < 2`).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-finite values.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of empty sample");
+        assert!(samples.iter().all(|v| v.is_finite()), "summary of non-finite sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { n, mean, std_dev: var.sqrt(), min, max }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n = {}, mean = {:.2}, std-dev = {:.2}, max = {:.2}, min = {:.2}",
+            self.n, self.mean, self.std_dev, self.max, self.min
+        )
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi]` with overflow/underflow tracking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    underflow: usize,
+    overflow: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            // The top edge belongs to the last bin so that `hi` itself counts.
+            if x == self.hi {
+                *self.counts.last_mut().expect("bins is nonzero") += 1;
+            } else {
+                self.overflow += 1;
+            }
+            return;
+        }
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        let i = (((x - self.lo) / w) as usize).min(bins - 1);
+        self.counts[i] += 1;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> usize {
+        self.underflow
+    }
+
+    /// Samples above the range.
+    pub fn overflow(&self) -> usize {
+        self.overflow
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Total number of samples, including under/overflow.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.underflow + self.overflow
+    }
+
+    /// Renders a textual bar chart in the style of Figure 5-1.
+    pub fn to_bar_chart(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (a, b) = self.bin_edges(i);
+            let bar = "#".repeat(c * width / peak);
+            out.push_str(&format!("[{a:>7.2}, {b:>7.2}) {c:>4} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std-dev with n-1 denominator.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn summary_display_format() {
+        let s = Summary::of(&[1.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("mean = 2.00"));
+        assert!(text.contains("n = 2"));
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.0, 1.9, 2.0, 5.5, 9.99, 10.0]);
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 2]);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_under_overflow() {
+        let mut h = Histogram::new(-1.0, 1.0, 2);
+        h.extend([-5.0, 0.0, 3.0, -1.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn histogram_bar_chart_renders() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.extend([0.5, 0.6, 1.5]);
+        let chart = h.to_bar_chart(10);
+        assert!(chart.lines().count() == 2);
+        assert!(chart.contains("##"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_range() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+}

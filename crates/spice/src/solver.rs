@@ -1,0 +1,395 @@
+//! Shared Newton–Raphson machinery: residual/Jacobian assembly over the MNA
+//! unknown vector, and the damped Newton iteration used by every analysis.
+//!
+//! The unknown vector is `x = [v_1 .. v_{N-1}, i_1 .. i_M]`: the non-ground
+//! node voltages followed by the branch currents of the `M` voltage sources.
+//! Assembly builds the KCL residual `f(x)` (net current leaving each node,
+//! plus one voltage-constraint row per source) and its Jacobian, and Newton
+//! iterates `x += clamp(-J^{-1} f)`.
+
+use crate::circuit::{Circuit, Element};
+use crate::device::eval_mosfet;
+use proxim_numeric::linalg::Matrix;
+use std::fmt;
+
+/// The error returned when an analysis fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// Newton–Raphson did not converge.
+    NoConvergence {
+        /// Which analysis failed ("dc operating point", "transient step", ...).
+        analysis: String,
+        /// Additional context (time point, sweep value, ...).
+        detail: String,
+    },
+    /// The linearized system was singular.
+    Singular {
+        /// Which analysis failed.
+        analysis: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoConvergence { analysis, detail } => {
+                write!(f, "{analysis} failed to converge ({detail})")
+            }
+            Self::Singular { analysis } => {
+                write!(f, "{analysis} produced a singular system")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// How capacitors contribute to the residual.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CapMode<'a> {
+    /// DC: capacitors are open circuits.
+    Dc,
+    /// Transient with a companion model: `i = geq * (v - v_prev) + i_hist`.
+    ///
+    /// `hist` holds per-capacitor `(v_prev, i_prev)` in element order
+    /// (entries for non-capacitor elements are unused).
+    Tran {
+        /// `geq` multiplier: `C / h` for backward Euler, `2C / h` for
+        /// trapezoidal.
+        geq_per_farad: f64,
+        /// Weight of the previous capacitor current in the new current:
+        /// 0 for backward Euler, -1 for trapezoidal... stored as the
+        /// additive term coefficient: `i = geq dv + trap_coeff * i_prev`.
+        trap_coeff: f64,
+        /// Per-element `(v_prev, i_prev)` history.
+        hist: &'a [(f64, f64)],
+    },
+}
+
+/// Analysis context shared by assembly and the Newton driver.
+pub(crate) struct System<'a> {
+    pub ckt: &'a Circuit,
+    /// Number of non-ground nodes.
+    pub nv: usize,
+    /// Total unknowns (`nv + n_vsources`).
+    pub n: usize,
+}
+
+impl<'a> System<'a> {
+    pub fn new(ckt: &'a Circuit) -> Self {
+        let nv = ckt.node_count() - 1;
+        Self { ckt, nv, n: nv + ckt.vsource_count() }
+    }
+
+    /// Voltage of `node` under unknown vector `x` (ground = 0).
+    #[inline]
+    pub fn v(&self, x: &[f64], node: crate::circuit::NodeId) -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            x[node.index() - 1]
+        }
+    }
+
+    /// Row/column index for a node, or `None` for ground.
+    #[inline]
+    fn ni(&self, node: crate::circuit::NodeId) -> Option<usize> {
+        if node.index() == 0 {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Assembles the residual `f` and Jacobian `jac` at `x`.
+    ///
+    /// `t` is the source evaluation time; `src_scale` scales all source
+    /// values (used by source stepping); `gmin` is the conductance tied from
+    /// every node to ground; `caps` selects the capacitor companion model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        &self,
+        x: &[f64],
+        t: f64,
+        src_scale: f64,
+        gmin: f64,
+        caps: CapMode<'_>,
+        f: &mut [f64],
+        jac: &mut Matrix,
+    ) {
+        f.fill(0.0);
+        jac.clear();
+
+        // gmin from every non-ground node to ground.
+        for i in 0..self.nv {
+            f[i] += gmin * x[i];
+            jac.add(i, i, gmin);
+        }
+
+        for (ei, e) in self.ckt.elements.iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    let i = g * (self.v(x, *a) - self.v(x, *b));
+                    self.stamp_conductance_pair(*a, *b, g, i, f, jac);
+                }
+                Element::Capacitor { a, b, farads } => match caps {
+                    CapMode::Dc => {}
+                    CapMode::Tran { geq_per_farad, trap_coeff, hist } => {
+                        let geq = geq_per_farad * farads;
+                        let (v_prev, i_prev) = hist[ei];
+                        let dv = self.v(x, *a) - self.v(x, *b);
+                        let i = geq * (dv - v_prev) + trap_coeff * i_prev;
+                        self.stamp_conductance_pair(*a, *b, geq, i, f, jac);
+                    }
+                },
+                Element::ISource { plus, minus, wave } => {
+                    let i = src_scale * wave.value_at(t);
+                    if let Some(p) = self.ni(*plus) {
+                        f[p] += i;
+                    }
+                    if let Some(m) = self.ni(*minus) {
+                        f[m] -= i;
+                    }
+                }
+                Element::VSource { plus, minus, wave, branch } => {
+                    let row = self.nv + branch;
+                    let i_branch = x[row];
+                    // Branch current leaves `plus`, enters `minus`.
+                    if let Some(p) = self.ni(*plus) {
+                        f[p] += i_branch;
+                        jac.add(p, row, 1.0);
+                        jac.add(row, p, 1.0);
+                    }
+                    if let Some(m) = self.ni(*minus) {
+                        f[m] -= i_branch;
+                        jac.add(m, row, -1.0);
+                        jac.add(row, m, -1.0);
+                    }
+                    f[row] = self.v(x, *plus) - self.v(x, *minus)
+                        - src_scale * wave.value_at(t);
+                }
+                Element::Mosfet { mos_type, d, g, s, b, params, beta } => {
+                    let st = eval_mosfet(
+                        *mos_type,
+                        params,
+                        *beta,
+                        self.v(x, *d),
+                        self.v(x, *g),
+                        self.v(x, *s),
+                        self.v(x, *b),
+                    );
+                    // Current i_d enters the drain, leaves the source.
+                    if let Some(di) = self.ni(*d) {
+                        f[di] += st.i_d;
+                        for (node, gg) in
+                            [(*d, st.g_d), (*g, st.g_g), (*s, st.g_s), (*b, st.g_b)]
+                        {
+                            if let Some(ci) = self.ni(node) {
+                                jac.add(di, ci, gg);
+                            }
+                        }
+                    }
+                    if let Some(si) = self.ni(*s) {
+                        f[si] -= st.i_d;
+                        for (node, gg) in
+                            [(*d, st.g_d), (*g, st.g_g), (*s, st.g_s), (*b, st.g_b)]
+                        {
+                            if let Some(ci) = self.ni(node) {
+                                jac.add(si, ci, -gg);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stamps a two-terminal branch with current `i` (from `a` to `b`) and
+    /// small-signal conductance `g`.
+    fn stamp_conductance_pair(
+        &self,
+        a: crate::circuit::NodeId,
+        b: crate::circuit::NodeId,
+        g: f64,
+        i: f64,
+        f: &mut [f64],
+        jac: &mut Matrix,
+    ) {
+        if let Some(ai) = self.ni(a) {
+            f[ai] += i;
+            jac.add(ai, ai, g);
+            if let Some(bi) = self.ni(b) {
+                jac.add(ai, bi, -g);
+            }
+        }
+        if let Some(bi) = self.ni(b) {
+            f[bi] -= i;
+            jac.add(bi, bi, g);
+            if let Some(ai) = self.ni(a) {
+                jac.add(bi, ai, -g);
+            }
+        }
+    }
+}
+
+/// Newton iteration options.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonOptions {
+    /// Convergence tolerance on the voltage update, in volts.
+    pub vtol: f64,
+    /// Convergence tolerance on the KCL residual, in amperes.
+    pub itol: f64,
+    /// Per-iteration clamp on each voltage update, in volts.
+    pub vstep_limit: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self { vtol: 1e-9, itol: 1e-9, vstep_limit: 1.0, max_iter: 120 }
+    }
+}
+
+/// Outcome of a Newton solve.
+pub(crate) enum NewtonOutcome {
+    /// Converged; holds the solution and the iteration count.
+    Converged(Vec<f64>, usize),
+    /// Did not converge within the iteration budget.
+    Failed,
+}
+
+/// Runs damped Newton–Raphson from `x0`.
+pub(crate) fn newton_solve(
+    sys: &System<'_>,
+    x0: &[f64],
+    t: f64,
+    src_scale: f64,
+    gmin: f64,
+    caps: CapMode<'_>,
+    opts: &NewtonOptions,
+) -> NewtonOutcome {
+    let n = sys.n;
+    let mut x = x0.to_vec();
+    let mut f = vec![0.0; n];
+    let mut jac = Matrix::zeros(n, n);
+
+    for iter in 0..opts.max_iter {
+        sys.assemble(&x, t, src_scale, gmin, caps, &mut f, &mut jac);
+        let lu = match jac.lu() {
+            Ok(lu) => lu,
+            Err(_) => return NewtonOutcome::Failed,
+        };
+        let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
+        let dx = lu.solve(&neg_f);
+
+        let mut max_dv = 0.0f64;
+        for i in 0..n {
+            // Clamp voltage updates; branch currents are left unclamped.
+            let step = if i < sys.nv {
+                dx[i].clamp(-opts.vstep_limit, opts.vstep_limit)
+            } else {
+                dx[i]
+            };
+            x[i] += step;
+            if i < sys.nv {
+                max_dv = max_dv.max(dx[i].abs());
+            }
+        }
+        let max_res = f.iter().take(sys.nv).fold(0.0f64, |m, v| m.max(v.abs()));
+        if max_dv < opts.vtol && max_res < opts.itol {
+            return NewtonOutcome::Converged(x, iter + 1);
+        }
+    }
+    NewtonOutcome::Failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+
+    #[test]
+    fn resistor_divider_assembly_is_consistent() {
+        // Vdd -- R1 -- mid -- R2 -- gnd, solved by hand: v_mid = 2.5.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", vdd, Circuit::GND, Waveform::Dc(5.0));
+        ckt.resistor("R1", vdd, mid, 1e3);
+        ckt.resistor("R2", mid, Circuit::GND, 1e3);
+
+        let sys = System::new(&ckt);
+        let x0 = vec![0.0; sys.n];
+        match newton_solve(&sys, &x0, 0.0, 1.0, 1e-12, CapMode::Dc, &NewtonOptions::default())
+        {
+            NewtonOutcome::Converged(x, _) => {
+                assert!((sys.v(&x, vdd) - 5.0).abs() < 1e-8);
+                assert!((sys.v(&x, mid) - 2.5).abs() < 1e-6);
+                // Source branch current = -5/2k (current flows out of +).
+                assert!((x[sys.nv] + 2.5e-3).abs() < 1e-8);
+            }
+            NewtonOutcome::Failed => panic!("linear circuit must converge"),
+        }
+    }
+
+    #[test]
+    fn kcl_residual_vanishes_at_solution() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::Dc(2.0));
+        ckt.resistor("R1", a, b, 100.0);
+        ckt.resistor("R2", b, Circuit::GND, 300.0);
+
+        let sys = System::new(&ckt);
+        let x0 = vec![0.0; sys.n];
+        let x = match newton_solve(
+            &sys,
+            &x0,
+            0.0,
+            1.0,
+            1e-12,
+            CapMode::Dc,
+            &NewtonOptions::default(),
+        ) {
+            NewtonOutcome::Converged(x, _) => x,
+            NewtonOutcome::Failed => panic!("must converge"),
+        };
+        let mut f = vec![0.0; sys.n];
+        let mut jac = Matrix::zeros(sys.n, sys.n);
+        sys.assemble(&x, 0.0, 1.0, 1e-12, CapMode::Dc, &mut f, &mut jac);
+        for (i, v) in f.iter().enumerate().take(sys.nv) {
+            assert!(v.abs() < 1e-9, "residual row {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn source_scale_scales_the_solution() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::Dc(4.0));
+        ckt.resistor("R1", a, Circuit::GND, 1e3);
+        let sys = System::new(&ckt);
+        let x0 = vec![0.0; sys.n];
+        match newton_solve(&sys, &x0, 0.0, 0.5, 1e-12, CapMode::Dc, &NewtonOptions::default())
+        {
+            NewtonOutcome::Converged(x, _) => {
+                assert!((sys.v(&x, a) - 2.0).abs() < 1e-8);
+            }
+            NewtonOutcome::Failed => panic!("must converge"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AnalysisError::NoConvergence {
+            analysis: "dc operating point".into(),
+            detail: "gmin exhausted".into(),
+        };
+        assert!(e.to_string().contains("failed to converge"));
+        let s = AnalysisError::Singular { analysis: "transient".into() };
+        assert!(s.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,188 @@
+//! DC sweep analysis with solution continuation.
+//!
+//! Sweeps one voltage source over a range, warm-starting each point from the
+//! previous solution. This is how voltage-transfer curves (VTCs) are
+//! extracted for the threshold-selection analysis of §2 of the paper.
+
+use crate::circuit::{Circuit, NodeId, Waveform};
+use crate::op::{dc_solve_at, OpResult};
+use crate::solver::AnalysisError;
+use proxim_numeric::grid::linspace;
+use proxim_numeric::pwl::Pwl;
+
+/// The result of a DC sweep: one solved operating point per sweep value.
+#[derive(Debug, Clone)]
+pub struct DcSweepResult {
+    sweep: Vec<f64>,
+    points: Vec<OpResult>,
+}
+
+impl DcSweepResult {
+    /// The swept source values.
+    pub fn sweep_values(&self) -> &[f64] {
+        &self.sweep
+    }
+
+    /// The solved operating point at sweep index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> &OpResult {
+        &self.points[i]
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.sweep.len()
+    }
+
+    /// Whether the sweep is empty (never true for a valid result).
+    pub fn is_empty(&self) -> bool {
+        self.sweep.is_empty()
+    }
+
+    /// The transfer curve of `node` as a piecewise-linear function of the
+    /// swept value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep was run in descending order (reverse it first) —
+    /// [`Pwl`] requires non-decreasing abscissae.
+    pub fn transfer_curve(&self, node: NodeId) -> Pwl {
+        Pwl::new(
+            self.sweep
+                .iter()
+                .zip(&self.points)
+                .map(|(&x, op)| (x, op.voltage(node)))
+                .collect(),
+        )
+        .expect("sweep produces a valid curve")
+    }
+}
+
+pub(crate) fn dc_sweep(
+    ckt: &Circuit,
+    source: &str,
+    from: f64,
+    to: f64,
+    points: usize,
+) -> Result<DcSweepResult, AnalysisError> {
+    assert!(points >= 2, "a sweep needs at least two points");
+    let mut work = ckt.clone();
+    let sweep = linspace(from, to, points);
+    let mut results = Vec::with_capacity(points);
+    let mut prev_x: Option<Vec<f64>> = None;
+
+    for (i, &v) in sweep.iter().enumerate() {
+        work.set_vsource(source, Waveform::Dc(v));
+        let op = match dc_solve_at(&work, 0.0, prev_x.as_deref()) {
+            Ok(op) => op,
+            Err(_) if i > 0 => {
+                // Continuation refinement: approach the troublesome point
+                // through intermediate sub-steps from the last solution.
+                refine_to(&mut work, source, sweep[i - 1], v, prev_x.as_deref().expect("i > 0"))?
+            }
+            Err(e) => return Err(e),
+        };
+        prev_x = Some(op.x.clone());
+        results.push(op);
+    }
+    Ok(DcSweepResult { sweep, points: results })
+}
+
+/// Walks from `from` (solved, warm start `x0`) to `to` through successively
+/// finer sub-steps until the endpoint converges.
+fn refine_to(
+    work: &mut Circuit,
+    source: &str,
+    from: f64,
+    to: f64,
+    x0: &[f64],
+) -> Result<OpResult, AnalysisError> {
+    let mut x = x0.to_vec();
+    for depth in 1..=8u32 {
+        let steps = 1usize << depth;
+        let mut ok = true;
+        let mut xi = x.clone();
+        for k in 1..=steps {
+            let v = from + (to - from) * k as f64 / steps as f64;
+            work.set_vsource(source, Waveform::Dc(v));
+            match dc_solve_at(work, 0.0, Some(&xi)) {
+                Ok(op) => xi = op.x,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            work.set_vsource(source, Waveform::Dc(to));
+            return dc_solve_at(work, 0.0, Some(&xi));
+        }
+        x = x0.to_vec();
+    }
+    Err(AnalysisError::NoConvergence {
+        analysis: "dc sweep".into(),
+        detail: format!("continuation refinement failed between {from} and {to}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+    use crate::device::{MosParams, MosType};
+
+    #[test]
+    fn linear_sweep_tracks_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VIN", a, Circuit::GND, Waveform::Dc(0.0));
+        ckt.resistor("R1", a, b, 1e3);
+        ckt.resistor("R2", b, Circuit::GND, 1e3);
+        let sw = ckt.dc_sweep("VIN", 0.0, 4.0, 5).unwrap();
+        assert_eq!(sw.len(), 5);
+        for i in 0..5 {
+            let vin = sw.sweep_values()[i];
+            assert!((sw.point(i).voltage(b) - vin / 2.0).abs() < 1e-6);
+        }
+        let curve = sw.transfer_curve(b);
+        assert!((curve.eval(3.0) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverter_vtc_is_monotone_decreasing() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::Dc(0.0));
+        let p = MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.5, phi: 0.6, lambda: 0.04 };
+        let n = MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.4, phi: 0.6, lambda: 0.03 };
+        ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
+        ckt.mosfet("MN", MosType::Nmos, out, inp, Circuit::GND, Circuit::GND, n, 4e-6, 0.8e-6);
+
+        let sw = ckt.dc_sweep("VIN", 0.0, 5.0, 101).unwrap();
+        let curve = sw.transfer_curve(out);
+        // Endpoints at the rails.
+        assert!(curve.eval(0.0) > 4.99);
+        assert!(curve.eval(5.0) < 0.01);
+        // Monotone non-increasing.
+        for w in curve.points().windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6, "VTC not monotone at {:?}", w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn sweep_rejects_single_point() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("VIN", a, Circuit::GND, Waveform::Dc(0.0));
+        ckt.resistor("R", a, Circuit::GND, 1.0);
+        let _ = ckt.dc_sweep("VIN", 0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! Transient analysis.
+//!
+//! Time integration uses the trapezoidal rule by default (backward Euler is
+//! available for ablation), with a Newton solve at every step. The step size
+//! adapts to limit the largest node-voltage change per step, and steps land
+//! exactly on every PWL-source breakpoint so ramp corners are never
+//! straddled.
+
+use crate::circuit::{Circuit, Element, NodeId};
+use crate::op::GMIN;
+use crate::solver::{newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, System};
+use proxim_numeric::pwl::Pwl;
+
+/// The time-integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Integrator {
+    /// Second-order trapezoidal rule (default).
+    #[default]
+    Trapezoidal,
+    /// First-order backward Euler; more damped, used for ablation.
+    BackwardEuler,
+}
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone, Copy)]
+pub struct TranOptions {
+    /// End time of the analysis, in seconds.
+    pub t_stop: f64,
+    /// Smallest allowed step; the run fails below this.
+    pub dt_min: f64,
+    /// Largest allowed step.
+    pub dt_max: f64,
+    /// Initial step.
+    pub dt_init: f64,
+    /// Target bound on the largest node-voltage change per step, in volts.
+    /// Smaller values give smoother waveforms at higher cost.
+    pub dv_max: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+}
+
+impl TranOptions {
+    /// Reasonable defaults for an analysis ending at `t_stop`:
+    /// `dt_max = t_stop / 100`, `dt_init = t_stop / 10_000`,
+    /// `dv_max = 0.05 V`, trapezoidal integration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` is not strictly positive.
+    pub fn to(t_stop: f64) -> Self {
+        assert!(t_stop > 0.0 && t_stop.is_finite(), "t_stop must be positive");
+        Self {
+            t_stop,
+            dt_min: t_stop * 1e-9,
+            dt_max: t_stop / 100.0,
+            dt_init: t_stop / 10_000.0,
+            dv_max: 0.05,
+            integrator: Integrator::Trapezoidal,
+        }
+    }
+
+    /// Returns the options with a different integrator.
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Returns the options with a different per-step voltage-change bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dv_max` is not strictly positive.
+    pub fn with_dv_max(mut self, dv_max: f64) -> Self {
+        assert!(dv_max > 0.0, "dv_max must be positive");
+        self.dv_max = dv_max;
+        self
+    }
+}
+
+/// The sampled result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// `samples[k]` holds all node voltages (ground included) at `times[k]`.
+    samples: Vec<Vec<f64>>,
+    /// `branch_samples[k]` holds the voltage-source branch currents at
+    /// `times[k]`, in source order.
+    branch_samples: Vec<Vec<f64>>,
+    /// Total Newton iterations across the run (performance telemetry).
+    pub newton_iterations: usize,
+    /// Total accepted time steps.
+    pub accepted_steps: usize,
+}
+
+impl TranResult {
+    /// The accepted time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The waveform of `node` as a piecewise-linear function of time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the simulated circuit.
+    pub fn waveform(&self, node: NodeId) -> Pwl {
+        Pwl::new(
+            self.times
+                .iter()
+                .zip(&self.samples)
+                .map(|(&t, s)| (t, s[node.index()]))
+                .collect(),
+        )
+        .expect("transient sampling produces a valid waveform")
+    }
+
+    /// The node voltage at sample index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or the node index is out of range.
+    pub fn voltage_at(&self, k: usize, node: NodeId) -> f64 {
+        self.samples[k][node.index()]
+    }
+
+    /// The branch current of the `k`-th voltage source as a waveform over
+    /// time (positive current flows into the source's `plus` terminal, so a
+    /// supply sourcing current reads negative — as in SPICE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn branch_current_waveform(&self, k: usize) -> Pwl {
+        Pwl::new(
+            self.times
+                .iter()
+                .zip(&self.branch_samples)
+                .map(|(&t, s)| (t, s[k]))
+                .collect(),
+        )
+        .expect("transient sampling produces a valid waveform")
+    }
+
+    /// The peak magnitude of the `k`-th voltage source's branch current —
+    /// e.g. the peak supply current during a switching event, the quantity
+    /// the collapse-to-inverter literature (Nabavi-Lishi & Rumin) targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn peak_branch_current(&self, k: usize) -> f64 {
+        self.branch_samples
+            .iter()
+            .map(|s| s[k].abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, AnalysisError> {
+    let sys = System::new(ckt);
+    let opts = NewtonOptions::default();
+
+    // Initial condition: DC operating point with sources at t = 0.
+    let op = crate::op::dc_solve_at(ckt, 0.0, None)?;
+    let mut x = op.x;
+
+    // Per-element capacitor history (v_prev across the cap, i_prev through
+    // it). Entries for non-capacitor elements are unused.
+    let mut hist: Vec<(f64, f64)> = ckt
+        .elements
+        .iter()
+        .map(|e| match e {
+            Element::Capacitor { a, b, .. } => (sys.v(&x, *a) - sys.v(&x, *b), 0.0),
+            _ => (0.0, 0.0),
+        })
+        .collect();
+
+    // Breakpoints: the PWL corners of all sources inside (0, t_stop).
+    let mut breakpoints: Vec<f64> = ckt
+        .source_breakpoints()
+        .into_iter()
+        .filter(|&t| t > 0.0 && t < options.t_stop)
+        .collect();
+    breakpoints.push(options.t_stop);
+
+    let record_node_count = ckt.node_count();
+    let snapshot = |x: &[f64]| {
+        let mut s = Vec::with_capacity(record_node_count);
+        s.push(0.0);
+        s.extend_from_slice(&x[..sys.nv]);
+        s
+    };
+
+    let branch_snapshot = |x: &[f64]| x[sys.nv..].to_vec();
+
+    let mut times = vec![0.0];
+    let mut samples = vec![snapshot(&x)];
+    let mut branch_samples = vec![branch_snapshot(&x)];
+    let mut t = 0.0;
+    let mut h = options.dt_init.min(options.dt_max);
+    let mut newton_iterations = 0usize;
+    let mut accepted_steps = 0usize;
+    let mut bp_idx = 0usize;
+
+    while t < options.t_stop - options.dt_min * 0.5 {
+        while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + options.dt_min * 0.5 {
+            bp_idx += 1;
+        }
+        let next_bp = breakpoints.get(bp_idx).copied().unwrap_or(options.t_stop);
+        let h_eff = h.min(options.dt_max).min(next_bp - t).max(options.dt_min);
+        let t_new = (t + h_eff).min(options.t_stop);
+        let h_eff = t_new - t;
+
+        let (geq_per_farad, trap_coeff) = match options.integrator {
+            Integrator::Trapezoidal => (2.0 / h_eff, -1.0),
+            Integrator::BackwardEuler => (1.0 / h_eff, 0.0),
+        };
+        let caps = CapMode::Tran { geq_per_farad, trap_coeff, hist: &hist };
+
+        match newton_solve(&sys, &x, t_new, 1.0, GMIN, caps, &opts) {
+            NewtonOutcome::Converged(x_new, iters) => {
+                newton_iterations += iters;
+                let max_dv = x
+                    .iter()
+                    .zip(&x_new)
+                    .take(sys.nv)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                if max_dv > options.dv_max && h_eff > options.dt_min * 1.01 {
+                    // Too coarse: retry with a smaller step sized to hit the
+                    // voltage-change target.
+                    h = (h_eff * (0.8 * options.dv_max / max_dv).max(0.1))
+                        .max(options.dt_min);
+                    continue;
+                }
+                // Accept. Update capacitor history with companion currents.
+                for (ei, e) in ckt.elements.iter().enumerate() {
+                    if let Element::Capacitor { a, b, farads } = e {
+                        let dv = sys.v(&x_new, *a) - sys.v(&x_new, *b);
+                        let (v_prev, i_prev) = hist[ei];
+                        let i_new =
+                            geq_per_farad * farads * (dv - v_prev) + trap_coeff * i_prev;
+                        hist[ei] = (dv, i_new);
+                    }
+                }
+                x = x_new;
+                t = t_new;
+                accepted_steps += 1;
+                times.push(t);
+                samples.push(snapshot(&x));
+                branch_samples.push(branch_snapshot(&x));
+                // Grow the step when comfortably inside the accuracy target.
+                h = if max_dv < 0.5 * options.dv_max { h_eff * 1.6 } else { h_eff };
+            }
+            NewtonOutcome::Failed => {
+                if h_eff <= options.dt_min * 1.01 {
+                    return Err(AnalysisError::NoConvergence {
+                        analysis: "transient step".into(),
+                        detail: format!("at t = {t_new:.4e} s with minimum step"),
+                    });
+                }
+                h = (h_eff * 0.25).max(options.dt_min);
+            }
+        }
+    }
+
+    Ok(TranResult { times, samples, branch_samples, newton_iterations, accepted_steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+    use crate::device::{MosParams, MosType};
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // R = 1k, C = 1p: tau = 1 ns. Step at t = 0+.
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 1e-12, 1.0));
+        ckt.resistor("R1", inp, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-12);
+        let r = ckt.tran(&TranOptions::to(5e-9).with_dv_max(0.01)).unwrap();
+        let w = r.waveform(out);
+        for &t in &[0.5e-9, 1e-9, 2e-9, 4e-9] {
+            let expect = 1.0 - (-t / 1e-9f64).exp();
+            assert!(
+                (w.eval(t) - expect).abs() < 5e-3,
+                "t = {t}: got {}, expected {expect}",
+                w.eval(t)
+            );
+        }
+    }
+
+    #[test]
+    fn rc_ramp_response_tracks_input_with_lag() {
+        // For a slow ramp (much slower than tau), the output lags the input
+        // by about tau.
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(1e-9, 20e-9, 0.0, 1.0));
+        ckt.resistor("R1", inp, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-12);
+        let r = ckt.tran(&TranOptions::to(30e-9)).unwrap();
+        let w = r.waveform(out);
+        // In the middle of the ramp the lag is tau = 1 ns, i.e. the output
+        // is below the input by (tau/ramp)*swing = 0.05.
+        let v_in_mid = 0.5;
+        let v_out_mid = w.eval(11e-9);
+        assert!((v_in_mid - v_out_mid - 0.05).abs() < 5e-3, "lag wrong: {v_out_mid}");
+    }
+
+    #[test]
+    fn richardson_consistency_on_halved_dv() {
+        // Tightening the accuracy knob must not change the settled value and
+        // must keep mid-transient values close.
+        let build = || {
+            let mut ckt = Circuit::new();
+            let inp = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 0.1e-9, 2.0));
+            ckt.resistor("R1", inp, out, 2e3);
+            ckt.capacitor("C1", out, Circuit::GND, 0.5e-12);
+            (ckt, out)
+        };
+        let (ckt, out) = build();
+        let coarse = ckt.tran(&TranOptions::to(5e-9).with_dv_max(0.1)).unwrap();
+        let fine = ckt.tran(&TranOptions::to(5e-9).with_dv_max(0.02)).unwrap();
+        for &t in &[0.5e-9, 1.5e-9, 3e-9] {
+            let a = coarse.waveform(out).eval(t);
+            let b = fine.waveform(out).eval(t);
+            assert!((a - b).abs() < 0.02, "divergence at t = {t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_euler_also_settles() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 1e-12, 1.0));
+        ckt.resistor("R1", inp, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-12);
+        let r = ckt
+            .tran(&TranOptions::to(8e-9).with_integrator(Integrator::BackwardEuler))
+            .unwrap();
+        assert!((r.waveform(out).eval(8e-9) - 1.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn inverter_transient_switches_output() {
+        let p = MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.5, phi: 0.6, lambda: 0.04 };
+        let n = MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.4, phi: 0.6, lambda: 0.03 };
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(1e-9, 0.5e-9, 0.0, 5.0));
+        ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
+        ckt.mosfet("MN", MosType::Nmos, out, inp, Circuit::GND, Circuit::GND, n, 4e-6, 0.8e-6);
+        ckt.capacitor("CL", out, Circuit::GND, 100e-15);
+
+        let r = ckt.tran(&TranOptions::to(10e-9)).unwrap();
+        let w = r.waveform(out);
+        assert!(w.eval(0.5e-9) > 4.9, "output starts high");
+        assert!(w.eval(9e-9) < 0.1, "output ends low");
+        let t_cross = w.first_falling_crossing(2.5).expect("output falls through mid-rail");
+        assert!(t_cross > 1e-9 && t_cross < 3e-9, "crossing at {t_cross}");
+    }
+
+    #[test]
+    fn breakpoints_are_sampled_exactly() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(2e-9, 1e-9, 0.0, 1.0));
+        ckt.resistor("R1", inp, Circuit::GND, 1e3);
+        let r = ckt.tran(&TranOptions::to(5e-9)).unwrap();
+        for bp in [2e-9, 3e-9] {
+            assert!(
+                r.times().iter().any(|&t| (t - bp).abs() < 1e-15),
+                "breakpoint {bp} not sampled"
+            );
+        }
+    }
+
+    #[test]
+    fn supply_current_peaks_during_switching() {
+        // An inverter driving a load: the VDD branch current spikes while
+        // the output charges and returns to (near) zero at rest.
+        let p = MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.5, phi: 0.6, lambda: 0.04 };
+        let n = MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.4, phi: 0.6, lambda: 0.03 };
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(1e-9, 0.5e-9, 5.0, 0.0));
+        ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
+        ckt.mosfet("MN", MosType::Nmos, out, inp, Circuit::GND, Circuit::GND, n, 4e-6, 0.8e-6);
+        ckt.capacitor("CL", out, Circuit::GND, 100e-15);
+
+        let r = ckt.tran(&TranOptions::to(10e-9)).unwrap();
+        let i_vdd = r.branch_current_waveform(0);
+        // Quiescent before the edge.
+        assert!(i_vdd.eval(0.5e-9).abs() < 1e-6, "quiescent {}", i_vdd.eval(0.5e-9));
+        // Peak magnitude is a real charging current (mA scale).
+        let peak = r.peak_branch_current(0);
+        assert!(peak > 1e-4, "peak supply current {peak}");
+        // Settled again at the end.
+        assert!(i_vdd.eval(9.5e-9).abs() < 1e-6);
+        // Supply sources current: the branch current is negative while the
+        // PMOS charges the load.
+        let (_, min_i) = i_vdd.min();
+        assert!(min_i < -1e-4, "supply current sign {min_i}");
+    }
+
+    #[test]
+    fn telemetry_is_populated() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::Dc(1.0));
+        ckt.resistor("R1", inp, Circuit::GND, 1e3);
+        let r = ckt.tran(&TranOptions::to(1e-9)).unwrap();
+        assert!(r.accepted_steps > 0);
+        assert!(r.newton_iterations >= r.accepted_steps);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_stop must be positive")]
+    fn options_reject_zero_duration() {
+        let _ = TranOptions::to(0.0);
+    }
+}

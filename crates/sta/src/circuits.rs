@@ -1,0 +1,264 @@
+//! Benchmark circuit generators, all built from 2-input NAND gates so a
+//! single characterized model covers every instance.
+
+use crate::library::CellId;
+use crate::netlist::{GateNetlist, NetId};
+
+/// The ISCAS-85 C17 benchmark: 6 NAND2 gates, 5 inputs, 2 outputs.
+///
+/// Returns `(netlist, primary inputs [n1, n2, n3, n6, n7], outputs
+/// [n22, n23])`.
+pub fn c17(nand2: CellId) -> (GateNetlist, Vec<NetId>, Vec<NetId>) {
+    let mut nl = GateNetlist::new();
+    let n1 = nl.net("N1");
+    let n2 = nl.net("N2");
+    let n3 = nl.net("N3");
+    let n6 = nl.net("N6");
+    let n7 = nl.net("N7");
+    let n10 = nl.net("N10");
+    let n11 = nl.net("N11");
+    let n16 = nl.net("N16");
+    let n19 = nl.net("N19");
+    let n22 = nl.net("N22");
+    let n23 = nl.net("N23");
+    for pi in [n1, n2, n3, n6, n7] {
+        nl.mark_primary_input(pi);
+    }
+    nl.add_gate("G10", nand2, &[n1, n3], n10);
+    nl.add_gate("G11", nand2, &[n3, n6], n11);
+    nl.add_gate("G16", nand2, &[n2, n11], n16);
+    nl.add_gate("G19", nand2, &[n11, n7], n19);
+    nl.add_gate("G22", nand2, &[n10, n16], n22);
+    nl.add_gate("G23", nand2, &[n16, n19], n23);
+    (nl, vec![n1, n2, n3, n6, n7], vec![n22, n23])
+}
+
+/// A 9-NAND full adder.
+///
+/// Returns `(netlist, inputs [a, b, cin], outputs [sum, cout])`.
+pub fn full_adder(nand2: CellId) -> (GateNetlist, Vec<NetId>, Vec<NetId>) {
+    let mut nl = GateNetlist::new();
+    let a = nl.net("a");
+    let b = nl.net("b");
+    let cin = nl.net("cin");
+    for pi in [a, b, cin] {
+        nl.mark_primary_input(pi);
+    }
+    let (ins, outs) = add_full_adder(&mut nl, nand2, a, b, cin, "fa");
+    debug_assert_eq!(ins, (a, b, cin));
+    (nl, vec![a, b, cin], vec![outs.0, outs.1])
+}
+
+/// Appends one 9-NAND full adder to `nl`; returns the echoed inputs and
+/// `(sum, cout)`.
+fn add_full_adder(
+    nl: &mut GateNetlist,
+    nand2: CellId,
+    a: NetId,
+    b: NetId,
+    cin: NetId,
+    prefix: &str,
+) -> ((NetId, NetId, NetId), (NetId, NetId)) {
+    let n1 = nl.net(&format!("{prefix}_n1"));
+    let n2 = nl.net(&format!("{prefix}_n2"));
+    let n3 = nl.net(&format!("{prefix}_n3"));
+    let n4 = nl.net(&format!("{prefix}_n4"));
+    let n5 = nl.net(&format!("{prefix}_n5"));
+    let n6 = nl.net(&format!("{prefix}_n6"));
+    let n7 = nl.net(&format!("{prefix}_n7"));
+    let sum = nl.net(&format!("{prefix}_sum"));
+    let cout = nl.net(&format!("{prefix}_cout"));
+
+    nl.add_gate(&format!("{prefix}_g1"), nand2, &[a, b], n1);
+    nl.add_gate(&format!("{prefix}_g2"), nand2, &[a, n1], n2);
+    nl.add_gate(&format!("{prefix}_g3"), nand2, &[b, n1], n3);
+    nl.add_gate(&format!("{prefix}_g4"), nand2, &[n2, n3], n4); // a xor b
+    nl.add_gate(&format!("{prefix}_g5"), nand2, &[n4, cin], n5);
+    nl.add_gate(&format!("{prefix}_g6"), nand2, &[n4, n5], n6);
+    nl.add_gate(&format!("{prefix}_g7"), nand2, &[cin, n5], n7);
+    nl.add_gate(&format!("{prefix}_g8"), nand2, &[n6, n7], sum);
+    nl.add_gate(&format!("{prefix}_g9"), nand2, &[n5, n1], cout);
+    ((a, b, cin), (sum, cout))
+}
+
+/// A `bits`-wide ripple-carry adder of 9-NAND full adders.
+///
+/// Returns `(netlist, inputs [a0.., b0.., cin], outputs [s0.., cout])`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder(
+    nand2: CellId,
+    bits: usize,
+) -> (GateNetlist, Vec<NetId>, Vec<NetId>) {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut nl = GateNetlist::new();
+    let a_nets: Vec<NetId> = (0..bits).map(|i| nl.net(&format!("a{i}"))).collect();
+    let b_nets: Vec<NetId> = (0..bits).map(|i| nl.net(&format!("b{i}"))).collect();
+    let cin = nl.net("cin");
+    for &pi in a_nets.iter().chain(&b_nets).chain(std::iter::once(&cin)) {
+        nl.mark_primary_input(pi);
+    }
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let (_, (sum, cout)) =
+            add_full_adder(&mut nl, nand2, a_nets[i], b_nets[i], carry, &format!("fa{i}"));
+        sums.push(sum);
+        carry = cout;
+    }
+    let mut inputs = a_nets;
+    inputs.extend(b_nets);
+    inputs.push(cin);
+    let mut outputs = sums;
+    outputs.push(carry);
+    (nl, inputs, outputs)
+}
+
+/// A parity (XOR) chain over `width` inputs, each XOR built from 4 NAND2.
+///
+/// Returns `(netlist, inputs, output)`.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn parity_chain(nand2: CellId, width: usize) -> (GateNetlist, Vec<NetId>, NetId) {
+    assert!(width >= 2, "parity needs at least two inputs");
+    let mut nl = GateNetlist::new();
+    let ins: Vec<NetId> = (0..width).map(|i| nl.net(&format!("x{i}"))).collect();
+    for &pi in &ins {
+        nl.mark_primary_input(pi);
+    }
+    let mut acc = ins[0];
+    for (k, &x) in ins.iter().enumerate().skip(1) {
+        let p = format!("xor{k}");
+        let n1 = nl.net(&format!("{p}_n1"));
+        let n2 = nl.net(&format!("{p}_n2"));
+        let n3 = nl.net(&format!("{p}_n3"));
+        let out = nl.net(&format!("{p}_out"));
+        nl.add_gate(&format!("{p}_g1"), nand2, &[acc, x], n1);
+        nl.add_gate(&format!("{p}_g2"), nand2, &[acc, n1], n2);
+        nl.add_gate(&format!("{p}_g3"), nand2, &[x, n1], n3);
+        nl.add_gate(&format!("{p}_g4"), nand2, &[n2, n3], out);
+        acc = out;
+    }
+    (nl, ins, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAND2: CellId = CellId(0);
+
+    #[test]
+    fn c17_structure() {
+        let (nl, pis, pos) = c17(NAND2);
+        assert_eq!(nl.gates().len(), 6);
+        assert_eq!(pis.len(), 5);
+        assert_eq!(pos.len(), 2);
+        assert!(nl.topo_order().is_ok());
+        assert_eq!(nl.sink_nets().len(), 2);
+    }
+
+    #[test]
+    fn full_adder_structure() {
+        let (nl, ins, outs) = full_adder(NAND2);
+        assert_eq!(nl.gates().len(), 9);
+        assert_eq!(ins.len(), 3);
+        assert_eq!(outs.len(), 2);
+        assert!(nl.topo_order().is_ok());
+    }
+
+    #[test]
+    fn ripple_carry_scales() {
+        let (nl, ins, outs) = ripple_carry_adder(NAND2, 4);
+        assert_eq!(nl.gates().len(), 36);
+        assert_eq!(ins.len(), 9);
+        assert_eq!(outs.len(), 5);
+        assert!(nl.topo_order().is_ok());
+    }
+
+    #[test]
+    fn parity_chain_structure() {
+        let (nl, ins, _out) = parity_chain(NAND2, 5);
+        assert_eq!(nl.gates().len(), 16);
+        assert_eq!(ins.len(), 5);
+        assert!(nl.topo_order().is_ok());
+    }
+
+    /// Logic simulation of a NAND2-only netlist for functional checks.
+    fn eval_netlist(nl: &GateNetlist, pi_values: &[(NetId, bool)]) -> Vec<Option<bool>> {
+        let mut values: Vec<Option<bool>> = vec![None; nl.net_count()];
+        for &(n, v) in pi_values {
+            values[n.index()] = Some(v);
+        }
+        for gi in nl.topo_order().unwrap() {
+            let g = &nl.gates()[gi];
+            let a = values[g.inputs[0].index()].expect("input assigned");
+            let b = values[g.inputs[1].index()].expect("input assigned");
+            values[g.output.index()] = Some(!(a && b));
+        }
+        values
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let (nl, ins, outs) = full_adder(NAND2);
+        for mask in 0..8u32 {
+            let a = mask & 1 != 0;
+            let b = mask & 2 != 0;
+            let c = mask & 4 != 0;
+            let values = eval_netlist(&nl, &[(ins[0], a), (ins[1], b), (ins[2], c)]);
+            let sum = values[outs[0].index()].unwrap();
+            let cout = values[outs[1].index()].unwrap();
+            let total = a as u32 + b as u32 + c as u32;
+            assert_eq!(sum, total % 2 == 1, "sum for {mask:03b}");
+            assert_eq!(cout, total >= 2, "cout for {mask:03b}");
+        }
+    }
+
+    #[test]
+    fn ripple_carry_adds_correctly() {
+        let bits = 4;
+        let (nl, ins, outs) = ripple_carry_adder(NAND2, bits);
+        for (a_val, b_val, cin) in [(3u32, 5u32, false), (15, 1, false), (9, 9, true), (0, 0, false)] {
+            let mut pi_values = Vec::new();
+            for i in 0..bits {
+                pi_values.push((ins[i], a_val & (1 << i) != 0));
+                pi_values.push((ins[bits + i], b_val & (1 << i) != 0));
+            }
+            pi_values.push((ins[2 * bits], cin));
+            let values = eval_netlist(&nl, &pi_values);
+            let mut result = 0u32;
+            for i in 0..bits {
+                if values[outs[i].index()].unwrap() {
+                    result |= 1 << i;
+                }
+            }
+            if values[outs[bits].index()].unwrap() {
+                result |= 1 << bits;
+            }
+            assert_eq!(result, a_val + b_val + cin as u32, "{a_val} + {b_val} + {cin}");
+        }
+    }
+
+    #[test]
+    fn parity_chain_is_xor() {
+        let (nl, ins, out) = parity_chain(NAND2, 4);
+        for mask in 0..16u32 {
+            let pi_values: Vec<(NetId, bool)> = ins
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, mask & (1 << i) != 0))
+                .collect();
+            let values = eval_netlist(&nl, &pi_values);
+            assert_eq!(
+                values[out.index()].unwrap(),
+                mask.count_ones() % 2 == 1,
+                "parity of {mask:04b}"
+            );
+        }
+    }
+}

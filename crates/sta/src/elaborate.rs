@@ -1,0 +1,205 @@
+//! Flat transistor-level elaboration of gate netlists.
+//!
+//! Timing models are only as good as their composition across a path. This
+//! module expands an entire [`GateNetlist`] into one transistor-level
+//! [`Circuit`] — every gate instantiated from its library cell, every net a
+//! real node carrying the gate capacitance of its fanout — so a whole-path
+//! golden simulation can judge the gate-by-gate timing engine.
+
+use crate::library::TimingLibrary;
+use crate::netlist::{GateNetlist, NetId, NetlistError};
+use crate::timing::PiAssignment;
+use proxim_cells::Technology;
+use proxim_spice::circuit::{Circuit, NodeId, Waveform};
+
+/// A flattened netlist: the transistor circuit plus the net→node map.
+#[derive(Debug, Clone)]
+pub struct FlatCircuit {
+    /// The elaborated transistor-level circuit.
+    pub circuit: Circuit,
+    /// The circuit node of each net (indexed by [`NetId`]).
+    pub net_nodes: Vec<NodeId>,
+    /// The names of the primary-input voltage sources, as `(net, source)`.
+    pub pi_sources: Vec<(NetId, String)>,
+    /// The supply node.
+    pub vdd: NodeId,
+    /// The supply voltage.
+    pub vdd_volts: f64,
+}
+
+impl FlatCircuit {
+    /// Applies primary-input assignments as source waveforms: stable levels
+    /// become DC values, switching assignments become rail-to-rail ramps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment refers to a net that is not a primary input.
+    pub fn apply_assignments(&mut self, assignments: &[PiAssignment]) {
+        for a in assignments {
+            let src = &self
+                .pi_sources
+                .iter()
+                .find(|(net, _)| *net == a.net)
+                .unwrap_or_else(|| panic!("net {:?} is not a primary input", a.net))
+                .1;
+            let wave = match a.event {
+                None => {
+                    Waveform::Dc(if a.initial { self.vdd_volts } else { 0.0 })
+                }
+                Some((edge, t_start, tt)) => {
+                    let (v0, v1) = match edge {
+                        proxim_numeric::pwl::Edge::Rising => (0.0, self.vdd_volts),
+                        proxim_numeric::pwl::Edge::Falling => (self.vdd_volts, 0.0),
+                    };
+                    Waveform::ramp(t_start.max(1e-12), tt, v0, v1)
+                }
+            };
+            self.circuit.set_vsource(src, wave);
+        }
+    }
+}
+
+/// Flattens a gate netlist into one transistor-level circuit.
+///
+/// Primary inputs are driven by voltage sources named `V_<net name>`
+/// (initialized to 0 V — use [`FlatCircuit::apply_assignments`]); sink nets
+/// carry `po_load` farads in addition to the gate capacitance of any
+/// fanout.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] if the netlist fails validation.
+pub fn elaborate_flat(
+    netlist: &GateNetlist,
+    library: &TimingLibrary,
+    tech: &Technology,
+    po_load: f64,
+) -> Result<FlatCircuit, NetlistError> {
+    netlist.topo_order()?; // structural validation
+
+    let mut circuit = Circuit::new();
+    let vdd = circuit.node("vdd");
+    circuit.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(tech.vdd));
+
+    // One node per net, named after the net.
+    let net_nodes: Vec<NodeId> = (0..netlist.net_count())
+        .map(|i| {
+            let id = NetId(i);
+            circuit.node(&format!("n_{}", netlist.net_name(id)))
+        })
+        .collect();
+
+    // Primary-input drivers.
+    let mut pi_sources = Vec::new();
+    for &pi in netlist.primary_inputs() {
+        let src = format!("V_{}", netlist.net_name(pi));
+        circuit.vsource(&src, net_nodes[pi.index()], Circuit::GND, Waveform::Dc(0.0));
+        pi_sources.push((pi, src));
+    }
+
+    // Gate instances.
+    for (gi, gate) in netlist.gates().iter().enumerate() {
+        let cell = library.model(gate.cell).cell();
+        let inputs: Vec<NodeId> =
+            gate.inputs.iter().map(|&n| net_nodes[n.index()]).collect();
+        cell.elaborate_into(
+            &mut circuit,
+            tech,
+            &format!("g{gi}"),
+            vdd,
+            &inputs,
+            net_nodes[gate.output.index()],
+        );
+    }
+
+    // Primary-output loads.
+    for po in netlist.sink_nets() {
+        circuit.capacitor(
+            &format!("CL_{}", netlist.net_name(po)),
+            net_nodes[po.index()],
+            Circuit::GND,
+            po_load,
+        );
+    }
+
+    Ok(FlatCircuit { circuit, net_nodes, pi_sources, vdd, vdd_volts: tech.vdd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::full_adder;
+    use crate::library::CellId;
+    use proxim_cells::Cell;
+    use proxim_model::characterize::CharacterizeOptions;
+    use proxim_model::ProximityModel;
+    use proxim_numeric::pwl::Edge;
+    use proxim_spice::tran::TranOptions;
+    use std::sync::OnceLock;
+
+    fn library() -> &'static TimingLibrary {
+        static LIB: OnceLock<TimingLibrary> = OnceLock::new();
+        LIB.get_or_init(|| {
+            let tech = Technology::demo_5v();
+            let model = ProximityModel::characterize(
+                &Cell::nand(2),
+                &tech,
+                &CharacterizeOptions::fast(),
+            )
+            .expect("characterization succeeds");
+            let mut lib = TimingLibrary::new();
+            lib.add(model);
+            lib
+        })
+    }
+
+    #[test]
+    fn flat_full_adder_has_expected_size() {
+        let lib = library();
+        let tech = Technology::demo_5v();
+        let (nl, _, _) = full_adder(CellId(0));
+        let flat = elaborate_flat(&nl, lib, &tech, 50e-15).unwrap();
+        // 9 NAND2 gates x 4 transistors each, plus VDD + 3 PI sources.
+        assert_eq!(flat.circuit.vsource_count(), 4);
+        // Nodes: 12 nets + vdd + gnd + 9 internal stack nodes.
+        assert!(flat.circuit.node_count() >= 12 + 2 + 9, "{}", flat.circuit.node_count());
+    }
+
+    #[test]
+    fn flat_full_adder_computes_logic_in_dc() {
+        let lib = library();
+        let tech = Technology::demo_5v();
+        let (nl, ins, outs) = full_adder(CellId(0));
+        // a=1, b=0, cin=1 -> sum=0, cout=1.
+        let mut flat = elaborate_flat(&nl, lib, &tech, 50e-15).unwrap();
+        flat.apply_assignments(&[
+            PiAssignment::stable(ins[0], true),
+            PiAssignment::stable(ins[1], false),
+            PiAssignment::stable(ins[2], true),
+        ]);
+        let op = flat.circuit.dc_op().expect("dc converges");
+        let v_sum = op.voltage(flat.net_nodes[outs[0].index()]);
+        let v_cout = op.voltage(flat.net_nodes[outs[1].index()]);
+        assert!(v_sum < 0.1 * tech.vdd, "sum = {v_sum}");
+        assert!(v_cout > 0.9 * tech.vdd, "cout = {v_cout}");
+    }
+
+    #[test]
+    fn flat_transient_propagates_a_transition() {
+        let lib = library();
+        let tech = Technology::demo_5v();
+        let (nl, ins, outs) = full_adder(CellId(0));
+        let mut flat = elaborate_flat(&nl, lib, &tech, 50e-15).unwrap();
+        // a rises with b=0, cin=1: sum falls (1 -> 0).
+        flat.apply_assignments(&[
+            PiAssignment::switching(ins[0], Edge::Rising, 0.3e-9, 300e-12),
+            PiAssignment::stable(ins[1], false),
+            PiAssignment::stable(ins[2], true),
+        ]);
+        let r = flat.circuit.tran(&TranOptions::to(15e-9)).expect("transient runs");
+        let w = r.waveform(flat.net_nodes[outs[0].index()]);
+        assert!(w.eval(0.1e-9) > 4.5, "sum starts high");
+        assert!(w.eval(14e-9) < 0.5, "sum ends low");
+        assert!(w.first_falling_crossing(2.5).is_some());
+    }
+}

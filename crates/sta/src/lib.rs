@@ -1,0 +1,60 @@
+//! Proximity-aware static timing analysis.
+//!
+//! Conventional gate-level timing assumes one switching input per gate. The
+//! paper's motivation is that multi-input proximity changes gate delay
+//! substantially; this crate demonstrates the downstream effect: a small
+//! event-style timing engine over combinational [`netlist::GateNetlist`]s
+//! where every multi-input gate is evaluated with the characterized
+//! [`proxim_model::ProximityModel`] on the *actual* arrival times and
+//! transition times of its input pins. The classic single-switching-input
+//! model is available as a [`timing::DelayMode`] for comparison.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use proxim_cells::{Cell, Technology};
+//! use proxim_model::characterize::CharacterizeOptions;
+//! use proxim_model::ProximityModel;
+//! use proxim_sta::circuits::ripple_carry_adder;
+//! use proxim_sta::library::TimingLibrary;
+//! use proxim_sta::timing::{DelayMode, PiAssignment, Sta};
+//! use proxim_numeric::pwl::Edge;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::demo_5v();
+//! let model = ProximityModel::characterize(
+//!     &Cell::nand(2), &tech, &CharacterizeOptions::default())?;
+//! let mut library = TimingLibrary::new();
+//! let nand2 = library.add(model);
+//!
+//! let (netlist, inputs, outputs) = ripple_carry_adder(nand2, 4);
+//! let sta = Sta::new(&library, &netlist);
+//! let assignments: Vec<PiAssignment> = inputs
+//!     .iter()
+//!     .map(|&net| PiAssignment::switching(net, Edge::Rising, 0.0, 200e-12))
+//!     .collect();
+//! let report = sta.run(&assignments, DelayMode::Proximity)?;
+//! for &po in &outputs {
+//!     if let Some(ev) = report.net_event(po) {
+//!         println!("{po:?} arrives at {:.1} ps", ev.arrival * 1e12);
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuits;
+pub mod elaborate;
+pub mod library;
+pub mod netlist;
+pub mod parse;
+pub mod timing;
+
+pub use elaborate::{elaborate_flat, FlatCircuit};
+pub use library::{CellId, TimingLibrary};
+pub use netlist::{GateNetlist, NetId};
+pub use parse::{parse_bench, ParsedBench};
+pub use timing::{DelayMode, PiAssignment, Sta, TimingReport};

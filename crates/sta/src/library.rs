@@ -1,0 +1,67 @@
+//! The timing library: characterized models shared by gate instances.
+
+use proxim_model::ProximityModel;
+
+/// A handle to a library cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A collection of characterized proximity models, one per cell type.
+///
+/// Characterization is expensive, so the library is built once and shared by
+/// every gate instance of the same type.
+#[derive(Debug, Clone, Default)]
+pub struct TimingLibrary {
+    models: Vec<ProximityModel>,
+}
+
+impl TimingLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a characterized model, returning its handle.
+    pub fn add(&mut self, model: ProximityModel) -> CellId {
+        self.models.push(model);
+        CellId(self.models.len() - 1)
+    }
+
+    /// The model for a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this library.
+    pub fn model(&self, id: CellId) -> &ProximityModel {
+        &self.models[id.0]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_library() {
+        let lib = TimingLibrary::new();
+        assert!(lib.is_empty());
+        assert_eq!(lib.len(), 0);
+    }
+}

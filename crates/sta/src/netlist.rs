@@ -1,0 +1,293 @@
+//! Gate-level combinational netlists.
+
+use crate::library::CellId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a net (a wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Instance name.
+    pub name: String,
+    /// Library cell.
+    pub cell: CellId,
+    /// Input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// The error returned by netlist validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError {
+    what: String,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid netlist: {}", self.what)
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A combinational gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct GateNetlist {
+    net_names: Vec<String>,
+    net_index: HashMap<String, NetId>,
+    gates: Vec<Gate>,
+    primary_inputs: Vec<NetId>,
+}
+
+impl GateNetlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the net with the given name, creating it if absent.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.net_index.get(name) {
+            return id;
+        }
+        let id = NetId(self.net_names.len());
+        self.net_names.push(name.to_string());
+        self.net_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not belong to this netlist.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.0]
+    }
+
+    /// Marks a net as a primary input.
+    pub fn mark_primary_input(&mut self, net: NetId) {
+        if !self.primary_inputs.contains(&net) {
+            self.primary_inputs.push(net);
+        }
+    }
+
+    /// Adds a gate instance.
+    pub fn add_gate(&mut self, name: &str, cell: CellId, inputs: &[NetId], output: NetId) {
+        self.gates.push(Gate {
+            name: name.to_string(),
+            cell,
+            inputs: inputs.to_vec(),
+            output,
+        });
+    }
+
+    /// The gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The primary inputs.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Nets not driving any gate input (candidate primary outputs).
+    pub fn sink_nets(&self) -> Vec<NetId> {
+        let mut used = vec![false; self.net_count()];
+        for g in &self.gates {
+            for &i in &g.inputs {
+                used[i.0] = true;
+            }
+        }
+        (0..self.net_count())
+            .map(NetId)
+            .filter(|n| !used[n.0] && self.gates.iter().any(|g| g.output == *n))
+            .collect()
+    }
+
+    /// Validates structure and returns the gates in topological order
+    /// (indices into [`GateNetlist::gates`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] on multiply-driven nets, undriven non-PI
+    /// gate inputs, or combinational cycles.
+    pub fn topo_order(&self) -> Result<Vec<usize>, NetlistError> {
+        let mut driver: Vec<Option<usize>> = vec![None; self.net_count()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            if driver[g.output.0].is_some() {
+                return Err(NetlistError {
+                    what: format!("net {} driven more than once", self.net_name(g.output)),
+                });
+            }
+            if self.primary_inputs.contains(&g.output) {
+                return Err(NetlistError {
+                    what: format!("primary input {} is driven by a gate", self.net_name(g.output)),
+                });
+            }
+            driver[g.output.0] = Some(gi);
+        }
+        for g in &self.gates {
+            for &i in &g.inputs {
+                if driver[i.0].is_none() && !self.primary_inputs.contains(&i) {
+                    return Err(NetlistError {
+                        what: format!(
+                            "gate {} input {} is neither driven nor a primary input",
+                            g.name,
+                            self.net_name(i)
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Kahn's algorithm over gate dependencies.
+        let mut indegree = vec![0usize; self.gates.len()];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &i in &g.inputs {
+                if let Some(src) = driver[i.0] {
+                    indegree[gi] += 1;
+                    fanout[src].push(gi);
+                }
+            }
+        }
+        let mut queue: Vec<usize> =
+            (0..self.gates.len()).filter(|&g| indegree[g] == 0).collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(g) = queue.pop() {
+            order.push(g);
+            for &f in &fanout[g] {
+                indegree[f] -= 1;
+                if indegree[f] == 0 {
+                    queue.push(f);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            return Err(NetlistError { what: "combinational cycle detected".into() });
+        }
+        Ok(order)
+    }
+
+    /// The gate driving `net`, if any.
+    pub fn driver_of(&self, net: NetId) -> Option<&Gate> {
+        self.gates.iter().find(|g| g.output == net)
+    }
+
+    /// The gates with `net` on an input pin, as `(gate index, pin)` pairs.
+    pub fn fanout_of(&self, net: NetId) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (gi, g) in self.gates.iter().enumerate() {
+            for (pin, &i) in g.inputs.iter().enumerate() {
+                if i == net {
+                    out.push((gi, pin));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gate_chain() -> (GateNetlist, NetId, NetId, NetId) {
+        let mut nl = GateNetlist::new();
+        let a = nl.net("a");
+        let b = nl.net("b");
+        let mid = nl.net("mid");
+        let out = nl.net("out");
+        nl.mark_primary_input(a);
+        nl.mark_primary_input(b);
+        nl.add_gate("g1", CellId(0), &[a, b], mid);
+        nl.add_gate("g2", CellId(0), &[mid, b], out);
+        (nl, a, mid, out)
+    }
+
+    #[test]
+    fn nets_deduplicate() {
+        let mut nl = GateNetlist::new();
+        let a = nl.net("a");
+        assert_eq!(nl.net("a"), a);
+        assert_eq!(nl.net_name(a), "a");
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let (nl, _, _, _) = two_gate_chain();
+        let order = nl.topo_order().unwrap();
+        let pos1 = order.iter().position(|&g| g == 0).unwrap();
+        let pos2 = order.iter().position(|&g| g == 1).unwrap();
+        assert!(pos1 < pos2, "g1 must precede g2");
+    }
+
+    #[test]
+    fn sink_nets_are_primary_outputs() {
+        let (nl, _, _, out) = two_gate_chain();
+        assert_eq!(nl.sink_nets(), vec![out]);
+    }
+
+    #[test]
+    fn fanout_and_driver() {
+        let (nl, a, mid, _) = two_gate_chain();
+        assert_eq!(nl.fanout_of(a), vec![(0, 0)]);
+        assert_eq!(nl.driver_of(mid).unwrap().name, "g1");
+        assert!(nl.driver_of(a).is_none());
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut nl = GateNetlist::new();
+        let a = nl.net("a");
+        let out = nl.net("out");
+        nl.mark_primary_input(a);
+        nl.add_gate("g1", CellId(0), &[a], out);
+        nl.add_gate("g2", CellId(0), &[a], out);
+        assert!(nl.topo_order().is_err());
+    }
+
+    #[test]
+    fn undriven_input_rejected() {
+        let mut nl = GateNetlist::new();
+        let ghost = nl.net("ghost");
+        let out = nl.net("out");
+        nl.add_gate("g1", CellId(0), &[ghost], out);
+        assert!(nl.topo_order().is_err());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut nl = GateNetlist::new();
+        let a = nl.net("a");
+        let b = nl.net("b");
+        nl.add_gate("g1", CellId(0), &[b], a);
+        nl.add_gate("g2", CellId(0), &[a], b);
+        assert!(nl.topo_order().is_err());
+    }
+}

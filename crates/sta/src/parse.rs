@@ -1,0 +1,240 @@
+//! A parser for ISCAS-style `.bench` netlists.
+//!
+//! The accepted grammar (case-insensitive keywords, `#` comments):
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! Gate types are resolved to library cells through a caller-provided
+//! resolver, so the parser stays independent of which cells were
+//! characterized. `NOT`/`INV`, `NAND`, `NOR`, `AOI21`, `OAI21` are the
+//! type names the bundled resolver in [`crate::library`] users typically
+//! map.
+
+use crate::library::CellId;
+use crate::netlist::{GateNetlist, NetId};
+use std::fmt;
+
+/// The error returned by [`parse_bench`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    /// 1-based line number.
+    pub line: usize,
+    what: String,
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench parse error at line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+/// The parsed design.
+#[derive(Debug, Clone)]
+pub struct ParsedBench {
+    /// The structural netlist.
+    pub netlist: GateNetlist,
+    /// Primary inputs, in declaration order.
+    pub inputs: Vec<NetId>,
+    /// Primary outputs, in declaration order.
+    pub outputs: Vec<NetId>,
+}
+
+fn err(line: usize, what: impl Into<String>) -> ParseBenchError {
+    ParseBenchError { line, what: what.into() }
+}
+
+/// Parses a `.bench` netlist. `resolve(gate_type, fan_in)` maps a gate
+/// keyword (upper-cased, e.g. `"NAND"`) and its fan-in to a library cell.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate types, or
+/// structural problems (validated via [`GateNetlist::topo_order`]).
+pub fn parse_bench(
+    text: &str,
+    mut resolve: impl FnMut(&str, usize) -> Option<CellId>,
+) -> Result<ParsedBench, ParseBenchError> {
+    let mut netlist = GateNetlist::new();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut gate_count = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT") {
+            let name = paren_arg(rest, line, line_no)?;
+            let net = netlist.net(&name);
+            netlist.mark_primary_input(net);
+            inputs.push(net);
+            continue;
+        }
+        if let Some(rest) = upper.strip_prefix("OUTPUT") {
+            let name = paren_arg(rest, line, line_no)?;
+            outputs.push(netlist.net(&name));
+            continue;
+        }
+        // `lhs = TYPE(arg, ...)`
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(err(line_no, format!("expected `net = GATE(...)`, got {line:?}")));
+        };
+        let out_name = lhs.trim();
+        if out_name.is_empty() {
+            return Err(err(line_no, "empty output net name"));
+        }
+        let rhs = rhs.trim();
+        let Some(open) = rhs.find('(') else {
+            return Err(err(line_no, "missing `(` in gate expression"));
+        };
+        if !rhs.ends_with(')') {
+            return Err(err(line_no, "missing `)` in gate expression"));
+        }
+        let gate_type = rhs[..open].trim().to_ascii_uppercase();
+        let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if args.is_empty() {
+            return Err(err(line_no, "gate has no inputs"));
+        }
+        let Some(cell) = resolve(&gate_type, args.len()) else {
+            return Err(err(
+                line_no,
+                format!("no library cell for {gate_type}/{}", args.len()),
+            ));
+        };
+        let input_nets: Vec<NetId> = args.iter().map(|a| netlist.net(a)).collect();
+        let out_net = netlist.net(out_name);
+        gate_count += 1;
+        netlist.add_gate(&format!("g{gate_count}_{out_name}"), cell, &input_nets, out_net);
+    }
+
+    netlist
+        .topo_order()
+        .map_err(|e| err(0, e.to_string()))?;
+    for &po in &outputs {
+        if netlist.driver_of(po).is_none() && !netlist.primary_inputs().contains(&po) {
+            return Err(err(0, format!("output {} is undriven", netlist.net_name(po))));
+        }
+    }
+    Ok(ParsedBench { netlist, inputs, outputs })
+}
+
+fn paren_arg(rest: &str, original: &str, line: usize) -> Result<String, ParseBenchError> {
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err(line, format!("expected `(name)` in {original:?}")))?;
+    let name = inner.trim();
+    if name.is_empty() {
+        return Err(err(line, "empty net name"));
+    }
+    // Preserve the original casing of the net name.
+    let start = original.to_ascii_uppercase().find('(').expect("checked above") + 1;
+    let end = original.rfind(')').expect("checked above");
+    Ok(original[start..end].trim().to_string())
+}
+
+/// The ISCAS-85 C17 benchmark in bench format, for tests and demos.
+pub const C17_BENCH: &str = "\
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand_only(ty: &str, fanin: usize) -> Option<CellId> {
+        (ty == "NAND" && fanin == 2).then_some(CellId(0))
+    }
+
+    #[test]
+    fn parses_c17() {
+        let p = parse_bench(C17_BENCH, nand_only).unwrap();
+        assert_eq!(p.inputs.len(), 5);
+        assert_eq!(p.outputs.len(), 2);
+        assert_eq!(p.netlist.gates().len(), 6);
+        assert!(p.netlist.topo_order().is_ok());
+        // Same structure as the programmatic builder.
+        let (built, pis, pos) = crate::circuits::c17(CellId(0));
+        assert_eq!(p.netlist.gates().len(), built.gates().len());
+        assert_eq!(p.inputs.len(), pis.len());
+        assert_eq!(p.outputs.len(), pos.len());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "
+# a comment
+INPUT(a)   # trailing comment
+
+OUTPUT(y)
+y = NAND(a, a)
+";
+        let p = parse_bench(text, nand_only).unwrap();
+        assert_eq!(p.inputs.len(), 1);
+        assert_eq!(p.netlist.gates().len(), 1);
+    }
+
+    #[test]
+    fn mixed_case_keywords_accepted() {
+        let text = "input(x)\noutput(y)\ny = nand(x, x)\n";
+        let p = parse_bench(text, nand_only).unwrap();
+        assert_eq!(p.netlist.net_name(p.inputs[0]), "x");
+    }
+
+    #[test]
+    fn unknown_gate_type_reports_line() {
+        let text = "INPUT(a)\ny = XOR(a, a)\n";
+        let e = parse_bench(text, nand_only).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("XOR"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for bad in ["INPUT a", "y = NAND(a, b", "y NAND(a)", "= NAND(a)", "y = NAND()"] {
+            let text = format!("INPUT(a)\nINPUT(b)\n{bad}\n");
+            assert!(parse_bench(&text, nand_only).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let text = "INPUT(a)\nOUTPUT(ghost)\ny = NAND(a, a)\n";
+        assert!(parse_bench(text, nand_only).is_err());
+    }
+
+    #[test]
+    fn cyclic_bench_rejected() {
+        let text = "INPUT(a)\nx = NAND(y, a)\ny = NAND(x, a)\n";
+        assert!(parse_bench(text, nand_only).is_err());
+    }
+}

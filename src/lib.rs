@@ -1,0 +1,62 @@
+//! # proxim — temporal-proximity gate delay modeling
+//!
+//! A production-quality Rust reproduction of *"Modeling the Effects of
+//! Temporal Proximity of Input Transitions on Gate Propagation Delay and
+//! Transition Time"* (V. Chandramouli and K. A. Sakallah, DAC 1996 /
+//! Univ. of Michigan CSE-TR-262-95), including every substrate the paper
+//! depends on:
+//!
+//! - [`spice`]: a from-scratch transistor-level circuit simulator (the
+//!   paper used HSPICE) — MNA, Level-1 MOSFETs, Newton–Raphson DC, DC
+//!   sweeps, trapezoidal transient.
+//! - [`cells`]: CMOS standard-cell generators and technology descriptions.
+//! - [`model`]: the paper's contribution — VTC-based threshold selection,
+//!   single- and dual-input proximity macromodels, the `ProximityDelay`
+//!   composition algorithm, the glitch/inertial-delay model, and the
+//!   prior-art baselines.
+//! - [`sta`]: proximity-aware static timing analysis over gate-level
+//!   netlists.
+//! - [`numeric`]: the numeric kernels underneath it all.
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results. The runnable
+//! examples live in `examples/`; the benchmark harness that regenerates
+//! every figure and table of the paper is the `experiments` binary in
+//! `crates/bench`.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use proxim::cells::{Cell, Technology};
+//! use proxim::model::characterize::CharacterizeOptions;
+//! use proxim::model::{InputEvent, ProximityModel};
+//! use proxim::numeric::pwl::Edge;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::demo_5v();
+//! let nand3 = Cell::nand(3);
+//! let model = ProximityModel::characterize(&nand3, &tech, &CharacterizeOptions::default())?;
+//!
+//! let events = vec![
+//!     InputEvent::new(0, Edge::Falling, 0.0, 500e-12),
+//!     InputEvent::new(1, Edge::Falling, 120e-12, 300e-12),
+//! ];
+//! let timing = model.gate_timing(&events)?;
+//! println!(
+//!     "delay {:.1} ps, output transition {:.1} ps (referenced to pin {})",
+//!     timing.delay * 1e12,
+//!     timing.output_transition * 1e12,
+//!     timing.reference_pin,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use proxim_cells as cells;
+pub use proxim_model as model;
+pub use proxim_numeric as numeric;
+pub use proxim_spice as spice;
+pub use proxim_sta as sta;

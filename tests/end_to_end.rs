@@ -1,0 +1,356 @@
+//! End-to-end integration: characterize → query → cross-check against the
+//! simulator, and run the full netlist-timing pipeline.
+
+use proxim::cells::{Cell, Technology};
+use proxim::model::characterize::{CharacterizeOptions, Simulator};
+use proxim::model::{InputEvent, ProximityModel};
+use proxim::numeric::pwl::Edge;
+use proxim::sta::circuits::{c17, full_adder};
+use proxim::sta::timing::{DelayMode, PiAssignment, Sta};
+use proxim::sta::TimingLibrary;
+use std::sync::LazyLock;
+
+static NAND2_MODEL: LazyLock<ProximityModel> = LazyLock::new(|| {
+    // Medium fidelity: the roundtrip accuracy bands below assume only a few
+    // percent of table-interpolation error (full fidelity is validated in
+    // EXPERIMENTS.md; `fast()` is for structural tests, not accuracy).
+    ProximityModel::characterize(
+        &Cell::nand(2),
+        &Technology::demo_5v(),
+        &CharacterizeOptions::medium(),
+    )
+    .expect("characterization succeeds")
+});
+
+#[test]
+fn characterize_query_simulate_roundtrip() {
+    let model = &*NAND2_MODEL;
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let sim = Simulator::new(&cell, &tech, *model.thresholds(), model.reference_load(), 0.04);
+
+    for &(s, tau_a, tau_b, edge) in &[
+        (0.0, 400e-12, 400e-12, Edge::Falling),
+        (150e-12, 800e-12, 200e-12, Edge::Falling),
+        (-200e-12, 300e-12, 1200e-12, Edge::Falling),
+        (0.0, 500e-12, 500e-12, Edge::Rising),
+        (100e-12, 1000e-12, 400e-12, Edge::Rising),
+    ] {
+        let e_a = InputEvent::new(0, edge, 0.0, tau_a);
+        let arrival_a = e_a.arrival(model.thresholds());
+        let frac_b = InputEvent::new(1, edge, 0.0, tau_b).arrival(model.thresholds());
+        let e_b = InputEvent::new(1, edge, arrival_a + s - frac_b, tau_b);
+        let events = [e_a, e_b];
+
+        let predicted = model.gate_timing(&events).expect("query succeeds");
+        let r = sim.simulate(&events).expect("simulation succeeds");
+        let k = events
+            .iter()
+            .position(|e| e.pin == predicted.reference_pin)
+            .expect("reference pin present");
+        let measured = r.delay_from(k, model.thresholds()).expect("output switches");
+        let err = (predicted.delay - measured).abs() / measured;
+        assert!(
+            err < 0.15,
+            "{edge} s={s:.1e}: model {:.1}ps vs sim {:.1}ps ({:.1}% error)",
+            predicted.delay * 1e12,
+            measured * 1e12,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn model_generalizes_across_load() {
+    // The dimensionless tables were characterized at 100 fF; they must
+    // stay accurate at a different load.
+    let model = &*NAND2_MODEL;
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let c_load = 220e-15;
+    let sim = Simulator::new(&cell, &tech, *model.thresholds(), c_load, 0.04);
+
+    let events = [
+        InputEvent::new(0, Edge::Falling, 0.0, 600e-12),
+        InputEvent::new(1, Edge::Falling, 100e-12, 600e-12),
+    ];
+    let predicted = model.gate_timing_at_load(&events, c_load).expect("query succeeds");
+    let r = sim.simulate(&events).expect("simulation succeeds");
+    let k = events
+        .iter()
+        .position(|e| e.pin == predicted.reference_pin)
+        .expect("pin present");
+    let measured = r.delay_from(k, model.thresholds()).expect("output switches");
+    let err = (predicted.delay - measured).abs() / measured;
+    assert!(err < 0.20, "load generalization error {:.1}%", err * 100.0);
+}
+
+#[test]
+fn nldm_surfaces_carry_queries_far_off_reference() {
+    // A 100 fF-characterized library queried at a 15 fF fanout-like load:
+    // the hybrid lookup routes through the load-slew surfaces and stays
+    // accurate where the fixed-load dimensionless form would clamp.
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let opts = CharacterizeOptions {
+        load_grid: Some(proxim::numeric::grid::logspace(8e-15, 300e-15, 4)),
+        ..CharacterizeOptions::medium()
+    };
+    let model =
+        ProximityModel::characterize(&cell, &tech, &opts).expect("characterization succeeds");
+    assert!(model.load_slew_model(0, Edge::Falling).is_some());
+
+    let c_small = 15e-15;
+    let sim = Simulator::new(&cell, &tech, *model.thresholds(), c_small, 0.04);
+    let events = [
+        InputEvent::new(0, Edge::Falling, 0.0, 600e-12),
+        InputEvent::new(1, Edge::Falling, 100e-12, 600e-12),
+    ];
+    let predicted = model.gate_timing_at_load(&events, c_small).expect("query succeeds");
+    let r = sim.simulate(&events).expect("simulation succeeds");
+    let k = events
+        .iter()
+        .position(|e| e.pin == predicted.reference_pin)
+        .expect("pin present");
+    let measured = r.delay_from(k, model.thresholds()).expect("output switches");
+    let err = (predicted.delay - measured).abs() / measured;
+    assert!(err < 0.12, "off-reference error {:.1}%", err * 100.0);
+}
+
+#[test]
+fn model_generalizes_across_technology() {
+    // The entire flow runs unchanged on a different process corner.
+    let tech = Technology::demo_3v3();
+    let cell = Cell::nand(2);
+    let model = ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast())
+        .expect("3.3 V characterization succeeds");
+    let th = model.thresholds();
+    assert!(th.v_il > 0.0 && th.v_ih < tech.vdd);
+
+    let events = [
+        InputEvent::new(0, Edge::Falling, 0.0, 400e-12),
+        InputEvent::new(1, Edge::Falling, 0.0, 400e-12),
+    ];
+    let t = model.gate_timing(&events).expect("query succeeds");
+    assert!(t.delay > 0.0 && t.output_transition > 0.0);
+}
+
+#[test]
+fn sta_pipeline_times_c17_both_modes() {
+    let mut library = TimingLibrary::new();
+    let nand2 = library.add(NAND2_MODEL.clone());
+    let (nl, pis, pos) = c17(nand2);
+    let sta = Sta::new(&library, &nl);
+    let assignments = vec![
+        PiAssignment::switching(pis[0], Edge::Rising, 0.0, 300e-12),
+        PiAssignment::stable(pis[1], true),
+        PiAssignment::stable(pis[2], true),
+        PiAssignment::stable(pis[3], true),
+        PiAssignment::stable(pis[4], true),
+    ];
+    for mode in [DelayMode::Proximity, DelayMode::SingleInput] {
+        let report = sta.run(&assignments, mode).expect("timing runs");
+        let ev = report.net_event(pos[0]).expect("N22 switches");
+        assert!(ev.arrival > 0.0 && ev.arrival < 5e-9, "{mode:?}: {}", ev.arrival);
+    }
+}
+
+#[test]
+fn proximity_sta_differs_from_classic_on_simultaneous_inputs() {
+    let mut library = TimingLibrary::new();
+    let nand2 = library.add(NAND2_MODEL.clone());
+    let (nl, ins, outs) = full_adder(nand2);
+    let sta = Sta::new(&library, &nl);
+    // a and b rise almost together: NAND(a, b) sees proximal inputs.
+    let assignments = vec![
+        PiAssignment::switching(ins[0], Edge::Rising, 0.0, 300e-12),
+        PiAssignment::switching(ins[1], Edge::Rising, 30e-12, 300e-12),
+        PiAssignment::stable(ins[2], false),
+    ];
+    let prox = sta.run(&assignments, DelayMode::Proximity).expect("runs");
+    let single = sta.run(&assignments, DelayMode::SingleInput).expect("runs");
+    let (po, tp) = prox.critical_arrival().expect("outputs switch");
+    let (_, ts) = single.critical_arrival().expect("outputs switch");
+    assert!(
+        (tp - ts).abs() / ts > 0.005,
+        "modes should disagree on proximal stimulus: {tp} vs {ts} (output {})",
+        nl.net_name(po)
+    );
+    let _ = outs;
+}
+
+#[test]
+fn cgaas_class_technology_characterizes_end_to_end() {
+    // The paper's stated future work (§7): apply the technique to CGaAs.
+    // The flow is technology-agnostic — thresholds come out of the gate's
+    // own VTC family and all tables are dimensionless — so the surrogate
+    // CGaAs-class corner runs unchanged.
+    let tech = Technology::cgaas_like();
+    let cell = Cell::nand(2);
+    let model = ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast())
+        .expect("CGaAs-class characterization succeeds");
+    let th = model.thresholds();
+    assert!(0.0 < th.v_il && th.v_il < th.v_ih && th.v_ih < tech.vdd, "{th:?}");
+
+    // The proximity speedup for falling inputs survives the corner.
+    let together = model
+        .gate_timing(&[
+            InputEvent::new(0, Edge::Falling, 0.0, 300e-12),
+            InputEvent::new(1, Edge::Falling, 0.0, 300e-12),
+        ])
+        .expect("query succeeds");
+    let apart = model
+        .gate_timing(&[
+            InputEvent::new(0, Edge::Falling, 0.0, 300e-12),
+            InputEvent::new(1, Edge::Falling, 30e-9, 300e-12),
+        ])
+        .expect("query succeeds");
+    assert!(together.delay < apart.delay, "proximity speedup holds in CGaAs-class tech");
+}
+
+#[test]
+fn nor2_characterizes_with_flipped_threshold_policy() {
+    // The NOR's V_il comes from the all-switching curve and V_ih from the
+    // pin nearest the supply (§2) — the mirror of the NAND — and the model
+    // still answers proximity queries with positive delays on both edges.
+    let tech = Technology::demo_5v();
+    let cell = Cell::nor(2);
+    let model = ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast())
+        .expect("NOR characterization succeeds");
+    let th = model.thresholds();
+    // NOR switching thresholds sit below mid-rail (weak PMOS stack).
+    assert!(th.v_il < th.v_ih);
+    for edge in [Edge::Rising, Edge::Falling] {
+        let events = [
+            InputEvent::new(0, edge, 0.0, 400e-12),
+            InputEvent::new(1, edge, 60e-12, 700e-12),
+        ];
+        let t = model.gate_timing(&events).expect("query succeeds");
+        assert!(t.delay > 0.0 && t.output_transition > 0.0, "{edge}");
+        // NOR is inverting: rising inputs drop the output.
+        let expect_edge = if edge == Edge::Rising { Edge::Falling } else { Edge::Rising };
+        assert_eq!(t.output_edge, expect_edge);
+    }
+}
+
+#[test]
+fn aoi21_characterizes_despite_pin_without_controlling_value() {
+    // AOI21's `a` pin has no single controlling value; scenario resolution
+    // and characterization must still find sensitizing levels.
+    let tech = Technology::demo_5v();
+    let cell = Cell::aoi21();
+    assert_eq!(cell.controlling_level(0), None);
+    // AOI pins have heterogeneous partners (a-b is a series pair, c is a
+    // parallel branch), so the one-partner-per-pin scheme is ambiguous;
+    // asymmetric cells characterize the full pair matrix (DESIGN.md §7).
+    let opts = CharacterizeOptions { full_pair_matrix: true, ..CharacterizeOptions::fast() };
+    let model = ProximityModel::characterize(&cell, &tech, &opts)
+        .expect("AOI21 characterization succeeds");
+    assert!(!model.extra_dual_models().is_empty(), "pair matrix characterized");
+    // The series pair (a, b) rising in proximity must show the stack
+    // slowdown, like the NAND.
+    let events = [
+        InputEvent::new(0, Edge::Rising, 0.0, 500e-12),
+        InputEvent::new(1, Edge::Rising, 0.0, 500e-12),
+    ];
+    let both = model.gate_timing(&events).expect("query succeeds");
+    let spread = [
+        InputEvent::new(0, Edge::Rising, 0.0, 500e-12),
+        InputEvent::new(1, Edge::Rising, -20e-9, 500e-12),
+    ];
+    let apart = model.gate_timing(&spread).expect("query succeeds");
+    assert!(
+        both.delay > apart.delay,
+        "stack proximity slows AOI21: {} vs {}",
+        both.delay,
+        apart.delay
+    );
+}
+
+#[test]
+fn mixed_cell_library_times_a_heterogeneous_netlist() {
+    // NAND2 + INV in one netlist: per-cell models, per-net loads.
+    let tech = Technology::demo_5v();
+    let mut library = TimingLibrary::new();
+    let nand2 = library.add(NAND2_MODEL.clone());
+    let inv = library.add(
+        ProximityModel::characterize(&Cell::inv(), &tech, &CharacterizeOptions::fast())
+            .expect("INV characterization succeeds"),
+    );
+
+    let mut nl = proxim::sta::GateNetlist::new();
+    let a = nl.net("a");
+    let b = nl.net("b");
+    let n1 = nl.net("n1");
+    let y = nl.net("y");
+    nl.mark_primary_input(a);
+    nl.mark_primary_input(b);
+    nl.add_gate("g1", nand2, &[a, b], n1);
+    nl.add_gate("g2", inv, &[n1], y);
+    let sta = Sta::new(&library, &nl);
+    let report = sta
+        .run(
+            &[
+                PiAssignment::switching(a, Edge::Rising, 0.0, 300e-12),
+                PiAssignment::switching(b, Edge::Rising, 40e-12, 300e-12),
+            ],
+            DelayMode::Proximity,
+        )
+        .expect("mixed netlist times");
+    let ev_n1 = report.net_event(n1).expect("NAND output switches");
+    let ev_y = report.net_event(y).expect("INV output switches");
+    assert_eq!(ev_n1.edge, Edge::Falling);
+    assert_eq!(ev_y.edge, Edge::Rising);
+    assert!(ev_y.arrival > ev_n1.arrival, "inverter adds delay");
+    // Rising inputs gate the NAND's series stack on the later arrival (b),
+    // so the critical path runs through it.
+    assert_eq!(report.critical_path(), vec![b, n1, y]);
+}
+
+#[test]
+fn model_persistence_roundtrip_through_disk() {
+    let model = &*NAND2_MODEL;
+    let path = std::env::temp_dir().join("proxim_e2e_model.json");
+    model.save(&path).expect("save succeeds");
+    let back = ProximityModel::load(&path).expect("load succeeds");
+    std::fs::remove_file(&path).ok();
+    let events = [
+        InputEvent::new(0, Edge::Falling, 0.0, 500e-12),
+        InputEvent::new(1, Edge::Falling, 100e-12, 500e-12),
+    ];
+    let a = model.gate_timing(&events).expect("query");
+    let b = back.gate_timing(&events).expect("query");
+    assert!((a.delay - b.delay).abs() < 1e-18 + 1e-12 * a.delay.abs());
+}
+
+#[test]
+fn baselines_run_on_the_same_scenarios() {
+    let model = &*NAND2_MODEL;
+    let events = [
+        InputEvent::new(0, Edge::Falling, 0.0, 400e-12),
+        InputEvent::new(1, Edge::Falling, 80e-12, 700e-12),
+    ];
+    let prox = model.gate_timing(&events).expect("proximity query");
+    let single =
+        proxim::model::baseline::single_switching_timing(model, &events).expect("baseline");
+    // The single-input baseline ignores the second pull-up path, so for
+    // falling inputs in proximity it must be slower than the proximity
+    // prediction.
+    assert!(
+        single.delay > prox.delay,
+        "single-input {:.1}ps should exceed proximity {:.1}ps",
+        single.delay * 1e12,
+        prox.delay * 1e12
+    );
+
+    let mut collapsed = proxim::model::baseline::CollapsedInverter::new(
+        Technology::demo_5v(),
+        model.reference_load(),
+        0.1,
+        vec![150e-12, 600e-12, 1800e-12],
+    );
+    let coll = collapsed
+        .timing(&Cell::nand(2), *model.thresholds(), &events)
+        .expect("collapsed baseline");
+    assert!(coll.delay > 0.0);
+}

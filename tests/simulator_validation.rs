@@ -1,0 +1,202 @@
+//! Simulator-level validation against closed-form solutions and logic
+//! truth tables — the substrate has to be trustworthy before the model
+//! built on it means anything.
+
+use proxim::cells::{Cell, Technology};
+use proxim::numeric::pwl::Edge;
+use proxim::spice::circuit::{Circuit, Waveform};
+use proxim::spice::tran::{Integrator, TranOptions};
+
+#[test]
+fn rc_step_matches_exponential_everywhere() {
+    let (r, c) = (2.2e3, 0.47e-12);
+    let tau = r * c;
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 1e-13, 3.0));
+    ckt.resistor("R", inp, out, r);
+    ckt.capacitor("C", out, Circuit::GND, c);
+    let result = ckt.tran(&TranOptions::to(8.0 * tau).with_dv_max(0.01)).expect("runs");
+    let w = result.waveform(out);
+    for k in 1..=20 {
+        let t = k as f64 * 0.35 * tau;
+        let expect = 3.0 * (1.0 - (-t / tau).exp());
+        assert!(
+            (w.eval(t) - expect).abs() < 0.02,
+            "t/tau = {:.2}: {} vs {}",
+            t / tau,
+            w.eval(t),
+            expect
+        );
+    }
+}
+
+#[test]
+fn two_stage_rc_ladder_matches_state_space_solution() {
+    // R1-C1-R2-C2 ladder driven by a step: compare against the analytic
+    // two-pole response computed by eigendecomposition by hand.
+    let (r1, c1, r2, c2) = (1e3, 1e-12, 1e3, 1e-12);
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let mid = ckt.node("mid");
+    let out = ckt.node("out");
+    ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 1e-14, 1.0));
+    ckt.resistor("R1", inp, mid, r1);
+    ckt.capacitor("C1", mid, Circuit::GND, c1);
+    ckt.resistor("R2", mid, out, r2);
+    ckt.capacitor("C2", out, Circuit::GND, c2);
+    let result = ckt.tran(&TranOptions::to(15e-9).with_dv_max(0.005)).expect("runs");
+    let w = result.waveform(out);
+
+    // State matrix for x = [v_mid, v_out]:
+    //   dv_mid/dt = ((1 - v_mid)/r1 - (v_mid - v_out)/r2) / c1
+    //   dv_out/dt = (v_mid - v_out) / (r2 c2)
+    // With equal RC the eigenvalues are (-3 ± sqrt(5)) / (2 RC).
+    let rc = r1 * c1;
+    let l1 = (-3.0 + 5.0f64.sqrt()) / (2.0 * rc);
+    let l2 = (-3.0 - 5.0f64.sqrt()) / (2.0 * rc);
+    // v_out(t) = 1 + a e^{l1 t} + b e^{l2 t}; with v_out(0) = 0 and
+    // v_out'(0) = 0: a + b = -1 and a l1 + b l2 = 0, giving
+    // a = l2/(l1 - l2), b = -l1/(l1 - l2).
+    let a = l2 / (l1 - l2);
+    let b = -l1 / (l1 - l2);
+    for k in 1..=10 {
+        let t = k as f64 * 1e-9;
+        let expect = 1.0 + a * (l1 * t).exp() + b * (l2 * t).exp();
+        assert!(
+            (w.eval(t) - expect).abs() < 0.01,
+            "t = {t:.1e}: {} vs {}",
+            w.eval(t),
+            expect
+        );
+    }
+}
+
+#[test]
+fn integrators_agree_on_smooth_response() {
+    let build = || {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(0.5e-9, 2e-9, 0.0, 2.0));
+        ckt.resistor("R", inp, out, 1e3);
+        ckt.capacitor("C", out, Circuit::GND, 1e-12);
+        (ckt, out)
+    };
+    let (ckt, out) = build();
+    let trap = ckt
+        .tran(&TranOptions::to(8e-9).with_dv_max(0.01))
+        .expect("trap runs");
+    let be = ckt
+        .tran(
+            &TranOptions::to(8e-9)
+                .with_dv_max(0.01)
+                .with_integrator(Integrator::BackwardEuler),
+        )
+        .expect("be runs");
+    for k in 1..=16 {
+        let t = k as f64 * 0.5e-9;
+        let a = trap.waveform(out).eval(t);
+        let b = be.waveform(out).eval(t);
+        assert!((a - b).abs() < 0.01, "t = {t:.1e}: trap {a} vs be {b}");
+    }
+}
+
+#[test]
+fn every_generated_cell_matches_its_truth_table_in_dc() {
+    let tech = Technology::demo_5v();
+    for cell in [
+        Cell::inv(),
+        Cell::nand(2),
+        Cell::nand(3),
+        Cell::nand(4),
+        Cell::nor(2),
+        Cell::nor(3),
+        Cell::aoi21(),
+        Cell::oai21(),
+    ] {
+        let n = cell.input_count();
+        for mask in 0..(1u32 << n) {
+            let levels: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let mut net = cell.netlist(&tech, 50e-15);
+            for (pin, &hi) in levels.iter().enumerate() {
+                net.set_level(pin, hi);
+            }
+            let op = net.circuit.dc_op().expect("dc converges");
+            let v = op.voltage(net.out);
+            let expect = cell.output_for(&levels);
+            if expect {
+                assert!(v > 0.9 * tech.vdd, "{} {levels:?}: {v}", cell.name());
+            } else {
+                assert!(v < 0.1 * tech.vdd, "{} {levels:?}: {v}", cell.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_switching_respects_logic_for_all_cells() {
+    // Drive each cell's pin 0 with a ramp while the rest sit at
+    // sensitizing levels; the output must complete the predicted edge.
+    let tech = Technology::demo_5v();
+    for cell in [Cell::inv(), Cell::nand(3), Cell::nor(2), Cell::aoi21(), Cell::oai21()] {
+        let Some(mut levels) = cell.sensitizing_levels(0) else {
+            panic!("{} pin 0 must be sensitizable", cell.name());
+        };
+        let mut net = cell.netlist(&tech, 50e-15);
+        for (pin, &hi) in levels.iter().enumerate() {
+            if pin != 0 {
+                net.set_level(pin, hi);
+            }
+        }
+        net.set_waveform(0, Waveform::ramp(0.5e-9, 0.5e-9, 0.0, tech.vdd));
+        let result = net.circuit.tran(&TranOptions::to(8e-9)).expect("runs");
+        let w = result.waveform(net.out);
+
+        levels[0] = false;
+        let v_before = cell.output_for(&levels);
+        levels[0] = true;
+        let v_after = cell.output_for(&levels);
+        let start = w.eval(0.1e-9);
+        let end = w.eval(8e-9);
+        assert_eq!(start > 2.5, v_before, "{} initial level", cell.name());
+        assert_eq!(end > 2.5, v_after, "{} final level", cell.name());
+        let edge = if v_after { Edge::Rising } else { Edge::Falling };
+        assert!(
+            w.first_crossing(2.5, edge).is_some(),
+            "{} output must cross mid-rail",
+            cell.name()
+        );
+    }
+}
+
+#[test]
+fn source_branch_current_balances_load() {
+    // KCL at the source: a 5 V source over 1 kOhm draws exactly 5 mA.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource("V1", a, Circuit::GND, Waveform::Dc(5.0));
+    ckt.resistor("R1", a, Circuit::GND, 1e3);
+    let op = ckt.dc_op().expect("converges");
+    assert!((op.branch_current(0) + 5e-3).abs() < 1e-9);
+}
+
+#[test]
+fn vtc_endpoints_hit_rails_for_nand_family() {
+    let tech = Technology::demo_5v();
+    for n in 2..=4 {
+        let cell = Cell::nand(n);
+        let mut net = cell.netlist(&tech, 50e-15);
+        for pin in 1..n {
+            net.set_level(pin, true);
+        }
+        let sw = net
+            .circuit
+            .dc_sweep("Va", 0.0, tech.vdd, 101)
+            .expect("sweep converges");
+        let curve = sw.transfer_curve(net.out);
+        assert!(curve.eval(0.0) > 0.98 * tech.vdd, "NAND{n} low end");
+        assert!(curve.eval(tech.vdd) < 0.02 * tech.vdd, "NAND{n} high end");
+    }
+}
