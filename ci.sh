@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, tier-1 build + tests, and the
+# characterization benchmark (emits BENCH_characterize.json at the repo
+# root). Run from anywhere; operates on the repo that contains it.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> bench: characterization pipeline"
+./target/release/bench_characterize --out BENCH_characterize.json
+
+echo "==> CI OK"

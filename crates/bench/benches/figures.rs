@@ -23,8 +23,8 @@ fn bench_fig2_1(c: &mut Criterion) {
     let env = env();
     c.bench_function("fig2_1_vtc_family_41pts", |b| {
         b.iter(|| {
-            let fam = fig2_1::run(&env.cell, &env.tech, env.model.reference_load(), 41)
-                .expect("runs");
+            let fam =
+                fig2_1::run(&env.cell, &env.tech, env.model.reference_load(), 41).expect("runs");
             black_box(fam.curves().len())
         })
     });

@@ -26,7 +26,10 @@ fn bench_model_query(c: &mut Criterion) {
     let events = scenario();
     c.bench_function("proximity_model_query", |b| {
         b.iter(|| {
-            let t = env.model.gate_timing(black_box(&events)).expect("query succeeds");
+            let t = env
+                .model
+                .gate_timing(black_box(&events))
+                .expect("query succeeds");
             black_box(t.delay)
         })
     });
@@ -50,11 +53,8 @@ fn bench_baseline_query(c: &mut Criterion) {
     let events = scenario();
     c.bench_function("single_input_baseline_query", |b| {
         b.iter(|| {
-            let t = proxim_model::baseline::single_switching_timing(
-                &env.model,
-                black_box(&events),
-            )
-            .expect("query succeeds");
+            let t = proxim_model::baseline::single_switching_timing(&env.model, black_box(&events))
+                .expect("query succeeds");
             black_box(t.delay)
         })
     });
@@ -68,8 +68,7 @@ fn bench_persist_roundtrip(c: &mut Criterion) {
     });
     c.bench_function("model_from_json", |b| {
         b.iter(|| {
-            let m = proxim_model::ProximityModel::from_json(black_box(&json))
-                .expect("parses");
+            let m = proxim_model::ProximityModel::from_json(black_box(&json)).expect("parses");
             black_box(m.table_entries())
         })
     });

@@ -25,10 +25,7 @@ fn library() -> &'static (TimingLibrary, proxim_sta::CellId) {
     })
 }
 
-fn ripple_assignments(
-    ins: &[proxim_sta::NetId],
-    bits: usize,
-) -> Vec<PiAssignment> {
+fn ripple_assignments(ins: &[proxim_sta::NetId], bits: usize) -> Vec<PiAssignment> {
     let mut assignments = Vec::new();
     for (k, &net) in ins.iter().enumerate() {
         if k == 0 {
@@ -52,13 +49,17 @@ fn bench_sta_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("sta_adder8");
     group.bench_function("proximity", |b| {
         b.iter(|| {
-            let r = sta.run(black_box(&assignments), DelayMode::Proximity).expect("runs");
+            let r = sta
+                .run(black_box(&assignments), DelayMode::Proximity)
+                .expect("runs");
             black_box(r.critical_arrival())
         })
     });
     group.bench_function("single_input", |b| {
         b.iter(|| {
-            let r = sta.run(black_box(&assignments), DelayMode::SingleInput).expect("runs");
+            let r = sta
+                .run(black_box(&assignments), DelayMode::SingleInput)
+                .expect("runs");
             black_box(r.critical_arrival())
         })
     });
@@ -74,7 +75,14 @@ fn bench_env_smoke(c: &mut Criterion) {
             proxim_model::measure::InputEvent::new(0, Edge::Falling, 0.0, 400e-12),
             proxim_model::measure::InputEvent::new(1, Edge::Falling, 50e-12, 400e-12),
         ];
-        b.iter(|| black_box(env.model.gate_timing(&events).expect("query succeeds").delay))
+        b.iter(|| {
+            black_box(
+                env.model
+                    .gate_timing(&events)
+                    .expect("query succeeds")
+                    .delay,
+            )
+        })
     });
 }
 

@@ -46,7 +46,10 @@ pub fn correction(
         let on = env.model.gate_timing_opts(&events, c_load, true)?;
         let off = env.model.gate_timing_opts(&events, c_load, false)?;
         let r = sim.simulate(&events)?;
-        let k = events.iter().position(|e| e.pin == on.reference_pin).expect("pin");
+        let k = events
+            .iter()
+            .position(|e| e.pin == on.reference_pin)
+            .expect("pin");
         let d_sim = r.delay_from(k, &th)?;
         with.push((on.delay - d_sim) / d_sim * 100.0);
         without.push((off.delay - d_sim) / d_sim * 100.0);
@@ -79,9 +82,11 @@ pub fn dominance(env: &ExperimentEnv, points: usize) -> Result<DominanceAblation
     let th = env.thresholds();
     let c_load = env.model.reference_load();
     let single = |pin: usize| {
-        env.model.single_model(pin, edge).ok_or_else(|| ModelError::InvalidQuery {
-            detail: format!("pin {pin} uncharacterized"),
-        })
+        env.model
+            .single_model(pin, edge)
+            .ok_or_else(|| ModelError::InvalidQuery {
+                detail: format!("pin {pin} uncharacterized"),
+            })
     };
     let duals: Vec<Option<&DualInputModel>> = (0..env.cell.input_count())
         .map(|p| env.model.dual_model(p, edge))
@@ -129,7 +134,10 @@ pub fn dominance(env: &ExperimentEnv, points: usize) -> Result<DominanceAblation
 
         let r = sim.simulate(&events)?;
         let arrival_sim = {
-            let k = events.iter().position(|e| e.pin == paper.reference_pin).expect("pin");
+            let k = events
+                .iter()
+                .position(|e| e.pin == paper.reference_pin)
+                .expect("pin");
             events[k].arrival(&th) + r.delay_from(k, &th)?
         };
         let d_ref = arrival_sim - events[0].arrival(&th).min(events[1].arrival(&th));
@@ -188,7 +196,10 @@ pub fn grid(points_per_axis: &[usize], configs: usize) -> Result<GridAblation, M
             let events = [e_a, e_b];
             let predicted = model.gate_timing(&events)?;
             let r = sim.simulate(&events)?;
-            let k = events.iter().position(|e| e.pin == predicted.reference_pin).expect("pin");
+            let k = events
+                .iter()
+                .position(|e| e.pin == predicted.reference_pin)
+                .expect("pin");
             let d_sim = r.delay_from(k, &th)?;
             errs.push((predicted.delay - d_sim) / d_sim * 100.0);
         }
@@ -223,12 +234,18 @@ pub fn analytic(env: &ExperimentEnv, points: usize) -> Result<AnalyticAblation, 
 
     let edge = Edge::Falling;
     let c_load = env.model.reference_load();
-    let single = env.model.single_model(0, edge).ok_or_else(|| {
-        ModelError::InvalidQuery { detail: "pin 0 uncharacterized".into() }
-    })?;
-    let dual = env.model.dual_model(0, edge).ok_or_else(|| {
-        ModelError::InvalidQuery { detail: "pin 0 dual uncharacterized".into() }
-    })?;
+    let single = env
+        .model
+        .single_model(0, edge)
+        .ok_or_else(|| ModelError::InvalidQuery {
+            detail: "pin 0 uncharacterized".into(),
+        })?;
+    let dual = env
+        .model
+        .dual_model(0, edge)
+        .ok_or_else(|| ModelError::InvalidQuery {
+            detail: "pin 0 dual uncharacterized".into(),
+        })?;
     let fit_single = AnalyticSingle::fit(single)?;
     let fit_dual = AnalyticDual::fit(dual, ((0.15, 9.0), (0.15, 9.0), (-2.5, 1.0)), 7)?;
 
@@ -263,7 +280,10 @@ pub fn print_analytic(a: &AnalyticAblation) {
         "fit quality: single delay R² = {:.4}, dual delay surface R² = {:.4}",
         a.single_delay_r2, a.dual_delay_r2
     );
-    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "backend", "mean", "std-dev", "max", "min");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10}",
+        "backend", "mean", "std-dev", "max", "min"
+    );
     for (name, s) in [("table", &a.table_errs), ("closed form", &a.analytic_errs)] {
         println!(
             "{:>14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
@@ -311,7 +331,10 @@ pub fn pairs(configs: usize, seed: u64) -> Result<PairAblation, ModelError> {
     let paper_model = ProximityModel::characterize(
         &cell,
         &tech,
-        &CharacterizeOptions { full_pair_matrix: false, ..opts },
+        &CharacterizeOptions {
+            full_pair_matrix: false,
+            ..opts
+        },
     )?;
 
     let th = *matrix_model.thresholds();
@@ -331,12 +354,19 @@ pub fn pairs(configs: usize, seed: u64) -> Result<PairAblation, ModelError> {
             let frac = InputEvent::new(pin, Edge::Falling, 0.0, tau).arrival(&th);
             InputEvent::new(pin, Edge::Falling, arrival_a + s - frac, tau)
         };
-        let events = [e_a, place(1, cfg.tau[1], cfg.s_ab), place(2, cfg.tau[2], cfg.s_ac)];
+        let events = [
+            e_a,
+            place(1, cfg.tau[1], cfg.s_ab),
+            place(2, cfg.tau[2], cfg.s_ac),
+        ];
 
         let p = paper_model.gate_timing(&events)?;
         let m = matrix_model.gate_timing(&events)?;
         let r = sim.simulate(&events)?;
-        let k = events.iter().position(|e| e.pin == p.reference_pin).expect("pin");
+        let k = events
+            .iter()
+            .position(|e| e.pin == p.reference_pin)
+            .expect("pin");
         let d_sim = r.delay_from(k, &th)?;
         let arrival_sim = events[k].arrival(&th) + d_sim;
         paper_errs.push((p.output_arrival - arrival_sim) / d_sim * 100.0);
@@ -351,7 +381,12 @@ pub fn pairs(configs: usize, seed: u64) -> Result<PairAblation, ModelError> {
                     .filter_map(move |e| model.dual_model(p, e).map(|m| m.table_len()))
             })
             .sum();
-        primary + model.extra_dual_models().iter().map(|m| m.table_len()).sum::<usize>()
+        primary
+            + model
+                .extra_dual_models()
+                .iter()
+                .map(|m| m.table_len())
+                .sum::<usize>()
     };
     Ok(PairAblation {
         paper_scheme: Summary::of(&paper_errs),
@@ -396,8 +431,7 @@ pub fn integrator(env: &ExperimentEnv, points: usize) -> Result<f64, ModelError>
 
         let mut delays = Vec::new();
         for method in [Integrator::Trapezoidal, Integrator::BackwardEuler] {
-            let scenario =
-                proxim_model::measure::Scenario::resolve(&env.cell, &[e_a, e_b])?;
+            let scenario = proxim_model::measure::Scenario::resolve(&env.cell, &[e_a, e_b])?;
             let mut net = env.cell.netlist(&env.tech, env.model.reference_load());
             for (pin, lv) in scenario.stable_levels.iter().enumerate() {
                 if let Some(h) = lv {
@@ -415,9 +449,11 @@ pub fn integrator(env: &ExperimentEnv, points: usize) -> Result<f64, ModelError>
                 .with_integrator(method);
             let r = net.circuit.tran(&opts)?;
             let out = r.waveform(net.out);
-            let t_out = out
-                .first_rising_crossing(th.v_il)
-                .ok_or_else(|| ModelError::MissingCrossing { what: "integrator ablation".into() })?;
+            let t_out =
+                out.first_rising_crossing(th.v_il)
+                    .ok_or_else(|| ModelError::MissingCrossing {
+                        what: "integrator ablation".into(),
+                    })?;
             delays.push(t_out - ea.arrival(&th));
         }
         let dev = (delays[0] - delays[1]).abs() / delays[0].abs().max(1e-15);
@@ -429,9 +465,14 @@ pub fn integrator(env: &ExperimentEnv, points: usize) -> Result<f64, ModelError>
 /// Prints all ablation results.
 pub fn print_correction(c: &CorrectionAblation) {
     println!("\nAblation: simultaneous-step correction term (delay error %)");
-    println!("{:>20} {:>10} {:>10} {:>10} {:>10}", "variant", "mean", "std-dev", "max", "min");
-    for (name, s) in [("with correction", &c.with_correction), ("without", &c.without_correction)]
-    {
+    println!(
+        "{:>20} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "mean", "std-dev", "max", "min"
+    );
+    for (name, s) in [
+        ("with correction", &c.with_correction),
+        ("without", &c.without_correction),
+    ] {
         println!(
             "{:>20} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             name, s.mean, s.std_dev, s.max, s.min
@@ -442,8 +483,14 @@ pub fn print_correction(c: &CorrectionAblation) {
 /// Prints the dominance ablation.
 pub fn print_dominance(d: &DominanceAblation) {
     println!("\nAblation: dominance rule (output-arrival error %, disagreement band)");
-    println!("{:>20} {:>10} {:>10} {:>10} {:>10}", "variant", "mean", "std-dev", "max", "min");
-    for (name, s) in [("crossing (paper)", &d.paper_rule), ("naive arrival", &d.arrival_rule)] {
+    println!(
+        "{:>20} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "mean", "std-dev", "max", "min"
+    );
+    for (name, s) in [
+        ("crossing (paper)", &d.paper_rule),
+        ("naive arrival", &d.arrival_rule),
+    ] {
         println!(
             "{:>20} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             name, s.mean, s.std_dev, s.max, s.min
@@ -454,7 +501,10 @@ pub fn print_dominance(d: &DominanceAblation) {
 /// Prints the grid ablation.
 pub fn print_grid(g: &GridAblation) {
     println!("\nAblation: dual-table grid resolution (NAND2, delay error %)");
-    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "points/axis", "mean", "std-dev", "max", "min");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10}",
+        "points/axis", "mean", "std-dev", "max", "min"
+    );
     for (pts, s) in &g.rows {
         println!(
             "{:>14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",

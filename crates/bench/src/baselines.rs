@@ -53,7 +53,10 @@ pub fn run(env: &ExperimentEnv, count: usize, seed: u64) -> Result<BaselineCompa
         // Golden: the absolute output arrival measured against each
         // method's own reference pin, compared as arrival error relative to
         // the simulated delay from the proximity reference.
-        let k_prox = events.iter().position(|e| e.pin == prox.reference_pin).expect("pin");
+        let k_prox = events
+            .iter()
+            .position(|e| e.pin == prox.reference_pin)
+            .expect("pin");
         let delay_sim = r.delay_from(k_prox, &th)?;
         let arrival_sim = events[k_prox].arrival(&th) + delay_sim;
 
@@ -73,7 +76,10 @@ pub fn run(env: &ExperimentEnv, count: usize, seed: u64) -> Result<BaselineCompa
 /// Prints the comparison.
 pub fn print(c: &BaselineComparison) {
     println!("\nBaseline comparison: output-arrival error vs simulation [% of delay]");
-    println!("{:>20} {:>10} {:>10} {:>10} {:>10}", "method", "mean", "std-dev", "max", "min");
+    println!(
+        "{:>20} {:>10} {:>10} {:>10} {:>10}",
+        "method", "mean", "std-dev", "max", "min"
+    );
     for (name, s) in [
         ("proximity (paper)", &c.proximity),
         ("single-input", &c.single_input),

@@ -1,0 +1,179 @@
+//! Benchmarks the enumerate → execute → assemble characterization pipeline
+//! and emits `BENCH_characterize.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_characterize [--out PATH] [--jobs N]
+//! ```
+//!
+//! Measures, on a NAND2 at reduced (`fast`) grids with glitch and load–slew
+//! surfaces enabled so every job kind is exercised:
+//!
+//! 1. sequential characterization (`jobs = 1`) — the pre-pipeline baseline,
+//! 2. parallel characterization (`jobs = N`, default
+//!    `available_parallelism()`), asserting the output is byte-identical,
+//! 3. a cold-miss / warm-hit pass through the on-disk [`ModelCache`].
+//!
+//! Per-run per-phase wall-clock and sims/sec come from [`CharStats`]; the
+//! speedup line compares total wall-clock of (2) against (1).
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::jobs::CharStats;
+use proxim_model::persist::ModelCache;
+use proxim_model::ProximityModel;
+use proxim_numeric::grid::logspace;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn bench_opts() -> CharacterizeOptions {
+    CharacterizeOptions {
+        glitch: true,
+        load_grid: Some(logspace(20e-15, 200e-15, 3)),
+        ..CharacterizeOptions::fast()
+    }
+}
+
+/// One timed characterization; returns (model JSON, stats, wall seconds).
+fn run(cell: &Cell, tech: &Technology, jobs: usize) -> (String, CharStats, f64) {
+    let opts = CharacterizeOptions {
+        jobs,
+        ..bench_opts()
+    };
+    let t0 = Instant::now();
+    let (model, stats) = ProximityModel::characterize_with_stats(cell, tech, &opts)
+        .expect("benchmark characterization must succeed");
+    let wall = t0.elapsed().as_secs_f64();
+    (model.to_json().expect("model serializes"), stats, wall)
+}
+
+fn stats_json(stats: &CharStats, wall: f64) -> String {
+    let p = stats.phases;
+    format!(
+        concat!(
+            "{{\"threads\": {}, \"sims_run\": {}, \"wall_s\": {:.6}, ",
+            "\"sims_per_sec\": {:.1}, ",
+            "\"phases_s\": {{\"vtc\": {:.6}, \"singles\": {:.6}, ",
+            "\"pairs\": {:.6}, \"finish\": {:.6}}}, ",
+            "\"cache_hits\": {}, \"cache_misses\": {}}}"
+        ),
+        stats.threads,
+        stats.sims_run,
+        wall,
+        stats.sims_run as f64 / wall.max(1e-12),
+        p.vtc,
+        p.singles,
+        p.pairs,
+        p.finish,
+        stats.cache_hits,
+        stats.cache_misses,
+    )
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_characterize.json");
+    let mut jobs = 0usize; // 0 → available_parallelism
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out = path;
+            }
+            "--jobs" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--jobs needs a non-negative count");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_characterize [--out PATH] [--jobs N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let threads = CharacterizeOptions {
+        jobs,
+        ..bench_opts()
+    }
+    .worker_threads();
+
+    // Untimed warmup so the baseline is not penalized for cold page/file
+    // caches relative to the runs after it.
+    run(&cell, &tech, 1);
+
+    eprintln!("sequential baseline (jobs = 1)...");
+    let (json_seq, seq, wall_seq) = run(&cell, &tech, 1);
+    eprintln!("  {} sims in {:.2} s", seq.sims_run, wall_seq);
+
+    eprintln!("parallel (jobs = {threads})...");
+    let (json_par, par, wall_par) = run(&cell, &tech, threads.max(1));
+    eprintln!("  {} sims in {:.2} s", par.sims_run, wall_par);
+    assert_eq!(json_seq, json_par, "parallel output must be byte-identical");
+
+    // Cache pass: cold miss then warm hit, in a scratch directory.
+    let cache_root = std::env::temp_dir().join("proxim_bench_cache");
+    let cache = ModelCache::new(&cache_root);
+    cache.wipe().expect("cache wipe");
+    let opts = CharacterizeOptions {
+        jobs: threads,
+        ..bench_opts()
+    };
+    let mut cold = CharStats::default();
+    let t0 = Instant::now();
+    cache
+        .characterize(&cell, &tech, &opts, &mut cold)
+        .expect("cold characterize");
+    let wall_cold = t0.elapsed().as_secs_f64();
+    let mut warm = CharStats::default();
+    let t0 = Instant::now();
+    cache
+        .characterize(&cell, &tech, &opts, &mut warm)
+        .expect("warm characterize");
+    let wall_warm = t0.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&cache_root).ok();
+    eprintln!(
+        "cache: cold {:.2} s ({} miss), warm {:.4} s ({} hit, {} sims)",
+        wall_cold, cold.cache_misses, wall_warm, warm.cache_hits, warm.sims_run
+    );
+
+    let speedup = wall_seq / wall_par.max(1e-12);
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"characterize\",\n",
+            "  \"cell\": \"nand2\",\n",
+            "  \"byte_identical\": true,\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"sequential\": {},\n",
+            "  \"parallel\": {},\n",
+            "  \"cache_cold\": {},\n",
+            "  \"cache_warm\": {}\n",
+            "}}\n"
+        ),
+        speedup,
+        stats_json(&seq, wall_seq),
+        stats_json(&par, wall_par),
+        stats_json(&cold, wall_cold),
+        stats_json(&warm, wall_warm),
+    );
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{report}");
+    eprintln!("wrote {out} (speedup {speedup:.2}x on {threads} worker(s))");
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,9 @@
 //! minutes); the shapes survive, the error statistics loosen.
 
 use proxim_bench::env::{ExperimentEnv, Fidelity};
-use proxim_bench::{ablations, baselines, fanin, fig1_2, fig2_1, fig3_3, fig4_2, fig6_1, path_validation, table5_1};
+use proxim_bench::{
+    ablations, baselines, fanin, fig1_2, fig2_1, fig3_3, fig4_2, fig6_1, path_validation, table5_1,
+};
 use std::process::ExitCode;
 
 const ALL: &[&str] = &[
@@ -41,7 +43,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--fast" => fast = true,
             "--help" | "-h" => {
-                println!("usage: experiments [--fast] [ids...|all]\nids: {}", ALL.join(" "));
+                println!(
+                    "usage: experiments [--fast] [ids...|all]\nids: {}",
+                    ALL.join(" ")
+                );
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),
@@ -114,9 +119,12 @@ fn main() -> ExitCode {
             }
         }
     }
-    let needs_env = ids
-        .iter()
-        .any(|i| !matches!(i.as_str(), "fig4-2" | "ablate-grid" | "ablate-pairs" | "fanin" | "path-validation"));
+    let needs_env = ids.iter().any(|i| {
+        !matches!(
+            i.as_str(),
+            "fig4-2" | "ablate-grid" | "ablate-pairs" | "fanin" | "path-validation"
+        )
+    });
     if !needs_env {
         return ExitCode::SUCCESS;
     }

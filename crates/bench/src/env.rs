@@ -56,7 +56,12 @@ impl ExperimentEnv {
         let cell = Cell::nand(3);
         let model = ProximityModel::characterize(&cell, &tech, &fidelity.options())
             .expect("characterizing the reference NAND3 must succeed");
-        Self { tech, cell, model, fidelity }
+        Self {
+            tech,
+            cell,
+            model,
+            fidelity,
+        }
     }
 
     /// The measurement thresholds the model selected.
@@ -92,8 +97,6 @@ mod tests {
 
     #[test]
     fn fidelity_options_differ() {
-        assert!(
-            Fidelity::Full.options().tau_grid.len() > Fidelity::Fast.options().tau_grid.len()
-        );
+        assert!(Fidelity::Full.options().tau_grid.len() > Fidelity::Fast.options().tau_grid.len());
     }
 }

@@ -40,7 +40,11 @@ pub fn run(
         let model = ProximityModel::characterize(&cell, &tech, opts)?;
         let report = validate(
             &model,
-            &ValidateOptions { configs, dv_max: opts.dv_max * 0.6, ..ValidateOptions::default() },
+            &ValidateOptions {
+                configs,
+                dv_max: opts.dv_max * 0.6,
+                ..ValidateOptions::default()
+            },
         )?;
         rows.push(FaninRow {
             n,
@@ -54,7 +58,10 @@ pub fn run(
 
 /// Prints the fan-in table.
 pub fn print(rows: &[FaninRow]) {
-    println!("\nFan-in scaling: NAND2..NAND{} on the Table 5-1 population", rows.last().map_or(0, |r| r.n));
+    println!(
+        "\nFan-in scaling: NAND2..NAND{} on the Table 5-1 population",
+        rows.last().map_or(0, |r| r.n)
+    );
     println!(
         "{:>4} {:>22} {:>22} {:>10}",
         "n", "delay err (mean/sd %)", "trans err (mean/sd %)", "entries"

@@ -83,8 +83,16 @@ pub fn run(env: &ExperimentEnv, points: usize) -> Result<Fig12, ModelError> {
 /// Prints the figure as aligned columns (ps units).
 pub fn print(fig: &Fig12) {
     for (label, series, effect) in [
-        ("Fig 1-2(a,b): falling inputs a,b (output rises)", &fig.falling, "speedup"),
-        ("Fig 1-2(c,d): rising inputs a,b (output falls)", &fig.rising, "slowdown"),
+        (
+            "Fig 1-2(a,b): falling inputs a,b (output rises)",
+            &fig.falling,
+            "speedup",
+        ),
+        (
+            "Fig 1-2(c,d): rising inputs a,b (output falls)",
+            &fig.rising,
+            "slowdown",
+        ),
     ] {
         println!("\n{label} — proximity {effect}");
         print!("{:>10}", "s [ps]");

@@ -24,7 +24,10 @@ pub fn run(
 /// selected measurement thresholds.
 pub fn print(cell: &Cell, family: &VtcFamily) {
     println!("\nFig 2-1(c): VTC thresholds per switching combination (V)");
-    println!("{:>12} {:>8} {:>8} {:>8}", "switching", "V_il", "V_m", "V_ih");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8}",
+        "switching", "V_il", "V_m", "V_ih"
+    );
     for c in family.curves() {
         let pins: Vec<String> = c
             .switching_pins()
@@ -59,7 +62,11 @@ mod tests {
         assert_eq!(family.curves().len(), 7);
         // Every curve satisfies V_il < V_m < V_ih.
         for c in family.curves() {
-            assert!(c.v_il < c.v_m && c.v_m < c.v_ih, "curve {:#b}", c.switching_mask);
+            assert!(
+                c.v_il < c.v_m && c.v_m < c.v_ih,
+                "curve {:#b}",
+                c.switching_mask
+            );
         }
         // The paper's guarantee: min V_il < every V_m < max V_ih.
         let th = family.thresholds();
@@ -81,13 +88,19 @@ mod tests {
             .iter()
             .min_by(|a, b| a.v_il.partial_cmp(&b.v_il).unwrap())
             .unwrap();
-        assert_eq!(min_curve.switching_mask, 0b100, "bottom input alone gives min V_il");
+        assert_eq!(
+            min_curve.switching_mask, 0b100,
+            "bottom input alone gives min V_il"
+        );
         let max_curve = family
             .curves()
             .iter()
             .max_by(|a, b| a.v_ih.partial_cmp(&b.v_ih).unwrap())
             .unwrap();
-        assert_eq!(max_curve.switching_mask, 0b111, "all switching gives max V_ih");
+        assert_eq!(
+            max_curve.switching_mask, 0b111,
+            "all switching gives max V_ih"
+        );
     }
 
     #[test]
@@ -103,14 +116,20 @@ mod tests {
             .iter()
             .min_by(|a, b| a.v_il.partial_cmp(&b.v_il).unwrap())
             .unwrap();
-        assert_eq!(min_curve.switching_mask, 0b111, "all switching gives min V_il");
+        assert_eq!(
+            min_curve.switching_mask, 0b111,
+            "all switching gives min V_il"
+        );
         let max_curve = family
             .curves()
             .iter()
             .max_by(|a, b| a.v_ih.partial_cmp(&b.v_ih).unwrap())
             .unwrap();
         // Pin 0 is the series PMOS closest to the supply.
-        assert_eq!(max_curve.switching_mask, 0b001, "top input alone gives max V_ih");
+        assert_eq!(
+            max_curve.switching_mask, 0b001,
+            "top input alone gives max V_ih"
+        );
     }
 
     #[test]

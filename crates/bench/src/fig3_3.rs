@@ -52,15 +52,20 @@ pub fn run(env: &ExperimentEnv, points: usize) -> Result<Vec<Series>, ModelError
     let single_a = env
         .model
         .single_model(0, edge)
-        .ok_or_else(|| ModelError::InvalidQuery { detail: "pin a uncharacterized".into() })?;
+        .ok_or_else(|| ModelError::InvalidQuery {
+            detail: "pin a uncharacterized".into(),
+        })?;
     let d_a = single_a.delay(tau_a, c_load);
     let t_a = single_a.transition(tau_a, c_load);
 
     let mut out = Vec::new();
     for &tau_b in &[100e-12, 500e-12, 1000e-12] {
-        let single_b = env.model.single_model(1, edge).ok_or_else(|| {
-            ModelError::InvalidQuery { detail: "pin b uncharacterized".into() }
-        })?;
+        let single_b = env
+            .model
+            .single_model(1, edge)
+            .ok_or_else(|| ModelError::InvalidQuery {
+                detail: "pin b uncharacterized".into(),
+            })?;
         let d_b = single_b.delay(tau_b, c_load);
         let t_b = single_b.transition(tau_b, c_load);
         let crossover = d_a - d_b;
@@ -83,9 +88,18 @@ pub fn run(env: &ExperimentEnv, points: usize) -> Result<Vec<Series>, ModelError
                 .position(|e| e.pin == dominant)
                 .expect("reference pin is one of the events");
             let delay_sim = r.delay_from(k_ref, &th)?;
-            rows.push(Row { s, dominant, delay_sim, delay_model: predicted.delay });
+            rows.push(Row {
+                s,
+                dominant,
+                delay_sim,
+                delay_model: predicted.delay,
+            });
         }
-        out.push(Series { tau_b, crossover, rows });
+        out.push(Series {
+            tau_b,
+            crossover,
+            rows,
+        });
         let _ = (t_a, t_b); // transition windows are exercised by fig1_2
     }
     Ok(out)
@@ -99,7 +113,10 @@ pub fn print(series: &[Series]) {
             s.tau_b * 1e12,
             s.crossover * 1e12
         );
-        println!("{:>10} {:>5} {:>12} {:>12} {:>8}", "s [ps]", "dom", "sim [ps]", "model [ps]", "err %");
+        println!(
+            "{:>10} {:>5} {:>12} {:>12} {:>8}",
+            "s [ps]", "dom", "sim [ps]", "model [ps]", "err %"
+        );
         for r in &s.rows {
             let err = (r.delay_model - r.delay_sim) / r.delay_sim * 100.0;
             println!(

@@ -35,9 +35,15 @@ pub fn run(max_n: usize, grid1: usize, grid3: usize) -> Vec<Row> {
 /// Prints the table, optionally annotating with a real model's footprint.
 pub fn print(rows: &[Row], actual: Option<&ProximityModel>) {
     println!("\nFig 4-2: storage (table entries per modeled quantity)");
-    println!("{:>4} {:>24} {:>16} {:>12}", "n", "full (4.1)", "pair matrix", "paper (2n)");
+    println!(
+        "{:>4} {:>24} {:>16} {:>12}",
+        "n", "full (4.1)", "pair matrix", "paper (2n)"
+    );
     for r in rows {
-        println!("{:>4} {:>24} {:>16} {:>12}", r.n, r.full, r.pair_matrix, r.paper);
+        println!(
+            "{:>4} {:>24} {:>16} {:>12}",
+            r.n, r.full, r.pair_matrix, r.paper
+        );
     }
     if let Some(m) = actual {
         println!(
@@ -62,7 +68,11 @@ mod tests {
         assert_eq!(rows[7].full, 8 * 8u128.pow(15));
         // Ordering for n >= 3: full > matrix > paper.
         for r in &rows[2..] {
-            assert!(r.full > r.pair_matrix && r.pair_matrix > r.paper, "n = {}", r.n);
+            assert!(
+                r.full > r.pair_matrix && r.pair_matrix > r.paper,
+                "n = {}",
+                r.n
+            );
         }
     }
 }

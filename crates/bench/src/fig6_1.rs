@@ -29,11 +29,7 @@ pub struct Series {
 }
 
 /// Simulates one causer/blocker pair and returns the output minimum.
-fn simulate_pair(
-    env: &ExperimentEnv,
-    e_b: InputEvent,
-    e_a: InputEvent,
-) -> Result<f64, ModelError> {
+fn simulate_pair(env: &ExperimentEnv, e_b: InputEvent, e_a: InputEvent) -> Result<f64, ModelError> {
     // Stable pin c at its sensitizing level for the causer; a starts high.
     let scenario = Scenario::resolve(&env.cell, &[e_b])?;
     let mut net = env.cell.netlist(&env.tech, env.model.reference_load());
@@ -53,7 +49,9 @@ fn simulate_pair(
     let t_end = (e_b.ramp.t_start + e_b.ramp.transition_time)
         .max(e_a.ramp.t_start + e_a.ramp.transition_time)
         + 4e-9;
-    let r = net.circuit.tran(&TranOptions::to(t_end).with_dv_max(0.03))?;
+    let r = net
+        .circuit
+        .tran(&TranOptions::to(t_end).with_dv_max(0.03))?;
     Ok(r.waveform(net.out).min().1)
 }
 
@@ -90,12 +88,14 @@ pub fn run(env: &ExperimentEnv, points: usize) -> Result<Vec<Series>, ModelError
             rows.push((s, v_sim, v_model));
         }
         let min_separation_model = match (glitch, d1) {
-            (Some(g), Some(d1)) => {
-                g.min_separation_for_valid_output(tau_b, tau_a, d1, th.v_il)
-            }
+            (Some(g), Some(d1)) => g.min_separation_for_valid_output(tau_b, tau_a, d1, th.v_il),
             _ => None,
         };
-        out.push(Series { tau_b, rows, min_separation_model });
+        out.push(Series {
+            tau_b,
+            rows,
+            min_separation_model,
+        });
     }
     Ok(out)
 }
@@ -117,7 +117,9 @@ pub fn print(series: &[Series], v_il: f64) {
                 "{:>10.0} {:>12.3} {:>12}",
                 sep * 1e12,
                 v_sim,
-                v_model.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into())
+                v_model
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".into())
             );
         }
     }

@@ -11,11 +11,11 @@ use proxim_model::characterize::CharacterizeOptions;
 use proxim_model::{ModelError, ProximityModel};
 use proxim_numeric::pwl::Edge;
 use proxim_numeric::Summary;
+use proxim_spice::tran::TranOptions;
 use proxim_sta::circuits::{full_adder, ripple_carry_adder};
 use proxim_sta::elaborate::elaborate_flat;
 use proxim_sta::timing::{DelayMode, PiAssignment, Sta};
 use proxim_sta::{GateNetlist, NetId, TimingLibrary};
-use proxim_spice::tran::TranOptions;
 
 /// One compared primary-output arrival.
 #[derive(Debug, Clone)]
@@ -133,7 +133,10 @@ pub fn run(opts: &CharacterizeOptions) -> Result<PathValidation, ModelError> {
     // netlist every net carries one or two gate inputs, not the default
     // 100 fF bench load (the paper's dimensionless form holds at a fixed
     // load, so the library should be built near the loads it will see).
-    let opts = CharacterizeOptions { c_load: 2.0 * cell.input_cap(&tech), ..opts.clone() };
+    let opts = CharacterizeOptions {
+        c_load: 2.0 * cell.input_cap(&tech),
+        ..opts.clone()
+    };
     let model = ProximityModel::characterize(&cell, &tech, &opts)?;
     let th = *model.thresholds();
     let mut library = TimingLibrary::new();
@@ -144,14 +147,22 @@ pub fn run(opts: &CharacterizeOptions) -> Result<PathValidation, ModelError> {
         let sta = Sta::new(&library, &spec.netlist);
         let prox = sta
             .run(&spec.assignments, DelayMode::Proximity)
-            .map_err(|e| ModelError::InvalidQuery { detail: e.to_string() })?;
+            .map_err(|e| ModelError::InvalidQuery {
+                detail: e.to_string(),
+            })?;
         let single = sta
             .run(&spec.assignments, DelayMode::SingleInput)
-            .map_err(|e| ModelError::InvalidQuery { detail: e.to_string() })?;
+            .map_err(|e| ModelError::InvalidQuery {
+                detail: e.to_string(),
+            })?;
 
         // Golden: flatten and simulate the whole netlist.
-        let mut flat = elaborate_flat(&spec.netlist, &library, &tech, opts.c_load)
-            .map_err(|e| ModelError::InvalidQuery { detail: e.to_string() })?;
+        let mut flat =
+            elaborate_flat(&spec.netlist, &library, &tech, opts.c_load).map_err(|e| {
+                ModelError::InvalidQuery {
+                    detail: e.to_string(),
+                }
+            })?;
         flat.apply_assignments(&spec.assignments);
         let t_stop = prox
             .critical_arrival()
@@ -187,7 +198,11 @@ pub fn run(opts: &CharacterizeOptions) -> Result<PathValidation, ModelError> {
     }
     let proximity = Summary::of(&rows.iter().map(PathRow::prox_err_pct).collect::<Vec<_>>());
     let single = Summary::of(&rows.iter().map(PathRow::single_err_pct).collect::<Vec<_>>());
-    Ok(PathValidation { rows, proximity, single })
+    Ok(PathValidation {
+        rows,
+        proximity,
+        single,
+    })
 }
 
 /// Prints the validation.

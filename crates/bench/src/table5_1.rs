@@ -54,7 +54,11 @@ pub fn events_for(env: &ExperimentEnv, cfg: &Config) -> [InputEvent; 3] {
         let frac = InputEvent::new(pin, Edge::Falling, 0.0, tau).arrival(&th);
         InputEvent::new(pin, Edge::Falling, arrival_a + s - frac, tau)
     };
-    [e_a, place(1, cfg.tau[1], cfg.s_ab), place(2, cfg.tau[2], cfg.s_ac)]
+    [
+        e_a,
+        place(1, cfg.tau[1], cfg.s_ab),
+        place(2, cfg.tau[2], cfg.s_ac),
+    ]
 }
 
 /// The per-configuration comparison.
@@ -107,22 +111,47 @@ pub fn run(env: &ExperimentEnv, count: usize, seed: u64) -> Result<Table51, Mode
     }
 
     let delay = Summary::of(
-        &comparisons.iter().map(|c| c.delay_err_pct).collect::<Vec<_>>(),
+        &comparisons
+            .iter()
+            .map(|c| c.delay_err_pct)
+            .collect::<Vec<_>>(),
     );
     let rise_time = Summary::of(
-        &comparisons.iter().map(|c| c.trans_err_pct).collect::<Vec<_>>(),
+        &comparisons
+            .iter()
+            .map(|c| c.trans_err_pct)
+            .collect::<Vec<_>>(),
     );
-    Ok(Table51 { comparisons, delay, rise_time })
+    Ok(Table51 {
+        comparisons,
+        delay,
+        rise_time,
+    })
 }
 
 /// Prints Table 5-1 alongside the paper's reported numbers.
 pub fn print(t: &Table51) {
-    println!("\nTable 5-1: model vs circuit simulation ({} configs)", t.comparisons.len());
-    println!("{:>12} {:>12} {:>12} {:>14} {:>14}", "quantity", "this repo", "", "paper", "");
-    println!("{:>12} {:>12} {:>12} {:>14} {:>14}", "", "delay", "rise time", "delay", "rise time");
+    println!(
+        "\nTable 5-1: model vs circuit simulation ({} configs)",
+        t.comparisons.len()
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>14}",
+        "quantity", "this repo", "", "paper", ""
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>14}",
+        "", "delay", "rise time", "delay", "rise time"
+    );
     let rows = [
         ("mean %", t.delay.mean, t.rise_time.mean, 1.4, -1.33),
-        ("std-dev %", t.delay.std_dev, t.rise_time.std_dev, 2.46, 4.82),
+        (
+            "std-dev %",
+            t.delay.std_dev,
+            t.rise_time.std_dev,
+            2.46,
+            4.82,
+        ),
         ("max %", t.delay.max, t.rise_time.max, 8.54, 11.51),
         ("min %", t.delay.min, t.rise_time.min, -6.94, -13.15),
     ];
@@ -147,12 +176,20 @@ pub fn print_histograms(t: &Table51) {
     println!("\nFig 5-1(a): delay error distribution [%]");
     print!("{}", d.to_bar_chart(40));
     if d.underflow() + d.overflow() > 0 {
-        println!("(out of range: {} below, {} above)", d.underflow(), d.overflow());
+        println!(
+            "(out of range: {} below, {} above)",
+            d.underflow(),
+            d.overflow()
+        );
     }
     println!("\nFig 5-1(b): rise-time error distribution [%]");
     print!("{}", r.to_bar_chart(40));
     if r.underflow() + r.overflow() > 0 {
-        println!("(out of range: {} below, {} above)", r.underflow(), r.overflow());
+        println!(
+            "(out of range: {} below, {} above)",
+            r.underflow(),
+            r.overflow()
+        );
     }
 }
 

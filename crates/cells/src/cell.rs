@@ -50,9 +50,7 @@ impl Network {
     fn max_input(&self) -> Option<usize> {
         match self {
             Self::Input(i) => Some(*i),
-            Self::Series(xs) | Self::Parallel(xs) => {
-                xs.iter().filter_map(Self::max_input).max()
-            }
+            Self::Series(xs) | Self::Parallel(xs) => xs.iter().filter_map(Self::max_input).max(),
         }
     }
 
@@ -60,9 +58,7 @@ impl Network {
     pub fn transistor_count(&self) -> usize {
         match self {
             Self::Input(_) => 1,
-            Self::Series(xs) | Self::Parallel(xs) => {
-                xs.iter().map(Self::transistor_count).sum()
-            }
+            Self::Series(xs) | Self::Parallel(xs) => xs.iter().map(Self::transistor_count).sum(),
         }
     }
 }
@@ -106,14 +102,32 @@ impl Cell {
     pub fn from_pdn(name: &str, input_names: Vec<String>, pdn: Network, wn: f64, wp: f64) -> Self {
         assert!(!input_names.is_empty(), "a cell needs at least one input");
         assert!(wn > 0.0 && wp > 0.0, "device widths must be positive");
-        let max = pdn.max_input().expect("pull-down network must not be empty");
-        assert!(max < input_names.len(), "network references input {max} but only {} inputs exist", input_names.len());
-        Self { name: name.to_string(), input_names, pdn, wn, wp }
+        let max = pdn
+            .max_input()
+            .expect("pull-down network must not be empty");
+        assert!(
+            max < input_names.len(),
+            "network references input {max} but only {} inputs exist",
+            input_names.len()
+        );
+        Self {
+            name: name.to_string(),
+            input_names,
+            pdn,
+            wn,
+            wp,
+        }
     }
 
     /// An inverter.
     pub fn inv() -> Self {
-        Self::from_pdn("INV", letter_names(1), Network::Input(0), DEFAULT_WN, DEFAULT_WP)
+        Self::from_pdn(
+            "INV",
+            letter_names(1),
+            Network::Input(0),
+            DEFAULT_WN,
+            DEFAULT_WP,
+        )
     }
 
     /// An `n`-input NAND; input 0 is the series transistor closest to the
@@ -129,7 +143,13 @@ impl Cell {
         } else {
             Network::Series((0..n).map(Network::Input).collect())
         };
-        Self::from_pdn(&format!("NAND{n}"), letter_names(n), pdn, DEFAULT_WN, DEFAULT_WP)
+        Self::from_pdn(
+            &format!("NAND{n}"),
+            letter_names(n),
+            pdn,
+            DEFAULT_WN,
+            DEFAULT_WP,
+        )
     }
 
     /// An `n`-input NOR; input 0 is the series PMOS closest to the supply.
@@ -144,7 +164,13 @@ impl Cell {
         } else {
             Network::Parallel((0..n).map(Network::Input).collect())
         };
-        Self::from_pdn(&format!("NOR{n}"), letter_names(n), pdn, DEFAULT_WN, DEFAULT_WP)
+        Self::from_pdn(
+            &format!("NOR{n}"),
+            letter_names(n),
+            pdn,
+            DEFAULT_WN,
+            DEFAULT_WP,
+        )
     }
 
     /// An AOI21: `out = !(a·b + c)`.
@@ -229,8 +255,9 @@ impl Cell {
         'level: for level in [false, true] {
             let mut fixed: Option<bool> = None;
             for mask in 0..(1u32 << self.input_count()) {
-                let mut levels: Vec<bool> =
-                    (0..self.input_count()).map(|i| mask & (1 << i) != 0).collect();
+                let mut levels: Vec<bool> = (0..self.input_count())
+                    .map(|i| mask & (1 << i) != 0)
+                    .collect();
                 levels[pin] = level;
                 let out = self.output_for(&levels);
                 match fixed {
@@ -339,12 +366,28 @@ impl Cell {
 
         let pun = self.pdn.dual();
         self.build_network(
-            ckt, &self.pdn, out, Circuit::GND, MosType::Nmos, tech, input_nodes,
-            &mut junction, &mut dev_count, &format!("{prefix}_pdn"),
+            ckt,
+            &self.pdn,
+            out,
+            Circuit::GND,
+            MosType::Nmos,
+            tech,
+            input_nodes,
+            &mut junction,
+            &mut dev_count,
+            &format!("{prefix}_pdn"),
         );
         self.build_network(
-            ckt, &pun, vdd, out, MosType::Pmos, tech, input_nodes,
-            &mut junction, &mut dev_count, &format!("{prefix}_pun"),
+            ckt,
+            &pun,
+            vdd,
+            out,
+            MosType::Pmos,
+            tech,
+            input_nodes,
+            &mut junction,
+            &mut dev_count,
+            &format!("{prefix}_pun"),
         );
 
         // Gate capacitance at each input: the pin load this cell presents
@@ -391,7 +434,17 @@ impl Cell {
                 *dev_count += 1;
                 // Drain at `top`, source at `bottom`; the simulator handles
                 // reverse conduction symmetrically.
-                ckt.mosfet(&name, mos_type, top, input_nodes[*i], bottom, body, params, w, l);
+                ckt.mosfet(
+                    &name,
+                    mos_type,
+                    top,
+                    input_nodes[*i],
+                    bottom,
+                    body,
+                    params,
+                    w,
+                    l,
+                );
                 *junction.entry(top).or_insert(0.0) += tech.cj_per_width * w;
                 *junction.entry(bottom).or_insert(0.0) += tech.cj_per_width * w;
             }
@@ -405,8 +458,16 @@ impl Cell {
                         n
                     };
                     self.build_network(
-                        ckt, child, upper, lower, mos_type, tech, input_nodes, junction,
-                        dev_count, prefix,
+                        ckt,
+                        child,
+                        upper,
+                        lower,
+                        mos_type,
+                        tech,
+                        input_nodes,
+                        junction,
+                        dev_count,
+                        prefix,
                     );
                     upper = lower;
                 }
@@ -414,8 +475,16 @@ impl Cell {
             Network::Parallel(children) => {
                 for child in children {
                     self.build_network(
-                        ckt, child, top, bottom, mos_type, tech, input_nodes, junction,
-                        dev_count, prefix,
+                        ckt,
+                        child,
+                        top,
+                        bottom,
+                        mos_type,
+                        tech,
+                        input_nodes,
+                        junction,
+                        dev_count,
+                        prefix,
                     );
                 }
             }
@@ -448,7 +517,8 @@ impl CellNetlist {
     /// Panics if `pin` is out of range.
     pub fn set_level(&mut self, pin: usize, high: bool) {
         let v = if high { self.vdd_volts } else { 0.0 };
-        self.circuit.set_vsource(&self.input_sources[pin], Waveform::Dc(v));
+        self.circuit
+            .set_vsource(&self.input_sources[pin], Waveform::Dc(v));
     }
 
     /// Sets input pin `pin` to an arbitrary waveform.
@@ -481,7 +551,10 @@ mod tests {
     fn dual_swaps_series_and_parallel() {
         let n = Network::Series(vec![Network::Input(0), Network::Input(1)]);
         let d = n.dual();
-        assert_eq!(d, Network::Parallel(vec![Network::Input(0), Network::Input(1)]));
+        assert_eq!(
+            d,
+            Network::Parallel(vec![Network::Input(0), Network::Input(1)])
+        );
         assert_eq!(d.dual(), n);
     }
 
@@ -532,7 +605,11 @@ mod tests {
         let nor = Cell::nor(2);
         assert_eq!(nor.controlling_level(0), Some(true));
         let aoi = Cell::aoi21();
-        assert_eq!(aoi.controlling_level(2), Some(true), "c = 1 forces AOI21 low");
+        assert_eq!(
+            aoi.controlling_level(2),
+            Some(true),
+            "c = 1 forces AOI21 low"
+        );
         assert_eq!(aoi.controlling_level(0), None, "a alone never forces AOI21");
     }
 

@@ -28,7 +28,11 @@ impl InputRamp {
     /// Panics if `transition_time` is not strictly positive.
     pub fn rising(t_start: f64, transition_time: f64) -> Self {
         assert!(transition_time > 0.0, "transition time must be positive");
-        Self { edge: Edge::Rising, t_start, transition_time }
+        Self {
+            edge: Edge::Rising,
+            t_start,
+            transition_time,
+        }
     }
 
     /// A falling ramp.
@@ -38,7 +42,11 @@ impl InputRamp {
     /// Panics if `transition_time` is not strictly positive.
     pub fn falling(t_start: f64, transition_time: f64) -> Self {
         assert!(transition_time > 0.0, "transition time must be positive");
-        Self { edge: Edge::Falling, t_start, transition_time }
+        Self {
+            edge: Edge::Falling,
+            t_start,
+            transition_time,
+        }
     }
 
     /// The rail the ramp starts from, for supply `vdd`.
@@ -71,7 +79,12 @@ impl InputRamp {
 
     /// Converts to a simulator stimulus for supply `vdd`.
     pub fn waveform(&self, vdd: f64) -> Waveform {
-        Waveform::ramp(self.t_start, self.transition_time, self.v_from(vdd), self.v_to(vdd))
+        Waveform::ramp(
+            self.t_start,
+            self.transition_time,
+            self.v_from(vdd),
+            self.v_to(vdd),
+        )
     }
 
     /// Returns the ramp delayed by `dt` (negative advances it).

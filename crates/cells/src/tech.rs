@@ -37,8 +37,20 @@ impl Technology {
         Self {
             name: "demo-0.8um-5v".to_string(),
             vdd: 5.0,
-            nmos: MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.40, phi: 0.60, lambda: 0.03 },
-            pmos: MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.50, phi: 0.60, lambda: 0.04 },
+            nmos: MosParams {
+                vt0: 0.75,
+                kp: 50e-6,
+                gamma: 0.40,
+                phi: 0.60,
+                lambda: 0.03,
+            },
+            pmos: MosParams {
+                vt0: 0.85,
+                kp: 17e-6,
+                gamma: 0.50,
+                phi: 0.60,
+                lambda: 0.04,
+            },
             ln: 0.8e-6,
             lp: 0.8e-6,
             cox: 1.73e-3,
@@ -52,8 +64,20 @@ impl Technology {
         Self {
             name: "demo-0.5um-3.3v".to_string(),
             vdd: 3.3,
-            nmos: MosParams { vt0: 0.60, kp: 90e-6, gamma: 0.35, phi: 0.65, lambda: 0.05 },
-            pmos: MosParams { vt0: 0.70, kp: 30e-6, gamma: 0.45, phi: 0.65, lambda: 0.06 },
+            nmos: MosParams {
+                vt0: 0.60,
+                kp: 90e-6,
+                gamma: 0.35,
+                phi: 0.65,
+                lambda: 0.05,
+            },
+            pmos: MosParams {
+                vt0: 0.70,
+                kp: 30e-6,
+                gamma: 0.45,
+                phi: 0.65,
+                lambda: 0.06,
+            },
             ln: 0.5e-6,
             lp: 0.5e-6,
             cox: 2.5e-3,
@@ -73,8 +97,20 @@ impl Technology {
         Self {
             name: "cgaas-like-1.5v".to_string(),
             vdd: 1.5,
-            nmos: MosParams { vt0: 0.24, kp: 220e-6, gamma: 0.20, phi: 0.70, lambda: 0.06 },
-            pmos: MosParams { vt0: 0.28, kp: 28e-6, gamma: 0.25, phi: 0.70, lambda: 0.08 },
+            nmos: MosParams {
+                vt0: 0.24,
+                kp: 220e-6,
+                gamma: 0.20,
+                phi: 0.70,
+                lambda: 0.06,
+            },
+            pmos: MosParams {
+                vt0: 0.28,
+                kp: 28e-6,
+                gamma: 0.25,
+                phi: 0.70,
+                lambda: 0.08,
+            },
             ln: 0.7e-6,
             lp: 0.7e-6,
             cox: 1.2e-3,
@@ -111,7 +147,10 @@ mod tests {
         assert_eq!(t.vdd, 5.0);
         t.nmos.validate();
         t.pmos.validate();
-        assert!(t.nmos.kp > t.pmos.kp, "electron mobility exceeds hole mobility");
+        assert!(
+            t.nmos.kp > t.pmos.kp,
+            "electron mobility exceeds hole mobility"
+        );
     }
 
     #[test]

@@ -104,7 +104,9 @@ pub fn compose<'a>(
                 break;
             }
         }
-        let Some(dual) = lookup(y1.event.pin, e.event.pin) else { break };
+        let Some(dual) = lookup(y1.event.pin, e.event.pin) else {
+            break;
+        };
 
         // Equivalent-waveform shift: measure the partner's separation from
         // y* rather than from y1 (eq. 4.3/4.4).
@@ -216,7 +218,12 @@ mod tests {
     use proxim_numeric::pwl::Edge;
 
     fn ranked(pin: usize, arrival: f64, tau: f64, d1: f64, t1: f64) -> RankedEvent {
-        RankedEvent { event: InputEvent::new(pin, Edge::Rising, arrival, tau), arrival, d1, t1 }
+        RankedEvent {
+            event: InputEvent::new(pin, Edge::Rising, arrival, tau),
+            arrival,
+            d1,
+            t1,
+        }
     }
 
     #[test]
@@ -252,7 +259,10 @@ mod tests {
             ranked(0, 0.0, 200e-12, 300e-12, 250e-12),
             ranked(1, 0.0, 200e-12, 300e-12, 250e-12),
         ];
-        let corr = CorrectionTerm { delay: 50e-12, trans: 10e-12 };
+        let corr = CorrectionTerm {
+            delay: 50e-12,
+            trans: 10e-12,
+        };
         let out = compose(&r, &|_, _| None, corr, true, true);
         assert_eq!(out.correction_applied, 0.0, "no dual model, no folding");
     }

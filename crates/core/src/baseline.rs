@@ -50,11 +50,11 @@ pub fn single_switching_timing_at_load(
     let scenario = Scenario::resolve(model.cell(), events)?;
     let causing = causing_rank(model.cell(), events, &scenario, model.thresholds())?;
     let e = &events[causing.event_index];
-    let single = model.single_model(e.pin, e.edge()).ok_or_else(|| {
-        ModelError::InvalidQuery {
+    let single = model
+        .single_model(e.pin, e.edge())
+        .ok_or_else(|| ModelError::InvalidQuery {
             detail: format!("no single-input model for pin {} {}", e.pin, e.edge()),
-        }
-    })?;
+        })?;
     let tau = e.transition_time();
     let delay = single.delay(tau, c_load);
     let trans = single.transition(tau, c_load);
@@ -91,10 +91,7 @@ fn conductance_units(net: &Network, on: &dyn Fn(usize) -> bool) -> Option<f64> {
             Some(1.0 / inv_sum)
         }
         Network::Parallel(xs) => {
-            let g: f64 = xs
-                .iter()
-                .filter_map(|x| conductance_units(x, on))
-                .sum();
+            let g: f64 = xs.iter().filter_map(|x| conductance_units(x, on)).sum();
             if g > 0.0 {
                 Some(g)
             } else {
@@ -119,7 +116,13 @@ impl CollapsedInverter {
     /// Creates a baseline evaluator; `tau_grid` controls the equivalent
     /// inverter's characterization sweep.
     pub fn new(tech: Technology, c_load: f64, dv_max: f64, tau_grid: Vec<f64>) -> Self {
-        Self { tech, c_load, dv_max, tau_grid, cache: HashMap::new() }
+        Self {
+            tech,
+            c_load,
+            dv_max,
+            tau_grid,
+            cache: HashMap::new(),
+        }
     }
 
     /// Evaluates the baseline on a scenario.
@@ -156,13 +159,17 @@ impl CollapsedInverter {
         let (wn_eff, wp_eff) = match scenario.output_edge {
             Edge::Falling => {
                 let g = conductance_units(pdn, &|i| final_levels[i]).ok_or_else(|| {
-                    ModelError::InvalidQuery { detail: "pull-down never conducts".into() }
+                    ModelError::InvalidQuery {
+                        detail: "pull-down never conducts".into(),
+                    }
                 })?;
                 (cell.wn() * g, cell.wp())
             }
             Edge::Rising => {
                 let g = conductance_units(&pun, &|i| !final_levels[i]).ok_or_else(|| {
-                    ModelError::InvalidQuery { detail: "pull-up never conducts".into() }
+                    ModelError::InvalidQuery {
+                        detail: "pull-up never conducts".into(),
+                    }
                 })?;
                 (cell.wn(), cell.wp() * g)
             }
@@ -279,21 +286,15 @@ mod tests {
         // Both branches on: 0.5 + 1.
         assert!((conductance_units(&net, &|_| true).unwrap() - 1.5).abs() < 1e-12);
         // Only series branch: 0.5.
-        assert!(
-            (conductance_units(&net, &|i| i != 2).unwrap() - 0.5).abs() < 1e-12
-        );
+        assert!((conductance_units(&net, &|i| i != 2).unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn collapsed_inverter_cache_reuses_models() {
         let tech = Technology::demo_5v();
         let th = Thresholds::new(1.2, 3.4, 5.0);
-        let mut base = CollapsedInverter::new(
-            tech,
-            100e-15,
-            0.12,
-            vec![150e-12, 600e-12, 1800e-12],
-        );
+        let mut base =
+            CollapsedInverter::new(tech, 100e-15, 0.12, vec![150e-12, 600e-12, 1800e-12]);
         let cell = Cell::nand(2);
         let events = vec![
             InputEvent::new(0, Edge::Rising, 0.0, 300e-12),

@@ -47,8 +47,7 @@ fn simulate_chain(
     let scenario = Scenario::resolve(cell, &probe)?;
     let a_out_edge = scenario.output_edge;
     // Stage B's input edge is stage A's output edge.
-    let b_scenario =
-        Scenario::resolve(cell, &[InputEvent::new(0, a_out_edge, 0.0, tau)])?;
+    let b_scenario = Scenario::resolve(cell, &[InputEvent::new(0, a_out_edge, 0.0, tau)])?;
     let b_out_edge = b_scenario.output_edge;
 
     let mut ckt = Circuit::new();
@@ -101,7 +100,11 @@ fn simulate_chain(
         .ok_or_else(|| ModelError::MissingCrossing {
             what: "calibrating the two-stage chain".into(),
         })?;
-    Ok(ChainPoint { tau, t2_sim, arrival_in: event.arrival(th) })
+    Ok(ChainPoint {
+        tau,
+        t2_sim,
+        arrival_in: event.arrival(th),
+    })
 }
 
 /// Calibrates the ramp-stretch factor for the output edge produced by
@@ -131,7 +134,9 @@ pub(crate) fn calibrate_stretch(
 
     let mut points = Vec::with_capacity(taus.len());
     for &tau in &taus {
-        points.push(simulate_chain(cell, tech, th, input_edge, tau, c_ref, dv_max)?);
+        points.push(simulate_chain(
+            cell, tech, th, input_edge, tau, c_ref, dv_max,
+        )?);
     }
 
     // Modeled two-stage arrival as a function of the stretch factor.
@@ -142,7 +147,11 @@ pub(crate) fn calibrate_stretch(
         p.arrival_in + delay_a + single_b.delay(tau_full, c_ref)
     };
     let residual = |f: f64| -> f64 {
-        points.iter().map(|p| t2_model(f, p) - p.t2_sim).sum::<f64>() / points.len() as f64
+        points
+            .iter()
+            .map(|p| t2_model(f, p) - p.t2_sim)
+            .sum::<f64>()
+            / points.len() as f64
     };
 
     let (lo, hi) = (0.8, 2.5);
@@ -167,15 +176,18 @@ mod tests {
         let cell = Cell::nand(2);
         let th = Thresholds::new(1.8, 3.78, 5.0);
         let sim = Simulator::new(&cell, &tech, th, 100e-15, 0.08);
-        let single = SingleInputModel::characterize(
-            &sim,
-            0,
-            Edge::Rising,
-            &[100e-12, 400e-12, 1500e-12],
-        )
-        .unwrap();
+        let single =
+            SingleInputModel::characterize(&sim, 0, Edge::Rising, &[100e-12, 400e-12, 1500e-12])
+                .unwrap();
         let f = calibrate_stretch(
-            &cell, &tech, &th, Edge::Rising, &single, &single, 100e-15, 0.08,
+            &cell,
+            &tech,
+            &th,
+            Edge::Rising,
+            &single,
+            &single,
+            100e-15,
+            0.08,
         )
         .unwrap();
         assert!(f > 1.0, "real edges are slower than linear: {f}");

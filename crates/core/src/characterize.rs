@@ -45,6 +45,11 @@ pub struct CharacterizeOptions {
     /// Optional load axis for NLDM-style 2-D load-slew surfaces
     /// ([`crate::nldm`]); `None` skips that characterization.
     pub load_grid: Option<Vec<f64>>,
+    /// Worker threads for the batched characterization phases
+    /// ([`crate::jobs`]). `0` (the default) resolves to
+    /// `std::thread::available_parallelism()`. The assembled model is
+    /// byte-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for CharacterizeOptions {
@@ -63,6 +68,7 @@ impl Default for CharacterizeOptions {
             glitch_v_grid: logspace(0.3, 8.0, 4),
             glitch_w_grid: linspace(-1.0, 4.0, 11),
             load_grid: Some(logspace(10e-15, 400e-15, 5)),
+            jobs: 0,
         }
     }
 }
@@ -85,6 +91,7 @@ impl CharacterizeOptions {
             glitch_v_grid: logspace(0.3, 8.0, 3),
             glitch_w_grid: linspace(-1.0, 4.0, 8),
             load_grid: Some(logspace(10e-15, 300e-15, 4)),
+            jobs: 0,
         }
     }
 
@@ -105,7 +112,44 @@ impl CharacterizeOptions {
             glitch_v_grid: vec![0.5, 4.0],
             glitch_w_grid: linspace(-1.0, 4.0, 5),
             load_grid: None,
+            jobs: 0,
         }
+    }
+
+    /// Resolves the `jobs` knob to an actual worker count: `0` becomes the
+    /// machine's available parallelism (1 if that cannot be determined).
+    pub fn worker_threads(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+
+    /// A canonical description of every field that affects the characterized
+    /// model — the options half of the cache key ([`crate::persist`]).
+    /// Deliberately excludes `jobs`: worker count never changes the result.
+    pub fn cache_key_string(&self) -> String {
+        format!(
+            "c_load={:?};vtc_points={};tau_grid={:?};dual_u={:?};dual_v={:?};dual_w={:?};\
+             dv_max={:?};full_pair_matrix={};glitch={};glitch_u={:?};glitch_v={:?};\
+             glitch_w={:?};load_grid={:?}",
+            self.c_load,
+            self.vtc_points,
+            self.tau_grid,
+            self.dual_u_grid,
+            self.dual_v_grid,
+            self.dual_w_grid,
+            self.dv_max,
+            self.full_pair_matrix,
+            self.glitch,
+            self.glitch_u_grid,
+            self.glitch_v_grid,
+            self.glitch_w_grid,
+            self.load_grid,
+        )
     }
 }
 
@@ -171,7 +215,13 @@ impl<'a> Simulator<'a> {
         c_load: f64,
         dv_max: f64,
     ) -> Self {
-        Self { cell, tech, thresholds, c_load, dv_max }
+        Self {
+            cell,
+            tech,
+            thresholds,
+            c_load,
+            dv_max,
+        }
     }
 
     /// A conservative settling horizon after the last ramp ends: the time to
@@ -185,7 +235,8 @@ impl<'a> Simulator<'a> {
         let vt = self.tech.nmos.vt0.max(self.tech.pmos.vt0);
         let i_min = k_n.min(k_p) * (vdd - vt) * (vdd - vt) / n;
         // Total output capacitance: load plus a junction allowance.
-        let c_total = self.c_load + 4.0 * self.tech.cj_per_width * self.cell.wn().max(self.cell.wp());
+        let c_total =
+            self.c_load + 4.0 * self.tech.cj_per_width * self.cell.wn().max(self.cell.wp());
         (12.0 * c_total * vdd / i_min).max(1e-9)
     }
 
@@ -231,7 +282,11 @@ impl<'a> Simulator<'a> {
         let options = TranOptions::to(t_stop).with_dv_max(self.dv_max);
         let result = net.circuit.tran(&options)?;
         let output = result.waveform(net.out);
-        Ok(SimResponse { events, output, output_edge: scenario.output_edge })
+        Ok(SimResponse {
+            events,
+            output,
+            output_edge: scenario.output_edge,
+        })
     }
 }
 
@@ -241,7 +296,11 @@ mod tests {
     use proxim_cells::{Cell, Technology};
 
     fn setup() -> (Cell, Technology, Thresholds) {
-        (Cell::nand(3), Technology::demo_5v(), Thresholds::new(1.2, 3.4, 5.0))
+        (
+            Cell::nand(3),
+            Technology::demo_5v(),
+            Thresholds::new(1.2, 3.4, 5.0),
+        )
     }
 
     #[test]
@@ -250,7 +309,10 @@ mod tests {
         assert!(o.tau_grid.windows(2).all(|w| w[1] > w[0]));
         assert!(o.dual_w_grid.windows(2).all(|w| w[1] > w[0]));
         assert!(o.dual_w_grid.first().copied().unwrap() < 0.0);
-        assert!(*o.dual_w_grid.last().unwrap() >= 1.0, "window must reach s = Δ⁽¹⁾");
+        assert!(
+            *o.dual_w_grid.last().unwrap() >= 1.0,
+            "window must reach s = Δ⁽¹⁾"
+        );
     }
 
     #[test]

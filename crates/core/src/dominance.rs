@@ -132,13 +132,18 @@ mod tests {
 
     #[test]
     fn ranking_is_permutation_invariant() {
-        let evs = vec![ev(0, 0.0, 300e-12), ev(1, 100e-12, 100e-12), ev(2, 50e-12, 400e-12)];
+        let evs = vec![
+            ev(0, 0.0, 300e-12),
+            ev(1, 100e-12, 100e-12),
+            ev(2, 50e-12, 400e-12),
+        ];
         let mut reversed = evs.clone();
         reversed.reverse();
-        let r1: Vec<usize> =
-            rank_by_dominance(evs).iter().map(|r| r.event.pin).collect();
-        let r2: Vec<usize> =
-            rank_by_dominance(reversed).iter().map(|r| r.event.pin).collect();
+        let r1: Vec<usize> = rank_by_dominance(evs).iter().map(|r| r.event.pin).collect();
+        let r2: Vec<usize> = rank_by_dominance(reversed)
+            .iter()
+            .map(|r| r.event.pin)
+            .collect();
         assert_eq!(r1, r2);
     }
 }

@@ -23,8 +23,10 @@
 
 use crate::characterize::Simulator;
 use crate::error::ModelError;
+use crate::jobs::{execute_jobs, first_error, JobOutcome, SimJob};
 use crate::measure::InputEvent;
 use crate::single::{edge_as_bool as edge_serde, SingleInputModel};
+use crate::thresholds::Thresholds;
 use proxim_numeric::pwl::Edge;
 use proxim_numeric::Table3d;
 use serde::{Deserialize, Serialize};
@@ -71,20 +73,51 @@ impl DualInputModel {
         v_grid: &[f64],
         w_grid: &[f64],
     ) -> Result<Self, ModelError> {
+        let jobs = Self::enumerate(
+            &sim.thresholds,
+            sim.c_load,
+            single,
+            partner,
+            u_grid,
+            v_grid,
+            w_grid,
+        );
+        let outcomes = execute_jobs(sim, &jobs, 1);
+        Self::assemble(
+            sim.c_load,
+            single,
+            partner,
+            u_grid,
+            v_grid,
+            w_grid,
+            &first_error(&outcomes)?,
+        )
+    }
+
+    /// Enumerates the `(u₁, v, w)` grid as independent simulation jobs in
+    /// row-major order (`u` outermost, `w` innermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partner == single.pin`.
+    pub fn enumerate(
+        th: &Thresholds,
+        c_load: f64,
+        single: &SingleInputModel,
+        partner: usize,
+        u_grid: &[f64],
+        v_grid: &[f64],
+        w_grid: &[f64],
+    ) -> Vec<SimJob> {
         let pin = single.pin;
         assert_ne!(pin, partner, "partner must differ from the dominant pin");
         let edge = single.input_edge;
-        let th = sim.thresholds;
-
-        let mut delay_vals = Vec::with_capacity(u_grid.len() * v_grid.len() * w_grid.len());
-        let mut trans_vals = Vec::with_capacity(delay_vals.capacity());
-
+        let mut jobs = Vec::with_capacity(u_grid.len() * v_grid.len() * w_grid.len());
         for &u1 in u_grid {
-            let tau_i = single.tau_for_ratio(u1, sim.c_load);
-            let d1 = single.delay(tau_i, sim.c_load);
-            let t1 = single.transition(tau_i, sim.c_load);
+            let tau_i = single.tau_for_ratio(u1, c_load);
+            let d1 = single.delay(tau_i, c_load);
             let e_i = InputEvent::new(pin, edge, 0.0, tau_i);
-            let arrival_i = e_i.arrival(&th);
+            let arrival_i = e_i.arrival(th);
             for &v in v_grid {
                 let tau_j = (v * d1).max(TAU_MIN);
                 for &w in w_grid {
@@ -93,16 +126,50 @@ impl DualInputModel {
                     // `arrival_i + s`.
                     let frac_j = {
                         let probe = InputEvent::new(partner, edge, 0.0, tau_j);
-                        probe.arrival(&th)
+                        probe.arrival(th)
                     };
-                    let e_j =
-                        InputEvent::new(partner, edge, arrival_i + s - frac_j, tau_j);
-                    let r = sim.simulate(&[e_i, e_j])?;
-                    let d2 = r.delay_from(0, &th)?;
-                    let t2 = r.transition_time(&th)?;
-                    delay_vals.push(d2 / d1);
-                    trans_vals.push(t2 / t1);
+                    let e_j = InputEvent::new(partner, edge, arrival_i + s - frac_j, tau_j);
+                    jobs.push(SimJob::events(vec![e_i, e_j]));
                 }
+            }
+        }
+        jobs
+    }
+
+    /// Builds the model from executed job outcomes in enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on degenerate grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes do not match the enumeration (count or kind).
+    pub fn assemble(
+        c_load: f64,
+        single: &SingleInputModel,
+        partner: usize,
+        u_grid: &[f64],
+        v_grid: &[f64],
+        w_grid: &[f64],
+        outcomes: &[&JobOutcome],
+    ) -> Result<Self, ModelError> {
+        let pin = single.pin;
+        let edge = single.input_edge;
+        let expected = u_grid.len() * v_grid.len() * w_grid.len();
+        assert_eq!(outcomes.len(), expected, "one outcome per grid point");
+
+        let mut delay_vals = Vec::with_capacity(expected);
+        let mut trans_vals = Vec::with_capacity(expected);
+        let mut it = outcomes.iter();
+        for &u1 in u_grid {
+            let tau_i = single.tau_for_ratio(u1, c_load);
+            let d1 = single.delay(tau_i, c_load);
+            let t1 = single.transition(tau_i, c_load);
+            for _ in 0..v_grid.len() * w_grid.len() {
+                let (d2, t2) = it.next().expect("count checked above").response();
+                delay_vals.push(d2 / d1);
+                trans_vals.push(t2 / t1);
             }
         }
 
@@ -115,12 +182,7 @@ impl DualInputModel {
             pin,
             partner,
             input_edge: edge,
-            delay_ratio: Table3d::new(
-                ln_u.clone(),
-                ln_v.clone(),
-                w_grid.to_vec(),
-                delay_vals,
-            )?,
+            delay_ratio: Table3d::new(ln_u.clone(), ln_v.clone(), w_grid.to_vec(), delay_vals)?,
             trans_ratio: Table3d::new(ln_u, ln_v, w_grid.to_vec(), trans_vals)?,
         })
     }
@@ -176,11 +238,20 @@ mod tests {
     }
 
     fn env() -> Env {
-        Env { cell: Cell::nand(2), tech: Technology::demo_5v() }
+        Env {
+            cell: Cell::nand(2),
+            tech: Technology::demo_5v(),
+        }
     }
 
     fn sim(e: &Env) -> Simulator<'_> {
-        Simulator::new(&e.cell, &e.tech, Thresholds::new(1.2, 3.4, 5.0), 100e-15, 0.1)
+        Simulator::new(
+            &e.cell,
+            &e.tech,
+            Thresholds::new(1.2, 3.4, 5.0),
+            100e-15,
+            0.1,
+        )
     }
 
     fn small_model(s: &Simulator<'_>, edge: Edge) -> DualInputModel {
@@ -253,7 +324,10 @@ mod tests {
         let m = small_model(&s, Edge::Falling);
         let r0 = m.delay_ratio(2.0, 2.0, 0.0);
         let r1 = m.delay_ratio(2.0, 2.0, 1.0);
-        assert!(r0 < 1.0, "simultaneous falling inputs speed the output: {r0}");
+        assert!(
+            r0 < 1.0,
+            "simultaneous falling inputs speed the output: {r0}"
+        );
         assert_eq!(r1, 1.0);
     }
 

@@ -37,7 +37,10 @@ impl fmt::Display for ModelError {
         match self {
             Self::Simulation(e) => write!(f, "simulation failed: {e}"),
             Self::MissingCrossing { what } => {
-                write!(f, "waveform never crossed the measurement threshold while {what}")
+                write!(
+                    f,
+                    "waveform never crossed the measurement threshold while {what}"
+                )
             }
             Self::MalformedVtc { detail } => write!(f, "malformed VTC: {detail}"),
             Self::InvalidQuery { detail } => write!(f, "invalid model query: {detail}"),
@@ -74,16 +77,22 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = ModelError::MissingCrossing { what: "measuring delay".into() };
+        let e = ModelError::MissingCrossing {
+            what: "measuring delay".into(),
+        };
         assert!(e.to_string().contains("never crossed"));
-        let e = ModelError::InvalidQuery { detail: "no switching inputs".into() };
+        let e = ModelError::InvalidQuery {
+            detail: "no switching inputs".into(),
+        };
         assert!(e.to_string().contains("invalid model query"));
     }
 
     #[test]
     fn from_analysis_error_preserves_source() {
         use std::error::Error;
-        let inner = AnalysisError::Singular { analysis: "op".into() };
+        let inner = AnalysisError::Singular {
+            analysis: "op".into(),
+        };
         let e = ModelError::from(inner);
         assert!(e.source().is_some());
     }

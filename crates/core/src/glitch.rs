@@ -10,8 +10,10 @@
 
 use crate::characterize::Simulator;
 use crate::error::ModelError;
+use crate::jobs::{execute_jobs, first_error, JobOutcome, SimJob};
 use crate::measure::{InputEvent, Scenario};
 use crate::single::{edge_as_bool as edge_serde, SingleInputModel};
+use crate::thresholds::Thresholds;
 use proxim_numeric::pwl::Edge;
 use proxim_numeric::rootfind::brent;
 use proxim_numeric::Table3d;
@@ -62,42 +64,105 @@ impl GlitchModel {
         v_grid: &[f64],
         w_grid: &[f64],
     ) -> Result<Self, ModelError> {
+        let jobs = Self::enumerate(
+            sim.cell,
+            &sim.thresholds,
+            sim.c_load,
+            single,
+            blocker,
+            u_grid,
+            v_grid,
+            w_grid,
+        )?;
+        let outcomes = execute_jobs(sim, &jobs, 1);
+        Self::assemble(
+            sim.tech.vdd,
+            single,
+            blocker,
+            u_grid,
+            v_grid,
+            w_grid,
+            &first_error(&outcomes)?,
+        )
+    }
+
+    /// Enumerates the `(u₁, v, w)` glitch grid as independent simulation
+    /// jobs in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the causer scenario cannot be sensitized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocker == single.pin`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enumerate(
+        cell: &proxim_cells::Cell,
+        th: &Thresholds,
+        c_load: f64,
+        single: &SingleInputModel,
+        blocker: usize,
+        u_grid: &[f64],
+        v_grid: &[f64],
+        w_grid: &[f64],
+    ) -> Result<Vec<SimJob>, ModelError> {
         let causer = single.pin;
         assert_ne!(causer, blocker, "blocker must differ from the causer");
         let causer_edge = single.input_edge;
         let blocker_edge = causer_edge.opposite();
-        let th = sim.thresholds;
-        let vdd = sim.tech.vdd;
 
         // The blocker starts from its sensitizing (non-blocking) level and
         // ramps to the opposite.
         let causer_scenario =
-            Scenario::resolve(sim.cell, &[InputEvent::new(causer, causer_edge, 0.0, 1e-10)])?;
-        let output_edge = causer_scenario.output_edge;
+            Scenario::resolve(cell, &[InputEvent::new(causer, causer_edge, 0.0, 1e-10)])?;
 
-        let mut vals = Vec::with_capacity(u_grid.len() * v_grid.len() * w_grid.len());
+        let mut jobs = Vec::with_capacity(u_grid.len() * v_grid.len() * w_grid.len());
         for &u1 in u_grid {
-            let tau_c = single.tau_for_ratio(u1, sim.c_load);
-            let d1 = single.delay(tau_c, sim.c_load);
+            let tau_c = single.tau_for_ratio(u1, c_load);
+            let d1 = single.delay(tau_c, c_load);
             let e_c = InputEvent::new(causer, causer_edge, 0.0, tau_c);
-            let arrival_c = e_c.arrival(&th);
+            let arrival_c = e_c.arrival(th);
             for &v in v_grid {
                 let tau_b = (v * d1).max(10e-12);
                 for &w in w_grid {
                     let s = w * d1;
-                    let frac_b =
-                        InputEvent::new(blocker, blocker_edge, 0.0, tau_b).arrival(&th);
-                    let e_b = InputEvent::new(
-                        blocker,
-                        blocker_edge,
-                        arrival_c + s - frac_b,
-                        tau_b,
-                    );
-                    let peak = simulate_glitch(sim, &causer_scenario, e_c, e_b, output_edge)?;
-                    vals.push(peak / vdd);
+                    let frac_b = InputEvent::new(blocker, blocker_edge, 0.0, tau_b).arrival(th);
+                    let e_b = InputEvent::new(blocker, blocker_edge, arrival_c + s - frac_b, tau_b);
+                    jobs.push(SimJob::glitch(causer_scenario.clone(), e_c, e_b));
                 }
             }
         }
+        Ok(jobs)
+    }
+
+    /// Builds the model from executed job outcomes in enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on degenerate grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes do not match the enumeration (count or kind).
+    pub fn assemble(
+        vdd: f64,
+        single: &SingleInputModel,
+        blocker: usize,
+        u_grid: &[f64],
+        v_grid: &[f64],
+        w_grid: &[f64],
+        outcomes: &[&JobOutcome],
+    ) -> Result<Self, ModelError> {
+        let causer = single.pin;
+        let causer_edge = single.input_edge;
+        let expected = u_grid.len() * v_grid.len() * w_grid.len();
+        assert_eq!(outcomes.len(), expected, "one outcome per grid point");
+        // The causer scenario's output edge is the same resolution that
+        // produced the single-input model's output edge.
+        let output_edge = single.output_edge;
+
+        let vals: Vec<f64> = outcomes.iter().map(|o| o.peak() / vdd).collect();
 
         // Log-domain u/v axes, as in the dual-input tables.
         let ln_u: Vec<f64> = u_grid.iter().map(|u| u.ln()).collect();
@@ -158,7 +223,7 @@ impl GlitchModel {
 }
 
 /// Simulates one causer/blocker pair and returns the output extremum.
-fn simulate_glitch(
+pub(crate) fn simulate_glitch(
     sim: &Simulator<'_>,
     causer_scenario: &Scenario,
     e_c: InputEvent,

@@ -1,0 +1,360 @@
+//! The characterization job queue: enumerate → execute → assemble.
+//!
+//! Characterization cost is dominated by thousands of *independent*
+//! transient analyses. Rather than interleaving simulation with table
+//! construction, each model layer first **enumerates** its grid as plain
+//! [`SimJob`] values, the whole batch is **executed** — sequentially or by a
+//! pool of scoped worker threads pulling from an atomic work queue — and the
+//! tables are then **assembled** from the outcomes in job order.
+//!
+//! Because assembly consumes outcomes strictly by job index, the resulting
+//! model is byte-identical regardless of worker count or scheduling: thread
+//! interleaving decides only *when* a slot is filled, never *what* ends up
+//! in it. Errors keep the same determinism — assembly surfaces the first
+//! failed job in index order.
+
+use crate::characterize::Simulator;
+use crate::error::ModelError;
+use crate::measure::{InputEvent, Scenario};
+use proxim_numeric::pwl::Edge;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The stimulus of one independent characterization transient.
+#[derive(Debug, Clone)]
+pub enum Stimulus {
+    /// A same-direction switching scenario measured through
+    /// [`Simulator::simulate`]: delay referenced to `events[0]`, the
+    /// `V_il`–`V_ih` output transition time, and (for single-input table
+    /// rows) the wide 5–95 % edge time feeding the tail factor.
+    Events {
+        /// The switching inputs; the delay is measured from `events[0]`.
+        events: Vec<InputEvent>,
+        /// Output load override; `None` runs at the simulator's reference
+        /// load (the NLDM surface sweeps this axis).
+        c_load: Option<f64>,
+        /// Whether to also measure the 5–95 % edge time.
+        measure_wide: bool,
+    },
+    /// A causer/blocker glitch scenario measuring the output extremum (§6).
+    Glitch {
+        /// The causer's resolved sensitization (stable levels, output edge).
+        scenario: Scenario,
+        /// The causer event (drives the output transition).
+        causer: InputEvent,
+        /// The blocker event (switches the opposite way).
+        blocker: InputEvent,
+    },
+}
+
+/// One independent simulation scenario, ready to execute on any worker.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// What to simulate and measure.
+    pub stimulus: Stimulus,
+}
+
+impl SimJob {
+    /// A same-direction events job at the reference load.
+    pub fn events(events: Vec<InputEvent>) -> Self {
+        Self {
+            stimulus: Stimulus::Events {
+                events,
+                c_load: None,
+                measure_wide: false,
+            },
+        }
+    }
+
+    /// An events job that also measures the wide edge time.
+    pub fn events_wide(events: Vec<InputEvent>) -> Self {
+        Self {
+            stimulus: Stimulus::Events {
+                events,
+                c_load: None,
+                measure_wide: true,
+            },
+        }
+    }
+
+    /// An events job at an explicit output load.
+    pub fn events_at_load(events: Vec<InputEvent>, c_load: f64) -> Self {
+        Self {
+            stimulus: Stimulus::Events {
+                events,
+                c_load: Some(c_load),
+                measure_wide: false,
+            },
+        }
+    }
+
+    /// A glitch job.
+    pub fn glitch(scenario: Scenario, causer: InputEvent, blocker: InputEvent) -> Self {
+        Self {
+            stimulus: Stimulus::Glitch {
+                scenario,
+                causer,
+                blocker,
+            },
+        }
+    }
+}
+
+/// The measured result of one executed [`SimJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Measurements of an [`Stimulus::Events`] job.
+    Response {
+        /// The output transition direction.
+        output_edge: Edge,
+        /// Delay from `events[0]`'s threshold crossing, in seconds.
+        delay: f64,
+        /// Output transition time between `V_il` and `V_ih`, in seconds.
+        trans: f64,
+        /// The 5–95 % edge time, when requested and measurable.
+        wide: Option<f64>,
+    },
+    /// The output-voltage extremum of a [`Stimulus::Glitch`] job, in volts.
+    Peak(f64),
+}
+
+impl JobOutcome {
+    /// The `(delay, trans)` pair of a response outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is a glitch peak — assembly routing is static,
+    /// so a mismatch is a logic bug, not a data error.
+    pub fn response(&self) -> (f64, f64) {
+        match self {
+            Self::Response { delay, trans, .. } => (*delay, *trans),
+            Self::Peak(_) => panic!("expected an events response, got a glitch peak"),
+        }
+    }
+
+    /// The extremum voltage of a glitch outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is an events response.
+    pub fn peak(&self) -> f64 {
+        match self {
+            Self::Peak(v) => *v,
+            Self::Response { .. } => panic!("expected a glitch peak, got an events response"),
+        }
+    }
+}
+
+/// Executes one job against the simulator.
+fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<JobOutcome, ModelError> {
+    match &job.stimulus {
+        Stimulus::Events {
+            events,
+            c_load,
+            measure_wide,
+        } => {
+            let pass;
+            let s = match c_load {
+                Some(c) => {
+                    pass = Simulator {
+                        c_load: *c,
+                        ..sim.clone()
+                    };
+                    &pass
+                }
+                None => sim,
+            };
+            let th = s.thresholds;
+            let r = s.simulate(events)?;
+            let delay = r.delay_from(0, &th)?;
+            let trans = r.transition_time(&th)?;
+            let vdd = s.tech.vdd;
+            let wide = if *measure_wide {
+                r.output
+                    .transition_time(0.05 * vdd, 0.95 * vdd, r.output_edge)
+            } else {
+                None
+            };
+            Ok(JobOutcome::Response {
+                output_edge: r.output_edge,
+                delay,
+                trans,
+                wide,
+            })
+        }
+        Stimulus::Glitch {
+            scenario,
+            causer,
+            blocker,
+        } => {
+            let v = crate::glitch::simulate_glitch(
+                sim,
+                scenario,
+                *causer,
+                *blocker,
+                scenario.output_edge,
+            )?;
+            Ok(JobOutcome::Peak(v))
+        }
+    }
+}
+
+/// Executes a batch of jobs across `threads` workers and returns the
+/// outcomes **in job order**.
+///
+/// Workers pull indices from a shared atomic counter, so load balances
+/// dynamically across jobs of very different cost (a glitch transient can
+/// run 10× longer than a fast single-input row). Results are written back
+/// by index, making the output independent of scheduling.
+///
+/// `threads == 1` (or a batch of at most one job) runs inline on the caller
+/// thread with no pool at all.
+pub fn execute_jobs(
+    sim: &Simulator<'_>,
+    jobs: &[SimJob],
+    threads: usize,
+) -> Vec<Result<JobOutcome, ModelError>> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(|j| run_job(sim, j)).collect();
+    }
+
+    let workers = threads.min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<JobOutcome, ModelError>>> = vec![None; jobs.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, run_job(sim, &jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("characterization worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job index was claimed by exactly one worker"))
+        .collect()
+}
+
+/// Scans a span of outcomes and surfaces the first error in job order,
+/// otherwise hands back the successful outcomes. This keeps error behavior
+/// identical between sequential and parallel runs.
+pub fn first_error(
+    outcomes: &[Result<JobOutcome, ModelError>],
+) -> Result<Vec<&JobOutcome>, ModelError> {
+    let mut ok = Vec::with_capacity(outcomes.len());
+    for r in outcomes {
+        match r {
+            Ok(o) => ok.push(o),
+            Err(e) => return Err(e.clone()),
+        }
+    }
+    Ok(ok)
+}
+
+/// Counters describing one characterization run (satisfying the perf
+/// acceptance criteria: cache behavior and simulation volume are observable,
+/// not inferred).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CharStats {
+    /// Models served from the on-disk cache without simulating.
+    pub cache_hits: usize,
+    /// Models characterized from scratch (including cache-corruption
+    /// fallbacks).
+    pub cache_misses: usize,
+    /// Transient simulations actually run.
+    pub sims_run: usize,
+    /// Worker threads used for the batched phases.
+    pub threads: usize,
+    /// Wall-clock seconds per pipeline phase.
+    pub phases: PhaseTimes,
+}
+
+/// Wall-clock breakdown of the characterization pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// VTC-family extraction and threshold selection (sequential).
+    pub vtc: f64,
+    /// Single-input batch: enumerate + execute + assemble.
+    pub singles: f64,
+    /// Dual/NLDM/glitch batch: enumerate + execute + assemble.
+    pub pairs: f64,
+    /// Sequential tail: ramp-stretch calibration and correction terms.
+    pub finish: f64,
+}
+
+impl PhaseTimes {
+    /// Total characterization wall-clock, in seconds.
+    pub fn total(&self) -> f64 {
+        self.vtc + self.singles + self.pairs + self.finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thresholds::Thresholds;
+    use proxim_cells::{Cell, Technology};
+
+    fn env() -> (Cell, Technology) {
+        (Cell::nand(2), Technology::demo_5v())
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_bitwise() {
+        let (cell, tech) = env();
+        let sim = Simulator::new(&cell, &tech, Thresholds::new(1.2, 3.4, 5.0), 100e-15, 0.1);
+        let jobs: Vec<SimJob> = [100e-12, 300e-12, 900e-12, 1500e-12]
+            .iter()
+            .map(|&tau| SimJob::events_wide(vec![InputEvent::new(0, Edge::Rising, 0.0, tau)]))
+            .collect();
+        let seq = execute_jobs(&sim, &jobs, 1);
+        let par = execute_jobs(&sim, &jobs, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            // Bit-exact: the same job runs the same deterministic transient
+            // regardless of which thread picks it up.
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn errors_surface_in_job_order() {
+        let bad = Ok(JobOutcome::Peak(1.0));
+        let err1 = Err(ModelError::Table("first".into()));
+        let err2 = Err(ModelError::Table("second".into()));
+        let outcomes = vec![bad, err1, err2];
+        match first_error(&outcomes) {
+            Err(ModelError::Table(s)) => assert_eq!(s, "first"),
+            other => panic!("expected the first error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_override_changes_the_simulated_load() {
+        let (cell, tech) = env();
+        let sim = Simulator::new(&cell, &tech, Thresholds::new(1.2, 3.4, 5.0), 100e-15, 0.1);
+        let ev = vec![InputEvent::new(0, Edge::Rising, 0.0, 400e-12)];
+        let at_ref = run_job(&sim, &SimJob::events(ev.clone())).unwrap();
+        let at_big = run_job(&sim, &SimJob::events_at_load(ev, 400e-15)).unwrap();
+        let (d_ref, _) = at_ref.response();
+        let (d_big, _) = at_big.response();
+        assert!(
+            d_big > d_ref,
+            "larger load must be slower: {d_big} vs {d_ref}"
+        );
+    }
+}

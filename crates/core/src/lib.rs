@@ -26,6 +26,9 @@
 //!   timing and series/parallel collapse to an equivalent inverter.
 //! - [`characterize`]: the drivers that build every table by running the
 //!   [`proxim_spice`] simulator, mirroring the paper's use of HSPICE.
+//! - [`jobs`]: the enumerate → execute → assemble pipeline that fans the
+//!   independent characterization transients across worker threads while
+//!   keeping the assembled model byte-identical to a sequential run.
 //! - [`model`]: [`model::ProximityModel`], the characterized bundle with the
 //!   user-facing query API.
 //!
@@ -67,6 +70,7 @@ pub mod dominance;
 pub mod dual;
 pub mod error;
 pub mod glitch;
+pub mod jobs;
 pub mod measure;
 pub mod model;
 pub mod nldm;

@@ -47,7 +47,8 @@ impl InputEvent {
     /// The arrival time: when the ramp crosses its measurement threshold
     /// (`V_il` rising, `V_ih` falling).
     pub fn arrival(&self, th: &Thresholds) -> f64 {
-        self.ramp.crossing_time(th.threshold_for(self.edge()), th.vdd)
+        self.ramp
+            .crossing_time(th.threshold_for(self.edge()), th.vdd)
     }
 
     /// Returns the event shifted later by `dt`.
@@ -88,7 +89,9 @@ impl Scenario {
     pub fn resolve(cell: &Cell, events: &[InputEvent]) -> Result<Self, ModelError> {
         let n = cell.input_count();
         if events.is_empty() {
-            return Err(ModelError::InvalidQuery { detail: "no switching inputs".into() });
+            return Err(ModelError::InvalidQuery {
+                detail: "no switching inputs".into(),
+            });
         }
         let mut seen = vec![false; n];
         for e in events {
@@ -126,7 +129,10 @@ impl Scenario {
                     .map(|i| if seen[i] { None } else { Some(initial[i]) })
                     .collect();
                 let output_edge = if out0 { Edge::Falling } else { Edge::Rising };
-                return Ok(Self { stable_levels, output_edge });
+                return Ok(Self {
+                    stable_levels,
+                    output_edge,
+                });
             }
         }
         Err(ModelError::InvalidQuery {
@@ -153,11 +159,16 @@ impl Scenario {
         let n = cell.input_count();
         if stable_levels.len() != n {
             return Err(ModelError::InvalidQuery {
-                detail: format!("stable_levels has {} entries for {n} pins", stable_levels.len()),
+                detail: format!(
+                    "stable_levels has {} entries for {n} pins",
+                    stable_levels.len()
+                ),
             });
         }
         if events.is_empty() {
-            return Err(ModelError::InvalidQuery { detail: "no switching inputs".into() });
+            return Err(ModelError::InvalidQuery {
+                detail: "no switching inputs".into(),
+            });
         }
         let mut switching = vec![false; n];
         for e in events {
@@ -245,10 +256,15 @@ pub fn causing_rank(
         let e = &events[k];
         levels[e.pin] = e.edge() == Edge::Rising; // final rail
         if cell.output_for(&levels) != out0 {
-            return Ok(CausingEvent { rank: rank + 1, event_index: k });
+            return Ok(CausingEvent {
+                rank: rank + 1,
+                event_index: k,
+            });
         }
     }
-    Err(ModelError::InvalidQuery { detail: "events never flip the output".into() })
+    Err(ModelError::InvalidQuery {
+        detail: "events never flip the output".into(),
+    })
 }
 
 /// The result of [`causing_rank`].

@@ -13,12 +13,14 @@ use crate::dominance::{rank_for_scenario, RankedEvent};
 use crate::dual::DualInputModel;
 use crate::error::ModelError;
 use crate::glitch::GlitchModel;
+use crate::jobs::{execute_jobs, first_error, CharStats, SimJob};
 use crate::measure::{InputEvent, Scenario};
 use crate::nldm::LoadSlewModel;
 use crate::single::SingleInputModel;
 use crate::thresholds::{extract_vtc_family, Thresholds, VtcFamily};
 use proxim_cells::{Cell, Technology};
 use proxim_numeric::pwl::Edge;
+use std::time::Instant;
 
 /// The model's answer for one gate switching scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,41 +88,110 @@ impl ProximityModel {
         tech: &Technology,
         opts: &CharacterizeOptions,
     ) -> Result<Self, ModelError> {
+        Self::characterize_with_stats(cell, tech, opts).map(|(model, _)| model)
+    }
+
+    /// [`ProximityModel::characterize`] with execution telemetry: worker
+    /// count, simulation volume, and per-phase wall-clock (see
+    /// [`CharStats`]).
+    ///
+    /// Characterization runs as an enumerate → execute → assemble pipeline
+    /// ([`crate::jobs`]): all independent transients of a phase are
+    /// enumerated first, executed across `opts.jobs` worker threads, and
+    /// assembled by job index — so the result is byte-identical for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any underlying simulation fails or a
+    /// table cannot be built.
+    pub fn characterize_with_stats(
+        cell: &Cell,
+        tech: &Technology,
+        opts: &CharacterizeOptions,
+    ) -> Result<(Self, CharStats), ModelError> {
+        let threads = opts.worker_threads();
+        let mut stats = CharStats {
+            threads,
+            ..CharStats::default()
+        };
         let n = cell.input_count();
+
+        // Phase 1 (sequential): VTC family and threshold selection (§2).
+        let t0 = Instant::now();
         let vtc = extract_vtc_family(cell, tech, opts.c_load, opts.vtc_points)?;
         let thresholds = vtc.thresholds();
         let sim = Simulator::new(cell, tech, thresholds, opts.c_load, opts.dv_max);
+        stats.phases.vtc = t0.elapsed().as_secs_f64();
 
-        // Single-input macromodels for every sensitizable (pin, edge).
-        let mut singles: Vec<[Option<SingleInputModel>; 2]> = vec![[None, None]; n];
-        #[allow(clippy::needless_range_loop)] // pin is an identity, not an index walk
+        // Phase 2: single-input macromodels for every sensitizable
+        // (pin, edge), as one job batch.
+        let t0 = Instant::now();
+        let mut single_specs: Vec<(usize, Edge)> = Vec::new();
+        let mut jobs: Vec<SimJob> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
         for pin in 0..n {
             for edge in [Edge::Rising, Edge::Falling] {
                 let probe = [InputEvent::new(pin, edge, 0.0, opts.tau_grid[0])];
                 if Scenario::resolve(cell, &probe).is_ok() {
-                    singles[pin][eidx(edge)] = Some(SingleInputModel::characterize(
-                        &sim,
-                        pin,
-                        edge,
-                        &opts.tau_grid,
-                    )?);
+                    let js = SingleInputModel::enumerate(pin, edge, &opts.tau_grid)?;
+                    spans.push((jobs.len(), js.len()));
+                    jobs.extend(js);
+                    single_specs.push((pin, edge));
                 }
             }
         }
+        let outcomes = execute_jobs(&sim, &jobs, threads);
+        stats.sims_run += jobs.len();
+        let mut singles: Vec<[Option<SingleInputModel>; 2]> = vec![[None, None]; n];
+        for (&(pin, edge), &(start, len)) in single_specs.iter().zip(&spans) {
+            let ok = first_error(&outcomes[start..start + len])?;
+            singles[pin][eidx(edge)] = Some(SingleInputModel::assemble(
+                &sim,
+                pin,
+                edge,
+                &opts.tau_grid,
+                &ok,
+            )?);
+        }
+        stats.phases.singles = t0.elapsed().as_secs_f64();
 
-        // Dual-input macromodels: one partner per pin (the paper's 2n
-        // scheme), optionally the full matrix.
-        let mut duals: Vec<[Option<DualInputModel>; 2]> = vec![[None, None]; n];
-        let mut extra_duals = Vec::new();
+        // Phase 3: everything whose grid depends only on the singles —
+        // dual-input proximity tables, NLDM load-slew surfaces, and glitch
+        // extremum tables — fans out as one combined batch, so the slow
+        // glitch transients overlap the cheap dual rows.
+        let t0 = Instant::now();
+        enum PairSpec {
+            Dual {
+                pin: usize,
+                edge: Edge,
+                partner: usize,
+            },
+            Nldm {
+                pin: usize,
+                edge: Edge,
+            },
+            Glitch {
+                causer: usize,
+                edge: Edge,
+                blocker: usize,
+            },
+        }
+        let mut specs: Vec<PairSpec> = Vec::new();
+        let mut jobs: Vec<SimJob> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
         if n >= 2 {
-            for pin in 0..n {
+            for (pin, pin_singles) in singles.iter().enumerate() {
                 for edge in [Edge::Rising, Edge::Falling] {
-                    let Some(single) = singles[pin][eidx(edge)].as_ref() else {
+                    let Some(single) = pin_singles[eidx(edge)].as_ref() else {
                         continue;
                     };
-                    let partners: Vec<usize> =
-                        (1..n).map(|k| (pin + k) % n).collect();
-                    for (which, &partner) in partners.iter().enumerate() {
+                    // One partner per pin (the paper's 2n scheme), optionally
+                    // the full matrix. Enumeration order matches the old
+                    // sequential loop, so the first resolvable partner still
+                    // lands in the primary slot and the rest in extra_duals.
+                    let partners: Vec<usize> = (1..n).map(|k| (pin + k) % n).collect();
+                    for &partner in &partners {
                         let probe = [
                             InputEvent::new(pin, edge, 0.0, opts.tau_grid[0]),
                             InputEvent::new(partner, edge, 0.0, opts.tau_grid[0]),
@@ -128,23 +199,18 @@ impl ProximityModel {
                         if Scenario::resolve(cell, &probe).is_err() {
                             continue;
                         }
-                        let m = DualInputModel::characterize(
-                            &sim,
+                        let js = DualInputModel::enumerate(
+                            &thresholds,
+                            opts.c_load,
                             single,
                             partner,
                             &opts.dual_u_grid,
                             &opts.dual_v_grid,
                             &opts.dual_w_grid,
-                        )?;
-                        if which == 0 || duals[pin][eidx(edge)].is_none() {
-                            if duals[pin][eidx(edge)].is_none() {
-                                duals[pin][eidx(edge)] = Some(m);
-                            } else {
-                                extra_duals.push(m);
-                            }
-                        } else {
-                            extra_duals.push(m);
-                        }
+                        );
+                        spans.push((jobs.len(), js.len()));
+                        jobs.extend(js);
+                        specs.push(PairSpec::Dual { pin, edge, partner });
                         if !opts.full_pair_matrix {
                             break;
                         }
@@ -152,6 +218,104 @@ impl ProximityModel {
                 }
             }
         }
+        if let Some(load_grid) = &opts.load_grid {
+            for (pin, pin_singles) in singles.iter().enumerate() {
+                for edge in [Edge::Rising, Edge::Falling] {
+                    if pin_singles[eidx(edge)].is_none() {
+                        continue;
+                    }
+                    let js = LoadSlewModel::enumerate(pin, edge, &opts.tau_grid, load_grid)?;
+                    spans.push((jobs.len(), js.len()));
+                    jobs.extend(js);
+                    specs.push(PairSpec::Nldm { pin, edge });
+                }
+            }
+        }
+        if opts.glitch && n >= 2 {
+            let (causer, blocker) = (1usize.min(n - 1), 0usize);
+            for edge in [Edge::Rising, Edge::Falling] {
+                let Some(single) = singles[causer][eidx(edge)].as_ref() else {
+                    continue;
+                };
+                let js = GlitchModel::enumerate(
+                    cell,
+                    &thresholds,
+                    opts.c_load,
+                    single,
+                    blocker,
+                    &opts.glitch_u_grid,
+                    &opts.glitch_v_grid,
+                    &opts.glitch_w_grid,
+                )?;
+                spans.push((jobs.len(), js.len()));
+                jobs.extend(js);
+                specs.push(PairSpec::Glitch {
+                    causer,
+                    edge,
+                    blocker,
+                });
+            }
+        }
+        let outcomes = execute_jobs(&sim, &jobs, threads);
+        stats.sims_run += jobs.len();
+
+        let mut duals: Vec<[Option<DualInputModel>; 2]> = vec![[None, None]; n];
+        let mut extra_duals = Vec::new();
+        let mut nldm: Vec<[Option<LoadSlewModel>; 2]> = if opts.load_grid.is_some() {
+            vec![[None, None]; n]
+        } else {
+            Vec::new()
+        };
+        let mut glitches = Vec::new();
+        for (spec, &(start, len)) in specs.iter().zip(&spans) {
+            let ok = first_error(&outcomes[start..start + len])?;
+            match *spec {
+                PairSpec::Dual { pin, edge, partner } => {
+                    let single = singles[pin][eidx(edge)].as_ref().expect("enumerated");
+                    let m = DualInputModel::assemble(
+                        opts.c_load,
+                        single,
+                        partner,
+                        &opts.dual_u_grid,
+                        &opts.dual_v_grid,
+                        &opts.dual_w_grid,
+                        &ok,
+                    )?;
+                    if duals[pin][eidx(edge)].is_none() {
+                        duals[pin][eidx(edge)] = Some(m);
+                    } else {
+                        extra_duals.push(m);
+                    }
+                }
+                PairSpec::Nldm { pin, edge } => {
+                    let load_grid = opts.load_grid.as_ref().expect("enumerated");
+                    nldm[pin][eidx(edge)] = Some(LoadSlewModel::assemble(
+                        pin,
+                        edge,
+                        &opts.tau_grid,
+                        load_grid,
+                        &ok,
+                    )?);
+                }
+                PairSpec::Glitch {
+                    causer,
+                    edge,
+                    blocker,
+                } => {
+                    let single = singles[causer][eidx(edge)].as_ref().expect("enumerated");
+                    glitches.push(GlitchModel::assemble(
+                        tech.vdd,
+                        single,
+                        blocker,
+                        &opts.glitch_u_grid,
+                        &opts.glitch_v_grid,
+                        &opts.glitch_w_grid,
+                        &ok,
+                    )?);
+                }
+            }
+        }
+        stats.phases.pairs = t0.elapsed().as_secs_f64();
 
         let mut model = Self {
             cell: cell.clone(),
@@ -165,31 +329,14 @@ impl ProximityModel {
             extra_duals,
             corrections: [CorrectionTerm::default(); 2],
             ramp_stretch: [1.0; 2],
-            nldm: Vec::new(),
-            glitches: Vec::new(),
+            nldm,
+            glitches,
         };
 
-        // Optional NLDM-style load-slew surfaces (beyond the paper's fixed
-        // load form; see crate::nldm for why).
-        if let Some(load_grid) = &opts.load_grid {
-            let mut nldm: Vec<[Option<LoadSlewModel>; 2]> = vec![[None, None]; n];
-            #[allow(clippy::needless_range_loop)] // pin is an identity, not an index walk
-            for pin in 0..n {
-                for edge in [Edge::Rising, Edge::Falling] {
-                    if model.singles[pin][eidx(edge)].is_none() {
-                        continue;
-                    }
-                    nldm[pin][eidx(edge)] = Some(LoadSlewModel::characterize(
-                        &sim,
-                        pin,
-                        edge,
-                        &opts.tau_grid,
-                        load_grid,
-                    )?);
-                }
-            }
-            model.nldm = nldm;
-        }
+        // Phase 4 (sequential): the two small calibration passes. Each is a
+        // handful of sims with data dependencies on the assembled model, so
+        // batching buys nothing.
+        let t0 = Instant::now();
 
         // Driver-receiver ramp-stretch calibration: a two-stage self-chain
         // per input edge pins down the equivalent full-swing ramp the next
@@ -212,6 +359,7 @@ impl ProximityModel {
                 opts.c_load,
                 opts.dv_max,
             ) {
+                stats.sims_run += 3; // the calibration chain's three sims
                 model.ramp_stretch[eidx(out_edge)] = f;
             }
         }
@@ -221,23 +369,20 @@ impl ProximityModel {
         // simultaneously. The fastest characterized τ stands in for the
         // paper's step input so the single-input tables stay in range.
         if n >= 2 {
-            let tau_step = opts
-                .tau_grid
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
+            let tau_step = opts.tau_grid.iter().copied().fold(f64::INFINITY, f64::min);
             for edge in [Edge::Rising, Edge::Falling] {
-                let events: Vec<InputEvent> =
-                    (0..n).map(|p| InputEvent::new(p, edge, 0.0, tau_step)).collect();
+                let events: Vec<InputEvent> = (0..n)
+                    .map(|p| InputEvent::new(p, edge, 0.0, tau_step))
+                    .collect();
                 if Scenario::resolve(cell, &events).is_err() {
                     continue;
                 }
-                let model_t =
-                    match model.gate_timing_opts(&events, opts.c_load, false) {
-                        Ok(t) => t,
-                        Err(_) => continue,
-                    };
+                let model_t = match model.gate_timing_opts(&events, opts.c_load, false) {
+                    Ok(t) => t,
+                    Err(_) => continue,
+                };
                 let r = sim.simulate(&events)?;
+                stats.sims_run += 1;
                 let k_ref = events
                     .iter()
                     .position(|e| e.pin == model_t.reference_pin)
@@ -250,28 +395,9 @@ impl ProximityModel {
                 };
             }
         }
+        stats.phases.finish = t0.elapsed().as_secs_f64();
 
-        // Glitch models (§6): causer pin 1 / blocker pin 0 when available,
-        // matching the paper's a/b labeling on the NAND.
-        if opts.glitch && n >= 2 {
-            let (causer, blocker) = (1usize.min(n - 1), 0usize);
-            for edge in [Edge::Rising, Edge::Falling] {
-                let Some(single) = model.singles[causer][eidx(edge)].clone() else {
-                    continue;
-                };
-                let g = GlitchModel::characterize(
-                    &sim,
-                    &single,
-                    blocker,
-                    &opts.glitch_u_grid,
-                    &opts.glitch_v_grid,
-                    &opts.glitch_w_grid,
-                )?;
-                model.glitches.push(g);
-            }
-        }
-
-        Ok(model)
+        Ok((model, stats))
     }
 
     /// Computes the gate timing for a multi-input switching scenario at the
@@ -357,11 +483,11 @@ impl ProximityModel {
         let off_reference = !(0.7..=1.4).contains(&(c_load / self.c_ref));
         let mut ranked = Vec::with_capacity(events.len());
         for e in events {
-            let single = self.single_model(e.pin, edge).ok_or_else(|| {
-                ModelError::InvalidQuery {
-                    detail: format!("no single-input model for pin {} {edge}", e.pin),
-                }
-            })?;
+            let single =
+                self.single_model(e.pin, edge)
+                    .ok_or_else(|| ModelError::InvalidQuery {
+                        detail: format!("no single-input model for pin {} {edge}", e.pin),
+                    })?;
             let tau = e.transition_time();
             let (d1, t1) = match self.load_slew_model(e.pin, edge) {
                 Some(nldm) if off_reference => {
@@ -379,8 +505,7 @@ impl ProximityModel {
         // Conduction style: rank 1 (first arrival flips the output) is the
         // paper's OR-like case; higher ranks gate the output on later
         // arrivals (AND-like) and rank accordingly.
-        let causing =
-            crate::measure::causing_rank(&self.cell, events, scenario, &self.thresholds)?;
+        let causing = crate::measure::causing_rank(&self.cell, events, scenario, &self.thresholds)?;
         let or_like = causing.rank == 1;
         let ranked = rank_for_scenario(ranked, causing.rank);
 
@@ -558,6 +683,54 @@ mod tests {
     }
 
     #[test]
+    fn parallel_characterization_is_byte_identical_to_sequential() {
+        // Reduced opts with every job kind enabled: singles, duals, the
+        // load–slew surface, and glitch peaks all go through the batched
+        // executor, so this covers the whole enumerate → execute → assemble
+        // pipeline, not just the cheap phases.
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        let base = CharacterizeOptions {
+            glitch: true,
+            load_grid: Some(proxim_numeric::grid::logspace(20e-15, 200e-15, 2)),
+            ..CharacterizeOptions::fast()
+        };
+
+        let seq = CharacterizeOptions {
+            jobs: 1,
+            ..base.clone()
+        };
+        let par = CharacterizeOptions { jobs: 4, ..base };
+        let m1 = ProximityModel::characterize(&cell, &tech, &seq).unwrap();
+        let m4 = ProximityModel::characterize(&cell, &tech, &par).unwrap();
+        assert_eq!(
+            m1.to_json().unwrap(),
+            m4.to_json().unwrap(),
+            "jobs = 4 must assemble the exact bytes jobs = 1 produces"
+        );
+    }
+
+    #[test]
+    fn characterize_with_stats_counts_work_and_phases() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        let opts = CharacterizeOptions {
+            jobs: 2,
+            ..CharacterizeOptions::fast()
+        };
+        let (_, stats) = ProximityModel::characterize_with_stats(&cell, &tech, &opts).unwrap();
+        assert!(
+            stats.sims_run > 0,
+            "characterization must count its transients"
+        );
+        assert_eq!(stats.threads, 2);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 0));
+        let p = stats.phases;
+        assert!(p.vtc > 0.0 && p.singles > 0.0 && p.pairs > 0.0 && p.finish > 0.0);
+        assert!((p.total() - (p.vtc + p.singles + p.pairs + p.finish)).abs() < 1e-12);
+    }
+
+    #[test]
     fn characterized_model_has_all_parts() {
         let m = quick_model();
         for pin in 0..2 {
@@ -612,8 +785,7 @@ mod tests {
         let t = m.gate_timing(&events).unwrap();
         assert_eq!(t.reference_pin, 1, "late riser is the reference");
         let alone = m.gate_timing(&[events[1]]).unwrap();
-        let rel = (t.output_arrival - 50e-9 - alone.delay
-            - events[1].arrival(m.thresholds())
+        let rel = (t.output_arrival - 50e-9 - alone.delay - events[1].arrival(m.thresholds())
             + 50e-9)
             .abs()
             / alone.delay;
@@ -692,8 +864,7 @@ mod tests {
     fn inverter_characterizes_without_duals() {
         let tech = Technology::demo_5v();
         let cell = Cell::inv();
-        let m =
-            ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast()).unwrap();
+        let m = ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast()).unwrap();
         assert!(m.single_model(0, Edge::Rising).is_some());
         assert!(m.dual_model(0, Edge::Rising).is_none());
         let t = m

@@ -12,6 +12,7 @@
 
 use crate::characterize::Simulator;
 use crate::error::ModelError;
+use crate::jobs::{execute_jobs, first_error, JobOutcome, SimJob};
 use crate::measure::InputEvent;
 use crate::single::edge_serde;
 use proxim_numeric::pwl::Edge;
@@ -56,22 +57,80 @@ impl LoadSlewModel {
         tau_grid: &[f64],
         load_grid: &[f64],
     ) -> Result<Self, ModelError> {
-        if tau_grid.len() < 2 || load_grid.len() < 2 {
-            return Err(ModelError::Table("load-slew grids need >= 2 points per axis".into()));
-        }
-        let th = sim.thresholds;
-        let mut delays = Vec::with_capacity(tau_grid.len() * load_grid.len());
-        let mut transs = Vec::with_capacity(delays.capacity());
-        let mut output_edge = None;
+        let jobs = Self::enumerate(pin, input_edge, tau_grid, load_grid)?;
+        let outcomes = execute_jobs(sim, &jobs, 1);
+        Self::assemble(
+            pin,
+            input_edge,
+            tau_grid,
+            load_grid,
+            &first_error(&outcomes)?,
+        )
+    }
 
+    /// Enumerates the `(τ, load)` grid as independent simulation jobs in
+    /// row-major order (τ outermost), each with its own load override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Table`] on degenerate grids.
+    pub fn enumerate(
+        pin: usize,
+        input_edge: Edge,
+        tau_grid: &[f64],
+        load_grid: &[f64],
+    ) -> Result<Vec<SimJob>, ModelError> {
+        if tau_grid.len() < 2 || load_grid.len() < 2 {
+            return Err(ModelError::Table(
+                "load-slew grids need >= 2 points per axis".into(),
+            ));
+        }
+        let mut jobs = Vec::with_capacity(tau_grid.len() * load_grid.len());
         for &tau in tau_grid {
             for &c in load_grid {
-                let pass = Simulator { c_load: c, ..sim.clone() };
-                let r = pass.simulate(&[InputEvent::new(pin, input_edge, 0.0, tau)])?;
-                output_edge = Some(r.output_edge);
-                delays.push(r.delay_from(0, &th)?);
-                transs.push(r.transition_time(&th)?);
+                jobs.push(SimJob::events_at_load(
+                    vec![InputEvent::new(pin, input_edge, 0.0, tau)],
+                    c,
+                ));
             }
+        }
+        Ok(jobs)
+    }
+
+    /// Builds the surface from executed job outcomes in enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on degenerate grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes do not match the enumeration (count or kind).
+    pub fn assemble(
+        pin: usize,
+        input_edge: Edge,
+        tau_grid: &[f64],
+        load_grid: &[f64],
+        outcomes: &[&JobOutcome],
+    ) -> Result<Self, ModelError> {
+        let expected = tau_grid.len() * load_grid.len();
+        assert_eq!(outcomes.len(), expected, "one outcome per grid point");
+        let mut delays = Vec::with_capacity(expected);
+        let mut transs = Vec::with_capacity(expected);
+        let mut output_edge = None;
+        for outcome in outcomes {
+            let JobOutcome::Response {
+                output_edge: oe,
+                delay,
+                trans,
+                ..
+            } = outcome
+            else {
+                panic!("load-slew assembly expects events responses");
+            };
+            output_edge = Some(*oe);
+            delays.push(*delay);
+            transs.push(*trans);
         }
         let ln_tau: Vec<f64> = tau_grid.iter().map(|t| t.ln()).collect();
         let ln_load: Vec<f64> = load_grid.iter().map(|c| c.ln()).collect();
@@ -131,7 +190,11 @@ mod tests {
     use proxim_numeric::grid::logspace;
 
     fn setup() -> (Cell, Technology, Thresholds) {
-        (Cell::nand(2), Technology::demo_5v(), Thresholds::new(1.8, 3.78, 5.0))
+        (
+            Cell::nand(2),
+            Technology::demo_5v(),
+            Thresholds::new(1.8, 3.78, 5.0),
+        )
     }
 
     #[test]
@@ -140,13 +203,15 @@ mod tests {
         let sim = Simulator::new(&cell, &tech, th, 100e-15, 0.08);
         let tau_grid = logspace(100e-12, 1500e-12, 3);
         let load_grid = logspace(10e-15, 200e-15, 3);
-        let m = LoadSlewModel::characterize(&sim, 0, Edge::Rising, &tau_grid, &load_grid)
-            .unwrap();
+        let m = LoadSlewModel::characterize(&sim, 0, Edge::Rising, &tau_grid, &load_grid).unwrap();
         assert_eq!(m.output_edge, Edge::Falling);
         assert_eq!(m.table_len(), 18);
 
         // Exact at a grid point.
-        let pass = Simulator { c_load: load_grid[1], ..sim.clone() };
+        let pass = Simulator {
+            c_load: load_grid[1],
+            ..sim.clone()
+        };
         let r = pass
             .simulate(&[InputEvent::new(0, Edge::Rising, 0.0, tau_grid[1])])
             .unwrap();
@@ -177,8 +242,13 @@ mod tests {
         .unwrap();
 
         let (tau, c_small) = (600e-12, 15e-15);
-        let pass = Simulator { c_load: c_small, ..sim.clone() };
-        let r = pass.simulate(&[InputEvent::new(0, Edge::Rising, 0.0, tau)]).unwrap();
+        let pass = Simulator {
+            c_load: c_small,
+            ..sim.clone()
+        };
+        let r = pass
+            .simulate(&[InputEvent::new(0, Edge::Rising, 0.0, tau)])
+            .unwrap();
         let d_sim = r.delay_from(0, &th).unwrap();
 
         let err_1d = (one_d.delay(tau, c_small) - d_sim).abs() / d_sim;

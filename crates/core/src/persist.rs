@@ -1,14 +1,23 @@
-//! Model persistence.
+//! Model persistence and the content-addressed characterization cache.
 //!
 //! Characterization costs thousands of transient analyses; the resulting
 //! [`ProximityModel`] is plain data (tables, thresholds, VTC curves) and is
 //! serialized to JSON so a library can be characterized once and shipped —
 //! the moral equivalent of a `.lib` file in a conventional flow.
+//!
+//! [`ModelCache`] sits on top: it keys stored models by a hash of the cell
+//! topology, the technology, and every result-affecting characterization
+//! option, so repeated [`ModelCache::characterize`] calls for the same
+//! inputs are served from disk with zero simulations — and any change to
+//! cell, technology, or grids misses and re-characterizes.
 
+use crate::characterize::CharacterizeOptions;
 use crate::error::ModelError;
+use crate::jobs::CharStats;
 use crate::model::ProximityModel;
+use proxim_cells::{Cell, Technology};
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 impl ProximityModel {
     /// Serializes the model to a JSON string.
@@ -18,7 +27,9 @@ impl ProximityModel {
     /// Returns [`ModelError::Persist`] if serialization fails (it cannot for
     /// a well-formed model; the variant exists for forward compatibility).
     pub fn to_json(&self) -> Result<String, ModelError> {
-        serde_json::to_string(self).map_err(|e| ModelError::Persist { detail: e.to_string() })
+        serde_json::to_string(self).map_err(|e| ModelError::Persist {
+            detail: e.to_string(),
+        })
     }
 
     /// Deserializes a model from JSON produced by [`ProximityModel::to_json`].
@@ -27,7 +38,9 @@ impl ProximityModel {
     ///
     /// Returns [`ModelError::Persist`] on malformed input.
     pub fn from_json(text: &str) -> Result<Self, ModelError> {
-        serde_json::from_str(text).map_err(|e| ModelError::Persist { detail: e.to_string() })
+        serde_json::from_str(text).map_err(|e| ModelError::Persist {
+            detail: e.to_string(),
+        })
     }
 
     /// Writes the model to a file.
@@ -36,8 +49,9 @@ impl ProximityModel {
     ///
     /// Returns [`ModelError::Persist`] on serialization or I/O failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
-        fs::write(path.as_ref(), self.to_json()?)
-            .map_err(|e| ModelError::Persist { detail: e.to_string() })
+        fs::write(path.as_ref(), self.to_json()?).map_err(|e| ModelError::Persist {
+            detail: e.to_string(),
+        })
     }
 
     /// Loads a model from a file written by [`ProximityModel::save`].
@@ -46,9 +60,133 @@ impl ProximityModel {
     ///
     /// Returns [`ModelError::Persist`] on I/O or parse failure.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelError> {
-        let text = fs::read_to_string(path.as_ref())
-            .map_err(|e| ModelError::Persist { detail: e.to_string() })?;
+        let text = fs::read_to_string(path.as_ref()).map_err(|e| ModelError::Persist {
+            detail: e.to_string(),
+        })?;
         Self::from_json(&text)
+    }
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms and
+/// runs (unlike `std`'s `DefaultHasher`, whose output is unspecified).
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A content-addressed on-disk cache of characterized models.
+///
+/// Each entry is one JSON file named by the hex cache key under the cache
+/// root. The key hashes the serialized cell, the serialized technology, and
+/// [`CharacterizeOptions::cache_key_string`] — everything that affects the
+/// characterized result, and nothing that doesn't (the `jobs` worker count
+/// is deliberately excluded, since the pipeline is deterministic in it).
+#[derive(Debug, Clone)]
+pub struct ModelCache {
+    root: PathBuf,
+}
+
+impl ModelCache {
+    /// Opens (and lazily creates) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The cache key for one `(cell, tech, opts)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Persist`] if the cell or technology cannot be
+    /// serialized.
+    pub fn key(
+        cell: &Cell,
+        tech: &Technology,
+        opts: &CharacterizeOptions,
+    ) -> Result<u64, ModelError> {
+        let cell_json = serde_json::to_string(cell).map_err(|e| ModelError::Persist {
+            detail: e.to_string(),
+        })?;
+        let tech_json = serde_json::to_string(tech).map_err(|e| ModelError::Persist {
+            detail: e.to_string(),
+        })?;
+        let blob = format!(
+            "cell={cell_json}\ntech={tech_json}\nopts={}",
+            opts.cache_key_string()
+        );
+        Ok(fnv1a_64(blob.as_bytes()))
+    }
+
+    /// The on-disk path an entry would live at.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}.json"))
+    }
+
+    /// Characterizes through the cache: a stored model for the same cell,
+    /// technology, and options is loaded with **zero** simulations;
+    /// otherwise the model is characterized (honoring `opts.jobs`) and
+    /// stored. `stats` accumulates hit/miss counters and, on a miss, the
+    /// characterization telemetry.
+    ///
+    /// A corrupt or unreadable cache entry counts as a miss and is
+    /// overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on characterization failure or when the cache
+    /// directory cannot be written.
+    pub fn characterize(
+        &self,
+        cell: &Cell,
+        tech: &Technology,
+        opts: &CharacterizeOptions,
+        stats: &mut CharStats,
+    ) -> Result<ProximityModel, ModelError> {
+        let path = self.entry_path(Self::key(cell, tech, opts)?);
+        if let Ok(model) = ProximityModel::load(&path) {
+            stats.cache_hits += 1;
+            return Ok(model);
+        }
+        stats.cache_misses += 1;
+        let (model, run) = ProximityModel::characterize_with_stats(cell, tech, opts)?;
+        stats.sims_run += run.sims_run;
+        stats.threads = run.threads;
+        stats.phases = run.phases;
+        fs::create_dir_all(&self.root).map_err(|e| ModelError::Persist {
+            detail: e.to_string(),
+        })?;
+        model.save(&path)?;
+        Ok(model)
+    }
+
+    /// Deletes every cache entry (the `*.json` files under the root). Other
+    /// files are left alone; a missing root is fine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Persist`] if an entry cannot be removed.
+    pub fn wipe(&self) -> Result<(), ModelError> {
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(_) => return Ok(()),
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|e| e == "json") {
+                fs::remove_file(&p).map_err(|e| ModelError::Persist {
+                    detail: e.to_string(),
+                })?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -64,7 +202,10 @@ mod tests {
     fn json_roundtrip_preserves_every_answer() {
         let tech = Technology::demo_5v();
         let cell = Cell::nand(2);
-        let opts = CharacterizeOptions { glitch: true, ..CharacterizeOptions::fast() };
+        let opts = CharacterizeOptions {
+            glitch: true,
+            ..CharacterizeOptions::fast()
+        };
         let model = ProximityModel::characterize(&cell, &tech, &opts).unwrap();
 
         let json = model.to_json().unwrap();
@@ -72,9 +213,11 @@ mod tests {
 
         assert_eq!(model.thresholds(), back.thresholds());
         assert_eq!(model.table_entries(), back.table_entries());
-        for &(s, tau_a, tau_b) in
-            &[(0.0, 400e-12, 400e-12), (150e-12, 800e-12, 200e-12), (-300e-12, 120e-12, 1700e-12)]
-        {
+        for &(s, tau_a, tau_b) in &[
+            (0.0, 400e-12, 400e-12),
+            (150e-12, 800e-12, 200e-12),
+            (-300e-12, 120e-12, 1700e-12),
+        ] {
             for edge in [Edge::Rising, Edge::Falling] {
                 let events = [
                     InputEvent::new(0, edge, 0.0, tau_a),
@@ -84,7 +227,12 @@ mod tests {
                 let b = back.gate_timing(&events).unwrap();
                 // JSON float parsing may differ in the last ULP.
                 let close = |x: f64, y: f64| (x - y).abs() <= 1e-12 * x.abs().max(y.abs());
-                assert!(close(a.delay, b.delay), "{edge} s={s}: {} vs {}", a.delay, b.delay);
+                assert!(
+                    close(a.delay, b.delay),
+                    "{edge} s={s}: {} vs {}",
+                    a.delay,
+                    b.delay
+                );
                 assert!(close(a.output_transition, b.output_transition));
                 assert_eq!(a.reference_pin, b.reference_pin);
             }
@@ -122,5 +270,124 @@ mod tests {
     fn load_missing_file_is_reported() {
         let e = ProximityModel::load("/nonexistent/path/model.json").unwrap_err();
         assert!(matches!(e, ModelError::Persist { .. }));
+    }
+
+    fn fresh_cache(name: &str) -> ModelCache {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        ModelCache::new(dir)
+    }
+
+    #[test]
+    fn second_characterize_is_a_pure_cache_hit() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let opts = CharacterizeOptions::fast();
+        let cache = fresh_cache("proxim_cache_test_hit");
+
+        let mut first = CharStats::default();
+        let m1 = cache.characterize(&cell, &tech, &opts, &mut first).unwrap();
+        assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+        assert!(first.sims_run > 0, "a miss must simulate");
+
+        let mut second = CharStats::default();
+        let m2 = cache
+            .characterize(&cell, &tech, &opts, &mut second)
+            .unwrap();
+        assert_eq!((second.cache_hits, second.cache_misses), (1, 0));
+        assert_eq!(second.sims_run, 0, "a hit must not simulate at all");
+        assert_eq!(m1.to_json().unwrap(), m2.to_json().unwrap());
+
+        std::fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn changed_options_miss_but_worker_count_does_not() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let opts = CharacterizeOptions::fast();
+        let cache = fresh_cache("proxim_cache_test_miss");
+
+        let mut stats = CharStats::default();
+        cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+
+        // Any result-affecting knob changes the key.
+        let tighter = CharacterizeOptions {
+            dv_max: 0.06,
+            ..opts.clone()
+        };
+        let mut stats = CharStats::default();
+        cache
+            .characterize(&cell, &tech, &tighter, &mut stats)
+            .unwrap();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        assert!(stats.sims_run > 0);
+
+        // The worker count is not part of the identity: a model
+        // characterized at jobs = 1 is a hit when asked for at jobs = 4.
+        let parallel = CharacterizeOptions {
+            jobs: 4,
+            ..opts.clone()
+        };
+        assert_eq!(
+            ModelCache::key(&cell, &tech, &opts).unwrap(),
+            ModelCache::key(&cell, &tech, &parallel).unwrap(),
+        );
+        let mut stats = CharStats::default();
+        cache
+            .characterize(&cell, &tech, &parallel, &mut stats)
+            .unwrap();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 0));
+
+        // A different cell misses.
+        let nand = Cell::nand(2);
+        assert_ne!(
+            ModelCache::key(&cell, &tech, &opts).unwrap(),
+            ModelCache::key(&nand, &tech, &opts).unwrap(),
+        );
+
+        std::fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss_and_is_repaired() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let opts = CharacterizeOptions::fast();
+        let cache = fresh_cache("proxim_cache_test_corrupt");
+
+        let path = cache.entry_path(ModelCache::key(&cell, &tech, &opts).unwrap());
+        std::fs::create_dir_all(cache.root()).unwrap();
+        std::fs::write(&path, "{definitely not a model").unwrap();
+
+        let mut stats = CharStats::default();
+        cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+
+        // The entry was overwritten with a loadable model.
+        assert!(ProximityModel::load(&path).is_ok());
+
+        std::fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn wipe_clears_entries_and_forces_recharacterization() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let opts = CharacterizeOptions::fast();
+        let cache = fresh_cache("proxim_cache_test_wipe");
+
+        let mut stats = CharStats::default();
+        cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+        cache.wipe().unwrap();
+
+        let mut stats = CharStats::default();
+        cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+
+        // Wiping a nonexistent root is fine.
+        ModelCache::new("/nonexistent/proxim/cache").wipe().unwrap();
+
+        std::fs::remove_dir_all(cache.root()).ok();
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::characterize::Simulator;
 use crate::error::ModelError;
+use crate::jobs::{execute_jobs, first_error, JobOutcome, SimJob};
 use crate::measure::InputEvent;
 use proxim_numeric::pwl::Edge;
 use proxim_numeric::rootfind::brent;
@@ -63,7 +64,11 @@ pub(crate) mod edge_serde {
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Edge, D::Error> {
-        Ok(if bool::deserialize(d)? { Edge::Rising } else { Edge::Falling })
+        Ok(if bool::deserialize(d)? {
+            Edge::Rising
+        } else {
+            Edge::Falling
+        })
     }
 }
 pub(crate) use edge_serde as edge_as_bool;
@@ -81,9 +86,51 @@ impl SingleInputModel {
         input_edge: Edge,
         tau_grid: &[f64],
     ) -> Result<Self, ModelError> {
+        let jobs = Self::enumerate(pin, input_edge, tau_grid)?;
+        let outcomes = execute_jobs(sim, &jobs, 1);
+        Self::assemble(sim, pin, input_edge, tau_grid, &first_error(&outcomes)?)
+    }
+
+    /// Enumerates the characterization grid as independent simulation jobs,
+    /// one per τ point (see [`crate::jobs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Table`] on a degenerate grid.
+    pub fn enumerate(
+        pin: usize,
+        input_edge: Edge,
+        tau_grid: &[f64],
+    ) -> Result<Vec<SimJob>, ModelError> {
         if tau_grid.len() < 2 {
-            return Err(ModelError::Table("tau grid needs at least two points".into()));
+            return Err(ModelError::Table(
+                "tau grid needs at least two points".into(),
+            ));
         }
+        Ok(tau_grid
+            .iter()
+            .map(|&tau| SimJob::events_wide(vec![InputEvent::new(pin, input_edge, 0.0, tau)]))
+            .collect())
+    }
+
+    /// Builds the model from executed job outcomes, in the exact order
+    /// [`SingleInputModel::enumerate`] produced them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if a table cannot be built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes do not match the enumeration (count or kind).
+    pub fn assemble(
+        sim: &Simulator<'_>,
+        pin: usize,
+        input_edge: Edge,
+        tau_grid: &[f64],
+        outcomes: &[&JobOutcome],
+    ) -> Result<Self, ModelError> {
+        assert_eq!(outcomes.len(), tau_grid.len(), "one outcome per tau point");
         let th = sim.thresholds;
         let vdd = sim.tech.vdd;
         let frac_span = (th.v_ih - th.v_il) / vdd;
@@ -98,17 +145,21 @@ impl SingleInputModel {
         let mut output_edge = None;
         let mut tail_factors = Vec::with_capacity(tau_grid.len());
 
-        for &tau in tau_grid {
-            let r = sim.simulate(&[InputEvent::new(pin, input_edge, 0.0, tau)])?;
-            output_edge = Some(r.output_edge);
-            let delay = r.delay_from(0, &th)?;
-            let trans = r.transition_time(&th)?;
-            rows.push((sim.c_load, tau, delay, trans));
+        for (&tau, outcome) in tau_grid.iter().zip(outcomes) {
+            let JobOutcome::Response {
+                output_edge: oe,
+                delay,
+                trans,
+                wide,
+            } = outcome
+            else {
+                panic!("single-input assembly expects events responses");
+            };
+            output_edge = Some(*oe);
+            rows.push((sim.c_load, tau, *delay, *trans));
             // The wide (5-95 % of swing) edge time vs. the linear
             // extrapolation of the threshold-to-threshold time.
-            if let Some(t_wide) =
-                r.output.transition_time(0.05 * vdd, 0.95 * vdd, r.output_edge)
-            {
+            if let Some(t_wide) = wide {
                 let t_lin = 0.9 * trans / frac_span;
                 if t_lin > 0.0 {
                     tail_factors.push(t_wide / t_lin);
@@ -260,7 +311,9 @@ mod tests {
         assert_eq!(m.output_edge, Edge::Falling);
         // The model reproduces its own characterization points.
         for &tau in &grid {
-            let r = sim.simulate(&[InputEvent::new(0, Edge::Rising, 0.0, tau)]).unwrap();
+            let r = sim
+                .simulate(&[InputEvent::new(0, Edge::Rising, 0.0, tau)])
+                .unwrap();
             let d_sim = r.delay_from(0, &sim.thresholds).unwrap();
             let d_model = m.delay(tau, 100e-15);
             assert!(

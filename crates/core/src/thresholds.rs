@@ -83,7 +83,9 @@ pub struct VtcCurve {
 impl VtcCurve {
     /// The switching pins as indices.
     pub fn switching_pins(&self) -> Vec<usize> {
-        (0..32).filter(|i| self.switching_mask & (1 << i) != 0).collect()
+        (0..32)
+            .filter(|i| self.switching_mask & (1 << i) != 0)
+            .collect()
     }
 }
 
@@ -167,7 +169,9 @@ fn sensitize_subset(cell: &Cell, mask: u32) -> Option<Vec<Option<bool>>> {
 fn analyze_curve(curve: &Pwl, vdd: f64) -> Result<(f64, f64, f64), ModelError> {
     let pts = curve.points();
     if pts.len() < 8 {
-        return Err(ModelError::MalformedVtc { detail: "too few sweep points".into() });
+        return Err(ModelError::MalformedVtc {
+            detail: "too few sweep points".into(),
+        });
     }
     // Segment slopes at segment midpoints.
     let mut mids = Vec::with_capacity(pts.len() - 1);
@@ -202,7 +206,9 @@ fn analyze_curve(curve: &Pwl, vdd: f64) -> Result<(f64, f64, f64), ModelError> {
     // V_m: Vout = Vin, bracketed over the full sweep.
     let g = |v: f64| curve.eval(v) - v;
     let v_m = proxim_numeric::rootfind::brent(g, 0.0, vdd, 1e-9).map_err(|e| {
-        ModelError::MalformedVtc { detail: format!("V_m not bracketed: {e}") }
+        ModelError::MalformedVtc {
+            detail: format!("V_m not bracketed: {e}"),
+        }
     })?;
     Ok((v_il, v_ih, v_m))
 }
@@ -258,13 +264,25 @@ pub fn extract_vtc_family(
             },
             other => other,
         })?;
-        curves.push(VtcCurve { switching_mask: mask, stable_levels, curve, v_il, v_ih, v_m });
+        curves.push(VtcCurve {
+            switching_mask: mask,
+            stable_levels,
+            curve,
+            v_il,
+            v_ih,
+            v_m,
+        });
     }
 
     if curves.is_empty() {
-        return Err(ModelError::MalformedVtc { detail: "no sensitizable combination".into() });
+        return Err(ModelError::MalformedVtc {
+            detail: "no sensitizable combination".into(),
+        });
     }
-    Ok(VtcFamily { curves, vdd: tech.vdd })
+    Ok(VtcFamily {
+        curves,
+        vdd: tech.vdd,
+    })
 }
 
 #[cfg(test)]

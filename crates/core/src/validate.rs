@@ -106,8 +106,14 @@ impl ValidationReport {
 /// # Panics
 ///
 /// Panics if `opts.configs == 0` or a range is inverted.
-pub fn validate(model: &ProximityModel, opts: &ValidateOptions) -> Result<ValidationReport, ModelError> {
-    assert!(opts.configs > 0, "validation needs at least one configuration");
+pub fn validate(
+    model: &ProximityModel,
+    opts: &ValidateOptions,
+) -> Result<ValidationReport, ModelError> {
+    assert!(
+        opts.configs > 0,
+        "validation needs at least one configuration"
+    );
     assert!(opts.tau_range.0 < opts.tau_range.1, "tau range inverted");
     assert!(
         opts.separation_range.0 <= opts.separation_range.1,
@@ -158,9 +164,23 @@ pub fn validate(model: &ProximityModel, opts: &ValidateOptions) -> Result<Valida
         });
     }
 
-    let delay = Summary::of(&configs.iter().map(|c| c.delay_err_pct()).collect::<Vec<_>>());
-    let trans = Summary::of(&configs.iter().map(|c| c.trans_err_pct()).collect::<Vec<_>>());
-    Ok(ValidationReport { configs, delay, trans })
+    let delay = Summary::of(
+        &configs
+            .iter()
+            .map(|c| c.delay_err_pct())
+            .collect::<Vec<_>>(),
+    );
+    let trans = Summary::of(
+        &configs
+            .iter()
+            .map(|c| c.trans_err_pct())
+            .collect::<Vec<_>>(),
+    );
+    Ok(ValidationReport {
+        configs,
+        delay,
+        trans,
+    })
 }
 
 #[cfg(test)]
@@ -175,7 +195,11 @@ mod tests {
         let model =
             ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
                 .unwrap();
-        let opts = ValidateOptions { configs: 5, dv_max: 0.08, ..ValidateOptions::default() };
+        let opts = ValidateOptions {
+            configs: 5,
+            dv_max: 0.08,
+            ..ValidateOptions::default()
+        };
         let a = validate(&model, &opts).unwrap();
         let b = validate(&model, &opts).unwrap();
         assert_eq!(a.configs.len(), 5);

@@ -1,0 +1,170 @@
+//! Vendored offline stand-in for the `criterion` benchmark harness.
+//!
+//! The real criterion cannot be fetched in this offline build environment
+//! (see EXPERIMENTS.md). This shim keeps the workspace's bench sources
+//! compiling and runnable — `criterion_group!`/`criterion_main!`,
+//! `Criterion::default().sample_size(n)`, `bench_function`, `Bencher::iter`
+//! — and reports a simple mean/min per benchmark instead of criterion's
+//! full statistical analysis.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+/// The benchmark driver. Holds the per-group configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size,
+        };
+        f(&mut b);
+        let mut per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .filter(|(_, iters)| *iters > 0)
+            .map(|(t, iters)| t.as_secs_f64() / *iters as f64)
+            .collect();
+        if per_iter.is_empty() {
+            println!("{id:<40} no samples collected");
+            return self;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<40} min {:>12}  mean {:>12}  ({} samples)",
+            format_time(min),
+            format_time(mean),
+            per_iter.len()
+        );
+        self
+    }
+
+    /// Opens a named benchmark group; member ids print as `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks (criterion's grouping API).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one member benchmark under the group's name.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group. The real criterion finalizes reports here; the shim
+    /// has nothing to flush.
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples of a closure.
+pub struct Bencher {
+    /// (elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `f`, calling it enough times per sample to out-resolve the
+    /// clock, for the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that runs at
+        // least ~1 ms so short closures are measurable.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(f());
+            }
+            self.samples.push((start.elapsed(), iters_per_sample));
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two invocation forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

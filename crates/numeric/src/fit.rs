@@ -35,11 +35,15 @@ impl std::error::Error for FitError {}
 pub fn lstsq(rows: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, FitError> {
     let m = rows.len();
     if m == 0 {
-        return Err(FitError { what: "no data points".into() });
+        return Err(FitError {
+            what: "no data points".into(),
+        });
     }
     let n = rows[0].len();
     if n == 0 {
-        return Err(FitError { what: "no basis functions".into() });
+        return Err(FitError {
+            what: "no basis functions".into(),
+        });
     }
     if m < n {
         return Err(FitError {
@@ -47,13 +51,17 @@ pub fn lstsq(rows: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, FitError> {
         });
     }
     if b.len() != m {
-        return Err(FitError { what: "rhs length mismatch".into() });
+        return Err(FitError {
+            what: "rhs length mismatch".into(),
+        });
     }
     let mut ata = Matrix::zeros(n, n);
     let mut atb = vec![0.0; n];
     for (row, &y) in rows.iter().zip(b) {
         if row.len() != n {
-            return Err(FitError { what: "ragged design matrix".into() });
+            return Err(FitError {
+                what: "ragged design matrix".into(),
+            });
         }
         for i in 0..n {
             atb[i] += row[i] * y;
@@ -62,7 +70,9 @@ pub fn lstsq(rows: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, FitError> {
             }
         }
     }
-    ata.solve(&atb).map_err(|e| FitError { what: e.to_string() })
+    ata.solve(&atb).map_err(|e| FitError {
+        what: e.to_string(),
+    })
 }
 
 /// Fits a polynomial of the given `degree` to `(x, y)` samples, returning
@@ -74,7 +84,9 @@ pub fn lstsq(rows: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, FitError> {
 /// abscissae are degenerate.
 pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>, FitError> {
     if xs.len() != ys.len() {
-        return Err(FitError { what: "xs/ys length mismatch".into() });
+        return Err(FitError {
+            what: "xs/ys length mismatch".into(),
+        });
     }
     let rows: Vec<Vec<f64>> = xs
         .iter()

@@ -37,7 +37,10 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 /// ```
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > 0.0, "logspace requires positive bounds");
-    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 /// Locates `x` in a sorted grid, returning the index `i` of the left edge of

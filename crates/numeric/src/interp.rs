@@ -33,13 +33,19 @@ impl std::error::Error for BuildTableError {}
 
 fn check_axis(name: &str, axis: &[f64]) -> Result<(), BuildTableError> {
     if axis.len() < 2 {
-        return Err(BuildTableError::new(format!("axis {name} needs >= 2 points")));
+        return Err(BuildTableError::new(format!(
+            "axis {name} needs >= 2 points"
+        )));
     }
     if axis.iter().any(|v| !v.is_finite()) {
-        return Err(BuildTableError::new(format!("axis {name} contains non-finite values")));
+        return Err(BuildTableError::new(format!(
+            "axis {name} contains non-finite values"
+        )));
     }
     if axis.windows(2).any(|w| w[1] <= w[0]) {
-        return Err(BuildTableError::new(format!("axis {name} must be strictly increasing")));
+        return Err(BuildTableError::new(format!(
+            "axis {name} must be strictly increasing"
+        )));
     }
     Ok(())
 }
@@ -341,8 +347,7 @@ mod tests {
     #[test]
     fn table2d_reproduces_bilinear_function_exactly() {
         let f = |x: f64, y: f64| 3.0 * x - 2.0 * y + 1.0;
-        let t =
-            Table2d::tabulate(vec![0.0, 1.0, 2.0], vec![-1.0, 0.5, 2.0], f).unwrap();
+        let t = Table2d::tabulate(vec![0.0, 1.0, 2.0], vec![-1.0, 0.5, 2.0], f).unwrap();
         for &(x, y) in &[(0.3, 0.0), (1.7, 1.2), (0.0, -1.0), (2.0, 2.0)] {
             assert!((t.eval(x, y) - f(x, y)).abs() < 1e-12, "at ({x},{y})");
         }
@@ -368,37 +373,40 @@ mod tests {
         // f(x,y,z) = 2x + 3y - z + 0.5 is multilinear, so trilinear
         // interpolation must reproduce it exactly inside the grid.
         let f = |x: f64, y: f64, z: f64| 2.0 * x + 3.0 * y - z + 0.5;
-        let t = Table3d::tabulate(
-            vec![0.0, 1.0, 2.0],
-            vec![-1.0, 0.0, 1.0],
-            vec![0.0, 2.0],
-            f,
-        )
-        .unwrap();
+        let t = Table3d::tabulate(vec![0.0, 1.0, 2.0], vec![-1.0, 0.0, 1.0], vec![0.0, 2.0], f)
+            .unwrap();
         for &(x, y, z) in &[(0.25, -0.5, 0.7), (1.9, 0.99, 1.3), (0.0, -1.0, 0.0)] {
-            assert!((t.eval(x, y, z) - f(x, y, z)).abs() < 1e-12, "at ({x},{y},{z})");
+            assert!(
+                (t.eval(x, y, z) - f(x, y, z)).abs() < 1e-12,
+                "at ({x},{y},{z})"
+            );
         }
     }
 
     #[test]
     fn table3d_clamps_outside_grid() {
-        let t = Table3d::tabulate(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0], |x, _, _| x)
-            .unwrap();
+        let t =
+            Table3d::tabulate(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0], |x, _, _| x).unwrap();
         assert_eq!(t.eval(-5.0, 0.5, 0.5), 0.0);
         assert_eq!(t.eval(5.0, 0.5, 0.5), 1.0);
     }
 
     #[test]
     fn table3d_rejects_wrong_value_count() {
-        let err = Table3d::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 7])
-            .unwrap_err();
+        let err =
+            Table3d::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 7]).unwrap_err();
         assert!(err.to_string().contains("expected 8"));
     }
 
     #[test]
     fn table3d_len_reports_storage() {
-        let t = Table3d::tabulate(vec![0.0, 1.0, 2.0], vec![0.0, 1.0], vec![0.0, 1.0], |_, _, _| 0.0)
-            .unwrap();
+        let t = Table3d::tabulate(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            |_, _, _| 0.0,
+        )
+        .unwrap();
         assert_eq!(t.len(), 12);
         assert!(!t.is_empty());
     }

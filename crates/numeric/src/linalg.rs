@@ -32,7 +32,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -104,16 +108,39 @@ impl Matrix {
 
     /// LU-factorizes the matrix with partial pivoting.
     ///
+    /// Allocates a fresh [`LuFactors`]; in hot loops prefer [`Matrix::lu_into`],
+    /// which reuses a caller-owned buffer.
+    ///
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] when a pivot smaller than `1e-300` in
     /// magnitude is encountered, i.e. the matrix is numerically singular.
     pub fn lu(&self) -> Result<LuFactors, SingularMatrixError> {
+        let mut out = LuFactors::empty();
+        self.lu_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// LU-factorizes the matrix into a caller-owned [`LuFactors`] buffer,
+    /// allocating nothing once `out` has reached this matrix's size.
+    ///
+    /// On error `out` holds a partially eliminated factorization and must
+    /// not be used for solves (the next `lu_into` overwrites it fully).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot smaller than `1e-300` in
+    /// magnitude is encountered, i.e. the matrix is numerically singular.
+    pub fn lu_into(&self, out: &mut LuFactors) -> Result<(), SingularMatrixError> {
         assert_eq!(self.rows, self.cols, "LU requires a square matrix");
         let n = self.rows;
-        let mut lu = self.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        out.n = n;
+        out.sign = 1.0;
+        out.lu.clear();
+        out.lu.extend_from_slice(&self.data);
+        out.perm.clear();
+        out.perm.extend(0..n);
+        let lu = &mut out.lu;
 
         for k in 0..n {
             // Find the pivot row.
@@ -133,8 +160,8 @@ impl Matrix {
                 for j in 0..n {
                     lu.swap(k * n + j, p * n + j);
                 }
-                perm.swap(k, p);
-                sign = -sign;
+                out.perm.swap(k, p);
+                out.sign = -out.sign;
             }
             let pivot = lu[k * n + k];
             for i in (k + 1)..n {
@@ -147,7 +174,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(LuFactors { n, lu, perm, sign })
+        Ok(())
     }
 
     /// Convenience: factorize and solve `A x = b` in one call.
@@ -165,7 +192,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -173,7 +203,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -217,17 +250,44 @@ pub struct LuFactors {
 }
 
 impl LuFactors {
+    /// An empty buffer for [`Matrix::lu_into`] to factor into. Holds no
+    /// usable factorization until then.
+    pub fn empty() -> Self {
+        Self {
+            n: 0,
+            lu: Vec::new(),
+            perm: Vec::new(),
+            sign: 1.0,
+        }
+    }
+
     /// Solves `A x = b` using the stored factors.
+    ///
+    /// Allocates the solution vector; in hot loops prefer
+    /// [`LuFactors::solve_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` into a caller-owned vector, allocating nothing once
+    /// `x` has reached the matrix dimension.
     ///
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     #[allow(clippy::needless_range_loop)] // textbook substitution indexing
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n, "dimension mismatch in solve");
         let n = self.n;
         // Apply the permutation, then forward-substitute through L.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         for i in 1..n {
             let mut s = x[i];
             for j in 0..i {
@@ -243,7 +303,6 @@ impl LuFactors {
             }
             x[i] = s / self.lu[i * n + i];
         }
-        x
     }
 
     /// The determinant of the factorized matrix.
@@ -325,6 +384,48 @@ mod tests {
     }
 
     #[test]
+    fn lu_into_reuses_buffers_and_matches_lu() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 4.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let fresh = a.lu().unwrap();
+        let mut reused = LuFactors::empty();
+        a.lu_into(&mut reused).unwrap();
+        let b = [5.0, -3.0, 2.0];
+        assert_eq!(fresh.solve(&b), reused.solve(&b));
+        assert_eq!(fresh.det(), reused.det());
+
+        // Refactor a different matrix into the same buffer.
+        let a2 = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 2.0]]);
+        a2.lu_into(&mut reused).unwrap();
+        let x = reused.solve(&[2.0, 3.0, 4.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_across_sizes() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        // Pre-fill with stale, larger content to prove it is overwritten.
+        let mut x = vec![9.0; 7];
+        lu.solve_into(&[3.0, 5.0], &mut x);
+        assert_eq!(x.len(), 2);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_into_failure_then_success_recovers() {
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut buf = LuFactors::empty();
+        assert!(singular.lu_into(&mut buf).is_err());
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        a.lu_into(&mut buf).unwrap();
+        let x = buf.solve(&[3.0, 5.0]);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
     fn stamp_accumulates() {
         let mut a = Matrix::zeros(2, 2);
         a.add(0, 0, 1.5);
@@ -353,7 +454,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for n in [1usize, 2, 3, 5, 8, 13] {

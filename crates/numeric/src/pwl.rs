@@ -79,20 +79,31 @@ impl Pwl {
     /// non-decreasing, or any coordinate is non-finite.
     pub fn new(points: Vec<(f64, f64)>) -> Result<Self, BuildPwlError> {
         if points.is_empty() {
-            return Err(BuildPwlError { what: "no points".into() });
+            return Err(BuildPwlError {
+                what: "no points".into(),
+            });
         }
-        if points.iter().any(|&(t, v)| !t.is_finite() || !v.is_finite()) {
-            return Err(BuildPwlError { what: "non-finite coordinate".into() });
+        if points
+            .iter()
+            .any(|&(t, v)| !t.is_finite() || !v.is_finite())
+        {
+            return Err(BuildPwlError {
+                what: "non-finite coordinate".into(),
+            });
         }
         if points.windows(2).any(|w| w[1].0 < w[0].0) {
-            return Err(BuildPwlError { what: "times must be non-decreasing".into() });
+            return Err(BuildPwlError {
+                what: "times must be non-decreasing".into(),
+            });
         }
         Ok(Self { points })
     }
 
     /// A constant waveform.
     pub fn constant(v: f64) -> Self {
-        Self { points: vec![(0.0, v)] }
+        Self {
+            points: vec![(0.0, v)],
+        }
     }
 
     /// A single linear ramp starting at `t_start`, moving from `v_from` to
@@ -115,7 +126,9 @@ impl Pwl {
     /// Same conditions as [`Pwl::new`].
     pub fn from_samples(times: &[f64], values: &[f64]) -> Result<Self, BuildPwlError> {
         if times.len() != values.len() {
-            return Err(BuildPwlError { what: "times/values length mismatch".into() });
+            return Err(BuildPwlError {
+                what: "times/values length mismatch".into(),
+            });
         }
         Self::new(times.iter().copied().zip(values.iter().copied()).collect())
     }

@@ -28,10 +28,16 @@ impl fmt::Display for RootFindError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NoBracket { fa, fb } => {
-                write!(f, "no sign change in bracket: f(a) = {fa:.3e}, f(b) = {fb:.3e}")
+                write!(
+                    f,
+                    "no sign change in bracket: f(a) = {fa:.3e}, f(b) = {fb:.3e}"
+                )
             }
             Self::NoConvergence { best } => {
-                write!(f, "root finder failed to converge (best estimate {best:.6e})")
+                write!(
+                    f,
+                    "root finder failed to converge (best estimate {best:.6e})"
+                )
             }
         }
     }

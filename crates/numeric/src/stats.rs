@@ -42,7 +42,10 @@ impl Summary {
     /// Panics if the sample is empty or contains non-finite values.
     pub fn of(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "summary of empty sample");
-        assert!(samples.iter().all(|v| v.is_finite()), "summary of non-finite sample");
+        assert!(
+            samples.iter().all(|v| v.is_finite()),
+            "summary of non-finite sample"
+        );
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -52,7 +55,13 @@ impl Summary {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { n, mean, std_dev: var.sqrt(), min, max }
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 }
 
@@ -85,7 +94,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds a sample.

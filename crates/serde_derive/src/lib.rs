@@ -1,0 +1,426 @@
+//! Vendored stand-in for the `serde_derive` proc macros.
+//!
+//! The build environment is fully offline (see EXPERIMENTS.md), so the real
+//! `serde_derive` — and its `syn`/`quote` dependency tree — cannot be
+//! fetched. This crate re-implements the two derives against the reduced
+//! data model in the vendored `serde` crate: every value serializes through
+//! an in-memory [`Value`] tree, so the derives only need to emit field
+//! pushes and match arms, not a full visitor state machine.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! - structs with named fields (no generics),
+//! - enums with unit and tuple variants (externally tagged, like serde),
+//! - the `#[serde(with = "path")]` field attribute.
+//!
+//! Anything else panics at macro-expansion time with a clear message, which
+//! is the correct failure mode for a deliberately narrow shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named struct field and its optional `#[serde(with = "...")]` override.
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+/// An enum variant: unit (`arity == 0`) or tuple (`arity >= 1`).
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility until the `struct`/`enum` keyword.
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute body: `[...]`.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional `pub(crate)` / `pub(super)` path group.
+                    if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        it.next();
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                } else {
+                    panic!("serde_derive shim: unexpected keyword `{s}` before item");
+                }
+            }
+            other => panic!("serde_derive shim: unexpected token before item: {other:?}"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic types are not supported (`{name}`)")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple structs are not supported (`{name}`)")
+            }
+            Some(_) => continue,
+            None => {
+                panic!("serde_derive shim: `{name}` has no braced body (unit structs unsupported)")
+            }
+        }
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_fields(body))
+    } else {
+        Body::Enum(parse_variants(body))
+    };
+    Item { name, body }
+}
+
+/// Extracts `with = "path"` from a `serde(...)` attribute body, ignoring
+/// every other attribute (doc comments, `derive`, ...).
+fn parse_serde_with(stream: TokenStream) -> Option<String> {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let group = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde_derive shim: malformed serde attribute: {other:?}"),
+    };
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            let path = raw.trim_matches('"').to_string();
+            assert!(
+                raw.len() >= 2 && raw.starts_with('"') && raw.ends_with('"'),
+                "serde_derive shim: `with` expects a string literal, got {raw}"
+            );
+            Some(path)
+        }
+        other => {
+            panic!("serde_derive shim: only `#[serde(with = \"...\")]` is supported, got {other:?}")
+        }
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Field attributes.
+        let mut with = None;
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if let Some(w) = parse_serde_with(g.stream()) {
+                        with = Some(w);
+                    }
+                }
+                other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+            }
+        }
+        // Visibility.
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        it.next();
+                        break;
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    }
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            it.next(); // attribute body
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let arity = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                it.next();
+                count_tuple_fields(inner)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim: struct variants are not supported (`{name}`)")
+            }
+            _ => 0,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+/// Counts the fields of a tuple variant: top-level commas (outside `<...>`)
+/// plus one, ignoring a trailing comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = true;
+    let mut any = false;
+    for t in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        return 0;
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut s = format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::with_capacity({});\n",
+                fields.len()
+            );
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    Some(path) => s.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{fname}\"), \
+                         {path}::serialize(&self.{fname}, \
+                         ::serde::ValueSerializer::<S::Error>::new())?));\n"
+                    )),
+                    None => s.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{fname}\"), \
+                         ::serde::to_value::<_, S::Error>(&self.{fname})?));\n"
+                    )),
+                }
+            }
+            s.push_str("__serializer.collect_value(::serde::Value::Object(__fields))\n");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    s.push_str(&format!(
+                        "{name}::{vname} => __serializer.collect_value(\
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    ));
+                } else {
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+                    let payload = if v.arity == 1 {
+                        "::serde::to_value::<_, S::Error>(__f0)?".to_string()
+                    } else {
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::to_value::<_, S::Error>({b})?"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                    };
+                    s.push_str(&format!(
+                        "{name}::{vname}({binds}) => __serializer.collect_value(\
+                         ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), {payload})])),\n",
+                        binds = binders.join(", ")
+                    ));
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, __serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut s = format!(
+                "let mut __obj = match __value {{\n\
+                 ::serde::Value::Object(__o) => __o,\n\
+                 _ => return ::core::result::Result::Err(<D::Error as ::serde::Error>::custom(\
+                 ::std::string::String::from(\"expected an object for struct `{name}`\"))),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    Some(path) => s.push_str(&format!(
+                        "{fname}: {path}::deserialize(::serde::ValueDeserializer::<D::Error>::new(\
+                         ::serde::take_field::<D::Error>(&mut __obj, \"{fname}\")?))?,\n"
+                    )),
+                    None => s.push_str(&format!(
+                        "{fname}: ::serde::from_value::<_, D::Error>(\
+                         ::serde::take_field::<D::Error>(&mut __obj, \"{fname}\")?)?,\n"
+                    )),
+                }
+            }
+            s.push_str("})\n");
+            s
+        }
+        Body::Enum(variants) => {
+            let unknown = format!(
+                "::core::result::Result::Err(<D::Error as ::serde::Error>::custom(\
+                 ::std::string::String::from(\"unknown variant for enum `{name}`\")))"
+            );
+            let mut unit_arms = String::new();
+            let mut tuple_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                } else if v.arity == 1 {
+                    tuple_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::from_value::<_, D::Error>(__v)?)),\n"
+                    ));
+                } else {
+                    let mut inner = format!(
+                        "\"{vname}\" => match __v {{\n\
+                         ::serde::Value::Array(mut __a) if __a.len() == {arity} => {{\n",
+                        arity = v.arity
+                    );
+                    // Pop in reverse so bindings come out in field order.
+                    for i in (0..v.arity).rev() {
+                        inner.push_str(&format!(
+                            "let __f{i} = ::serde::from_value::<_, D::Error>(\
+                             __a.pop().expect(\"length checked\"))?;\n"
+                        ));
+                    }
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+                    inner.push_str(&format!(
+                        "::core::result::Result::Ok({name}::{vname}({}))\n}}\n_ => {unknown},\n}},\n",
+                        binders.join(", ")
+                    ));
+                    tuple_arms.push_str(&inner);
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}_ => {unknown},\n}},\n\
+                 ::serde::Value::Object(mut __o) if __o.len() == 1 => {{\n\
+                 let (__k, __v) = __o.pop().expect(\"length checked\");\n\
+                 match __k.as_str() {{\n{tuple_arms}_ => {unknown},\n}}\n}}\n\
+                 _ => {unknown},\n}}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(__deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n\
+         let __value = __deserializer.take_value()?;\n{body}}}\n}}\n"
+    )
+}

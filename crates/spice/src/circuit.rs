@@ -44,10 +44,7 @@ impl Waveform {
     /// A step from `v0` to `v1` with a very fast (1 fs) linear edge starting
     /// at `t_step`.
     pub fn step(v0: f64, t_step: f64, v1: f64) -> Self {
-        Self::Pwl(
-            Pwl::new(vec![(t_step, v0), (t_step + 1e-15, v1)])
-                .expect("step knots are valid"),
-        )
+        Self::Pwl(Pwl::new(vec![(t_step, v0), (t_step + 1e-15, v1)]).expect("step knots are valid"))
     }
 
     /// A single ramp from `v0` to `v1` starting at `t_start` and lasting
@@ -205,7 +202,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not strictly positive or the name is duplicated.
     pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.register(name, Element::Resistor { a, b, ohms });
     }
 
@@ -215,7 +215,10 @@ impl Circuit {
     ///
     /// Panics if `farads` is negative or the name is duplicated.
     pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) {
-        assert!(farads >= 0.0 && farads.is_finite(), "capacitance must be non-negative");
+        assert!(
+            farads >= 0.0 && farads.is_finite(),
+            "capacitance must be non-negative"
+        );
         self.register(name, Element::Capacitor { a, b, farads });
     }
 
@@ -228,7 +231,15 @@ impl Circuit {
     pub fn vsource(&mut self, name: &str, plus: NodeId, minus: NodeId, wave: Waveform) {
         let branch = self.n_vsources;
         self.n_vsources += 1;
-        self.register(name, Element::VSource { plus, minus, wave, branch });
+        self.register(
+            name,
+            Element::VSource {
+                plus,
+                minus,
+                wave,
+                branch,
+            },
+        );
     }
 
     /// Adds an independent current source driving `wave` amperes from
@@ -263,7 +274,18 @@ impl Circuit {
         params.validate();
         assert!(w > 0.0 && l > 0.0, "transistor geometry must be positive");
         let beta = params.kp * w / l;
-        self.register(name, Element::Mosfet { mos_type, d, g, s, b, params, beta });
+        self.register(
+            name,
+            Element::Mosfet {
+                mos_type,
+                d,
+                g,
+                s,
+                b,
+                params,
+                beta,
+            },
+        );
     }
 
     /// Replaces the waveform of the named voltage source.
@@ -470,7 +492,11 @@ mod tests {
         // dV/dt = 1 mA / 1 pF = 1 V/ns.
         for t_ns in [1.0, 2.0, 4.0] {
             let t = t_ns * 1e-9;
-            assert!((w.eval(t) - t_ns).abs() < 0.02, "t = {t_ns} ns: {}", w.eval(t));
+            assert!(
+                (w.eval(t) - t_ns).abs() < 0.02,
+                "t = {t_ns} ns: {}",
+                w.eval(t)
+            );
         }
     }
 

@@ -246,7 +246,12 @@ mod tests {
         let tol = 1e-6 * BETA.max(1e-9);
         assert!((e.gm - dgm).abs() < tol, "gm {} vs fd {}", e.gm, dgm);
         assert!((e.gds - dgds).abs() < tol, "gds {} vs fd {}", e.gds, dgds);
-        assert!((e.gmbs - dgmbs).abs() < tol, "gmbs {} vs fd {}", e.gmbs, dgmbs);
+        assert!(
+            (e.gmbs - dgmbs).abs() < tol,
+            "gmbs {} vs fd {}",
+            e.gmbs,
+            dgmbs
+        );
     }
 
     #[test]
@@ -277,9 +282,8 @@ mod tests {
             (MosType::Pmos, 1.0, 2.0, 5.0, 5.0),
             (MosType::Pmos, 5.0, 2.0, 1.0, 5.0), // swapped PMOS
         ] {
-            let f = |vd: f64, vg: f64, vs: f64, vb: f64| {
-                eval_mosfet(ty, &P, BETA, vd, vg, vs, vb).i_d
-            };
+            let f =
+                |vd: f64, vg: f64, vs: f64, vb: f64| eval_mosfet(ty, &P, BETA, vd, vg, vs, vb).i_d;
             let s = eval_mosfet(ty, &P, BETA, vd, vg, vs, vb);
             let gd = (f(vd + h, vg, vs, vb) - f(vd - h, vg, vs, vb)) / (2.0 * h);
             let gg = (f(vd, vg + h, vs, vb) - f(vd, vg - h, vs, vb)) / (2.0 * h);

@@ -6,7 +6,9 @@
 //! continuation strategies SPICE uses.
 
 use crate::circuit::{Circuit, NodeId};
-use crate::solver::{newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, System};
+use crate::solver::{
+    newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, NewtonWorkspace, System,
+};
 
 /// The gmin tied from every node to ground in a converged solution.
 pub(crate) const GMIN: f64 = 1e-12;
@@ -29,7 +31,11 @@ impl OpResult {
         voltages.push(0.0);
         voltages.extend_from_slice(&x[..nv]);
         let branch_currents = x[nv..].to_vec();
-        Self { voltages, branch_currents, x }
+        Self {
+            voltages,
+            branch_currents,
+            x,
+        }
     }
 
     /// The solved voltage of a node.
@@ -96,20 +102,26 @@ pub(crate) fn dc_solve_at(
     let opts = NewtonOptions::default();
     // Heavy damping for deep logic: small clamped steps cannot oscillate
     // across a chain of high-gain stages, at the cost of many iterations.
-    let damped = NewtonOptions { vstep_limit: 0.15, max_iter: 1200, ..opts };
+    let damped = NewtonOptions {
+        vstep_limit: 0.15,
+        max_iter: 1200,
+        ..opts
+    };
     let zero = vec![0.0; sys.n];
     let start = x0.unwrap_or(&zero);
+    // One workspace serves every continuation attempt below.
+    let mut ws = NewtonWorkspace::new();
 
     // 1. Direct attempt, then a damped retry.
-    if let NewtonOutcome::Converged(x, _) =
-        newton_solve(&sys, start, t, 1.0, GMIN, CapMode::Dc, &opts)
+    if let NewtonOutcome::Converged(_) =
+        newton_solve(&sys, start, t, 1.0, GMIN, CapMode::Dc, &opts, &mut ws)
     {
-        return Ok(OpResult::from_x(ckt, x));
+        return Ok(OpResult::from_x(ckt, std::mem::take(&mut ws.x)));
     }
-    if let NewtonOutcome::Converged(x, _) =
-        newton_solve(&sys, start, t, 1.0, GMIN, CapMode::Dc, &damped)
+    if let NewtonOutcome::Converged(_) =
+        newton_solve(&sys, start, t, 1.0, GMIN, CapMode::Dc, &damped, &mut ws)
     {
-        return Ok(OpResult::from_x(ckt, x));
+        return Ok(OpResult::from_x(ckt, std::mem::take(&mut ws.x)));
     }
 
     // 2. gmin stepping: solve with a large gmin (heavily damped circuit) and
@@ -118,8 +130,8 @@ pub(crate) fn dc_solve_at(
     let mut gmin = 1e-3;
     let mut ok = true;
     while gmin >= GMIN * 0.99 {
-        match newton_solve(&sys, &x, t, 1.0, gmin, CapMode::Dc, &damped) {
-            NewtonOutcome::Converged(xn, _) => x = xn,
+        match newton_solve(&sys, &x, t, 1.0, gmin, CapMode::Dc, &damped, &mut ws) {
+            NewtonOutcome::Converged(_) => std::mem::swap(&mut x, &mut ws.x),
             NewtonOutcome::Failed => {
                 ok = false;
                 break;
@@ -136,8 +148,8 @@ pub(crate) fn dc_solve_at(
     let steps = 40;
     for k in 0..=steps {
         let scale = k as f64 / steps as f64;
-        match newton_solve(&sys, &x, t, scale, GMIN, CapMode::Dc, &damped) {
-            NewtonOutcome::Converged(xn, _) => x = xn,
+        match newton_solve(&sys, &x, t, scale, GMIN, CapMode::Dc, &damped, &mut ws) {
+            NewtonOutcome::Converged(_) => std::mem::swap(&mut x, &mut ws.x),
             NewtonOutcome::Failed => {
                 return Err(AnalysisError::NoConvergence {
                     analysis: "dc operating point".into(),
@@ -156,11 +168,23 @@ mod tests {
     use crate::device::{MosParams, MosType};
 
     fn nmos_params() -> MosParams {
-        MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.4, phi: 0.6, lambda: 0.03 }
+        MosParams {
+            vt0: 0.75,
+            kp: 50e-6,
+            gamma: 0.4,
+            phi: 0.6,
+            lambda: 0.03,
+        }
     }
 
     fn pmos_params() -> MosParams {
-        MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.5, phi: 0.6, lambda: 0.04 }
+        MosParams {
+            vt0: 0.85,
+            kp: 17e-6,
+            gamma: 0.5,
+            phi: 0.6,
+            lambda: 0.04,
+        }
     }
 
     /// A CMOS inverter: Vdd = 5 V, input from a DC source.
@@ -171,8 +195,28 @@ mod tests {
         let out = ckt.node("out");
         ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
         ckt.vsource("VIN", inp, Circuit::GND, Waveform::Dc(vin));
-        ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, pmos_params(), 8e-6, 0.8e-6);
-        ckt.mosfet("MN", MosType::Nmos, out, inp, Circuit::GND, Circuit::GND, nmos_params(), 4e-6, 0.8e-6);
+        ckt.mosfet(
+            "MP",
+            MosType::Pmos,
+            out,
+            inp,
+            vdd,
+            vdd,
+            pmos_params(),
+            8e-6,
+            0.8e-6,
+        );
+        ckt.mosfet(
+            "MN",
+            MosType::Nmos,
+            out,
+            inp,
+            Circuit::GND,
+            Circuit::GND,
+            nmos_params(),
+            4e-6,
+            0.8e-6,
+        );
         (ckt, out)
     }
 
@@ -229,7 +273,17 @@ mod tests {
         let float = ckt.node("float");
         ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
         ckt.vsource("VG", g, Circuit::GND, Waveform::Dc(0.0));
-        ckt.mosfet("MN", MosType::Nmos, float, g, Circuit::GND, Circuit::GND, nmos_params(), 4e-6, 0.8e-6);
+        ckt.mosfet(
+            "MN",
+            MosType::Nmos,
+            float,
+            g,
+            Circuit::GND,
+            Circuit::GND,
+            nmos_params(),
+            4e-6,
+            0.8e-6,
+        );
         let op = ckt.dc_op().unwrap();
         assert!(op.voltage(float).abs() < 1e-3);
     }
@@ -256,8 +310,28 @@ mod tests {
             ckt.vsource("VB", b, Circuit::GND, Waveform::Dc(vb));
             ckt.mosfet("MPA", MosType::Pmos, out, a, vdd, vdd, p, 8e-6, 0.8e-6);
             ckt.mosfet("MPB", MosType::Pmos, out, b, vdd, vdd, p, 8e-6, 0.8e-6);
-            ckt.mosfet("MNA", MosType::Nmos, out, a, mid, Circuit::GND, n, 4e-6, 0.8e-6);
-            ckt.mosfet("MNB", MosType::Nmos, mid, b, Circuit::GND, Circuit::GND, n, 4e-6, 0.8e-6);
+            ckt.mosfet(
+                "MNA",
+                MosType::Nmos,
+                out,
+                a,
+                mid,
+                Circuit::GND,
+                n,
+                4e-6,
+                0.8e-6,
+            );
+            ckt.mosfet(
+                "MNB",
+                MosType::Nmos,
+                mid,
+                b,
+                Circuit::GND,
+                Circuit::GND,
+                n,
+                4e-6,
+                0.8e-6,
+            );
             let op = ckt.dc_op().unwrap();
             let v = op.voltage(out);
             if high {

@@ -9,7 +9,7 @@
 
 use crate::circuit::{Circuit, Element};
 use crate::device::eval_mosfet;
-use proxim_numeric::linalg::Matrix;
+use proxim_numeric::linalg::{LuFactors, Matrix};
 use std::fmt;
 
 /// The error returned when an analysis fails.
@@ -78,7 +78,11 @@ pub(crate) struct System<'a> {
 impl<'a> System<'a> {
     pub fn new(ckt: &'a Circuit) -> Self {
         let nv = ckt.node_count() - 1;
-        Self { ckt, nv, n: nv + ckt.vsource_count() }
+        Self {
+            ckt,
+            nv,
+            n: nv + ckt.vsource_count(),
+        }
     }
 
     /// Voltage of `node` under unknown vector `x` (ground = 0).
@@ -135,7 +139,11 @@ impl<'a> System<'a> {
                 }
                 Element::Capacitor { a, b, farads } => match caps {
                     CapMode::Dc => {}
-                    CapMode::Tran { geq_per_farad, trap_coeff, hist } => {
+                    CapMode::Tran {
+                        geq_per_farad,
+                        trap_coeff,
+                        hist,
+                    } => {
                         let geq = geq_per_farad * farads;
                         let (v_prev, i_prev) = hist[ei];
                         let dv = self.v(x, *a) - self.v(x, *b);
@@ -152,7 +160,12 @@ impl<'a> System<'a> {
                         f[m] -= i;
                     }
                 }
-                Element::VSource { plus, minus, wave, branch } => {
+                Element::VSource {
+                    plus,
+                    minus,
+                    wave,
+                    branch,
+                } => {
                     let row = self.nv + branch;
                     let i_branch = x[row];
                     // Branch current leaves `plus`, enters `minus`.
@@ -166,10 +179,17 @@ impl<'a> System<'a> {
                         jac.add(m, row, -1.0);
                         jac.add(row, m, -1.0);
                     }
-                    f[row] = self.v(x, *plus) - self.v(x, *minus)
-                        - src_scale * wave.value_at(t);
+                    f[row] = self.v(x, *plus) - self.v(x, *minus) - src_scale * wave.value_at(t);
                 }
-                Element::Mosfet { mos_type, d, g, s, b, params, beta } => {
+                Element::Mosfet {
+                    mos_type,
+                    d,
+                    g,
+                    s,
+                    b,
+                    params,
+                    beta,
+                } => {
                     let st = eval_mosfet(
                         *mos_type,
                         params,
@@ -182,9 +202,7 @@ impl<'a> System<'a> {
                     // Current i_d enters the drain, leaves the source.
                     if let Some(di) = self.ni(*d) {
                         f[di] += st.i_d;
-                        for (node, gg) in
-                            [(*d, st.g_d), (*g, st.g_g), (*s, st.g_s), (*b, st.g_b)]
-                        {
+                        for (node, gg) in [(*d, st.g_d), (*g, st.g_g), (*s, st.g_s), (*b, st.g_b)] {
                             if let Some(ci) = self.ni(node) {
                                 jac.add(di, ci, gg);
                             }
@@ -192,9 +210,7 @@ impl<'a> System<'a> {
                     }
                     if let Some(si) = self.ni(*s) {
                         f[si] -= st.i_d;
-                        for (node, gg) in
-                            [(*d, st.g_d), (*g, st.g_g), (*s, st.g_s), (*b, st.g_b)]
-                        {
+                        for (node, gg) in [(*d, st.g_d), (*g, st.g_g), (*s, st.g_s), (*b, st.g_b)] {
                             if let Some(ci) = self.ni(node) {
                                 jac.add(si, ci, -gg);
                             }
@@ -248,19 +264,71 @@ pub(crate) struct NewtonOptions {
 
 impl Default for NewtonOptions {
     fn default() -> Self {
-        Self { vtol: 1e-9, itol: 1e-9, vstep_limit: 1.0, max_iter: 120 }
+        Self {
+            vtol: 1e-9,
+            itol: 1e-9,
+            vstep_limit: 1.0,
+            max_iter: 120,
+        }
     }
 }
 
-/// Outcome of a Newton solve.
+/// Outcome of a Newton solve. On convergence the solution is left in the
+/// workspace's `x` buffer (see [`NewtonWorkspace`]).
 pub(crate) enum NewtonOutcome {
-    /// Converged; holds the solution and the iteration count.
-    Converged(Vec<f64>, usize),
+    /// Converged; holds the iteration count.
+    Converged(usize),
     /// Did not converge within the iteration budget.
     Failed,
 }
 
-/// Runs damped Newton–Raphson from `x0`.
+/// Reusable buffers for [`newton_solve`]: the iterate, residual, negated
+/// residual, Newton update, Jacobian, and its LU factors.
+///
+/// A transient run performs thousands of Newton solves on a system of fixed
+/// size; allocating these per call (let alone per iteration) dominated the
+/// solver's profile. One workspace lives for the whole analysis, and every
+/// buffer is recycled across iterations, steps, and continuation stages.
+pub(crate) struct NewtonWorkspace {
+    /// Current iterate; the solution when the solve converges.
+    pub x: Vec<f64>,
+    f: Vec<f64>,
+    neg_f: Vec<f64>,
+    dx: Vec<f64>,
+    jac: Matrix,
+    lu: LuFactors,
+}
+
+impl NewtonWorkspace {
+    pub fn new() -> Self {
+        Self {
+            x: Vec::new(),
+            f: Vec::new(),
+            neg_f: Vec::new(),
+            dx: Vec::new(),
+            jac: Matrix::zeros(0, 0),
+            lu: LuFactors::empty(),
+        }
+    }
+
+    /// Sizes every buffer for an `n`-unknown system and seeds the iterate.
+    fn prepare(&mut self, x0: &[f64]) {
+        let n = x0.len();
+        self.x.clear();
+        self.x.extend_from_slice(x0);
+        self.f.clear();
+        self.f.resize(n, 0.0);
+        self.neg_f.clear();
+        self.neg_f.resize(n, 0.0);
+        if self.jac.rows() != n {
+            self.jac = Matrix::zeros(n, n);
+        }
+    }
+}
+
+/// Runs damped Newton–Raphson from `x0`, reusing `ws` for every buffer.
+/// On [`NewtonOutcome::Converged`] the solution is in `ws.x`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve(
     sys: &System<'_>,
     x0: &[f64],
@@ -269,37 +337,37 @@ pub(crate) fn newton_solve(
     gmin: f64,
     caps: CapMode<'_>,
     opts: &NewtonOptions,
+    ws: &mut NewtonWorkspace,
 ) -> NewtonOutcome {
     let n = sys.n;
-    let mut x = x0.to_vec();
-    let mut f = vec![0.0; n];
-    let mut jac = Matrix::zeros(n, n);
+    debug_assert_eq!(n, x0.len(), "x0 must match the system size");
+    ws.prepare(x0);
 
     for iter in 0..opts.max_iter {
-        sys.assemble(&x, t, src_scale, gmin, caps, &mut f, &mut jac);
-        let lu = match jac.lu() {
-            Ok(lu) => lu,
-            Err(_) => return NewtonOutcome::Failed,
-        };
-        let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
-        let dx = lu.solve(&neg_f);
+        sys.assemble(&ws.x, t, src_scale, gmin, caps, &mut ws.f, &mut ws.jac);
+        if ws.jac.lu_into(&mut ws.lu).is_err() {
+            return NewtonOutcome::Failed;
+        }
+        ws.neg_f.clear();
+        ws.neg_f.extend(ws.f.iter().map(|v| -v));
+        ws.lu.solve_into(&ws.neg_f, &mut ws.dx);
 
         let mut max_dv = 0.0f64;
         for i in 0..n {
             // Clamp voltage updates; branch currents are left unclamped.
             let step = if i < sys.nv {
-                dx[i].clamp(-opts.vstep_limit, opts.vstep_limit)
+                ws.dx[i].clamp(-opts.vstep_limit, opts.vstep_limit)
             } else {
-                dx[i]
+                ws.dx[i]
             };
-            x[i] += step;
+            ws.x[i] += step;
             if i < sys.nv {
-                max_dv = max_dv.max(dx[i].abs());
+                max_dv = max_dv.max(ws.dx[i].abs());
             }
         }
-        let max_res = f.iter().take(sys.nv).fold(0.0f64, |m, v| m.max(v.abs()));
+        let max_res = ws.f.iter().take(sys.nv).fold(0.0f64, |m, v| m.max(v.abs()));
         if max_dv < opts.vtol && max_res < opts.itol {
-            return NewtonOutcome::Converged(x, iter + 1);
+            return NewtonOutcome::Converged(iter + 1);
         }
     }
     NewtonOutcome::Failed
@@ -322,13 +390,22 @@ mod tests {
 
         let sys = System::new(&ckt);
         let x0 = vec![0.0; sys.n];
-        match newton_solve(&sys, &x0, 0.0, 1.0, 1e-12, CapMode::Dc, &NewtonOptions::default())
-        {
-            NewtonOutcome::Converged(x, _) => {
-                assert!((sys.v(&x, vdd) - 5.0).abs() < 1e-8);
-                assert!((sys.v(&x, mid) - 2.5).abs() < 1e-6);
+        let mut ws = NewtonWorkspace::new();
+        match newton_solve(
+            &sys,
+            &x0,
+            0.0,
+            1.0,
+            1e-12,
+            CapMode::Dc,
+            &NewtonOptions::default(),
+            &mut ws,
+        ) {
+            NewtonOutcome::Converged(_) => {
+                assert!((sys.v(&ws.x, vdd) - 5.0).abs() < 1e-8);
+                assert!((sys.v(&ws.x, mid) - 2.5).abs() < 1e-6);
                 // Source branch current = -5/2k (current flows out of +).
-                assert!((x[sys.nv] + 2.5e-3).abs() < 1e-8);
+                assert!((ws.x[sys.nv] + 2.5e-3).abs() < 1e-8);
             }
             NewtonOutcome::Failed => panic!("linear circuit must converge"),
         }
@@ -345,6 +422,7 @@ mod tests {
 
         let sys = System::new(&ckt);
         let x0 = vec![0.0; sys.n];
+        let mut ws = NewtonWorkspace::new();
         let x = match newton_solve(
             &sys,
             &x0,
@@ -353,8 +431,9 @@ mod tests {
             1e-12,
             CapMode::Dc,
             &NewtonOptions::default(),
+            &mut ws,
         ) {
-            NewtonOutcome::Converged(x, _) => x,
+            NewtonOutcome::Converged(_) => ws.x.clone(),
             NewtonOutcome::Failed => panic!("must converge"),
         };
         let mut f = vec![0.0; sys.n];
@@ -373,10 +452,19 @@ mod tests {
         ckt.resistor("R1", a, Circuit::GND, 1e3);
         let sys = System::new(&ckt);
         let x0 = vec![0.0; sys.n];
-        match newton_solve(&sys, &x0, 0.0, 0.5, 1e-12, CapMode::Dc, &NewtonOptions::default())
-        {
-            NewtonOutcome::Converged(x, _) => {
-                assert!((sys.v(&x, a) - 2.0).abs() < 1e-8);
+        let mut ws = NewtonWorkspace::new();
+        match newton_solve(
+            &sys,
+            &x0,
+            0.0,
+            0.5,
+            1e-12,
+            CapMode::Dc,
+            &NewtonOptions::default(),
+            &mut ws,
+        ) {
+            NewtonOutcome::Converged(_) => {
+                assert!((sys.v(&ws.x, a) - 2.0).abs() < 1e-8);
             }
             NewtonOutcome::Failed => panic!("must converge"),
         }
@@ -389,7 +477,9 @@ mod tests {
             detail: "gmin exhausted".into(),
         };
         assert!(e.to_string().contains("failed to converge"));
-        let s = AnalysisError::Singular { analysis: "transient".into() };
+        let s = AnalysisError::Singular {
+            analysis: "transient".into(),
+        };
         assert!(s.to_string().contains("singular"));
     }
 }

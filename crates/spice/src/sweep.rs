@@ -81,14 +81,23 @@ pub(crate) fn dc_sweep(
             Err(_) if i > 0 => {
                 // Continuation refinement: approach the troublesome point
                 // through intermediate sub-steps from the last solution.
-                refine_to(&mut work, source, sweep[i - 1], v, prev_x.as_deref().expect("i > 0"))?
+                refine_to(
+                    &mut work,
+                    source,
+                    sweep[i - 1],
+                    v,
+                    prev_x.as_deref().expect("i > 0"),
+                )?
             }
             Err(e) => return Err(e),
         };
         prev_x = Some(op.x.clone());
         results.push(op);
     }
-    Ok(DcSweepResult { sweep, points: results })
+    Ok(DcSweepResult {
+        sweep,
+        points: results,
+    })
 }
 
 /// Walks from `from` (solved, warm start `x0`) to `to` through successively
@@ -160,10 +169,32 @@ mod tests {
         let out = ckt.node("out");
         ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
         ckt.vsource("VIN", inp, Circuit::GND, Waveform::Dc(0.0));
-        let p = MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.5, phi: 0.6, lambda: 0.04 };
-        let n = MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.4, phi: 0.6, lambda: 0.03 };
+        let p = MosParams {
+            vt0: 0.85,
+            kp: 17e-6,
+            gamma: 0.5,
+            phi: 0.6,
+            lambda: 0.04,
+        };
+        let n = MosParams {
+            vt0: 0.75,
+            kp: 50e-6,
+            gamma: 0.4,
+            phi: 0.6,
+            lambda: 0.03,
+        };
         ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
-        ckt.mosfet("MN", MosType::Nmos, out, inp, Circuit::GND, Circuit::GND, n, 4e-6, 0.8e-6);
+        ckt.mosfet(
+            "MN",
+            MosType::Nmos,
+            out,
+            inp,
+            Circuit::GND,
+            Circuit::GND,
+            n,
+            4e-6,
+            0.8e-6,
+        );
 
         let sw = ckt.dc_sweep("VIN", 0.0, 5.0, 101).unwrap();
         let curve = sw.transfer_curve(out);

@@ -8,7 +8,9 @@
 
 use crate::circuit::{Circuit, Element, NodeId};
 use crate::op::GMIN;
-use crate::solver::{newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, System};
+use crate::solver::{
+    newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, NewtonWorkspace, System,
+};
 use proxim_numeric::pwl::Pwl;
 
 /// The time-integration method.
@@ -48,7 +50,10 @@ impl TranOptions {
     ///
     /// Panics if `t_stop` is not strictly positive.
     pub fn to(t_stop: f64) -> Self {
-        assert!(t_stop > 0.0 && t_stop.is_finite(), "t_stop must be positive");
+        assert!(
+            t_stop > 0.0 && t_stop.is_finite(),
+            "t_stop must be positive"
+        );
         Self {
             t_stop,
             dt_min: t_stop * 1e-9,
@@ -78,14 +83,23 @@ impl TranOptions {
 }
 
 /// The sampled result of a transient run.
+///
+/// Node and branch samples are stored as single contiguous buffers (one
+/// stride per accepted step) rather than per-step vectors: a characterization
+/// run records millions of samples, and one flat allocation amortizes to
+/// zero per step while keeping waveform extraction cache-friendly.
 #[derive(Debug, Clone)]
 pub struct TranResult {
     times: Vec<f64>,
-    /// `samples[k]` holds all node voltages (ground included) at `times[k]`.
-    samples: Vec<Vec<f64>>,
-    /// `branch_samples[k]` holds the voltage-source branch currents at
-    /// `times[k]`, in source order.
-    branch_samples: Vec<Vec<f64>>,
+    /// Stride of `samples`: node voltages per step, ground included.
+    node_count: usize,
+    /// Stride of `branch_samples`: voltage-source branch currents per step.
+    branch_count: usize,
+    /// Flattened node voltages; step `k` occupies
+    /// `samples[k * node_count .. (k + 1) * node_count]`.
+    samples: Vec<f64>,
+    /// Flattened branch currents, laid out like `samples`.
+    branch_samples: Vec<f64>,
     /// Total Newton iterations across the run (performance telemetry).
     pub newton_iterations: usize,
     /// Total accepted time steps.
@@ -104,11 +118,13 @@ impl TranResult {
     ///
     /// Panics if the node does not belong to the simulated circuit.
     pub fn waveform(&self, node: NodeId) -> Pwl {
+        let j = node.index();
+        assert!(j < self.node_count, "node {j} out of range");
         Pwl::new(
             self.times
                 .iter()
-                .zip(&self.samples)
-                .map(|(&t, s)| (t, s[node.index()]))
+                .enumerate()
+                .map(|(k, &t)| (t, self.samples[k * self.node_count + j]))
                 .collect(),
         )
         .expect("transient sampling produces a valid waveform")
@@ -120,7 +136,9 @@ impl TranResult {
     ///
     /// Panics if `k` or the node index is out of range.
     pub fn voltage_at(&self, k: usize, node: NodeId) -> f64 {
-        self.samples[k][node.index()]
+        assert!(k < self.times.len(), "sample {k} out of range");
+        assert!(node.index() < self.node_count, "node out of range");
+        self.samples[k * self.node_count + node.index()]
     }
 
     /// The branch current of the `k`-th voltage source as a waveform over
@@ -131,11 +149,12 @@ impl TranResult {
     ///
     /// Panics if `k` is out of range.
     pub fn branch_current_waveform(&self, k: usize) -> Pwl {
+        assert!(k < self.branch_count, "branch {k} out of range");
         Pwl::new(
             self.times
                 .iter()
-                .zip(&self.branch_samples)
-                .map(|(&t, s)| (t, s[k]))
+                .enumerate()
+                .map(|(s, &t)| (t, self.branch_samples[s * self.branch_count + k]))
                 .collect(),
         )
         .expect("transient sampling produces a valid waveform")
@@ -149,9 +168,12 @@ impl TranResult {
     ///
     /// Panics if `k` is out of range.
     pub fn peak_branch_current(&self, k: usize) -> f64 {
+        assert!(k < self.branch_count, "branch {k} out of range");
         self.branch_samples
             .iter()
-            .map(|s| s[k].abs())
+            .skip(k)
+            .step_by(self.branch_count)
+            .map(|i| i.abs())
             .fold(0.0, f64::max)
     }
 }
@@ -183,24 +205,29 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
         .collect();
     breakpoints.push(options.t_stop);
 
-    let record_node_count = ckt.node_count();
-    let snapshot = |x: &[f64]| {
-        let mut s = Vec::with_capacity(record_node_count);
-        s.push(0.0);
+    let node_count = ckt.node_count();
+    let branch_count = sys.n - sys.nv;
+    // Flat sample storage: appending a step is two extends into contiguous
+    // buffers, no per-step allocation once capacity has grown.
+    let mut times = Vec::new();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut branch_samples: Vec<f64> = Vec::new();
+    let record = |t: f64, x: &[f64], times: &mut Vec<f64>, s: &mut Vec<f64>, b: &mut Vec<f64>| {
+        times.push(t);
+        s.push(0.0); // ground
         s.extend_from_slice(&x[..sys.nv]);
-        s
+        b.extend_from_slice(&x[sys.nv..]);
     };
+    record(0.0, &x, &mut times, &mut samples, &mut branch_samples);
 
-    let branch_snapshot = |x: &[f64]| x[sys.nv..].to_vec();
-
-    let mut times = vec![0.0];
-    let mut samples = vec![snapshot(&x)];
-    let mut branch_samples = vec![branch_snapshot(&x)];
     let mut t = 0.0;
     let mut h = options.dt_init.min(options.dt_max);
     let mut newton_iterations = 0usize;
     let mut accepted_steps = 0usize;
     let mut bp_idx = 0usize;
+    // One Newton workspace for the whole run: Jacobian, residuals, LU
+    // factors, and the iterate are recycled across every step and retry.
+    let mut ws = NewtonWorkspace::new();
 
     while t < options.t_stop - options.dt_min * 0.5 {
         while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + options.dt_min * 0.5 {
@@ -215,42 +242,48 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
             Integrator::Trapezoidal => (2.0 / h_eff, -1.0),
             Integrator::BackwardEuler => (1.0 / h_eff, 0.0),
         };
-        let caps = CapMode::Tran { geq_per_farad, trap_coeff, hist: &hist };
+        let caps = CapMode::Tran {
+            geq_per_farad,
+            trap_coeff,
+            hist: &hist,
+        };
 
-        match newton_solve(&sys, &x, t_new, 1.0, GMIN, caps, &opts) {
-            NewtonOutcome::Converged(x_new, iters) => {
+        match newton_solve(&sys, &x, t_new, 1.0, GMIN, caps, &opts, &mut ws) {
+            NewtonOutcome::Converged(iters) => {
                 newton_iterations += iters;
                 let max_dv = x
                     .iter()
-                    .zip(&x_new)
+                    .zip(&ws.x)
                     .take(sys.nv)
                     .map(|(a, b)| (a - b).abs())
                     .fold(0.0, f64::max);
                 if max_dv > options.dv_max && h_eff > options.dt_min * 1.01 {
                     // Too coarse: retry with a smaller step sized to hit the
                     // voltage-change target.
-                    h = (h_eff * (0.8 * options.dv_max / max_dv).max(0.1))
-                        .max(options.dt_min);
+                    h = (h_eff * (0.8 * options.dv_max / max_dv).max(0.1)).max(options.dt_min);
                     continue;
                 }
                 // Accept. Update capacitor history with companion currents.
                 for (ei, e) in ckt.elements.iter().enumerate() {
                     if let Element::Capacitor { a, b, farads } = e {
-                        let dv = sys.v(&x_new, *a) - sys.v(&x_new, *b);
+                        let dv = sys.v(&ws.x, *a) - sys.v(&ws.x, *b);
                         let (v_prev, i_prev) = hist[ei];
-                        let i_new =
-                            geq_per_farad * farads * (dv - v_prev) + trap_coeff * i_prev;
+                        let i_new = geq_per_farad * farads * (dv - v_prev) + trap_coeff * i_prev;
                         hist[ei] = (dv, i_new);
                     }
                 }
-                x = x_new;
+                // The old iterate becomes the workspace's scratch buffer for
+                // the next step — no allocation on accept.
+                std::mem::swap(&mut x, &mut ws.x);
                 t = t_new;
                 accepted_steps += 1;
-                times.push(t);
-                samples.push(snapshot(&x));
-                branch_samples.push(branch_snapshot(&x));
+                record(t, &x, &mut times, &mut samples, &mut branch_samples);
                 // Grow the step when comfortably inside the accuracy target.
-                h = if max_dv < 0.5 * options.dv_max { h_eff * 1.6 } else { h_eff };
+                h = if max_dv < 0.5 * options.dv_max {
+                    h_eff * 1.6
+                } else {
+                    h_eff
+                };
             }
             NewtonOutcome::Failed => {
                 if h_eff <= options.dt_min * 1.01 {
@@ -264,7 +297,15 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
         }
     }
 
-    Ok(TranResult { times, samples, branch_samples, newton_iterations, accepted_steps })
+    Ok(TranResult {
+        times,
+        node_count,
+        branch_count,
+        samples,
+        branch_samples,
+        newton_iterations,
+        accepted_steps,
+    })
 }
 
 #[cfg(test)]
@@ -301,7 +342,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let inp = ckt.node("in");
         let out = ckt.node("out");
-        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(1e-9, 20e-9, 0.0, 1.0));
+        ckt.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::ramp(1e-9, 20e-9, 0.0, 1.0),
+        );
         ckt.resistor("R1", inp, out, 1e3);
         ckt.capacitor("C1", out, Circuit::GND, 1e-12);
         let r = ckt.tran(&TranOptions::to(30e-9)).unwrap();
@@ -310,7 +356,10 @@ mod tests {
         // is below the input by (tau/ramp)*swing = 0.05.
         let v_in_mid = 0.5;
         let v_out_mid = w.eval(11e-9);
-        assert!((v_in_mid - v_out_mid - 0.05).abs() < 5e-3, "lag wrong: {v_out_mid}");
+        assert!(
+            (v_in_mid - v_out_mid - 0.05).abs() < 5e-3,
+            "lag wrong: {v_out_mid}"
+        );
     }
 
     #[test]
@@ -352,23 +401,52 @@ mod tests {
 
     #[test]
     fn inverter_transient_switches_output() {
-        let p = MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.5, phi: 0.6, lambda: 0.04 };
-        let n = MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.4, phi: 0.6, lambda: 0.03 };
+        let p = MosParams {
+            vt0: 0.85,
+            kp: 17e-6,
+            gamma: 0.5,
+            phi: 0.6,
+            lambda: 0.04,
+        };
+        let n = MosParams {
+            vt0: 0.75,
+            kp: 50e-6,
+            gamma: 0.4,
+            phi: 0.6,
+            lambda: 0.03,
+        };
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let inp = ckt.node("in");
         let out = ckt.node("out");
         ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
-        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(1e-9, 0.5e-9, 0.0, 5.0));
+        ckt.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::ramp(1e-9, 0.5e-9, 0.0, 5.0),
+        );
         ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
-        ckt.mosfet("MN", MosType::Nmos, out, inp, Circuit::GND, Circuit::GND, n, 4e-6, 0.8e-6);
+        ckt.mosfet(
+            "MN",
+            MosType::Nmos,
+            out,
+            inp,
+            Circuit::GND,
+            Circuit::GND,
+            n,
+            4e-6,
+            0.8e-6,
+        );
         ckt.capacitor("CL", out, Circuit::GND, 100e-15);
 
         let r = ckt.tran(&TranOptions::to(10e-9)).unwrap();
         let w = r.waveform(out);
         assert!(w.eval(0.5e-9) > 4.9, "output starts high");
         assert!(w.eval(9e-9) < 0.1, "output ends low");
-        let t_cross = w.first_falling_crossing(2.5).expect("output falls through mid-rail");
+        let t_cross = w
+            .first_falling_crossing(2.5)
+            .expect("output falls through mid-rail");
         assert!(t_cross > 1e-9 && t_cross < 3e-9, "crossing at {t_cross}");
     }
 
@@ -376,7 +454,12 @@ mod tests {
     fn breakpoints_are_sampled_exactly() {
         let mut ckt = Circuit::new();
         let inp = ckt.node("in");
-        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(2e-9, 1e-9, 0.0, 1.0));
+        ckt.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::ramp(2e-9, 1e-9, 0.0, 1.0),
+        );
         ckt.resistor("R1", inp, Circuit::GND, 1e3);
         let r = ckt.tran(&TranOptions::to(5e-9)).unwrap();
         for bp in [2e-9, 3e-9] {
@@ -391,22 +474,53 @@ mod tests {
     fn supply_current_peaks_during_switching() {
         // An inverter driving a load: the VDD branch current spikes while
         // the output charges and returns to (near) zero at rest.
-        let p = MosParams { vt0: 0.85, kp: 17e-6, gamma: 0.5, phi: 0.6, lambda: 0.04 };
-        let n = MosParams { vt0: 0.75, kp: 50e-6, gamma: 0.4, phi: 0.6, lambda: 0.03 };
+        let p = MosParams {
+            vt0: 0.85,
+            kp: 17e-6,
+            gamma: 0.5,
+            phi: 0.6,
+            lambda: 0.04,
+        };
+        let n = MosParams {
+            vt0: 0.75,
+            kp: 50e-6,
+            gamma: 0.4,
+            phi: 0.6,
+            lambda: 0.03,
+        };
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let inp = ckt.node("in");
         let out = ckt.node("out");
         ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
-        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(1e-9, 0.5e-9, 5.0, 0.0));
+        ckt.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::ramp(1e-9, 0.5e-9, 5.0, 0.0),
+        );
         ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
-        ckt.mosfet("MN", MosType::Nmos, out, inp, Circuit::GND, Circuit::GND, n, 4e-6, 0.8e-6);
+        ckt.mosfet(
+            "MN",
+            MosType::Nmos,
+            out,
+            inp,
+            Circuit::GND,
+            Circuit::GND,
+            n,
+            4e-6,
+            0.8e-6,
+        );
         ckt.capacitor("CL", out, Circuit::GND, 100e-15);
 
         let r = ckt.tran(&TranOptions::to(10e-9)).unwrap();
         let i_vdd = r.branch_current_waveform(0);
         // Quiescent before the edge.
-        assert!(i_vdd.eval(0.5e-9).abs() < 1e-6, "quiescent {}", i_vdd.eval(0.5e-9));
+        assert!(
+            i_vdd.eval(0.5e-9).abs() < 1e-6,
+            "quiescent {}",
+            i_vdd.eval(0.5e-9)
+        );
         // Peak magnitude is a real charging current (mA scale).
         let peak = r.peak_branch_current(0);
         assert!(peak > 1e-4, "peak supply current {peak}");

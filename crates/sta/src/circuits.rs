@@ -88,10 +88,7 @@ fn add_full_adder(
 /// # Panics
 ///
 /// Panics if `bits == 0`.
-pub fn ripple_carry_adder(
-    nand2: CellId,
-    bits: usize,
-) -> (GateNetlist, Vec<NetId>, Vec<NetId>) {
+pub fn ripple_carry_adder(nand2: CellId, bits: usize) -> (GateNetlist, Vec<NetId>, Vec<NetId>) {
     assert!(bits > 0, "adder needs at least one bit");
     let mut nl = GateNetlist::new();
     let a_nets: Vec<NetId> = (0..bits).map(|i| nl.net(&format!("a{i}"))).collect();
@@ -103,8 +100,14 @@ pub fn ripple_carry_adder(
     let mut carry = cin;
     let mut sums = Vec::with_capacity(bits);
     for i in 0..bits {
-        let (_, (sum, cout)) =
-            add_full_adder(&mut nl, nand2, a_nets[i], b_nets[i], carry, &format!("fa{i}"));
+        let (_, (sum, cout)) = add_full_adder(
+            &mut nl,
+            nand2,
+            a_nets[i],
+            b_nets[i],
+            carry,
+            &format!("fa{i}"),
+        );
         sums.push(sum);
         carry = cout;
     }
@@ -223,7 +226,12 @@ mod tests {
     fn ripple_carry_adds_correctly() {
         let bits = 4;
         let (nl, ins, outs) = ripple_carry_adder(NAND2, bits);
-        for (a_val, b_val, cin) in [(3u32, 5u32, false), (15, 1, false), (9, 9, true), (0, 0, false)] {
+        for (a_val, b_val, cin) in [
+            (3u32, 5u32, false),
+            (15, 1, false),
+            (9, 9, true),
+            (0, 0, false),
+        ] {
             let mut pi_values = Vec::new();
             for i in 0..bits {
                 pi_values.push((ins[i], a_val & (1 << i) != 0));
@@ -240,7 +248,11 @@ mod tests {
             if values[outs[bits].index()].unwrap() {
                 result |= 1 << bits;
             }
-            assert_eq!(result, a_val + b_val + cin as u32, "{a_val} + {b_val} + {cin}");
+            assert_eq!(
+                result,
+                a_val + b_val + cin as u32,
+                "{a_val} + {b_val} + {cin}"
+            );
         }
     }
 

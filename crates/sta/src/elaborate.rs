@@ -43,9 +43,7 @@ impl FlatCircuit {
                 .unwrap_or_else(|| panic!("net {:?} is not a primary input", a.net))
                 .1;
             let wave = match a.event {
-                None => {
-                    Waveform::Dc(if a.initial { self.vdd_volts } else { 0.0 })
-                }
+                None => Waveform::Dc(if a.initial { self.vdd_volts } else { 0.0 }),
                 Some((edge, t_start, tt)) => {
                     let (v0, v1) = match edge {
                         proxim_numeric::pwl::Edge::Rising => (0.0, self.vdd_volts),
@@ -100,8 +98,7 @@ pub fn elaborate_flat(
     // Gate instances.
     for (gi, gate) in netlist.gates().iter().enumerate() {
         let cell = library.model(gate.cell).cell();
-        let inputs: Vec<NodeId> =
-            gate.inputs.iter().map(|&n| net_nodes[n.index()]).collect();
+        let inputs: Vec<NodeId> = gate.inputs.iter().map(|&n| net_nodes[n.index()]).collect();
         cell.elaborate_into(
             &mut circuit,
             tech,
@@ -122,7 +119,13 @@ pub fn elaborate_flat(
         );
     }
 
-    Ok(FlatCircuit { circuit, net_nodes, pi_sources, vdd, vdd_volts: tech.vdd })
+    Ok(FlatCircuit {
+        circuit,
+        net_nodes,
+        pi_sources,
+        vdd,
+        vdd_volts: tech.vdd,
+    })
 }
 
 #[cfg(test)]
@@ -141,12 +144,9 @@ mod tests {
         static LIB: OnceLock<TimingLibrary> = OnceLock::new();
         LIB.get_or_init(|| {
             let tech = Technology::demo_5v();
-            let model = ProximityModel::characterize(
-                &Cell::nand(2),
-                &tech,
-                &CharacterizeOptions::fast(),
-            )
-            .expect("characterization succeeds");
+            let model =
+                ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
+                    .expect("characterization succeeds");
             let mut lib = TimingLibrary::new();
             lib.add(model);
             lib
@@ -162,7 +162,11 @@ mod tests {
         // 9 NAND2 gates x 4 transistors each, plus VDD + 3 PI sources.
         assert_eq!(flat.circuit.vsource_count(), 4);
         // Nodes: 12 nets + vdd + gnd + 9 internal stack nodes.
-        assert!(flat.circuit.node_count() >= 12 + 2 + 9, "{}", flat.circuit.node_count());
+        assert!(
+            flat.circuit.node_count() >= 12 + 2 + 9,
+            "{}",
+            flat.circuit.node_count()
+        );
     }
 
     #[test]
@@ -196,7 +200,10 @@ mod tests {
             PiAssignment::stable(ins[1], false),
             PiAssignment::stable(ins[2], true),
         ]);
-        let r = flat.circuit.tran(&TranOptions::to(15e-9)).expect("transient runs");
+        let r = flat
+            .circuit
+            .tran(&TranOptions::to(15e-9))
+            .expect("transient runs");
         let w = r.waveform(flat.net_nodes[outs[0].index()]);
         assert!(w.eval(0.1e-9) > 4.5, "sum starts high");
         assert!(w.eval(14e-9) < 0.5, "sum ends low");

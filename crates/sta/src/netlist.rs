@@ -146,7 +146,10 @@ impl GateNetlist {
             }
             if self.primary_inputs.contains(&g.output) {
                 return Err(NetlistError {
-                    what: format!("primary input {} is driven by a gate", self.net_name(g.output)),
+                    what: format!(
+                        "primary input {} is driven by a gate",
+                        self.net_name(g.output)
+                    ),
                 });
             }
             driver[g.output.0] = Some(gi);
@@ -176,8 +179,9 @@ impl GateNetlist {
                 }
             }
         }
-        let mut queue: Vec<usize> =
-            (0..self.gates.len()).filter(|&g| indegree[g] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.gates.len())
+            .filter(|&g| indegree[g] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.gates.len());
         while let Some(g) = queue.pop() {
             order.push(g);
@@ -189,7 +193,9 @@ impl GateNetlist {
             }
         }
         if order.len() != self.gates.len() {
-            return Err(NetlistError { what: "combinational cycle detected".into() });
+            return Err(NetlistError {
+                what: "combinational cycle detected".into(),
+            });
         }
         Ok(order)
     }

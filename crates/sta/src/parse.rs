@@ -48,7 +48,10 @@ pub struct ParsedBench {
 }
 
 fn err(line: usize, what: impl Into<String>) -> ParseBenchError {
-    ParseBenchError { line, what: what.into() }
+    ParseBenchError {
+        line,
+        what: what.into(),
+    }
 }
 
 /// Parses a `.bench` netlist. `resolve(gate_type, fan_in)` maps a gate
@@ -88,7 +91,10 @@ pub fn parse_bench(
         }
         // `lhs = TYPE(arg, ...)`
         let Some((lhs, rhs)) = line.split_once('=') else {
-            return Err(err(line_no, format!("expected `net = GATE(...)`, got {line:?}")));
+            return Err(err(
+                line_no,
+                format!("expected `net = GATE(...)`, got {line:?}"),
+            ));
         };
         let out_name = lhs.trim();
         if out_name.is_empty() {
@@ -119,18 +125,28 @@ pub fn parse_bench(
         let input_nets: Vec<NetId> = args.iter().map(|a| netlist.net(a)).collect();
         let out_net = netlist.net(out_name);
         gate_count += 1;
-        netlist.add_gate(&format!("g{gate_count}_{out_name}"), cell, &input_nets, out_net);
+        netlist.add_gate(
+            &format!("g{gate_count}_{out_name}"),
+            cell,
+            &input_nets,
+            out_net,
+        );
     }
 
-    netlist
-        .topo_order()
-        .map_err(|e| err(0, e.to_string()))?;
+    netlist.topo_order().map_err(|e| err(0, e.to_string()))?;
     for &po in &outputs {
         if netlist.driver_of(po).is_none() && !netlist.primary_inputs().contains(&po) {
-            return Err(err(0, format!("output {} is undriven", netlist.net_name(po))));
+            return Err(err(
+                0,
+                format!("output {} is undriven", netlist.net_name(po)),
+            ));
         }
     }
-    Ok(ParsedBench { netlist, inputs, outputs })
+    Ok(ParsedBench {
+        netlist,
+        inputs,
+        outputs,
+    })
 }
 
 fn paren_arg(rest: &str, original: &str, line: usize) -> Result<String, ParseBenchError> {
@@ -144,7 +160,11 @@ fn paren_arg(rest: &str, original: &str, line: usize) -> Result<String, ParseBen
         return Err(err(line, "empty net name"));
     }
     // Preserve the original casing of the net name.
-    let start = original.to_ascii_uppercase().find('(').expect("checked above") + 1;
+    let start = original
+        .to_ascii_uppercase()
+        .find('(')
+        .expect("checked above")
+        + 1;
     let end = original.rfind(')').expect("checked above");
     Ok(original[start..end].trim().to_string())
 }
@@ -220,7 +240,13 @@ y = NAND(a, a)
 
     #[test]
     fn malformed_lines_rejected() {
-        for bad in ["INPUT a", "y = NAND(a, b", "y NAND(a)", "= NAND(a)", "y = NAND()"] {
+        for bad in [
+            "INPUT a",
+            "y = NAND(a, b",
+            "y NAND(a)",
+            "= NAND(a)",
+            "y = NAND()",
+        ] {
             let text = format!("INPUT(a)\nINPUT(b)\n{bad}\n");
             assert!(parse_bench(&text, nand_only).is_err(), "{bad:?} accepted");
         }

@@ -32,7 +32,11 @@ pub struct PiAssignment {
 impl PiAssignment {
     /// A stable primary input.
     pub fn stable(net: NetId, level: bool) -> Self {
-        Self { net, initial: level, event: None }
+        Self {
+            net,
+            initial: level,
+            event: None,
+        }
     }
 
     /// A switching primary input: a full-swing ramp starting at `t_start`
@@ -274,7 +278,9 @@ impl<'a> Sta<'a> {
             let model = self.library.model(gate.cell);
             let cell = model.cell();
             if gate.inputs.len() != cell.input_count() {
-                return Err(StaError::PinMismatch { gate: gate.name.clone() });
+                return Err(StaError::PinMismatch {
+                    gate: gate.name.clone(),
+                });
             }
 
             let mut initial = Vec::with_capacity(gate.inputs.len());
@@ -325,7 +331,10 @@ impl<'a> Sta<'a> {
             let c_load = self.net_load(gate.output);
             let timing = self
                 .evaluate(model, &pin_events, &stable_levels, c_load, mode)
-                .map_err(|source| StaError::Model { gate: gate.name.clone(), source })?;
+                .map_err(|source| StaError::Model {
+                    gate: gate.name.clone(),
+                    source,
+                })?;
 
             events[gate.output.index()] = Some(self.output_event(model, &timing));
             cause[gate.output.index()] = Some(gate.inputs[timing.reference_pin]);
@@ -352,9 +361,7 @@ impl<'a> Sta<'a> {
             DelayMode::Proximity => {
                 model.gate_timing_with_levels(pin_events, stable_levels, c_load)
             }
-            DelayMode::SingleInput => {
-                single_switching_timing_at_load(model, pin_events, c_load)
-            }
+            DelayMode::SingleInput => single_switching_timing_at_load(model, pin_events, c_load),
         }
     }
 
@@ -370,8 +377,7 @@ impl<'a> Sta<'a> {
         // characterized tail factor stretches the reconstruction to match
         // the real 5-95 % edge (DESIGN.md §7).
         let frac_span = (th.v_ih - th.v_il) / vdd;
-        let tt_full =
-            (tt_measured / frac_span * model.tail_factor(t.output_edge)).max(1e-15);
+        let tt_full = (tt_measured / frac_span * model.tail_factor(t.output_edge)).max(1e-15);
         // Place the ramp so it crosses the measurement threshold at the
         // model-reported arrival.
         let threshold = th.threshold_for(t.output_edge);
@@ -400,12 +406,9 @@ mod tests {
         static LIB: OnceLock<TimingLibrary> = OnceLock::new();
         LIB.get_or_init(|| {
             let tech = Technology::demo_5v();
-            let model = ProximityModel::characterize(
-                &Cell::nand(2),
-                &tech,
-                &CharacterizeOptions::fast(),
-            )
-            .expect("characterization succeeds");
+            let model =
+                ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
+                    .expect("characterization succeeds");
             let mut lib = TimingLibrary::new();
             lib.add(model);
             lib
@@ -470,12 +473,7 @@ mod tests {
             for (k, &net) in ins.iter().enumerate() {
                 // ins layout: a0..a_{n-1}, b0..b_{n-1}, cin.
                 if k == 0 {
-                    assignments.push(PiAssignment::switching(
-                        net,
-                        Edge::Rising,
-                        0.0,
-                        300e-12,
-                    ));
+                    assignments.push(PiAssignment::switching(net, Edge::Rising, 0.0, 300e-12));
                 } else if k <= bits {
                     assignments.push(PiAssignment::stable(net, true));
                 } else {

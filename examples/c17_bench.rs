@@ -58,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .inputs
         .iter()
         .enumerate()
-        .map(|(k, &net)| {
-            PiAssignment::switching(net, Edge::Rising, k as f64 * 40e-12, 250e-12)
-        })
+        .map(|(k, &net)| PiAssignment::switching(net, Edge::Rising, k as f64 * 40e-12, 250e-12))
         .collect();
 
     let sta = Sta::new(&library, &parsed.netlist);

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("single model characterized");
     let d1 = single_b.delay(tau_b, model.reference_load());
 
-    println!("\n{:>8} {:>12} {:>12}  glitch depth", "s [ps]", "Vmin sim", "Vmin model");
+    println!(
+        "\n{:>8} {:>12} {:>12}  glitch depth",
+        "s [ps]", "Vmin sim", "Vmin model"
+    );
     for s in linspace(-200e-12, 1200e-12, 15) {
         let e_b = InputEvent::new(1, Edge::Rising, 0.0, tau_b);
         let arrival_b = e_b.arrival(&th);
@@ -58,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         net.set_waveform(1, e_b2.ramp.waveform(tech.vdd));
         net.set_waveform(0, e_a2.ramp.waveform(tech.vdd));
         let t_end = (e_a2.ramp.t_start + tau_a).max(e_b2.ramp.t_start + tau_b) + 4e-9;
-        let r = net.circuit.tran(&TranOptions::to(t_end).with_dv_max(0.03))?;
+        let r = net
+            .circuit
+            .tran(&TranOptions::to(t_end).with_dv_max(0.03))?;
         let v_sim = r.waveform(net.out).min().1;
         let v_model = glitch.peak_voltage(tau_b, tau_a, s, d1);
 

@@ -33,8 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tau = 500e-12;
 
     for (edge, label) in [
-        (Edge::Falling, "falling a,b (parallel pull-ups: proximity speeds the output)"),
-        (Edge::Rising, "rising a,b (series stack: proximity slows the output)"),
+        (
+            Edge::Falling,
+            "falling a,b (parallel pull-ups: proximity speeds the output)",
+        ),
+        (
+            Edge::Rising,
+            "rising a,b (series stack: proximity slows the output)",
+        ),
     ] {
         println!("\n=== {label} ===");
         let mut rows = Vec::new();
@@ -55,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let d_lo = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
         let d_hi = rows.iter().map(|r| r.1).fold(0.0, f64::max);
-        println!("{:>8} {:>12} {:>12}  delay profile", "s [ps]", "delay [ps]", "trans [ps]");
+        println!(
+            "{:>8} {:>12} {:>12}  delay profile",
+            "s [ps]", "delay [ps]", "trans [ps]"
+        );
         for &(s, d, t) in &rows {
             println!(
                 "{:>8.0} {:>12.1} {:>12.1}  {}",

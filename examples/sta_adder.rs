@@ -70,9 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    if let (Some((np, tp)), Some((ns, ts))) =
-        (prox.critical_arrival(), single.critical_arrival())
-    {
+    if let (Some((np, tp)), Some((ns, ts))) = (prox.critical_arrival(), single.critical_arrival()) {
         println!(
             "\ncritical arrival: proximity {:.1} ps on {}, single-input {:.1} ps on {}",
             tp * 1e12,

@@ -27,7 +27,13 @@ fn characterize_query_simulate_roundtrip() {
     let model = &*NAND2_MODEL;
     let tech = Technology::demo_5v();
     let cell = Cell::nand(2);
-    let sim = Simulator::new(&cell, &tech, *model.thresholds(), model.reference_load(), 0.04);
+    let sim = Simulator::new(
+        &cell,
+        &tech,
+        *model.thresholds(),
+        model.reference_load(),
+        0.04,
+    );
 
     for &(s, tau_a, tau_b, edge) in &[
         (0.0, 400e-12, 400e-12, Edge::Falling),
@@ -48,7 +54,9 @@ fn characterize_query_simulate_roundtrip() {
             .iter()
             .position(|e| e.pin == predicted.reference_pin)
             .expect("reference pin present");
-        let measured = r.delay_from(k, model.thresholds()).expect("output switches");
+        let measured = r
+            .delay_from(k, model.thresholds())
+            .expect("output switches");
         let err = (predicted.delay - measured).abs() / measured;
         assert!(
             err < 0.15,
@@ -74,13 +82,17 @@ fn model_generalizes_across_load() {
         InputEvent::new(0, Edge::Falling, 0.0, 600e-12),
         InputEvent::new(1, Edge::Falling, 100e-12, 600e-12),
     ];
-    let predicted = model.gate_timing_at_load(&events, c_load).expect("query succeeds");
+    let predicted = model
+        .gate_timing_at_load(&events, c_load)
+        .expect("query succeeds");
     let r = sim.simulate(&events).expect("simulation succeeds");
     let k = events
         .iter()
         .position(|e| e.pin == predicted.reference_pin)
         .expect("pin present");
-    let measured = r.delay_from(k, model.thresholds()).expect("output switches");
+    let measured = r
+        .delay_from(k, model.thresholds())
+        .expect("output switches");
     let err = (predicted.delay - measured).abs() / measured;
     assert!(err < 0.20, "load generalization error {:.1}%", err * 100.0);
 }
@@ -106,13 +118,17 @@ fn nldm_surfaces_carry_queries_far_off_reference() {
         InputEvent::new(0, Edge::Falling, 0.0, 600e-12),
         InputEvent::new(1, Edge::Falling, 100e-12, 600e-12),
     ];
-    let predicted = model.gate_timing_at_load(&events, c_small).expect("query succeeds");
+    let predicted = model
+        .gate_timing_at_load(&events, c_small)
+        .expect("query succeeds");
     let r = sim.simulate(&events).expect("simulation succeeds");
     let k = events
         .iter()
         .position(|e| e.pin == predicted.reference_pin)
         .expect("pin present");
-    let measured = r.delay_from(k, model.thresholds()).expect("output switches");
+    let measured = r
+        .delay_from(k, model.thresholds())
+        .expect("output switches");
     let err = (predicted.delay - measured).abs() / measured;
     assert!(err < 0.12, "off-reference error {:.1}%", err * 100.0);
 }
@@ -151,7 +167,11 @@ fn sta_pipeline_times_c17_both_modes() {
     for mode in [DelayMode::Proximity, DelayMode::SingleInput] {
         let report = sta.run(&assignments, mode).expect("timing runs");
         let ev = report.net_event(pos[0]).expect("N22 switches");
-        assert!(ev.arrival > 0.0 && ev.arrival < 5e-9, "{mode:?}: {}", ev.arrival);
+        assert!(
+            ev.arrival > 0.0 && ev.arrival < 5e-9,
+            "{mode:?}: {}",
+            ev.arrival
+        );
     }
 }
 
@@ -190,7 +210,10 @@ fn cgaas_class_technology_characterizes_end_to_end() {
     let model = ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast())
         .expect("CGaAs-class characterization succeeds");
     let th = model.thresholds();
-    assert!(0.0 < th.v_il && th.v_il < th.v_ih && th.v_ih < tech.vdd, "{th:?}");
+    assert!(
+        0.0 < th.v_il && th.v_il < th.v_ih && th.v_ih < tech.vdd,
+        "{th:?}"
+    );
 
     // The proximity speedup for falling inputs survives the corner.
     let together = model
@@ -205,7 +228,10 @@ fn cgaas_class_technology_characterizes_end_to_end() {
             InputEvent::new(1, Edge::Falling, 30e-9, 300e-12),
         ])
         .expect("query succeeds");
-    assert!(together.delay < apart.delay, "proximity speedup holds in CGaAs-class tech");
+    assert!(
+        together.delay < apart.delay,
+        "proximity speedup holds in CGaAs-class tech"
+    );
 }
 
 #[test]
@@ -228,7 +254,11 @@ fn nor2_characterizes_with_flipped_threshold_policy() {
         let t = model.gate_timing(&events).expect("query succeeds");
         assert!(t.delay > 0.0 && t.output_transition > 0.0, "{edge}");
         // NOR is inverting: rising inputs drop the output.
-        let expect_edge = if edge == Edge::Rising { Edge::Falling } else { Edge::Rising };
+        let expect_edge = if edge == Edge::Rising {
+            Edge::Falling
+        } else {
+            Edge::Rising
+        };
         assert_eq!(t.output_edge, expect_edge);
     }
 }
@@ -243,10 +273,16 @@ fn aoi21_characterizes_despite_pin_without_controlling_value() {
     // AOI pins have heterogeneous partners (a-b is a series pair, c is a
     // parallel branch), so the one-partner-per-pin scheme is ambiguous;
     // asymmetric cells characterize the full pair matrix (DESIGN.md §7).
-    let opts = CharacterizeOptions { full_pair_matrix: true, ..CharacterizeOptions::fast() };
-    let model = ProximityModel::characterize(&cell, &tech, &opts)
-        .expect("AOI21 characterization succeeds");
-    assert!(!model.extra_dual_models().is_empty(), "pair matrix characterized");
+    let opts = CharacterizeOptions {
+        full_pair_matrix: true,
+        ..CharacterizeOptions::fast()
+    };
+    let model =
+        ProximityModel::characterize(&cell, &tech, &opts).expect("AOI21 characterization succeeds");
+    assert!(
+        !model.extra_dual_models().is_empty(),
+        "pair matrix characterized"
+    );
     // The series pair (a, b) rising in proximity must show the stack
     // slowdown, like the NAND.
     let events = [

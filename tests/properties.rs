@@ -1,12 +1,19 @@
 //! Property-based tests of the paper's invariants, spanning crates.
+//!
+//! Implemented as seeded random sweeps over the same stimulus ranges the
+//! paper validates (50–2000 ps transitions, ±800 ps separations). Each test
+//! draws its cases from an explicitly seeded generator, so failures are
+//! reproducible without a shrinker: the failure message prints the exact
+//! stimulus.
 
-use proptest::prelude::*;
 use proxim::cells::{Cell, Technology};
 use proxim::model::characterize::CharacterizeOptions;
 use proxim::model::dominance::{rank_by_dominance, rank_for_scenario, RankedEvent};
 use proxim::model::measure::{separation, InputEvent};
 use proxim::model::{ProximityModel, Thresholds};
 use proxim::numeric::pwl::{Edge, Pwl};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::sync::LazyLock;
 
 static NAND2_MODEL: LazyLock<ProximityModel> = LazyLock::new(|| {
@@ -27,69 +34,77 @@ static NAND3_MODEL: LazyLock<ProximityModel> = LazyLock::new(|| {
     .expect("characterization succeeds")
 });
 
-fn tau_strategy() -> impl Strategy<Value = f64> {
-    // The paper's validation range: 50 ps to 2000 ps.
-    (50.0f64..2000.0).prop_map(|ps| ps * 1e-12)
+/// The paper's validation range for transition times: 50 ps to 2000 ps.
+fn random_tau(rng: &mut StdRng) -> f64 {
+    rng.random_range(50.0f64..2000.0) * 1e-12
 }
 
-fn sep_strategy() -> impl Strategy<Value = f64> {
-    (-800.0f64..800.0).prop_map(|ps| ps * 1e-12)
+/// Event separations spanning well past the proximity window.
+fn random_sep(rng: &mut StdRng) -> f64 {
+    rng.random_range(-800.0f64..800.0) * 1e-12
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The §2 theorem: with min-V_il / max-V_ih thresholds, the composed
-    /// delay is positive for ANY combination of transition times and
-    /// separations, both edges, two or three inputs.
-    #[test]
-    fn delay_always_positive_nand2(
-        tau_a in tau_strategy(),
-        tau_b in tau_strategy(),
-        s in sep_strategy(),
-        rising in any::<bool>(),
-    ) {
-        let model = &*NAND2_MODEL;
-        let edge = if rising { Edge::Rising } else { Edge::Falling };
+/// The §2 theorem: with min-V_il / max-V_ih thresholds, the composed delay
+/// is positive for ANY combination of transition times and separations,
+/// both edges, two or three inputs.
+#[test]
+fn delay_always_positive_nand2() {
+    let model = &*NAND2_MODEL;
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for case in 0..64 {
+        let (tau_a, tau_b, s) = (
+            random_tau(&mut rng),
+            random_tau(&mut rng),
+            random_sep(&mut rng),
+        );
+        let edge = if case % 2 == 0 {
+            Edge::Rising
+        } else {
+            Edge::Falling
+        };
         let events = [
             InputEvent::new(0, edge, 0.0, tau_a),
             InputEvent::new(1, edge, s, tau_b),
         ];
         let t = model.gate_timing(&events).expect("query succeeds");
-        prop_assert!(t.delay > 0.0, "delay {} for tau=({tau_a},{tau_b}) s={s}", t.delay);
-        prop_assert!(t.output_transition > 0.0);
-        prop_assert!(t.inputs_in_window >= 1);
+        assert!(
+            t.delay > 0.0,
+            "delay {} for tau=({tau_a},{tau_b}) s={s}",
+            t.delay
+        );
+        assert!(t.output_transition > 0.0);
+        assert!(t.inputs_in_window >= 1);
     }
+}
 
-    #[test]
-    fn delay_always_positive_nand3(
-        tau_a in tau_strategy(),
-        tau_b in tau_strategy(),
-        tau_c in tau_strategy(),
-        s_ab in sep_strategy(),
-        s_ac in sep_strategy(),
-    ) {
-        let model = &*NAND3_MODEL;
+#[test]
+fn delay_always_positive_nand3() {
+    let model = &*NAND3_MODEL;
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for _ in 0..64 {
         let events = [
-            InputEvent::new(0, Edge::Falling, 0.0, tau_a),
-            InputEvent::new(1, Edge::Falling, s_ab, tau_b),
-            InputEvent::new(2, Edge::Falling, s_ac, tau_c),
+            InputEvent::new(0, Edge::Falling, 0.0, random_tau(&mut rng)),
+            InputEvent::new(1, Edge::Falling, random_sep(&mut rng), random_tau(&mut rng)),
+            InputEvent::new(2, Edge::Falling, random_sep(&mut rng), random_tau(&mut rng)),
         ];
         let t = model.gate_timing(&events).expect("query succeeds");
-        prop_assert!(t.delay > 0.0);
+        assert!(t.delay > 0.0, "delay {} for {events:?}", t.delay);
     }
+}
 
-    /// Time-translation invariance: shifting every event by the same amount
-    /// shifts the output arrival by that amount and changes nothing else.
-    #[test]
-    fn timing_is_shift_invariant(
-        tau_a in tau_strategy(),
-        tau_b in tau_strategy(),
-        s in sep_strategy(),
-        shift_ps in -5000.0f64..5000.0,
-    ) {
-        let model = &*NAND2_MODEL;
-        let shift = shift_ps * 1e-12;
+/// Time-translation invariance: shifting every event by the same amount
+/// shifts the output arrival by that amount and changes nothing else.
+#[test]
+fn timing_is_shift_invariant() {
+    let model = &*NAND2_MODEL;
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for _ in 0..64 {
+        let (tau_a, tau_b, s) = (
+            random_tau(&mut rng),
+            random_tau(&mut rng),
+            random_sep(&mut rng),
+        );
+        let shift = rng.random_range(-5000.0f64..5000.0) * 1e-12;
         let base = [
             InputEvent::new(0, Edge::Falling, 0.0, tau_a),
             InputEvent::new(1, Edge::Falling, s, tau_b),
@@ -97,44 +112,52 @@ proptest! {
         let shifted: Vec<InputEvent> = base.iter().map(|e| e.delayed(shift)).collect();
         let t0 = model.gate_timing(&base).expect("query succeeds");
         let t1 = model.gate_timing(&shifted).expect("query succeeds");
-        prop_assert!((t0.delay - t1.delay).abs() < 1e-18);
-        prop_assert!((t0.output_transition - t1.output_transition).abs() < 1e-18);
-        prop_assert!((t1.output_arrival - t0.output_arrival - shift).abs() < 1e-15);
+        assert!(
+            (t0.delay - t1.delay).abs() < 1e-18,
+            "shift={shift} tau=({tau_a},{tau_b}) s={s}"
+        );
+        assert!((t0.output_transition - t1.output_transition).abs() < 1e-18);
+        assert!((t1.output_arrival - t0.output_arrival - shift).abs() < 1e-15);
     }
+}
 
-    /// Separation antisymmetry (§3): s_ab = -s_ba for any pair of events.
-    #[test]
-    fn separation_antisymmetric(
-        t_a in -1000.0f64..1000.0,
-        t_b in -1000.0f64..1000.0,
-        tau_a in tau_strategy(),
-        tau_b in tau_strategy(),
-    ) {
-        let th = Thresholds::new(1.25, 3.37, 5.0);
-        let a = InputEvent::new(0, Edge::Falling, t_a * 1e-12, tau_a);
-        let b = InputEvent::new(1, Edge::Falling, t_b * 1e-12, tau_b);
-        prop_assert!((separation(&a, &b, &th) + separation(&b, &a, &th)).abs() < 1e-18);
+/// Separation antisymmetry (§3): s_ab = -s_ba for any pair of events.
+#[test]
+fn separation_antisymmetric() {
+    let th = Thresholds::new(1.25, 3.37, 5.0);
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    for _ in 0..64 {
+        let t_a = rng.random_range(-1000.0f64..1000.0) * 1e-12;
+        let t_b = rng.random_range(-1000.0f64..1000.0) * 1e-12;
+        let a = InputEvent::new(0, Edge::Falling, t_a, random_tau(&mut rng));
+        let b = InputEvent::new(1, Edge::Falling, t_b, random_tau(&mut rng));
+        assert!(
+            (separation(&a, &b, &th) + separation(&b, &a, &th)).abs() < 1e-18,
+            "t_a={t_a} t_b={t_b}"
+        );
     }
+}
 
-    /// Dominance ranking sorts by crossing time and is permutation
-    /// invariant.
-    #[test]
-    fn dominance_rank_sorted_and_stable(
-        arrivals in prop::collection::vec(0.0f64..2000.0, 2..6),
-        delays in prop::collection::vec(50.0f64..800.0, 2..6),
-    ) {
-        let n = arrivals.len().min(delays.len());
+/// Dominance ranking sorts by crossing time and is permutation invariant.
+#[test]
+fn dominance_rank_sorted_and_stable() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0005);
+    for _ in 0..64 {
+        let n = rng.random_range(2usize..6);
         let events: Vec<RankedEvent> = (0..n)
-            .map(|i| RankedEvent {
-                event: InputEvent::new(i, Edge::Falling, arrivals[i] * 1e-12, 100e-12),
-                arrival: arrivals[i] * 1e-12,
-                d1: delays[i] * 1e-12,
-                t1: 100e-12,
+            .map(|i| {
+                let arrival = rng.random_range(0.0f64..2000.0) * 1e-12;
+                RankedEvent {
+                    event: InputEvent::new(i, Edge::Falling, arrival, 100e-12),
+                    arrival,
+                    d1: rng.random_range(50.0f64..800.0) * 1e-12,
+                    t1: 100e-12,
+                }
             })
             .collect();
         let ranked = rank_by_dominance(events.clone());
         for w in ranked.windows(2) {
-            prop_assert!(w[0].crossing_time() <= w[1].crossing_time());
+            assert!(w[0].crossing_time() <= w[1].crossing_time());
         }
         let mut reversed = events;
         reversed.reverse();
@@ -145,56 +168,68 @@ proptest! {
         let keys: Vec<f64> = ranked.iter().map(|r| r.crossing_time()).collect();
         let distinct = keys.windows(2).all(|w| (w[1] - w[0]).abs() > 1e-18);
         if distinct {
-            prop_assert_eq!(pins, pins_rev);
+            assert_eq!(pins, pins_rev);
         }
     }
+}
 
-    /// rank_for_scenario(k = 1) equals rank_by_dominance, and for any k the
-    /// dominant is the k-th smallest crossing.
-    #[test]
-    fn scenario_rank_picks_kth_crossing(
-        arrivals in prop::collection::vec(0.0f64..2000.0, 3..6),
-        k_seed in any::<u8>(),
-    ) {
-        let n = arrivals.len();
+/// rank_for_scenario(k = 1) equals rank_by_dominance, and for any k the
+/// dominant is the k-th smallest crossing.
+#[test]
+fn scenario_rank_picks_kth_crossing() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0006);
+    for _ in 0..64 {
+        let n = rng.random_range(3usize..6);
         let events: Vec<RankedEvent> = (0..n)
-            .map(|i| RankedEvent {
-                event: InputEvent::new(i, Edge::Rising, arrivals[i] * 1e-12, 100e-12),
-                arrival: arrivals[i] * 1e-12,
-                d1: 300e-12,
-                t1: 100e-12,
+            .map(|i| {
+                let arrival = rng.random_range(0.0f64..2000.0) * 1e-12;
+                RankedEvent {
+                    event: InputEvent::new(i, Edge::Rising, arrival, 100e-12),
+                    arrival,
+                    d1: 300e-12,
+                    t1: 100e-12,
+                }
             })
             .collect();
-        let k = (k_seed as usize % n) + 1;
+        let k = rng.random_range(0usize..n) + 1;
         let sorted = rank_by_dominance(events.clone());
         let ranked = rank_for_scenario(events, k);
-        prop_assert_eq!(ranked[0].event.pin, sorted[k - 1].event.pin);
-        prop_assert_eq!(ranked.len(), n);
+        assert_eq!(ranked[0].event.pin, sorted[k - 1].event.pin);
+        assert_eq!(ranked.len(), n);
     }
+}
 
-    /// PWL crossing times are monotone under time shift.
-    #[test]
-    fn pwl_shift_moves_crossings(
-        t_start in 0.0f64..100.0,
-        width in 1.0f64..100.0,
-        dt in -50.0f64..50.0,
-    ) {
+/// PWL crossing times are monotone under time shift.
+#[test]
+fn pwl_shift_moves_crossings() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0007);
+    for _ in 0..64 {
+        let t_start = rng.random_range(0.0f64..100.0);
+        let width = rng.random_range(1.0f64..100.0);
+        let dt = rng.random_range(-50.0f64..50.0);
         let w = Pwl::ramp(t_start, width, 0.0, 1.0);
         let t0 = w.first_rising_crossing(0.5).expect("ramp crosses");
-        let t1 = w.shifted(dt).first_rising_crossing(0.5).expect("ramp crosses");
-        prop_assert!((t1 - t0 - dt).abs() < 1e-9 * width.max(1.0));
+        let t1 = w
+            .shifted(dt)
+            .first_rising_crossing(0.5)
+            .expect("ramp crosses");
+        assert!(
+            (t1 - t0 - dt).abs() < 1e-9 * width.max(1.0),
+            "t_start={t_start} width={width} dt={dt}"
+        );
     }
+}
 
-    /// Transition time between interior thresholds is a fixed fraction of
-    /// the ramp width, independent of direction.
-    #[test]
-    fn ramp_transition_time_fraction(
-        width_ps in 10.0f64..5000.0,
-        rising in any::<bool>(),
-    ) {
+/// Transition time between interior thresholds is a fixed fraction of the
+/// ramp width, independent of direction.
+#[test]
+fn ramp_transition_time_fraction() {
+    let th = Thresholds::new(1.25, 3.37, 5.0);
+    let mut rng = StdRng::seed_from_u64(0x5EED_0008);
+    for case in 0..64 {
+        let width_ps = rng.random_range(10.0f64..5000.0);
         let width = width_ps * 1e-12;
-        let th = Thresholds::new(1.25, 3.37, 5.0);
-        let (edge, w) = if rising {
+        let (edge, w) = if case % 2 == 0 {
             (Edge::Rising, Pwl::ramp(0.0, width, 0.0, 5.0))
         } else {
             (Edge::Falling, Pwl::ramp(0.0, width, 5.0, 0.0))
@@ -203,32 +238,36 @@ proptest! {
             .transition_time(th.v_il, th.v_ih, edge)
             .expect("full-swing ramp crosses both");
         let expect = (3.37 - 1.25) / 5.0 * width;
-        prop_assert!((tt - expect).abs() < 1e-12 * width_ps);
+        assert!(
+            (tt - expect).abs() < 1e-12 * width_ps,
+            "width={width_ps}ps edge={edge}"
+        );
     }
 }
 
-proptest! {
-    // Transient simulations are heavier; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// The simulator's RC step response matches the analytic exponential for
+/// random component values spanning two decades each. Transient simulations
+/// are heavier; fewer cases.
+#[test]
+fn rc_step_matches_analytic_for_random_components() {
+    use proxim::spice::circuit::{Circuit, Waveform};
+    use proxim::spice::tran::TranOptions;
 
-    /// The simulator's RC step response matches the analytic exponential
-    /// for random component values spanning two decades each.
-    #[test]
-    fn rc_step_matches_analytic_for_random_components(
-        r_kohm in 0.2f64..20.0,
-        c_pf in 0.05f64..5.0,
-        v_step in 0.5f64..5.0,
-    ) {
-        use proxim::spice::circuit::{Circuit, Waveform};
-        use proxim::spice::tran::TranOptions;
-
-        let r = r_kohm * 1e3;
-        let c = c_pf * 1e-12;
+    let mut rng = StdRng::seed_from_u64(0x5EED_0009);
+    for _ in 0..12 {
+        let r = rng.random_range(0.2f64..20.0) * 1e3;
+        let c = rng.random_range(0.05f64..5.0) * 1e-12;
+        let v_step = rng.random_range(0.5f64..5.0);
         let tau = r * c;
         let mut ckt = Circuit::new();
         let inp = ckt.node("in");
         let out = ckt.node("out");
-        ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, tau * 1e-3, v_step));
+        ckt.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::step(0.0, tau * 1e-3, v_step),
+        );
         ckt.resistor("R", inp, out, r);
         ckt.capacitor("C", out, Circuit::GND, c);
         let result = ckt
@@ -238,26 +277,33 @@ proptest! {
         for frac in [0.5f64, 1.0, 2.0, 4.0] {
             let t = frac * tau;
             let expect = v_step * (1.0 - (-frac).exp());
-            prop_assert!(
+            assert!(
                 (w.eval(t) - expect).abs() < 0.02 * v_step,
                 "R={r:.0} C={c:.2e} t/tau={frac}: {} vs {expect}",
                 w.eval(t)
             );
         }
     }
+}
 
-    /// A NAND2's single-input delay is monotone in load capacitance.
-    #[test]
-    fn nand_delay_monotone_in_load(
-        tau_ps in 100.0f64..1500.0,
-        scale in 1.2f64..3.0,
-    ) {
-        let model = &*NAND2_MODEL;
-        let tau = tau_ps * 1e-12;
+/// A NAND2's single-input delay is monotone in load capacitance.
+#[test]
+fn nand_delay_monotone_in_load() {
+    let model = &*NAND2_MODEL;
+    let mut rng = StdRng::seed_from_u64(0x5EED_000A);
+    for _ in 0..12 {
+        let tau = rng.random_range(100.0f64..1500.0) * 1e-12;
+        let scale = rng.random_range(1.2f64..3.0);
         let c0 = model.reference_load();
         let e = [InputEvent::new(0, Edge::Rising, 0.0, tau)];
         let d_base = model.gate_timing_at_load(&e, c0).expect("query").delay;
-        let d_more = model.gate_timing_at_load(&e, c0 * scale).expect("query").delay;
-        prop_assert!(d_more >= d_base, "load {scale}x: {d_more} < {d_base}");
+        let d_more = model
+            .gate_timing_at_load(&e, c0 * scale)
+            .expect("query")
+            .delay;
+        assert!(
+            d_more >= d_base,
+            "load {scale}x at tau={tau}: {d_more} < {d_base}"
+        );
     }
 }

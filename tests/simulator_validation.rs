@@ -17,7 +17,9 @@ fn rc_step_matches_exponential_everywhere() {
     ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 1e-13, 3.0));
     ckt.resistor("R", inp, out, r);
     ckt.capacitor("C", out, Circuit::GND, c);
-    let result = ckt.tran(&TranOptions::to(8.0 * tau).with_dv_max(0.01)).expect("runs");
+    let result = ckt
+        .tran(&TranOptions::to(8.0 * tau).with_dv_max(0.01))
+        .expect("runs");
     let w = result.waveform(out);
     for k in 1..=20 {
         let t = k as f64 * 0.35 * tau;
@@ -46,7 +48,9 @@ fn two_stage_rc_ladder_matches_state_space_solution() {
     ckt.capacitor("C1", mid, Circuit::GND, c1);
     ckt.resistor("R2", mid, out, r2);
     ckt.capacitor("C2", out, Circuit::GND, c2);
-    let result = ckt.tran(&TranOptions::to(15e-9).with_dv_max(0.005)).expect("runs");
+    let result = ckt
+        .tran(&TranOptions::to(15e-9).with_dv_max(0.005))
+        .expect("runs");
     let w = result.waveform(out);
 
     // State matrix for x = [v_mid, v_out]:
@@ -79,7 +83,12 @@ fn integrators_agree_on_smooth_response() {
         let mut ckt = Circuit::new();
         let inp = ckt.node("in");
         let out = ckt.node("out");
-        ckt.vsource("VIN", inp, Circuit::GND, Waveform::ramp(0.5e-9, 2e-9, 0.0, 2.0));
+        ckt.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::ramp(0.5e-9, 2e-9, 0.0, 2.0),
+        );
         ckt.resistor("R", inp, out, 1e3);
         ckt.capacitor("C", out, Circuit::GND, 1e-12);
         (ckt, out)
@@ -140,7 +149,13 @@ fn transient_switching_respects_logic_for_all_cells() {
     // Drive each cell's pin 0 with a ramp while the rest sit at
     // sensitizing levels; the output must complete the predicted edge.
     let tech = Technology::demo_5v();
-    for cell in [Cell::inv(), Cell::nand(3), Cell::nor(2), Cell::aoi21(), Cell::oai21()] {
+    for cell in [
+        Cell::inv(),
+        Cell::nand(3),
+        Cell::nor(2),
+        Cell::aoi21(),
+        Cell::oai21(),
+    ] {
         let Some(mut levels) = cell.sensitizing_levels(0) else {
             panic!("{} pin 0 must be sensitizable", cell.name());
         };
