@@ -17,6 +17,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> resilience: cargo test --features fault-injection"
+cargo test -q --features fault-injection --test fault_injection
+
 echo "==> bench: characterization pipeline"
 ./target/release/bench_characterize --out BENCH_characterize.json
 

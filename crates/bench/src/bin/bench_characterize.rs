@@ -56,7 +56,9 @@ fn stats_json(stats: &CharStats, wall: f64) -> String {
             "\"sims_per_sec\": {:.1}, ",
             "\"phases_s\": {{\"vtc\": {:.6}, \"singles\": {:.6}, ",
             "\"pairs\": {:.6}, \"finish\": {:.6}}}, ",
-            "\"cache_hits\": {}, \"cache_misses\": {}}}"
+            "\"cache_hits\": {}, \"cache_misses\": {}, ",
+            "\"cache_quarantined\": {}, \"recoveries\": {}, ",
+            "\"failed_jobs\": {}, \"degraded_slices\": {}}}"
         ),
         stats.threads,
         stats.sims_run,
@@ -68,6 +70,10 @@ fn stats_json(stats: &CharStats, wall: f64) -> String {
         p.finish,
         stats.cache_hits,
         stats.cache_misses,
+        stats.cache_quarantined,
+        stats.recoveries,
+        stats.failed_jobs,
+        stats.degraded_slices,
     )
 }
 

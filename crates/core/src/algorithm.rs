@@ -212,6 +212,7 @@ pub fn storage_entries(n: usize, grid1: usize, grid3: usize, scheme: StorageSche
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::measure::InputEvent;

@@ -203,6 +203,7 @@ impl AnalyticDual {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::characterize::Simulator;

@@ -66,6 +66,7 @@ pub fn single_switching_timing_at_load(
         output_arrival: arrival + delay,
         output_edge: scenario.output_edge,
         inputs_in_window: 1,
+        degradation: None,
     })
 }
 
@@ -188,6 +189,7 @@ impl CollapsedInverter {
             output_arrival: arrival + delay,
             output_edge: scenario.output_edge,
             inputs_in_window: 1,
+            degradation: None,
         })
     }
 
@@ -203,19 +205,21 @@ impl CollapsedInverter {
             (wp * 1e12).round() as u64,
             input_edge == Edge::Rising,
         );
-        if !self.cache.contains_key(&key) {
-            let inv = Cell::inv().with_widths(wn, wp);
-            let sim = crate::characterize::Simulator::new(
-                &inv,
-                &self.tech,
-                thresholds,
-                self.c_load,
-                self.dv_max,
-            );
-            let model = SingleInputModel::characterize(&sim, 0, input_edge, &self.tau_grid)?;
-            self.cache.insert(key, model);
+        match self.cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let inv = Cell::inv().with_widths(wn, wp);
+                let sim = crate::characterize::Simulator::new(
+                    &inv,
+                    &self.tech,
+                    thresholds,
+                    self.c_load,
+                    self.dv_max,
+                );
+                let model = SingleInputModel::characterize(&sim, 0, input_edge, &self.tau_grid)?;
+                Ok(v.insert(model))
+            }
         }
-        Ok(self.cache.get(&key).expect("just inserted"))
     }
 
     /// Number of distinct equivalent inverters characterized so far.
@@ -225,6 +229,7 @@ impl CollapsedInverter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -165,6 +165,7 @@ pub(crate) fn calibrate_stretch(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::characterize::Simulator;

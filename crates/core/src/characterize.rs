@@ -163,6 +163,9 @@ pub struct SimResponse {
     pub output: Pwl,
     /// The output transition direction.
     pub output_edge: Edge,
+    /// Recovery-ladder actions the transient needed (0 for a healthy run);
+    /// aggregated into [`crate::jobs::CharStats::recoveries`].
+    pub recoveries: usize,
 }
 
 impl SimResponse {
@@ -286,11 +289,13 @@ impl<'a> Simulator<'a> {
             events,
             output,
             output_edge: scenario.output_edge,
+            recoveries: result.recovery.total(),
         })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use proxim_cells::{Cell, Technology};

@@ -37,11 +37,7 @@ impl RankedEvent {
 /// "our algorithm will identify one of the inputs as the dominant one and
 /// proceed" — the correction term then absorbs the resulting error.
 pub fn rank_by_dominance(mut events: Vec<RankedEvent>) -> Vec<RankedEvent> {
-    events.sort_by(|a, b| {
-        a.crossing_time()
-            .partial_cmp(&b.crossing_time())
-            .expect("crossing times are finite")
-    });
+    events.sort_by(|a, b| a.crossing_time().total_cmp(&b.crossing_time()));
     events
 }
 
@@ -77,7 +73,7 @@ pub fn rank_for_scenario(events: Vec<RankedEvent>, k: usize) -> Vec<RankedEvent>
     rest.sort_by(|a, b| {
         let da = (a.crossing_time() - dom_cross).abs();
         let db = (b.crossing_time() - dom_cross).abs();
-        da.partial_cmp(&db).expect("crossing times are finite")
+        da.total_cmp(&db)
     });
     let mut out = Vec::with_capacity(rest.len() + 1);
     out.push(dom);
@@ -86,6 +82,7 @@ pub fn rank_for_scenario(events: Vec<RankedEvent>, k: usize) -> Vec<RankedEvent>
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use proxim_numeric::pwl::Edge;

@@ -82,7 +82,7 @@ impl DualInputModel {
             v_grid,
             w_grid,
         );
-        let outcomes = execute_jobs(sim, &jobs, 1);
+        let batch = execute_jobs(sim, &jobs, 1);
         Self::assemble(
             sim.c_load,
             single,
@@ -90,7 +90,7 @@ impl DualInputModel {
             u_grid,
             v_grid,
             w_grid,
-            &first_error(&outcomes)?,
+            &first_error(&batch.outcomes)?,
         )
     }
 
@@ -144,7 +144,7 @@ impl DualInputModel {
     ///
     /// # Panics
     ///
-    /// Panics if the outcomes do not match the enumeration (count or kind).
+    /// Panics if the outcome count does not match the enumeration.
     pub fn assemble(
         c_load: f64,
         single: &SingleInputModel,
@@ -167,7 +167,12 @@ impl DualInputModel {
             let d1 = single.delay(tau_i, c_load);
             let t1 = single.transition(tau_i, c_load);
             for _ in 0..v_grid.len() * w_grid.len() {
-                let (d2, t2) = it.next().expect("count checked above").response();
+                let Some(outcome) = it.next() else {
+                    return Err(ModelError::Table(
+                        "dual-input outcome count mismatch".into(),
+                    ));
+                };
+                let (d2, t2) = outcome.response()?;
                 delay_vals.push(d2 / d1);
                 trans_vals.push(t2 / t1);
             }
@@ -226,6 +231,7 @@ impl DualInputModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::characterize::Simulator;

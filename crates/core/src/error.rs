@@ -32,6 +32,21 @@ pub enum ModelError {
     },
 }
 
+impl ModelError {
+    /// Whether a characterization slice whose jobs failed with this error
+    /// can be *degraded* (dropped with provenance, the rest of the model
+    /// kept) instead of failing the whole characterization.
+    ///
+    /// Simulation failures and missing crossings are data-dependent — one
+    /// pathological operating point shouldn't discard thousands of healthy
+    /// ones. Everything else (malformed grids, inconsistent tables, bad
+    /// queries, persistence problems) points at configuration bugs and
+    /// still fails fast.
+    pub fn is_slice_degradable(&self) -> bool {
+        matches!(self, Self::Simulation(_) | Self::MissingCrossing { .. })
+    }
+}
+
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -72,6 +87,7 @@ impl From<proxim_numeric::interp::BuildTableError> for ModelError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

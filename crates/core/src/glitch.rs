@@ -74,7 +74,7 @@ impl GlitchModel {
             v_grid,
             w_grid,
         )?;
-        let outcomes = execute_jobs(sim, &jobs, 1);
+        let batch = execute_jobs(sim, &jobs, 1);
         Self::assemble(
             sim.tech.vdd,
             single,
@@ -82,7 +82,7 @@ impl GlitchModel {
             u_grid,
             v_grid,
             w_grid,
-            &first_error(&outcomes)?,
+            &first_error(&batch.outcomes)?,
         )
     }
 
@@ -144,7 +144,7 @@ impl GlitchModel {
     ///
     /// # Panics
     ///
-    /// Panics if the outcomes do not match the enumeration (count or kind).
+    /// Panics if the outcome count does not match the enumeration.
     pub fn assemble(
         vdd: f64,
         single: &SingleInputModel,
@@ -162,7 +162,10 @@ impl GlitchModel {
         // produced the single-input model's output edge.
         let output_edge = single.output_edge;
 
-        let vals: Vec<f64> = outcomes.iter().map(|o| o.peak() / vdd).collect();
+        let vals: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.peak().map(|p| p / vdd))
+            .collect::<Result<_, _>>()?;
 
         // Log-domain u/v axes, as in the dual-input tables.
         let ln_u: Vec<f64> = u_grid.iter().map(|u| u.ln()).collect();
@@ -198,8 +201,9 @@ impl GlitchModel {
         v_threshold: f64,
     ) -> Option<f64> {
         let (w_lo, w_hi) = {
+            // Table3d axes are validated non-empty at construction.
             let axis = self.peak.az();
-            (axis[0], *axis.last().expect("axis is non-empty"))
+            (axis[0], axis[axis.len() - 1])
         };
         // Signed clearance: positive once the output crosses the threshold.
         let clear = |s: f64| match self.output_edge {
@@ -222,14 +226,15 @@ impl GlitchModel {
     }
 }
 
-/// Simulates one causer/blocker pair and returns the output extremum.
+/// Simulates one causer/blocker pair and returns the output extremum plus
+/// the transient's recovery-ladder action count.
 pub(crate) fn simulate_glitch(
     sim: &Simulator<'_>,
     causer_scenario: &Scenario,
     e_c: InputEvent,
     e_b: InputEvent,
     output_edge: Edge,
-) -> Result<f64, ModelError> {
+) -> Result<(f64, usize), ModelError> {
     // Shift both events positive, mirroring Simulator::simulate.
     let t_min = e_c.ramp.t_start.min(e_b.ramp.t_start);
     let shift = 0.2e-9 - t_min.min(0.0);
@@ -254,10 +259,11 @@ pub(crate) fn simulate_glitch(
     let options = proxim_spice::tran::TranOptions::to(t_stop).with_dv_max(sim.dv_max);
     let result = net.circuit.tran(&options)?;
     let out = result.waveform(net.out);
-    Ok(match output_edge {
+    let peak = match output_edge {
         Edge::Falling => out.min().1,
         Edge::Rising => out.max().1,
-    })
+    };
+    Ok((peak, result.recovery.total()))
 }
 
 fn settle(sim: &Simulator<'_>) -> f64 {
@@ -269,6 +275,7 @@ fn settle(sim: &Simulator<'_>) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::thresholds::Thresholds;

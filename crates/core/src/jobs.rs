@@ -10,13 +10,17 @@
 //! Because assembly consumes outcomes strictly by job index, the resulting
 //! model is byte-identical regardless of worker count or scheduling: thread
 //! interleaving decides only *when* a slot is filled, never *what* ends up
-//! in it. Errors keep the same determinism — assembly surfaces the first
-//! failed job in index order.
+//! in it. Failures keep the same determinism — a failed simulation becomes
+//! a typed [`JobOutcome::Failed`] in its own slot, each job runs under
+//! [`std::panic::catch_unwind`] supervision so one pathological job cannot
+//! poison the pool, and assembly surfaces the first failed job in index
+//! order.
 
 use crate::characterize::Simulator;
 use crate::error::ModelError;
 use crate::measure::{InputEvent, Scenario};
 use proxim_numeric::pwl::Edge;
+use proxim_spice::AnalysisError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The stimulus of one independent characterization transient.
@@ -115,37 +119,62 @@ pub enum JobOutcome {
     },
     /// The output-voltage extremum of a [`Stimulus::Glitch`] job, in volts.
     Peak(f64),
+    /// The job did not produce a measurement: the simulation errored, or
+    /// the worker supervising it caught a panic. The batch survives — the
+    /// failure occupies the job's slot so assembly stays index-ordered.
+    Failed {
+        /// Index of the failed job within its batch.
+        job: usize,
+        /// What went wrong.
+        reason: ModelError,
+    },
 }
 
 impl JobOutcome {
     /// The `(delay, trans)` pair of a response outcome.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the outcome is a glitch peak — assembly routing is static,
-    /// so a mismatch is a logic bug, not a data error.
-    pub fn response(&self) -> (f64, f64) {
+    /// A [`Self::Failed`] outcome surfaces its recorded reason; a glitch
+    /// peak (a static mis-routing, which deterministic enumeration should
+    /// make impossible) surfaces as [`ModelError::Table`].
+    pub fn response(&self) -> Result<(f64, f64), ModelError> {
         match self {
-            Self::Response { delay, trans, .. } => (*delay, *trans),
-            Self::Peak(_) => panic!("expected an events response, got a glitch peak"),
+            Self::Response { delay, trans, .. } => Ok((*delay, *trans)),
+            Self::Failed { reason, .. } => Err(reason.clone()),
+            Self::Peak(_) => Err(ModelError::Table(
+                "expected an events response, got a glitch peak".into(),
+            )),
         }
     }
 
     /// The extremum voltage of a glitch outcome.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the outcome is an events response.
-    pub fn peak(&self) -> f64 {
+    /// Mirrors [`Self::response`] with the roles swapped.
+    pub fn peak(&self) -> Result<f64, ModelError> {
         match self {
-            Self::Peak(v) => *v,
-            Self::Response { .. } => panic!("expected a glitch peak, got an events response"),
+            Self::Peak(v) => Ok(*v),
+            Self::Failed { reason, .. } => Err(reason.clone()),
+            Self::Response { .. } => Err(ModelError::Table(
+                "expected a glitch peak, got an events response".into(),
+            )),
+        }
+    }
+
+    /// The failure reason, if this outcome is a [`Self::Failed`].
+    pub fn failure(&self) -> Option<&ModelError> {
+        match self {
+            Self::Failed { reason, .. } => Some(reason),
+            _ => None,
         }
     }
 }
 
-/// Executes one job against the simulator.
-fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<JobOutcome, ModelError> {
+/// Executes one job against the simulator, also reporting how many
+/// recovery-ladder actions the underlying transient needed.
+fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<(JobOutcome, usize), ModelError> {
     match &job.stimulus {
         Stimulus::Events {
             events,
@@ -174,26 +203,83 @@ fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<JobOutcome, ModelError> 
             } else {
                 None
             };
-            Ok(JobOutcome::Response {
-                output_edge: r.output_edge,
-                delay,
-                trans,
-                wide,
-            })
+            Ok((
+                JobOutcome::Response {
+                    output_edge: r.output_edge,
+                    delay,
+                    trans,
+                    wide,
+                },
+                r.recoveries,
+            ))
         }
         Stimulus::Glitch {
             scenario,
             causer,
             blocker,
         } => {
-            let v = crate::glitch::simulate_glitch(
+            let (v, recoveries) = crate::glitch::simulate_glitch(
                 sim,
                 scenario,
                 *causer,
                 *blocker,
                 scenario.output_edge,
             )?;
-            Ok(JobOutcome::Peak(v))
+            Ok((JobOutcome::Peak(v), recoveries))
+        }
+    }
+}
+
+/// Runs one job under panic supervision: a simulation error or a caught
+/// panic becomes a typed [`JobOutcome::Failed`] in the job's slot instead of
+/// unwinding into (and poisoning) the worker pool.
+fn run_supervised(sim: &Simulator<'_>, i: usize, job: &SimJob) -> (JobOutcome, usize) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(sim, job))) {
+        Ok(Ok((outcome, recoveries))) => (outcome, recoveries),
+        Ok(Err(reason)) => (JobOutcome::Failed { job: i, reason }, 0),
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            let reason = ModelError::Simulation(AnalysisError::Aborted {
+                analysis: "characterization job".into(),
+                detail: format!("job panicked: {detail}"),
+            });
+            (JobOutcome::Failed { job: i, reason }, 0)
+        }
+    }
+}
+
+/// The result of executing a batch of jobs: one outcome per job (in job
+/// order, failures included) plus batch-level resilience telemetry.
+#[derive(Debug, Clone)]
+pub struct JobBatch {
+    /// One outcome per job, in job order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Total recovery-ladder actions across all transients in the batch.
+    pub recoveries: usize,
+    /// Number of [`JobOutcome::Failed`] entries.
+    pub failed_jobs: usize,
+}
+
+impl JobBatch {
+    fn collect(pairs: impl Iterator<Item = (JobOutcome, usize)>) -> Self {
+        let mut outcomes = Vec::new();
+        let mut recoveries = 0;
+        let mut failed_jobs = 0;
+        for (o, r) in pairs {
+            recoveries += r;
+            if matches!(o, JobOutcome::Failed { .. }) {
+                failed_jobs += 1;
+            }
+            outcomes.push(o);
+        }
+        Self {
+            outcomes,
+            recoveries,
+            failed_jobs,
         }
     }
 }
@@ -206,20 +292,27 @@ fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<JobOutcome, ModelError> 
 /// run 10× longer than a fast single-input row). Results are written back
 /// by index, making the output independent of scheduling.
 ///
+/// Every job runs under [`catch_unwind`](std::panic::catch_unwind)
+/// supervision, and a worker thread that dies anyway (a panic outside the
+/// supervised region) only loses its own claimed jobs: the batch marks
+/// those slots [`JobOutcome::Failed`] and the surviving workers' results
+/// are still assembled.
+///
 /// `threads == 1` (or a batch of at most one job) runs inline on the caller
 /// thread with no pool at all.
-pub fn execute_jobs(
-    sim: &Simulator<'_>,
-    jobs: &[SimJob],
-    threads: usize,
-) -> Vec<Result<JobOutcome, ModelError>> {
+pub fn execute_jobs(sim: &Simulator<'_>, jobs: &[SimJob], threads: usize) -> JobBatch {
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(|j| run_job(sim, j)).collect();
+        return JobBatch::collect(
+            jobs.iter()
+                .enumerate()
+                .map(|(i, j)| run_supervised(sim, i, j)),
+        );
     }
 
     let workers = threads.min(jobs.len());
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<JobOutcome, ModelError>>> = vec![None; jobs.len()];
+    let mut results: Vec<Option<(JobOutcome, usize)>> = vec![None; jobs.len()];
+    let mut worker_panic: Option<String> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -231,43 +324,70 @@ pub fn execute_jobs(
                         if i >= jobs.len() {
                             break;
                         }
-                        local.push((i, run_job(sim, &jobs[i])));
+                        local.push((i, run_supervised(sim, i, &jobs[i])));
                     }
                     local
                 })
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("characterization worker panicked") {
-                results[i] = Some(r);
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        results[i] = Some(r);
+                    }
+                }
+                Err(payload) => {
+                    // The worker died outside job supervision; its claimed
+                    // slots stay `None` and are marked failed below.
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    worker_panic.get_or_insert(detail);
+                }
             }
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("every job index was claimed by exactly one worker"))
-        .collect()
+    let worker_panic = worker_panic.unwrap_or_else(|| "worker lost".into());
+    JobBatch::collect(results.into_iter().enumerate().map(|(i, slot)| {
+        slot.unwrap_or_else(|| {
+            (
+                JobOutcome::Failed {
+                    job: i,
+                    reason: ModelError::Simulation(AnalysisError::Aborted {
+                        analysis: "characterization worker".into(),
+                        detail: format!("worker panicked: {worker_panic}"),
+                    }),
+                },
+                0,
+            )
+        })
+    }))
 }
 
-/// Scans a span of outcomes and surfaces the first error in job order,
-/// otherwise hands back the successful outcomes. This keeps error behavior
-/// identical between sequential and parallel runs.
-pub fn first_error(
-    outcomes: &[Result<JobOutcome, ModelError>],
-) -> Result<Vec<&JobOutcome>, ModelError> {
+/// Scans a span of outcomes and surfaces the first failure in job order,
+/// otherwise hands back the outcomes. This keeps error behavior identical
+/// between sequential and parallel runs.
+///
+/// # Errors
+///
+/// Returns the recorded reason of the first [`JobOutcome::Failed`].
+pub fn first_error(outcomes: &[JobOutcome]) -> Result<Vec<&JobOutcome>, ModelError> {
     let mut ok = Vec::with_capacity(outcomes.len());
-    for r in outcomes {
-        match r {
-            Ok(o) => ok.push(o),
-            Err(e) => return Err(e.clone()),
+    for o in outcomes {
+        match o.failure() {
+            Some(e) => return Err(e.clone()),
+            None => ok.push(o),
         }
     }
     Ok(ok)
 }
 
-/// Counters describing one characterization run (satisfying the perf
-/// acceptance criteria: cache behavior and simulation volume are observable,
-/// not inferred).
+/// Counters describing one characterization run (satisfying the perf and
+/// resilience acceptance criteria: cache behavior, simulation volume, and
+/// degradation are observable, not inferred).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CharStats {
     /// Models served from the on-disk cache without simulating.
@@ -275,10 +395,20 @@ pub struct CharStats {
     /// Models characterized from scratch (including cache-corruption
     /// fallbacks).
     pub cache_misses: usize,
+    /// Corrupt cache entries quarantined (renamed aside) before
+    /// recharacterizing.
+    pub cache_quarantined: usize,
     /// Transient simulations actually run.
     pub sims_run: usize,
     /// Worker threads used for the batched phases.
     pub threads: usize,
+    /// Recovery-ladder actions across all transients (damped retries, gmin
+    /// continuations, step cuts, run restarts).
+    pub recoveries: usize,
+    /// Jobs that produced [`JobOutcome::Failed`] instead of a measurement.
+    pub failed_jobs: usize,
+    /// Model slices dropped (marked degraded) because their jobs failed.
+    pub degraded_slices: usize,
     /// Wall-clock seconds per pipeline phase.
     pub phases: PhaseTimes,
 }
@@ -304,6 +434,7 @@ impl PhaseTimes {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::thresholds::Thresholds;
@@ -323,20 +454,30 @@ mod tests {
             .collect();
         let seq = execute_jobs(&sim, &jobs, 1);
         let par = execute_jobs(&sim, &jobs, 4);
-        assert_eq!(seq.len(), par.len());
-        for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
             // Bit-exact: the same job runs the same deterministic transient
             // regardless of which thread picks it up.
-            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a, b);
         }
+        assert_eq!(seq.recoveries, par.recoveries);
+        assert_eq!(seq.failed_jobs, 0);
+        assert_eq!(par.failed_jobs, 0);
     }
 
     #[test]
     fn errors_surface_in_job_order() {
-        let bad = Ok(JobOutcome::Peak(1.0));
-        let err1 = Err(ModelError::Table("first".into()));
-        let err2 = Err(ModelError::Table("second".into()));
-        let outcomes = vec![bad, err1, err2];
+        let outcomes = vec![
+            JobOutcome::Peak(1.0),
+            JobOutcome::Failed {
+                job: 1,
+                reason: ModelError::Table("first".into()),
+            },
+            JobOutcome::Failed {
+                job: 2,
+                reason: ModelError::Table("second".into()),
+            },
+        ];
         match first_error(&outcomes) {
             Err(ModelError::Table(s)) => assert_eq!(s, "first"),
             other => panic!("expected the first error, got {other:?}"),
@@ -344,14 +485,55 @@ mod tests {
     }
 
     #[test]
+    fn failed_outcomes_surface_through_accessors() {
+        let failed = JobOutcome::Failed {
+            job: 3,
+            reason: ModelError::Table("boom".into()),
+        };
+        assert_eq!(failed.response(), Err(ModelError::Table("boom".into())));
+        assert_eq!(failed.peak(), Err(ModelError::Table("boom".into())));
+        assert!(failed.failure().is_some());
+        // Mis-routed kinds are typed errors, not panics.
+        assert!(JobOutcome::Peak(1.0).response().is_err());
+        let resp = JobOutcome::Response {
+            output_edge: Edge::Rising,
+            delay: 1.0,
+            trans: 2.0,
+            wide: None,
+        };
+        assert!(resp.peak().is_err());
+        assert_eq!(resp.response().unwrap(), (1.0, 2.0));
+        assert!(resp.failure().is_none());
+    }
+
+    #[test]
+    fn an_unsensitizable_job_fails_without_poisoning_the_batch() {
+        let (cell, tech) = env();
+        let sim = Simulator::new(&cell, &tech, Thresholds::new(1.2, 3.4, 5.0), 100e-15, 0.1);
+        // Opposite-direction events on a NAND are rejected by scenario
+        // resolution — a simulation-level failure, not a panic.
+        let bad = SimJob::events(vec![
+            InputEvent::new(0, Edge::Rising, 0.0, 300e-12),
+            InputEvent::new(1, Edge::Falling, 0.0, 300e-12),
+        ]);
+        let good = SimJob::events(vec![InputEvent::new(0, Edge::Rising, 0.0, 300e-12)]);
+        let batch = execute_jobs(&sim, &[bad, good.clone(), good], 2);
+        assert_eq!(batch.failed_jobs, 1);
+        assert!(batch.outcomes[0].failure().is_some());
+        assert!(batch.outcomes[1].failure().is_none());
+        assert!(batch.outcomes[2].failure().is_none());
+        assert!(first_error(&batch.outcomes).is_err());
+    }
+
+    #[test]
     fn load_override_changes_the_simulated_load() {
         let (cell, tech) = env();
         let sim = Simulator::new(&cell, &tech, Thresholds::new(1.2, 3.4, 5.0), 100e-15, 0.1);
         let ev = vec![InputEvent::new(0, Edge::Rising, 0.0, 400e-12)];
-        let at_ref = run_job(&sim, &SimJob::events(ev.clone())).unwrap();
-        let at_big = run_job(&sim, &SimJob::events_at_load(ev, 400e-15)).unwrap();
-        let (d_ref, _) = at_ref.response();
-        let (d_big, _) = at_big.response();
+        let (at_ref, _) = run_job(&sim, &SimJob::events(ev.clone())).unwrap();
+        let (at_big, _) = run_job(&sim, &SimJob::events_at_load(ev, 400e-15)).unwrap();
+        let (d_ref, _) = at_ref.response().unwrap();
+        let (d_big, _) = at_big.response().unwrap();
         assert!(
             d_big > d_ref,
             "larger load must be slower: {d_big} vs {d_ref}"

@@ -60,6 +60,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod algorithm;
 pub mod analytic;
@@ -81,5 +82,5 @@ pub mod validate;
 
 pub use error::ModelError;
 pub use measure::InputEvent;
-pub use model::{GateTiming, ProximityModel};
+pub use model::{DegradedReason, DegradedSlice, GateTiming, ProximityModel, SliceKind};
 pub use thresholds::{Thresholds, VtcCurve, VtcFamily};

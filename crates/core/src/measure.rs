@@ -246,12 +246,7 @@ pub fn causing_rank(
     let out0 = cell.output_for(&levels);
 
     let mut order: Vec<usize> = (0..events.len()).collect();
-    order.sort_by(|&a, &b| {
-        events[a]
-            .arrival(th)
-            .partial_cmp(&events[b].arrival(th))
-            .expect("arrival times are finite")
-    });
+    order.sort_by(|&a, &b| events[a].arrival(th).total_cmp(&events[b].arrival(th)));
     for (rank, &k) in order.iter().enumerate() {
         let e = &events[k];
         levels[e.pin] = e.edge() == Edge::Rising; // final rail
@@ -316,6 +311,7 @@ pub fn measure_transition(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

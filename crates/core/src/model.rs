@@ -16,7 +16,7 @@ use crate::glitch::GlitchModel;
 use crate::jobs::{execute_jobs, first_error, CharStats, SimJob};
 use crate::measure::{InputEvent, Scenario};
 use crate::nldm::LoadSlewModel;
-use crate::single::SingleInputModel;
+use crate::single::{edge_as_bool, SingleInputModel};
 use crate::thresholds::{extract_vtc_family, Thresholds, VtcFamily};
 use proxim_cells::{Cell, Technology};
 use proxim_numeric::pwl::Edge;
@@ -37,6 +37,59 @@ pub struct GateTiming {
     pub output_edge: Edge,
     /// Number of inputs that fell inside the proximity window.
     pub inputs_in_window: usize,
+    /// `Some` when the answer was produced by a documented fallback
+    /// because a characterization slice was degraded (see
+    /// [`ProximityModel::degraded_slices`]); `None` for full-fidelity
+    /// answers.
+    pub degradation: Option<DegradedReason>,
+}
+
+/// Why a [`GateTiming`] answer fell back to a lower-fidelity path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The dual-input proximity table for the dominant pin was degraded
+    /// during characterization; the query composed single-input responses
+    /// only — the paper's exact behaviour outside the proximity window
+    /// (`s_ij >= Δ_i⁽¹⁾`), approximate inside it.
+    DualSliceMissing,
+    /// The NLDM load–slew surface was degraded; an off-reference-load
+    /// query used the fixed-load dimensionless form instead.
+    NldmSliceMissing,
+}
+
+/// Which kind of characterization slice a [`DegradedSlice`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SliceKind {
+    /// A single-input macromodel (§3).
+    Single,
+    /// A dual-input proximity table (§3).
+    Dual,
+    /// An NLDM-style load–slew surface.
+    LoadSlew,
+    /// A glitch peak table (§6).
+    Glitch,
+    /// A simultaneous-step correction term (§4).
+    Correction,
+}
+
+/// Provenance for one characterization slice that failed and was dropped
+/// instead of failing the whole characterization.
+///
+/// Only *data-dependent* failures degrade
+/// ([`ModelError::is_slice_degradable`]); configuration errors still fail
+/// [`ProximityModel::characterize`] outright.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DegradedSlice {
+    /// What kind of slice was lost.
+    pub kind: SliceKind,
+    /// The pin the slice belonged to (the dominant pin for duals, the
+    /// causer for glitches, the reference pin for corrections).
+    pub pin: usize,
+    /// The input edge the slice covered.
+    #[serde(with = "edge_as_bool")]
+    pub edge: Edge,
+    /// The rendered error that killed the slice's jobs.
+    pub reason: String,
 }
 
 fn eidx(edge: Edge) -> usize {
@@ -70,6 +123,9 @@ pub struct ProximityModel {
     nldm: Vec<[Option<LoadSlewModel>; 2]>,
     /// Glitch models, at most one per causer edge.
     glitches: Vec<GlitchModel>,
+    /// Slices that failed characterization and were dropped with
+    /// provenance instead of failing the whole model.
+    degraded: Vec<DegradedSlice>,
 }
 
 impl ProximityModel {
@@ -141,18 +197,34 @@ impl ProximityModel {
                 }
             }
         }
-        let outcomes = execute_jobs(&sim, &jobs, threads);
+        let batch = execute_jobs(&sim, &jobs, threads);
         stats.sims_run += jobs.len();
+        stats.recoveries += batch.recoveries;
+        stats.failed_jobs += batch.failed_jobs;
+        let mut degraded: Vec<DegradedSlice> = Vec::new();
         let mut singles: Vec<[Option<SingleInputModel>; 2]> = vec![[None, None]; n];
         for (&(pin, edge), &(start, len)) in single_specs.iter().zip(&spans) {
-            let ok = first_error(&outcomes[start..start + len])?;
-            singles[pin][eidx(edge)] = Some(SingleInputModel::assemble(
-                &sim,
-                pin,
-                edge,
-                &opts.tau_grid,
-                &ok,
-            )?);
+            match first_error(&batch.outcomes[start..start + len]) {
+                Ok(ok) => {
+                    singles[pin][eidx(edge)] = Some(SingleInputModel::assemble(
+                        &sim,
+                        pin,
+                        edge,
+                        &opts.tau_grid,
+                        &ok,
+                    )?);
+                }
+                // A degraded single also suppresses every slice that would
+                // have been built on top of it: phase 3 skips missing
+                // singles.
+                Err(e) if e.is_slice_degradable() => degraded.push(DegradedSlice {
+                    kind: SliceKind::Single,
+                    pin,
+                    edge,
+                    reason: e.to_string(),
+                }),
+                Err(e) => return Err(e),
+            }
         }
         stats.phases.singles = t0.elapsed().as_secs_f64();
 
@@ -256,8 +328,10 @@ impl ProximityModel {
                 });
             }
         }
-        let outcomes = execute_jobs(&sim, &jobs, threads);
+        let batch = execute_jobs(&sim, &jobs, threads);
         stats.sims_run += jobs.len();
+        stats.recoveries += batch.recoveries;
+        stats.failed_jobs += batch.failed_jobs;
 
         let mut duals: Vec<[Option<DualInputModel>; 2]> = vec![[None, None]; n];
         let mut extra_duals = Vec::new();
@@ -268,10 +342,31 @@ impl ProximityModel {
         };
         let mut glitches = Vec::new();
         for (spec, &(start, len)) in specs.iter().zip(&spans) {
-            let ok = first_error(&outcomes[start..start + len])?;
+            let (kind, pin, edge) = match *spec {
+                PairSpec::Dual { pin, edge, .. } => (SliceKind::Dual, pin, edge),
+                PairSpec::Nldm { pin, edge } => (SliceKind::LoadSlew, pin, edge),
+                PairSpec::Glitch { causer, edge, .. } => (SliceKind::Glitch, causer, edge),
+            };
+            let ok = match first_error(&batch.outcomes[start..start + len]) {
+                Ok(ok) => ok,
+                Err(e) if e.is_slice_degradable() => {
+                    degraded.push(DegradedSlice {
+                        kind,
+                        pin,
+                        edge,
+                        reason: e.to_string(),
+                    });
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             match *spec {
                 PairSpec::Dual { pin, edge, partner } => {
-                    let single = singles[pin][eidx(edge)].as_ref().expect("enumerated");
+                    let Some(single) = singles[pin][eidx(edge)].as_ref() else {
+                        return Err(ModelError::Table(
+                            "dual assembly lost its single-input model".into(),
+                        ));
+                    };
                     let m = DualInputModel::assemble(
                         opts.c_load,
                         single,
@@ -288,7 +383,11 @@ impl ProximityModel {
                     }
                 }
                 PairSpec::Nldm { pin, edge } => {
-                    let load_grid = opts.load_grid.as_ref().expect("enumerated");
+                    let Some(load_grid) = opts.load_grid.as_ref() else {
+                        return Err(ModelError::Table(
+                            "load-slew assembly lost its load grid".into(),
+                        ));
+                    };
                     nldm[pin][eidx(edge)] = Some(LoadSlewModel::assemble(
                         pin,
                         edge,
@@ -302,7 +401,11 @@ impl ProximityModel {
                     edge,
                     blocker,
                 } => {
-                    let single = singles[causer][eidx(edge)].as_ref().expect("enumerated");
+                    let Some(single) = singles[causer][eidx(edge)].as_ref() else {
+                        return Err(ModelError::Table(
+                            "glitch assembly lost its single-input model".into(),
+                        ));
+                    };
                     glitches.push(GlitchModel::assemble(
                         tech.vdd,
                         single,
@@ -331,6 +434,7 @@ impl ProximityModel {
             ramp_stretch: [1.0; 2],
             nldm,
             glitches,
+            degraded,
         };
 
         // Phase 4 (sequential): the two small calibration passes. Each is a
@@ -381,21 +485,39 @@ impl ProximityModel {
                     Ok(t) => t,
                     Err(_) => continue,
                 };
-                let r = sim.simulate(&events)?;
-                stats.sims_run += 1;
-                let k_ref = events
-                    .iter()
-                    .position(|e| e.pin == model_t.reference_pin)
-                    .expect("reference pin comes from the events");
-                let d_sim = r.delay_from(k_ref, &thresholds)?;
-                let t_sim = r.transition_time(&thresholds)?;
-                model.corrections[eidx(r.output_edge)] = CorrectionTerm {
-                    delay: d_sim - model_t.delay,
-                    trans: t_sim - model_t.output_transition,
+                let Some(k_ref) = events.iter().position(|e| e.pin == model_t.reference_pin) else {
+                    return Err(ModelError::Table(
+                        "correction reference pin is not among the step events".into(),
+                    ));
                 };
+                let term = (|| -> Result<CorrectionTerm, ModelError> {
+                    let r = sim.simulate(&events)?;
+                    let d_sim = r.delay_from(k_ref, &thresholds)?;
+                    let t_sim = r.transition_time(&thresholds)?;
+                    Ok(CorrectionTerm {
+                        delay: d_sim - model_t.delay,
+                        trans: t_sim - model_t.output_transition,
+                    })
+                })();
+                stats.sims_run += 1;
+                match term {
+                    Ok(term) => {
+                        model.corrections[eidx(model_t.output_edge)] = term;
+                    }
+                    // A lost correction degrades the slice to the
+                    // uncorrected composition (the zero default term).
+                    Err(e) if e.is_slice_degradable() => model.degraded.push(DegradedSlice {
+                        kind: SliceKind::Correction,
+                        pin: model_t.reference_pin,
+                        edge,
+                        reason: e.to_string(),
+                    }),
+                    Err(e) => return Err(e),
+                }
             }
         }
         stats.phases.finish = t0.elapsed().as_secs_f64();
+        stats.degraded_slices = model.degraded.len();
 
         Ok((model, stats))
     }
@@ -481,6 +603,7 @@ impl ProximityModel {
         // surfaces (when characterized) are the accurate source of
         // Δ⁽¹⁾/τ⁽¹⁾ (see crate::nldm).
         let off_reference = !(0.7..=1.4).contains(&(c_load / self.c_ref));
+        let mut degradation: Option<DegradedReason> = None;
         let mut ranked = Vec::with_capacity(events.len());
         for e in events {
             let single =
@@ -493,7 +616,16 @@ impl ProximityModel {
                 Some(nldm) if off_reference => {
                     (nldm.delay(tau, c_load), nldm.transition(tau, c_load))
                 }
-                _ => (single.delay(tau, c_load), single.transition(tau, c_load)),
+                _ => {
+                    // An off-reference query that *would* have used a
+                    // load–slew surface lost it to degradation: fall back
+                    // to the fixed-load dimensionless form, with
+                    // provenance.
+                    if off_reference && self.slice_degraded(SliceKind::LoadSlew, e.pin, edge) {
+                        degradation = Some(DegradedReason::NldmSliceMissing);
+                    }
+                    (single.delay(tau, c_load), single.transition(tau, c_load))
+                }
             };
             ranked.push(RankedEvent {
                 event: *e,
@@ -511,13 +643,25 @@ impl ProximityModel {
 
         // Pair-aware lookup: prefer an exact (dominant, partner) model when
         // the full matrix was characterized, fall back to the paper's 2n
-        // scheme (one model per dominant pin).
+        // scheme (one model per dominant pin). When the miss is a *degraded*
+        // dual (not a structurally absent one, e.g. an inverter), record it:
+        // `compose` then degenerates to the single-input response — exact
+        // outside the proximity window, the documented fallback inside it.
+        let dual_degraded = std::cell::Cell::new(false);
         let lookup = |dom: usize, partner: usize| -> Option<&DualInputModel> {
-            self.dual_model_for_pair(dom, partner, edge)
-                .or_else(|| self.duals.get(dom)?.get(eidx(edge))?.as_ref())
+            let m = self
+                .dual_model_for_pair(dom, partner, edge)
+                .or_else(|| self.duals.get(dom)?.get(eidx(edge))?.as_ref());
+            if m.is_none() && self.slice_degraded(SliceKind::Dual, dom, edge) {
+                dual_degraded.set(true);
+            }
+            m
         };
         let correction = self.corrections[eidx(scenario.output_edge)];
         let outcome = compose(&ranked, &lookup, correction, use_correction, or_like);
+        if dual_degraded.get() {
+            degradation = Some(DegradedReason::DualSliceMissing);
+        }
 
         Ok(GateTiming {
             reference_pin: outcome.reference_pin,
@@ -526,6 +670,7 @@ impl ProximityModel {
             output_arrival: outcome.output_arrival,
             output_edge: scenario.output_edge,
             inputs_in_window: outcome.inputs_in_window,
+            degradation,
         })
     }
 
@@ -616,6 +761,24 @@ impl ProximityModel {
         }
     }
 
+    /// Slices that failed characterization with a data-dependent error and
+    /// were dropped with provenance instead of failing the whole model.
+    pub fn degraded_slices(&self) -> &[DegradedSlice] {
+        &self.degraded
+    }
+
+    /// Whether any characterization slice was degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
+    /// Whether a specific `(kind, pin, edge)` slice was degraded.
+    fn slice_degraded(&self, kind: SliceKind, pin: usize, edge: Edge) -> bool {
+        self.degraded
+            .iter()
+            .any(|d| d.kind == kind && d.pin == pin && d.edge == edge)
+    }
+
     /// Extra dual models characterized under the full-matrix option.
     pub fn extra_dual_models(&self) -> &[DualInputModel] {
         &self.extra_duals
@@ -673,6 +836,7 @@ impl ProximityModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

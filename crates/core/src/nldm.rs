@@ -58,13 +58,13 @@ impl LoadSlewModel {
         load_grid: &[f64],
     ) -> Result<Self, ModelError> {
         let jobs = Self::enumerate(pin, input_edge, tau_grid, load_grid)?;
-        let outcomes = execute_jobs(sim, &jobs, 1);
+        let batch = execute_jobs(sim, &jobs, 1);
         Self::assemble(
             pin,
             input_edge,
             tau_grid,
             load_grid,
-            &first_error(&outcomes)?,
+            &first_error(&batch.outcomes)?,
         )
     }
 
@@ -105,7 +105,7 @@ impl LoadSlewModel {
     ///
     /// # Panics
     ///
-    /// Panics if the outcomes do not match the enumeration (count or kind).
+    /// Panics if the outcome count does not match the enumeration.
     pub fn assemble(
         pin: usize,
         input_edge: Edge,
@@ -126,22 +126,29 @@ impl LoadSlewModel {
                 ..
             } = outcome
             else {
-                panic!("load-slew assembly expects events responses");
+                return Err(match outcome.failure() {
+                    Some(e) => e.clone(),
+                    None => ModelError::Table("load-slew assembly expects events responses".into()),
+                });
             };
             output_edge = Some(*oe);
             delays.push(*delay);
             transs.push(*trans);
         }
+        let Some(output_edge) = output_edge else {
+            return Err(ModelError::Table("load-slew grids produced no rows".into()));
+        };
         let ln_tau: Vec<f64> = tau_grid.iter().map(|t| t.ln()).collect();
         let ln_load: Vec<f64> = load_grid.iter().map(|c| c.ln()).collect();
         Ok(Self {
             pin,
             input_edge,
-            output_edge: output_edge.expect("grids are non-empty"),
+            output_edge,
             delay: Table2d::new(ln_tau.clone(), ln_load.clone(), delays)?,
             trans: Table2d::new(ln_tau, ln_load, transs)?,
-            tau_range: (tau_grid[0], *tau_grid.last().expect("non-empty")),
-            load_range: (load_grid[0], *load_grid.last().expect("non-empty")),
+            // Both grids were validated to hold at least two points.
+            tau_range: (tau_grid[0], tau_grid[tau_grid.len() - 1]),
+            load_range: (load_grid[0], load_grid[load_grid.len() - 1]),
         })
     }
 
@@ -183,6 +190,7 @@ impl LoadSlewModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::thresholds::Thresholds;

@@ -67,6 +67,12 @@ impl ProximityModel {
     }
 }
 
+/// On-disk model format version, part of every cache key. Bump whenever
+/// [`ProximityModel`]'s serialized shape changes so stale entries from an
+/// older build miss (and re-characterize) instead of failing to parse.
+/// v2: models carry the `degraded` slice provenance list.
+const MODEL_FORMAT_VERSION: u32 = 2;
+
 /// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms and
 /// runs (unlike `std`'s `DefaultHasher`, whose output is unspecified).
 fn fnv1a_64(bytes: &[u8]) -> u64 {
@@ -119,7 +125,7 @@ impl ModelCache {
             detail: e.to_string(),
         })?;
         let blob = format!(
-            "cell={cell_json}\ntech={tech_json}\nopts={}",
+            "fmt={MODEL_FORMAT_VERSION}\ncell={cell_json}\ntech={tech_json}\nopts={}",
             opts.cache_key_string()
         );
         Ok(fnv1a_64(blob.as_bytes()))
@@ -130,14 +136,22 @@ impl ModelCache {
         self.root.join(format!("{key:016x}.json"))
     }
 
+    /// The path a corrupt entry is quarantined at (the entry path with a
+    /// `.quarantined` suffix).
+    pub fn quarantined_path(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}.json.quarantined"))
+    }
+
     /// Characterizes through the cache: a stored model for the same cell,
     /// technology, and options is loaded with **zero** simulations;
     /// otherwise the model is characterized (honoring `opts.jobs`) and
     /// stored. `stats` accumulates hit/miss counters and, on a miss, the
     /// characterization telemetry.
     ///
-    /// A corrupt or unreadable cache entry counts as a miss and is
-    /// overwritten.
+    /// A corrupt (present but unparseable) cache entry counts as a miss:
+    /// it is quarantined aside — renamed to `.json.quarantined` for
+    /// post-mortem, counted in [`CharStats::cache_quarantined`] — and the
+    /// model is re-characterized and stored fresh.
     ///
     /// # Errors
     ///
@@ -150,16 +164,31 @@ impl ModelCache {
         opts: &CharacterizeOptions,
         stats: &mut CharStats,
     ) -> Result<ProximityModel, ModelError> {
-        let path = self.entry_path(Self::key(cell, tech, opts)?);
-        if let Ok(model) = ProximityModel::load(&path) {
-            stats.cache_hits += 1;
-            return Ok(model);
+        let key = Self::key(cell, tech, opts)?;
+        let path = self.entry_path(key);
+        match ProximityModel::load(&path) {
+            Ok(model) => {
+                stats.cache_hits += 1;
+                return Ok(model);
+            }
+            // The entry exists but does not parse: move it aside (best
+            // effort) so the bad bytes survive for inspection and cannot
+            // be mistaken for a valid entry again.
+            Err(_) if path.exists() => {
+                if fs::rename(&path, self.quarantined_path(key)).is_ok() {
+                    stats.cache_quarantined += 1;
+                }
+            }
+            Err(_) => {}
         }
         stats.cache_misses += 1;
         let (model, run) = ProximityModel::characterize_with_stats(cell, tech, opts)?;
         stats.sims_run += run.sims_run;
         stats.threads = run.threads;
         stats.phases = run.phases;
+        stats.recoveries += run.recoveries;
+        stats.failed_jobs += run.failed_jobs;
+        stats.degraded_slices += run.degraded_slices;
         fs::create_dir_all(&self.root).map_err(|e| ModelError::Persist {
             detail: e.to_string(),
         })?;
@@ -167,8 +196,9 @@ impl ModelCache {
         Ok(model)
     }
 
-    /// Deletes every cache entry (the `*.json` files under the root). Other
-    /// files are left alone; a missing root is fine.
+    /// Deletes every cache entry (the `*.json` files under the root) and
+    /// every quarantined entry (`*.json.quarantined`). Other files are left
+    /// alone; a missing root is fine.
     ///
     /// # Errors
     ///
@@ -180,7 +210,9 @@ impl ModelCache {
         };
         for entry in entries.flatten() {
             let p = entry.path();
-            if p.extension().is_some_and(|e| e == "json") {
+            if p.extension()
+                .is_some_and(|e| e == "json" || e == "quarantined")
+            {
                 fs::remove_file(&p).map_err(|e| ModelError::Persist {
                     detail: e.to_string(),
                 })?;
@@ -191,6 +223,7 @@ impl ModelCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::characterize::CharacterizeOptions;
@@ -350,22 +383,34 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entry_is_a_miss_and_is_repaired() {
+    fn corrupt_entry_is_quarantined_and_recharacterized() {
         let tech = Technology::demo_5v();
         let cell = Cell::inv();
         let opts = CharacterizeOptions::fast();
         let cache = fresh_cache("proxim_cache_test_corrupt");
 
-        let path = cache.entry_path(ModelCache::key(&cell, &tech, &opts).unwrap());
+        let key = ModelCache::key(&cell, &tech, &opts).unwrap();
+        let path = cache.entry_path(key);
         std::fs::create_dir_all(cache.root()).unwrap();
         std::fs::write(&path, "{definitely not a model").unwrap();
 
         let mut stats = CharStats::default();
         cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
         assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        assert_eq!(stats.cache_quarantined, 1);
 
-        // The entry was overwritten with a loadable model.
+        // The entry was replaced with a loadable model, and the corrupt
+        // bytes were moved aside rather than destroyed.
         assert!(ProximityModel::load(&path).is_ok());
+        let quarantined = cache.quarantined_path(key);
+        assert_eq!(
+            std::fs::read_to_string(&quarantined).unwrap(),
+            "{definitely not a model"
+        );
+
+        // A wipe removes quarantined entries along with live ones.
+        cache.wipe().unwrap();
+        assert!(!path.exists() && !quarantined.exists());
 
         std::fs::remove_dir_all(cache.root()).ok();
     }

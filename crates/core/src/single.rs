@@ -87,8 +87,14 @@ impl SingleInputModel {
         tau_grid: &[f64],
     ) -> Result<Self, ModelError> {
         let jobs = Self::enumerate(pin, input_edge, tau_grid)?;
-        let outcomes = execute_jobs(sim, &jobs, 1);
-        Self::assemble(sim, pin, input_edge, tau_grid, &first_error(&outcomes)?)
+        let batch = execute_jobs(sim, &jobs, 1);
+        Self::assemble(
+            sim,
+            pin,
+            input_edge,
+            tau_grid,
+            &first_error(&batch.outcomes)?,
+        )
     }
 
     /// Enumerates the characterization grid as independent simulation jobs,
@@ -118,11 +124,12 @@ impl SingleInputModel {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError`] if a table cannot be built.
+    /// Returns [`ModelError`] if a table cannot be built or an outcome is
+    /// not the events response the enumeration produced.
     ///
     /// # Panics
     ///
-    /// Panics if the outcomes do not match the enumeration (count or kind).
+    /// Panics if the outcome count does not match the enumeration.
     pub fn assemble(
         sim: &Simulator<'_>,
         pin: usize,
@@ -153,7 +160,12 @@ impl SingleInputModel {
                 wide,
             } = outcome
             else {
-                panic!("single-input assembly expects events responses");
+                return Err(match outcome.failure() {
+                    Some(e) => e.clone(),
+                    None => {
+                        ModelError::Table("single-input assembly expects events responses".into())
+                    }
+                });
             };
             output_edge = Some(*oe);
             rows.push((sim.c_load, tau, *delay, *trans));
@@ -166,7 +178,9 @@ impl SingleInputModel {
                 }
             }
         }
-        let output_edge = output_edge.expect("grid is non-empty");
+        let Some(output_edge) = output_edge else {
+            return Err(ModelError::Table("tau grid produced no rows".into()));
+        };
         let tail_factor = if tail_factors.is_empty() {
             1.0
         } else {
@@ -186,7 +200,7 @@ impl SingleInputModel {
             .iter()
             .map(|&(c, tau, d, t)| (c / (k * vdd * tau), d / tau, t / tau))
             .collect();
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("u values are finite"));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         // The two passes can produce near-identical u values; keep the axis
         // strictly increasing for the table.
         pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-12 * b.0.abs().max(1e-300));
@@ -288,6 +302,7 @@ impl SingleInputModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::characterize::Simulator;

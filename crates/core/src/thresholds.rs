@@ -201,7 +201,8 @@ fn analyze_curve(curve: &Pwl, vdd: f64) -> Result<(f64, f64, f64), ModelError> {
         });
     }
     let v_il = crossings[0];
-    let v_ih = *crossings.last().expect("nonempty by check above");
+    // Nonempty by the length check above.
+    let v_ih = crossings[crossings.len() - 1];
 
     // V_m: Vout = Vin, bracketed over the full sweep.
     let g = |v: f64| curve.eval(v) - v;
@@ -257,7 +258,9 @@ pub fn extract_vtc_family(
             samples.push((v, op.voltage(net.out)));
             prev = Some(op.raw().to_vec());
         }
-        let curve = Pwl::new(samples).expect("sweep grid is increasing");
+        let curve = Pwl::new(samples).map_err(|e| ModelError::MalformedVtc {
+            detail: format!("VTC sweep did not form a curve: {e}"),
+        })?;
         let (v_il, v_ih, v_m) = analyze_curve(&curve, tech.vdd).map_err(|e| match e {
             ModelError::MalformedVtc { detail } => ModelError::MalformedVtc {
                 detail: format!("mask {mask:#b}: {detail}"),
@@ -286,6 +289,7 @@ pub fn extract_vtc_family(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

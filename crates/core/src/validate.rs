@@ -149,10 +149,11 @@ pub fn validate(
 
         let predicted = model.gate_timing(&events)?;
         let r = sim.simulate(&events)?;
-        let k = events
-            .iter()
-            .position(|e| e.pin == predicted.reference_pin)
-            .expect("reference pin is among the events");
+        let Some(k) = events.iter().position(|e| e.pin == predicted.reference_pin) else {
+            return Err(ModelError::InvalidQuery {
+                detail: "reference pin is not among the scenario events".into(),
+            });
+        };
         let delay_sim = r.delay_from(k, &th)?;
         let trans_sim = r.transition_time(&th)?;
         configs.push(ValidatedConfig {
@@ -184,6 +185,7 @@ pub fn validate(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::characterize::CharacterizeOptions;

@@ -43,6 +43,8 @@ pub enum Waveform {
 impl Waveform {
     /// A step from `v0` to `v1` with a very fast (1 fs) linear edge starting
     /// at `t_step`.
+    // The two knots are strictly increasing by construction.
+    #[allow(clippy::expect_used)]
     pub fn step(v0: f64, t_step: f64, v1: f64) -> Self {
         Self::Pwl(Pwl::new(vec![(t_step, v0), (t_step + 1e-15, v1)]).expect("step knots are valid"))
     }
@@ -333,7 +335,7 @@ impl Circuit {
             })
             .flatten()
             .collect();
-        bps.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+        bps.sort_by(f64::total_cmp);
         bps.dedup();
         bps
     }
@@ -380,6 +382,7 @@ impl Circuit {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -175,6 +175,7 @@ pub fn eval_mosfet(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,283 @@
+//! Deterministic fault injection for the transient engine.
+//!
+//! Behind the `fault-injection` feature, this module lets tests fail a
+//! configurable fraction of Newton solves and timestep acceptances so the
+//! recovery ladder ([`crate::recover`]), per-job supervision, and model
+//! degradation paths are exercised end to end. With the feature disabled
+//! (the default) every hook compiles to a constant `false` and the engine is
+//! untouched.
+//!
+//! Determinism is the whole point: draws come from a splitmix64 stream
+//! seeded by the configured seed plus per-run *entropy* derived from the
+//! run's own parameters (`t_stop`, `dv_max`, system size, element count) —
+//! never from wall clock or thread identity — so a faulted characterization
+//! produces the same degraded slices no matter the worker count, and a
+//! zero-rate configuration is byte-identical to not injecting at all.
+//!
+//! Three independent knobs:
+//!
+//! - `newton_rate` — probability that any given Newton solve is failed
+//!   before it runs. These faults are transient: the recovery ladder is
+//!   expected to absorb them.
+//! - `accept_rate` — probability that a converged, accuracy-passing step is
+//!   rejected anyway (forcing a step cut). Exercises the adaptive-step path.
+//! - `kill_rate` — probability that an entire run is doomed: after a
+//!   per-run pseudorandom solve index, *every* subsequent solve faults, so
+//!   no rung of the ladder (nor a restart) can save it. This is what drives
+//!   `JobOutcome::Failed` and degraded model slices.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+#[cfg(feature = "fault-injection")]
+use std::sync::{Mutex, PoisonError};
+
+/// Fault-injection configuration. All rates are probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-solve probability of a transient Newton fault.
+    pub newton_rate: f64,
+    /// Per-accepted-step probability of a forced rejection.
+    pub accept_rate: f64,
+    /// Per-run probability of a terminal (unrecoverable) fault.
+    pub kill_rate: f64,
+    /// Seed mixed into every per-run stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// The inert configuration: every rate zero.
+    pub const DISARMED: Self = Self {
+        newton_rate: 0.0,
+        accept_rate: 0.0,
+        kill_rate: 0.0,
+        seed: 0,
+    };
+
+    /// Whether any fault can ever fire under this configuration.
+    pub fn is_armed(&self) -> bool {
+        self.newton_rate > 0.0 || self.accept_rate > 0.0 || self.kill_rate > 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::DISARMED
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+static CONFIG: Mutex<FaultConfig> = Mutex::new(FaultConfig::DISARMED);
+
+/// Installs a process-global fault configuration.
+///
+/// Tests that configure faults should serialize on their own lock and call
+/// [`disarm`] when done — the configuration is global state.
+#[cfg(feature = "fault-injection")]
+pub fn configure(cfg: FaultConfig) {
+    *CONFIG.lock().unwrap_or_else(PoisonError::into_inner) = cfg;
+}
+
+/// No-op stub: without the `fault-injection` feature nothing is installed.
+#[cfg(not(feature = "fault-injection"))]
+pub fn configure(_cfg: FaultConfig) {}
+
+/// Resets the process-global configuration to [`FaultConfig::DISARMED`].
+pub fn disarm() {
+    configure(FaultConfig::DISARMED);
+}
+
+/// The currently installed configuration.
+#[cfg(feature = "fault-injection")]
+pub fn current() -> FaultConfig {
+    *CONFIG.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Always [`FaultConfig::DISARMED`] without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+pub fn current() -> FaultConfig {
+    FaultConfig::DISARMED
+}
+
+/// splitmix64: tiny, high-quality, and stable across platforms.
+#[cfg(feature = "fault-injection")]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits.
+#[cfg(feature = "fault-injection")]
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Mixes a transient run's own parameters into per-run entropy. Using only
+/// run-intrinsic values (never thread identity or wall clock) keeps faulted
+/// characterizations deterministic across worker counts.
+pub fn run_entropy(t_stop: f64, dv_max: f64, unknowns: usize, elements: usize) -> u64 {
+    let mut state = t_stop.to_bits() ^ dv_max.to_bits().rotate_left(17);
+    state ^= (unknowns as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    state ^= (elements as u64).rotate_left(32);
+    // One scrambling round so nearby parameter sets decorrelate.
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(feature = "fault-injection")]
+struct Armed {
+    cfg: FaultConfig,
+    state: u64,
+    solves: u64,
+    /// Terminal fault: every solve after this index fails.
+    killed_after: Option<u64>,
+}
+
+/// A per-run stream of fault decisions. Cheap to construct; disarmed (or
+/// feature-off) streams compile to constant-false queries.
+pub(crate) struct FaultStream {
+    #[cfg(feature = "fault-injection")]
+    armed: Option<Armed>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl FaultStream {
+    /// Opens the stream for one transient run.
+    pub fn for_run(entropy: u64) -> Self {
+        let cfg = current();
+        if !cfg.is_armed() {
+            return Self { armed: None };
+        }
+        let mut state = cfg.seed ^ entropy.rotate_left(1);
+        // Per-run kill fate, drawn once so restarts cannot escape it.
+        let killed_after = if unit(&mut state) < cfg.kill_rate {
+            Some((splitmix64(&mut state) % 200) + 1)
+        } else {
+            None
+        };
+        Self {
+            armed: Some(Armed {
+                cfg,
+                state,
+                solves: 0,
+                killed_after,
+            }),
+        }
+    }
+
+    /// Whether the next Newton solve should be failed outright.
+    pub fn newton_fault(&mut self) -> bool {
+        let Some(a) = self.armed.as_mut() else {
+            return false;
+        };
+        a.solves += 1;
+        if let Some(after) = a.killed_after {
+            if a.solves > after {
+                return true;
+            }
+        }
+        a.cfg.newton_rate > 0.0 && unit(&mut a.state) < a.cfg.newton_rate
+    }
+
+    /// Whether a converged, accuracy-passing step should be rejected anyway.
+    pub fn accept_fault(&mut self) -> bool {
+        let Some(a) = self.armed.as_mut() else {
+            return false;
+        };
+        a.cfg.accept_rate > 0.0 && unit(&mut a.state) < a.cfg.accept_rate
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+impl FaultStream {
+    #[inline]
+    pub fn for_run(_entropy: u64) -> Self {
+        Self {}
+    }
+
+    #[inline]
+    pub fn newton_fault(&mut self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn accept_fault(&mut self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_config_is_inert() {
+        assert!(!FaultConfig::DISARMED.is_armed());
+        let mut s = FaultStream::for_run(run_entropy(1e-9, 0.05, 7, 9));
+        for _ in 0..100 {
+            assert!(!s.newton_fault());
+            assert!(!s.accept_fault());
+        }
+    }
+
+    #[test]
+    fn run_entropy_is_parameter_sensitive_and_stable() {
+        let a = run_entropy(1e-9, 0.05, 7, 9);
+        let b = run_entropy(1e-9, 0.05, 7, 9);
+        assert_eq!(a, b, "same parameters, same entropy");
+        assert_ne!(a, run_entropy(2e-9, 0.05, 7, 9));
+        assert_ne!(a, run_entropy(1e-9, 0.025, 7, 9));
+        assert_ne!(a, run_entropy(1e-9, 0.05, 8, 9));
+        assert_ne!(a, run_entropy(1e-9, 0.05, 7, 10));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn armed_stream_is_deterministic_and_rate_accurate() {
+        configure(FaultConfig {
+            newton_rate: 0.2,
+            accept_rate: 0.0,
+            kill_rate: 0.0,
+            seed: 42,
+        });
+        let draw = |entropy: u64| -> Vec<bool> {
+            let mut s = FaultStream::for_run(entropy);
+            (0..2000).map(|_| s.newton_fault()).collect()
+        };
+        let a = draw(0xDEAD_BEEF);
+        let b = draw(0xDEAD_BEEF);
+        assert_eq!(a, b, "same entropy must replay the same faults");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(
+            (300..500).contains(&hits),
+            "20% of 2000 solves should fault, got {hits}"
+        );
+        disarm();
+        assert!(!current().is_armed());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn killed_run_faults_forever_past_the_kill_index() {
+        configure(FaultConfig {
+            newton_rate: 0.0,
+            accept_rate: 0.0,
+            kill_rate: 1.0,
+            seed: 7,
+        });
+        let mut s = FaultStream::for_run(123);
+        let faults: Vec<bool> = (0..500).map(|_| s.newton_fault()).collect();
+        let first = faults.iter().position(|&f| f).expect("kill must fire");
+        assert!(first <= 200, "kill index bounded, got {first}");
+        assert!(
+            faults[first..].iter().all(|&f| f),
+            "terminal fault must persist"
+        );
+        disarm();
+    }
+}

@@ -41,17 +41,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod circuit;
 pub mod device;
+pub mod faultpoint;
 pub mod op;
+pub mod recover;
 pub mod solver;
 pub mod sweep;
 pub mod tran;
 
 pub use circuit::{Circuit, NodeId, Waveform};
 pub use device::{MosParams, MosType};
+pub use faultpoint::FaultConfig;
 pub use op::OpResult;
+pub use recover::{RecoveryPolicy, RecoveryTrace};
 pub use solver::AnalysisError;
 pub use sweep::DcSweepResult;
 pub use tran::{TranOptions, TranResult};

@@ -148,20 +148,17 @@ pub(crate) fn dc_solve_at(
     let steps = 40;
     for k in 0..=steps {
         let scale = k as f64 / steps as f64;
-        match newton_solve(&sys, &x, t, scale, GMIN, CapMode::Dc, &damped, &mut ws) {
-            NewtonOutcome::Converged(_) => std::mem::swap(&mut x, &mut ws.x),
-            NewtonOutcome::Failed => {
-                return Err(AnalysisError::NoConvergence {
-                    analysis: "dc operating point".into(),
-                    detail: format!("source stepping stalled at scale {scale:.2}"),
-                });
-            }
-        }
+        newton_solve(&sys, &x, t, scale, GMIN, CapMode::Dc, &damped, &mut ws)
+            .into_converged("dc operating point", || {
+                format!("source stepping stalled at scale {scale:.2}")
+            })?;
+        std::mem::swap(&mut x, &mut ws.x);
     }
     Ok(OpResult::from_x(ckt, x))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::circuit::Waveform;

@@ -1,0 +1,220 @@
+//! Transient recovery: the bounded ladder of escalating remedies applied
+//! when a Newton solve inside [`crate::tran`] refuses to converge.
+//!
+//! Real characterization flows survive bad operating points instead of
+//! aborting the batch: a failed solve first retries with heavier damping,
+//! then walks a gmin continuation back down to the nominal shunt, then cuts
+//! the time step, and — when a whole run dies at the minimum step — restarts
+//! the analysis with a halved `dt_init`/`dv_max`. Every rung is bounded, and
+//! every attempt is recorded in a [`RecoveryTrace`] so callers can observe
+//! (and aggregate) how hard the solver had to fight.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+
+/// Policy knobs for the transient recovery ladder.
+///
+/// The ladder is consulted from cheapest to most expensive remedy:
+///
+/// 1. **Damped retry** — re-solve the same step with a tight voltage-step
+///    clamp and a much larger iteration budget.
+/// 2. **Gmin stepping** — solve a sequence of easier systems with an
+///    inflated node-to-ground shunt, warm-starting each from the previous,
+///    ending at the nominal gmin.
+/// 3. **Step cut** — the classic remedy: quarter the time step (down to
+///    `dt_min`) and try again.
+/// 4. **Run restart** — when a run fails even at `dt_min`, restart the whole
+///    analysis with `dt_init` and `dv_max` halved, up to `max_restarts`
+///    times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Enable the damped re-solve rung.
+    pub damped_retry: bool,
+    /// Enable the gmin-stepping rung.
+    pub gmin_stepping: bool,
+    /// Full-run restarts with halved `dt_init`/`dv_max` (0 disables).
+    pub max_restarts: u32,
+    /// Watchdog budget on Newton solve *attempts* per transient run
+    /// (restarts included); 0 means unlimited. A run that exceeds it is
+    /// aborted with [`crate::AnalysisError::Aborted`] — this is what keeps
+    /// one pathological job from wedging a whole characterization pool.
+    pub step_budget: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            damped_retry: true,
+            gmin_stepping: true,
+            max_restarts: 2,
+            // Well-behaved characterization transients take ~1e3–1e5 solves;
+            // this bounds a wedged run without ever firing on a healthy one.
+            step_budget: 2_000_000,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy with every rung disabled and no watchdog: the pre-recovery
+    /// behavior (fail on the first `dt_min` exhaustion).
+    pub fn disabled() -> Self {
+        Self {
+            damped_retry: false,
+            gmin_stepping: false,
+            max_restarts: 0,
+            step_budget: 0,
+        }
+    }
+}
+
+/// Which rung of the ladder an attempt used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStage {
+    /// Damped re-solve of the same step.
+    DampedRetry,
+    /// Gmin continuation at the same step.
+    GminStepping,
+    /// Time-step cut after both in-place rungs failed.
+    StepCut,
+    /// Whole-run restart with halved `dt_init`/`dv_max`.
+    RunRestart,
+}
+
+impl fmt::Display for RecoveryStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DampedRetry => write!(f, "damped retry"),
+            Self::GminStepping => write!(f, "gmin stepping"),
+            Self::StepCut => write!(f, "step cut"),
+            Self::RunRestart => write!(f, "run restart"),
+        }
+    }
+}
+
+/// One recorded rung attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryAttempt {
+    /// The rung used.
+    pub stage: RecoveryStage,
+    /// Simulation time of the failing step, in seconds.
+    pub t: f64,
+    /// Step size in effect when the rung fired, in seconds.
+    pub dt: f64,
+    /// Whether the rung rescued the solve (for [`RecoveryStage::StepCut`]
+    /// and [`RecoveryStage::RunRestart`] this is recorded as `false`; their
+    /// success shows up as the run completing).
+    pub recovered: bool,
+}
+
+/// Detailed attempts are capped so a thrashing run cannot balloon the trace.
+const MAX_RECORDED: usize = 64;
+
+/// The record of every recovery action taken during one transient run.
+///
+/// Counters are exact; the per-attempt detail list keeps only the first
+/// [`MAX_RECORDED`] entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryTrace {
+    attempts: Vec<RecoveryAttempt>,
+    /// Damped re-solves attempted.
+    pub damped_retries: usize,
+    /// Gmin continuations attempted.
+    pub gmin_steps: usize,
+    /// Time-step cuts taken after a failed solve.
+    pub step_cuts: usize,
+    /// Whole-run restarts taken.
+    pub restarts: usize,
+    /// Solves rescued in place (by damping or gmin stepping).
+    pub recovered_solves: usize,
+}
+
+impl RecoveryTrace {
+    /// Records one rung attempt.
+    pub(crate) fn record(&mut self, stage: RecoveryStage, t: f64, dt: f64, recovered: bool) {
+        match stage {
+            RecoveryStage::DampedRetry => self.damped_retries += 1,
+            RecoveryStage::GminStepping => self.gmin_steps += 1,
+            RecoveryStage::StepCut => self.step_cuts += 1,
+            RecoveryStage::RunRestart => self.restarts += 1,
+        }
+        if recovered {
+            self.recovered_solves += 1;
+        }
+        if self.attempts.len() < MAX_RECORDED {
+            self.attempts.push(RecoveryAttempt {
+                stage,
+                t,
+                dt,
+                recovered,
+            });
+        }
+    }
+
+    /// The recorded attempts (first [`MAX_RECORDED`] at most).
+    pub fn attempts(&self) -> &[RecoveryAttempt] {
+        &self.attempts
+    }
+
+    /// Total rung attempts across all stages.
+    pub fn total(&self) -> usize {
+        self.damped_retries + self.gmin_steps + self.step_cuts + self.restarts
+    }
+
+    /// Whether the run needed no recovery at all.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_enables_every_rung() {
+        let p = RecoveryPolicy::default();
+        assert!(p.damped_retry);
+        assert!(p.gmin_stepping);
+        assert!(p.max_restarts > 0);
+        assert!(p.step_budget > 0);
+    }
+
+    #[test]
+    fn disabled_policy_is_inert() {
+        let p = RecoveryPolicy::disabled();
+        assert!(!p.damped_retry);
+        assert!(!p.gmin_stepping);
+        assert_eq!(p.max_restarts, 0);
+        assert_eq!(p.step_budget, 0);
+    }
+
+    #[test]
+    fn trace_counts_and_caps_detail() {
+        let mut tr = RecoveryTrace::default();
+        assert!(tr.is_empty());
+        for k in 0..(MAX_RECORDED + 10) {
+            tr.record(RecoveryStage::StepCut, k as f64, 1e-12, false);
+        }
+        tr.record(RecoveryStage::DampedRetry, 0.0, 1e-12, true);
+        tr.record(RecoveryStage::GminStepping, 0.0, 1e-12, true);
+        tr.record(RecoveryStage::RunRestart, 0.0, 1e-12, false);
+        assert_eq!(tr.step_cuts, MAX_RECORDED + 10);
+        assert_eq!(tr.damped_retries, 1);
+        assert_eq!(tr.gmin_steps, 1);
+        assert_eq!(tr.restarts, 1);
+        assert_eq!(tr.recovered_solves, 2);
+        assert_eq!(tr.total(), MAX_RECORDED + 13);
+        assert_eq!(tr.attempts().len(), MAX_RECORDED);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn stage_display_names() {
+        assert_eq!(RecoveryStage::DampedRetry.to_string(), "damped retry");
+        assert_eq!(RecoveryStage::GminStepping.to_string(), "gmin stepping");
+        assert_eq!(RecoveryStage::StepCut.to_string(), "step cut");
+        assert_eq!(RecoveryStage::RunRestart.to_string(), "run restart");
+    }
+}

@@ -27,6 +27,16 @@ pub enum AnalysisError {
         /// Which analysis failed.
         analysis: String,
     },
+    /// The analysis was deliberately stopped before completing — e.g. the
+    /// transient watchdog exhausted its solve budget, or a characterization
+    /// worker died and its jobs were abandoned. Unlike [`Self::NoConvergence`]
+    /// this is terminal: retrying with gentler settings is pointless.
+    Aborted {
+        /// Which analysis was stopped.
+        analysis: String,
+        /// Why it was stopped.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -37,6 +47,9 @@ impl fmt::Display for AnalysisError {
             }
             Self::Singular { analysis } => {
                 write!(f, "{analysis} produced a singular system")
+            }
+            Self::Aborted { analysis, detail } => {
+                write!(f, "{analysis} was aborted ({detail})")
             }
         }
     }
@@ -282,6 +295,26 @@ pub(crate) enum NewtonOutcome {
     Failed,
 }
 
+impl NewtonOutcome {
+    /// Converts the outcome into a `Result`, building a
+    /// [`AnalysisError::NoConvergence`] on failure — so even "cannot happen"
+    /// failures (e.g. a linear circuit) surface as recoverable errors
+    /// instead of panics.
+    pub fn into_converged(
+        self,
+        analysis: &str,
+        detail: impl FnOnce() -> String,
+    ) -> Result<usize, AnalysisError> {
+        match self {
+            Self::Converged(iters) => Ok(iters),
+            Self::Failed => Err(AnalysisError::NoConvergence {
+                analysis: analysis.into(),
+                detail: detail(),
+            }),
+        }
+    }
+}
+
 /// Reusable buffers for [`newton_solve`]: the iterate, residual, negated
 /// residual, Newton update, Jacobian, and its LU factors.
 ///
@@ -374,12 +407,13 @@ pub(crate) fn newton_solve(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::circuit::Waveform;
 
     #[test]
-    fn resistor_divider_assembly_is_consistent() {
+    fn resistor_divider_assembly_is_consistent() -> Result<(), AnalysisError> {
         // Vdd -- R1 -- mid -- R2 -- gnd, solved by hand: v_mid = 2.5.
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
@@ -391,7 +425,7 @@ mod tests {
         let sys = System::new(&ckt);
         let x0 = vec![0.0; sys.n];
         let mut ws = NewtonWorkspace::new();
-        match newton_solve(
+        newton_solve(
             &sys,
             &x0,
             0.0,
@@ -400,19 +434,17 @@ mod tests {
             CapMode::Dc,
             &NewtonOptions::default(),
             &mut ws,
-        ) {
-            NewtonOutcome::Converged(_) => {
-                assert!((sys.v(&ws.x, vdd) - 5.0).abs() < 1e-8);
-                assert!((sys.v(&ws.x, mid) - 2.5).abs() < 1e-6);
-                // Source branch current = -5/2k (current flows out of +).
-                assert!((ws.x[sys.nv] + 2.5e-3).abs() < 1e-8);
-            }
-            NewtonOutcome::Failed => panic!("linear circuit must converge"),
-        }
+        )
+        .into_converged("dc solve", || "linear circuit must converge".into())?;
+        assert!((sys.v(&ws.x, vdd) - 5.0).abs() < 1e-8);
+        assert!((sys.v(&ws.x, mid) - 2.5).abs() < 1e-6);
+        // Source branch current = -5/2k (current flows out of +).
+        assert!((ws.x[sys.nv] + 2.5e-3).abs() < 1e-8);
+        Ok(())
     }
 
     #[test]
-    fn kcl_residual_vanishes_at_solution() {
+    fn kcl_residual_vanishes_at_solution() -> Result<(), AnalysisError> {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
@@ -423,7 +455,7 @@ mod tests {
         let sys = System::new(&ckt);
         let x0 = vec![0.0; sys.n];
         let mut ws = NewtonWorkspace::new();
-        let x = match newton_solve(
+        newton_solve(
             &sys,
             &x0,
             0.0,
@@ -432,20 +464,20 @@ mod tests {
             CapMode::Dc,
             &NewtonOptions::default(),
             &mut ws,
-        ) {
-            NewtonOutcome::Converged(_) => ws.x.clone(),
-            NewtonOutcome::Failed => panic!("must converge"),
-        };
+        )
+        .into_converged("dc solve", || "must converge".into())?;
+        let x = ws.x.clone();
         let mut f = vec![0.0; sys.n];
         let mut jac = Matrix::zeros(sys.n, sys.n);
         sys.assemble(&x, 0.0, 1.0, 1e-12, CapMode::Dc, &mut f, &mut jac);
         for (i, v) in f.iter().enumerate().take(sys.nv) {
             assert!(v.abs() < 1e-9, "residual row {i} = {v}");
         }
+        Ok(())
     }
 
     #[test]
-    fn source_scale_scales_the_solution() {
+    fn source_scale_scales_the_solution() -> Result<(), AnalysisError> {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         ckt.vsource("V1", a, Circuit::GND, Waveform::Dc(4.0));
@@ -453,7 +485,7 @@ mod tests {
         let sys = System::new(&ckt);
         let x0 = vec![0.0; sys.n];
         let mut ws = NewtonWorkspace::new();
-        match newton_solve(
+        newton_solve(
             &sys,
             &x0,
             0.0,
@@ -462,12 +494,26 @@ mod tests {
             CapMode::Dc,
             &NewtonOptions::default(),
             &mut ws,
-        ) {
-            NewtonOutcome::Converged(_) => {
-                assert!((sys.v(&ws.x, a) - 2.0).abs() < 1e-8);
+        )
+        .into_converged("dc solve", || "must converge".into())?;
+        assert!((sys.v(&ws.x, a) - 2.0).abs() < 1e-8);
+        Ok(())
+    }
+
+    #[test]
+    fn failed_outcome_converts_to_a_typed_error() {
+        let err = NewtonOutcome::Failed
+            .into_converged("linear solve", || "did not converge".into())
+            .expect_err("Failed must map to an error");
+        assert_eq!(
+            err,
+            AnalysisError::NoConvergence {
+                analysis: "linear solve".into(),
+                detail: "did not converge".into(),
             }
-            NewtonOutcome::Failed => panic!("must converge"),
-        }
+        );
+        let ok = NewtonOutcome::Converged(3).into_converged("x", || unreachable!());
+        assert_eq!(ok, Ok(3));
     }
 
     #[test]
@@ -481,5 +527,10 @@ mod tests {
             analysis: "transient".into(),
         };
         assert!(s.to_string().contains("singular"));
+        let a = AnalysisError::Aborted {
+            analysis: "transient".into(),
+            detail: "solve budget exhausted".into(),
+        };
+        assert!(a.to_string().contains("aborted"));
     }
 }

@@ -49,6 +49,8 @@ impl DcSweepResult {
     ///
     /// Panics if the sweep was run in descending order (reverse it first) —
     /// [`Pwl`] requires non-decreasing abscissae.
+    // The panic is part of the documented contract above.
+    #[allow(clippy::expect_used)]
     pub fn transfer_curve(&self, node: NodeId) -> Pwl {
         Pwl::new(
             self.sweep
@@ -76,20 +78,17 @@ pub(crate) fn dc_sweep(
 
     for (i, &v) in sweep.iter().enumerate() {
         work.set_vsource(source, Waveform::Dc(v));
-        let op = match dc_solve_at(&work, 0.0, prev_x.as_deref()) {
-            Ok(op) => op,
-            Err(_) if i > 0 => {
+        let op = match (
+            dc_solve_at(&work, 0.0, prev_x.as_deref()),
+            prev_x.as_deref(),
+        ) {
+            (Ok(op), _) => op,
+            (Err(_), Some(x0)) if i > 0 => {
                 // Continuation refinement: approach the troublesome point
                 // through intermediate sub-steps from the last solution.
-                refine_to(
-                    &mut work,
-                    source,
-                    sweep[i - 1],
-                    v,
-                    prev_x.as_deref().expect("i > 0"),
-                )?
+                refine_to(&mut work, source, sweep[i - 1], v, x0)?
             }
-            Err(e) => return Err(e),
+            (Err(e), _) => return Err(e),
         };
         prev_x = Some(op.x.clone());
         results.push(op);
@@ -138,6 +137,7 @@ fn refine_to(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::circuit::Waveform;

@@ -5,9 +5,17 @@
 //! adapts to limit the largest node-voltage change per step, and steps land
 //! exactly on every PWL-source breakpoint so ramp corners are never
 //! straddled.
+//!
+//! A failed Newton solve does not immediately fail the run: the bounded
+//! recovery ladder of [`crate::recover`] first retries the step with heavier
+//! damping, then with gmin continuation, then cuts the step, and finally
+//! restarts the whole run with halved `dt_init`/`dv_max`. Everything the
+//! ladder did is reported in [`TranResult::recovery`].
 
 use crate::circuit::{Circuit, Element, NodeId};
+use crate::faultpoint::{run_entropy, FaultStream};
 use crate::op::GMIN;
+use crate::recover::{RecoveryPolicy, RecoveryStage, RecoveryTrace};
 use crate::solver::{
     newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, NewtonWorkspace, System,
 };
@@ -39,6 +47,8 @@ pub struct TranOptions {
     pub dv_max: f64,
     /// Integration method.
     pub integrator: Integrator,
+    /// Recovery ladder applied on Newton failures (see [`crate::recover`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl TranOptions {
@@ -61,6 +71,7 @@ impl TranOptions {
             dt_init: t_stop / 10_000.0,
             dv_max: 0.05,
             integrator: Integrator::Trapezoidal,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -78,6 +89,12 @@ impl TranOptions {
     pub fn with_dv_max(mut self, dv_max: f64) -> Self {
         assert!(dv_max > 0.0, "dv_max must be positive");
         self.dv_max = dv_max;
+        self
+    }
+
+    /// Returns the options with a different recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 }
@@ -104,6 +121,9 @@ pub struct TranResult {
     pub newton_iterations: usize,
     /// Total accepted time steps.
     pub accepted_steps: usize,
+    /// Everything the recovery ladder did during the run (empty for a
+    /// healthy run).
+    pub recovery: RecoveryTrace,
 }
 
 impl TranResult {
@@ -117,6 +137,9 @@ impl TranResult {
     /// # Panics
     ///
     /// Panics if the node does not belong to the simulated circuit.
+    // Accepted times are strictly increasing by construction, so the Pwl
+    // invariant cannot fail here.
+    #[allow(clippy::expect_used)]
     pub fn waveform(&self, node: NodeId) -> Pwl {
         let j = node.index();
         assert!(j < self.node_count, "node {j} out of range");
@@ -148,6 +171,9 @@ impl TranResult {
     /// # Panics
     ///
     /// Panics if `k` is out of range.
+    // Accepted times are strictly increasing by construction, so the Pwl
+    // invariant cannot fail here.
+    #[allow(clippy::expect_used)]
     pub fn branch_current_waveform(&self, k: usize) -> Pwl {
         assert!(k < self.branch_count, "branch {k} out of range");
         Pwl::new(
@@ -178,8 +204,89 @@ impl TranResult {
     }
 }
 
+/// One Newton solve under the run watchdog and fault injection: counts the
+/// attempt against the solve budget and lets the fault stream veto it.
+#[allow(clippy::too_many_arguments)]
+fn checked_solve(
+    sys: &System<'_>,
+    x: &[f64],
+    t_new: f64,
+    gmin: f64,
+    caps: CapMode<'_>,
+    nopts: &NewtonOptions,
+    ws: &mut NewtonWorkspace,
+    policy: &RecoveryPolicy,
+    faults: &mut FaultStream,
+    solves: &mut usize,
+) -> Result<NewtonOutcome, AnalysisError> {
+    *solves += 1;
+    if policy.step_budget > 0 && *solves > policy.step_budget {
+        return Err(AnalysisError::Aborted {
+            analysis: "transient".into(),
+            detail: format!(
+                "newton solve budget of {} exhausted at t = {t_new:.4e} s",
+                policy.step_budget
+            ),
+        });
+    }
+    if faults.newton_fault() {
+        return Ok(NewtonOutcome::Failed);
+    }
+    Ok(newton_solve(sys, x, t_new, 1.0, gmin, caps, nopts, ws))
+}
+
 pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, AnalysisError> {
     let sys = System::new(ckt);
+    let policy = options.recovery;
+    // Per-run entropy comes only from the run's own parameters, so fault
+    // decisions replay identically regardless of worker scheduling.
+    let mut faults = FaultStream::for_run(run_entropy(
+        options.t_stop,
+        options.dv_max,
+        sys.n,
+        ckt.elements.len(),
+    ));
+    let mut trace = RecoveryTrace::default();
+    let mut solves = 0usize;
+    let mut attempt_opts = *options;
+    loop {
+        match tran_attempt(
+            ckt,
+            &sys,
+            &attempt_opts,
+            &policy,
+            &mut trace,
+            &mut faults,
+            &mut solves,
+        ) {
+            Ok(mut result) => {
+                result.recovery = trace;
+                return Ok(result);
+            }
+            // The final rung: restart the whole run gentler. Only
+            // NoConvergence is worth retrying — Aborted (watchdog) and
+            // Singular are terminal.
+            Err(AnalysisError::NoConvergence { .. })
+                if trace.restarts < policy.max_restarts as usize =>
+            {
+                attempt_opts.dt_init = (attempt_opts.dt_init * 0.5).max(attempt_opts.dt_min);
+                attempt_opts.dv_max *= 0.5;
+                trace.record(RecoveryStage::RunRestart, 0.0, attempt_opts.dt_init, false);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn tran_attempt(
+    ckt: &Circuit,
+    sys: &System<'_>,
+    options: &TranOptions,
+    policy: &RecoveryPolicy,
+    trace: &mut RecoveryTrace,
+    faults: &mut FaultStream,
+    solves: &mut usize,
+) -> Result<TranResult, AnalysisError> {
     let opts = NewtonOptions::default();
 
     // Initial condition: DC operating point with sources at t = 0.
@@ -248,53 +355,113 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
             hist: &hist,
         };
 
-        match newton_solve(&sys, &x, t_new, 1.0, GMIN, caps, &opts, &mut ws) {
+        let solved = match checked_solve(
+            sys, &x, t_new, GMIN, caps, &opts, &mut ws, policy, faults, solves,
+        )? {
             NewtonOutcome::Converged(iters) => {
                 newton_iterations += iters;
-                let max_dv = x
-                    .iter()
-                    .zip(&ws.x)
-                    .take(sys.nv)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0, f64::max);
-                if max_dv > options.dv_max && h_eff > options.dt_min * 1.01 {
-                    // Too coarse: retry with a smaller step sized to hit the
-                    // voltage-change target.
-                    h = (h_eff * (0.8 * options.dv_max / max_dv).max(0.1)).max(options.dt_min);
-                    continue;
-                }
-                // Accept. Update capacitor history with companion currents.
-                for (ei, e) in ckt.elements.iter().enumerate() {
-                    if let Element::Capacitor { a, b, farads } = e {
-                        let dv = sys.v(&ws.x, *a) - sys.v(&ws.x, *b);
-                        let (v_prev, i_prev) = hist[ei];
-                        let i_new = geq_per_farad * farads * (dv - v_prev) + trap_coeff * i_prev;
-                        hist[ei] = (dv, i_new);
-                    }
-                }
-                // The old iterate becomes the workspace's scratch buffer for
-                // the next step — no allocation on accept.
-                std::mem::swap(&mut x, &mut ws.x);
-                t = t_new;
-                accepted_steps += 1;
-                record(t, &x, &mut times, &mut samples, &mut branch_samples);
-                // Grow the step when comfortably inside the accuracy target.
-                h = if max_dv < 0.5 * options.dv_max {
-                    h_eff * 1.6
-                } else {
-                    h_eff
-                };
+                true
             }
             NewtonOutcome::Failed => {
-                if h_eff <= options.dt_min * 1.01 {
-                    return Err(AnalysisError::NoConvergence {
-                        analysis: "transient step".into(),
-                        detail: format!("at t = {t_new:.4e} s with minimum step"),
-                    });
+                // Rung 1: re-solve the same step with a tight update clamp
+                // and a much larger iteration budget.
+                let mut rescued = false;
+                if policy.damped_retry {
+                    let dopts = NewtonOptions {
+                        vstep_limit: 0.15,
+                        max_iter: 600,
+                        ..opts
+                    };
+                    if let NewtonOutcome::Converged(iters) = checked_solve(
+                        sys, &x, t_new, GMIN, caps, &dopts, &mut ws, policy, faults, solves,
+                    )? {
+                        newton_iterations += iters;
+                        rescued = true;
+                    }
+                    trace.record(RecoveryStage::DampedRetry, t_new, h_eff, rescued);
                 }
-                h = (h_eff * 0.25).max(options.dt_min);
+                // Rung 2: gmin continuation — solve a heavily shunted (and
+                // therefore easier) system, then walk the shunt back down to
+                // the nominal GMIN, warm-starting each stage.
+                if !rescued && policy.gmin_stepping {
+                    let mut warm = x.clone();
+                    let mut ok = true;
+                    for &g in &[1e-6, 1e-8, 1e-10, GMIN] {
+                        match checked_solve(
+                            sys, &warm, t_new, g, caps, &opts, &mut ws, policy, faults, solves,
+                        )? {
+                            NewtonOutcome::Converged(iters) => {
+                                newton_iterations += iters;
+                                warm.copy_from_slice(&ws.x);
+                            }
+                            NewtonOutcome::Failed => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    trace.record(RecoveryStage::GminStepping, t_new, h_eff, ok);
+                    rescued = ok;
+                }
+                rescued
+            }
+        };
+
+        if !solved {
+            // Rung 3: cut the step; at dt_min the attempt is out of rungs
+            // and the caller decides whether a run restart is left.
+            if h_eff <= options.dt_min * 1.01 {
+                return Err(AnalysisError::NoConvergence {
+                    analysis: "transient step".into(),
+                    detail: format!("at t = {t_new:.4e} s with minimum step"),
+                });
+            }
+            trace.record(RecoveryStage::StepCut, t_new, h_eff, false);
+            h = (h_eff * 0.25).max(options.dt_min);
+            continue;
+        }
+
+        // Converged: the candidate solution is in ws.x.
+        let max_dv = x
+            .iter()
+            .zip(&ws.x)
+            .take(sys.nv)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        if max_dv > options.dv_max && h_eff > options.dt_min * 1.01 {
+            // Too coarse: retry with a smaller step sized to hit the
+            // voltage-change target.
+            h = (h_eff * (0.8 * options.dv_max / max_dv).max(0.1)).max(options.dt_min);
+            continue;
+        }
+        if faults.accept_fault() && h_eff > options.dt_min * 1.01 {
+            // Injected rejection of an otherwise-acceptable step; behaves
+            // like a step cut (and is recorded as one).
+            trace.record(RecoveryStage::StepCut, t_new, h_eff, false);
+            h = (h_eff * 0.25).max(options.dt_min);
+            continue;
+        }
+        // Accept. Update capacitor history with companion currents.
+        for (ei, e) in ckt.elements.iter().enumerate() {
+            if let Element::Capacitor { a, b, farads } = e {
+                let dv = sys.v(&ws.x, *a) - sys.v(&ws.x, *b);
+                let (v_prev, i_prev) = hist[ei];
+                let i_new = geq_per_farad * farads * (dv - v_prev) + trap_coeff * i_prev;
+                hist[ei] = (dv, i_new);
             }
         }
+        // The old iterate becomes the workspace's scratch buffer for the
+        // next step — no allocation on accept.
+        std::mem::swap(&mut x, &mut ws.x);
+        t = t_new;
+        accepted_steps += 1;
+        record(t, &x, &mut times, &mut samples, &mut branch_samples);
+        // Grow the step when comfortably inside the accuracy target.
+        h = if max_dv < 0.5 * options.dv_max {
+            h_eff * 1.6
+        } else {
+            h_eff
+        };
     }
 
     Ok(TranResult {
@@ -305,10 +472,12 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
         branch_samples,
         newton_iterations,
         accepted_steps,
+        recovery: RecoveryTrace::default(),
     })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::circuit::Waveform;
@@ -547,5 +716,57 @@ mod tests {
     #[should_panic(expected = "t_stop must be positive")]
     fn options_reject_zero_duration() {
         let _ = TranOptions::to(0.0);
+    }
+
+    #[test]
+    fn healthy_run_reports_empty_recovery() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 1e-12, 1.0));
+        ckt.resistor("R1", inp, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-12);
+        let r = ckt.tran(&TranOptions::to(5e-9)).unwrap();
+        assert!(r.recovery.is_empty(), "got {:?}", r.recovery);
+    }
+
+    #[test]
+    fn recovery_policy_does_not_change_a_healthy_run() {
+        // With no Newton failures the ladder never fires, so enabling or
+        // disabling it must be bit-identical.
+        let build = || {
+            let mut ckt = Circuit::new();
+            let inp = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 0.1e-9, 2.0));
+            ckt.resistor("R1", inp, out, 2e3);
+            ckt.capacitor("C1", out, Circuit::GND, 0.5e-12);
+            (ckt, out)
+        };
+        let (ckt, out) = build();
+        let with = ckt.tran(&TranOptions::to(5e-9)).unwrap();
+        let without = ckt
+            .tran(&TranOptions::to(5e-9).with_recovery(RecoveryPolicy::disabled()))
+            .unwrap();
+        assert_eq!(with.times(), without.times());
+        assert_eq!(with.waveform(out).points(), without.waveform(out).points());
+    }
+
+    #[test]
+    fn tiny_solve_budget_aborts_with_a_typed_error() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::step(0.0, 1e-12, 1.0));
+        ckt.resistor("R1", inp, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-12);
+        let strangled = RecoveryPolicy {
+            step_budget: 3,
+            ..RecoveryPolicy::default()
+        };
+        match ckt.tran(&TranOptions::to(5e-9).with_recovery(strangled)) {
+            Err(AnalysisError::Aborted { analysis, .. }) => assert_eq!(analysis, "transient"),
+            other => panic!("expected an aborted run, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,217 @@
+//! Resilience suite: deterministic fault injection inside the simulator's
+//! solver loops (`proxim_spice::faultpoint`, behind the `fault-injection`
+//! feature).
+//!
+//! Three invariants are pinned down here:
+//!
+//! 1. An *armed but zero-rate* fault configuration changes nothing: the
+//!    characterized model is byte-identical across worker counts, exactly
+//!    as in the healthy pipeline.
+//! 2. Under real fault pressure the characterization completes — recovered
+//!    solves are counted, doomed runs degrade their slice with provenance
+//!    instead of failing the model, and queries that would have used a lost
+//!    slice fall back along the documented path and say so.
+//! 3. A corrupt model-cache entry is quarantined aside and the model is
+//!    re-characterized, never trusted.
+
+#![cfg(feature = "fault-injection")]
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::model::ProximityModel;
+use proxim_model::{DegradedReason, InputEvent, SliceKind};
+use proxim_numeric::pwl::Edge;
+use proxim_spice::faultpoint::{self, FaultConfig};
+use std::sync::{Mutex, PoisonError};
+
+/// The fault configuration is process-global; serialize the tests that
+/// touch it so cargo's parallel test runner cannot interleave them.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the fault configuration armed, and always disarms after —
+/// even when the test body panics — so a failure here cannot poison the
+/// other tests.
+fn with_faults<T>(cfg: FaultConfig, f: impl FnOnce() -> T) -> T {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            faultpoint::disarm();
+        }
+    }
+    let _disarm = Disarm;
+    faultpoint::configure(cfg);
+    f()
+}
+
+#[test]
+fn zero_rate_faults_are_byte_identical_across_worker_counts() {
+    let cfg = FaultConfig {
+        newton_rate: 0.0,
+        accept_rate: 0.0,
+        kill_rate: 0.0,
+        seed: 7,
+    };
+    with_faults(cfg, || {
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        let seq = CharacterizeOptions {
+            jobs: 1,
+            ..CharacterizeOptions::fast()
+        };
+        let par = CharacterizeOptions {
+            jobs: 4,
+            ..CharacterizeOptions::fast()
+        };
+        let (m1, s1) = ProximityModel::characterize_with_stats(&cell, &tech, &seq).unwrap();
+        let (m4, s4) = ProximityModel::characterize_with_stats(&cell, &tech, &par).unwrap();
+        assert_eq!(
+            m1.to_json().unwrap(),
+            m4.to_json().unwrap(),
+            "zero-rate faults must not perturb the model"
+        );
+        assert!(!m1.is_degraded());
+        assert_eq!(s1.failed_jobs, 0);
+        assert_eq!(s4.failed_jobs, 0);
+        assert_eq!(s1.recoveries, 0, "nothing to recover from at zero rates");
+        assert_eq!(s1.degraded_slices, 0);
+    });
+}
+
+#[test]
+fn fault_pressure_degrades_slices_instead_of_failing() {
+    // 20% of transient Newton solves fail (the recovery ladder absorbs
+    // these), a few step acceptances are vetoed, and a small fraction of
+    // whole runs are doomed beyond recovery (these produce degraded
+    // slices). The seed is part of the test: faults are deterministic in
+    // (seed, run), so this exact failure pattern reproduces every run on
+    // every thread count.
+    let cfg = FaultConfig {
+        newton_rate: 0.20,
+        accept_rate: 0.05,
+        kill_rate: 0.02,
+        seed: 1996,
+    };
+    with_faults(cfg, || {
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        let opts = CharacterizeOptions {
+            jobs: 2,
+            ..CharacterizeOptions::fast()
+        };
+        let (model, stats) = ProximityModel::characterize_with_stats(&cell, &tech, &opts)
+            .expect("fault pressure must degrade, not fail");
+
+        assert!(
+            stats.recoveries > 0,
+            "a 20% Newton fault rate must exercise the recovery ladder"
+        );
+        assert!(
+            stats.failed_jobs > 0,
+            "the kill rate must doom at least one run (tune the seed if the \
+             characterization volume changes)"
+        );
+        assert!(model.is_degraded());
+        assert_eq!(stats.degraded_slices, model.degraded_slices().len());
+        for d in model.degraded_slices() {
+            assert!(
+                !d.reason.is_empty(),
+                "degraded slices must carry provenance"
+            );
+        }
+
+        // Every degraded dual whose two singles survived must still answer
+        // proximity queries — via the documented single-input fallback,
+        // flagged on the result.
+        let mut checked = 0;
+        for d in model.degraded_slices() {
+            if d.kind != SliceKind::Dual {
+                continue;
+            }
+            let partner = (d.pin + 1) % 2;
+            if model.single_model(d.pin, d.edge).is_none()
+                || model.single_model(partner, d.edge).is_none()
+            {
+                continue;
+            }
+            // Make the degraded pin dominant: for falling inputs on a NAND
+            // the first threshold crossing causes the output (rank 1); for
+            // rising inputs the last one does.
+            let (t_deg, t_partner) = match d.edge {
+                Edge::Falling => (0.0, 50e-12),
+                Edge::Rising => (50e-12, 0.0),
+            };
+            let events = [
+                InputEvent::new(d.pin, d.edge, t_deg, 400e-12),
+                InputEvent::new(partner, d.edge, t_partner, 400e-12),
+            ];
+            let t = model
+                .gate_timing(&events)
+                .expect("degraded duals must fall back, not error");
+            assert_eq!(
+                t.degradation,
+                Some(DegradedReason::DualSliceMissing),
+                "a query inside the proximity window of a degraded dual \
+                 must be flagged"
+            );
+            assert!(t.delay > 0.0 && t.output_transition > 0.0);
+            checked += 1;
+        }
+        assert!(
+            checked > 0,
+            "seed 1996 must degrade at least one dual with surviving \
+             singles; degraded: {:?}",
+            model.degraded_slices()
+        );
+
+        // A query that never needs the lost slice stays full-fidelity.
+        let lone = model.gate_timing(&[InputEvent::new(0, Edge::Rising, 0.0, 400e-12)]);
+        if let Ok(t) = lone {
+            assert_eq!(t.degradation, None);
+        }
+    });
+}
+
+#[test]
+fn corrupt_cache_entry_is_quarantined_and_recharacterized() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    faultpoint::disarm();
+
+    use proxim_model::jobs::CharStats;
+    use proxim_model::persist::ModelCache;
+
+    let tech = Technology::demo_5v();
+    let cell = Cell::inv();
+    let opts = CharacterizeOptions::fast();
+    let dir = std::env::temp_dir().join("proxim_fault_cache_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = ModelCache::new(&dir);
+
+    // Seed a valid entry, then flip bytes in the middle of it.
+    let mut stats = CharStats::default();
+    cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+    let key = ModelCache::key(&cell, &tech, &opts).unwrap();
+    let path = cache.entry_path(key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    let end = (mid + 64).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xa5;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut stats = CharStats::default();
+    let model = cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+    assert_eq!(stats.cache_quarantined, 1);
+    assert!(stats.sims_run > 0, "the corrupt entry must not be served");
+    assert!(cache.quarantined_path(key).exists());
+    assert!(!model.is_degraded());
+
+    // The fresh entry is served on the next call.
+    let mut stats = CharStats::default();
+    cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (1, 0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
