@@ -20,7 +20,10 @@ cargo test -q
 echo "==> resilience: cargo test --features fault-injection"
 cargo test -q --features fault-injection --test fault_injection
 
-echo "==> bench: characterization pipeline"
+echo "==> observability: trace round-trip"
+cargo test -q --test observability
+
+echo "==> bench: characterization pipeline (perf-gated vs committed baseline)"
 ./target/release/bench_characterize --out BENCH_characterize.json
 
 echo "==> CI OK"

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_characterize [--out PATH] [--jobs N]
+//! bench_characterize [--out PATH] [--jobs N] [--baseline PATH]
 //! ```
 //!
 //! Measures, on a NAND2 at reduced (`fast`) grids with glitch and load–slew
@@ -16,7 +16,21 @@
 //! 3. a cold-miss / warm-hit pass through the on-disk [`ModelCache`].
 //!
 //! Per-run per-phase wall-clock and sims/sec come from [`CharStats`]; the
-//! speedup line compares total wall-clock of (2) against (1).
+//! speedup line compares total wall-clock of (2) against (1). The run also
+//! drives the observability stack end-to-end:
+//!
+//! - metrics are always on ([`obs::Level::Metrics`]); the report's
+//!   `"histograms"` section carries per-job wall-time and Newton-iteration
+//!   percentiles from the global registry, and the registry summary table
+//!   is printed at the end of the run;
+//! - `PROXIM_TRACE=trace.jsonl` raises the level to [`obs::Level::Trace`]
+//!   and streams spans/events to that file (convert with `trace2chrome` and
+//!   open in Perfetto);
+//! - unless tracing is armed, the sequential run is gated against the
+//!   committed baseline report: a `sims_per_sec` regression beyond
+//!   `PROXIM_BENCH_TOLERANCE` percent (default 5) fails the run. Set
+//!   `PROXIM_BENCH_NO_GATE=1` to skip, e.g. on a different machine than the
+//!   one that produced the baseline.
 
 use proxim_cells::{Cell, Technology};
 use proxim_model::characterize::CharacterizeOptions;
@@ -24,6 +38,7 @@ use proxim_model::jobs::CharStats;
 use proxim_model::persist::ModelCache;
 use proxim_model::ProximityModel;
 use proxim_numeric::grid::logspace;
+use proxim_obs as obs;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -56,9 +71,10 @@ fn stats_json(stats: &CharStats, wall: f64) -> String {
             "\"sims_per_sec\": {:.1}, ",
             "\"phases_s\": {{\"vtc\": {:.6}, \"singles\": {:.6}, ",
             "\"pairs\": {:.6}, \"finish\": {:.6}}}, ",
+            "\"jobs\": {{\"enumerated\": {}, \"succeeded\": {}, \"failed\": {}}}, ",
             "\"cache_hits\": {}, \"cache_misses\": {}, ",
             "\"cache_quarantined\": {}, \"recoveries\": {}, ",
-            "\"failed_jobs\": {}, \"degraded_slices\": {}}}"
+            "\"recovery_seconds\": {:.6}, \"degraded_slices\": {}}}"
         ),
         stats.threads,
         stats.sims_run,
@@ -68,17 +84,89 @@ fn stats_json(stats: &CharStats, wall: f64) -> String {
         p.singles,
         p.pairs,
         p.finish,
+        stats.enumerated_jobs,
+        stats.succeeded_jobs,
+        stats.failed_jobs,
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_quarantined,
         stats.recoveries,
-        stats.failed_jobs,
+        stats.recovery_seconds,
         stats.degraded_slices,
     )
 }
 
+/// Percentile summaries of the interesting global-registry histograms.
+fn histograms_json(snap: &obs::Snapshot) -> String {
+    let mut body = String::new();
+    for name in ["char.job.seconds", "spice.tran.newton_iters_per_solve"] {
+        let Some(h) = snap.histogram(name) else {
+            continue;
+        };
+        if !body.is_empty() {
+            body.push_str(", ");
+        }
+        body.push_str(&format!(
+            concat!(
+                "\"{}\": {{\"count\": {}, \"mean\": {:.6}, ",
+                "\"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}}}"
+            ),
+            name,
+            h.count,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+        ));
+    }
+    format!("{{{body}}}")
+}
+
+/// Pulls `"sequential" → "sims_per_sec"` out of a previously written report.
+fn baseline_sims_per_sec(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = obs::json::Json::parse(&text).ok()?;
+    json.get("sequential")?.get("sims_per_sec")?.as_f64()
+}
+
+/// Compares the fresh sequential throughput against the baseline rate
+/// captured before the report was overwritten. Returns an error message on
+/// a regression beyond the tolerance.
+fn perf_gate(
+    current: f64,
+    baseline_rate: Option<f64>,
+    baseline_path: &str,
+) -> Result<String, String> {
+    if std::env::var_os("PROXIM_BENCH_NO_GATE").is_some() {
+        return Ok("perf gate: skipped (PROXIM_BENCH_NO_GATE)".into());
+    }
+    let Some(baseline) = baseline_rate else {
+        return Ok(format!(
+            "perf gate: no parseable baseline at {baseline_path}, skipped"
+        ));
+    };
+    let tol_pct = std::env::var("PROXIM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(5.0);
+    let floor = baseline * (1.0 - tol_pct / 100.0);
+    let delta_pct = (current / baseline - 1.0) * 100.0;
+    if current < floor {
+        Err(format!(
+            "perf gate FAILED: sequential {current:.1} sims/s is {delta_pct:+.1}% \
+             vs baseline {baseline:.1} (tolerance -{tol_pct:.1}%)"
+        ))
+    } else {
+        Ok(format!(
+            "perf gate: sequential {current:.1} sims/s, {delta_pct:+.1}% vs \
+             baseline {baseline:.1} (tolerance -{tol_pct:.1}%)"
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let mut out = String::from("BENCH_characterize.json");
+    let mut baseline: Option<String> = None;
     let mut jobs = 0usize; // 0 → available_parallelism
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +178,13 @@ fn main() -> ExitCode {
                 };
                 out = path;
             }
+            "--baseline" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--baseline needs a path");
+                    return ExitCode::FAILURE;
+                };
+                baseline = Some(path);
+            }
             "--jobs" => {
                 let Some(n) = args.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--jobs needs a non-negative count");
@@ -98,7 +193,7 @@ fn main() -> ExitCode {
                 jobs = n;
             }
             "--help" | "-h" => {
-                println!("usage: bench_characterize [--out PATH] [--jobs N]");
+                println!("usage: bench_characterize [--out PATH] [--jobs N] [--baseline PATH]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -107,6 +202,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    // The gate compares against the committed report by default — the same
+    // file the run overwrites, so the baseline number is captured up front.
+    let baseline = baseline.unwrap_or_else(|| out.clone());
+
+    // The bench is the profiling harness: metrics are always on, and
+    // PROXIM_TRACE upgrades to full span tracing.
+    let trace_path = obs::init_from_env();
+    if obs::level() < obs::Level::Metrics {
+        obs::set_level(obs::Level::Metrics);
+    }
+    if let Some(p) = &trace_path {
+        eprintln!("tracing to {} (perf gate disabled)", p.display());
+    }
+    let baseline_rate = baseline_sims_per_sec(&baseline);
 
     let tech = Technology::demo_5v();
     let cell = Cell::nand(2);
@@ -155,6 +264,7 @@ fn main() -> ExitCode {
         wall_cold, cold.cache_misses, wall_warm, warm.cache_hits, warm.sims_run
     );
 
+    let snap = obs::Registry::global().snapshot();
     let speedup = wall_seq / wall_par.max(1e-12);
     let report = format!(
         concat!(
@@ -166,7 +276,8 @@ fn main() -> ExitCode {
             "  \"sequential\": {},\n",
             "  \"parallel\": {},\n",
             "  \"cache_cold\": {},\n",
-            "  \"cache_warm\": {}\n",
+            "  \"cache_warm\": {},\n",
+            "  \"histograms\": {}\n",
             "}}\n"
         ),
         speedup,
@@ -174,12 +285,32 @@ fn main() -> ExitCode {
         stats_json(&par, wall_par),
         stats_json(&cold, wall_cold),
         stats_json(&warm, wall_warm),
+        histograms_json(&snap),
     );
     if let Err(e) = std::fs::write(&out, &report) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
     println!("{report}");
+    eprintln!("{}", snap.render_summary());
     eprintln!("wrote {out} (speedup {speedup:.2}x on {threads} worker(s))");
+
+    // Close out the trace with a final metrics record so the JSONL file is
+    // self-describing, then gate (tracing skews timing, so only untraced
+    // runs are compared against the committed baseline).
+    obs::trace::emit_metrics(&snap);
+    obs::sink::flush();
+    if trace_path.is_none() {
+        // Re-reading the baseline now would see our own report; use the
+        // rate captured before the write.
+        let current = seq.sims_run as f64 / wall_seq.max(1e-12);
+        match perf_gate(current, baseline_rate, &baseline) {
+            Ok(msg) => eprintln!("{msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

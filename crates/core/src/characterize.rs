@@ -12,6 +12,7 @@ use proxim_cells::{Cell, Technology};
 use proxim_numeric::grid::{linspace, logspace};
 use proxim_numeric::pwl::{Edge, Pwl};
 use proxim_spice::tran::TranOptions;
+use proxim_spice::RecoveryTrace;
 
 /// Grids and knobs controlling characterization cost and fidelity.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,9 +164,11 @@ pub struct SimResponse {
     pub output: Pwl,
     /// The output transition direction.
     pub output_edge: Edge,
-    /// Recovery-ladder actions the transient needed (0 for a healthy run);
-    /// aggregated into [`crate::jobs::CharStats::recoveries`].
-    pub recoveries: usize,
+    /// The transient's recovery-ladder trace (empty for a healthy run);
+    /// counts and per-rung wall time are aggregated into
+    /// [`crate::jobs::CharStats::recoveries`] and
+    /// [`crate::jobs::CharStats::recovery_seconds`].
+    pub recovery: RecoveryTrace,
 }
 
 impl SimResponse {
@@ -289,7 +292,7 @@ impl<'a> Simulator<'a> {
             events,
             output,
             output_edge: scenario.output_edge,
-            recoveries: result.recovery.total(),
+            recovery: result.recovery,
         })
     }
 }

@@ -227,14 +227,14 @@ impl GlitchModel {
 }
 
 /// Simulates one causer/blocker pair and returns the output extremum plus
-/// the transient's recovery-ladder action count.
+/// the transient's recovery-ladder trace.
 pub(crate) fn simulate_glitch(
     sim: &Simulator<'_>,
     causer_scenario: &Scenario,
     e_c: InputEvent,
     e_b: InputEvent,
     output_edge: Edge,
-) -> Result<(f64, usize), ModelError> {
+) -> Result<(f64, proxim_spice::RecoveryTrace), ModelError> {
     // Shift both events positive, mirroring Simulator::simulate.
     let t_min = e_c.ramp.t_start.min(e_b.ramp.t_start);
     let shift = 0.2e-9 - t_min.min(0.0);
@@ -263,7 +263,7 @@ pub(crate) fn simulate_glitch(
         Edge::Falling => out.min().1,
         Edge::Rising => out.max().1,
     };
-    Ok((peak, result.recovery.total()))
+    Ok((peak, result.recovery))
 }
 
 fn settle(sim: &Simulator<'_>) -> f64 {

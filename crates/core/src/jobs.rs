@@ -20,8 +20,47 @@ use crate::characterize::Simulator;
 use crate::error::ModelError;
 use crate::measure::{InputEvent, Scenario};
 use proxim_numeric::pwl::Edge;
-use proxim_spice::AnalysisError;
+use proxim_obs as obs;
+use proxim_spice::{AnalysisError, RecoveryTrace};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Canonical metric names recorded by the characterization pipeline.
+///
+/// Every counter behind [`CharStats`] is booked under these names into a
+/// per-run [`obs::Registry`] (the source of truth the stats snapshot is
+/// derived from) and mirrored into [`obs::Registry::global`] whenever
+/// metrics are enabled, so external sinks see process-wide totals under
+/// the same names.
+pub mod metric {
+    /// Jobs submitted to [`super::execute_jobs`].
+    pub const JOBS_ENUMERATED: &str = "char.jobs.enumerated";
+    /// Jobs that produced a measurement.
+    pub const JOBS_SUCCEEDED: &str = "char.jobs.succeeded";
+    /// Jobs that produced [`super::JobOutcome::Failed`].
+    pub const JOBS_FAILED: &str = "char.jobs.failed";
+    /// Transient simulations actually run (batched jobs plus the
+    /// sequential calibration/correction tail).
+    pub const SIMS_RUN: &str = "char.sims_run";
+    /// Recovery-ladder actions across all transients.
+    pub const RECOVERIES: &str = "char.recoveries";
+    /// Wall-clock seconds spent inside the recovery ladder (gauge).
+    pub const RECOVERY_SECONDS: &str = "char.recovery_seconds";
+    /// Model slices dropped (marked degraded) because their jobs failed.
+    pub const DEGRADED_SLICES: &str = "char.degraded_slices";
+    /// Models served from the on-disk cache without simulating.
+    pub const CACHE_HITS: &str = "char.cache.hits";
+    /// Models characterized from scratch.
+    pub const CACHE_MISSES: &str = "char.cache.misses";
+    /// Corrupt cache entries quarantined before recharacterizing.
+    pub const CACHE_QUARANTINED: &str = "char.cache.quarantined";
+    /// Per-job wall-clock histogram, in seconds.
+    pub const JOB_SECONDS: &str = "char.job.seconds";
+
+    /// Bucket bounds of [`JOB_SECONDS`]: characterization transients range
+    /// from sub-millisecond single-input rows to second-scale glitch runs.
+    pub const JOB_SECONDS_BOUNDS: &[f64] = &[0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0];
+}
 
 /// The stimulus of one independent characterization transient.
 #[derive(Debug, Clone)]
@@ -172,9 +211,9 @@ impl JobOutcome {
     }
 }
 
-/// Executes one job against the simulator, also reporting how many
-/// recovery-ladder actions the underlying transient needed.
-fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<(JobOutcome, usize), ModelError> {
+/// Executes one job against the simulator, also reporting the recovery
+/// ladder's trace for the underlying transient.
+fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<(JobOutcome, RecoveryTrace), ModelError> {
     match &job.stimulus {
         Stimulus::Events {
             events,
@@ -210,7 +249,7 @@ fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<(JobOutcome, usize), Mod
                     trans,
                     wide,
                 },
-                r.recoveries,
+                r.recovery,
             ))
         }
         Stimulus::Glitch {
@@ -218,14 +257,33 @@ fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<(JobOutcome, usize), Mod
             causer,
             blocker,
         } => {
-            let (v, recoveries) = crate::glitch::simulate_glitch(
+            let (v, recovery) = crate::glitch::simulate_glitch(
                 sim,
                 scenario,
                 *causer,
                 *blocker,
                 scenario.output_edge,
             )?;
-            Ok((JobOutcome::Peak(v), recoveries))
+            Ok((JobOutcome::Peak(v), recovery))
+        }
+    }
+}
+
+/// One supervised job execution: its outcome plus per-job telemetry.
+#[derive(Debug, Clone)]
+struct JobRun {
+    outcome: JobOutcome,
+    recovery: RecoveryTrace,
+    /// Wall-clock seconds the job held a worker, failures included.
+    seconds: f64,
+}
+
+impl JobRun {
+    fn failed(i: usize, reason: ModelError, seconds: f64) -> Self {
+        Self {
+            outcome: JobOutcome::Failed { job: i, reason },
+            recovery: RecoveryTrace::default(),
+            seconds,
         }
     }
 }
@@ -233,10 +291,20 @@ fn run_job(sim: &Simulator<'_>, job: &SimJob) -> Result<(JobOutcome, usize), Mod
 /// Runs one job under panic supervision: a simulation error or a caught
 /// panic becomes a typed [`JobOutcome::Failed`] in the job's slot instead of
 /// unwinding into (and poisoning) the worker pool.
-fn run_supervised(sim: &Simulator<'_>, i: usize, job: &SimJob) -> (JobOutcome, usize) {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(sim, job))) {
-        Ok(Ok((outcome, recoveries))) => (outcome, recoveries),
-        Ok(Err(reason)) => (JobOutcome::Failed { job: i, reason }, 0),
+fn run_supervised(sim: &Simulator<'_>, i: usize, job: &SimJob) -> JobRun {
+    let kind = match &job.stimulus {
+        Stimulus::Events { .. } => "events",
+        Stimulus::Glitch { .. } => "glitch",
+    };
+    let span = obs::span("char.job").arg("job", i).arg("kind", kind);
+    let start = Instant::now();
+    let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(sim, job))) {
+        Ok(Ok((outcome, recovery))) => JobRun {
+            outcome,
+            recovery,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+        Ok(Err(reason)) => JobRun::failed(i, reason, start.elapsed().as_secs_f64()),
         Err(payload) => {
             let detail = payload
                 .downcast_ref::<&str>()
@@ -247,9 +315,14 @@ fn run_supervised(sim: &Simulator<'_>, i: usize, job: &SimJob) -> (JobOutcome, u
                 analysis: "characterization job".into(),
                 detail: format!("job panicked: {detail}"),
             });
-            (JobOutcome::Failed { job: i, reason }, 0)
+            JobRun::failed(i, reason, start.elapsed().as_secs_f64())
         }
-    }
+    };
+    drop(
+        span.arg("ok", !matches!(run.outcome, JobOutcome::Failed { .. }))
+            .arg("recoveries", run.recovery.total()),
+    );
+    run
 }
 
 /// The result of executing a batch of jobs: one outcome per job (in job
@@ -258,28 +331,37 @@ fn run_supervised(sim: &Simulator<'_>, i: usize, job: &SimJob) -> (JobOutcome, u
 pub struct JobBatch {
     /// One outcome per job, in job order.
     pub outcomes: Vec<JobOutcome>,
-    /// Total recovery-ladder actions across all transients in the batch.
+    /// Merged recovery-ladder trace across all transients in the batch
+    /// (counters, per-rung wall time, and capped attempt details).
+    pub recovery: RecoveryTrace,
+    /// Total recovery-ladder actions; equals `self.recovery.total()`.
     pub recoveries: usize,
     /// Number of [`JobOutcome::Failed`] entries.
     pub failed_jobs: usize,
+    /// Wall-clock seconds each job held a worker, in job order.
+    pub job_seconds: Vec<f64>,
 }
 
 impl JobBatch {
-    fn collect(pairs: impl Iterator<Item = (JobOutcome, usize)>) -> Self {
+    fn collect(runs: impl Iterator<Item = JobRun>) -> Self {
         let mut outcomes = Vec::new();
-        let mut recoveries = 0;
+        let mut recovery = RecoveryTrace::default();
         let mut failed_jobs = 0;
-        for (o, r) in pairs {
-            recoveries += r;
-            if matches!(o, JobOutcome::Failed { .. }) {
+        let mut job_seconds = Vec::new();
+        for run in runs {
+            recovery.merge(&run.recovery);
+            if matches!(run.outcome, JobOutcome::Failed { .. }) {
                 failed_jobs += 1;
             }
-            outcomes.push(o);
+            outcomes.push(run.outcome);
+            job_seconds.push(run.seconds);
         }
         Self {
             outcomes,
-            recoveries,
+            recoveries: recovery.total(),
+            recovery,
             failed_jobs,
+            job_seconds,
         }
     }
 }
@@ -301,6 +383,9 @@ impl JobBatch {
 /// `threads == 1` (or a batch of at most one job) runs inline on the caller
 /// thread with no pool at all.
 pub fn execute_jobs(sim: &Simulator<'_>, jobs: &[SimJob], threads: usize) -> JobBatch {
+    let _span = obs::span("char.execute")
+        .arg("jobs", jobs.len())
+        .arg("threads", threads);
     if threads <= 1 || jobs.len() <= 1 {
         return JobBatch::collect(
             jobs.iter()
@@ -311,7 +396,7 @@ pub fn execute_jobs(sim: &Simulator<'_>, jobs: &[SimJob], threads: usize) -> Job
 
     let workers = threads.min(jobs.len());
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<(JobOutcome, usize)>> = vec![None; jobs.len()];
+    let mut results: Vec<Option<JobRun>> = vec![None; jobs.len()];
     let mut worker_panic: Option<String> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -353,15 +438,13 @@ pub fn execute_jobs(sim: &Simulator<'_>, jobs: &[SimJob], threads: usize) -> Job
     let worker_panic = worker_panic.unwrap_or_else(|| "worker lost".into());
     JobBatch::collect(results.into_iter().enumerate().map(|(i, slot)| {
         slot.unwrap_or_else(|| {
-            (
-                JobOutcome::Failed {
-                    job: i,
-                    reason: ModelError::Simulation(AnalysisError::Aborted {
-                        analysis: "characterization worker".into(),
-                        detail: format!("worker panicked: {worker_panic}"),
-                    }),
-                },
-                0,
+            JobRun::failed(
+                i,
+                ModelError::Simulation(AnalysisError::Aborted {
+                    analysis: "characterization worker".into(),
+                    detail: format!("worker panicked: {worker_panic}"),
+                }),
+                0.0,
             )
         })
     }))
@@ -388,6 +471,11 @@ pub fn first_error(outcomes: &[JobOutcome]) -> Result<Vec<&JobOutcome>, ModelErr
 /// Counters describing one characterization run (satisfying the perf and
 /// resilience acceptance criteria: cache behavior, simulation volume, and
 /// degradation are observable, not inferred).
+///
+/// The run counters are not accumulated ad hoc: characterization books every
+/// batch into a per-run [`obs::Registry`] under the [`metric`] names and this
+/// struct is derived from its snapshot ([`Self::from_registry`]), then
+/// cross-checked by [`Self::invariant_violation`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CharStats {
     /// Models served from the on-disk cache without simulating.
@@ -402,15 +490,97 @@ pub struct CharStats {
     pub sims_run: usize,
     /// Worker threads used for the batched phases.
     pub threads: usize,
+    /// Jobs submitted to the batched phases.
+    pub enumerated_jobs: usize,
+    /// Jobs that produced a measurement.
+    pub succeeded_jobs: usize,
     /// Recovery-ladder actions across all transients (damped retries, gmin
     /// continuations, step cuts, run restarts).
     pub recoveries: usize,
+    /// Wall-clock seconds lost inside the recovery ladder (rescue solves
+    /// and thrown-away restarted attempts).
+    pub recovery_seconds: f64,
     /// Jobs that produced [`JobOutcome::Failed`] instead of a measurement.
     pub failed_jobs: usize,
     /// Model slices dropped (marked degraded) because their jobs failed.
     pub degraded_slices: usize,
     /// Wall-clock seconds per pipeline phase.
     pub phases: PhaseTimes,
+}
+
+impl CharStats {
+    /// Derives the run counters from a metrics-registry snapshot. Cache
+    /// counters, `threads`, and `phases` are not registry-backed and stay at
+    /// their defaults; callers fill them in.
+    pub fn from_registry(snap: &obs::Snapshot) -> Self {
+        let count = |name: &str| snap.counter(name) as usize;
+        Self {
+            sims_run: count(metric::SIMS_RUN),
+            enumerated_jobs: count(metric::JOBS_ENUMERATED),
+            succeeded_jobs: count(metric::JOBS_SUCCEEDED),
+            failed_jobs: count(metric::JOBS_FAILED),
+            recoveries: count(metric::RECOVERIES),
+            recovery_seconds: snap.gauge(metric::RECOVERY_SECONDS),
+            degraded_slices: count(metric::DEGRADED_SLICES),
+            ..Self::default()
+        }
+    }
+
+    /// Checks the job-accounting invariant: every enumerated job must end as
+    /// exactly one success or one failure. The three counters are recorded
+    /// from independent sources (submitted jobs, non-failed outcomes, failed
+    /// outcomes), so a violation means outcomes were dropped or
+    /// double-counted somewhere in the pipeline.
+    ///
+    /// Returns a description of the violation, or `None` when consistent.
+    pub fn invariant_violation(&self) -> Option<String> {
+        if self.succeeded_jobs + self.failed_jobs == self.enumerated_jobs {
+            None
+        } else {
+            Some(format!(
+                "job accounting out of balance: {} succeeded + {} failed != {} enumerated",
+                self.succeeded_jobs, self.failed_jobs, self.enumerated_jobs
+            ))
+        }
+    }
+}
+
+/// The per-run registry plus, when metrics are enabled, the process-global
+/// one — every characterization counter is booked into both.
+fn registries(reg: &obs::Registry) -> impl Iterator<Item = &obs::Registry> {
+    std::iter::once(reg).chain(obs::metrics_enabled().then(obs::Registry::global))
+}
+
+/// Adds `n` to the counter `name` in the run registry and its global mirror.
+pub(crate) fn bump(reg: &obs::Registry, name: &str, n: u64) {
+    for r in registries(reg) {
+        r.counter(name).add(n);
+    }
+}
+
+/// Books one executed batch: job accounting (enumerated from the submitted
+/// count, succeeded/failed by scanning the outcomes — deliberately separate
+/// sources so [`CharStats::invariant_violation`] checks something real),
+/// simulation volume, recovery cost, and the per-job wall-time histogram.
+pub(crate) fn record_batch(reg: &obs::Registry, enumerated: usize, batch: &JobBatch) {
+    let succeeded = batch
+        .outcomes
+        .iter()
+        .filter(|o| !matches!(o, JobOutcome::Failed { .. }))
+        .count();
+    for r in registries(reg) {
+        r.counter(metric::JOBS_ENUMERATED).add(enumerated as u64);
+        r.counter(metric::JOBS_SUCCEEDED).add(succeeded as u64);
+        r.counter(metric::JOBS_FAILED).add(batch.failed_jobs as u64);
+        r.counter(metric::SIMS_RUN).add(batch.outcomes.len() as u64);
+        r.counter(metric::RECOVERIES).add(batch.recoveries as u64);
+        r.gauge(metric::RECOVERY_SECONDS)
+            .add(batch.recovery.total_seconds());
+        let hist = r.histogram(metric::JOB_SECONDS, metric::JOB_SECONDS_BOUNDS);
+        for &s in &batch.job_seconds {
+            hist.observe(s);
+        }
+    }
 }
 
 /// Wall-clock breakdown of the characterization pipeline.

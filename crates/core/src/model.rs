@@ -13,13 +13,16 @@ use crate::dominance::{rank_for_scenario, RankedEvent};
 use crate::dual::DualInputModel;
 use crate::error::ModelError;
 use crate::glitch::GlitchModel;
-use crate::jobs::{execute_jobs, first_error, CharStats, SimJob};
+use crate::jobs::{
+    bump, execute_jobs, first_error, metric, record_batch, CharStats, PhaseTimes, SimJob,
+};
 use crate::measure::{InputEvent, Scenario};
 use crate::nldm::LoadSlewModel;
 use crate::single::{edge_as_bool, SingleInputModel};
 use crate::thresholds::{extract_vtc_family, Thresholds, VtcFamily};
 use proxim_cells::{Cell, Technology};
 use proxim_numeric::pwl::Edge;
+use proxim_obs as obs;
 use std::time::Instant;
 
 /// The model's answer for one gate switching scenario.
@@ -99,6 +102,15 @@ fn eidx(edge: Edge) -> usize {
     }
 }
 
+/// Books one degraded slice: counter (run + global mirror) and trace event.
+fn note_degraded(reg: &obs::Registry, d: &DegradedSlice) {
+    bump(reg, metric::DEGRADED_SLICES, 1);
+    let _ = obs::event("char.slice.degraded")
+        .arg("kind", format_args!("{:?}", d.kind))
+        .arg("pin", d.pin)
+        .arg("edge", format_args!("{:?}", d.edge));
+}
+
 /// A fully characterized temporal-proximity model for one cell.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ProximityModel {
@@ -167,22 +179,29 @@ impl ProximityModel {
         opts: &CharacterizeOptions,
     ) -> Result<(Self, CharStats), ModelError> {
         let threads = opts.worker_threads();
-        let mut stats = CharStats {
-            threads,
-            ..CharStats::default()
-        };
+        // Every counter of the run is booked into this registry (and
+        // mirrored to the global one when metrics are on); the CharStats
+        // returned to the caller is a snapshot view of it.
+        let reg = obs::Registry::new();
+        let mut phases = PhaseTimes::default();
+        let run_span = obs::span("char.characterize")
+            .arg("inputs", cell.input_count())
+            .arg("threads", threads);
         let n = cell.input_count();
 
         // Phase 1 (sequential): VTC family and threshold selection (§2).
         let t0 = Instant::now();
+        let phase_span = obs::span("char.phase.vtc");
         let vtc = extract_vtc_family(cell, tech, opts.c_load, opts.vtc_points)?;
         let thresholds = vtc.thresholds();
         let sim = Simulator::new(cell, tech, thresholds, opts.c_load, opts.dv_max);
-        stats.phases.vtc = t0.elapsed().as_secs_f64();
+        drop(phase_span);
+        phases.vtc = t0.elapsed().as_secs_f64();
 
         // Phase 2: single-input macromodels for every sensitizable
         // (pin, edge), as one job batch.
         let t0 = Instant::now();
+        let phase_span = obs::span("char.phase.singles");
         let mut single_specs: Vec<(usize, Edge)> = Vec::new();
         let mut jobs: Vec<SimJob> = Vec::new();
         let mut spans: Vec<(usize, usize)> = Vec::new();
@@ -198,9 +217,7 @@ impl ProximityModel {
             }
         }
         let batch = execute_jobs(&sim, &jobs, threads);
-        stats.sims_run += jobs.len();
-        stats.recoveries += batch.recoveries;
-        stats.failed_jobs += batch.failed_jobs;
+        record_batch(&reg, jobs.len(), &batch);
         let mut degraded: Vec<DegradedSlice> = Vec::new();
         let mut singles: Vec<[Option<SingleInputModel>; 2]> = vec![[None, None]; n];
         for (&(pin, edge), &(start, len)) in single_specs.iter().zip(&spans) {
@@ -217,22 +234,28 @@ impl ProximityModel {
                 // A degraded single also suppresses every slice that would
                 // have been built on top of it: phase 3 skips missing
                 // singles.
-                Err(e) if e.is_slice_degradable() => degraded.push(DegradedSlice {
-                    kind: SliceKind::Single,
-                    pin,
-                    edge,
-                    reason: e.to_string(),
-                }),
+                Err(e) if e.is_slice_degradable() => {
+                    let d = DegradedSlice {
+                        kind: SliceKind::Single,
+                        pin,
+                        edge,
+                        reason: e.to_string(),
+                    };
+                    note_degraded(&reg, &d);
+                    degraded.push(d);
+                }
                 Err(e) => return Err(e),
             }
         }
-        stats.phases.singles = t0.elapsed().as_secs_f64();
+        drop(phase_span);
+        phases.singles = t0.elapsed().as_secs_f64();
 
         // Phase 3: everything whose grid depends only on the singles —
         // dual-input proximity tables, NLDM load-slew surfaces, and glitch
         // extremum tables — fans out as one combined batch, so the slow
         // glitch transients overlap the cheap dual rows.
         let t0 = Instant::now();
+        let phase_span = obs::span("char.phase.pairs");
         enum PairSpec {
             Dual {
                 pin: usize,
@@ -329,9 +352,7 @@ impl ProximityModel {
             }
         }
         let batch = execute_jobs(&sim, &jobs, threads);
-        stats.sims_run += jobs.len();
-        stats.recoveries += batch.recoveries;
-        stats.failed_jobs += batch.failed_jobs;
+        record_batch(&reg, jobs.len(), &batch);
 
         let mut duals: Vec<[Option<DualInputModel>; 2]> = vec![[None, None]; n];
         let mut extra_duals = Vec::new();
@@ -350,12 +371,14 @@ impl ProximityModel {
             let ok = match first_error(&batch.outcomes[start..start + len]) {
                 Ok(ok) => ok,
                 Err(e) if e.is_slice_degradable() => {
-                    degraded.push(DegradedSlice {
+                    let d = DegradedSlice {
                         kind,
                         pin,
                         edge,
                         reason: e.to_string(),
-                    });
+                    };
+                    note_degraded(&reg, &d);
+                    degraded.push(d);
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -418,7 +441,8 @@ impl ProximityModel {
                 }
             }
         }
-        stats.phases.pairs = t0.elapsed().as_secs_f64();
+        drop(phase_span);
+        phases.pairs = t0.elapsed().as_secs_f64();
 
         let mut model = Self {
             cell: cell.clone(),
@@ -441,6 +465,7 @@ impl ProximityModel {
         // handful of sims with data dependencies on the assembled model, so
         // batching buys nothing.
         let t0 = Instant::now();
+        let phase_span = obs::span("char.phase.finish");
 
         // Driver-receiver ramp-stretch calibration: a two-stage self-chain
         // per input edge pins down the equivalent full-swing ramp the next
@@ -463,7 +488,7 @@ impl ProximityModel {
                 opts.c_load,
                 opts.dv_max,
             ) {
-                stats.sims_run += 3; // the calibration chain's three sims
+                bump(&reg, metric::SIMS_RUN, 3); // the calibration chain's three sims
                 model.ramp_stretch[eidx(out_edge)] = f;
             }
         }
@@ -499,25 +524,53 @@ impl ProximityModel {
                         trans: t_sim - model_t.output_transition,
                     })
                 })();
-                stats.sims_run += 1;
+                bump(&reg, metric::SIMS_RUN, 1);
                 match term {
                     Ok(term) => {
                         model.corrections[eidx(model_t.output_edge)] = term;
                     }
                     // A lost correction degrades the slice to the
                     // uncorrected composition (the zero default term).
-                    Err(e) if e.is_slice_degradable() => model.degraded.push(DegradedSlice {
-                        kind: SliceKind::Correction,
-                        pin: model_t.reference_pin,
-                        edge,
-                        reason: e.to_string(),
-                    }),
+                    Err(e) if e.is_slice_degradable() => {
+                        let d = DegradedSlice {
+                            kind: SliceKind::Correction,
+                            pin: model_t.reference_pin,
+                            edge,
+                            reason: e.to_string(),
+                        };
+                        note_degraded(&reg, &d);
+                        model.degraded.push(d);
+                    }
                     Err(e) => return Err(e),
                 }
             }
         }
-        stats.phases.finish = t0.elapsed().as_secs_f64();
-        stats.degraded_slices = model.degraded.len();
+        drop(phase_span);
+        phases.finish = t0.elapsed().as_secs_f64();
+
+        // The caller's stats are a snapshot view of the run registry, not a
+        // separately maintained set of counters — so they cannot drift from
+        // what the pipeline actually recorded.
+        let mut stats = CharStats::from_registry(&reg.snapshot());
+        stats.threads = threads;
+        stats.phases = phases;
+        if stats.degraded_slices != model.degraded.len() {
+            return Err(ModelError::Table(format!(
+                "degraded-slice accounting out of balance: {} counted vs {} recorded",
+                stats.degraded_slices,
+                model.degraded.len()
+            )));
+        }
+        if let Some(detail) = stats.invariant_violation() {
+            return Err(ModelError::Table(detail));
+        }
+        drop(
+            run_span
+                .arg("sims_run", stats.sims_run)
+                .arg("recoveries", stats.recoveries)
+                .arg("failed_jobs", stats.failed_jobs)
+                .arg("degraded_slices", stats.degraded_slices),
+        );
 
         Ok((model, stats))
     }

@@ -13,11 +13,24 @@
 
 use crate::characterize::CharacterizeOptions;
 use crate::error::ModelError;
-use crate::jobs::CharStats;
+use crate::jobs::{metric, CharStats};
 use crate::model::ProximityModel;
 use proxim_cells::{Cell, Technology};
+use proxim_obs as obs;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// Books one cache lookup outcome: a trace event for the timeline and a
+/// process-global counter (the caller's [`CharStats`] keeps its own
+/// per-call copy).
+fn note_cache(outcome: &str, counter: &str, key: u64) {
+    if obs::metrics_enabled() {
+        obs::Registry::global().counter(counter).incr();
+    }
+    let _ = obs::event("char.cache")
+        .arg("outcome", outcome)
+        .arg("key", format_args!("{key:016x}"));
+}
 
 impl ProximityModel {
     /// Serializes the model to a JSON string.
@@ -169,6 +182,7 @@ impl ModelCache {
         match ProximityModel::load(&path) {
             Ok(model) => {
                 stats.cache_hits += 1;
+                note_cache("hit", metric::CACHE_HITS, key);
                 return Ok(model);
             }
             // The entry exists but does not parse: move it aside (best
@@ -177,16 +191,21 @@ impl ModelCache {
             Err(_) if path.exists() => {
                 if fs::rename(&path, self.quarantined_path(key)).is_ok() {
                     stats.cache_quarantined += 1;
+                    note_cache("quarantined", metric::CACHE_QUARANTINED, key);
                 }
             }
             Err(_) => {}
         }
         stats.cache_misses += 1;
+        note_cache("miss", metric::CACHE_MISSES, key);
         let (model, run) = ProximityModel::characterize_with_stats(cell, tech, opts)?;
         stats.sims_run += run.sims_run;
         stats.threads = run.threads;
         stats.phases = run.phases;
+        stats.enumerated_jobs += run.enumerated_jobs;
+        stats.succeeded_jobs += run.succeeded_jobs;
         stats.recoveries += run.recoveries;
+        stats.recovery_seconds += run.recovery_seconds;
         stats.failed_jobs += run.failed_jobs;
         stats.degraded_slices += run.degraded_slices;
         fs::create_dir_all(&self.root).map_err(|e| ModelError::Persist {

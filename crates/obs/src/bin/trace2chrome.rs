@@ -1,0 +1,55 @@
+//! Converts a proxim JSONL trace to the Chrome `trace_event` format.
+//!
+//! ```text
+//! trace2chrome TRACE.jsonl [-o OUT.json]
+//! ```
+//!
+//! With no `-o`, writes next to the input with a `.chrome.json` suffix.
+//! Open the result in `about:tracing` or <https://ui.perfetto.dev>.
+
+use proxim_obs::chrome::chrome_trace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn run() -> Result<PathBuf, String> {
+    let mut args = std::env::args_os().skip(1);
+    let mut input: Option<PathBuf> = None;
+    let mut output: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        if a == "-o" || a == "--output" {
+            let v = args.next().ok_or("missing path after -o")?;
+            output = Some(PathBuf::from(v));
+        } else if a == "-h" || a == "--help" {
+            return Err("usage: trace2chrome TRACE.jsonl [-o OUT.json]".into());
+        } else if input.is_none() {
+            input = Some(PathBuf::from(a));
+        } else {
+            return Err(format!("unexpected argument {:?}", a.to_string_lossy()));
+        }
+    }
+    let input = input.ok_or("usage: trace2chrome TRACE.jsonl [-o OUT.json]")?;
+    let output = output.unwrap_or_else(|| {
+        let mut name = input.as_os_str().to_owned();
+        name.push(".chrome.json");
+        PathBuf::from(name)
+    });
+    let jsonl = std::fs::read_to_string(&input)
+        .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+    let chrome = chrome_trace(&jsonl).map_err(|e| format!("{}: {e}", input.display()))?;
+    std::fs::write(&output, chrome)
+        .map_err(|e| format!("cannot write {}: {e}", output.display()))?;
+    Ok(output)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

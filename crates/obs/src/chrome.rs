@@ -1,0 +1,199 @@
+//! Converts a JSONL trace (the [`crate::sink`] format) to the Chrome
+//! `trace_event` JSON format, viewable in `about:tracing` or
+//! [Perfetto](https://ui.perfetto.dev).
+//!
+//! Mapping: `span` records become complete events (`"ph":"X"`, carrying
+//! `ts`/`dur` in microseconds on the span's thread track), `event` records
+//! become thread-scoped instant events (`"ph":"i"`, `"s":"t"`), and
+//! `metrics` records are skipped (they are registry state, not timeline
+//! data). All events share `pid` 1 — the trace is one process.
+
+use crate::json::{push_escaped, push_f64, Json};
+use std::fmt;
+
+/// A conversion failure, pointing at the offending JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeError {
+    /// 1-based line number in the JSONL input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for ChromeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for ChromeError {}
+
+fn field_u64(v: &Json, key: &str, line: usize) -> Result<u64, ChromeError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .map(|x| x as u64)
+        .ok_or_else(|| ChromeError {
+            line,
+            detail: format!("missing numeric field {key:?}"),
+        })
+}
+
+fn field_str<'a>(v: &'a Json, key: &str, line: usize) -> Result<&'a str, ChromeError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ChromeError {
+            line,
+            detail: format!("missing string field {key:?}"),
+        })
+}
+
+fn push_chrome_args(out: &mut String, record: &Json) {
+    // Span/event args are {"k":"v"} string maps; ids ride along so the
+    // Perfetto UI can correlate parents.
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Some(Json::Obj(members)) = record.get("args") {
+        for (k, v) in members {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_escaped(out, k);
+            out.push(':');
+            v.render(out);
+        }
+    }
+    for key in ["id", "parent"] {
+        if let Some(x) = record.get(key).and_then(Json::as_f64) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_escaped(out, key);
+            out.push(':');
+            push_f64(out, x);
+        }
+    }
+    out.push('}');
+}
+
+/// Converts JSONL trace text to a Chrome `trace_event` document
+/// (`{"traceEvents":[...]}`). Blank lines are skipped; any malformed line
+/// fails the conversion with its line number.
+///
+/// # Errors
+///
+/// Returns [`ChromeError`] naming the first unusable line.
+pub fn chrome_trace(jsonl: &str) -> Result<String, ChromeError> {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, raw) in jsonl.lines().enumerate() {
+        let lineno = i + 1;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let record = Json::parse(raw).map_err(|e| ChromeError {
+            line: lineno,
+            detail: e.to_string(),
+        })?;
+        let kind = field_str(&record, "t", lineno)?;
+        match kind {
+            "span" => {
+                let name = field_str(&record, "name", lineno)?;
+                let tid = field_u64(&record, "tid", lineno)?;
+                let ts = field_u64(&record, "ts", lineno)?;
+                let dur = field_u64(&record, "dur", lineno)?;
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("{\"ph\":\"X\",\"cat\":\"span\",\"name\":");
+                push_escaped(&mut out, name);
+                out.push_str(&format!(
+                    ",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur}"
+                ));
+                push_chrome_args(&mut out, &record);
+                out.push('}');
+            }
+            "event" => {
+                let name = field_str(&record, "name", lineno)?;
+                let tid = field_u64(&record, "tid", lineno)?;
+                let ts = field_u64(&record, "ts", lineno)?;
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"event\",\"name\":");
+                push_escaped(&mut out, name);
+                out.push_str(&format!(",\"pid\":1,\"tid\":{tid},\"ts\":{ts}"));
+                push_chrome_args(&mut out, &record);
+                out.push('}');
+            }
+            // Registry snapshots are not timeline data.
+            "metrics" => {}
+            other => {
+                return Err(ChromeError {
+                    line: lineno,
+                    detail: format!("unknown record type {other:?}"),
+                });
+            }
+        }
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_spans_events_and_skips_metrics() {
+        let jsonl = concat!(
+            "{\"t\":\"span\",\"name\":\"tran\",\"id\":1,\"tid\":1,\"ts\":10,\"dur\":90,\"args\":{\"steps\":\"42\"}}\n",
+            "\n",
+            "{\"t\":\"event\",\"name\":\"cache.hit\",\"tid\":2,\"ts\":5,\"parent\":1}\n",
+            "{\"t\":\"metrics\",\"ts\":100,\"data\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}}\n",
+        );
+        let chrome = chrome_trace(jsonl).unwrap();
+        let doc = Json::parse(&chrome).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2, "metrics lines are not timeline events");
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(90.0));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .unwrap()
+                .get("steps")
+                .unwrap()
+                .as_str(),
+            Some("42")
+        );
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(
+            events[1]
+                .get("args")
+                .unwrap()
+                .get("parent")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn reports_bad_lines_with_position() {
+        let err = chrome_trace("{\"t\":\"span\"}\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = chrome_trace(
+            "{\"t\":\"span\",\"name\":\"x\",\"tid\":1,\"ts\":0,\"dur\":1}\nnot json\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = chrome_trace("{\"t\":\"mystery\"}\n").unwrap_err();
+        assert!(err.detail.contains("unknown record type"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Structured tracing, metrics, and trace export for the proximity stack.
+//!
+//! Characterization runs thousands of transient solves behind every grid
+//! point, and the pipeline around them makes runtime decisions — recovery
+//! rungs, step cuts, cache quarantines, degraded slices — that are invisible
+//! in end-of-run totals. This crate is the shared observability layer that
+//! makes those decisions inspectable without taxing the hot path:
+//!
+//! - **Levels** ([`Level`]): one process-wide atomic gates everything.
+//!   [`Level::Off`] (the default) reduces every instrumentation site to an
+//!   atomic load and a branch; [`Level::Metrics`] enables registry updates;
+//!   [`Level::Trace`] additionally emits spans and events to the installed
+//!   sink.
+//! - **Metrics** ([`metrics::Registry`]): counters, gauges, and fixed-bucket
+//!   histograms. The process-wide registry ([`Registry::global`]) aggregates
+//!   across the whole run; local registries can be created for per-run
+//!   accounting that must not bleed across concurrent runs (the
+//!   characterization pipeline derives its `CharStats` from one).
+//! - **Tracing** ([`trace`]): spans (scoped, nested per thread, monotonic
+//!   microsecond timestamps, stable thread ids) and instant events, both
+//!   carrying key/value args. Emission is line-oriented JSON via [`sink`].
+//! - **Export** ([`sink`], [`chrome`]): a JSONL sink installed from the
+//!   `PROXIM_TRACE` environment variable, and a converter to the Chrome
+//!   `trace_event` format so a run can be opened in `about:tracing` or
+//!   [Perfetto](https://ui.perfetto.dev).
+//!
+//! # Example
+//!
+//! ```
+//! use proxim_obs as obs;
+//!
+//! // Metrics work against any registry; the global one is the default.
+//! let reg = obs::Registry::new();
+//! let solves = reg.counter("demo.solves");
+//! solves.add(3);
+//! let h = reg.histogram("demo.iters", &[1.0, 2.0, 4.0, 8.0]);
+//! h.observe(3.0);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("demo.solves"), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use trace::{event, span, Event, Span};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much observability the process pays for.
+///
+/// Stored in one process-wide atomic; every instrumentation site loads it
+/// (relaxed) and branches, so the disabled cost is a couple of nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Level {
+    /// No metrics, no tracing (the default).
+    #[default]
+    Off = 0,
+    /// Update the global metrics registry; no span/event emission.
+    Metrics = 1,
+    /// Metrics plus span/event emission to the installed sink, and
+    /// fine-grained solver profiling (LU timing) in the simulator.
+    Trace = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Sets the process-wide observability level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide observability level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Metrics,
+        _ => Level::Trace,
+    }
+}
+
+/// Whether metric updates should be recorded against the global registry.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= Level::Metrics as u8
+}
+
+/// Whether spans and events are emitted. Requires [`Level::Trace`] *and* an
+/// installed sink: tracing with nowhere to write would be pure overhead.
+#[inline]
+pub fn trace_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= Level::Trace as u8 && sink::is_installed()
+}
+
+/// Initializes tracing from the environment: when `PROXIM_TRACE` names a
+/// path, installs a JSONL sink writing there and raises the level to
+/// [`Level::Trace`]. Returns the trace path when tracing was armed.
+///
+/// A path that cannot be created is reported on stderr and ignored rather
+/// than failing the run — observability must never take the workload down.
+pub fn init_from_env() -> Option<PathBuf> {
+    let path = std::env::var_os("PROXIM_TRACE")?;
+    if path.is_empty() {
+        return None;
+    }
+    let path = PathBuf::from(path);
+    match sink::install_jsonl(&path) {
+        Ok(()) => {
+            set_level(Level::Trace);
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("PROXIM_TRACE: cannot open {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_correctly() {
+        assert!(Level::Off < Level::Metrics);
+        assert!(Level::Metrics < Level::Trace);
+        assert_eq!(Level::default(), Level::Off);
+    }
+}

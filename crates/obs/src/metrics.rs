@@ -1,0 +1,502 @@
+//! Counters, gauges, and fixed-bucket histograms behind a named registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s over
+//! atomics: look one up once, then update it lock-free from any thread.
+//! The registry mutex is only taken at registration and snapshot time,
+//! never on the update path.
+//!
+//! Two registries matter in practice: [`Registry::global`] aggregates over
+//! the whole process for end-of-run summaries and trace export, while a
+//! local `Registry::new()` gives a single characterization run its own
+//! books — required because several runs may execute concurrently in one
+//! process (cargo's test runner does exactly that) and per-run statistics
+//! must not bleed between them.
+
+use crate::json::{push_escaped, push_f64};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins floating-point metric, also supporting accumulation.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `x`.
+    #[inline]
+    pub fn set(&self, x: f64) {
+        self.0.store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `x` to the gauge (compare-and-swap loop; gauges are not on the
+    /// hot path).
+    pub fn add(&self, x: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, ascending. An observation lands
+    /// in the first bucket whose bound it does not exceed; anything above
+    /// the last bound lands in the implicit overflow bucket.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets, the last one being overflow.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, as f64 bits (CAS-accumulated).
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Observation is a linear scan over the bucket
+/// bounds plus three relaxed atomic updates — no locks, no allocation.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, x: f64) {
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|&b| x <= b)
+            .unwrap_or(inner.bounds.len());
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = inner.sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match inner
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter named `name`, creating it on first use. Asking for a
+    /// name that is registered as a different kind returns a fresh
+    /// detached handle (never panics; the registry keeps the original).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut entries = self.entries();
+        match entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Entry::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Entry::Counter(c) => c.clone(),
+            _ => Counter(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use (same kind-mismatch
+    /// policy as [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut entries = self.entries();
+        match entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Entry::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Entry::Gauge(g) => g.clone(),
+            _ => Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+        }
+    }
+
+    /// The histogram named `name` with the given finite bucket bounds
+    /// (ascending), creating it on first use. Bounds are fixed at creation;
+    /// later callers get the existing histogram regardless of the bounds
+    /// they pass.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut entries = self.entries();
+        match entries.entry(name.to_owned()).or_insert_with(|| {
+            let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Entry::Histogram(Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0f64.to_bits()),
+            })))
+        }) {
+            Entry::Histogram(h) => h.clone(),
+            _ => Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0f64.to_bits()),
+            })),
+        }
+    }
+
+    /// A consistent point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries();
+        let mut snap = Snapshot::default();
+        for (name, entry) in entries.iter() {
+            match entry {
+                Entry::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Entry::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Entry::Histogram(h) => {
+                    let inner = &h.0;
+                    snap.histograms.insert(
+                        name.clone(),
+                        HistogramSnapshot {
+                            bounds: inner.bounds.clone(),
+                            counts: inner
+                                .counts
+                                .iter()
+                                .map(|c| c.load(Ordering::Relaxed))
+                                .collect(),
+                            count: inner.count.load(Ordering::Relaxed),
+                            sum: f64::from_bits(inner.sum.load(Ordering::Relaxed)),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], ordered by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of a counter, or 0 when it never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of a gauge, or 0.0 when it never registered.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The snapshot of a histogram, when it registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Renders the snapshot as one compact JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"p50":..,"p90":..,"p99":..,"mean":..}}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_escaped(&mut s, name);
+            s.push(':');
+            s.push_str(&v.to_string());
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_escaped(&mut s, name);
+            s.push(':');
+            push_f64(&mut s, *v);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_escaped(&mut s, name);
+            s.push_str(":{\"count\":");
+            s.push_str(&h.count.to_string());
+            s.push_str(",\"sum\":");
+            push_f64(&mut s, h.sum);
+            s.push_str(",\"mean\":");
+            push_f64(&mut s, h.mean());
+            for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                s.push_str(",\"");
+                s.push_str(label);
+                s.push_str("\":");
+                push_f64(&mut s, h.quantile(q));
+            }
+            s.push('}');
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders a plain-text summary table (one metric per line, aligned),
+    /// suitable for an end-of-run report on stderr or stdout.
+    pub fn render_summary(&self) -> String {
+        let mut lines: Vec<(String, String)> = Vec::new();
+        for (name, v) in &self.counters {
+            lines.push((name.clone(), v.to_string()));
+        }
+        for (name, v) in &self.gauges {
+            lines.push((name.clone(), format!("{v:.6}")));
+        }
+        for (name, h) in &self.histograms {
+            lines.push((
+                name.clone(),
+                format!(
+                    "count={} mean={:.3} p50={:.3} p90={:.3} p99={:.3}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                ),
+            ));
+        }
+        let width = lines.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in lines {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
+/// The state of one histogram at snapshot time.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; the final entry is the overflow
+    /// bucket (observations above the last bound).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// An estimate of the `q`-quantile (`0.0..=1.0`) by linear
+    /// interpolation inside the containing bucket. Observations in the
+    /// overflow bucket report the last finite bound — fixed-bucket
+    /// histograms cannot see beyond it.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = seen + c;
+            if (next as f64) >= rank && c > 0 {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: the best we can report is the top
+                    // finite bound.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (rank - seen as f64) / c as f64
+                };
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            seen = next;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.incr();
+        assert_eq!(reg.snapshot().counter("x"), 3);
+        assert_eq!(reg.snapshot().counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let reg = Registry::new();
+        let g = reg.gauge("g");
+        g.set(1.5);
+        g.add(0.25);
+        assert!((reg.snapshot().gauge("g") - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[1.0, 2.0, 4.0, 8.0]);
+        for x in [0.5, 1.5, 1.5, 3.0, 9.0] {
+            h.observe(x);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.counts, vec![1, 2, 1, 0, 1]);
+        assert!((hs.sum - 15.5).abs() < 1e-12);
+        assert!((hs.mean() - 3.1).abs() < 1e-12);
+        let p50 = hs.quantile(0.5);
+        assert!((1.0..=2.0).contains(&p50), "p50 = {p50}");
+        // The overflow observation pins the extreme quantile to the top
+        // finite bound.
+        assert_eq!(hs.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("n");
+                let h = reg.histogram("lat", &[10.0, 100.0]);
+                for i in 0..1000 {
+                    c.incr();
+                    h.observe((i % 150) as f64);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("n"), 4000);
+        assert_eq!(snap.histogram("lat").unwrap().count, 4000);
+    }
+
+    #[test]
+    fn snapshot_json_parses() {
+        let reg = Registry::new();
+        reg.counter("runs").add(7);
+        reg.gauge("ratio").set(0.5);
+        reg.histogram("iters", &[2.0, 4.0]).observe(3.0);
+        let v = Json::parse(&reg.snapshot().to_json()).unwrap();
+        assert_eq!(
+            v.get("counters").unwrap().get("runs").unwrap().as_f64(),
+            Some(7.0)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .unwrap()
+                .get("iters")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let reg = Registry::new();
+        reg.counter("m").add(5);
+        // Asking for the same name as a gauge must not panic or clobber.
+        let g = reg.gauge("m");
+        g.set(9.0);
+        assert_eq!(reg.snapshot().counter("m"), 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! The process-wide trace sink: where emitted JSONL lines go.
+//!
+//! At most one sink is installed at a time. Emission sites call
+//! [`write_line`], which is a no-op when nothing is installed; the
+//! [`crate::trace_enabled`] fast path checks [`is_installed`] first, so the
+//! mutex here is only touched when tracing is actually armed.
+//!
+//! A sink that starts failing (disk full, closed pipe) is dropped after
+//! reporting once on stderr — observability must never take the workload
+//! down.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Whether a sink is currently installed (lock-free).
+#[inline]
+pub fn is_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+fn guard() -> std::sync::MutexGuard<'static, Option<Box<dyn Write + Send>>> {
+    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs a buffered JSONL sink writing to `path` (truncating any
+/// existing file). Replaces and flushes any previous sink.
+///
+/// # Errors
+///
+/// Returns the I/O error when the file cannot be created.
+pub fn install_jsonl(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    install_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Installs an arbitrary writer as the sink (used by tests to capture
+/// emission in memory). Replaces and flushes any previous sink.
+pub fn install_writer(w: Box<dyn Write + Send>) {
+    let mut slot = guard();
+    if let Some(mut old) = slot.take() {
+        old.flush().ok();
+    }
+    *slot = Some(w);
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Flushes and removes the current sink, if any.
+pub fn uninstall() {
+    let mut slot = guard();
+    INSTALLED.store(false, Ordering::Relaxed);
+    if let Some(mut old) = slot.take() {
+        old.flush().ok();
+    }
+}
+
+/// Flushes the current sink without removing it.
+pub fn flush() {
+    if !is_installed() {
+        return;
+    }
+    if let Some(w) = guard().as_mut() {
+        w.flush().ok();
+    }
+}
+
+/// Writes one line (a newline is appended) to the installed sink. No-op
+/// when no sink is installed. On a write error the sink is dropped and the
+/// error reported once on stderr.
+pub fn write_line(line: &str) {
+    if !is_installed() {
+        return;
+    }
+    let mut slot = guard();
+    let Some(w) = slot.as_mut() else { return };
+    let failed = w
+        .write_all(line.as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .is_err();
+    if failed {
+        eprintln!("proxim-obs: trace sink write failed; tracing disabled");
+        INSTALLED.store(false, Ordering::Relaxed);
+        *slot = None;
+    }
+}

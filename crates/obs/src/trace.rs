@@ -1,0 +1,231 @@
+//! Spans and instant events with monotonic timestamps and stable thread
+//! ids, emitted as one JSONL record each.
+//!
+//! A [`Span`] measures a scope: it stamps its start on creation and emits a
+//! single record with its duration when dropped. Spans nest per thread — a
+//! thread-local stack tracks the open spans, so a child records its
+//! parent's id without any coordination between threads. An [`Event`] marks
+//! an instant and emits on drop.
+//!
+//! Everything here is inert unless [`crate::trace_enabled`] holds at
+//! construction: an inert span is a `None` payload whose drop does nothing,
+//! so instrumentation left in the hot path costs an atomic load and a
+//! branch.
+//!
+//! ## Record formats (one JSON object per line)
+//!
+//! ```json
+//! {"t":"span","name":"char.job","id":7,"parent":3,"tid":2,"ts":1520,"dur":880,"args":{"job":"12"}}
+//! {"t":"event","name":"cache.hit","tid":1,"ts":40,"args":{"key":"9f"}}
+//! {"t":"metrics","data":{...}}
+//! ```
+//!
+//! `ts`/`dur` are microseconds since the process trace epoch (the first
+//! timestamped call), matching the Chrome `trace_event` clock domain.
+
+use crate::json::push_escaped;
+use crate::sink;
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch (monotonic).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// This thread's stable trace id (sequential, assigned on first use).
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+struct SpanData {
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+    tid: u64,
+    start_us: u64,
+    args: Vec<(String, String)>,
+}
+
+/// A scoped span: created open, emitted on drop. Obtain via [`span`].
+#[must_use = "a span measures its scope; dropping it immediately records nothing useful"]
+pub struct Span(Option<SpanData>);
+
+/// Opens a span named `name`. Inert (and free beyond the level check) when
+/// tracing is disabled. Attach fields with [`Span::arg`]; the record is
+/// emitted when the returned guard drops.
+pub fn span(name: &str) -> Span {
+    if !crate::trace_enabled() {
+        return Span(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_parent();
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span(Some(SpanData {
+        name: name.to_owned(),
+        id,
+        parent,
+        tid: current_tid(),
+        start_us: now_us(),
+        args: Vec::new(),
+    }))
+}
+
+impl Span {
+    /// Attaches a key/value field (rendered as a string). No-op on an
+    /// inert span, so the value is never formatted when tracing is off —
+    /// pass cheap Displays or gate expensive ones on [`crate::trace_enabled`].
+    pub fn arg(mut self, key: &str, value: impl Display) -> Self {
+        if let Some(data) = self.0.as_mut() {
+            data.args.push((key.to_owned(), value.to_string()));
+        }
+        self
+    }
+
+    /// Attaches a field to a span held by reference (for args only known
+    /// mid-scope).
+    pub fn add_arg(&mut self, key: &str, value: impl Display) {
+        if let Some(data) = self.0.as_mut() {
+            data.args.push((key.to_owned(), value.to_string()));
+        }
+    }
+
+    /// Whether this span is live (tracing was enabled when it opened).
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.0.take() else { return };
+        let dur = now_us().saturating_sub(data.start_us);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Almost always the top; rposition tolerates out-of-order drops.
+            if let Some(i) = stack.iter().rposition(|&id| id == data.id) {
+                stack.remove(i);
+            }
+        });
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"t\":\"span\",\"name\":");
+        push_escaped(&mut line, &data.name);
+        line.push_str(&format!(",\"id\":{}", data.id));
+        if let Some(p) = data.parent {
+            line.push_str(&format!(",\"parent\":{p}"));
+        }
+        line.push_str(&format!(
+            ",\"tid\":{},\"ts\":{},\"dur\":{dur}",
+            data.tid, data.start_us
+        ));
+        push_args(&mut line, &data.args);
+        line.push('}');
+        sink::write_line(&line);
+    }
+}
+
+struct EventData {
+    name: String,
+    tid: u64,
+    ts_us: u64,
+    parent: Option<u64>,
+    args: Vec<(String, String)>,
+}
+
+/// An instant event: stamped at creation, emitted on drop. Obtain via
+/// [`event`].
+#[must_use = "an event emits when dropped; bind it or drop it explicitly after adding args"]
+pub struct Event(Option<EventData>);
+
+/// Marks an instant event named `name`, recorded inside the currently open
+/// span (if any). Inert when tracing is disabled. Attach fields with
+/// [`Event::arg`]; the record is emitted when the value drops.
+pub fn event(name: &str) -> Event {
+    if !crate::trace_enabled() {
+        return Event(None);
+    }
+    Event(Some(EventData {
+        name: name.to_owned(),
+        tid: current_tid(),
+        ts_us: now_us(),
+        parent: current_parent(),
+        args: Vec::new(),
+    }))
+}
+
+impl Event {
+    /// Attaches a key/value field (rendered as a string). No-op when inert.
+    pub fn arg(mut self, key: &str, value: impl Display) -> Self {
+        if let Some(data) = self.0.as_mut() {
+            data.args.push((key.to_owned(), value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Event {
+    fn drop(&mut self) {
+        let Some(data) = self.0.take() else { return };
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"t\":\"event\",\"name\":");
+        push_escaped(&mut line, &data.name);
+        line.push_str(&format!(",\"tid\":{},\"ts\":{}", data.tid, data.ts_us));
+        if let Some(p) = data.parent {
+            line.push_str(&format!(",\"parent\":{p}"));
+        }
+        push_args(&mut line, &data.args);
+        line.push('}');
+        sink::write_line(&line);
+    }
+}
+
+fn push_args(line: &mut String, args: &[(String, String)]) {
+    if args.is_empty() {
+        return;
+    }
+    line.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        push_escaped(line, k);
+        line.push(':');
+        push_escaped(line, v);
+    }
+    line.push('}');
+}
+
+/// Writes a metrics-snapshot record (`{"t":"metrics","data":{...}}`) to the
+/// sink. The Chrome converter skips these; offline tools read them for
+/// end-of-run registry state. No-op when tracing is disabled.
+pub fn emit_metrics(snapshot: &crate::metrics::Snapshot) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let mut line = String::from("{\"t\":\"metrics\",\"ts\":");
+    line.push_str(&now_us().to_string());
+    line.push_str(",\"data\":");
+    line.push_str(&snapshot.to_json());
+    line.push('}');
+    sink::write_line(&line);
+}

@@ -81,6 +81,26 @@ pub enum RecoveryStage {
     RunRestart,
 }
 
+impl RecoveryStage {
+    /// All rungs, cheapest first (the order the ladder consults them).
+    pub const ALL: [Self; 4] = [
+        Self::DampedRetry,
+        Self::GminStepping,
+        Self::StepCut,
+        Self::RunRestart,
+    ];
+
+    /// Dense index of the rung (position in [`Self::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Self::DampedRetry => 0,
+            Self::GminStepping => 1,
+            Self::StepCut => 2,
+            Self::RunRestart => 3,
+        }
+    }
+}
+
 impl fmt::Display for RecoveryStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -101,6 +121,12 @@ pub struct RecoveryAttempt {
     pub t: f64,
     /// Step size in effect when the rung fired, in seconds.
     pub dt: f64,
+    /// Wall-clock time the rung itself consumed, in seconds. For
+    /// [`RecoveryStage::DampedRetry`] and [`RecoveryStage::GminStepping`]
+    /// this is the rescue solve; for [`RecoveryStage::RunRestart`] it is the
+    /// whole failed attempt being thrown away; [`RecoveryStage::StepCut`]
+    /// records 0 — its cost is the re-walked steps, already inside the run.
+    pub seconds: f64,
     /// Whether the rung rescued the solve (for [`RecoveryStage::StepCut`]
     /// and [`RecoveryStage::RunRestart`] this is recorded as `false`; their
     /// success shows up as the run completing).
@@ -117,6 +143,9 @@ const MAX_RECORDED: usize = 64;
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveryTrace {
     attempts: Vec<RecoveryAttempt>,
+    /// Wall-clock seconds consumed per rung, indexed by
+    /// [`RecoveryStage::index`]. Exact (not capped like `attempts`).
+    stage_seconds: [f64; 4],
     /// Damped re-solves attempted.
     pub damped_retries: usize,
     /// Gmin continuations attempted.
@@ -130,14 +159,22 @@ pub struct RecoveryTrace {
 }
 
 impl RecoveryTrace {
-    /// Records one rung attempt.
-    pub(crate) fn record(&mut self, stage: RecoveryStage, t: f64, dt: f64, recovered: bool) {
+    /// Records one rung attempt taking `seconds` of wall time.
+    pub(crate) fn record(
+        &mut self,
+        stage: RecoveryStage,
+        t: f64,
+        dt: f64,
+        seconds: f64,
+        recovered: bool,
+    ) {
         match stage {
             RecoveryStage::DampedRetry => self.damped_retries += 1,
             RecoveryStage::GminStepping => self.gmin_steps += 1,
             RecoveryStage::StepCut => self.step_cuts += 1,
             RecoveryStage::RunRestart => self.restarts += 1,
         }
+        self.stage_seconds[stage.index()] += seconds;
         if recovered {
             self.recovered_solves += 1;
         }
@@ -146,6 +183,7 @@ impl RecoveryTrace {
                 stage,
                 t,
                 dt,
+                seconds,
                 recovered,
             });
         }
@@ -156,9 +194,36 @@ impl RecoveryTrace {
         &self.attempts
     }
 
+    /// Merges another trace's counters, durations, and (up to the cap)
+    /// attempts into this one — used to aggregate recovery across the many
+    /// transient runs behind one characterization.
+    pub fn merge(&mut self, other: &RecoveryTrace) {
+        self.damped_retries += other.damped_retries;
+        self.gmin_steps += other.gmin_steps;
+        self.step_cuts += other.step_cuts;
+        self.restarts += other.restarts;
+        self.recovered_solves += other.recovered_solves;
+        for (mine, theirs) in self.stage_seconds.iter_mut().zip(&other.stage_seconds) {
+            *mine += theirs;
+        }
+        let room = MAX_RECORDED.saturating_sub(self.attempts.len());
+        self.attempts
+            .extend(other.attempts.iter().take(room).copied());
+    }
+
     /// Total rung attempts across all stages.
     pub fn total(&self) -> usize {
         self.damped_retries + self.gmin_steps + self.step_cuts + self.restarts
+    }
+
+    /// Wall-clock seconds consumed by one rung across the run.
+    pub fn seconds_in(&self, stage: RecoveryStage) -> f64 {
+        self.stage_seconds[stage.index()]
+    }
+
+    /// Total wall-clock seconds lost to recovery across all rungs.
+    pub fn total_seconds(&self) -> f64 {
+        self.stage_seconds.iter().sum()
     }
 
     /// Whether the run needed no recovery at all.
@@ -195,11 +260,11 @@ mod tests {
         let mut tr = RecoveryTrace::default();
         assert!(tr.is_empty());
         for k in 0..(MAX_RECORDED + 10) {
-            tr.record(RecoveryStage::StepCut, k as f64, 1e-12, false);
+            tr.record(RecoveryStage::StepCut, k as f64, 1e-12, 0.0, false);
         }
-        tr.record(RecoveryStage::DampedRetry, 0.0, 1e-12, true);
-        tr.record(RecoveryStage::GminStepping, 0.0, 1e-12, true);
-        tr.record(RecoveryStage::RunRestart, 0.0, 1e-12, false);
+        tr.record(RecoveryStage::DampedRetry, 0.0, 1e-12, 0.25, true);
+        tr.record(RecoveryStage::GminStepping, 0.0, 1e-12, 0.5, true);
+        tr.record(RecoveryStage::RunRestart, 0.0, 1e-12, 1.0, false);
         assert_eq!(tr.step_cuts, MAX_RECORDED + 10);
         assert_eq!(tr.damped_retries, 1);
         assert_eq!(tr.gmin_steps, 1);
@@ -208,6 +273,49 @@ mod tests {
         assert_eq!(tr.total(), MAX_RECORDED + 13);
         assert_eq!(tr.attempts().len(), MAX_RECORDED);
         assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn durations_accumulate_per_rung_beyond_the_detail_cap() {
+        let mut tr = RecoveryTrace::default();
+        // Twice the detail cap: counters and durations must stay exact even
+        // after the per-attempt list stops growing.
+        for _ in 0..(2 * MAX_RECORDED) {
+            tr.record(RecoveryStage::DampedRetry, 1e-9, 1e-12, 0.01, true);
+        }
+        tr.record(RecoveryStage::RunRestart, 0.0, 1e-12, 2.0, false);
+        assert!(
+            (tr.seconds_in(RecoveryStage::DampedRetry) - 2.0 * MAX_RECORDED as f64 * 0.01).abs()
+                < 1e-9
+        );
+        assert_eq!(tr.seconds_in(RecoveryStage::GminStepping), 0.0);
+        assert!((tr.seconds_in(RecoveryStage::RunRestart) - 2.0).abs() < 1e-12);
+        assert!((tr.total_seconds() - (2.0 * MAX_RECORDED as f64 * 0.01 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_aggregates_counters_durations_and_caps_attempts() {
+        let mut a = RecoveryTrace::default();
+        a.record(RecoveryStage::DampedRetry, 1.0, 1e-12, 0.1, true);
+        let mut b = RecoveryTrace::default();
+        for k in 0..MAX_RECORDED {
+            b.record(RecoveryStage::StepCut, k as f64, 1e-12, 0.0, false);
+        }
+        b.record(RecoveryStage::GminStepping, 0.0, 1e-12, 0.4, true);
+        a.merge(&b);
+        assert_eq!(a.damped_retries, 1);
+        assert_eq!(a.step_cuts, MAX_RECORDED);
+        assert_eq!(a.gmin_steps, 1);
+        assert_eq!(a.recovered_solves, 2);
+        assert!((a.total_seconds() - 0.5).abs() < 1e-12);
+        assert_eq!(a.attempts().len(), MAX_RECORDED, "detail stays capped");
+    }
+
+    #[test]
+    fn stage_indices_are_dense_and_ordered() {
+        for (i, s) in RecoveryStage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
     }
 
     #[test]

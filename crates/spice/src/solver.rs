@@ -325,6 +325,13 @@ impl NewtonOutcome {
 pub(crate) struct NewtonWorkspace {
     /// Current iterate; the solution when the solve converges.
     pub x: Vec<f64>,
+    /// When set, wall time spent in LU factorization + triangular solves is
+    /// accumulated into `lu_seconds`. Off by default: two `Instant` reads
+    /// per iteration are a measurable fraction of a small-system iteration,
+    /// so this profiling is only armed at the trace observability level.
+    pub time_lu: bool,
+    /// Accumulated LU factor/solve wall time (see `time_lu`), in seconds.
+    pub lu_seconds: f64,
     f: Vec<f64>,
     neg_f: Vec<f64>,
     dx: Vec<f64>,
@@ -336,6 +343,8 @@ impl NewtonWorkspace {
     pub fn new() -> Self {
         Self {
             x: Vec::new(),
+            time_lu: false,
+            lu_seconds: 0.0,
             f: Vec::new(),
             neg_f: Vec::new(),
             dx: Vec::new(),
@@ -378,12 +387,19 @@ pub(crate) fn newton_solve(
 
     for iter in 0..opts.max_iter {
         sys.assemble(&ws.x, t, src_scale, gmin, caps, &mut ws.f, &mut ws.jac);
-        if ws.jac.lu_into(&mut ws.lu).is_err() {
+        let lu_start = ws.time_lu.then(std::time::Instant::now);
+        let factored = ws.jac.lu_into(&mut ws.lu).is_ok();
+        if factored {
+            ws.neg_f.clear();
+            ws.neg_f.extend(ws.f.iter().map(|v| -v));
+            ws.lu.solve_into(&ws.neg_f, &mut ws.dx);
+        }
+        if let Some(t0) = lu_start {
+            ws.lu_seconds += t0.elapsed().as_secs_f64();
+        }
+        if !factored {
             return NewtonOutcome::Failed;
         }
-        ws.neg_f.clear();
-        ws.neg_f.extend(ws.f.iter().map(|v| -v));
-        ws.lu.solve_into(&ws.neg_f, &mut ws.dx);
 
         let mut max_dv = 0.0f64;
         for i in 0..n {

@@ -20,6 +20,45 @@ use crate::solver::{
     newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, NewtonWorkspace, System,
 };
 use proxim_numeric::pwl::Pwl;
+use proxim_obs as obs;
+use std::time::Instant;
+
+/// Global-registry handles for transient-solver telemetry, resolved once
+/// per run so the per-solve path never touches the registry mutex. `None`
+/// when the observability level is [`obs::Level::Off`].
+struct TranMetrics {
+    runs: obs::Counter,
+    recoveries: obs::Counter,
+    recovery_seconds: obs::Gauge,
+    lu_seconds: obs::Gauge,
+    /// Newton iterations per converged solve.
+    newton_iters: obs::Histogram,
+    /// Recovery-ladder attempts per transient run.
+    recovery_depth: obs::Histogram,
+}
+
+impl TranMetrics {
+    fn new() -> Option<Self> {
+        if !obs::metrics_enabled() {
+            return None;
+        }
+        let reg = obs::Registry::global();
+        Some(Self {
+            runs: reg.counter("spice.tran.runs"),
+            recoveries: reg.counter("spice.tran.recoveries"),
+            recovery_seconds: reg.gauge("spice.tran.recovery_seconds"),
+            lu_seconds: reg.gauge("spice.tran.lu_seconds"),
+            newton_iters: reg.histogram(
+                "spice.tran.newton_iters_per_solve",
+                &[2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0, 128.0],
+            ),
+            recovery_depth: reg.histogram(
+                "spice.tran.recovery_depth",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+        })
+    }
+}
 
 /// The time-integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -121,6 +160,10 @@ pub struct TranResult {
     pub newton_iterations: usize,
     /// Total accepted time steps.
     pub accepted_steps: usize,
+    /// Wall time spent in LU factorization and triangular solves, in
+    /// seconds. Only measured at [`obs::Level::Trace`] (per-iteration
+    /// timing is too hot for lower levels); 0 otherwise.
+    pub lu_seconds: f64,
     /// Everything the recovery ladder did during the run (empty for a
     /// healthy run).
     pub recovery: RecoveryTrace,
@@ -218,6 +261,7 @@ fn checked_solve(
     policy: &RecoveryPolicy,
     faults: &mut FaultStream,
     solves: &mut usize,
+    metrics: &Option<TranMetrics>,
 ) -> Result<NewtonOutcome, AnalysisError> {
     *solves += 1;
     if policy.step_budget > 0 && *solves > policy.step_budget {
@@ -232,7 +276,11 @@ fn checked_solve(
     if faults.newton_fault() {
         return Ok(NewtonOutcome::Failed);
     }
-    Ok(newton_solve(sys, x, t_new, 1.0, gmin, caps, nopts, ws))
+    let out = newton_solve(sys, x, t_new, 1.0, gmin, caps, nopts, ws);
+    if let (Some(m), NewtonOutcome::Converged(iters)) = (metrics.as_ref(), &out) {
+        m.newton_iters.observe(*iters as f64);
+    }
+    Ok(out)
 }
 
 pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, AnalysisError> {
@@ -246,10 +294,13 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
         sys.n,
         ckt.elements.len(),
     ));
+    let metrics = TranMetrics::new();
+    let mut span = obs::span("spice.tran").arg("t_stop", format_args!("{:.3e}", options.t_stop));
     let mut trace = RecoveryTrace::default();
     let mut solves = 0usize;
     let mut attempt_opts = *options;
     loop {
+        let attempt_start = Instant::now();
         match tran_attempt(
             ckt,
             &sys,
@@ -258,26 +309,55 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
             &mut trace,
             &mut faults,
             &mut solves,
+            &metrics,
         ) {
             Ok(mut result) => {
                 result.recovery = trace;
+                if let Some(m) = &metrics {
+                    m.runs.incr();
+                    m.recoveries.add(result.recovery.total() as u64);
+                    m.recovery_seconds.add(result.recovery.total_seconds());
+                    m.lu_seconds.add(result.lu_seconds);
+                    m.recovery_depth.observe(result.recovery.total() as f64);
+                }
+                if span.is_active() {
+                    span.add_arg("steps", result.accepted_steps);
+                    span.add_arg("newton_iters", result.newton_iterations);
+                    span.add_arg("recoveries", result.recovery.total());
+                }
                 return Ok(result);
             }
             // The final rung: restart the whole run gentler. Only
             // NoConvergence is worth retrying — Aborted (watchdog) and
-            // Singular are terminal.
+            // Singular are terminal. The rung's recorded cost is the whole
+            // failed attempt being thrown away.
             Err(AnalysisError::NoConvergence { .. })
                 if trace.restarts < policy.max_restarts as usize =>
             {
                 attempt_opts.dt_init = (attempt_opts.dt_init * 0.5).max(attempt_opts.dt_min);
                 attempt_opts.dv_max *= 0.5;
-                trace.record(RecoveryStage::RunRestart, 0.0, attempt_opts.dt_init, false);
+                trace.record(
+                    RecoveryStage::RunRestart,
+                    0.0,
+                    attempt_opts.dt_init,
+                    attempt_start.elapsed().as_secs_f64(),
+                    false,
+                );
+                let _ = obs::event("spice.recover")
+                    .arg("stage", RecoveryStage::RunRestart)
+                    .arg("restarts", trace.restarts);
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                if span.is_active() {
+                    span.add_arg("error", &e);
+                }
+                return Err(e);
+            }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn tran_attempt(
     ckt: &Circuit,
     sys: &System<'_>,
@@ -286,6 +366,7 @@ fn tran_attempt(
     trace: &mut RecoveryTrace,
     faults: &mut FaultStream,
     solves: &mut usize,
+    metrics: &Option<TranMetrics>,
 ) -> Result<TranResult, AnalysisError> {
     let opts = NewtonOptions::default();
 
@@ -335,6 +416,9 @@ fn tran_attempt(
     // One Newton workspace for the whole run: Jacobian, residuals, LU
     // factors, and the iterate are recycled across every step and retry.
     let mut ws = NewtonWorkspace::new();
+    // Per-iteration LU timing is only worth its two clock reads when the
+    // fine-grained trace level is armed.
+    ws.time_lu = obs::level() == obs::Level::Trace;
 
     while t < options.t_stop - options.dt_min * 0.5 {
         while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + options.dt_min * 0.5 {
@@ -356,7 +440,7 @@ fn tran_attempt(
         };
 
         let solved = match checked_solve(
-            sys, &x, t_new, GMIN, caps, &opts, &mut ws, policy, faults, solves,
+            sys, &x, t_new, GMIN, caps, &opts, &mut ws, policy, faults, solves, metrics,
         )? {
             NewtonOutcome::Converged(iters) => {
                 newton_iterations += iters;
@@ -367,6 +451,7 @@ fn tran_attempt(
                 // and a much larger iteration budget.
                 let mut rescued = false;
                 if policy.damped_retry {
+                    let rung_start = Instant::now();
                     let dopts = NewtonOptions {
                         vstep_limit: 0.15,
                         max_iter: 600,
@@ -374,21 +459,34 @@ fn tran_attempt(
                     };
                     if let NewtonOutcome::Converged(iters) = checked_solve(
                         sys, &x, t_new, GMIN, caps, &dopts, &mut ws, policy, faults, solves,
+                        metrics,
                     )? {
                         newton_iterations += iters;
                         rescued = true;
                     }
-                    trace.record(RecoveryStage::DampedRetry, t_new, h_eff, rescued);
+                    trace.record(
+                        RecoveryStage::DampedRetry,
+                        t_new,
+                        h_eff,
+                        rung_start.elapsed().as_secs_f64(),
+                        rescued,
+                    );
+                    let _ = obs::event("spice.recover")
+                        .arg("stage", RecoveryStage::DampedRetry)
+                        .arg("t", format_args!("{t_new:.4e}"))
+                        .arg("rescued", rescued);
                 }
                 // Rung 2: gmin continuation — solve a heavily shunted (and
                 // therefore easier) system, then walk the shunt back down to
                 // the nominal GMIN, warm-starting each stage.
                 if !rescued && policy.gmin_stepping {
+                    let rung_start = Instant::now();
                     let mut warm = x.clone();
                     let mut ok = true;
                     for &g in &[1e-6, 1e-8, 1e-10, GMIN] {
                         match checked_solve(
                             sys, &warm, t_new, g, caps, &opts, &mut ws, policy, faults, solves,
+                            metrics,
                         )? {
                             NewtonOutcome::Converged(iters) => {
                                 newton_iterations += iters;
@@ -400,7 +498,17 @@ fn tran_attempt(
                             }
                         }
                     }
-                    trace.record(RecoveryStage::GminStepping, t_new, h_eff, ok);
+                    trace.record(
+                        RecoveryStage::GminStepping,
+                        t_new,
+                        h_eff,
+                        rung_start.elapsed().as_secs_f64(),
+                        ok,
+                    );
+                    let _ = obs::event("spice.recover")
+                        .arg("stage", RecoveryStage::GminStepping)
+                        .arg("t", format_args!("{t_new:.4e}"))
+                        .arg("rescued", ok);
                     rescued = ok;
                 }
                 rescued
@@ -409,14 +517,16 @@ fn tran_attempt(
 
         if !solved {
             // Rung 3: cut the step; at dt_min the attempt is out of rungs
-            // and the caller decides whether a run restart is left.
+            // and the caller decides whether a run restart is left. A cut's
+            // cost is the re-walked steps (already inside the run), so its
+            // recorded duration is zero.
             if h_eff <= options.dt_min * 1.01 {
                 return Err(AnalysisError::NoConvergence {
                     analysis: "transient step".into(),
                     detail: format!("at t = {t_new:.4e} s with minimum step"),
                 });
             }
-            trace.record(RecoveryStage::StepCut, t_new, h_eff, false);
+            trace.record(RecoveryStage::StepCut, t_new, h_eff, 0.0, false);
             h = (h_eff * 0.25).max(options.dt_min);
             continue;
         }
@@ -437,7 +547,7 @@ fn tran_attempt(
         if faults.accept_fault() && h_eff > options.dt_min * 1.01 {
             // Injected rejection of an otherwise-acceptable step; behaves
             // like a step cut (and is recorded as one).
-            trace.record(RecoveryStage::StepCut, t_new, h_eff, false);
+            trace.record(RecoveryStage::StepCut, t_new, h_eff, 0.0, false);
             h = (h_eff * 0.25).max(options.dt_min);
             continue;
         }
@@ -472,6 +582,7 @@ fn tran_attempt(
         branch_samples,
         newton_iterations,
         accepted_steps,
+        lu_seconds: ws.lu_seconds,
         recovery: RecoveryTrace::default(),
     })
 }

@@ -173,6 +173,98 @@ fn fault_pressure_degrades_slices_instead_of_failing() {
 }
 
 #[test]
+fn fault_injected_trace_roundtrips_through_chrome_converter() {
+    use proxim_obs as obs;
+    use std::io::Write;
+    use std::sync::Arc;
+
+    // An in-memory sink; the trace level and sink are process-global, but
+    // every test in this binary serializes on FAULT_LOCK (taken by
+    // with_faults), so nothing else can emit into it.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    struct ObsGuard;
+    impl Drop for ObsGuard {
+        fn drop(&mut self) {
+            obs::sink::uninstall();
+            obs::set_level(obs::Level::Off);
+        }
+    }
+
+    // The same fault pressure as the degradation test: recovery rungs and
+    // doomed runs guarantee the trace carries recovery events, not just the
+    // healthy-path spans.
+    let cfg = FaultConfig {
+        newton_rate: 0.20,
+        accept_rate: 0.05,
+        kill_rate: 0.02,
+        seed: 1996,
+    };
+    let (stats, jsonl) = with_faults(cfg, || {
+        let _guard = ObsGuard;
+        let cap = Capture::default();
+        obs::sink::install_writer(Box::new(cap.clone()));
+        obs::set_level(obs::Level::Trace);
+        let tech = Technology::demo_5v();
+        let cell = Cell::nand(2);
+        let opts = CharacterizeOptions {
+            jobs: 2,
+            ..CharacterizeOptions::fast()
+        };
+        let (_, stats) = ProximityModel::characterize_with_stats(&cell, &tech, &opts)
+            .expect("fault pressure must degrade, not fail");
+        obs::sink::flush();
+        let mut buf = cap.0.lock().unwrap_or_else(PoisonError::into_inner);
+        let jsonl = String::from_utf8(std::mem::take(&mut *buf)).unwrap();
+        (stats, jsonl)
+    });
+
+    assert!(stats.recoveries > 0);
+    assert!(
+        stats.recovery_seconds > 0.0,
+        "recovery rungs must report the wall-clock they burned"
+    );
+    assert_eq!(stats.invariant_violation(), None);
+
+    // The degradation story is visible in the trace, not just the totals.
+    for marker in [
+        "\"name\":\"spice.recover\"",
+        "\"name\":\"char.slice.degraded\"",
+        "\"name\":\"char.job\"",
+    ] {
+        assert!(jsonl.contains(marker), "trace must contain {marker}");
+    }
+
+    // And the whole fault-laden trace still converts cleanly.
+    let chrome = obs::chrome::chrome_trace(&jsonl).expect("conversion must succeed");
+    let parsed = obs::json::Json::parse(&chrome).expect("chrome output is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), jsonl.lines().count());
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("spice.recover")
+                && e.get("ph").and_then(|p| p.as_str()) == Some("i")
+        }),
+        "recovery events survive conversion as instants"
+    );
+}
+
+#[test]
 fn corrupt_cache_entry_is_quarantined_and_recharacterized() {
     let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
     faultpoint::disarm();

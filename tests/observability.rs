@@ -1,0 +1,252 @@
+//! Observability suite: the tracing/metrics layer (`proxim-obs`) driven
+//! through the real characterization stack.
+//!
+//! Three invariants are pinned down here:
+//!
+//! 1. Spans nest correctly *per thread*: each worker thread carries its own
+//!    span stack, so parent links never cross threads and sibling workers
+//!    get distinct, stable thread ids.
+//! 2. Disabled levels are silent: below [`proxim_obs::Level::Trace`] no
+//!    span or event reaches the sink — the instrumentation sites reduce to
+//!    an atomic check.
+//! 3. A real characterization trace round-trips through the Chrome
+//!    `trace_event` converter: every emitted JSONL record is either
+//!    converted or (for metrics records) deliberately skipped, and the
+//!    output is valid JSON with the expected event shapes.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::model::ProximityModel;
+use proxim_obs as obs;
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The sink and level are process-global; serialize the tests that touch
+/// them so cargo's parallel test runner cannot interleave them.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// An in-memory sink the tests can read back.
+#[derive(Clone, Default)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Capture {
+    fn take_string(&self) -> String {
+        let mut buf = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        String::from_utf8(std::mem::take(&mut *buf)).expect("trace output is UTF-8")
+    }
+}
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Restores the quiet default state even when a test body panics.
+struct ObsGuard;
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        obs::sink::uninstall();
+        obs::set_level(obs::Level::Off);
+    }
+}
+
+/// Runs `f` with an in-memory sink at [`obs::Level::Trace`] and returns the
+/// captured JSONL.
+fn with_trace_capture<T>(f: impl FnOnce() -> T) -> (T, String) {
+    let _lock = OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let _guard = ObsGuard;
+    let cap = Capture::default();
+    obs::sink::install_writer(Box::new(cap.clone()));
+    obs::set_level(obs::Level::Trace);
+    let result = f();
+    obs::sink::flush();
+    let jsonl = cap.take_string();
+    (result, jsonl)
+}
+
+/// Parses every JSONL line into a [`obs::json::Json`] object.
+fn parse_lines(jsonl: &str) -> Vec<obs::json::Json> {
+    jsonl
+        .lines()
+        .map(|l| obs::json::Json::parse(l).unwrap_or_else(|e| panic!("bad record {l:?}: {e}")))
+        .collect()
+}
+
+fn num(rec: &obs::json::Json, key: &str) -> Option<f64> {
+    rec.get(key)?.as_f64()
+}
+
+#[test]
+fn spans_nest_correctly_across_worker_threads() {
+    const WORKERS: usize = 3;
+    let ((), jsonl) = with_trace_capture(|| {
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                s.spawn(move || {
+                    let outer = obs::span("outer").arg("worker", w);
+                    assert!(outer.is_active());
+                    {
+                        let _inner = obs::span("inner").arg("worker", w);
+                    }
+                    drop(outer);
+                });
+            }
+        });
+    });
+
+    let records = parse_lines(&jsonl);
+    assert_eq!(records.len(), 2 * WORKERS, "one record per span: {jsonl}");
+    let by_name = |name: &str| -> Vec<&obs::json::Json> {
+        records
+            .iter()
+            .filter(|r| r.get("name").and_then(|n| n.as_str()) == Some(name))
+            .collect()
+    };
+    let outers = by_name("outer");
+    let inners = by_name("inner");
+    assert_eq!(outers.len(), WORKERS);
+    assert_eq!(inners.len(), WORKERS);
+
+    // Each worker's inner span is parented to that worker's outer span, on
+    // the same thread id; top-level spans have no parent at all.
+    for inner in &inners {
+        let worker = inner
+            .get("args")
+            .and_then(|a| a.get("worker"))
+            .and_then(|w| w.as_str())
+            .expect("inner spans carry their worker arg");
+        let outer = outers
+            .iter()
+            .find(|o| {
+                o.get("args")
+                    .and_then(|a| a.get("worker"))
+                    .and_then(|w| w.as_str())
+                    == Some(worker)
+            })
+            .expect("every inner has a matching outer");
+        assert_eq!(
+            num(inner, "parent"),
+            num(outer, "id"),
+            "inner must be parented to its own thread's outer span"
+        );
+        assert_eq!(
+            num(inner, "tid"),
+            num(outer, "tid"),
+            "nesting must stay on one thread"
+        );
+        assert_eq!(num(outer, "parent"), None, "outer spans are roots");
+    }
+    // Sibling workers are distinguishable: three distinct thread ids.
+    let mut tids: Vec<String> = outers
+        .iter()
+        .map(|o| format!("{:?}", num(o, "tid")))
+        .collect();
+    tids.sort();
+    tids.dedup();
+    assert_eq!(tids.len(), WORKERS, "each worker gets its own tid");
+}
+
+#[test]
+fn disabled_levels_emit_nothing() {
+    let _lock = OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let _guard = ObsGuard;
+    let cap = Capture::default();
+    obs::sink::install_writer(Box::new(cap.clone()));
+
+    for level in [obs::Level::Off, obs::Level::Metrics] {
+        obs::set_level(level);
+        let span = obs::span("quiet").arg("k", 1);
+        assert!(
+            !span.is_active(),
+            "spans below Trace must be inert at {level:?}"
+        );
+        drop(span);
+        let _ = obs::event("quiet.event").arg("k", 2);
+        obs::trace::emit_metrics(&obs::Registry::global().snapshot());
+        obs::sink::flush();
+        assert_eq!(
+            cap.take_string(),
+            "",
+            "nothing may reach the sink at {level:?}"
+        );
+    }
+}
+
+#[test]
+fn characterization_trace_roundtrips_through_chrome_converter() {
+    let (stats, jsonl) = with_trace_capture(|| {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let opts = CharacterizeOptions {
+            jobs: 2,
+            ..CharacterizeOptions::fast()
+        };
+        let (_, stats) = ProximityModel::characterize_with_stats(&cell, &tech, &opts)
+            .expect("traced characterization must succeed");
+        obs::trace::emit_metrics(&obs::Registry::global().snapshot());
+        stats
+    });
+
+    // The derived stats agree with their own accounting invariant.
+    assert_eq!(stats.invariant_violation(), None);
+    assert!(stats.enumerated_jobs > 0);
+    assert_eq!(
+        stats.succeeded_jobs + stats.failed_jobs,
+        stats.enumerated_jobs
+    );
+
+    // The trace covers every pipeline boundary of the run.
+    for name in [
+        "\"name\":\"char.characterize\"",
+        "\"name\":\"char.phase.vtc\"",
+        "\"name\":\"char.execute\"",
+        "\"name\":\"char.job\"",
+        "\"name\":\"spice.tran\"",
+    ] {
+        assert!(jsonl.contains(name), "trace must contain {name}");
+    }
+    let records = parse_lines(&jsonl);
+    let metrics_records = records
+        .iter()
+        .filter(|r| r.get("t").and_then(|t| t.as_str()) == Some("metrics"))
+        .count();
+    assert_eq!(metrics_records, 1);
+
+    // Convert and re-parse: valid JSON, spans as complete ("X") events,
+    // instants as "i", and the metrics record dropped.
+    let chrome = obs::chrome::chrome_trace(&jsonl).expect("conversion must succeed");
+    let parsed = obs::json::Json::parse(&chrome).expect("chrome output is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("chrome output has a traceEvents array");
+    assert_eq!(
+        events.len(),
+        records.len() - metrics_records,
+        "every span/event converts; metrics records are skipped"
+    );
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("phase");
+        match ph {
+            "X" => {
+                for key in ["name", "ts", "dur", "tid", "pid"] {
+                    assert!(ev.get(key).is_some(), "complete events carry {key}");
+                }
+            }
+            "i" => {
+                assert_eq!(ev.get("s").and_then(|s| s.as_str()), Some("t"));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+}
