@@ -1,29 +1,38 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, tier-1 build + tests, and the
-# characterization benchmark (emits BENCH_characterize.json at the repo
-# root). Run from anywhere; operates on the repo that contains it.
+# Full CI gate: formatting, lints, tier-1 build + tests, the resilience
+# and chaos/resume suites, and the characterization benchmark (emits
+# BENCH_characterize.json at the repo root). Run from anywhere; operates
+# on the repo that contains it.
+#
+# Every step runs under a wall-clock timeout so a wedged solver (or a
+# chaos child that never dies) fails CI with a timeout error instead of
+# hanging the pipeline. GNU timeout exits 124 on expiry; SIGKILL follows
+# 30 s later if the step ignores SIGTERM.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+step() {
+    local limit="$1" name="$2"
+    shift 2
+    echo "==> ${name} (timeout ${limit})"
+    timeout --kill-after=30s "$limit" "$@" || {
+        local rc=$?
+        if [ "$rc" -eq 124 ] || [ "$rc" -eq 137 ]; then
+            echo "!! ${name}: timed out after ${limit}" >&2
+        else
+            echo "!! ${name}: failed with exit code ${rc}" >&2
+        fi
+        exit "$rc"
+    }
+}
 
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> tier-1: cargo build --release"
-cargo build --release
-
-echo "==> tier-1: cargo test -q"
-cargo test -q
-
-echo "==> resilience: cargo test --features fault-injection"
-cargo test -q --features fault-injection --test fault_injection
-
-echo "==> observability: trace round-trip"
-cargo test -q --test observability
-
-echo "==> bench: characterization pipeline (perf-gated vs committed baseline)"
-./target/release/bench_characterize --out BENCH_characterize.json
+step 5m  "cargo fmt --check"                 cargo fmt --all -- --check
+step 15m "cargo clippy -- -D warnings"       cargo clippy --workspace --all-targets -- -D warnings
+step 20m "tier-1: cargo build --release"     cargo build --release
+step 20m "tier-1: cargo test -q"             cargo test -q
+step 15m "resilience: fault injection"       cargo test -q --features fault-injection --test fault_injection
+step 10m "observability: trace round-trip"   cargo test -q --test observability
+step 15m "chaos: SIGKILL/SIGTERM + resume"   cargo test -q --test chaos
+step 15m "bench: characterization pipeline"  ./target/release/bench_characterize --out BENCH_characterize.json
 
 echo "==> CI OK"

@@ -85,9 +85,15 @@ pub const DEFAULT_WP: f64 = 8e-6;
 fn letter_names(n: usize) -> Vec<String> {
     (0..n)
         .map(|i| {
-            char::from_u32('a' as u32 + i as u32)
-                .expect("fan-in stays within the alphabet")
-                .to_string()
+            // `a`, `b`, `c`, ... like the paper's Figure 1-1; absurd fan-ins
+            // that leave the alphabet fall back to indexed names.
+            match u32::try_from(i)
+                .ok()
+                .and_then(|i| char::from_u32('a' as u32 + i))
+            {
+                Some(c) if c.is_ascii_lowercase() => c.to_string(),
+                _ => format!("in{i}"),
+            }
         })
         .collect()
 }
@@ -102,9 +108,9 @@ impl Cell {
     pub fn from_pdn(name: &str, input_names: Vec<String>, pdn: Network, wn: f64, wp: f64) -> Self {
         assert!(!input_names.is_empty(), "a cell needs at least one input");
         assert!(wn > 0.0 && wp > 0.0, "device widths must be positive");
-        let max = pdn
-            .max_input()
-            .expect("pull-down network must not be empty");
+        let Some(max) = pdn.max_input() else {
+            panic!("pull-down network must not be empty");
+        };
         assert!(
             max < input_names.len(),
             "network references input {max} but only {} inputs exist",
@@ -532,6 +538,7 @@ impl CellNetlist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -12,7 +12,7 @@ use proxim_cells::{Cell, Technology};
 use proxim_numeric::grid::{linspace, logspace};
 use proxim_numeric::pwl::{Edge, Pwl};
 use proxim_spice::tran::TranOptions;
-use proxim_spice::RecoveryTrace;
+use proxim_spice::{CancelToken, RecoveryTrace};
 
 /// Grids and knobs controlling characterization cost and fidelity.
 #[derive(Debug, Clone, PartialEq)]
@@ -210,6 +210,10 @@ pub struct Simulator<'a> {
     pub c_load: f64,
     /// Transient accuracy knob.
     pub dv_max: f64,
+    /// Cancellation token polled by every transient this simulator runs.
+    /// Defaults to a token that never cancels; see
+    /// [`Simulator::with_cancel`].
+    pub cancel: CancelToken,
 }
 
 impl<'a> Simulator<'a> {
@@ -227,7 +231,17 @@ impl<'a> Simulator<'a> {
             thresholds,
             c_load,
             dv_max,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Binds a cancellation token: every transient this simulator runs polls
+    /// it at step and Newton-iteration boundaries, so a characterization run
+    /// can be stopped (or deadlined) mid-simulation with a typed error.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// A conservative settling horizon after the last ramp ends: the time to
@@ -286,7 +300,7 @@ impl<'a> Simulator<'a> {
         }
 
         let options = TranOptions::to(t_stop).with_dv_max(self.dv_max);
-        let result = net.circuit.tran(&options)?;
+        let result = net.circuit.tran_cancellable(&options, &self.cancel)?;
         let output = result.waveform(net.out);
         Ok(SimResponse {
             events,

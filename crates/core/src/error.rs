@@ -39,11 +39,23 @@ impl ModelError {
     ///
     /// Simulation failures and missing crossings are data-dependent — one
     /// pathological operating point shouldn't discard thousands of healthy
-    /// ones. Everything else (malformed grids, inconsistent tables, bad
-    /// queries, persistence problems) points at configuration bugs and
-    /// still fails fast.
+    /// ones. Cancellations and deadline expiries are *not* degradable: the
+    /// user asked the run to stop, so the whole characterization must fail
+    /// typed instead of quietly shipping a model with holes. Everything
+    /// else (malformed grids, inconsistent tables, bad queries, persistence
+    /// problems) points at configuration bugs and still fails fast.
     pub fn is_slice_degradable(&self) -> bool {
-        matches!(self, Self::Simulation(_) | Self::MissingCrossing { .. })
+        match self {
+            Self::Simulation(e) => !e.is_cancellation(),
+            Self::MissingCrossing { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this error is a cooperative stop — a cancellation or a
+    /// deadline expiry — rather than a genuine failure.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, Self::Simulation(e) if e.is_cancellation())
     }
 }
 

@@ -17,6 +17,7 @@
 //! order.
 
 use crate::characterize::Simulator;
+use crate::checkpoint::{stimulus_hash, CheckpointJournal};
 use crate::error::ModelError;
 use crate::measure::{InputEvent, Scenario};
 use proxim_numeric::pwl::Edge;
@@ -39,6 +40,10 @@ pub mod metric {
     pub const JOBS_SUCCEEDED: &str = "char.jobs.succeeded";
     /// Jobs that produced [`super::JobOutcome::Failed`].
     pub const JOBS_FAILED: &str = "char.jobs.failed";
+    /// Jobs answered from a checkpoint journal instead of simulating
+    /// (resume path; see [`crate::checkpoint`]). These also count as
+    /// succeeded — the skip counter measures work *avoided*.
+    pub const JOBS_SKIPPED: &str = "char.jobs.skipped_checkpoint";
     /// Transient simulations actually run (batched jobs plus the
     /// sequential calibration/correction tail).
     pub const SIMS_RUN: &str = "char.sims_run";
@@ -276,6 +281,9 @@ struct JobRun {
     recovery: RecoveryTrace,
     /// Wall-clock seconds the job held a worker, failures included.
     seconds: f64,
+    /// Whether the outcome was replayed from a checkpoint journal instead
+    /// of simulated.
+    skipped: bool,
 }
 
 impl JobRun {
@@ -284,6 +292,7 @@ impl JobRun {
             outcome: JobOutcome::Failed { job: i, reason },
             recovery: RecoveryTrace::default(),
             seconds,
+            skipped: false,
         }
     }
 }
@@ -303,6 +312,7 @@ fn run_supervised(sim: &Simulator<'_>, i: usize, job: &SimJob) -> JobRun {
             outcome,
             recovery,
             seconds: start.elapsed().as_secs_f64(),
+            skipped: false,
         },
         Ok(Err(reason)) => JobRun::failed(i, reason, start.elapsed().as_secs_f64()),
         Err(payload) => {
@@ -325,6 +335,37 @@ fn run_supervised(sim: &Simulator<'_>, i: usize, job: &SimJob) -> JobRun {
     run
 }
 
+/// One job under run control: the simulator's cancellation token is checked
+/// at the job boundary (a cancelled claim becomes a typed, *non-degradable*
+/// failure in the job's slot, so the run fails with the cancellation
+/// instead of degrading slices), and — when a checkpoint journal is active
+/// — completed outcomes are answered from the journal or recorded into it.
+fn run_controlled(
+    sim: &Simulator<'_>,
+    i: usize,
+    job: &SimJob,
+    checkpoint: Option<(&CheckpointJournal, &str)>,
+) -> JobRun {
+    if let Err(e) = sim.cancel.check("characterization job") {
+        return JobRun::failed(i, e.into(), 0.0);
+    }
+    let Some((journal, phase)) = checkpoint else {
+        return run_supervised(sim, i, job);
+    };
+    let stim = stimulus_hash(job);
+    if let Some(outcome) = journal.lookup(phase, i, stim) {
+        return JobRun {
+            outcome,
+            recovery: RecoveryTrace::default(),
+            seconds: 0.0,
+            skipped: true,
+        };
+    }
+    let run = run_supervised(sim, i, job);
+    journal.record(phase, i, stim, &run.outcome);
+    run
+}
+
 /// The result of executing a batch of jobs: one outcome per job (in job
 /// order, failures included) plus batch-level resilience telemetry.
 #[derive(Debug, Clone)]
@@ -338,6 +379,9 @@ pub struct JobBatch {
     pub recoveries: usize,
     /// Number of [`JobOutcome::Failed`] entries.
     pub failed_jobs: usize,
+    /// Jobs answered from a checkpoint journal instead of simulating
+    /// (always `0` without an active journal).
+    pub skipped: usize,
     /// Wall-clock seconds each job held a worker, in job order.
     pub job_seconds: Vec<f64>,
 }
@@ -347,11 +391,15 @@ impl JobBatch {
         let mut outcomes = Vec::new();
         let mut recovery = RecoveryTrace::default();
         let mut failed_jobs = 0;
+        let mut skipped = 0;
         let mut job_seconds = Vec::new();
         for run in runs {
             recovery.merge(&run.recovery);
             if matches!(run.outcome, JobOutcome::Failed { .. }) {
                 failed_jobs += 1;
+            }
+            if run.skipped {
+                skipped += 1;
             }
             outcomes.push(run.outcome);
             job_seconds.push(run.seconds);
@@ -361,6 +409,7 @@ impl JobBatch {
             recoveries: recovery.total(),
             recovery,
             failed_jobs,
+            skipped,
             job_seconds,
         }
     }
@@ -383,6 +432,22 @@ impl JobBatch {
 /// `threads == 1` (or a batch of at most one job) runs inline on the caller
 /// thread with no pool at all.
 pub fn execute_jobs(sim: &Simulator<'_>, jobs: &[SimJob], threads: usize) -> JobBatch {
+    execute_jobs_controlled(sim, jobs, threads, None)
+}
+
+/// [`execute_jobs`] under run control: the simulator's cancellation token
+/// is polled before every job claim (cancelled claims become typed failed
+/// slots, surfaced by [`first_error`] in job order), and an active
+/// checkpoint journal short-circuits already-completed jobs — their
+/// recorded outcomes are replayed bit-exactly with zero simulations —
+/// while newly completed jobs are journaled as they finish, from whichever
+/// worker thread finishes them.
+pub fn execute_jobs_controlled(
+    sim: &Simulator<'_>,
+    jobs: &[SimJob],
+    threads: usize,
+    checkpoint: Option<(&CheckpointJournal, &str)>,
+) -> JobBatch {
     let _span = obs::span("char.execute")
         .arg("jobs", jobs.len())
         .arg("threads", threads);
@@ -390,7 +455,7 @@ pub fn execute_jobs(sim: &Simulator<'_>, jobs: &[SimJob], threads: usize) -> Job
         return JobBatch::collect(
             jobs.iter()
                 .enumerate()
-                .map(|(i, j)| run_supervised(sim, i, j)),
+                .map(|(i, j)| run_controlled(sim, i, j, checkpoint)),
         );
     }
 
@@ -409,7 +474,7 @@ pub fn execute_jobs(sim: &Simulator<'_>, jobs: &[SimJob], threads: usize) -> Job
                         if i >= jobs.len() {
                             break;
                         }
-                        local.push((i, run_supervised(sim, i, &jobs[i])));
+                        local.push((i, run_controlled(sim, i, &jobs[i], checkpoint)));
                     }
                     local
                 })
@@ -494,6 +559,9 @@ pub struct CharStats {
     pub enumerated_jobs: usize,
     /// Jobs that produced a measurement.
     pub succeeded_jobs: usize,
+    /// Jobs answered from a checkpoint journal instead of simulating (a
+    /// subset of `succeeded_jobs`; nonzero only on a resumed run).
+    pub checkpoint_skipped: usize,
     /// Recovery-ladder actions across all transients (damped retries, gmin
     /// continuations, step cuts, run restarts).
     pub recoveries: usize,
@@ -518,6 +586,7 @@ impl CharStats {
             sims_run: count(metric::SIMS_RUN),
             enumerated_jobs: count(metric::JOBS_ENUMERATED),
             succeeded_jobs: count(metric::JOBS_SUCCEEDED),
+            checkpoint_skipped: count(metric::JOBS_SKIPPED),
             failed_jobs: count(metric::JOBS_FAILED),
             recoveries: count(metric::RECOVERIES),
             recovery_seconds: snap.gauge(metric::RECOVERY_SECONDS),
@@ -571,8 +640,12 @@ pub(crate) fn record_batch(reg: &obs::Registry, enumerated: usize, batch: &JobBa
     for r in registries(reg) {
         r.counter(metric::JOBS_ENUMERATED).add(enumerated as u64);
         r.counter(metric::JOBS_SUCCEEDED).add(succeeded as u64);
+        r.counter(metric::JOBS_SKIPPED).add(batch.skipped as u64);
         r.counter(metric::JOBS_FAILED).add(batch.failed_jobs as u64);
-        r.counter(metric::SIMS_RUN).add(batch.outcomes.len() as u64);
+        // Checkpoint-skipped jobs replay a recorded outcome and run no
+        // transient, so they are excluded from the simulation volume.
+        r.counter(metric::SIMS_RUN)
+            .add((batch.outcomes.len() - batch.skipped) as u64);
         r.counter(metric::RECOVERIES).add(batch.recoveries as u64);
         r.gauge(metric::RECOVERY_SECONDS)
             .add(batch.recovery.total_seconds());

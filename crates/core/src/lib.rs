@@ -31,6 +31,9 @@
 //!   keeping the assembled model byte-identical to a sequential run.
 //! - [`model`]: [`model::ProximityModel`], the characterized bundle with the
 //!   user-facing query API.
+//! - [`checkpoint`]: cooperative cancellation/deadlines and the
+//!   crash-consistent checkpoint journal that lets an interrupted
+//!   characterization resume to a byte-identical model.
 //!
 //! # Example
 //!
@@ -67,6 +70,7 @@ pub mod analytic;
 pub mod baseline;
 pub mod calibrate;
 pub mod characterize;
+pub mod checkpoint;
 pub mod dominance;
 pub mod dual;
 pub mod error;
@@ -80,6 +84,7 @@ pub mod single;
 pub mod thresholds;
 pub mod validate;
 
+pub use checkpoint::{CheckpointConfig, CheckpointJournal, RunControl};
 pub use error::ModelError;
 pub use measure::InputEvent;
 pub use model::{DegradedReason, DegradedSlice, GateTiming, ProximityModel, SliceKind};

@@ -9,17 +9,18 @@
 
 use crate::algorithm::{compose, CorrectionTerm};
 use crate::characterize::{CharacterizeOptions, Simulator};
+use crate::checkpoint::{CheckpointJournal, RunControl};
 use crate::dominance::{rank_for_scenario, RankedEvent};
 use crate::dual::DualInputModel;
 use crate::error::ModelError;
 use crate::glitch::GlitchModel;
 use crate::jobs::{
-    bump, execute_jobs, first_error, metric, record_batch, CharStats, PhaseTimes, SimJob,
+    bump, execute_jobs_controlled, first_error, metric, record_batch, CharStats, PhaseTimes, SimJob,
 };
 use crate::measure::{InputEvent, Scenario};
 use crate::nldm::LoadSlewModel;
 use crate::single::{edge_as_bool, SingleInputModel};
-use crate::thresholds::{extract_vtc_family, Thresholds, VtcFamily};
+use crate::thresholds::{extract_vtc_family_cancellable, Thresholds, VtcFamily};
 use proxim_cells::{Cell, Technology};
 use proxim_numeric::pwl::Edge;
 use proxim_obs as obs;
@@ -178,6 +179,58 @@ impl ProximityModel {
         tech: &Technology,
         opts: &CharacterizeOptions,
     ) -> Result<(Self, CharStats), ModelError> {
+        Self::characterize_controlled(cell, tech, opts, &RunControl::new())
+    }
+
+    /// [`ProximityModel::characterize_with_stats`] under a [`RunControl`]:
+    ///
+    /// - The control's [`CancelToken`](proxim_spice::CancelToken) is honored
+    ///   cooperatively at phase, job, transient-step, and Newton-iteration
+    ///   boundaries. A tripped token unwinds with a typed cancellation error
+    ///   ([`ModelError::is_cancellation`]) — never a panic, and never a
+    ///   half-assembled model.
+    /// - When a [`CheckpointConfig`](crate::checkpoint::CheckpointConfig) is
+    ///   set, every completed job is journaled as it finishes; re-running
+    ///   with the same inputs and journal skips the journaled jobs
+    ///   ([`CharStats::checkpoint_skipped`]) and produces the **byte
+    ///   identical** model of an uninterrupted run (outcomes are stored
+    ///   bit-exactly and assembly is index-ordered).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProximityModel::characterize_with_stats`], plus typed
+    /// cancellation errors and [`ModelError::Persist`] when the journal
+    /// cannot be opened.
+    pub fn characterize_controlled(
+        cell: &Cell,
+        tech: &Technology,
+        opts: &CharacterizeOptions,
+        control: &RunControl,
+    ) -> Result<(Self, CharStats), ModelError> {
+        let journal = match &control.checkpoint {
+            Some(cfg) => {
+                let key = crate::persist::ModelCache::key(cell, tech, opts)?;
+                Some(CheckpointJournal::open(cfg, key)?)
+            }
+            None => None,
+        };
+        let result = Self::characterize_inner(cell, tech, opts, &control.cancel, journal.as_ref());
+        // The journal is made durable on *every* exit path — success,
+        // failure, and cooperative cancellation (a SIGTERM handler that
+        // cancels the token gets its final checkpoint flush here).
+        if let Some(j) = &journal {
+            j.flush();
+        }
+        result
+    }
+
+    fn characterize_inner(
+        cell: &Cell,
+        tech: &Technology,
+        opts: &CharacterizeOptions,
+        cancel: &proxim_spice::CancelToken,
+        journal: Option<&CheckpointJournal>,
+    ) -> Result<(Self, CharStats), ModelError> {
         let threads = opts.worker_threads();
         // Every counter of the run is booked into this registry (and
         // mirrored to the global one when metrics are on); the CharStats
@@ -192,14 +245,16 @@ impl ProximityModel {
         // Phase 1 (sequential): VTC family and threshold selection (§2).
         let t0 = Instant::now();
         let phase_span = obs::span("char.phase.vtc");
-        let vtc = extract_vtc_family(cell, tech, opts.c_load, opts.vtc_points)?;
+        let vtc = extract_vtc_family_cancellable(cell, tech, opts.c_load, opts.vtc_points, cancel)?;
         let thresholds = vtc.thresholds();
-        let sim = Simulator::new(cell, tech, thresholds, opts.c_load, opts.dv_max);
+        let sim = Simulator::new(cell, tech, thresholds, opts.c_load, opts.dv_max)
+            .with_cancel(cancel.clone());
         drop(phase_span);
         phases.vtc = t0.elapsed().as_secs_f64();
 
         // Phase 2: single-input macromodels for every sensitizable
         // (pin, edge), as one job batch.
+        cancel.check("characterization")?;
         let t0 = Instant::now();
         let phase_span = obs::span("char.phase.singles");
         let mut single_specs: Vec<(usize, Edge)> = Vec::new();
@@ -216,7 +271,7 @@ impl ProximityModel {
                 }
             }
         }
-        let batch = execute_jobs(&sim, &jobs, threads);
+        let batch = execute_jobs_controlled(&sim, &jobs, threads, journal.map(|j| (j, "singles")));
         record_batch(&reg, jobs.len(), &batch);
         let mut degraded: Vec<DegradedSlice> = Vec::new();
         let mut singles: Vec<[Option<SingleInputModel>; 2]> = vec![[None, None]; n];
@@ -254,6 +309,7 @@ impl ProximityModel {
         // dual-input proximity tables, NLDM load-slew surfaces, and glitch
         // extremum tables — fans out as one combined batch, so the slow
         // glitch transients overlap the cheap dual rows.
+        cancel.check("characterization")?;
         let t0 = Instant::now();
         let phase_span = obs::span("char.phase.pairs");
         enum PairSpec {
@@ -351,7 +407,7 @@ impl ProximityModel {
                 });
             }
         }
-        let batch = execute_jobs(&sim, &jobs, threads);
+        let batch = execute_jobs_controlled(&sim, &jobs, threads, journal.map(|j| (j, "pairs")));
         record_batch(&reg, jobs.len(), &batch);
 
         let mut duals: Vec<[Option<DualInputModel>; 2]> = vec![[None, None]; n];
@@ -463,7 +519,9 @@ impl ProximityModel {
 
         // Phase 4 (sequential): the two small calibration passes. Each is a
         // handful of sims with data dependencies on the assembled model, so
-        // batching buys nothing.
+        // batching buys nothing. (Not checkpointed: re-running them on
+        // resume is cheap and deterministic.)
+        cancel.check("characterization")?;
         let t0 = Instant::now();
         let phase_span = obs::span("char.phase.finish");
 
@@ -547,6 +605,10 @@ impl ProximityModel {
         }
         drop(phase_span);
         phases.finish = t0.elapsed().as_secs_f64();
+
+        // A cancellation that raced the sequential tail (where some errors
+        // are deliberately swallowed into fallbacks) still fails typed.
+        cancel.check("characterization")?;
 
         // The caller's stats are a snapshot view of the run registry, not a
         // separately maintained set of counters — so they cannot drift from

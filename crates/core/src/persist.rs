@@ -56,15 +56,15 @@ impl ProximityModel {
         })
     }
 
-    /// Writes the model to a file.
+    /// Writes the model to a file, atomically: the JSON is staged in a
+    /// same-directory temp file, fsync'd, and renamed into place, so a
+    /// crash mid-save never leaves a half-written model at `path`.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::Persist`] on serialization or I/O failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
-        fs::write(path.as_ref(), self.to_json()?).map_err(|e| ModelError::Persist {
-            detail: e.to_string(),
-        })
+        atomic_write(path.as_ref(), self.to_json()?.as_bytes())
     }
 
     /// Loads a model from a file written by [`ProximityModel::save`].
@@ -84,17 +84,105 @@ impl ProximityModel {
 /// [`ProximityModel`]'s serialized shape changes so stale entries from an
 /// older build miss (and re-characterize) instead of failing to parse.
 /// v2: models carry the `degraded` slice provenance list.
-const MODEL_FORMAT_VERSION: u32 = 2;
+/// v3: cache entries are wrapped in a checksummed envelope and written
+/// atomically (tmp + fsync + rename), so torn entries are detectable.
+const MODEL_FORMAT_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms and
 /// runs (unlike `std`'s `DefaultHasher`, whose output is unspecified).
-fn fnv1a_64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+fn persist_err(e: impl std::fmt::Display) -> ModelError {
+    ModelError::Persist {
+        detail: e.to_string(),
+    }
+}
+
+/// Monotonic discriminator for temp-file names, so two writer *threads* in
+/// one process never collide (two *processes* are separated by pid).
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Crash-consistent file write: the bytes land in a same-directory temp
+/// file, are fsync'd, and are atomically renamed over `path` (then the
+/// directory entry is fsync'd, best effort). A reader — or a crash at any
+/// instant — sees either the complete old file or the complete new file,
+/// never an interleaving or a prefix. Concurrent writers race only at the
+/// rename, so the last *complete* write wins intact.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), ModelError> {
+    use std::io::Write;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| persist_err(format!("unusable path {}", path.display())))?;
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp).map_err(persist_err)?;
+        f.write_all(bytes).map_err(persist_err)?;
+        f.sync_all().map_err(persist_err)?;
+        fs::rename(&tmp, path).map_err(persist_err)?;
+        // Make the rename itself durable. Failure here (exotic
+        // filesystems) costs durability of the *name*, not atomicity.
+        if let Some(dir) = dir {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// First-line magic of a v3 cache entry; the per-entry checksum follows.
+const ENTRY_MAGIC: &str = "#proxim-cache v3 fnv=";
+
+/// Serializes a cache-entry payload: a checksummed header line, then the
+/// model JSON. The checksum covers every byte after the header's newline.
+fn envelope(json: &str) -> String {
+    format!("{ENTRY_MAGIC}{:016x}\n{json}", fnv1a_64(json.as_bytes()))
+}
+
+/// Validates an entry envelope and hands back the model JSON within.
+fn open_envelope(text: &str) -> Result<&str, ModelError> {
+    let (header, json) = text
+        .split_once('\n')
+        .ok_or_else(|| persist_err("cache entry has no envelope header"))?;
+    let sum = header
+        .strip_prefix(ENTRY_MAGIC)
+        .ok_or_else(|| persist_err("cache entry is missing the v3 envelope magic"))?;
+    let sum = u64::from_str_radix(sum, 16)
+        .map_err(|_| persist_err("cache entry has a malformed checksum"))?;
+    if fnv1a_64(json.as_bytes()) != sum {
+        return Err(persist_err(
+            "cache entry checksum mismatch (torn or corrupted write)",
+        ));
+    }
+    Ok(json)
+}
+
+/// Writes one cache entry: checksummed envelope, atomic rename.
+fn write_entry_text(path: &Path, json: &str) -> Result<(), ModelError> {
+    atomic_write(path, envelope(json).as_bytes())
+}
+
+/// Reads one cache entry back, verifying the envelope checksum.
+fn read_entry_text(path: &Path) -> Result<String, ModelError> {
+    let text = fs::read_to_string(path).map_err(persist_err)?;
+    open_envelope(&text).map(str::to_owned)
 }
 
 /// A content-addressed on-disk cache of characterized models.
@@ -161,10 +249,17 @@ impl ModelCache {
     /// stored. `stats` accumulates hit/miss counters and, on a miss, the
     /// characterization telemetry.
     ///
-    /// A corrupt (present but unparseable) cache entry counts as a miss:
-    /// it is quarantined aside — renamed to `.json.quarantined` for
-    /// post-mortem, counted in [`CharStats::cache_quarantined`] — and the
-    /// model is re-characterized and stored fresh.
+    /// Entries are stored in a checksummed envelope and written atomically
+    /// (temp file + fsync + rename), so a concurrent writer or a crash
+    /// mid-store can never leave interleaved or truncated JSON at the
+    /// entry path: readers see a complete old entry, a complete new entry,
+    /// or a detectably corrupt one.
+    ///
+    /// A corrupt (present but unparseable, torn, or checksum-failing)
+    /// cache entry counts as a miss: it is quarantined aside — renamed to
+    /// `.json.quarantined` for post-mortem, counted in
+    /// [`CharStats::cache_quarantined`] — and the model is
+    /// re-characterized and stored fresh.
     ///
     /// # Errors
     ///
@@ -177,17 +272,47 @@ impl ModelCache {
         opts: &CharacterizeOptions,
         stats: &mut CharStats,
     ) -> Result<ProximityModel, ModelError> {
+        self.characterize_controlled(
+            cell,
+            tech,
+            opts,
+            stats,
+            &crate::checkpoint::RunControl::new(),
+        )
+    }
+
+    /// [`ModelCache::characterize`] under a [`RunControl`]: the run honors
+    /// the control's cancellation token, and — when a checkpoint journal is
+    /// configured — journals completed jobs so an interrupted run resumed
+    /// with the same control skips finished work
+    /// ([`CharStats::checkpoint_skipped`]) and still produces the exact
+    /// bytes of an uninterrupted run.
+    ///
+    /// [`RunControl`]: crate::checkpoint::RunControl
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelCache::characterize`], plus a typed cancellation error
+    /// ([`ModelError::is_cancellation`]) when the token trips mid-run.
+    pub fn characterize_controlled(
+        &self,
+        cell: &Cell,
+        tech: &Technology,
+        opts: &CharacterizeOptions,
+        stats: &mut CharStats,
+        control: &crate::checkpoint::RunControl,
+    ) -> Result<ProximityModel, ModelError> {
         let key = Self::key(cell, tech, opts)?;
         let path = self.entry_path(key);
-        match ProximityModel::load(&path) {
+        match read_entry_text(&path).and_then(|json| ProximityModel::from_json(&json)) {
             Ok(model) => {
                 stats.cache_hits += 1;
                 note_cache("hit", metric::CACHE_HITS, key);
                 return Ok(model);
             }
-            // The entry exists but does not parse: move it aside (best
-            // effort) so the bad bytes survive for inspection and cannot
-            // be mistaken for a valid entry again.
+            // The entry exists but does not parse or fails its checksum:
+            // move it aside (best effort) so the bad bytes survive for
+            // inspection and cannot be mistaken for a valid entry again.
             Err(_) if path.exists() => {
                 if fs::rename(&path, self.quarantined_path(key)).is_ok() {
                     stats.cache_quarantined += 1;
@@ -198,20 +323,19 @@ impl ModelCache {
         }
         stats.cache_misses += 1;
         note_cache("miss", metric::CACHE_MISSES, key);
-        let (model, run) = ProximityModel::characterize_with_stats(cell, tech, opts)?;
+        let (model, run) = ProximityModel::characterize_controlled(cell, tech, opts, control)?;
         stats.sims_run += run.sims_run;
         stats.threads = run.threads;
         stats.phases = run.phases;
         stats.enumerated_jobs += run.enumerated_jobs;
         stats.succeeded_jobs += run.succeeded_jobs;
+        stats.checkpoint_skipped += run.checkpoint_skipped;
         stats.recoveries += run.recoveries;
         stats.recovery_seconds += run.recovery_seconds;
         stats.failed_jobs += run.failed_jobs;
         stats.degraded_slices += run.degraded_slices;
-        fs::create_dir_all(&self.root).map_err(|e| ModelError::Persist {
-            detail: e.to_string(),
-        })?;
-        model.save(&path)?;
+        fs::create_dir_all(&self.root).map_err(persist_err)?;
+        write_entry_text(&path, &model.to_json()?)?;
         Ok(model)
     }
 
@@ -420,7 +544,8 @@ mod tests {
 
         // The entry was replaced with a loadable model, and the corrupt
         // bytes were moved aside rather than destroyed.
-        assert!(ProximityModel::load(&path).is_ok());
+        let json = read_entry_text(&path).unwrap();
+        assert!(ProximityModel::from_json(&json).is_ok());
         let quarantined = cache.quarantined_path(key);
         assert_eq!(
             std::fs::read_to_string(&quarantined).unwrap(),
@@ -432,6 +557,75 @@ mod tests {
         assert!(!path.exists() && !quarantined.exists());
 
         std::fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn torn_entry_fails_its_checksum_and_is_quarantined() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let opts = CharacterizeOptions::fast();
+        let cache = fresh_cache("proxim_cache_test_torn");
+
+        let mut stats = CharStats::default();
+        cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+
+        // Simulate a torn write: the envelope header survives but the
+        // payload is cut short. The JSON prefix may even still parse as
+        // *invalid* JSON — the checksum is what catches it.
+        let key = ModelCache::key(&cell, &tech, &opts).unwrap();
+        let path = cache.entry_path(key);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_entry_text(&path).is_err(), "torn entry must not load");
+
+        let mut stats = CharStats::default();
+        cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        assert_eq!(stats.cache_quarantined, 1);
+        assert!(cache.quarantined_path(key).exists());
+
+        std::fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_never_leave_a_torn_entry() {
+        // Two writers hammer the same entry path with *different* complete
+        // payloads while a reader polls it. The atomic-rename path must
+        // guarantee every successful read is one of the complete payloads —
+        // interleaved or truncated JSON would fail the envelope checksum
+        // (and this assertion).
+        let dir = std::env::temp_dir().join(format!("proxim_cache_race_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.json");
+
+        let payload_a = format!("{{\"who\":\"a\",\"pad\":\"{}\"}}", "a".repeat(256 * 1024));
+        let payload_b = format!("{{\"who\":\"b\",\"pad\":\"{}\"}}", "b".repeat(256 * 1024));
+        write_entry_text(&path, &payload_a).unwrap();
+
+        const ROUNDS: usize = 40;
+        std::thread::scope(|scope| {
+            for payload in [&payload_a, &payload_b] {
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        write_entry_text(path, payload).unwrap();
+                    }
+                });
+            }
+            let reads: Vec<String> = (0..ROUNDS * 4)
+                .map(|_| read_entry_text(&path).expect("entry must never be torn mid-write"))
+                .collect();
+            for text in reads {
+                assert!(
+                    text == payload_a || text == payload_b,
+                    "read neither complete payload (len {})",
+                    text.len()
+                );
+            }
+        });
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -230,6 +230,30 @@ pub fn extract_vtc_family(
     c_load: f64,
     points: usize,
 ) -> Result<VtcFamily, ModelError> {
+    extract_vtc_family_cancellable(
+        cell,
+        tech,
+        c_load,
+        points,
+        &proxim_spice::CancelToken::new(),
+    )
+}
+
+/// [`extract_vtc_family`] honoring a cancellation token: the token is polled
+/// before every grid point and inside every warm-started DC solve, so even
+/// the sequential VTC phase of a characterization run stops promptly.
+///
+/// # Errors
+///
+/// Same as [`extract_vtc_family`], plus the token's typed
+/// `Cancelled`/`DeadlineExceeded` errors (as [`ModelError::Simulation`]).
+pub fn extract_vtc_family_cancellable(
+    cell: &Cell,
+    tech: &Technology,
+    c_load: f64,
+    points: usize,
+    cancel: &proxim_spice::CancelToken,
+) -> Result<VtcFamily, ModelError> {
     assert!(points >= 16, "VTC extraction needs a reasonably fine sweep");
     let n = cell.input_count();
     let mut curves = Vec::new();
@@ -249,12 +273,14 @@ pub fn extract_vtc_family(
         let mut samples = Vec::with_capacity(points);
         let mut prev: Option<Vec<f64>> = None;
         for &v in &grid {
+            cancel.check("vtc extraction")?;
             for pin in 0..n {
                 if mask & (1 << pin) != 0 {
                     net.set_waveform(pin, Waveform::Dc(v));
                 }
             }
-            let op = proxim_spice::op::dc_solve_warm(&net.circuit, prev.as_deref())?;
+            let op =
+                proxim_spice::op::dc_solve_warm_cancellable(&net.circuit, prev.as_deref(), cancel)?;
             samples.push((v, op.voltage(net.out)));
             prev = Some(op.raw().to_vec());
         }

@@ -1,0 +1,177 @@
+//! Cooperative cancellation and wall-clock deadlines for analyses.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the code
+//! that requests a stop (a signal handler, a timeout supervisor, a user
+//! interface) and the solver loops that honor it. Cancellation is
+//! *cooperative*: the solver polls the token at transient-step and
+//! Newton-iteration boundaries and unwinds with a typed
+//! [`AnalysisError::Cancelled`] or [`AnalysisError::DeadlineExceeded`] —
+//! never a panic, and never from the middle of a state update, so a
+//! cancelled run leaves no half-written artifact behind.
+//!
+//! [`CancelToken::cancel`] is a single atomic store, which makes it safe to
+//! call from an async-signal context (e.g. a `SIGTERM` handler that wants
+//! the run to flush a final checkpoint and exit cleanly).
+
+use crate::solver::AnalysisError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle with an optional wall-clock deadline.
+///
+/// All clones share one flag: cancelling any clone cancels them all. A token
+/// without a deadline never trips on its own — it only reports cancellation
+/// after [`CancelToken::cancel`] has been called.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that never cancels unless [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token whose deadline expires `budget` from now.
+    pub fn with_deadline_in(budget: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + budget)
+    }
+
+    /// A token whose deadline expires at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; a single atomic store, safe to
+    /// call from a signal handler.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone. Does
+    /// *not* consult the deadline — use [`CancelToken::check`] in solver
+    /// loops.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Polls the token: `Ok(())` to keep running, or the typed error that
+    /// the enclosing analysis should return. `analysis` names the caller
+    /// in the error ("transient", "dc operating point", ...).
+    ///
+    /// The fast path (not cancelled, no deadline) is one relaxed atomic
+    /// load; the clock is only read when a deadline is configured.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Cancelled`] after [`CancelToken::cancel`];
+    /// [`AnalysisError::DeadlineExceeded`] once the deadline has passed
+    /// (with an empty recovery trace — the outermost analysis loop attaches
+    /// the real one).
+    pub fn check(&self, analysis: &str) -> Result<(), AnalysisError> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Err(AnalysisError::Cancelled {
+                analysis: analysis.into(),
+                detail: "cancellation requested".into(),
+            });
+        }
+        if let Some(deadline) = self.inner.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(AnalysisError::DeadlineExceeded {
+                    analysis: analysis.into(),
+                    detail: format!(
+                        "deadline exceeded by {:.3} s",
+                        now.duration_since(deadline).as_secs_f64()
+                    ),
+                    recovery: Box::default(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check("test").is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        match t.check("transient") {
+            Err(AnalysisError::Cancelled { analysis, .. }) => assert_eq!(analysis, "transient"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let t = CancelToken::with_deadline_at(Instant::now() - Duration::from_millis(1));
+        match t.check("transient") {
+            Err(AnalysisError::DeadlineExceeded { recovery, .. }) => {
+                assert!(recovery.is_empty(), "deep layers attach an empty trace");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_deadline_passes_until_cancelled() {
+        let t = CancelToken::with_deadline_in(Duration::from_secs(3600));
+        assert!(t.check("test").is_ok());
+        t.cancel();
+        assert!(matches!(
+            t.check("test"),
+            Err(AnalysisError::Cancelled { .. })
+        ));
+    }
+}

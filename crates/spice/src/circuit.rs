@@ -1,5 +1,6 @@
 //! Circuit representation: nodes, elements, and stimulus waveforms.
 
+use crate::cancel::CancelToken;
 use crate::device::{MosParams, MosType};
 use crate::op::OpResult;
 use crate::solver::AnalysisError;
@@ -367,7 +368,7 @@ impl Circuit {
         to: f64,
         points: usize,
     ) -> Result<DcSweepResult, AnalysisError> {
-        crate::sweep::dc_sweep(self, source, from, to, points)
+        crate::sweep::dc_sweep(self, source, from, to, points, &CancelToken::new())
     }
 
     /// Runs a transient analysis.
@@ -377,7 +378,25 @@ impl Circuit {
     /// Returns [`AnalysisError`] if the initial operating point or any time
     /// step fails to converge at the minimum step size.
     pub fn tran(&self, options: &TranOptions) -> Result<TranResult, AnalysisError> {
-        crate::tran::tran(self, options)
+        crate::tran::tran(self, options, &CancelToken::new())
+    }
+
+    /// Runs a transient analysis under a cancellation token: `cancel` is
+    /// polled at every time step and Newton iteration, so a stop request or
+    /// an expired deadline unwinds the run within one solver iteration.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Circuit::tran`] returns, plus
+    /// [`AnalysisError::Cancelled`] after [`CancelToken::cancel`] and
+    /// [`AnalysisError::DeadlineExceeded`] (carrying the recovery trace
+    /// accumulated so far) once the token's deadline passes.
+    pub fn tran_cancellable(
+        &self,
+        options: &TranOptions,
+        cancel: &CancelToken,
+    ) -> Result<TranResult, AnalysisError> {
+        crate::tran::tran(self, options, cancel)
     }
 }
 

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod cancel;
 pub mod circuit;
 pub mod device;
 pub mod faultpoint;
@@ -52,6 +53,7 @@ pub mod solver;
 pub mod sweep;
 pub mod tran;
 
+pub use cancel::CancelToken;
 pub use circuit::{Circuit, NodeId, Waveform};
 pub use device::{MosParams, MosType};
 pub use faultpoint::FaultConfig;

@@ -5,6 +5,7 @@
 //! solver falls back to gmin stepping and then source stepping — the same
 //! continuation strategies SPICE uses.
 
+use crate::cancel::CancelToken;
 use crate::circuit::{Circuit, NodeId};
 use crate::solver::{
     newton_solve, AnalysisError, CapMode, NewtonOptions, NewtonOutcome, NewtonWorkspace, System,
@@ -71,7 +72,7 @@ impl OpResult {
 
 /// Computes the DC operating point with continuation fallbacks.
 pub(crate) fn dc_op(ckt: &Circuit) -> Result<OpResult, AnalysisError> {
-    let op = dc_solve_at(ckt, 0.0, None)?;
+    let op = dc_solve_at(ckt, 0.0, None, &CancelToken::new())?;
     Ok(op)
 }
 
@@ -87,7 +88,23 @@ pub(crate) fn dc_op(ckt: &Circuit) -> Result<OpResult, AnalysisError> {
 /// Returns [`AnalysisError`] if Newton–Raphson fails to converge even with
 /// gmin and source stepping.
 pub fn dc_solve_warm(ckt: &Circuit, x0: Option<&[f64]>) -> Result<OpResult, AnalysisError> {
-    dc_solve_at(ckt, 0.0, x0)
+    dc_solve_at(ckt, 0.0, x0, &CancelToken::new())
+}
+
+/// Like [`dc_solve_warm`], honoring a cancellation token at every Newton
+/// iteration — the building block for interruptible DC sweep loops (e.g.
+/// VTC-family extraction).
+///
+/// # Errors
+///
+/// [`AnalysisError`] on convergence failure, or the token's
+/// `Cancelled`/`DeadlineExceeded` when `cancel` trips mid-solve.
+pub fn dc_solve_warm_cancellable(
+    ckt: &Circuit,
+    x0: Option<&[f64]>,
+    cancel: &CancelToken,
+) -> Result<OpResult, AnalysisError> {
+    dc_solve_at(ckt, 0.0, x0, cancel)
 }
 
 /// Solves the DC system with sources evaluated at time `t`, optionally warm
@@ -97,6 +114,7 @@ pub(crate) fn dc_solve_at(
     ckt: &Circuit,
     t: f64,
     x0: Option<&[f64]>,
+    cancel: &CancelToken,
 ) -> Result<OpResult, AnalysisError> {
     let sys = System::new(ckt);
     let opts = NewtonOptions::default();
@@ -113,14 +131,30 @@ pub(crate) fn dc_solve_at(
     let mut ws = NewtonWorkspace::new();
 
     // 1. Direct attempt, then a damped retry.
-    if let NewtonOutcome::Converged(_) =
-        newton_solve(&sys, start, t, 1.0, GMIN, CapMode::Dc, &opts, &mut ws)
-    {
+    if let NewtonOutcome::Converged(_) = newton_solve(
+        &sys,
+        start,
+        t,
+        1.0,
+        GMIN,
+        CapMode::Dc,
+        &opts,
+        &mut ws,
+        cancel,
+    )? {
         return Ok(OpResult::from_x(ckt, std::mem::take(&mut ws.x)));
     }
-    if let NewtonOutcome::Converged(_) =
-        newton_solve(&sys, start, t, 1.0, GMIN, CapMode::Dc, &damped, &mut ws)
-    {
+    if let NewtonOutcome::Converged(_) = newton_solve(
+        &sys,
+        start,
+        t,
+        1.0,
+        GMIN,
+        CapMode::Dc,
+        &damped,
+        &mut ws,
+        cancel,
+    )? {
         return Ok(OpResult::from_x(ckt, std::mem::take(&mut ws.x)));
     }
 
@@ -130,7 +164,17 @@ pub(crate) fn dc_solve_at(
     let mut gmin = 1e-3;
     let mut ok = true;
     while gmin >= GMIN * 0.99 {
-        match newton_solve(&sys, &x, t, 1.0, gmin, CapMode::Dc, &damped, &mut ws) {
+        match newton_solve(
+            &sys,
+            &x,
+            t,
+            1.0,
+            gmin,
+            CapMode::Dc,
+            &damped,
+            &mut ws,
+            cancel,
+        )? {
             NewtonOutcome::Converged(_) => std::mem::swap(&mut x, &mut ws.x),
             NewtonOutcome::Failed => {
                 ok = false;
@@ -148,10 +192,20 @@ pub(crate) fn dc_solve_at(
     let steps = 40;
     for k in 0..=steps {
         let scale = k as f64 / steps as f64;
-        newton_solve(&sys, &x, t, scale, GMIN, CapMode::Dc, &damped, &mut ws)
-            .into_converged("dc operating point", || {
-                format!("source stepping stalled at scale {scale:.2}")
-            })?;
+        newton_solve(
+            &sys,
+            &x,
+            t,
+            scale,
+            GMIN,
+            CapMode::Dc,
+            &damped,
+            &mut ws,
+            cancel,
+        )?
+        .into_converged("dc operating point", || {
+            format!("source stepping stalled at scale {scale:.2}")
+        })?;
         std::mem::swap(&mut x, &mut ws.x);
     }
     Ok(OpResult::from_x(ckt, x))

@@ -7,8 +7,10 @@
 //! plus one voltage-constraint row per source) and its Jacobian, and Newton
 //! iterates `x += clamp(-J^{-1} f)`.
 
+use crate::cancel::CancelToken;
 use crate::circuit::{Circuit, Element};
 use crate::device::eval_mosfet;
+use crate::recover::RecoveryTrace;
 use proxim_numeric::linalg::{LuFactors, Matrix};
 use std::fmt;
 
@@ -37,6 +39,42 @@ pub enum AnalysisError {
         /// Why it was stopped.
         detail: String,
     },
+    /// The analysis was cancelled through a [`CancelToken`] — e.g. by a
+    /// signal handler or a supervising process. Cooperative and clean: the
+    /// solver unwinds at the next step or iteration boundary, so no partial
+    /// artifact is ever produced. Terminal by design; the work was not
+    /// wanted, so nothing retries it.
+    Cancelled {
+        /// Which analysis was cancelled.
+        analysis: String,
+        /// Context on where the cancellation was observed.
+        detail: String,
+    },
+    /// The analysis ran past the wall-clock deadline on its [`CancelToken`].
+    /// Unlike [`Self::Aborted`] (solve-count watchdog) this is a real-time
+    /// bound, and it carries the recovery ladder's trace so a run that
+    /// burned its budget inside recovery rungs reports *where* the time
+    /// went instead of a bare timeout.
+    DeadlineExceeded {
+        /// Which analysis timed out.
+        analysis: String,
+        /// Context: by how much the deadline was missed.
+        detail: String,
+        /// Everything the recovery ladder did before time ran out. Boxed to
+        /// keep the error small on the happy path.
+        recovery: Box<RecoveryTrace>,
+    },
+}
+
+impl AnalysisError {
+    /// Whether this error is a cooperative stop ([`Self::Cancelled`] or
+    /// [`Self::DeadlineExceeded`]) rather than a solver failure. Callers
+    /// that degrade gracefully on solver failures must *not* degrade on
+    /// cancellation — the run was stopped on purpose and its absence is not
+    /// a property of the circuit.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, Self::Cancelled { .. } | Self::DeadlineExceeded { .. })
+    }
 }
 
 impl fmt::Display for AnalysisError {
@@ -50,6 +88,20 @@ impl fmt::Display for AnalysisError {
             }
             Self::Aborted { analysis, detail } => {
                 write!(f, "{analysis} was aborted ({detail})")
+            }
+            Self::Cancelled { analysis, detail } => {
+                write!(f, "{analysis} was cancelled ({detail})")
+            }
+            Self::DeadlineExceeded {
+                analysis,
+                detail,
+                recovery,
+            } => {
+                write!(
+                    f,
+                    "{analysis} exceeded its deadline ({detail}; {} recovery attempts first)",
+                    recovery.total()
+                )
             }
         }
     }
@@ -370,6 +422,17 @@ impl NewtonWorkspace {
 
 /// Runs damped Newton–Raphson from `x0`, reusing `ws` for every buffer.
 /// On [`NewtonOutcome::Converged`] the solution is in `ws.x`.
+///
+/// The iteration boundary is a cancellation point: `cancel` is polled before
+/// every assemble/factor/solve cycle, so even a single pathological solve
+/// (damped retries run up to 1200 iterations) honors a stop request or
+/// deadline promptly.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Cancelled`] / [`AnalysisError::DeadlineExceeded`]
+/// when `cancel` trips; convergence failures are reported through
+/// [`NewtonOutcome`], not as errors.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve(
     sys: &System<'_>,
@@ -380,12 +443,14 @@ pub(crate) fn newton_solve(
     caps: CapMode<'_>,
     opts: &NewtonOptions,
     ws: &mut NewtonWorkspace,
-) -> NewtonOutcome {
+    cancel: &CancelToken,
+) -> Result<NewtonOutcome, AnalysisError> {
     let n = sys.n;
     debug_assert_eq!(n, x0.len(), "x0 must match the system size");
     ws.prepare(x0);
 
     for iter in 0..opts.max_iter {
+        cancel.check("newton iteration")?;
         sys.assemble(&ws.x, t, src_scale, gmin, caps, &mut ws.f, &mut ws.jac);
         let lu_start = ws.time_lu.then(std::time::Instant::now);
         let factored = ws.jac.lu_into(&mut ws.lu).is_ok();
@@ -398,7 +463,7 @@ pub(crate) fn newton_solve(
             ws.lu_seconds += t0.elapsed().as_secs_f64();
         }
         if !factored {
-            return NewtonOutcome::Failed;
+            return Ok(NewtonOutcome::Failed);
         }
 
         let mut max_dv = 0.0f64;
@@ -416,10 +481,10 @@ pub(crate) fn newton_solve(
         }
         let max_res = ws.f.iter().take(sys.nv).fold(0.0f64, |m, v| m.max(v.abs()));
         if max_dv < opts.vtol && max_res < opts.itol {
-            return NewtonOutcome::Converged(iter + 1);
+            return Ok(NewtonOutcome::Converged(iter + 1));
         }
     }
-    NewtonOutcome::Failed
+    Ok(NewtonOutcome::Failed)
 }
 
 #[cfg(test)]
@@ -450,7 +515,8 @@ mod tests {
             CapMode::Dc,
             &NewtonOptions::default(),
             &mut ws,
-        )
+            &CancelToken::new(),
+        )?
         .into_converged("dc solve", || "linear circuit must converge".into())?;
         assert!((sys.v(&ws.x, vdd) - 5.0).abs() < 1e-8);
         assert!((sys.v(&ws.x, mid) - 2.5).abs() < 1e-6);
@@ -480,7 +546,8 @@ mod tests {
             CapMode::Dc,
             &NewtonOptions::default(),
             &mut ws,
-        )
+            &CancelToken::new(),
+        )?
         .into_converged("dc solve", || "must converge".into())?;
         let x = ws.x.clone();
         let mut f = vec![0.0; sys.n];
@@ -510,7 +577,8 @@ mod tests {
             CapMode::Dc,
             &NewtonOptions::default(),
             &mut ws,
-        )
+            &CancelToken::new(),
+        )?
         .into_converged("dc solve", || "must converge".into())?;
         assert!((sys.v(&ws.x, a) - 2.0).abs() < 1e-8);
         Ok(())

@@ -4,6 +4,7 @@
 //! previous solution. This is how voltage-transfer curves (VTCs) are
 //! extracted for the threshold-selection analysis of §2 of the paper.
 
+use crate::cancel::CancelToken;
 use crate::circuit::{Circuit, NodeId, Waveform};
 use crate::op::{dc_solve_at, OpResult};
 use crate::solver::AnalysisError;
@@ -69,6 +70,7 @@ pub(crate) fn dc_sweep(
     from: f64,
     to: f64,
     points: usize,
+    cancel: &CancelToken,
 ) -> Result<DcSweepResult, AnalysisError> {
     assert!(points >= 2, "a sweep needs at least two points");
     let mut work = ckt.clone();
@@ -79,14 +81,17 @@ pub(crate) fn dc_sweep(
     for (i, &v) in sweep.iter().enumerate() {
         work.set_vsource(source, Waveform::Dc(v));
         let op = match (
-            dc_solve_at(&work, 0.0, prev_x.as_deref()),
+            dc_solve_at(&work, 0.0, prev_x.as_deref(), cancel),
             prev_x.as_deref(),
         ) {
             (Ok(op), _) => op,
+            // A cooperative stop must surface as such — never be retried as
+            // if it were a convergence failure.
+            (Err(e), _) if e.is_cancellation() => return Err(e),
             (Err(_), Some(x0)) if i > 0 => {
                 // Continuation refinement: approach the troublesome point
                 // through intermediate sub-steps from the last solution.
-                refine_to(&mut work, source, sweep[i - 1], v, x0)?
+                refine_to(&mut work, source, sweep[i - 1], v, x0, cancel)?
             }
             (Err(e), _) => return Err(e),
         };
@@ -107,6 +112,7 @@ fn refine_to(
     from: f64,
     to: f64,
     x0: &[f64],
+    cancel: &CancelToken,
 ) -> Result<OpResult, AnalysisError> {
     let mut x = x0.to_vec();
     for depth in 1..=8u32 {
@@ -116,8 +122,9 @@ fn refine_to(
         for k in 1..=steps {
             let v = from + (to - from) * k as f64 / steps as f64;
             work.set_vsource(source, Waveform::Dc(v));
-            match dc_solve_at(work, 0.0, Some(&xi)) {
+            match dc_solve_at(work, 0.0, Some(&xi), cancel) {
                 Ok(op) => xi = op.x,
+                Err(e) if e.is_cancellation() => return Err(e),
                 Err(_) => {
                     ok = false;
                     break;
@@ -126,7 +133,7 @@ fn refine_to(
         }
         if ok {
             work.set_vsource(source, Waveform::Dc(to));
-            return dc_solve_at(work, 0.0, Some(&xi));
+            return dc_solve_at(work, 0.0, Some(&xi), cancel);
         }
         x = x0.to_vec();
     }

@@ -12,6 +12,7 @@
 //! restarts the whole run with halved `dt_init`/`dv_max`. Everything the
 //! ladder did is reported in [`TranResult::recovery`].
 
+use crate::cancel::CancelToken;
 use crate::circuit::{Circuit, Element, NodeId};
 use crate::faultpoint::{run_entropy, FaultStream};
 use crate::op::GMIN;
@@ -247,8 +248,9 @@ impl TranResult {
     }
 }
 
-/// One Newton solve under the run watchdog and fault injection: counts the
-/// attempt against the solve budget and lets the fault stream veto it.
+/// One Newton solve under the run watchdog, cancellation token, and fault
+/// injection: counts the attempt against the solve budget, polls the token,
+/// and lets the fault stream veto it.
 #[allow(clippy::too_many_arguments)]
 fn checked_solve(
     sys: &System<'_>,
@@ -262,8 +264,10 @@ fn checked_solve(
     faults: &mut FaultStream,
     solves: &mut usize,
     metrics: &Option<TranMetrics>,
+    cancel: &CancelToken,
 ) -> Result<NewtonOutcome, AnalysisError> {
     *solves += 1;
+    cancel.check("transient")?;
     if policy.step_budget > 0 && *solves > policy.step_budget {
         return Err(AnalysisError::Aborted {
             analysis: "transient".into(),
@@ -276,14 +280,18 @@ fn checked_solve(
     if faults.newton_fault() {
         return Ok(NewtonOutcome::Failed);
     }
-    let out = newton_solve(sys, x, t_new, 1.0, gmin, caps, nopts, ws);
+    let out = newton_solve(sys, x, t_new, 1.0, gmin, caps, nopts, ws, cancel)?;
     if let (Some(m), NewtonOutcome::Converged(iters)) = (metrics.as_ref(), &out) {
         m.newton_iters.observe(*iters as f64);
     }
     Ok(out)
 }
 
-pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, AnalysisError> {
+pub(crate) fn tran(
+    ckt: &Circuit,
+    options: &TranOptions,
+    cancel: &CancelToken,
+) -> Result<TranResult, AnalysisError> {
     let sys = System::new(ckt);
     let policy = options.recovery;
     // Per-run entropy comes only from the run's own parameters, so fault
@@ -310,6 +318,7 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
             &mut faults,
             &mut solves,
             &metrics,
+            cancel,
         ) {
             Ok(mut result) => {
                 result.recovery = trace;
@@ -347,7 +356,13 @@ pub(crate) fn tran(ckt: &Circuit, options: &TranOptions) -> Result<TranResult, A
                     .arg("stage", RecoveryStage::RunRestart)
                     .arg("restarts", trace.restarts);
             }
-            Err(e) => {
+            Err(mut e) => {
+                // A deadline that expired while the ladder was climbing
+                // reports where the time went: the accumulated trace of this
+                // run (all attempts so far) rides along on the error.
+                if let AnalysisError::DeadlineExceeded { recovery, .. } = &mut e {
+                    **recovery = std::mem::take(&mut trace);
+                }
                 if span.is_active() {
                     span.add_arg("error", &e);
                 }
@@ -367,11 +382,12 @@ fn tran_attempt(
     faults: &mut FaultStream,
     solves: &mut usize,
     metrics: &Option<TranMetrics>,
+    cancel: &CancelToken,
 ) -> Result<TranResult, AnalysisError> {
     let opts = NewtonOptions::default();
 
     // Initial condition: DC operating point with sources at t = 0.
-    let op = crate::op::dc_solve_at(ckt, 0.0, None)?;
+    let op = crate::op::dc_solve_at(ckt, 0.0, None, cancel)?;
     let mut x = op.x;
 
     // Per-element capacitor history (v_prev across the cap, i_prev through
@@ -421,6 +437,9 @@ fn tran_attempt(
     ws.time_lu = obs::level() == obs::Level::Trace;
 
     while t < options.t_stop - options.dt_min * 0.5 {
+        // Step boundary: a cancellation point even when every solve is
+        // converging on the first try.
+        cancel.check("transient")?;
         while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + options.dt_min * 0.5 {
             bp_idx += 1;
         }
@@ -440,7 +459,7 @@ fn tran_attempt(
         };
 
         let solved = match checked_solve(
-            sys, &x, t_new, GMIN, caps, &opts, &mut ws, policy, faults, solves, metrics,
+            sys, &x, t_new, GMIN, caps, &opts, &mut ws, policy, faults, solves, metrics, cancel,
         )? {
             NewtonOutcome::Converged(iters) => {
                 newton_iterations += iters;
@@ -459,7 +478,7 @@ fn tran_attempt(
                     };
                     if let NewtonOutcome::Converged(iters) = checked_solve(
                         sys, &x, t_new, GMIN, caps, &dopts, &mut ws, policy, faults, solves,
-                        metrics,
+                        metrics, cancel,
                     )? {
                         newton_iterations += iters;
                         rescued = true;
@@ -486,7 +505,7 @@ fn tran_attempt(
                     for &g in &[1e-6, 1e-8, 1e-10, GMIN] {
                         match checked_solve(
                             sys, &warm, t_new, g, caps, &opts, &mut ws, policy, faults, solves,
-                            metrics,
+                            metrics, cancel,
                         )? {
                             NewtonOutcome::Converged(iters) => {
                                 newton_iterations += iters;

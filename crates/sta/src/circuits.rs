@@ -150,6 +150,7 @@ pub fn parity_chain(nand2: CellId, width: usize) -> (GateNetlist, Vec<NetId>, Ne
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -129,6 +129,7 @@ pub fn elaborate_flat(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::circuits::full_adder;

@@ -160,12 +160,9 @@ fn paren_arg(rest: &str, original: &str, line: usize) -> Result<String, ParseBen
         return Err(err(line, "empty net name"));
     }
     // Preserve the original casing of the net name.
-    let start = original
-        .to_ascii_uppercase()
-        .find('(')
-        .expect("checked above")
-        + 1;
-    let end = original.rfind(')').expect("checked above");
+    let malformed = || err(line, format!("expected `(name)` in {original:?}"));
+    let start = original.find('(').ok_or_else(malformed)? + 1;
+    let end = original.rfind(')').ok_or_else(malformed)?;
     Ok(original[start..end].trim().to_string())
 }
 
@@ -188,6 +185,7 @@ OUTPUT(23)
 ";
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -161,7 +161,7 @@ impl TimingReport {
         self.sink_nets
             .iter()
             .filter_map(|&n| self.net_event(n).map(|e| (n, e.arrival)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("arrivals are finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// The critical path: the chain of nets from a primary input to the
@@ -199,7 +199,7 @@ impl TimingReport {
         self.sink_slacks(required)
             .into_iter()
             .map(|(_, s)| s)
-            .min_by(|a, b| a.partial_cmp(b).expect("slacks are finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 
@@ -395,6 +395,7 @@ impl<'a> Sta<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::circuits::{c17, full_adder, ripple_carry_adder};

@@ -1,0 +1,110 @@
+//! Chaos-harness child: one checkpointed characterization run.
+//!
+//! Spawned by `tests/chaos.rs`, which kills it at randomized points
+//! (`SIGKILL`) or asks it to stop gracefully (`SIGTERM`) and then re-runs
+//! it to exercise checkpoint resume. The child characterizes a NAND2
+//! against the demo technology with a checkpoint journal, then saves the
+//! model atomically.
+//!
+//! Exit codes:
+//! - `0` — characterization completed and the model was saved; stdout
+//!   carries `completed skipped=<n> sims=<n>` for the harness.
+//! - `86` — the run was cancelled cooperatively (the `SIGTERM` handler
+//!   tripped the token); the journal holds a final flushed checkpoint.
+//! - `1` — anything else went wrong.
+//!
+//! Usage: `chaos_child --out <model.json> --journal <run.journal> [--jobs N]`
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::checkpoint::{CheckpointConfig, RunControl};
+use proxim_model::ProximityModel;
+use proxim_spice::CancelToken;
+use std::process::ExitCode;
+use std::sync::OnceLock;
+
+/// The token the SIGTERM handler trips. [`CancelToken::cancel`] is a single
+/// atomic store, so calling it from the handler is async-signal-safe.
+static TERM_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigterm(_signum: i32) {
+    if let Some(token) = TERM_TOKEN.get() {
+        token.cancel();
+    }
+}
+
+/// Installs the SIGTERM handler via the libc `signal` entry point (no
+/// external crates in this build environment, so the one-liner FFI lives
+/// here, in the binary — every library crate stays `forbid(unsafe_code)`).
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: chaos_child --out <model.json> --journal <run.journal> [--jobs N]");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut out = None;
+    let mut journal = None;
+    let mut jobs = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next(),
+            "--journal" => journal = args.next(),
+            "--jobs" => {
+                jobs = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    let (Some(out), Some(journal)) = (out, journal) else {
+        return usage();
+    };
+
+    let token = TERM_TOKEN.get_or_init(CancelToken::new).clone();
+    install_sigterm_handler();
+
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let opts = CharacterizeOptions {
+        jobs,
+        ..CharacterizeOptions::fast()
+    };
+    let control = RunControl::new()
+        .with_cancel(token)
+        .with_checkpoint(CheckpointConfig::every_job(&journal));
+
+    match ProximityModel::characterize_controlled(&cell, &tech, &opts, &control) {
+        Ok((model, stats)) => {
+            if let Err(e) = model.save(&out) {
+                eprintln!("chaos_child: saving the model failed: {e}");
+                return ExitCode::from(1);
+            }
+            println!(
+                "completed skipped={} sims={}",
+                stats.checkpoint_skipped, stats.sims_run
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) if e.is_cancellation() => {
+            eprintln!("chaos_child: cancelled cooperatively: {e}");
+            ExitCode::from(86)
+        }
+        Err(e) => {
+            eprintln!("chaos_child: characterization failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Crash/resume chaos harness for checkpointed characterization.
+//!
+//! Runs characterization in a child process (`src/bin/chaos_child.rs`),
+//! kills it at a seeded-random point mid-run, resumes it with the same
+//! journal, and asserts the resumed model is **byte-identical** to one
+//! characterized without interruption — the core crash-consistency promise
+//! of `proxim_model::checkpoint`. A second test exercises the graceful
+//! path: `SIGTERM` trips the cooperative cancel token, the child exits
+//! with its dedicated code after a final checkpoint flush, and the run
+//! resumes from that checkpoint.
+//!
+//! Override the kill point with `PROXIM_CHAOS_SEED=<n>` to explore other
+//! interruption points; the default seed keeps CI deterministic.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output};
+use std::time::{Duration, Instant};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("proxim_chaos_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn child_command(out: &Path, journal: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_chaos_child"));
+    cmd.arg("--out")
+        .arg(out)
+        .arg("--journal")
+        .arg(journal)
+        .arg("--jobs")
+        .arg("2");
+    cmd
+}
+
+/// Completed (newline-terminated) journal lines, header excluded — the
+/// number of durably checkpointed jobs.
+fn journal_entries(path: &Path) -> usize {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text
+            .split_inclusive('\n')
+            .filter(|l| l.ends_with('\n'))
+            .count()
+            .saturating_sub(1),
+        Err(_) => 0,
+    }
+}
+
+/// Polls the journal until it holds at least `target` entries (returns
+/// true) or the child exits first (returns false).
+fn wait_for_entries(child: &mut Child, journal: &Path, target: usize) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while Instant::now() < deadline {
+        if journal_entries(journal) >= target {
+            return true;
+        }
+        if child.try_wait().expect("child wait").is_some() {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("journal never reached {target} entries");
+}
+
+fn skipped_from_stdout(output: &Output) -> usize {
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    stdout
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("skipped=").and_then(|v| v.parse().ok()))
+        .unwrap_or_else(|| panic!("no skipped= marker in child stdout: {stdout:?}"))
+}
+
+/// The uninterrupted reference run: exact bytes every chaos run must match.
+fn reference_model(dir: &Path) -> Vec<u8> {
+    let out = dir.join("reference.json");
+    let journal = dir.join("reference.journal");
+    let output = child_command(&out, &journal)
+        .output()
+        .expect("reference child");
+    assert!(
+        output.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        skipped_from_stdout(&output),
+        0,
+        "a fresh journal must skip nothing"
+    );
+    std::fs::read(&out).expect("reference model bytes")
+}
+
+/// The seeded kill point: an entry count the parent waits for before
+/// pulling the trigger. A tiny LCG keeps runs reproducible per seed while
+/// `PROXIM_CHAOS_SEED` lets a human explore other interruption points.
+fn kill_point(seed: u64) -> usize {
+    let x = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    3 + ((x >> 33) % 10) as usize
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("PROXIM_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1996)
+}
+
+#[test]
+fn sigkill_then_resume_reproduces_the_uninterrupted_model_bytewise() {
+    let dir = scratch_dir("sigkill");
+    let reference = reference_model(&dir);
+
+    let out = dir.join("chaos.json");
+    let journal = dir.join("chaos.journal");
+    let target = kill_point(chaos_seed());
+
+    let mut child = child_command(&out, &journal).spawn().expect("chaos child");
+    let reached = wait_for_entries(&mut child, &journal, target);
+    assert!(
+        reached,
+        "child finished before the kill point ({target} entries) — \
+         the chaos window should be far larger than that"
+    );
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap killed child");
+    assert!(
+        !out.exists(),
+        "a killed run must not leave a (partial or complete) model behind"
+    );
+    let checkpointed = journal_entries(&journal);
+    assert!(
+        checkpointed >= target,
+        "kill raced the journal: {checkpointed} < {target}"
+    );
+
+    // Resume with the same journal: finished work is skipped, and the
+    // result is byte-identical to the uninterrupted run.
+    let output = child_command(&out, &journal)
+        .output()
+        .expect("resume child");
+    assert!(
+        output.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let skipped = skipped_from_stdout(&output);
+    assert!(
+        skipped > 0,
+        "resume must skip checkpointed jobs (journal had {checkpointed})"
+    );
+    let resumed = std::fs::read(&out).expect("resumed model bytes");
+    assert_eq!(
+        resumed, reference,
+        "resumed model differs from the uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_flushes_a_final_checkpoint_and_exits_typed() {
+    let dir = scratch_dir("sigterm");
+    let reference = reference_model(&dir);
+
+    let out = dir.join("graceful.json");
+    let journal = dir.join("graceful.journal");
+
+    let mut child = child_command(&out, &journal).spawn().expect("chaos child");
+    let reached = wait_for_entries(&mut child, &journal, 2);
+    assert!(reached, "child finished before SIGTERM could be delivered");
+    let term = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let status = child.wait().expect("reap terminated child");
+    assert_eq!(
+        status.code(),
+        Some(86),
+        "SIGTERM must surface as the cooperative-cancellation exit code"
+    );
+    assert!(!out.exists(), "a cancelled run must not save a model");
+    let flushed = journal_entries(&journal);
+    assert!(flushed >= 2, "the final checkpoint flush went missing");
+
+    // The graceful stop is resumable like any crash.
+    let output = child_command(&out, &journal)
+        .output()
+        .expect("resume child");
+    assert!(
+        output.status.success(),
+        "resume after SIGTERM failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(skipped_from_stdout(&output) > 0);
+    assert_eq!(std::fs::read(&out).expect("model bytes"), reference);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

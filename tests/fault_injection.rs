@@ -265,6 +265,57 @@ fn fault_injected_trace_roundtrips_through_chrome_converter() {
 }
 
 #[test]
+fn deadline_expiry_mid_recovery_reports_deadline_with_trace() {
+    use proxim_spice::circuit::Waveform;
+    use proxim_spice::tran::TranOptions;
+    use proxim_spice::{AnalysisError, CancelToken};
+    use std::time::Duration;
+
+    // Half the Newton solves fail: the recovery ladder is climbing for
+    // essentially the whole run, and no attempt can string together enough
+    // converged solves to finish before the deadline.
+    let cfg = FaultConfig {
+        newton_rate: 0.5,
+        accept_rate: 0.0,
+        kill_rate: 0.0,
+        seed: 11,
+    };
+    with_faults(cfg, || {
+        let tech = Technology::demo_5v();
+        let mut net = Cell::nand(2).netlist(&tech, 100e-15);
+        net.set_level(0, true);
+        net.set_waveform(1, Waveform::ramp(0.2e-9, 0.5e-9, 0.0, tech.vdd));
+
+        // Unlimited restarts take `NoConvergence` off the table: under this
+        // fault pressure the ladder cycles (cuts, rungs, restarts) until the
+        // deadline fires, whatever the machine's speed — so the only
+        // possible outcomes are completion (excluded by the fault rate) and
+        // `DeadlineExceeded` from inside the ladder.
+        let mut options = TranOptions::to(5e-9);
+        options.recovery.max_restarts = u32::MAX;
+        let cancel = CancelToken::with_deadline_in(Duration::from_millis(25));
+        let err = net
+            .circuit
+            .tran_cancellable(&options, &cancel)
+            .expect_err("a 10 ms deadline must expire inside this run");
+
+        match err {
+            AnalysisError::DeadlineExceeded { recovery, .. } => {
+                assert!(
+                    recovery.total() > 0,
+                    "a deadline that expires while the ladder is climbing \
+                     must report the recovery attempts it interrupted"
+                );
+            }
+            other => panic!(
+                "deadline expiry mid-recovery must surface as \
+                 DeadlineExceeded, got: {other}"
+            ),
+        }
+    });
+}
+
+#[test]
 fn corrupt_cache_entry_is_quarantined_and_recharacterized() {
     let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
     faultpoint::disarm();
