@@ -238,6 +238,32 @@ fn main() -> ExitCode {
     eprintln!("  {} sims in {:.2} s", par.sims_run, wall_par);
     assert_eq!(json_seq, json_par, "parallel output must be byte-identical");
 
+    // Audit pass: the full physics-invariant sweep over every table must
+    // come back clean on an untampered model, and must stay a rounding
+    // error next to the characterization it guards (< 5% of wall-clock).
+    let model = ProximityModel::from_json(&json_par).expect("bench model round-trips");
+    let t0 = Instant::now();
+    let audit_report = model.audit(&proxim_model::audit::AuditOptions::default());
+    let wall_audit = t0.elapsed().as_secs_f64();
+    let audit_pct = 100.0 * wall_audit / wall_par.max(1e-12);
+    eprintln!(
+        "audit: {} finding(s) in {:.4} s ({:.2}% of characterization)",
+        audit_report.len(),
+        wall_audit,
+        audit_pct
+    );
+    if !audit_report.is_clean() {
+        eprintln!(
+            "audit gate FAILED: untampered model has findings, first: {}",
+            audit_report.findings[0]
+        );
+        return ExitCode::FAILURE;
+    }
+    if audit_pct >= 5.0 {
+        eprintln!("audit gate FAILED: {audit_pct:.2}% of characterization wall-time (limit 5%)");
+        return ExitCode::FAILURE;
+    }
+
     // Cache pass: cold miss then warm hit, in a scratch directory.
     let cache_root = std::env::temp_dir().join("proxim_bench_cache");
     let cache = ModelCache::new(&cache_root);
@@ -277,6 +303,8 @@ fn main() -> ExitCode {
             "  \"parallel\": {},\n",
             "  \"cache_cold\": {},\n",
             "  \"cache_warm\": {},\n",
+            "  \"audit\": {{\"findings\": {}, \"wall_s\": {:.6}, ",
+            "\"pct_of_characterization\": {:.3}}},\n",
             "  \"histograms\": {}\n",
             "}}\n"
         ),
@@ -285,6 +313,9 @@ fn main() -> ExitCode {
         stats_json(&par, wall_par),
         stats_json(&cold, wall_cold),
         stats_json(&warm, wall_warm),
+        audit_report.len(),
+        wall_audit,
+        audit_pct,
         histograms_json(&snap),
     );
     if let Err(e) = std::fs::write(&out, &report) {

@@ -210,6 +210,11 @@ pub struct Simulator<'a> {
     pub c_load: f64,
     /// Transient accuracy knob.
     pub dv_max: f64,
+    /// Solver-tolerance scale applied to every transient (see
+    /// [`proxim_spice::tran::TranOptions::with_tolerance_scale`]). The
+    /// default `1.0` is a bit-identical no-op; the audit repair pass drops
+    /// it below one to re-run suspect grid points at higher accuracy.
+    pub tol_scale: f64,
     /// Cancellation token polled by every transient this simulator runs.
     /// Defaults to a token that never cancels; see
     /// [`Simulator::with_cancel`].
@@ -231,8 +236,17 @@ impl<'a> Simulator<'a> {
             thresholds,
             c_load,
             dv_max,
+            tol_scale: 1.0,
             cancel: CancelToken::new(),
         }
+    }
+
+    /// Returns the simulator with a solver-tolerance scale; `1.0` leaves
+    /// every transient bit-identical to the unscaled simulator.
+    #[must_use]
+    pub fn with_tolerance_scale(mut self, scale: f64) -> Self {
+        self.tol_scale = scale;
+        self
     }
 
     /// Binds a cancellation token: every transient this simulator runs polls
@@ -299,7 +313,9 @@ impl<'a> Simulator<'a> {
             net.set_waveform(e.pin, e.ramp.waveform(self.tech.vdd));
         }
 
-        let options = TranOptions::to(t_stop).with_dv_max(self.dv_max);
+        let options = TranOptions::to(t_stop)
+            .with_dv_max(self.dv_max)
+            .with_tolerance_scale(self.tol_scale);
         let result = net.circuit.tran_cancellable(&options, &self.cancel)?;
         let output = result.waveform(net.out);
         Ok(SimResponse {

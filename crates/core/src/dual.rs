@@ -228,6 +228,17 @@ impl DualInputModel {
     pub fn w_axis(&self) -> &[f64] {
         self.delay_ratio.az()
     }
+
+    /// Audit access: the `(delay-ratio, trans-ratio)` tables.
+    pub(crate) fn tables(&self) -> (&Table3d, &Table3d) {
+        (&self.delay_ratio, &self.trans_ratio)
+    }
+
+    /// Audit repair access: the `(delay-ratio, trans-ratio)` tables,
+    /// mutably — entries are patched through the tables' validated setters.
+    pub(crate) fn tables_mut(&mut self) -> (&mut Table3d, &mut Table3d) {
+        (&mut self.delay_ratio, &mut self.trans_ratio)
+    }
 }
 
 #[cfg(test)]

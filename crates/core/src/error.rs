@@ -30,6 +30,14 @@ pub enum ModelError {
         /// The underlying serialization or I/O failure.
         detail: String,
     },
+    /// A loaded or audited model violates a structural or physical
+    /// invariant (non-finite entries, malformed axes, §2/§3 bound
+    /// violations). Distinct from [`Self::Persist`]: the bytes decoded
+    /// fine, but the *content* is untrustworthy.
+    Audit {
+        /// The first violated invariant, with provenance.
+        detail: String,
+    },
 }
 
 impl ModelError {
@@ -73,6 +81,7 @@ impl fmt::Display for ModelError {
             Self::InvalidQuery { detail } => write!(f, "invalid model query: {detail}"),
             Self::Table(s) => write!(f, "characterization table error: {s}"),
             Self::Persist { detail } => write!(f, "failed to persist model: {detail}"),
+            Self::Audit { detail } => write!(f, "model failed audit: {detail}"),
         }
     }
 }

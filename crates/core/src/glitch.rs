@@ -224,6 +224,16 @@ impl GlitchModel {
     pub fn table_len(&self) -> usize {
         self.peak.len()
     }
+
+    /// Audit access: the normalized-peak table.
+    pub(crate) fn peak_table(&self) -> &Table3d {
+        &self.peak
+    }
+
+    /// Audit repair access: the normalized-peak table, mutably.
+    pub(crate) fn peak_table_mut(&mut self) -> &mut Table3d {
+        &mut self.peak
+    }
 }
 
 /// Simulates one causer/blocker pair and returns the output extremum plus
@@ -256,7 +266,9 @@ pub(crate) fn simulate_glitch(
     let t_ramps_end = (e_c.ramp.t_start + e_c.ramp.transition_time)
         .max(e_b.ramp.t_start + e_b.ramp.transition_time);
     let t_stop = t_ramps_end + 3.0 * settle(sim);
-    let options = proxim_spice::tran::TranOptions::to(t_stop).with_dv_max(sim.dv_max);
+    let options = proxim_spice::tran::TranOptions::to(t_stop)
+        .with_dv_max(sim.dv_max)
+        .with_tolerance_scale(sim.tol_scale);
     let result = net.circuit.tran(&options)?;
     let out = result.waveform(net.out);
     let peak = match output_edge {

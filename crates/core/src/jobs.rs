@@ -61,6 +61,15 @@ pub mod metric {
     pub const CACHE_QUARANTINED: &str = "char.cache.quarantined";
     /// Per-job wall-clock histogram, in seconds.
     pub const JOB_SECONDS: &str = "char.job.seconds";
+    /// Physics-invariant violations reported by the post-assembly audit
+    /// (see [`crate::audit`]).
+    pub const AUDIT_FINDINGS: &str = "char.audit.findings";
+    /// Grid points re-simulated and patched by the audit repair pass.
+    pub const REPAIR_POINTS: &str = "audit.repair.points";
+    /// Slices the repair pass demoted to degraded provenance.
+    pub const REPAIR_DEMOTED: &str = "audit.repair.demoted";
+    /// Transient simulations the repair pass ran.
+    pub const REPAIR_SIMS: &str = "audit.repair.sims";
 
     /// Bucket bounds of [`JOB_SECONDS`]: characterization transients range
     /// from sub-millisecond single-input rows to second-scale glitch runs.
@@ -572,6 +581,9 @@ pub struct CharStats {
     pub failed_jobs: usize,
     /// Model slices dropped (marked degraded) because their jobs failed.
     pub degraded_slices: usize,
+    /// Physics-invariant violations reported by the post-assembly audit
+    /// (telemetry only — findings never fail a characterization run).
+    pub audit_findings: usize,
     /// Wall-clock seconds per pipeline phase.
     pub phases: PhaseTimes,
 }
@@ -591,6 +603,7 @@ impl CharStats {
             recoveries: count(metric::RECOVERIES),
             recovery_seconds: snap.gauge(metric::RECOVERY_SECONDS),
             degraded_slices: count(metric::DEGRADED_SLICES),
+            audit_findings: count(metric::AUDIT_FINDINGS),
             ..Self::default()
         }
     }

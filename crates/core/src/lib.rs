@@ -34,6 +34,10 @@
 //! - [`checkpoint`]: cooperative cancellation/deadlines and the
 //!   crash-consistent checkpoint journal that lets an interrupted
 //!   characterization resume to a byte-identical model.
+//! - [`audit`]: the post-assembly physics-invariant audit (§2 positivity,
+//!   §3 asymptotes, monotonicity, outlier detection) and the bounded
+//!   self-repair pass that re-simulates suspect grid points or demotes
+//!   unrepairable slices to degraded provenance.
 //!
 //! # Example
 //!
@@ -67,6 +71,7 @@
 
 pub mod algorithm;
 pub mod analytic;
+pub mod audit;
 pub mod baseline;
 pub mod calibrate;
 pub mod characterize;
@@ -84,6 +89,7 @@ pub mod single;
 pub mod thresholds;
 pub mod validate;
 
+pub use audit::{AuditCheck, AuditFinding, AuditOptions, AuditReport, RepairOutcome, TableRole};
 pub use checkpoint::{CheckpointConfig, CheckpointJournal, RunControl};
 pub use error::ModelError;
 pub use measure::InputEvent;

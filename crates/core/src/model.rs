@@ -96,7 +96,7 @@ pub struct DegradedSlice {
     pub reason: String,
 }
 
-fn eidx(edge: Edge) -> usize {
+pub(crate) fn eidx(edge: Edge) -> usize {
     match edge {
         Edge::Rising => 0,
         Edge::Falling => 1,
@@ -115,30 +115,30 @@ fn note_degraded(reg: &obs::Registry, d: &DegradedSlice) {
 /// A fully characterized temporal-proximity model for one cell.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ProximityModel {
-    cell: Cell,
-    tech: Technology,
-    thresholds: Thresholds,
-    vtc: VtcFamily,
-    c_ref: f64,
-    dv_max: f64,
+    pub(crate) cell: Cell,
+    pub(crate) tech: Technology,
+    pub(crate) thresholds: Thresholds,
+    pub(crate) vtc: VtcFamily,
+    pub(crate) c_ref: f64,
+    pub(crate) dv_max: f64,
     /// `singles[pin][input-edge index]`.
-    singles: Vec<[Option<SingleInputModel>; 2]>,
+    pub(crate) singles: Vec<[Option<SingleInputModel>; 2]>,
     /// `duals[pin][input-edge index]` — the paper's `2n` scheme.
-    duals: Vec<[Option<DualInputModel>; 2]>,
+    pub(crate) duals: Vec<[Option<DualInputModel>; 2]>,
     /// Extra pair models when the full matrix was requested (ablation).
-    extra_duals: Vec<DualInputModel>,
+    pub(crate) extra_duals: Vec<DualInputModel>,
     /// `corrections[output-edge index]`.
-    corrections: [CorrectionTerm; 2],
+    pub(crate) corrections: [CorrectionTerm; 2],
     /// Calibrated full-swing ramp-stretch factors, by output-edge index
     /// (see [`crate::calibrate`]).
-    ramp_stretch: [f64; 2],
+    pub(crate) ramp_stretch: [f64; 2],
     /// Optional NLDM-style load-slew surfaces, `[pin][input-edge index]`.
-    nldm: Vec<[Option<LoadSlewModel>; 2]>,
+    pub(crate) nldm: Vec<[Option<LoadSlewModel>; 2]>,
     /// Glitch models, at most one per causer edge.
-    glitches: Vec<GlitchModel>,
+    pub(crate) glitches: Vec<GlitchModel>,
     /// Slices that failed characterization and were dropped with
     /// provenance instead of failing the whole model.
-    degraded: Vec<DegradedSlice>,
+    pub(crate) degraded: Vec<DegradedSlice>,
 }
 
 impl ProximityModel {
@@ -609,6 +609,17 @@ impl ProximityModel {
         // A cancellation that raced the sequential tail (where some errors
         // are deliberately swallowed into fallbacks) still fails typed.
         cancel.check("characterization")?;
+
+        // Post-assembly physics audit (§2 positivity, §3 asymptotes,
+        // monotonicity, outlier scan). Telemetry only: findings are counted
+        // into the run stats but never fail the characterization — a
+        // degraded-but-announced model beats no model, and callers that
+        // want enforcement run `audit()`/`audit_and_repair()` themselves.
+        // Booked into the run registry directly; `audit()` already mirrors
+        // the count into the global registry when metrics are enabled.
+        let audit_report = model.audit(&crate::audit::AuditOptions::default());
+        reg.counter(metric::AUDIT_FINDINGS)
+            .add(audit_report.len() as u64);
 
         // The caller's stats are a snapshot view of the run registry, not a
         // separately maintained set of counters — so they cannot drift from

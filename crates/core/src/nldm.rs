@@ -187,6 +187,16 @@ impl LoadSlewModel {
     pub fn table_len(&self) -> usize {
         self.delay.len() + self.trans.len()
     }
+
+    /// Audit access: the `(delay, transition)` surfaces.
+    pub(crate) fn tables(&self) -> (&Table2d, &Table2d) {
+        (&self.delay, &self.trans)
+    }
+
+    /// Audit repair access: the `(delay, transition)` surfaces, mutably.
+    pub(crate) fn tables_mut(&mut self) -> (&mut Table2d, &mut Table2d) {
+        (&mut self.delay, &mut self.trans)
+    }
 }
 
 #[cfg(test)]

@@ -47,13 +47,32 @@ impl ProximityModel {
 
     /// Deserializes a model from JSON produced by [`ProximityModel::to_json`].
     ///
+    /// The input is untrusted: beyond parsing, the text must fit
+    /// [`MAX_MODEL_JSON_BYTES`] and the decoded model must pass
+    /// [`ProximityModel::validate`] — serde fills table fields directly,
+    /// so without the post-parse walk a hand-edited or bit-rotted file
+    /// could smuggle NaN/Inf entries or malformed axes into the query
+    /// path. (JSON `1e999` parses as `+inf`, so overflow is a validation
+    /// concern, not just a syntax one.)
+    ///
     /// # Errors
     ///
-    /// Returns [`ModelError::Persist`] on malformed input.
+    /// Returns [`ModelError::Persist`] on oversized or malformed input and
+    /// [`ModelError::Audit`] when the decoded model fails validation.
     pub fn from_json(text: &str) -> Result<Self, ModelError> {
-        serde_json::from_str(text).map_err(|e| ModelError::Persist {
+        if text.len() > MAX_MODEL_JSON_BYTES {
+            return Err(ModelError::Persist {
+                detail: format!(
+                    "model JSON is {} bytes, over the {MAX_MODEL_JSON_BYTES}-byte limit",
+                    text.len()
+                ),
+            });
+        }
+        let model: Self = serde_json::from_str(text).map_err(|e| ModelError::Persist {
             detail: e.to_string(),
-        })
+        })?;
+        model.validate()?;
+        Ok(model)
     }
 
     /// Writes the model to a file, atomically: the JSON is staged in a
@@ -87,6 +106,12 @@ impl ProximityModel {
 /// v3: cache entries are wrapped in a checksummed envelope and written
 /// atomically (tmp + fsync + rename), so torn entries are detectable.
 const MODEL_FORMAT_VERSION: u32 = 3;
+
+/// Upper bound on accepted model-JSON size. A characterized model is a few
+/// hundred kilobytes; anything near this limit is not one of ours, and
+/// bounding the input keeps a hostile cache entry from ballooning memory
+/// before the parser even sees a structural problem.
+pub const MAX_MODEL_JSON_BYTES: usize = 64 * 1024 * 1024;
 
 /// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms and
 /// runs (unlike `std`'s `DefaultHasher`, whose output is unspecified).
@@ -334,6 +359,7 @@ impl ModelCache {
         stats.recovery_seconds += run.recovery_seconds;
         stats.failed_jobs += run.failed_jobs;
         stats.degraded_slices += run.degraded_slices;
+        stats.audit_findings += run.audit_findings;
         fs::create_dir_all(&self.root).map_err(persist_err)?;
         write_entry_text(&path, &model.to_json()?)?;
         Ok(model)
@@ -446,6 +472,41 @@ mod tests {
     fn load_missing_file_is_reported() {
         let e = ProximityModel::load("/nonexistent/path/model.json").unwrap_err();
         assert!(matches!(e, ModelError::Persist { .. }));
+    }
+
+    #[test]
+    fn non_finite_values_in_valid_json_are_rejected_as_audit_errors() {
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let model =
+            ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast()).unwrap();
+        let json = model.to_json().unwrap();
+
+        // `1e999` is syntactically valid JSON that saturates to +inf when
+        // parsed into an f64 — the classic route past a syntax-only loader.
+        // The on-load validation must catch it as a typed audit error, not
+        // hand back a model that poisons every downstream interpolation.
+        let field = "\"c_ref\":";
+        let start = json.find(field).expect("c_ref field present") + field.len();
+        let end = start + json[start..].find([',', '}']).expect("field terminated");
+        let poisoned = format!("{}1e999{}", &json[..start], &json[end..]);
+        let e = ProximityModel::from_json(&poisoned).unwrap_err();
+        assert!(matches!(e, ModelError::Audit { .. }), "{e}");
+        assert!(e.to_string().contains("audit"), "{e}");
+    }
+
+    #[test]
+    fn oversized_json_is_rejected_before_parsing() {
+        // A multi-gigabyte "model" must be refused up front, not parsed.
+        let mut huge = String::from("{\"pad\": \"");
+        huge.reserve(MAX_MODEL_JSON_BYTES + 16);
+        while huge.len() <= MAX_MODEL_JSON_BYTES {
+            huge.push_str("xxxxxxxxxxxxxxxx");
+        }
+        huge.push_str("\"}");
+        let e = ProximityModel::from_json(&huge).unwrap_err();
+        assert!(matches!(e, ModelError::Persist { .. }), "{e}");
+        assert!(e.to_string().contains("limit"), "{e}");
     }
 
     fn fresh_cache(name: &str) -> ModelCache {

@@ -299,6 +299,17 @@ impl SingleInputModel {
             self.trans_table.ys().to_vec(),
         )
     }
+
+    /// Audit access: the `(delay, transition)` sample tables.
+    pub(crate) fn tables(&self) -> (&Table1d, &Table1d) {
+        (&self.delay_table, &self.trans_table)
+    }
+
+    /// Audit repair access: the `(delay, transition)` sample tables,
+    /// mutably — entries are patched through the tables' validated setters.
+    pub(crate) fn tables_mut(&mut self) -> (&mut Table1d, &mut Table1d) {
+        (&mut self.delay_table, &mut self.trans_table)
+    }
 }
 
 #[cfg(test)]

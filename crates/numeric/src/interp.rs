@@ -31,6 +31,23 @@ impl fmt::Display for BuildTableError {
 
 impl std::error::Error for BuildTableError {}
 
+/// Shared bounds-and-finiteness guard behind the `set_value` methods.
+fn set_checked(values: &mut [f64], idx: usize, value: f64) -> Result<(), BuildTableError> {
+    if idx >= values.len() {
+        return Err(BuildTableError::new(format!(
+            "value index {idx} out of range for {} entries",
+            values.len()
+        )));
+    }
+    if !value.is_finite() {
+        return Err(BuildTableError::new(format!(
+            "replacement value at index {idx} is non-finite"
+        )));
+    }
+    values[idx] = value;
+    Ok(())
+}
+
 fn check_axis(name: &str, axis: &[f64]) -> Result<(), BuildTableError> {
     if axis.len() < 2 {
         return Err(BuildTableError::new(format!(
@@ -101,6 +118,27 @@ impl Table1d {
         let i = locate(&self.xs, x);
         let w = cell_weight(&self.xs, i, x);
         self.ys[i] * (1.0 - w) + self.ys[i + 1] * w
+    }
+
+    /// Overwrites the stored sample at `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTableError`] if `idx` is out of range or `value` is
+    /// non-finite; the table is left unchanged.
+    pub fn set_value(&mut self, idx: usize, value: f64) -> Result<(), BuildTableError> {
+        set_checked(&mut self.ys, idx, value)
+    }
+
+    /// Re-runs the construction checks of [`Self::new`] on the current
+    /// contents. Serde deserialization fills the fields directly, so a table
+    /// decoded from untrusted bytes must be validated before use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTableError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), BuildTableError> {
+        Self::new(self.xs.clone(), self.ys.clone()).map(|_| ())
     }
 }
 
@@ -194,6 +232,31 @@ impl Table2d {
     /// Whether the table stores no samples (never true for a valid table).
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// The row-major value array (`values[ix * ay.len() + iy]`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Overwrites the stored sample at row-major index `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTableError`] if `idx` is out of range or `value` is
+    /// non-finite; the table is left unchanged.
+    pub fn set_value(&mut self, idx: usize, value: f64) -> Result<(), BuildTableError> {
+        set_checked(&mut self.values, idx, value)
+    }
+
+    /// Re-runs the construction checks of [`Self::new`] on the current
+    /// contents (see [`Table1d::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTableError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), BuildTableError> {
+        Self::new(self.ax.clone(), self.ay.clone(), self.values.clone()).map(|_| ())
     }
 }
 
@@ -313,6 +376,38 @@ impl Table3d {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// The row-major value array
+    /// (`values[(ix * ay.len() + iy) * az.len() + iz]`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Overwrites the stored sample at row-major index `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTableError`] if `idx` is out of range or `value` is
+    /// non-finite; the table is left unchanged.
+    pub fn set_value(&mut self, idx: usize, value: f64) -> Result<(), BuildTableError> {
+        set_checked(&mut self.values, idx, value)
+    }
+
+    /// Re-runs the construction checks of [`Self::new`] on the current
+    /// contents (see [`Table1d::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTableError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), BuildTableError> {
+        Self::new(
+            self.ax.clone(),
+            self.ay.clone(),
+            self.az.clone(),
+            self.values.clone(),
+        )
+        .map(|_| ())
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +504,48 @@ mod tests {
         .unwrap();
         assert_eq!(t.len(), 12);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn set_value_patches_in_place_and_rejects_bad_input() {
+        let mut t = Table1d::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 6.0]).unwrap();
+        t.set_value(1, 4.0).unwrap();
+        assert_eq!(t.eval(1.0), 4.0);
+        assert!(t.set_value(3, 1.0).is_err());
+        assert!(t.set_value(0, f64::NAN).is_err());
+        assert_eq!(t.eval(0.0), 0.0, "failed set must leave table unchanged");
+
+        let mut t2 = Table2d::tabulate(vec![0.0, 1.0], vec![0.0, 1.0], |x, y| x + y).unwrap();
+        t2.set_value(3, -7.0).unwrap();
+        assert_eq!(t2.eval(1.0, 1.0), -7.0);
+        assert!(t2.set_value(4, 0.0).is_err());
+
+        let mut t3 =
+            Table3d::tabulate(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0], |_, _, _| {
+                1.0
+            })
+            .unwrap();
+        t3.set_value(0, 9.0).unwrap();
+        assert_eq!(t3.eval(0.0, 0.0, 0.0), 9.0);
+        assert!(t3.set_value(0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn validate_catches_deserialized_corruption() {
+        // Serde fills fields directly, so decoding can construct states
+        // new() would reject; validate() must catch them after the fact.
+        let good: Table1d = serde_json::from_str(r#"{"xs":[0.0,1.0],"ys":[1.0,2.0]}"#).unwrap();
+        assert!(good.validate().is_ok());
+        let bad_axis: Table1d = serde_json::from_str(r#"{"xs":[1.0,0.0],"ys":[1.0,2.0]}"#).unwrap();
+        assert!(bad_axis.validate().is_err());
+        let bad_shape: Table2d =
+            serde_json::from_str(r#"{"ax":[0.0,1.0],"ay":[0.0,1.0],"values":[0.0]}"#).unwrap();
+        assert!(bad_shape.validate().is_err());
+        let t3 = Table3d::tabulate(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0], |_, _, _| {
+            0.5
+        })
+        .unwrap();
+        assert!(t3.validate().is_ok());
     }
 
     #[test]

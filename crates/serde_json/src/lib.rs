@@ -181,15 +181,23 @@ fn write_value_pretty(out: &mut String, v: &Value, indent: usize) -> Result<(), 
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Maximum container nesting the parser accepts. [`Parser::parse_value`]
+/// recurses per `[`/`{`, so unbounded depth lets a few kilobytes of
+/// `[[[[…` overflow the thread stack; honest model files nest a handful
+/// of levels.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 fn parse_value_complete(text: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.parse_value()?;
     p.skip_whitespace();
@@ -232,8 +240,8 @@ impl<'a> Parser<'a> {
 
     fn parse_value(&mut self) -> Result<Value, Error> {
         match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
+            b'{' => self.nested(Self::parse_object),
+            b'[' => self.nested(Self::parse_array),
             b'"' => Ok(Value::Str(self.parse_string()?)),
             b't' => self.parse_keyword("true", Value::Bool(true)),
             b'f' => self.parse_keyword("false", Value::Bool(false)),
@@ -244,6 +252,19 @@ impl<'a> Parser<'a> {
                 other as char, self.pos
             ))),
         }
+    }
+
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Value, Error>) -> Result<Value, Error> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(Error::new(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
@@ -496,6 +517,21 @@ mod tests {
         assert!(from_str::<f64>("1.5 garbage").is_err());
         assert!(from_str::<Vec<f64>>("[1,").is_err());
         assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // Within the limit the parser accepts the nesting (the subsequent
+        // type mapping fails, but not with the depth error).
+        let shallow = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        let err = from_str::<f64>(&shallow).unwrap_err();
+        assert!(!err.to_string().contains("nesting"), "{err}");
+        // A few kilobytes of `[[[[…` must fail typed, not blow the stack.
+        let deep = "[".repeat(100_000);
+        let err = from_str::<f64>(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        let deep_obj = "{\"a\":".repeat(100_000);
+        assert!(from_str::<f64>(&deep_obj).is_err());
     }
 
     #[test]

@@ -137,6 +137,28 @@ impl TranOptions {
         self.recovery = recovery;
         self
     }
+
+    /// Returns the options with the accuracy-governing knobs (`dv_max` and
+    /// `dt_init`) scaled by `scale`. Values below one tighten the solve —
+    /// the model-audit repair pass uses this to re-run suspect grid points
+    /// at higher accuracy without re-deriving every option. A scale of
+    /// exactly `1.0` is a bit-identical no-op, so callers can thread one
+    /// scale variable through both the original and the tightened path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn with_tolerance_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "tolerance scale must be positive"
+        );
+        if scale != 1.0 {
+            self.dv_max *= scale;
+            self.dt_init = (self.dt_init * scale).max(self.dt_min);
+        }
+        self
+    }
 }
 
 /// The sampled result of a transient run.
@@ -682,6 +704,18 @@ mod tests {
             let b = fine.waveform(out).eval(t);
             assert!((a - b).abs() < 0.02, "divergence at t = {t}: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn tolerance_scale_unity_is_identity_and_fractions_tighten() {
+        let base = TranOptions::to(5e-9).with_dv_max(0.04);
+        let same = base.with_tolerance_scale(1.0);
+        assert_eq!(base.dv_max.to_bits(), same.dv_max.to_bits());
+        assert_eq!(base.dt_init.to_bits(), same.dt_init.to_bits());
+        let tight = base.with_tolerance_scale(0.5);
+        assert_eq!(tight.dv_max, 0.02);
+        assert!(tight.dt_init < base.dt_init);
+        assert!(tight.dt_init >= tight.dt_min);
     }
 
     #[test]

@@ -23,18 +23,39 @@ use std::fmt;
 /// The error returned by [`parse_bench`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseBenchError {
-    /// 1-based line number.
+    /// 1-based line number; `0` for whole-design problems (cycles,
+    /// undriven outputs, an input over the size limit) with no single
+    /// offending line.
     pub line: usize,
+    /// 1-based column (in characters) of the offending token within its
+    /// line; `1` when the error has no sharper position.
+    pub column: usize,
     what: String,
 }
 
 impl fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bench parse error at line {}: {}", self.line, self.what)
+        if self.line == 0 {
+            write!(f, "bench parse error: {}", self.what)
+        } else {
+            write!(
+                f,
+                "bench parse error at line {}, column {}: {}",
+                self.line, self.column, self.what
+            )
+        }
     }
 }
 
 impl std::error::Error for ParseBenchError {}
+
+/// Upper bound on accepted `.bench` text. The largest ISCAS/ITC designs
+/// are well under a megabyte; bounding the input keeps an adversarial file
+/// from committing the parser to gigabytes of net-name allocations.
+pub const MAX_BENCH_BYTES: usize = 4 * 1024 * 1024;
+
+/// Upper bound on a single net-name or gate-type identifier.
+pub const MAX_NAME_LEN: usize = 256;
 
 /// The parsed design.
 #[derive(Debug, Clone)]
@@ -50,8 +71,44 @@ pub struct ParsedBench {
 fn err(line: usize, what: impl Into<String>) -> ParseBenchError {
     ParseBenchError {
         line,
+        column: 1,
         what: what.into(),
     }
+}
+
+fn err_at(line: usize, column: usize, what: impl Into<String>) -> ParseBenchError {
+    ParseBenchError {
+        line,
+        column,
+        what: what.into(),
+    }
+}
+
+/// 1-based character column of `token` within `raw`, for tokens that are
+/// subslices of `raw` (plain pointer arithmetic on the slice bounds — no
+/// `unsafe`). Falls back to column 1 when `token` is not a subslice.
+fn col_in(raw: &str, token: &str) -> usize {
+    let off = (token.as_ptr() as usize).wrapping_sub(raw.as_ptr() as usize);
+    if off <= raw.len() && raw.is_char_boundary(off) {
+        raw[..off].chars().count() + 1
+    } else {
+        1
+    }
+}
+
+/// Enforces [`MAX_NAME_LEN`] on one identifier, pointing at its column.
+fn check_name(name: &str, raw: &str, line: usize) -> Result<(), ParseBenchError> {
+    if name.len() > MAX_NAME_LEN {
+        return Err(err_at(
+            line,
+            col_in(raw, name),
+            format!(
+                "identifier of {} bytes exceeds the {MAX_NAME_LEN}-byte limit",
+                name.len()
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Parses a `.bench` netlist. `resolve(gate_type, fan_in)` maps a gate
@@ -65,6 +122,15 @@ pub fn parse_bench(
     text: &str,
     mut resolve: impl FnMut(&str, usize) -> Option<CellId>,
 ) -> Result<ParsedBench, ParseBenchError> {
+    if text.len() > MAX_BENCH_BYTES {
+        return Err(err(
+            0,
+            format!(
+                "input is {} bytes, over the {MAX_BENCH_BYTES}-byte limit",
+                text.len()
+            ),
+        ));
+    }
     let mut netlist = GateNetlist::new();
     let mut inputs = Vec::new();
     let mut outputs = Vec::new();
@@ -77,52 +143,75 @@ pub fn parse_bench(
             continue;
         }
         let upper = line.to_ascii_uppercase();
-        if let Some(rest) = upper.strip_prefix("INPUT") {
-            let name = paren_arg(rest, line, line_no)?;
-            let net = netlist.net(&name);
+        if upper.starts_with("INPUT") {
+            let name = paren_arg(&line["INPUT".len()..], line, raw, line_no)?;
+            check_name(name, raw, line_no)?;
+            let net = netlist.net(name);
             netlist.mark_primary_input(net);
             inputs.push(net);
             continue;
         }
-        if let Some(rest) = upper.strip_prefix("OUTPUT") {
-            let name = paren_arg(rest, line, line_no)?;
-            outputs.push(netlist.net(&name));
+        if upper.starts_with("OUTPUT") {
+            let name = paren_arg(&line["OUTPUT".len()..], line, raw, line_no)?;
+            check_name(name, raw, line_no)?;
+            outputs.push(netlist.net(name));
             continue;
         }
         // `lhs = TYPE(arg, ...)`
         let Some((lhs, rhs)) = line.split_once('=') else {
-            return Err(err(
+            return Err(err_at(
                 line_no,
+                col_in(raw, line),
                 format!("expected `net = GATE(...)`, got {line:?}"),
             ));
         };
         let out_name = lhs.trim();
         if out_name.is_empty() {
-            return Err(err(line_no, "empty output net name"));
+            return Err(err_at(line_no, col_in(raw, line), "empty output net name"));
         }
+        check_name(out_name, raw, line_no)?;
         let rhs = rhs.trim();
         let Some(open) = rhs.find('(') else {
-            return Err(err(line_no, "missing `(` in gate expression"));
+            return Err(err_at(
+                line_no,
+                col_in(raw, rhs),
+                "missing `(` in gate expression",
+            ));
         };
         if !rhs.ends_with(')') {
-            return Err(err(line_no, "missing `)` in gate expression"));
+            return Err(err_at(
+                line_no,
+                col_in(raw, rhs) + rhs.chars().count().saturating_sub(1),
+                "missing `)` in gate expression",
+            ));
         }
-        let gate_type = rhs[..open].trim().to_ascii_uppercase();
+        let type_token = rhs[..open].trim();
+        check_name(type_token, raw, line_no)?;
+        let gate_type = type_token.to_ascii_uppercase();
         let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
             .split(',')
             .map(str::trim)
             .filter(|s| !s.is_empty())
             .collect();
         if args.is_empty() {
-            return Err(err(line_no, "gate has no inputs"));
+            return Err(err_at(
+                line_no,
+                col_in(raw, &rhs[open..]),
+                "gate has no inputs",
+            ));
         }
         let Some(cell) = resolve(&gate_type, args.len()) else {
-            return Err(err(
+            return Err(err_at(
                 line_no,
+                col_in(raw, type_token),
                 format!("no library cell for {gate_type}/{}", args.len()),
             ));
         };
-        let input_nets: Vec<NetId> = args.iter().map(|a| netlist.net(a)).collect();
+        let mut input_nets = Vec::with_capacity(args.len());
+        for a in &args {
+            check_name(a, raw, line_no)?;
+            input_nets.push(netlist.net(a));
+        }
         let out_net = netlist.net(out_name);
         gate_count += 1;
         netlist.add_gate(
@@ -149,21 +238,28 @@ pub fn parse_bench(
     })
 }
 
-fn paren_arg(rest: &str, original: &str, line: usize) -> Result<String, ParseBenchError> {
+fn paren_arg<'a>(
+    rest: &'a str,
+    original: &str,
+    raw: &str,
+    line: usize,
+) -> Result<&'a str, ParseBenchError> {
     let rest = rest.trim();
     let inner = rest
         .strip_prefix('(')
         .and_then(|s| s.strip_suffix(')'))
-        .ok_or_else(|| err(line, format!("expected `(name)` in {original:?}")))?;
+        .ok_or_else(|| {
+            err_at(
+                line,
+                col_in(raw, rest),
+                format!("expected `(name)` in {original:?}"),
+            )
+        })?;
     let name = inner.trim();
     if name.is_empty() {
-        return Err(err(line, "empty net name"));
+        return Err(err_at(line, col_in(raw, inner), "empty net name"));
     }
-    // Preserve the original casing of the net name.
-    let malformed = || err(line, format!("expected `(name)` in {original:?}"));
-    let start = original.find('(').ok_or_else(malformed)? + 1;
-    let end = original.rfind(')').ok_or_else(malformed)?;
-    Ok(original[start..end].trim().to_string())
+    Ok(name)
 }
 
 /// The ISCAS-85 C17 benchmark in bench format, for tests and demos.
@@ -234,6 +330,48 @@ y = NAND(a, a)
         let e = parse_bench(text, nand_only).unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("XOR"));
+    }
+
+    #[test]
+    fn errors_carry_column_of_offending_token() {
+        // The unknown gate type starts at column 5 of `y = XOR(a, a)`.
+        let e = parse_bench("INPUT(a)\ny = XOR(a, a)\n", nand_only).unwrap_err();
+        assert_eq!((e.line, e.column), (2, 5), "{e}");
+        assert!(e.to_string().contains("line 2, column 5"), "{e}");
+
+        // A missing `)` points at the last character of the expression.
+        let e = parse_bench("INPUT(a)\ny = NAND(a, a\n", nand_only).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.column > 1, "{e}");
+
+        // Indentation shifts the reported column accordingly.
+        let e = parse_bench("INPUT(a)\n   y = XOR(a, a)\n", nand_only).unwrap_err();
+        assert_eq!((e.line, e.column), (2, 8), "{e}");
+    }
+
+    #[test]
+    fn oversized_input_rejected_without_parsing() {
+        let text = "#".repeat(MAX_BENCH_BYTES + 1);
+        let e = parse_bench(&text, nand_only).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("limit"), "{e}");
+    }
+
+    #[test]
+    fn overlong_identifier_rejected() {
+        let long = "n".repeat(MAX_NAME_LEN + 1);
+        for text in [
+            format!("INPUT({long})\n"),
+            format!("INPUT(a)\n{long} = NAND(a, a)\n"),
+            format!("INPUT(a)\ny = NAND(a, {long})\n"),
+        ] {
+            let e = parse_bench(&text, nand_only).unwrap_err();
+            assert!(e.to_string().contains("limit"), "{e}");
+        }
+        // Exactly at the limit is fine.
+        let ok = "o".repeat(MAX_NAME_LEN);
+        let text = format!("INPUT({ok})\ny = NAND({ok}, {ok})\n");
+        parse_bench(&text, nand_only).unwrap();
     }
 
     #[test]

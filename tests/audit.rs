@@ -1,0 +1,286 @@
+//! Audit & self-repair suite: the model audit catches silent table
+//! corruption, the repair pass restores clean values byte-exactly by
+//! re-simulating only the suspect grid points, and unrepairable slices are
+//! demoted to degraded provenance instead of serving unphysical numbers.
+//!
+//! Runs under the `fault-injection` feature for two reasons: the
+//! `tamper_table_value` corruption hook lives behind it, and the
+//! demotion/20%-fault scenarios drive the repair pipeline through the same
+//! deterministic fault harness the resilience suite uses.
+
+#![cfg(feature = "fault-injection")]
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::audit::{AuditOptions, TableRole};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::model::ProximityModel;
+use proxim_model::{DegradedReason, InputEvent, RunControl, SliceKind};
+use proxim_numeric::pwl::Edge;
+use proxim_spice::faultpoint::{self, FaultConfig};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The fault configuration is process-global, and even the fault-free tests
+/// here must not run while another test has faults armed — so every test in
+/// this binary serializes on this lock for its whole body.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_disarmed() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    faultpoint::disarm();
+    guard
+}
+
+/// Disarms the fault harness on drop, panic included.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        faultpoint::disarm();
+    }
+}
+
+fn nand2_opts() -> CharacterizeOptions {
+    CharacterizeOptions {
+        jobs: 2,
+        ..CharacterizeOptions::fast()
+    }
+}
+
+fn characterize_nand2() -> ProximityModel {
+    ProximityModel::characterize(&Cell::nand(2), &Technology::demo_5v(), &nand2_opts())
+        .expect("characterization succeeds")
+}
+
+/// A dual-table flat index whose separation coordinate is non-negative
+/// (`fast()` puts w ≥ 0 at the tail of each 8-point row), so a negative
+/// tampered value violates §2 positivity deterministically.
+const DUAL_POSITIVE_W_IDX: usize = 5;
+
+#[test]
+fn clean_model_audits_clean_and_repair_is_a_noop() {
+    let _guard = lock_disarmed();
+    let mut model = characterize_nand2();
+    let json_before = model.to_json().expect("serializes");
+
+    let report = model.audit(&AuditOptions::default());
+    assert!(
+        report.is_clean(),
+        "untampered model must audit clean, first finding: {}",
+        report.findings[0]
+    );
+
+    let (report, outcome) = model
+        .audit_and_repair(&nand2_opts(), &AuditOptions::default(), &RunControl::new())
+        .expect("repair of a clean model succeeds");
+    assert!(report.is_clean());
+    assert_eq!(outcome.repaired_points, 0);
+    assert_eq!(outcome.demoted_slices, 0);
+    assert_eq!(outcome.sims_run, 0, "a clean model must not re-simulate");
+    assert_eq!(
+        model.to_json().expect("serializes"),
+        json_before,
+        "a no-op repair must leave the model bytes untouched"
+    );
+}
+
+#[test]
+fn tampered_points_are_found_and_repaired_byte_exactly() {
+    let _guard = lock_disarmed();
+    let mut model = characterize_nand2();
+    let clean_json = model.to_json().expect("serializes");
+
+    // Corrupt one dual-table point in the positive-separation region and
+    // one single-input delay sample — both §2 positivity violations the
+    // audit must catch with full provenance.
+    model
+        .tamper_table_value(
+            SliceKind::Dual,
+            0,
+            Edge::Falling,
+            TableRole::Delay,
+            DUAL_POSITIVE_W_IDX,
+            -0.5,
+        )
+        .expect("dual slice exists");
+    model
+        .tamper_table_value(
+            SliceKind::Single,
+            1,
+            Edge::Rising,
+            TableRole::Delay,
+            1,
+            -1.0,
+        )
+        .expect("single slice exists");
+
+    let report = model.audit(&AuditOptions::default());
+    assert!(
+        report.len() >= 2,
+        "both tampered points must be flagged, got {:?}",
+        report.findings
+    );
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.slice == SliceKind::Dual && f.index.is_some()));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.slice == SliceKind::Single && f.index == Some(1)));
+
+    let (pre_repair, outcome) = model
+        .audit_and_repair(&nand2_opts(), &AuditOptions::default(), &RunControl::new())
+        .expect("repair succeeds");
+    assert_eq!(pre_repair.len(), report.len());
+    assert!(outcome.repaired_points >= 2, "{outcome:?}");
+    assert_eq!(outcome.demoted_slices, 0, "{outcome:?}");
+    assert!(outcome.sims_run > 0);
+
+    // The re-simulated points reproduce the clean characterization
+    // bit-for-bit, so the whole model returns to byte equality.
+    assert_eq!(
+        model.to_json().expect("serializes"),
+        clean_json,
+        "repair must restore the clean model bytes exactly"
+    );
+    assert!(model.audit(&AuditOptions::default()).is_clean());
+}
+
+#[test]
+fn unrepairable_slice_is_demoted_with_audit_provenance() {
+    let _guard = lock_disarmed();
+    let mut model = characterize_nand2();
+
+    model
+        .tamper_table_value(
+            SliceKind::Dual,
+            0,
+            Edge::Falling,
+            TableRole::Delay,
+            DUAL_POSITIVE_W_IDX,
+            -0.5,
+        )
+        .expect("dual slice exists");
+
+    // Every repair re-simulation is killed: the slice cannot be restored
+    // on either tolerance rung and must be demoted, not silently kept.
+    let _disarm = Disarm;
+    faultpoint::configure(FaultConfig {
+        newton_rate: 0.0,
+        accept_rate: 0.0,
+        kill_rate: 1.0,
+        seed: 42,
+    });
+    let (report, outcome) = model
+        .audit_and_repair(&nand2_opts(), &AuditOptions::default(), &RunControl::new())
+        .expect("demotion is a success path, not an error");
+    faultpoint::disarm();
+
+    assert!(!report.is_clean());
+    assert_eq!(outcome.repaired_points, 0, "{outcome:?}");
+    assert!(outcome.demoted_slices >= 1, "{outcome:?}");
+
+    let demoted = model
+        .degraded_slices()
+        .iter()
+        .find(|d| d.kind == SliceKind::Dual && d.pin == 0 && d.edge == Edge::Falling)
+        .expect("the unrepairable dual must be recorded as degraded");
+    assert!(
+        demoted.reason.contains("audit"),
+        "degradation must carry audit provenance: {}",
+        demoted.reason
+    );
+
+    // The model keeps answering: the dual query falls back to the
+    // single-input path and says so.
+    let events = [
+        InputEvent::new(0, Edge::Falling, 0.0, 400e-12),
+        InputEvent::new(1, Edge::Falling, 50e-12, 400e-12),
+    ];
+    let t = model
+        .gate_timing(&events)
+        .expect("demoted duals must fall back, not error");
+    assert_eq!(t.degradation, Some(DegradedReason::DualSliceMissing));
+    assert!(t.delay > 0.0 && t.output_transition > 0.0);
+
+    // And the post-demotion model audits clean: the bad table is gone.
+    assert!(model.audit(&AuditOptions::default()).is_clean());
+}
+
+#[test]
+fn fault_injected_characterization_audits_clean_and_repairs_to_clean_run_bytes() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    faultpoint::disarm();
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let opts = nand2_opts();
+
+    // Reference: the same characterization with no faults at all.
+    let clean = ProximityModel::characterize(&cell, &tech, &opts).expect("clean run succeeds");
+
+    // The resilience suite's 20%-fault recipe: recoveries and a few doomed
+    // runs, deterministic in (seed, run).
+    let (mut model, stats) = {
+        let _disarm = Disarm;
+        faultpoint::configure(FaultConfig {
+            newton_rate: 0.20,
+            accept_rate: 0.05,
+            kill_rate: 0.02,
+            seed: 1996,
+        });
+        ProximityModel::characterize_with_stats(&cell, &tech, &opts)
+            .expect("fault pressure must degrade, not fail")
+    };
+    assert!(stats.recoveries > 0, "the recipe must exercise recovery");
+    assert!(model.is_degraded(), "the kill rate must doom some slice");
+    assert_eq!(
+        stats.audit_findings, 0,
+        "surviving slices of a fault-laden run must still satisfy the \
+         physics invariants"
+    );
+
+    // Tamper a surviving single-input sample, then repair with faults
+    // disarmed. A single-input stimulus depends only on (pin, edge, τ), so
+    // the fault-free re-simulation must land exactly on the clean run's
+    // stored value — byte-level equality for the repaired point even
+    // though the rest of this model lived through the fault storm.
+    let (pin, edge) = (1, Edge::Rising);
+    let tampered_idx = 1;
+    model
+        .tamper_table_value(
+            SliceKind::Single,
+            pin,
+            edge,
+            TableRole::Delay,
+            tampered_idx,
+            -1.0,
+        )
+        .expect("this single survives seed 1996; pick another if the volume changes");
+    let report = model.audit(&AuditOptions::default());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.slice == SliceKind::Single && f.pin == pin),
+        "{report:?}"
+    );
+
+    let (_, outcome) = model
+        .audit_and_repair(&opts, &AuditOptions::default(), &RunControl::new())
+        .expect("repair succeeds once faults are disarmed");
+    assert!(outcome.repaired_points >= 1, "{outcome:?}");
+
+    let (_, repaired_delays, _) = model
+        .single_model(pin, edge)
+        .expect("repaired single still present")
+        .samples();
+    let (_, clean_delays, _) = clean
+        .single_model(pin, edge)
+        .expect("clean single present")
+        .samples();
+    assert_eq!(
+        repaired_delays[tampered_idx].to_bits(),
+        clean_delays[tampered_idx].to_bits(),
+        "the repaired point must equal the clean-run value bit-for-bit"
+    );
+    assert!(model.audit(&AuditOptions::default()).is_clean());
+}

@@ -286,6 +286,52 @@ fn rc_step_matches_analytic_for_random_components() {
     }
 }
 
+/// The §2 positivity theorem holds all the way down to the stored tables:
+/// a clean characterization of NAND2 and NAND3 over the paper's stimulus
+/// ranges passes the full physics audit with zero findings.
+#[test]
+fn clean_models_audit_clean() {
+    use proxim::model::audit::AuditOptions;
+    for (name, model) in [("nand2", &*NAND2_MODEL), ("nand3", &*NAND3_MODEL)] {
+        let report = model.audit(&AuditOptions::default());
+        assert!(
+            report.is_clean(),
+            "{name}: {} findings, first: {}",
+            report.len(),
+            report.findings[0]
+        );
+    }
+}
+
+/// A deliberately wrong threshold policy — measuring a rising input at
+/// 4.5 V instead of the family's min-V_il — produces the §2 failure mode
+/// the paper's policy exists to prevent (negative measured delays for slow
+/// inputs), and the audit must flag it.
+#[test]
+fn audit_flags_wrong_threshold_construction() {
+    use proxim::model::audit::{check_single, AuditCheck, AuditOptions};
+    use proxim::model::characterize::Simulator;
+    use proxim::model::single::SingleInputModel;
+    use proxim::numeric::grid::logspace;
+
+    let cell = Cell::nand(2);
+    let tech = Technology::demo_5v();
+    // Violates the min-V_il rule: a slow rising ramp "arrives" at 90% of
+    // its width, long after the output has already fallen.
+    let bad_th = Thresholds::new(4.5, 4.9, 5.0);
+    let sim = Simulator::new(&cell, &tech, bad_th, 100e-15, 0.08);
+    let single =
+        SingleInputModel::characterize(&sim, 0, Edge::Rising, &logspace(60e-12, 2000e-12, 4))
+            .expect("characterization succeeds even with bad thresholds");
+    let findings = check_single(&single, &AuditOptions::default());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.check == AuditCheck::Positivity && f.value <= 0.0),
+        "negative delays from the broken threshold policy must be flagged, got {findings:?}"
+    );
+}
+
 /// A NAND2's single-input delay is monotone in load capacitance.
 #[test]
 fn nand_delay_monotone_in_load() {
