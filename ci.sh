@@ -31,9 +31,11 @@ step 15m "cargo clippy -- -D warnings"       cargo clippy --workspace --all-targ
 step 20m "tier-1: cargo build --release"     cargo build --release
 step 20m "tier-1: cargo test -q"             cargo test -q
 step 15m "resilience: fault injection"       cargo test -q --features fault-injection --test fault_injection
+step 15m "batch: byte identity + eviction"   cargo test -q --features fault-injection --test batch_identity
 step 15m "audit: invariants + self-repair"   cargo test -q --features fault-injection --test audit
 step 10m "observability: trace round-trip"   cargo test -q --test observability
 step 15m "chaos: SIGKILL/SIGTERM + resume"   cargo test -q --test chaos
-step 15m "bench: characterization pipeline"  ./target/release/bench_characterize --out BENCH_characterize.json
+step 15m "bench: characterization pipeline"  ./target/release/bench_characterize --out BENCH_characterize.json --scaling
+step 5m  "bench: pool smoke (jobs = 2)"      ./target/release/bench_characterize --pool-smoke
 
 echo "==> CI OK"

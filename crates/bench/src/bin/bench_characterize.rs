@@ -4,25 +4,43 @@
 //! Usage:
 //!
 //! ```text
-//! bench_characterize [--out PATH] [--jobs N] [--baseline PATH]
+//! bench_characterize [--out PATH] [--jobs N] [--baseline PATH] [--scaling]
+//!                    [--pool-smoke]
 //! ```
 //!
 //! Measures, on a NAND2 at reduced (`fast`) grids with glitch and load–slew
 //! surfaces enabled so every job kind is exercised:
 //!
-//! 1. sequential characterization (`jobs = 1`) — the pre-pipeline baseline,
-//! 2. parallel characterization (`jobs = N`, default
-//!    `available_parallelism()`), asserting the output is byte-identical,
-//! 3. a cold-miss / warm-hit pass through the on-disk [`ModelCache`].
+//! 1. sequential scalar characterization (`jobs = 1`, `batch_lanes = 1`) —
+//!    the pre-batching baseline the perf gate compares against,
+//! 2. the batched SoA kernel at the same single worker (`jobs = 1`,
+//!    `batch_lanes = 8`), asserting byte-identical output and reporting the
+//!    kernel-only speedup,
+//! 3. parallel characterization (`jobs = N`, default
+//!    `available_parallelism()`), again asserting byte identity,
+//! 4. a cold-miss / warm-hit pass through the on-disk [`ModelCache`].
+//!
+//! `--scaling` adds a worker sweep over `{1, 2, 4, host_cpus}` (deduplicated)
+//! and emits a `scaling` section with per-point wall-clock, throughput,
+//! speedup, and efficiency. `--pool-smoke` runs a quick two-worker
+//! characterization and fails unless both workers actually claimed jobs —
+//! the regression test for a dead worker pool — then exits without writing
+//! a report.
+//!
+//! The pool-health gates are always on: a run whose parallel section
+//! resolves to one engaged worker while more were requested (or available)
+//! fails with a diagnostic instead of silently benchmarking sequential
+//! execution. On a single-CPU host the report records
+//! `"parallel_limited": true` instead of failing.
 //!
 //! Per-run per-phase wall-clock and sims/sec come from [`CharStats`]; the
-//! speedup line compares total wall-clock of (2) against (1). The run also
+//! speedup line compares total wall-clock of (3) against (1). The run also
 //! drives the observability stack end-to-end:
 //!
 //! - metrics are always on ([`obs::Level::Metrics`]); the report's
-//!   `"histograms"` section carries per-job wall-time and Newton-iteration
-//!   percentiles from the global registry, and the registry summary table
-//!   is printed at the end of the run;
+//!   `"histograms"` section carries per-job wall-time, Newton-iteration,
+//!   and batch lane-occupancy percentiles from the global registry, and the
+//!   registry summary table is printed at the end of the run;
 //! - `PROXIM_TRACE=trace.jsonl` raises the level to [`obs::Level::Trace`]
 //!   and streams spans/events to that file (convert with `trace2chrome` and
 //!   open in Perfetto);
@@ -50,10 +68,22 @@ fn bench_opts() -> CharacterizeOptions {
     }
 }
 
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// One timed characterization; returns (model JSON, stats, wall seconds).
-fn run(cell: &Cell, tech: &Technology, jobs: usize) -> (String, CharStats, f64) {
+fn run(
+    cell: &Cell,
+    tech: &Technology,
+    jobs: usize,
+    batch_lanes: usize,
+) -> (String, CharStats, f64) {
     let opts = CharacterizeOptions {
         jobs,
+        batch_lanes,
         ..bench_opts()
     };
     let t0 = Instant::now();
@@ -67,7 +97,8 @@ fn stats_json(stats: &CharStats, wall: f64) -> String {
     let p = stats.phases;
     format!(
         concat!(
-            "{{\"threads\": {}, \"sims_run\": {}, \"wall_s\": {:.6}, ",
+            "{{\"threads\": {}, \"workers_engaged\": {}, \"sims_run\": {}, ",
+            "\"wall_s\": {:.6}, ",
             "\"sims_per_sec\": {:.1}, ",
             "\"phases_s\": {{\"vtc\": {:.6}, \"singles\": {:.6}, ",
             "\"pairs\": {:.6}, \"finish\": {:.6}}}, ",
@@ -77,6 +108,7 @@ fn stats_json(stats: &CharStats, wall: f64) -> String {
             "\"recovery_seconds\": {:.6}, \"degraded_slices\": {}}}"
         ),
         stats.threads,
+        stats.workers_engaged,
         stats.sims_run,
         wall,
         stats.sims_run as f64 / wall.max(1e-12),
@@ -99,7 +131,12 @@ fn stats_json(stats: &CharStats, wall: f64) -> String {
 /// Percentile summaries of the interesting global-registry histograms.
 fn histograms_json(snap: &obs::Snapshot) -> String {
     let mut body = String::new();
-    for name in ["char.job.seconds", "spice.tran.newton_iters_per_solve"] {
+    for name in [
+        "char.job.seconds",
+        "spice.tran.newton_iters_per_solve",
+        obs::batch_metrics::LANES,
+        obs::batch_metrics::ACTIVE_LANES,
+    ] {
         let Some(h) = snap.histogram(name) else {
             continue;
         };
@@ -164,10 +201,62 @@ fn perf_gate(
     }
 }
 
+/// Fails when a multi-worker phase was requested but only one worker ever
+/// claimed work — the dead-pool regression this bench exists to catch.
+fn pool_gate(label: &str, stats: &CharStats) -> Result<(), String> {
+    if stats.threads > 1 && stats.workers_engaged < 2 {
+        return Err(format!(
+            "pool gate FAILED ({label}): {} worker threads requested but only \
+             {} engaged — the parallel section resolved to sequential \
+             execution (dead worker pool)",
+            stats.threads, stats.workers_engaged
+        ));
+    }
+    Ok(())
+}
+
+/// Quick two-worker characterization asserting the pool actually spreads
+/// work. Uses the plain `fast` grid (no glitch, no load surface) so it stays
+/// a smoke test, writes no report, and skips the perf gate.
+fn pool_smoke(cell: &Cell, tech: &Technology) -> ExitCode {
+    let opts = CharacterizeOptions {
+        jobs: 2,
+        ..CharacterizeOptions::fast()
+    };
+    let t0 = Instant::now();
+    let (_, stats) = ProximityModel::characterize_with_stats(cell, tech, &opts)
+        .expect("pool-smoke characterization must succeed");
+    let wall = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "pool smoke: {} sims in {:.2} s on {} thread(s), {} engaged",
+        stats.sims_run, wall, stats.threads, stats.workers_engaged
+    );
+    if stats.threads != 2 {
+        eprintln!(
+            "pool smoke FAILED: jobs = 2 resolved to {} worker thread(s)",
+            stats.threads
+        );
+        return ExitCode::FAILURE;
+    }
+    if stats.workers_engaged != 2 {
+        eprintln!(
+            "pool smoke FAILED: 2 worker threads requested but only {} \
+             engaged — the parallel section resolved to sequential \
+             execution (dead worker pool)",
+            stats.workers_engaged
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("pool smoke OK: both workers claimed jobs");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut out = String::from("BENCH_characterize.json");
     let mut baseline: Option<String> = None;
     let mut jobs = 0usize; // 0 → available_parallelism
+    let mut scaling = false;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -192,8 +281,13 @@ fn main() -> ExitCode {
                 };
                 jobs = n;
             }
+            "--scaling" => scaling = true,
+            "--pool-smoke" => smoke = true,
             "--help" | "-h" => {
-                println!("usage: bench_characterize [--out PATH] [--jobs N] [--baseline PATH]");
+                println!(
+                    "usage: bench_characterize [--out PATH] [--jobs N] \
+                     [--baseline PATH] [--scaling] [--pool-smoke]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -219,24 +313,119 @@ fn main() -> ExitCode {
 
     let tech = Technology::demo_5v();
     let cell = Cell::nand(2);
+    if smoke {
+        return pool_smoke(&cell, &tech);
+    }
+
+    let cpus = host_cpus();
     let threads = CharacterizeOptions {
         jobs,
         ..bench_opts()
     }
     .worker_threads();
+    let lanes = bench_opts().batch_lanes;
+    // Honest accounting up front: a bench invoked with default jobs on a
+    // multi-core host that still resolves to one worker is the bug, not an
+    // environment quirk.
+    if jobs == 0 && cpus > 1 && threads < 2 {
+        eprintln!(
+            "pool gate FAILED: host has {cpus} CPUs but jobs = 0 resolved to \
+             {threads} worker thread(s) — parallel section resolved to 1 \
+             worker unexpectedly"
+        );
+        return ExitCode::FAILURE;
+    }
+    let parallel_limited = cpus == 1;
+    if parallel_limited {
+        eprintln!("note: single-CPU host — thread-scaling numbers are not meaningful here");
+    }
 
     // Untimed warmup so the baseline is not penalized for cold page/file
     // caches relative to the runs after it.
-    run(&cell, &tech, 1);
+    run(&cell, &tech, 1, 1);
 
-    eprintln!("sequential baseline (jobs = 1)...");
-    let (json_seq, seq, wall_seq) = run(&cell, &tech, 1);
+    eprintln!("sequential scalar baseline (jobs = 1, batch_lanes = 1)...");
+    let (json_seq, seq, wall_seq) = run(&cell, &tech, 1, 1);
     eprintln!("  {} sims in {:.2} s", seq.sims_run, wall_seq);
 
-    eprintln!("parallel (jobs = {threads})...");
-    let (json_par, par, wall_par) = run(&cell, &tech, threads.max(1));
-    eprintln!("  {} sims in {:.2} s", par.sims_run, wall_par);
+    eprintln!("batched kernel (jobs = 1, batch_lanes = {lanes})...");
+    let (json_batched, batched, wall_batched) = run(&cell, &tech, 1, lanes);
+    let kernel_speedup = wall_seq / wall_batched.max(1e-12);
+    eprintln!(
+        "  {} sims in {:.2} s ({:.2}x the scalar kernel)",
+        batched.sims_run, wall_batched, kernel_speedup
+    );
+    assert_eq!(
+        json_seq, json_batched,
+        "batched output must be byte-identical"
+    );
+
+    eprintln!("parallel (jobs = {threads}, batch_lanes = {lanes})...");
+    let (json_par, par, wall_par) = run(&cell, &tech, threads.max(1), lanes);
+    eprintln!(
+        "  {} sims in {:.2} s, {} of {} worker(s) engaged",
+        par.sims_run, wall_par, par.workers_engaged, par.threads
+    );
     assert_eq!(json_seq, json_par, "parallel output must be byte-identical");
+    if let Err(msg) = pool_gate("parallel", &par) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+
+    // Optional worker sweep: throughput at 1/2/4/host workers, each point
+    // byte-checked against the scalar baseline. `speedup` is relative to
+    // the sweep's own single-worker point (same batched kernel), so it
+    // isolates thread scaling from kernel gains; `efficiency` divides by
+    // the worker count.
+    let mut scaling_json = String::from("[]");
+    if scaling {
+        let mut ns: Vec<usize> = vec![1, 2, 4, cpus];
+        ns.sort_unstable();
+        ns.dedup();
+        let mut points = Vec::new();
+        let mut wall_one = wall_batched;
+        for &n in &ns {
+            let (json_n, stats_n, wall_n) = if n == 1 {
+                (json_batched.clone(), batched, wall_batched)
+            } else {
+                eprintln!("scaling sweep (jobs = {n})...");
+                run(&cell, &tech, n, lanes)
+            };
+            assert_eq!(
+                json_seq, json_n,
+                "scaling sweep output must be byte-identical at jobs = {n}"
+            );
+            if let Err(msg) = pool_gate(&format!("scaling jobs = {n}"), &stats_n) {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+            if n == 1 {
+                wall_one = wall_n;
+            }
+            let speedup = wall_one / wall_n.max(1e-12);
+            points.push(format!(
+                concat!(
+                    "{{\"jobs\": {}, \"threads\": {}, \"workers_engaged\": {}, ",
+                    "\"wall_s\": {:.6}, \"sims_per_sec\": {:.1}, ",
+                    "\"speedup\": {:.3}, \"efficiency\": {:.3}}}"
+                ),
+                n,
+                stats_n.threads,
+                stats_n.workers_engaged,
+                wall_n,
+                stats_n.sims_run as f64 / wall_n.max(1e-12),
+                speedup,
+                speedup / n as f64,
+            ));
+            eprintln!(
+                "  jobs = {n}: {:.2} s, {:.1} sims/s, {} engaged",
+                wall_n,
+                stats_n.sims_run as f64 / wall_n.max(1e-12),
+                stats_n.workers_engaged
+            );
+        }
+        scaling_json = format!("[{}]", points.join(", "));
+    }
 
     // Audit pass: the full physics-invariant sweep over every table must
     // come back clean on an untampered model, and must stay a rounding
@@ -297,10 +486,15 @@ fn main() -> ExitCode {
             "{{\n",
             "  \"bench\": \"characterize\",\n",
             "  \"cell\": \"nand2\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"parallel_limited\": {},\n",
             "  \"byte_identical\": true,\n",
             "  \"speedup\": {:.3},\n",
+            "  \"kernel_speedup\": {:.3},\n",
             "  \"sequential\": {},\n",
+            "  \"batched\": {},\n",
             "  \"parallel\": {},\n",
+            "  \"scaling\": {},\n",
             "  \"cache_cold\": {},\n",
             "  \"cache_warm\": {},\n",
             "  \"audit\": {{\"findings\": {}, \"wall_s\": {:.6}, ",
@@ -308,9 +502,14 @@ fn main() -> ExitCode {
             "  \"histograms\": {}\n",
             "}}\n"
         ),
+        cpus,
+        parallel_limited,
         speedup,
+        kernel_speedup,
         stats_json(&seq, wall_seq),
+        stats_json(&batched, wall_batched),
         stats_json(&par, wall_par),
+        scaling_json,
         stats_json(&cold, wall_cold),
         stats_json(&warm, wall_warm),
         audit_report.len(),
@@ -324,7 +523,10 @@ fn main() -> ExitCode {
     }
     println!("{report}");
     eprintln!("{}", snap.render_summary());
-    eprintln!("wrote {out} (speedup {speedup:.2}x on {threads} worker(s))");
+    eprintln!(
+        "wrote {out} (speedup {speedup:.2}x on {threads} worker(s), \
+         batched kernel {kernel_speedup:.2}x)"
+    );
 
     // Close out the trace with a final metrics record so the JSONL file is
     // self-describing, then gate (tracing skews timing, so only untraced

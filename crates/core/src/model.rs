@@ -15,7 +15,8 @@ use crate::dual::DualInputModel;
 use crate::error::ModelError;
 use crate::glitch::GlitchModel;
 use crate::jobs::{
-    bump, execute_jobs_controlled, first_error, metric, record_batch, CharStats, PhaseTimes, SimJob,
+    bump, execute_jobs_policy, first_error, metric, record_batch, CharStats, ExecPolicy,
+    PhaseTimes, SimJob,
 };
 use crate::measure::{InputEvent, Scenario};
 use crate::nldm::LoadSlewModel;
@@ -271,7 +272,11 @@ impl ProximityModel {
                 }
             }
         }
-        let batch = execute_jobs_controlled(&sim, &jobs, threads, journal.map(|j| (j, "singles")));
+        let policy = ExecPolicy {
+            threads,
+            batch_lanes: opts.batch_lanes.max(1),
+        };
+        let batch = execute_jobs_policy(&sim, &jobs, policy, journal.map(|j| (j, "singles")));
         record_batch(&reg, jobs.len(), &batch);
         let mut degraded: Vec<DegradedSlice> = Vec::new();
         let mut singles: Vec<[Option<SingleInputModel>; 2]> = vec![[None, None]; n];
@@ -407,7 +412,7 @@ impl ProximityModel {
                 });
             }
         }
-        let batch = execute_jobs_controlled(&sim, &jobs, threads, journal.map(|j| (j, "pairs")));
+        let batch = execute_jobs_policy(&sim, &jobs, policy, journal.map(|j| (j, "pairs")));
         record_batch(&reg, jobs.len(), &batch);
 
         let mut duals: Vec<[Option<DualInputModel>; 2]> = vec![[None, None]; n];

@@ -351,6 +351,7 @@ impl ModelCache {
         let (model, run) = ProximityModel::characterize_controlled(cell, tech, opts, control)?;
         stats.sims_run += run.sims_run;
         stats.threads = run.threads;
+        stats.workers_engaged = stats.workers_engaged.max(run.workers_engaged);
         stats.phases = run.phases;
         stats.enumerated_jobs += run.enumerated_jobs;
         stats.succeeded_jobs += run.succeeded_jobs;

@@ -52,6 +52,27 @@ pub mod trace;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use trace::{event, span, Event, Span};
 
+/// Shared metric names (and bucket bounds) for the batched transient kernel,
+/// owned here so the producer (`proxim-spice`) and the consumers
+/// (`proxim-core` stats, `proxim-bench` reports) cannot drift apart.
+pub mod batch_metrics {
+    /// Histogram: requested batch size (lanes per `tran_batch` call).
+    pub const LANES: &str = "spice.batch.lanes";
+    /// Bucket bounds for [`LANES`] and [`ACTIVE_LANES`].
+    pub const LANE_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    /// Histogram: live (non-evicted, unfinished) lanes observed per
+    /// round of the lockstep loop — the occupancy the SoA layout actually
+    /// achieved.
+    pub const ACTIVE_LANES: &str = "spice.batch.active_lanes";
+    /// Counter: batched calls issued.
+    pub const GROUPS: &str = "spice.batch.groups";
+    /// Counter: lanes that left the lockstep loop for the scalar path
+    /// (Newton failure, fault injection, budget exhaustion).
+    pub const EVICTIONS: &str = "spice.batch.evictions";
+    /// Counter: lanes that completed inside the lockstep loop.
+    pub const LANES_COMPLETED: &str = "spice.batch.lanes_completed";
+}
+
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
 

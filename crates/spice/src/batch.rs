@@ -1,0 +1,733 @@
+//! Batched transient analysis: K independent simulations advanced in
+//! lockstep over a structure-of-arrays state layout.
+//!
+//! Characterization sweeps solve the *same circuit topology* hundreds of
+//! times with different stimuli and loads. A batch shares everything that is
+//! a pure function of topology — the MNA system shape, the Jacobian sparsity
+//! pattern, the static pivot order, and the symbolic LU elimination schedule
+//! ([`proxim_numeric::linalg::SymbolicLu`]) — computing it once per batch
+//! instead of once per Newton iteration. The device-eval/stamp loop then
+//! iterates **element-outer, lane-inner**: each element's evaluation code
+//! (and its branch predictor state) is hot across all K lanes before moving
+//! to the next element.
+//!
+//! Lanes keep **private step control**: each lane plans its own step size,
+//! breakpoint landing, and Newton iteration count, so a slow lane never
+//! stalls the batch — the round loop simply advances whichever lanes are
+//! mid-iteration. Per-round occupancy is exported through
+//! [`obs::batch_metrics::ACTIVE_LANES`].
+//!
+//! # Byte identity with the scalar path
+//!
+//! The batched kernel produces bit-identical results to [`crate::tran`]
+//! because every lane executes *exactly* the scalar happy path:
+//!
+//! - the DC init, assembly, factorization, triangular solves, update clamp,
+//!   convergence test, step-size controller, and capacitor-history update
+//!   are the same code (`dc_solve_with`, `stamp_element`,
+//!   `factor_and_solve`, `apply_update`) in the same per-lane order — the
+//!   lane-inner loop interleaves *lanes*, never the operations within one;
+//! - factorization dispatch (static order vs dense fallback) is a pure
+//!   function of the Jacobian's values, identical in both kernels;
+//! - any lane that leaves the happy path — a failed Newton solve, an
+//!   injected fault, a solve-budget trip — is **evicted**: its partial
+//!   state is discarded and the whole run is redone by the scalar kernel,
+//!   recovery ladder and all. Fault-injection entropy is derived from run
+//!   parameters ([`crate::faultpoint::run_entropy`]), so the rerun replays
+//!   the same fault decisions the lane saw.
+//!
+//! Eviction also keeps the telemetry honest: a lane buffers its per-solve
+//! observations and books them only on completion, so histograms match a
+//! scalar-only run no matter how lanes were grouped.
+
+use crate::cancel::CancelToken;
+use crate::circuit::{Circuit, Element};
+use crate::faultpoint::{run_entropy, FaultStream};
+use crate::op::{dc_solve_with, GMIN};
+use crate::recover::RecoveryTrace;
+use crate::solver::{AnalysisError, CapMode, NewtonOptions, NewtonWorkspace, System};
+use crate::tran::{TranMetrics, TranOptions, TranResult};
+use proxim_obs as obs;
+
+/// One simulation of a batch: a circuit plus its transient options.
+pub struct BatchRun<'a> {
+    /// The circuit to simulate.
+    pub ckt: &'a Circuit,
+    /// Transient options for this lane.
+    pub options: TranOptions,
+}
+
+/// Whether two circuits share a topology: same unknown layout and the same
+/// element connectivity (kinds, terminals, branch indices) in the same
+/// order. Element *values* — resistances, capacitances, waveforms, device
+/// parameters — are free to differ; they live in the lane dimension.
+pub fn same_topology(a: &Circuit, b: &Circuit) -> bool {
+    if a.node_count() != b.node_count()
+        || a.vsource_count() != b.vsource_count()
+        || a.elements.len() != b.elements.len()
+    {
+        return false;
+    }
+    a.elements.iter().zip(b.elements.iter()).all(|(ea, eb)| {
+        match (ea, eb) {
+            (Element::Resistor { a: a1, b: b1, .. }, Element::Resistor { a: a2, b: b2, .. })
+            | (Element::Capacitor { a: a1, b: b1, .. }, Element::Capacitor { a: a2, b: b2, .. }) => {
+                a1 == a2 && b1 == b2
+            }
+            (
+                Element::ISource {
+                    plus: p1, minus: m1, ..
+                },
+                Element::ISource {
+                    plus: p2, minus: m2, ..
+                },
+            ) => p1 == p2 && m1 == m2,
+            (
+                Element::VSource {
+                    plus: p1,
+                    minus: m1,
+                    branch: br1,
+                    ..
+                },
+                Element::VSource {
+                    plus: p2,
+                    minus: m2,
+                    branch: br2,
+                    ..
+                },
+            ) => p1 == p2 && m1 == m2 && br1 == br2,
+            (
+                Element::Mosfet {
+                    d: d1,
+                    g: g1,
+                    s: s1,
+                    b: b1,
+                    ..
+                },
+                Element::Mosfet {
+                    d: d2,
+                    g: g2,
+                    s: s2,
+                    b: b2,
+                    ..
+                },
+            ) => d1 == d2 && g1 == g2 && s1 == s2 && b1 == b2,
+            _ => false,
+        }
+    })
+}
+
+/// Global-registry handles for batch-kernel telemetry.
+struct BatchMetrics {
+    lanes: obs::Histogram,
+    active_lanes: obs::Histogram,
+    groups: obs::Counter,
+    evictions: obs::Counter,
+    completed: obs::Counter,
+}
+
+impl BatchMetrics {
+    fn new() -> Option<Self> {
+        if !obs::metrics_enabled() {
+            return None;
+        }
+        let reg = obs::Registry::global();
+        let names = obs::batch_metrics::LANE_BOUNDS;
+        Some(Self {
+            lanes: reg.histogram(obs::batch_metrics::LANES, names),
+            active_lanes: reg.histogram(obs::batch_metrics::ACTIVE_LANES, names),
+            groups: reg.counter(obs::batch_metrics::GROUPS),
+            evictions: reg.counter(obs::batch_metrics::EVICTIONS),
+            completed: reg.counter(obs::batch_metrics::LANES_COMPLETED),
+        })
+    }
+}
+
+/// Where a lane is in its private step state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneState {
+    /// Between steps: the next round plans a step (or finishes the lane).
+    Planning,
+    /// Mid-Newton-solve: each round performs one iteration.
+    Iterating,
+    /// Reached `t_stop`; result buffers are final.
+    Done,
+    /// Left the happy path; the scalar kernel reruns this lane from scratch.
+    Evicted,
+    /// The batch was cancelled before this lane finished.
+    Cancelled,
+}
+
+/// Per-lane simulation state. Buffers are lane-private; shared state
+/// (symbolic LU) is referenced through the workspace's `Arc`.
+struct Lane<'a> {
+    ckt: &'a Circuit,
+    options: TranOptions,
+    sys: System<'a>,
+    faults: FaultStream,
+    ws: NewtonWorkspace,
+    x: Vec<f64>,
+    hist: Vec<(f64, f64)>,
+    breakpoints: Vec<f64>,
+    bp_idx: usize,
+    times: Vec<f64>,
+    samples: Vec<f64>,
+    branch_samples: Vec<f64>,
+    t: f64,
+    h: f64,
+    solves: usize,
+    newton_iterations: usize,
+    accepted_steps: usize,
+    /// Converged-iteration observations, buffered until the lane completes
+    /// so evicted lanes leave no metric residue.
+    pending_iters: Vec<f64>,
+    // Current-step plan.
+    h_eff: f64,
+    t_new: f64,
+    geq_per_farad: f64,
+    trap_coeff: f64,
+    iter: usize,
+    state: LaneState,
+}
+
+impl<'a> Lane<'a> {
+    /// Records the accepted state at time `t` into the flat sample buffers
+    /// — the scalar kernel's `record` closure, verbatim.
+    fn record(&mut self, t: f64) {
+        self.times.push(t);
+        self.samples.push(0.0); // ground
+        self.samples.extend_from_slice(&self.x[..self.sys.nv]);
+        self.branch_samples
+            .extend_from_slice(&self.x[self.sys.nv..]);
+    }
+
+    /// Plans the next step: the scalar step loop's preamble plus the
+    /// watchdog/fault gate of `checked_solve`, ending either finished,
+    /// evicted, or ready to iterate.
+    fn plan(&mut self) {
+        let options = &self.options;
+        if self.t >= options.t_stop - options.dt_min * 0.5 {
+            self.state = LaneState::Done;
+            return;
+        }
+        while self.bp_idx < self.breakpoints.len()
+            && self.breakpoints[self.bp_idx] <= self.t + options.dt_min * 0.5
+        {
+            self.bp_idx += 1;
+        }
+        let next_bp = self
+            .breakpoints
+            .get(self.bp_idx)
+            .copied()
+            .unwrap_or(options.t_stop);
+        let h_eff = self
+            .h
+            .min(options.dt_max)
+            .min(next_bp - self.t)
+            .max(options.dt_min);
+        let t_new = (self.t + h_eff).min(options.t_stop);
+        self.h_eff = t_new - self.t;
+        self.t_new = t_new;
+        let (geq_per_farad, trap_coeff) = match options.integrator {
+            crate::tran::Integrator::Trapezoidal => (2.0 / self.h_eff, -1.0),
+            crate::tran::Integrator::BackwardEuler => (1.0 / self.h_eff, 0.0),
+        };
+        self.geq_per_farad = geq_per_farad;
+        self.trap_coeff = trap_coeff;
+
+        // checked_solve preamble: budget watchdog and fault veto, in the
+        // scalar order. Either trip leaves the happy path → evict.
+        self.solves += 1;
+        let policy = &self.options.recovery;
+        if policy.step_budget > 0 && self.solves > policy.step_budget {
+            self.state = LaneState::Evicted;
+            return;
+        }
+        if self.faults.newton_fault() {
+            self.state = LaneState::Evicted;
+            return;
+        }
+        self.ws.prepare(&self.x);
+        self.iter = 0;
+        self.state = LaneState::Iterating;
+    }
+
+    /// Handles a converged solve: the scalar accept/reject/grow logic.
+    fn finish_step(&mut self, iters: usize) {
+        let options = self.options;
+        self.newton_iterations += iters;
+        self.pending_iters.push(iters as f64);
+        let max_dv = self
+            .x
+            .iter()
+            .zip(&self.ws.x)
+            .take(self.sys.nv)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        if max_dv > options.dv_max && self.h_eff > options.dt_min * 1.01 {
+            // Too coarse: retry with a smaller step sized to hit the
+            // voltage-change target.
+            self.h = (self.h_eff * (0.8 * options.dv_max / max_dv).max(0.1)).max(options.dt_min);
+            self.state = LaneState::Planning;
+            return;
+        }
+        if self.faults.accept_fault() && self.h_eff > options.dt_min * 1.01 {
+            // The scalar kernel records a step cut and re-walks; that is
+            // recovery-ladder territory, so the lane leaves the batch.
+            self.state = LaneState::Evicted;
+            return;
+        }
+        // Accept. Update capacitor history with companion currents.
+        for (ei, e) in self.ckt.elements.iter().enumerate() {
+            if let Element::Capacitor { a, b, farads } = e {
+                let dv = self.sys.v(&self.ws.x, *a) - self.sys.v(&self.ws.x, *b);
+                let (v_prev, i_prev) = self.hist[ei];
+                let i_new = self.geq_per_farad * farads * (dv - v_prev) + self.trap_coeff * i_prev;
+                self.hist[ei] = (dv, i_new);
+            }
+        }
+        std::mem::swap(&mut self.x, &mut self.ws.x);
+        self.t = self.t_new;
+        self.accepted_steps += 1;
+        let t = self.t;
+        self.record(t);
+        self.h = if max_dv < 0.5 * options.dv_max {
+            self.h_eff * 1.6
+        } else {
+            self.h_eff
+        };
+        self.state = LaneState::Planning;
+    }
+}
+
+/// Runs `runs.len()` independent transient analyses, advancing compatible
+/// lanes in lockstep through the shared-structure SoA kernel. Results are
+/// returned in input order and are bit-identical to running
+/// [`Circuit::tran_cancellable`] on each input separately.
+///
+/// Lanes whose circuit does not share the first lane's topology, and lanes
+/// that leave the solver happy path mid-batch, are transparently run (or
+/// rerun) through the scalar kernel — callers never observe a difference
+/// beyond wall time.
+pub fn tran_batch(
+    runs: &[BatchRun<'_>],
+    cancel: &CancelToken,
+) -> Vec<Result<TranResult, AnalysisError>> {
+    let metrics = BatchMetrics::new();
+    if let Some(m) = &metrics {
+        m.groups.incr();
+        m.lanes.observe(runs.len() as f64);
+    }
+    let mut span = obs::span("spice.tran.batch").arg("lanes", runs.len());
+
+    // Lanes that can't join the batch run scalar, in place.
+    let batchable: Vec<bool> = runs
+        .iter()
+        .map(|r| !runs.is_empty() && same_topology(runs[0].ckt, r.ckt))
+        .collect();
+
+    let mut results: Vec<Option<Result<TranResult, AnalysisError>>> =
+        (0..runs.len()).map(|_| None).collect();
+
+    // ---- Setup: per-lane DC init and shared symbolic structure. ----
+    let mut lanes: Vec<Lane<'_>> = Vec::new();
+    let mut shared_symbolic = None;
+    let mut lane_of_run: Vec<Option<usize>> = vec![None; runs.len()];
+    for (ri, run) in runs.iter().enumerate() {
+        if !batchable[ri] {
+            continue;
+        }
+        let sys = System::new(run.ckt);
+        if shared_symbolic.is_none() {
+            // Pure function of topology: one analysis serves every lane.
+            shared_symbolic = Some(sys.symbolic_lu());
+        }
+        let mut ws = NewtonWorkspace::new();
+        ws.symbolic = shared_symbolic.clone().flatten();
+        ws.time_lu = obs::level() == obs::Level::Trace;
+        let faults = FaultStream::for_run(run_entropy(
+            run.options.t_stop,
+            run.options.dv_max,
+            sys.n,
+            run.ckt.elements.len(),
+        ));
+        let mut lane = Lane {
+            ckt: run.ckt,
+            options: run.options,
+            sys,
+            faults,
+            ws,
+            x: Vec::new(),
+            hist: Vec::new(),
+            breakpoints: Vec::new(),
+            bp_idx: 0,
+            times: Vec::new(),
+            samples: Vec::new(),
+            branch_samples: Vec::new(),
+            t: 0.0,
+            h: run.options.dt_init.min(run.options.dt_max),
+            solves: 0,
+            newton_iterations: 0,
+            accepted_steps: 0,
+            pending_iters: Vec::new(),
+            h_eff: 0.0,
+            t_new: 0.0,
+            geq_per_farad: 0.0,
+            trap_coeff: 0.0,
+            iter: 0,
+            state: LaneState::Planning,
+        };
+        // DC operating point through the same routine as the scalar path.
+        match dc_solve_with(run.ckt, &lane.sys, 0.0, None, cancel, &mut lane.ws) {
+            Ok(op) => lane.x = op.x,
+            Err(e) if e.is_cancellation() => {
+                results[ri] = Some(Err(e));
+                continue;
+            }
+            // A DC failure is recovery-ladder territory (the scalar kernel
+            // restarts the run): evict before the lane ever iterates.
+            Err(_) => {
+                lane.state = LaneState::Evicted;
+            }
+        }
+        if lane.state != LaneState::Evicted {
+            lane.hist.extend(lane.ckt.elements.iter().map(|e| match e {
+                Element::Capacitor { a, b, .. } => {
+                    (lane.sys.v(&lane.x, *a) - lane.sys.v(&lane.x, *b), 0.0)
+                }
+                _ => (0.0, 0.0),
+            }));
+            lane.breakpoints.extend(
+                lane.ckt
+                    .source_breakpoints()
+                    .into_iter()
+                    .filter(|&t| t > 0.0 && t < lane.options.t_stop),
+            );
+            lane.breakpoints.push(lane.options.t_stop);
+            lane.record(0.0);
+        }
+        lane_of_run[ri] = Some(lanes.len());
+        lanes.push(lane);
+    }
+
+    // ---- Lockstep rounds. ----
+    let opts = NewtonOptions::default();
+    let n_elements = runs.first().map_or(0, |r| r.ckt.elements.len());
+    loop {
+        if let Err(e) = cancel.check("transient batch") {
+            for lane in &mut lanes {
+                if !matches!(lane.state, LaneState::Done | LaneState::Evicted) {
+                    lane.state = LaneState::Cancelled;
+                }
+            }
+            for (ri, slot) in lane_of_run.iter().enumerate() {
+                if let Some(li) = slot {
+                    if lanes[*li].state == LaneState::Cancelled {
+                        results[ri] = Some(Err(e.clone()));
+                    }
+                }
+            }
+            break;
+        }
+        // Plan lanes that are between steps (including freshly accepted).
+        for lane in &mut lanes {
+            if lane.state == LaneState::Planning {
+                lane.plan();
+            }
+        }
+        let active = lanes
+            .iter()
+            .filter(|l| l.state == LaneState::Iterating)
+            .count();
+        if active == 0 {
+            break;
+        }
+        if let Some(m) = &metrics {
+            m.active_lanes.observe(active as f64);
+        }
+
+        // One Newton iteration per active lane. Residual/Jacobian prelude
+        // is per-lane; the element loop is element-outer/lane-inner so one
+        // element's evaluation path stays hot across the whole batch.
+        for lane in &mut lanes {
+            if lane.state == LaneState::Iterating {
+                lane.sys
+                    .assemble_prelude(&lane.ws.x, GMIN, &mut lane.ws.f, &mut lane.ws.jac);
+            }
+        }
+        for ei in 0..n_elements {
+            for lane in &mut lanes {
+                if lane.state != LaneState::Iterating {
+                    continue;
+                }
+                let caps = CapMode::Tran {
+                    geq_per_farad: lane.geq_per_farad,
+                    trap_coeff: lane.trap_coeff,
+                    hist: &lane.hist,
+                };
+                let ws = &mut lane.ws;
+                lane.sys.stamp_element(
+                    ei,
+                    &lane.ckt.elements[ei],
+                    &ws.x,
+                    lane.t_new,
+                    1.0,
+                    caps,
+                    &mut ws.f,
+                    &mut ws.jac,
+                );
+            }
+        }
+        for lane in &mut lanes {
+            if lane.state != LaneState::Iterating {
+                continue;
+            }
+            if !lane.ws.factor_and_solve() {
+                // Singular under both factorizations: the scalar kernel
+                // reports Failed and climbs the ladder — evict.
+                lane.state = LaneState::Evicted;
+                continue;
+            }
+            let (max_dv, max_res) = lane.ws.apply_update(&lane.sys, &opts);
+            if max_dv < opts.vtol && max_res < opts.itol {
+                let iters = lane.iter + 1;
+                lane.finish_step(iters);
+                continue;
+            }
+            lane.iter += 1;
+            if lane.iter >= opts.max_iter {
+                // Newton exhausted its budget: recovery-ladder territory.
+                lane.state = LaneState::Evicted;
+            }
+        }
+    }
+
+    // ---- Harvest. ----
+    let mut evictions = 0u64;
+    for (ri, slot) in lane_of_run.iter().enumerate() {
+        let Some(li) = *slot else { continue };
+        let lane = &mut lanes[li];
+        match lane.state {
+            LaneState::Done => {
+                if let Some(m) = TranMetrics::new() {
+                    // Book exactly what the scalar kernel books for a
+                    // healthy run, from the buffered observations.
+                    for &it in &lane.pending_iters {
+                        m.newton_iters.observe(it);
+                    }
+                    m.runs.incr();
+                    m.recoveries.add(0);
+                    m.recovery_seconds.add(0.0);
+                    m.lu_seconds.add(lane.ws.lu_seconds);
+                    m.recovery_depth.observe(0.0);
+                    m.record_lu_dispatch(&lane.ws);
+                }
+                if let Some(m) = &metrics {
+                    m.completed.incr();
+                }
+                let node_count = lane.ckt.node_count();
+                let branch_count = lane.sys.n - lane.sys.nv;
+                results[ri] = Some(Ok(TranResult::from_parts(
+                    std::mem::take(&mut lane.times),
+                    node_count,
+                    branch_count,
+                    std::mem::take(&mut lane.samples),
+                    std::mem::take(&mut lane.branch_samples),
+                    lane.newton_iterations,
+                    lane.accepted_steps,
+                    lane.ws.lu_seconds,
+                    RecoveryTrace::default(),
+                )));
+            }
+            LaneState::Evicted => {
+                evictions += 1;
+                // Scalar rerun from scratch; run-parameter entropy replays
+                // the same fault decisions, so the result is exactly what a
+                // scalar-only configuration produces.
+                results[ri] = Some(crate::tran::tran(lane.ckt, &lane.options, cancel));
+            }
+            LaneState::Cancelled => {} // already filled with the error
+            LaneState::Planning | LaneState::Iterating => {
+                // Unreachable: the round loop only exits with every lane
+                // Done/Evicted/Cancelled. Keep a typed error rather than a
+                // panic if that invariant ever breaks.
+                results[ri] = Some(Err(AnalysisError::Aborted {
+                    analysis: "transient batch".into(),
+                    detail: "lane left unfinished by the lockstep loop".into(),
+                }));
+            }
+        }
+    }
+    if let Some(m) = &metrics {
+        m.evictions.add(evictions);
+    }
+    if span.is_active() {
+        span.add_arg("evictions", evictions);
+    }
+
+    // Non-batchable lanes run scalar, in input order.
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(ri, slot)| {
+            slot.unwrap_or_else(|| crate::tran::tran(runs[ri].ckt, &runs[ri].options, cancel))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+    use crate::device::{MosParams, MosType};
+
+    fn inverter(ramp_start: f64, c_load: f64, rise: bool) -> (Circuit, crate::circuit::NodeId) {
+        let p = MosParams {
+            vt0: 0.85,
+            kp: 17e-6,
+            gamma: 0.5,
+            phi: 0.6,
+            lambda: 0.04,
+        };
+        let n = MosParams {
+            vt0: 0.75,
+            kp: 50e-6,
+            gamma: 0.4,
+            phi: 0.6,
+            lambda: 0.03,
+        };
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
+        let (v0, v1) = if rise { (0.0, 5.0) } else { (5.0, 0.0) };
+        ckt.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::ramp(ramp_start, 0.5e-9, v0, v1),
+        );
+        ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
+        ckt.mosfet(
+            "MN",
+            MosType::Nmos,
+            out,
+            inp,
+            Circuit::GND,
+            Circuit::GND,
+            n,
+            4e-6,
+            0.8e-6,
+        );
+        ckt.capacitor("CL", out, Circuit::GND, c_load);
+        (ckt, out)
+    }
+
+    fn bits(r: &TranResult) -> Vec<u64> {
+        r.times().iter().map(|t| t.to_bits()).collect()
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_bitwise() {
+        let variants = [
+            (1.0e-9, 50e-15, true),
+            (1.2e-9, 100e-15, false),
+            (0.8e-9, 200e-15, true),
+            (1.5e-9, 20e-15, false),
+        ];
+        let built: Vec<_> = variants
+            .iter()
+            .map(|&(t0, cl, rise)| inverter(t0, cl, rise))
+            .collect();
+        let opts = TranOptions::to(10e-9);
+        let cancel = CancelToken::new();
+
+        let runs: Vec<BatchRun<'_>> = built
+            .iter()
+            .map(|(ckt, _)| BatchRun { ckt, options: opts })
+            .collect();
+        let batched = tran_batch(&runs, &cancel);
+
+        for ((ckt, out), b) in built.iter().zip(&batched) {
+            let scalar = ckt.tran_cancellable(&opts, &cancel).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(bits(&scalar), bits(b), "time grids diverged");
+            assert_eq!(scalar.accepted_steps, b.accepted_steps);
+            assert_eq!(scalar.newton_iterations, b.newton_iterations);
+            let ws = scalar.waveform(*out);
+            let wb = b.waveform(*out);
+            let pb: Vec<u64> = wb
+                .points()
+                .iter()
+                .map(|(t, v)| t.to_bits() ^ v.to_bits())
+                .collect();
+            let ps: Vec<u64> = ws
+                .points()
+                .iter()
+                .map(|(t, v)| t.to_bits() ^ v.to_bits())
+                .collect();
+            assert_eq!(ps, pb, "waveform bits diverged");
+        }
+    }
+
+    #[test]
+    fn mixed_topologies_fall_back_to_scalar() {
+        let (inv, out) = inverter(1.0e-9, 50e-15, true);
+        // An RC circuit: different topology, must not join the batch.
+        let mut rc = Circuit::new();
+        let a = rc.node("a");
+        let b = rc.node("b");
+        rc.vsource("VIN", a, Circuit::GND, Waveform::step(0.0, 1e-12, 1.0));
+        rc.resistor("R1", a, b, 1e3);
+        rc.capacitor("C1", b, Circuit::GND, 1e-12);
+
+        assert!(!same_topology(&inv, &rc));
+        let opts = TranOptions::to(5e-9);
+        let cancel = CancelToken::new();
+        let runs = [
+            BatchRun {
+                ckt: &inv,
+                options: TranOptions::to(10e-9),
+            },
+            BatchRun {
+                ckt: &rc,
+                options: opts,
+            },
+        ];
+        let results = tran_batch(&runs, &cancel);
+        let inv_scalar = inv
+            .tran_cancellable(&TranOptions::to(10e-9), &cancel)
+            .unwrap();
+        let rc_scalar = rc.tran_cancellable(&opts, &cancel).unwrap();
+        assert_eq!(bits(results[0].as_ref().unwrap()), bits(&inv_scalar));
+        assert_eq!(bits(results[1].as_ref().unwrap()), bits(&rc_scalar));
+        let _ = out;
+    }
+
+    #[test]
+    fn same_topology_accepts_value_changes_only() {
+        let (a, _) = inverter(1.0e-9, 50e-15, true);
+        let (b, _) = inverter(2.0e-9, 200e-15, false);
+        assert!(same_topology(&a, &b));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(tran_batch(&[], &CancelToken::new()).is_empty());
+    }
+
+    #[test]
+    fn cancelled_batch_reports_cancellation() {
+        let (ckt, _) = inverter(1.0e-9, 50e-15, true);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let runs = [BatchRun {
+            ckt: &ckt,
+            options: TranOptions::to(10e-9),
+        }];
+        let results = tran_batch(&runs, &cancel);
+        assert!(matches!(results[0], Err(AnalysisError::Cancelled { .. })));
+    }
+}

@@ -117,6 +117,23 @@ pub(crate) fn dc_solve_at(
     cancel: &CancelToken,
 ) -> Result<OpResult, AnalysisError> {
     let sys = System::new(ckt);
+    let mut ws = NewtonWorkspace::new();
+    dc_solve_with(ckt, &sys, t, x0, cancel, &mut ws)
+}
+
+/// The body of [`dc_solve_at`] over a caller-provided system and workspace,
+/// so the transient path (scalar and batched alike) can run the DC init
+/// through its reusable arena — symbolic factorization included. Every
+/// configuration funnels through the same solve sequence, which keeps the
+/// initial condition bit-identical across them.
+pub(crate) fn dc_solve_with(
+    ckt: &Circuit,
+    sys: &System<'_>,
+    t: f64,
+    x0: Option<&[f64]>,
+    cancel: &CancelToken,
+    ws: &mut NewtonWorkspace,
+) -> Result<OpResult, AnalysisError> {
     let opts = NewtonOptions::default();
     // Heavy damping for deep logic: small clamped steps cannot oscillate
     // across a chain of high-gain stages, at the cost of many iterations.
@@ -127,34 +144,16 @@ pub(crate) fn dc_solve_at(
     };
     let zero = vec![0.0; sys.n];
     let start = x0.unwrap_or(&zero);
-    // One workspace serves every continuation attempt below.
-    let mut ws = NewtonWorkspace::new();
 
     // 1. Direct attempt, then a damped retry.
-    if let NewtonOutcome::Converged(_) = newton_solve(
-        &sys,
-        start,
-        t,
-        1.0,
-        GMIN,
-        CapMode::Dc,
-        &opts,
-        &mut ws,
-        cancel,
-    )? {
+    if let NewtonOutcome::Converged(_) =
+        newton_solve(sys, start, t, 1.0, GMIN, CapMode::Dc, &opts, ws, cancel)?
+    {
         return Ok(OpResult::from_x(ckt, std::mem::take(&mut ws.x)));
     }
-    if let NewtonOutcome::Converged(_) = newton_solve(
-        &sys,
-        start,
-        t,
-        1.0,
-        GMIN,
-        CapMode::Dc,
-        &damped,
-        &mut ws,
-        cancel,
-    )? {
+    if let NewtonOutcome::Converged(_) =
+        newton_solve(sys, start, t, 1.0, GMIN, CapMode::Dc, &damped, ws, cancel)?
+    {
         return Ok(OpResult::from_x(ckt, std::mem::take(&mut ws.x)));
     }
 
@@ -164,17 +163,7 @@ pub(crate) fn dc_solve_at(
     let mut gmin = 1e-3;
     let mut ok = true;
     while gmin >= GMIN * 0.99 {
-        match newton_solve(
-            &sys,
-            &x,
-            t,
-            1.0,
-            gmin,
-            CapMode::Dc,
-            &damped,
-            &mut ws,
-            cancel,
-        )? {
+        match newton_solve(sys, &x, t, 1.0, gmin, CapMode::Dc, &damped, ws, cancel)? {
             NewtonOutcome::Converged(_) => std::mem::swap(&mut x, &mut ws.x),
             NewtonOutcome::Failed => {
                 ok = false;
@@ -192,20 +181,10 @@ pub(crate) fn dc_solve_at(
     let steps = 40;
     for k in 0..=steps {
         let scale = k as f64 / steps as f64;
-        newton_solve(
-            &sys,
-            &x,
-            t,
-            scale,
-            GMIN,
-            CapMode::Dc,
-            &damped,
-            &mut ws,
-            cancel,
-        )?
-        .into_converged("dc operating point", || {
-            format!("source stepping stalled at scale {scale:.2}")
-        })?;
+        newton_solve(sys, &x, t, scale, GMIN, CapMode::Dc, &damped, ws, cancel)?
+            .into_converged("dc operating point", || {
+                format!("source stepping stalled at scale {scale:.2}")
+            })?;
         std::mem::swap(&mut x, &mut ws.x);
     }
     Ok(OpResult::from_x(ckt, x))

@@ -11,8 +11,9 @@ use crate::cancel::CancelToken;
 use crate::circuit::{Circuit, Element};
 use crate::device::eval_mosfet;
 use crate::recover::RecoveryTrace;
-use proxim_numeric::linalg::{LuFactors, Matrix};
+use proxim_numeric::linalg::{LuFactors, Matrix, SparsityPattern, SymbolicLu};
 use std::fmt;
+use std::sync::Arc;
 
 /// The error returned when an analysis fails.
 #[derive(Debug, Clone, PartialEq)]
@@ -186,16 +187,41 @@ impl<'a> System<'a> {
         f: &mut [f64],
         jac: &mut Matrix,
     ) {
+        self.assemble_prelude(x, gmin, f, jac);
+        for (ei, e) in self.ckt.elements.iter().enumerate() {
+            self.stamp_element(ei, e, x, t, src_scale, caps, f, jac);
+        }
+    }
+
+    /// Zeroes `f`/`jac` and stamps the gmin tie from every non-ground node
+    /// to ground. The first half of [`Self::assemble`], split out so the
+    /// batched transient kernel can run the element loop lane-innermost
+    /// while each lane still sees the exact scalar stamping sequence.
+    pub fn assemble_prelude(&self, x: &[f64], gmin: f64, f: &mut [f64], jac: &mut Matrix) {
         f.fill(0.0);
         jac.clear();
-
-        // gmin from every non-ground node to ground.
         for i in 0..self.nv {
             f[i] += gmin * x[i];
             jac.add(i, i, gmin);
         }
+    }
 
-        for (ei, e) in self.ckt.elements.iter().enumerate() {
+    /// Stamps one element — the body of [`Self::assemble`]'s element loop.
+    /// `ei` is the element's index (capacitor history lookups are by element
+    /// index).
+    #[allow(clippy::too_many_arguments)]
+    pub fn stamp_element(
+        &self,
+        ei: usize,
+        e: &Element,
+        x: &[f64],
+        t: f64,
+        src_scale: f64,
+        caps: CapMode<'_>,
+        f: &mut [f64],
+        jac: &mut Matrix,
+    ) {
+        {
             match e {
                 Element::Resistor { a, b, ohms } => {
                     let g = 1.0 / ohms;
@@ -284,6 +310,101 @@ impl<'a> System<'a> {
                 }
             }
         }
+    }
+
+    /// The Jacobian's structural occupancy: exactly the `(row, col)` slots
+    /// touched by [`Self::assemble`], independent of operating point. Input
+    /// to the once-per-run symbolic LU analysis.
+    pub fn sparsity_pattern(&self) -> SparsityPattern {
+        let mut p = SparsityPattern::new(self.n);
+        for i in 0..self.nv {
+            p.mark(i, i);
+        }
+        let mark_pair = |p: &mut SparsityPattern, a: Option<usize>, b: Option<usize>| {
+            if let Some(ai) = a {
+                p.mark(ai, ai);
+                if let Some(bi) = b {
+                    p.mark(ai, bi);
+                    p.mark(bi, ai);
+                }
+            }
+            if let Some(bi) = b {
+                p.mark(bi, bi);
+            }
+        };
+        for e in self.ckt.elements.iter() {
+            match e {
+                Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                    mark_pair(&mut p, self.ni(*a), self.ni(*b));
+                }
+                Element::ISource { .. } => {}
+                Element::VSource {
+                    plus,
+                    minus,
+                    branch,
+                    ..
+                } => {
+                    let row = self.nv + branch;
+                    for node in [self.ni(*plus), self.ni(*minus)].into_iter().flatten() {
+                        p.mark(node, row);
+                        p.mark(row, node);
+                    }
+                }
+                Element::Mosfet { d, g, s, b, .. } => {
+                    for ri in [self.ni(*d), self.ni(*s)].into_iter().flatten() {
+                        for ci in [self.ni(*d), self.ni(*g), self.ni(*s), self.ni(*b)]
+                            .into_iter()
+                            .flatten()
+                        {
+                            p.mark(ri, ci);
+                        }
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// A static pivot order for this system's Jacobians: the classic MNA
+    /// row exchange. Node rows whose diagonal is only the gmin tie (a node
+    /// held by a voltage source) would be hopeless natural pivots against
+    /// the source's unit constraint entries, so each source's branch row is
+    /// swapped with its plus (or minus) node row — putting the `±1`
+    /// constraint coefficient on the diagonal for the node column and the
+    /// `±1` branch-current coefficient on the diagonal for the branch
+    /// column. A pure function of topology, shared by every lane of a
+    /// batch.
+    pub fn static_pivot_order(&self) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        let mut used = vec![false; self.n];
+        for e in self.ckt.elements.iter() {
+            if let Element::VSource {
+                plus,
+                minus,
+                branch,
+                ..
+            } = e
+            {
+                let row = self.nv + branch;
+                let node = self.ni(*plus).or_else(|| self.ni(*minus));
+                if let Some(nd) = node {
+                    if !used[nd] && !used[row] {
+                        perm.swap(nd, row);
+                        used[nd] = true;
+                        used[row] = true;
+                    }
+                }
+            }
+        }
+        perm
+    }
+
+    /// Builds the shared symbolic factorization for this system, or `None`
+    /// when the static order is structurally impossible (every solve then
+    /// uses dense partial pivoting, as before the split).
+    pub fn symbolic_lu(&self) -> Option<Arc<SymbolicLu>> {
+        let sym = SymbolicLu::analyze(&self.sparsity_pattern(), self.static_pivot_order());
+        sym.is_viable().then(|| Arc::new(sym))
     }
 
     /// Stamps a two-terminal branch with current `i` (from `a` to `b`) and
@@ -384,10 +505,19 @@ pub(crate) struct NewtonWorkspace {
     pub time_lu: bool,
     /// Accumulated LU factor/solve wall time (see `time_lu`), in seconds.
     pub lu_seconds: f64,
-    f: Vec<f64>,
+    /// When present, factorizations first try the shared static-order
+    /// symbolic path ([`SymbolicLu::factor_into`]); a declined factorization
+    /// falls back to dense partial pivoting. `None` → always dense.
+    pub symbolic: Option<Arc<SymbolicLu>>,
+    /// Factorizations that took the static-order path.
+    pub static_solves: u64,
+    /// Factorizations where the static order declined (threshold pivot
+    /// failure) and dense partial pivoting ran instead.
+    pub static_fallbacks: u64,
+    pub(crate) f: Vec<f64>,
     neg_f: Vec<f64>,
-    dx: Vec<f64>,
-    jac: Matrix,
+    pub(crate) dx: Vec<f64>,
+    pub(crate) jac: Matrix,
     lu: LuFactors,
 }
 
@@ -397,6 +527,9 @@ impl NewtonWorkspace {
             x: Vec::new(),
             time_lu: false,
             lu_seconds: 0.0,
+            symbolic: None,
+            static_solves: 0,
+            static_fallbacks: 0,
             f: Vec::new(),
             neg_f: Vec::new(),
             dx: Vec::new(),
@@ -406,7 +539,7 @@ impl NewtonWorkspace {
     }
 
     /// Sizes every buffer for an `n`-unknown system and seeds the iterate.
-    fn prepare(&mut self, x0: &[f64]) {
+    pub(crate) fn prepare(&mut self, x0: &[f64]) {
         let n = x0.len();
         self.x.clear();
         self.x.extend_from_slice(x0);
@@ -417,6 +550,75 @@ impl NewtonWorkspace {
         if self.jac.rows() != n {
             self.jac = Matrix::zeros(n, n);
         }
+    }
+
+    /// Factors the assembled Jacobian and solves for the Newton update
+    /// `dx = -J⁻¹ f`, leaving it in `self.dx`. Returns `false` when the
+    /// system is singular.
+    ///
+    /// Dispatch: the static-order symbolic path when installed and its
+    /// stability threshold holds, else dense partial pivoting — a pure
+    /// function of the Jacobian's values, so identical matrices take
+    /// identical paths regardless of which kernel (scalar or batched)
+    /// issued the solve. That is the linchpin of the byte-identity
+    /// guarantee across `jobs`/`batch` configurations.
+    pub(crate) fn factor_and_solve(&mut self) -> bool {
+        let lu_start = self.time_lu.then(std::time::Instant::now);
+        let mut static_ok = false;
+        let factored = match &self.symbolic {
+            Some(sym) => {
+                if sym.factor_into(&self.jac, &mut self.lu) {
+                    static_ok = true;
+                    true
+                } else {
+                    self.static_fallbacks += 1;
+                    self.jac.lu_into(&mut self.lu).is_ok()
+                }
+            }
+            None => self.jac.lu_into(&mut self.lu).is_ok(),
+        };
+        if factored {
+            self.neg_f.clear();
+            self.neg_f.extend(self.f.iter().map(|v| -v));
+            if static_ok {
+                self.static_solves += 1;
+                if let Some(sym) = &self.symbolic {
+                    sym.solve_into(&self.lu, &self.neg_f, &mut self.dx);
+                }
+            } else {
+                self.lu.solve_into(&self.neg_f, &mut self.dx);
+            }
+        }
+        if let Some(t0) = lu_start {
+            self.lu_seconds += t0.elapsed().as_secs_f64();
+        }
+        factored
+    }
+
+    /// Applies the Newton update in `self.dx` to the iterate with the
+    /// voltage clamp, returning `(max_dv, max_res)` — the unclamped maximum
+    /// voltage update and the maximum KCL residual, the two convergence
+    /// measures.
+    pub(crate) fn apply_update(&mut self, sys: &System<'_>, opts: &NewtonOptions) -> (f64, f64) {
+        let mut max_dv = 0.0f64;
+        for i in 0..sys.n {
+            // Clamp voltage updates; branch currents are left unclamped.
+            let step = if i < sys.nv {
+                self.dx[i].clamp(-opts.vstep_limit, opts.vstep_limit)
+            } else {
+                self.dx[i]
+            };
+            self.x[i] += step;
+            if i < sys.nv {
+                max_dv = max_dv.max(self.dx[i].abs());
+            }
+        }
+        let max_res = self
+            .f
+            .iter()
+            .take(sys.nv)
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        (max_dv, max_res)
     }
 }
 
@@ -452,34 +654,10 @@ pub(crate) fn newton_solve(
     for iter in 0..opts.max_iter {
         cancel.check("newton iteration")?;
         sys.assemble(&ws.x, t, src_scale, gmin, caps, &mut ws.f, &mut ws.jac);
-        let lu_start = ws.time_lu.then(std::time::Instant::now);
-        let factored = ws.jac.lu_into(&mut ws.lu).is_ok();
-        if factored {
-            ws.neg_f.clear();
-            ws.neg_f.extend(ws.f.iter().map(|v| -v));
-            ws.lu.solve_into(&ws.neg_f, &mut ws.dx);
-        }
-        if let Some(t0) = lu_start {
-            ws.lu_seconds += t0.elapsed().as_secs_f64();
-        }
-        if !factored {
+        if !ws.factor_and_solve() {
             return Ok(NewtonOutcome::Failed);
         }
-
-        let mut max_dv = 0.0f64;
-        for i in 0..n {
-            // Clamp voltage updates; branch currents are left unclamped.
-            let step = if i < sys.nv {
-                ws.dx[i].clamp(-opts.vstep_limit, opts.vstep_limit)
-            } else {
-                ws.dx[i]
-            };
-            ws.x[i] += step;
-            if i < sys.nv {
-                max_dv = max_dv.max(ws.dx[i].abs());
-            }
-        }
-        let max_res = ws.f.iter().take(sys.nv).fold(0.0f64, |m, v| m.max(v.abs()));
+        let (max_dv, max_res) = ws.apply_update(sys, opts);
         if max_dv < opts.vtol && max_res < opts.itol {
             return Ok(NewtonOutcome::Converged(iter + 1));
         }
@@ -598,6 +776,71 @@ mod tests {
         );
         let ok = NewtonOutcome::Converged(3).into_converged("x", || unreachable!());
         assert_eq!(ok, Ok(3));
+    }
+
+    #[test]
+    fn static_order_factors_mna_systems_and_matches_dense() {
+        use crate::device::{MosParams, MosType};
+        // A CMOS inverter mid-transition: gmin-weak gate-node rows, vsource
+        // constraint rows with structurally-zero diagonals — the shapes the
+        // static MNA row exchange exists for.
+        let p = MosParams {
+            vt0: 0.85,
+            kp: 17e-6,
+            gamma: 0.5,
+            phi: 0.6,
+            lambda: 0.04,
+        };
+        let n = MosParams {
+            vt0: 0.75,
+            kp: 50e-6,
+            gamma: 0.4,
+            phi: 0.6,
+            lambda: 0.03,
+        };
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::Dc(5.0));
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::Dc(2.5));
+        ckt.mosfet("MP", MosType::Pmos, out, inp, vdd, vdd, p, 8e-6, 0.8e-6);
+        ckt.mosfet(
+            "MN",
+            MosType::Nmos,
+            out,
+            inp,
+            Circuit::GND,
+            Circuit::GND,
+            n,
+            4e-6,
+            0.8e-6,
+        );
+        ckt.capacitor("CL", out, Circuit::GND, 100e-15);
+
+        let sys = System::new(&ckt);
+        let sym = sys.symbolic_lu().expect("MNA static order must be viable");
+        // Assemble at a mid-transition operating point and compare solves.
+        let x = vec![5.0, 2.5, 2.0, -1e-4, 0.0];
+        let mut f = vec![0.0; sys.n];
+        let mut jac = Matrix::zeros(sys.n, sys.n);
+        sys.assemble(&x, 0.0, 1.0, 1e-12, CapMode::Dc, &mut f, &mut jac);
+
+        let mut stat = LuFactors::empty();
+        assert!(
+            sym.factor_into(&jac, &mut stat),
+            "static order declined on a healthy inverter Jacobian"
+        );
+        let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+        let mut x_static = Vec::new();
+        sym.solve_into(&stat, &rhs, &mut x_static);
+        let x_dense = jac.lu().unwrap().solve(&rhs);
+        for (a, b) in x_static.iter().zip(&x_dense) {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "static {a} vs dense {b}"
+            );
+        }
     }
 
     #[test]

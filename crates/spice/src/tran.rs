@@ -27,19 +27,24 @@ use std::time::Instant;
 /// Global-registry handles for transient-solver telemetry, resolved once
 /// per run so the per-solve path never touches the registry mutex. `None`
 /// when the observability level is [`obs::Level::Off`].
-struct TranMetrics {
-    runs: obs::Counter,
-    recoveries: obs::Counter,
-    recovery_seconds: obs::Gauge,
-    lu_seconds: obs::Gauge,
+pub(crate) struct TranMetrics {
+    pub(crate) runs: obs::Counter,
+    pub(crate) recoveries: obs::Counter,
+    pub(crate) recovery_seconds: obs::Gauge,
+    pub(crate) lu_seconds: obs::Gauge,
+    /// Factorizations that took the shared static-order (symbolic) path.
+    pub(crate) lu_static_solves: obs::Counter,
+    /// Factorizations where the static order declined and dense partial
+    /// pivoting ran instead.
+    pub(crate) lu_static_fallbacks: obs::Counter,
     /// Newton iterations per converged solve.
-    newton_iters: obs::Histogram,
+    pub(crate) newton_iters: obs::Histogram,
     /// Recovery-ladder attempts per transient run.
-    recovery_depth: obs::Histogram,
+    pub(crate) recovery_depth: obs::Histogram,
 }
 
 impl TranMetrics {
-    fn new() -> Option<Self> {
+    pub(crate) fn new() -> Option<Self> {
         if !obs::metrics_enabled() {
             return None;
         }
@@ -49,6 +54,8 @@ impl TranMetrics {
             recoveries: reg.counter("spice.tran.recoveries"),
             recovery_seconds: reg.gauge("spice.tran.recovery_seconds"),
             lu_seconds: reg.gauge("spice.tran.lu_seconds"),
+            lu_static_solves: reg.counter("spice.lu.static_solves"),
+            lu_static_fallbacks: reg.counter("spice.lu.static_fallbacks"),
             newton_iters: reg.histogram(
                 "spice.tran.newton_iters_per_solve",
                 &[2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0, 128.0],
@@ -59,6 +66,58 @@ impl TranMetrics {
             ),
         })
     }
+
+    /// Books a run's static-vs-fallback factorization counts from the
+    /// workspace counters (which the caller resets per run).
+    pub(crate) fn record_lu_dispatch(&self, ws: &NewtonWorkspace) {
+        self.lu_static_solves.add(ws.static_solves);
+        self.lu_static_fallbacks.add(ws.static_fallbacks);
+    }
+}
+
+/// Per-thread reusable transient state: the Newton workspace (Jacobian, LU
+/// factors, residuals, iterate) plus the capacitor-history and breakpoint
+/// buffers, and high-water capacity hints for the sample buffers (which move
+/// out into each [`TranResult`] and so can only be pre-sized, not reused).
+///
+/// A characterization worker runs hundreds of transients back to back; the
+/// arena makes every run after the first allocation-free on the solver path.
+pub(crate) struct TranArena {
+    pub(crate) ws: NewtonWorkspace,
+    pub(crate) hist: Vec<(f64, f64)>,
+    pub(crate) breakpoints: Vec<f64>,
+    times_hint: usize,
+    samples_hint: usize,
+    branch_hint: usize,
+}
+
+impl TranArena {
+    pub(crate) fn new() -> Self {
+        Self {
+            ws: NewtonWorkspace::new(),
+            hist: Vec::new(),
+            breakpoints: Vec::new(),
+            times_hint: 0,
+            samples_hint: 0,
+            branch_hint: 0,
+        }
+    }
+}
+
+thread_local! {
+    /// One arena per worker thread, reused across every scalar transient
+    /// run the thread executes.
+    static ARENA: std::cell::RefCell<TranArena> = std::cell::RefCell::new(TranArena::new());
+}
+
+/// Runs `f` with the thread's arena. Falls back to a fresh arena if the
+/// thread-local one is already borrowed (re-entrant `tran` under the same
+/// thread — not a path the code takes today, but cheap to keep sound).
+fn with_arena<R>(f: impl FnOnce(&mut TranArena) -> R) -> R {
+    ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => f(&mut arena),
+        Err(_) => f(&mut TranArena::new()),
+    })
 }
 
 /// The time-integration method.
@@ -193,6 +252,33 @@ pub struct TranResult {
 }
 
 impl TranResult {
+    /// Assembles a result from raw sample buffers — used by the batched
+    /// transient kernel, which records lanes outside `tran_attempt`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        times: Vec<f64>,
+        node_count: usize,
+        branch_count: usize,
+        samples: Vec<f64>,
+        branch_samples: Vec<f64>,
+        newton_iterations: usize,
+        accepted_steps: usize,
+        lu_seconds: f64,
+        recovery: RecoveryTrace,
+    ) -> Self {
+        Self {
+            times,
+            node_count,
+            branch_count,
+            samples,
+            branch_samples,
+            newton_iterations,
+            accepted_steps,
+            lu_seconds,
+            recovery,
+        }
+    }
+
     /// The accepted time points.
     pub fn times(&self) -> &[f64] {
         &self.times
@@ -314,6 +400,15 @@ pub(crate) fn tran(
     options: &TranOptions,
     cancel: &CancelToken,
 ) -> Result<TranResult, AnalysisError> {
+    with_arena(|arena| tran_in_arena(ckt, options, cancel, arena))
+}
+
+fn tran_in_arena(
+    ckt: &Circuit,
+    options: &TranOptions,
+    cancel: &CancelToken,
+    arena: &mut TranArena,
+) -> Result<TranResult, AnalysisError> {
     let sys = System::new(ckt);
     let policy = options.recovery;
     // Per-run entropy comes only from the run's own parameters, so fault
@@ -329,6 +424,14 @@ pub(crate) fn tran(
     let mut trace = RecoveryTrace::default();
     let mut solves = 0usize;
     let mut attempt_opts = *options;
+    // The shared symbolic factorization is a pure function of topology,
+    // computed once per run and used by every solve (DC init included).
+    arena.ws.symbolic = sys.symbolic_lu();
+    arena.ws.static_solves = 0;
+    arena.ws.static_fallbacks = 0;
+    // Per-iteration LU timing is only worth its two clock reads when the
+    // fine-grained trace level is armed.
+    arena.ws.time_lu = obs::level() == obs::Level::Trace;
     loop {
         let attempt_start = Instant::now();
         match tran_attempt(
@@ -341,6 +444,7 @@ pub(crate) fn tran(
             &mut solves,
             &metrics,
             cancel,
+            arena,
         ) {
             Ok(mut result) => {
                 result.recovery = trace;
@@ -350,6 +454,7 @@ pub(crate) fn tran(
                     m.recovery_seconds.add(result.recovery.total_seconds());
                     m.lu_seconds.add(result.lu_seconds);
                     m.recovery_depth.observe(result.recovery.total() as f64);
+                    m.record_lu_dispatch(&arena.ws);
                 }
                 if span.is_active() {
                     span.add_arg("steps", result.accepted_steps);
@@ -405,39 +510,50 @@ fn tran_attempt(
     solves: &mut usize,
     metrics: &Option<TranMetrics>,
     cancel: &CancelToken,
+    arena: &mut TranArena,
 ) -> Result<TranResult, AnalysisError> {
     let opts = NewtonOptions::default();
+    // Disjoint borrows of the arena's pieces for the rest of the attempt.
+    let TranArena {
+        ws,
+        hist,
+        breakpoints,
+        times_hint,
+        samples_hint,
+        branch_hint,
+    } = arena;
+    ws.lu_seconds = 0.0;
 
     // Initial condition: DC operating point with sources at t = 0.
-    let op = crate::op::dc_solve_at(ckt, 0.0, None, cancel)?;
+    let op = crate::op::dc_solve_with(ckt, sys, 0.0, None, cancel, ws)?;
     let mut x = op.x;
 
     // Per-element capacitor history (v_prev across the cap, i_prev through
     // it). Entries for non-capacitor elements are unused.
-    let mut hist: Vec<(f64, f64)> = ckt
-        .elements
-        .iter()
-        .map(|e| match e {
-            Element::Capacitor { a, b, .. } => (sys.v(&x, *a) - sys.v(&x, *b), 0.0),
-            _ => (0.0, 0.0),
-        })
-        .collect();
+    hist.clear();
+    hist.extend(ckt.elements.iter().map(|e| match e {
+        Element::Capacitor { a, b, .. } => (sys.v(&x, *a) - sys.v(&x, *b), 0.0),
+        _ => (0.0, 0.0),
+    }));
 
     // Breakpoints: the PWL corners of all sources inside (0, t_stop).
-    let mut breakpoints: Vec<f64> = ckt
-        .source_breakpoints()
-        .into_iter()
-        .filter(|&t| t > 0.0 && t < options.t_stop)
-        .collect();
+    breakpoints.clear();
+    breakpoints.extend(
+        ckt.source_breakpoints()
+            .into_iter()
+            .filter(|&t| t > 0.0 && t < options.t_stop),
+    );
     breakpoints.push(options.t_stop);
 
     let node_count = ckt.node_count();
     let branch_count = sys.n - sys.nv;
     // Flat sample storage: appending a step is two extends into contiguous
-    // buffers, no per-step allocation once capacity has grown.
-    let mut times = Vec::new();
-    let mut samples: Vec<f64> = Vec::new();
-    let mut branch_samples: Vec<f64> = Vec::new();
+    // buffers, no per-step allocation once capacity has grown. These move
+    // out into the result, so the arena can only contribute high-water
+    // capacity hints from earlier runs.
+    let mut times = Vec::with_capacity(*times_hint);
+    let mut samples: Vec<f64> = Vec::with_capacity(*samples_hint);
+    let mut branch_samples: Vec<f64> = Vec::with_capacity(*branch_hint);
     let record = |t: f64, x: &[f64], times: &mut Vec<f64>, s: &mut Vec<f64>, b: &mut Vec<f64>| {
         times.push(t);
         s.push(0.0); // ground
@@ -451,12 +567,6 @@ fn tran_attempt(
     let mut newton_iterations = 0usize;
     let mut accepted_steps = 0usize;
     let mut bp_idx = 0usize;
-    // One Newton workspace for the whole run: Jacobian, residuals, LU
-    // factors, and the iterate are recycled across every step and retry.
-    let mut ws = NewtonWorkspace::new();
-    // Per-iteration LU timing is only worth its two clock reads when the
-    // fine-grained trace level is armed.
-    ws.time_lu = obs::level() == obs::Level::Trace;
 
     while t < options.t_stop - options.dt_min * 0.5 {
         // Step boundary: a cancellation point even when every solve is
@@ -477,11 +587,11 @@ fn tran_attempt(
         let caps = CapMode::Tran {
             geq_per_farad,
             trap_coeff,
-            hist: &hist,
+            hist,
         };
 
         let solved = match checked_solve(
-            sys, &x, t_new, GMIN, caps, &opts, &mut ws, policy, faults, solves, metrics, cancel,
+            sys, &x, t_new, GMIN, caps, &opts, ws, policy, faults, solves, metrics, cancel,
         )? {
             NewtonOutcome::Converged(iters) => {
                 newton_iterations += iters;
@@ -499,8 +609,8 @@ fn tran_attempt(
                         ..opts
                     };
                     if let NewtonOutcome::Converged(iters) = checked_solve(
-                        sys, &x, t_new, GMIN, caps, &dopts, &mut ws, policy, faults, solves,
-                        metrics, cancel,
+                        sys, &x, t_new, GMIN, caps, &dopts, ws, policy, faults, solves, metrics,
+                        cancel,
                     )? {
                         newton_iterations += iters;
                         rescued = true;
@@ -526,8 +636,8 @@ fn tran_attempt(
                     let mut ok = true;
                     for &g in &[1e-6, 1e-8, 1e-10, GMIN] {
                         match checked_solve(
-                            sys, &warm, t_new, g, caps, &opts, &mut ws, policy, faults, solves,
-                            metrics, cancel,
+                            sys, &warm, t_new, g, caps, &opts, ws, policy, faults, solves, metrics,
+                            cancel,
                         )? {
                             NewtonOutcome::Converged(iters) => {
                                 newton_iterations += iters;
@@ -614,6 +724,12 @@ fn tran_attempt(
             h_eff
         };
     }
+
+    // Remember how big the sample buffers got so the next run on this
+    // thread pre-sizes instead of growing.
+    *times_hint = (*times_hint).max(times.len());
+    *samples_hint = (*samples_hint).max(samples.len());
+    *branch_hint = (*branch_hint).max(branch_samples.len());
 
     Ok(TranResult {
         times,

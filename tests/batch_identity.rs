@@ -1,0 +1,114 @@
+//! Batched-kernel identity suite: the lockstep SoA transient kernel
+//! (`proxim_spice::batch`) and the worker pool that schedules it must be
+//! invisible in the output. Characterization is pinned byte-identical
+//! across every `(jobs, batch_lanes)` combination, with and without fault
+//! pressure:
+//!
+//! 1. Healthy pipeline: `jobs ∈ {1, 4} × batch_lanes ∈ {1 (off), 8 (on)}`
+//!    all serialize to the same model JSON.
+//! 2. Under injected solver faults (`fault-injection` feature), lanes are
+//!    evicted from the lockstep loop mid-batch and rerun on the scalar
+//!    recovery ladder — and the model is *still* byte-identical to a run
+//!    with batching disabled, because fault streams are a pure function of
+//!    the run, not of the execution strategy.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::model::ProximityModel;
+use std::sync::{Mutex, PoisonError};
+
+/// The fault configuration (and the metrics level the eviction assertion
+/// reads) is process-global; serialize the tests in this binary so cargo's
+/// parallel runner cannot interleave them.
+static BATCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// One characterization at the given execution policy, reduced to the bytes
+/// that must not vary.
+fn characterize_json(jobs: usize, batch_lanes: usize) -> String {
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let opts = CharacterizeOptions {
+        jobs,
+        batch_lanes,
+        ..CharacterizeOptions::fast()
+    };
+    let (model, stats) = ProximityModel::characterize_with_stats(&cell, &tech, &opts)
+        .expect("characterization must succeed");
+    assert_eq!(stats.invariant_violation(), None);
+    assert_eq!(
+        stats.threads, jobs,
+        "resolved worker count must be recorded"
+    );
+    model.to_json().expect("model serializes")
+}
+
+#[test]
+fn characterization_is_byte_identical_across_jobs_and_batching() {
+    let _guard = BATCH_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    #[cfg(feature = "fault-injection")]
+    proxim_spice::faultpoint::disarm();
+
+    let reference = characterize_json(1, 1);
+    for (jobs, lanes) in [(1, 8), (4, 1), (4, 8)] {
+        assert_eq!(
+            reference,
+            characterize_json(jobs, lanes),
+            "model diverged at jobs = {jobs}, batch_lanes = {lanes}"
+        );
+    }
+}
+
+/// A lane that trips the fault injector mid-batch leaves the lockstep loop
+/// and reruns on the scalar path, recovery ladder included. The model must
+/// not care.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn fault_evicted_lanes_stay_byte_identical() {
+    use proxim_obs as obs;
+    use proxim_spice::faultpoint::{self, FaultConfig};
+
+    let _guard = BATCH_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            faultpoint::disarm();
+            obs::set_level(obs::Level::Off);
+        }
+    }
+    let _disarm = Disarm;
+    // The same pressure as the resilience suite: enough Newton faults that
+    // batched groups are guaranteed to lose lanes to the scalar ladder,
+    // plus a kill rate so some reruns degrade their slice outright.
+    faultpoint::configure(FaultConfig {
+        newton_rate: 0.20,
+        accept_rate: 0.05,
+        kill_rate: 0.02,
+        seed: 1996,
+    });
+    // Metrics on, so lane evictions are observable on the global registry.
+    obs::set_level(obs::Level::Metrics);
+    let evictions = || {
+        obs::Registry::global()
+            .snapshot()
+            .counter(obs::batch_metrics::EVICTIONS)
+    };
+    let before = evictions();
+
+    let scalar = characterize_json(1, 1);
+    let batched = characterize_json(1, 8);
+    let batched_parallel = characterize_json(4, 8);
+
+    assert!(
+        evictions() > before,
+        "this fault pressure must evict at least one lane mid-batch \
+         (tune the seed if the characterization volume changes)"
+    );
+    assert_eq!(
+        scalar, batched,
+        "eviction + scalar rerun must reproduce the scalar bytes"
+    );
+    assert_eq!(
+        scalar, batched_parallel,
+        "worker count must not interact with fault replay"
+    );
+}
