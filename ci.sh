@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full CI gate: formatting, lints, tier-1 build + tests, the resilience
-# and chaos/resume suites, and the characterization benchmark (emits
-# BENCH_characterize.json at the repo root). Run from anywhere; operates
-# on the repo that contains it.
+# and chaos/resume suites, the serve smoke test, and the benchmarks (emit
+# BENCH_characterize.json and BENCH_serve.json at the repo root). Run
+# from anywhere; operates on the repo that contains it.
 #
 # Every step runs under a wall-clock timeout so a wedged solver (or a
 # chaos child that never dies) fails CI with a timeout error instead of
@@ -35,7 +35,45 @@ step 15m "batch: byte identity + eviction"   cargo test -q --features fault-inje
 step 15m "audit: invariants + self-repair"   cargo test -q --features fault-injection --test audit
 step 10m "observability: trace round-trip"   cargo test -q --test observability
 step 15m "chaos: SIGKILL/SIGTERM + resume"   cargo test -q --test chaos
+step 15m "serve: malformed-input corpus"     cargo test -q --features fault-injection --test serve_robustness
+
+# Daemon smoke: start on a temp socket, round-trip a query and a health
+# probe through the CLI client, then SIGTERM and require a clean drain
+# (exit 0, "drained" marker, metrics snapshot flushed).
+serve_smoke() {
+    set -euo pipefail
+    local dir pid rc
+    dir="$(mktemp -d)"
+    ./target/release/proxim_serve serve --store "${dir}/store" \
+        --socket "${dir}/smoke.sock" --metrics-out "${dir}/metrics.json" \
+        --demo >"${dir}/serve.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 600); do
+        grep -q '^ready ' "${dir}/serve.log" 2>/dev/null && break
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    grep -q '^ready ' "${dir}/serve.log" || {
+        echo "daemon never became ready:" >&2
+        cat "${dir}/serve.log" >&2
+        return 1
+    }
+    ./target/release/proxim_serve query --socket "${dir}/smoke.sock" --json \
+        '{"op":"query","model":"nand2_demo","events":[{"pin":0,"edge":"rise","t":0.0,"tt":4e-10},{"pin":1,"edge":"rise","t":5e-11,"tt":4e-10}]}'
+    ./target/release/proxim_serve query --socket "${dir}/smoke.sock" \
+        --json '{"op":"health"}'
+    kill -TERM "$pid"
+    wait "$pid" && rc=0 || rc=$?
+    [ "$rc" -eq 0 ] || { echo "daemon exited ${rc} after SIGTERM" >&2; return 1; }
+    grep -q '^drained ' "${dir}/serve.log" || { echo "no drained marker" >&2; return 1; }
+    [ -s "${dir}/metrics.json" ] || { echo "metrics snapshot missing" >&2; return 1; }
+    rm -rf "$dir"
+}
+export -f serve_smoke
+step 10m "serve: daemon smoke + drain"       bash -c serve_smoke
+
 step 15m "bench: characterization pipeline"  ./target/release/bench_characterize --out BENCH_characterize.json --scaling
 step 5m  "bench: pool smoke (jobs = 2)"      ./target/release/bench_characterize --pool-smoke
+step 10m "bench: serve latency + shed rate"  ./target/release/bench_serve --out BENCH_serve.json
 
 echo "==> CI OK"

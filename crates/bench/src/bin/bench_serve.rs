@@ -1,0 +1,309 @@
+//! Benchmarks the `proxim-serve` daemon end to end over its Unix socket and
+//! emits `BENCH_serve.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_serve [--out PATH] [--requests N]
+//! ```
+//!
+//! Two measurements, both against an in-process [`Server`] with a real
+//! socket (so framing, admission, and worker dispatch are all on the
+//! measured path):
+//!
+//! 1. **Latency/throughput** — closed-loop clients at 1, 8, and 64
+//!    concurrent connections, each issuing single-query requests against a
+//!    fast-grid NAND2 model and waiting for the response before sending the
+//!    next. Reports p50/p99 latency and aggregate qps per concurrency
+//!    level. The server is sized (queue ≥ client count, generous deadline)
+//!    so nothing is shed — this measures the happy path.
+//! 2. **Overload** — a deliberately starved server (one worker with an
+//!    artificial per-job stall, tiny admission queue) under 64 closed-loop
+//!    clients. Reports the shed rate and cross-checks the client-observed
+//!    counts against the server's own `serve.requests` / `serve.shed`
+//!    counters: every request must be either answered or shed typed —
+//!    never dropped.
+//!
+//! Latencies are wall-clock microseconds measured around one
+//! request/response round trip ([`proto::call`]), queue wait included.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::ProximityModel;
+use proxim_obs::serve_metrics as sm;
+use proxim_serve::proto;
+use proxim_serve::{ModelLibrary, ModelStore, ServeOptions, Server};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Model name used for every query; must satisfy the store's name rules.
+const MODEL: &str = "nand2_demo";
+
+/// One single-query request: a rising proximity pair on the NAND2 inputs,
+/// 50 ps apart — the paper's bread-and-butter query shape.
+fn request_json() -> String {
+    format!(
+        concat!(
+            "{{\"op\":\"query\",\"model\":\"{}\",\"events\":[",
+            "{{\"pin\":0,\"edge\":\"rise\",\"t\":0.0,\"tt\":4e-10}},",
+            "{{\"pin\":1,\"edge\":\"rise\",\"t\":5e-11,\"tt\":4e-10}}]}}"
+        ),
+        MODEL
+    )
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fresh scratch directory under the system temp dir.
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("proxim_bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// What one closed-loop client run produced.
+struct LoadResult {
+    /// Per-request round-trip latencies, seconds; answered requests only.
+    latencies: Vec<f64>,
+    answered: u64,
+    shed: u64,
+    other: u64,
+    wall_s: f64,
+}
+
+/// Runs `clients` closed-loop connections, `per_client` requests each.
+fn run_load(socket: &Path, clients: usize, per_client: usize) -> LoadResult {
+    let t0 = Instant::now();
+    let per_thread: Vec<(Vec<f64>, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut stream = UnixStream::connect(socket).expect("connect to bench server");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .expect("set read timeout");
+                    let request = request_json();
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let (mut answered, mut shed, mut other) = (0u64, 0u64, 0u64);
+                    for _ in 0..per_client {
+                        let start = Instant::now();
+                        let response = proto::call(&mut stream, &request)
+                            .expect("bench round trip must not fail at the transport layer");
+                        let elapsed = start.elapsed().as_secs_f64();
+                        if response.contains("\"ok\":true") {
+                            answered += 1;
+                            latencies.push(elapsed);
+                        } else if response.contains("\"overloaded\"") {
+                            shed += 1;
+                        } else {
+                            other += 1;
+                        }
+                    }
+                    (latencies, answered, shed, other)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut out = LoadResult {
+        latencies: Vec::new(),
+        answered: 0,
+        shed: 0,
+        other: 0,
+        wall_s,
+    };
+    for (lat, answered, shed, other) in per_thread {
+        out.latencies.extend(lat);
+        out.answered += answered;
+        out.shed += shed;
+        out.other += other;
+    }
+    out
+}
+
+/// Nearest-rank percentile over an already-sorted sample, seconds.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One latency section of the report.
+fn latency_json(clients: usize, per_client: usize, r: &LoadResult) -> String {
+    let mut sorted = r.latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let total = (clients * per_client) as f64;
+    format!(
+        concat!(
+            "{{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.6}, ",
+            "\"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, ",
+            "\"max_us\": {:.1}}}"
+        ),
+        clients,
+        clients * per_client,
+        r.wall_s,
+        total / r.wall_s.max(1e-12),
+        percentile(&sorted, 0.50) * 1e6,
+        percentile(&sorted, 0.99) * 1e6,
+        sorted.last().copied().unwrap_or(0.0) * 1e6,
+    )
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_serve.json");
+    let mut per_client_base = 512usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = args.next().expect("--out requires a path");
+            }
+            "--requests" => {
+                per_client_base = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests requires a count");
+            }
+            other => {
+                eprintln!("bench_serve: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // One characterization feeds both servers through the same store.
+    let scratch = scratch_dir();
+    let store = ModelStore::new(scratch.join("store"));
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    let model = ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast())
+        .expect("bench characterization must succeed");
+    store.save(MODEL, &model).expect("seed bench store");
+
+    // --- happy-path latency/throughput at 1 / 8 / 64 clients -------------
+    let workers = host_cpus().clamp(2, 8);
+    let socket = scratch.join("bench.sock");
+    let server = Server::start(
+        ModelLibrary::open(&store),
+        &socket,
+        ServeOptions {
+            workers,
+            queue_capacity: 256,
+            request_deadline: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("start bench server");
+
+    let mut latency_sections = Vec::new();
+    for clients in [1usize, 8, 64] {
+        // Same total request count per level, so qps numbers are comparable.
+        let per_client = (per_client_base / clients).max(8);
+        let r = run_load(&socket, clients, per_client);
+        assert_eq!(
+            r.shed + r.other,
+            0,
+            "happy-path run must not shed or error (shed={}, other={})",
+            r.shed,
+            r.other
+        );
+        println!(
+            "latency: clients={clients} requests={} wall={:.3}s qps={:.0}",
+            clients * per_client,
+            r.wall_s,
+            (clients * per_client) as f64 / r.wall_s.max(1e-12),
+        );
+        latency_sections.push(format!(
+            "\"c{clients}\": {}",
+            latency_json(clients, per_client, &r)
+        ));
+    }
+    server.begin_shutdown();
+    server.join();
+
+    // --- deliberate overload: 1 stalled worker, tiny queue, 64 clients ---
+    let overload_socket = scratch.join("overload.sock");
+    let overload = Server::start(
+        ModelLibrary::open(&store),
+        &overload_socket,
+        ServeOptions {
+            workers: 1,
+            queue_capacity: 8,
+            worker_stall: Duration::from_millis(2),
+            request_deadline: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("start overload server");
+    let (clients, per_client) = (64usize, 24usize);
+    let r = run_load(&overload_socket, clients, per_client);
+    overload.begin_shutdown();
+    let snap = overload.join();
+    let total = (clients * per_client) as u64;
+    assert_eq!(
+        r.answered + r.shed + r.other,
+        total,
+        "every overload request must get exactly one typed response"
+    );
+    assert_eq!(r.other, 0, "overload must shed typed, not error");
+    assert!(r.shed > 0, "overload run failed to trigger shedding");
+    assert_eq!(
+        snap.counter(sm::SHED),
+        r.shed,
+        "server shed counter must match client-observed sheds"
+    );
+    assert_eq!(
+        snap.counter(sm::REQUESTS),
+        r.answered,
+        "server admission counter must match client-observed answers"
+    );
+    let shed_rate = r.shed as f64 / total as f64;
+    println!(
+        "overload: requests={total} answered={} shed={} shed_rate={:.3}",
+        r.answered, r.shed, shed_rate
+    );
+    let overload_json = format!(
+        concat!(
+            "{{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.6}, ",
+            "\"answered\": {}, \"shed\": {}, \"shed_rate\": {:.4}, ",
+            "\"server_counters\": {{\"requests\": {}, \"shed\": {}, ",
+            "\"deadline_expired\": {}}}}}"
+        ),
+        clients,
+        total,
+        r.wall_s,
+        r.answered,
+        r.shed,
+        shed_rate,
+        snap.counter(sm::REQUESTS),
+        snap.counter(sm::SHED),
+        snap.counter(sm::DEADLINE_EXPIRED),
+    );
+
+    let report = format!(
+        concat!(
+            "{{\n  \"model\": \"{}\",\n  \"workers\": {},\n",
+            "  \"latency\": {{{}}},\n  \"overload\": {}\n}}\n"
+        ),
+        MODEL,
+        workers,
+        latency_sections.join(", "),
+        overload_json,
+    );
+    std::fs::write(&out, &report).expect("write report");
+    println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&scratch);
+    ExitCode::SUCCESS
+}

@@ -115,7 +115,12 @@ pub const MAX_MODEL_JSON_BYTES: usize = 64 * 1024 * 1024;
 
 /// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms and
 /// runs (unlike `std`'s `DefaultHasher`, whose output is unspecified).
-pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
+///
+/// Public because every checksummed on-disk format in the workspace (cache
+/// envelopes, checkpoint journals, the binary model store in
+/// `proxim-serve`) uses this same function, so readers and writers cannot
+/// drift apart.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -140,7 +145,16 @@ static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new
 /// instant — sees either the complete old file or the complete new file,
 /// never an interleaving or a prefix. Concurrent writers race only at the
 /// rename, so the last *complete* write wins intact.
-pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), ModelError> {
+///
+/// Public so other persistence layers (the `proxim-serve` binary model
+/// store) share the exact same crash-consistency path instead of
+/// reimplementing it.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Persist`] on any I/O failure; the staged temp
+/// file is removed best-effort so failures leave no debris.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), ModelError> {
     use std::io::Write;
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
@@ -262,10 +276,17 @@ impl ModelCache {
         self.root.join(format!("{key:016x}.json"))
     }
 
-    /// The path a corrupt entry is quarantined at (the entry path with a
-    /// `.quarantined` suffix).
-    pub fn quarantined_path(&self, key: u64) -> PathBuf {
-        self.root.join(format!("{key:016x}.json.quarantined"))
+    /// The path a corrupt entry with the given content hash is quarantined
+    /// at: the entry path plus the FNV-1a hash of the corrupt bytes and a
+    /// `.quarantined` suffix.
+    ///
+    /// The content hash keeps *repeated* corruption events at the same key
+    /// from overwriting each other: each distinct set of corrupt bytes
+    /// lands in its own file, so no evidence is lost between post-mortems.
+    /// (Identical corrupt bytes dedupe onto one file, which loses nothing.)
+    pub fn quarantined_path(&self, key: u64, content_hash: u64) -> PathBuf {
+        self.root
+            .join(format!("{key:016x}.json.{content_hash:016x}.quarantined"))
     }
 
     /// Characterizes through the cache: a stored model for the same cell,
@@ -338,11 +359,16 @@ impl ModelCache {
             // The entry exists but does not parse or fails its checksum:
             // move it aside (best effort) so the bad bytes survive for
             // inspection and cannot be mistaken for a valid entry again.
+            // The event is counted unconditionally — a quarantine whose
+            // rename failed is still a corrupt entry the operator must
+            // hear about, and the content-hashed name keeps repeated
+            // corruption at the same key from overwriting earlier
+            // evidence.
             Err(_) if path.exists() => {
-                if fs::rename(&path, self.quarantined_path(key)).is_ok() {
-                    stats.cache_quarantined += 1;
-                    note_cache("quarantined", metric::CACHE_QUARANTINED, key);
-                }
+                let content_hash = fnv1a_64(&fs::read(&path).unwrap_or_default());
+                let _ = fs::rename(&path, self.quarantined_path(key, content_hash));
+                stats.cache_quarantined += 1;
+                note_cache("quarantined", metric::CACHE_QUARANTINED, key);
             }
             Err(_) => {}
         }
@@ -608,7 +634,7 @@ mod tests {
         // bytes were moved aside rather than destroyed.
         let json = read_entry_text(&path).unwrap();
         assert!(ProximityModel::from_json(&json).is_ok());
-        let quarantined = cache.quarantined_path(key);
+        let quarantined = cache.quarantined_path(key, fnv1a_64(b"{definitely not a model"));
         assert_eq!(
             std::fs::read_to_string(&quarantined).unwrap(),
             "{definitely not a model"
@@ -617,6 +643,42 @@ mod tests {
         // A wipe removes quarantined entries along with live ones.
         cache.wipe().unwrap();
         assert!(!path.exists() && !quarantined.exists());
+
+        std::fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn repeated_corruption_keeps_every_piece_of_evidence() {
+        // Regression for the quarantine-name collision: two *different*
+        // corrupt payloads at the same key must land in two different
+        // quarantine files, and every event must be counted.
+        let tech = Technology::demo_5v();
+        let cell = Cell::inv();
+        let opts = CharacterizeOptions::fast();
+        let cache = fresh_cache("proxim_cache_test_requarantine");
+
+        let key = ModelCache::key(&cell, &tech, &opts).unwrap();
+        let path = cache.entry_path(key);
+        std::fs::create_dir_all(cache.root()).unwrap();
+
+        let mut total = 0;
+        for corrupt in ["{first corruption", "{second, different corruption"] {
+            std::fs::write(&path, corrupt).unwrap();
+            let mut stats = CharStats::default();
+            cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
+            assert_eq!(stats.cache_quarantined, 1, "every event is counted");
+            total += stats.cache_quarantined;
+        }
+        assert_eq!(total, 2);
+
+        for corrupt in ["{first corruption", "{second, different corruption"] {
+            let q = cache.quarantined_path(key, fnv1a_64(corrupt.as_bytes()));
+            assert_eq!(
+                std::fs::read_to_string(&q).unwrap(),
+                corrupt,
+                "each corruption keeps its own evidence file"
+            );
+        }
 
         std::fs::remove_dir_all(cache.root()).ok();
     }
@@ -640,11 +702,12 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(read_entry_text(&path).is_err(), "torn entry must not load");
 
+        let torn: Vec<u8> = bytes[..bytes.len() / 2].to_vec();
         let mut stats = CharStats::default();
         cache.characterize(&cell, &tech, &opts, &mut stats).unwrap();
         assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
         assert_eq!(stats.cache_quarantined, 1);
-        assert!(cache.quarantined_path(key).exists());
+        assert!(cache.quarantined_path(key, fnv1a_64(&torn)).exists());
 
         std::fs::remove_dir_all(cache.root()).ok();
     }

@@ -73,6 +73,47 @@ pub mod batch_metrics {
     pub const LANES_COMPLETED: &str = "spice.batch.lanes_completed";
 }
 
+/// Shared metric names (and bucket bounds) for the timing-query daemon,
+/// owned here so the producer (`proxim-serve`) and the consumers
+/// (`proxim-bench`'s `bench_serve`, operational dashboards reading the
+/// final-metrics flush) cannot drift apart.
+pub mod serve_metrics {
+    /// Counter: requests admitted to the work queue (everything that was
+    /// not shed, including requests that later fail typed).
+    pub const REQUESTS: &str = "serve.requests";
+    /// Counter: requests shed at admission with a typed `overloaded`
+    /// response because the bounded queue was full.
+    pub const SHED: &str = "serve.shed";
+    /// Gauge: instantaneous admission-queue depth.
+    pub const QUEUE_DEPTH: &str = "serve.queue.depth";
+    /// Counter: frames rejected at the protocol boundary (oversized,
+    /// truncated, non-UTF-8, malformed JSON, structural caps).
+    pub const PROTO_ERRORS: &str = "serve.proto_errors";
+    /// Counter: requests that expired their per-request wall-clock
+    /// deadline before or during evaluation.
+    pub const DEADLINE_EXPIRED: &str = "serve.deadline_expired";
+    /// Counter: answers served through a documented degraded fallback
+    /// (`GateTiming::degradation` was `Some`).
+    pub const DEGRADED_ANSWERS: &str = "serve.degraded_answers";
+    /// Counter: store entries quarantined during library load.
+    pub const STORE_QUARANTINED: &str = "serve.store.quarantined";
+    /// Counter: connections accepted.
+    pub const CONNECTIONS: &str = "serve.connections";
+    /// Gauge: currently open connections.
+    pub const ACTIVE_CONNECTIONS: &str = "serve.connections.active";
+    /// Counter: connections dropped because a slow client stalled a
+    /// response write past the write timeout.
+    pub const WRITE_TIMEOUTS: &str = "serve.write_timeouts";
+    /// Histogram: request latency from admission to response render,
+    /// in seconds.
+    pub const REQUEST_SECONDS: &str = "serve.request.seconds";
+    /// Bucket bounds for [`REQUEST_SECONDS`]: table-lookup queries are
+    /// microseconds, so the buckets start well below a millisecond.
+    pub const REQUEST_SECONDS_BOUNDS: &[f64] = &[
+        10e-6, 30e-6, 100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 30e-3, 100e-3, 1.0,
+    ];
+}
+
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -1,0 +1,55 @@
+//! `proxim-serve`: an overload-safe, crash-consistent timing-query daemon.
+//!
+//! The proximity model is characterized once and queried forever —
+//! [`ProximityModel::gate_timing`](proxim_model::ProximityModel) is the
+//! product surface. This crate wraps it in a long-running service that
+//! stays up and answers *honestly* under corrupt inputs, slow clients,
+//! overload, and crashes:
+//!
+//! - [`store`]: a checksummed binary model store. Every entry is a
+//!   sectioned container with per-section FNV-1a envelopes, written through
+//!   the crash-consistent `atomic_write` path (tmp + fsync + rename), so a
+//!   reader sees a complete old entry, a complete new entry, or a
+//!   *detectably* corrupt one — never silently torn bytes. Corrupt or torn
+//!   entries are quarantined aside (content-hash-suffixed `.quarantined`
+//!   files, the model-cache convention) at load.
+//! - [`library`]: the in-memory model library the daemon serves from.
+//!   Loading is degrade-instead-of-die: corrupt entries are quarantined and
+//!   the daemon starts *degraded* with the surviving models rather than
+//!   refusing to start. After load the library is immutable and shared via
+//!   `Arc`, so concurrent readers are lock-free.
+//! - [`proto`]: the length-prefixed socket protocol. Frames are hardened
+//!   untrusted input: oversized, truncated, non-UTF-8, malformed, and
+//!   recursion-bomb frames all produce *typed* protocol errors, never a
+//!   panic. Responses carry the degraded-slice provenance end to end
+//!   (`GateTiming::degradation` → the wire `degraded` field).
+//! - [`server`]: the daemon loop. A bounded admission queue sheds load
+//!   with a typed `overloaded` response (never a silent drop), every
+//!   request runs under a wall-clock deadline plumbed into the existing
+//!   [`CancelToken`](proxim_spice::CancelToken), slow clients are bounded
+//!   by write timeouts, health/readiness probes bypass the queue so they
+//!   answer even under full overload, and `SIGTERM` drains: stop
+//!   accepting, finish (or shed) in-flight work, flush final metrics,
+//!   exit cleanly.
+//! - [`wirefault`]: deterministic wire-layer fault injection (torn frames,
+//!   injected slow reads, dropped connections) behind the
+//!   `fault-injection` feature, extending the `proxim_spice::faultpoint`
+//!   discipline to the socket boundary.
+//!
+//! Metric names live in [`proxim_obs::serve_metrics`]; every request is
+//! traced as a `serve.request` span when tracing is enabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod library;
+pub mod proto;
+pub mod server;
+pub mod store;
+pub mod wirefault;
+
+pub use library::ModelLibrary;
+pub use proto::{ErrorKind, ProtoError, Request, MAX_FRAME_BYTES};
+pub use server::{ServeOptions, Server};
+pub use store::{ModelStore, StoreError};

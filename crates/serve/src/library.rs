@@ -1,0 +1,170 @@
+//! The in-memory model library the daemon serves from.
+//!
+//! Loading is *degrade-instead-of-die*: every store entry is read,
+//! checksum-verified, and revalidated; entries that fail any gate are
+//! quarantined aside (content-hash-suffixed `.quarantined` files, so
+//! repeated corruption keeps every piece of evidence) and the library
+//! opens with whatever survived. A daemon pointed at a half-corrupt store
+//! starts **degraded** — health probes say so, the load report names every
+//! casualty — instead of refusing to start and taking the healthy models
+//! down with the corrupt ones.
+//!
+//! After open the library is immutable; concurrent readers share it
+//! through an `Arc` with no locking.
+
+use crate::store::{entry_name, ModelStore};
+use proxim_model::ProximityModel;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// What happened while opening a library: the survivors, the casualties,
+/// and the crash debris that was cleaned up.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Names that loaded and validated.
+    pub loaded: Vec<String>,
+    /// Entries quarantined during load: where the evidence went and why.
+    pub quarantined: Vec<(PathBuf, String)>,
+    /// Stale atomic-write temp files reclaimed (debris of a killed
+    /// writer).
+    pub reclaimed_tmp: usize,
+}
+
+/// An immutable, concurrently-shareable set of named proximity models.
+#[derive(Debug, Clone)]
+pub struct ModelLibrary {
+    models: BTreeMap<String, Arc<ProximityModel>>,
+    report: LoadReport,
+}
+
+impl ModelLibrary {
+    /// Opens every loadable entry in `store`, quarantining the rest.
+    ///
+    /// Never fails: an unreadable or empty store directory yields an empty
+    /// library (the daemon starts degraded and says so on its health
+    /// probe, rather than dying).
+    pub fn open(store: &ModelStore) -> Self {
+        let reclaimed_tmp = store.reclaim_temp_files();
+        let mut models = BTreeMap::new();
+        let mut report = LoadReport {
+            reclaimed_tmp,
+            ..LoadReport::default()
+        };
+
+        let mut paths: Vec<PathBuf> = fs::read_dir(store.root())
+            .map(|rd| rd.flatten().map(|e| e.path()).collect())
+            .unwrap_or_default();
+        paths.sort();
+        for path in paths {
+            let Some(name) = entry_name(&path) else {
+                continue; // quarantined evidence, temp debris, foreign files
+            };
+            match store.load(&name) {
+                Ok(model) => {
+                    report.loaded.push(name.clone());
+                    models.insert(name, Arc::new(model));
+                }
+                Err(e) => {
+                    let to = store.quarantine(&path);
+                    report.quarantined.push((to, e.to_string()));
+                }
+            }
+        }
+        Self { models, report }
+    }
+
+    /// An empty library (used when the daemon must start with nothing).
+    pub fn empty() -> Self {
+        Self {
+            models: BTreeMap::new(),
+            report: LoadReport::default(),
+        }
+    }
+
+    /// The model named `name`, if it survived load.
+    pub fn get(&self, name: &str) -> Option<&Arc<ProximityModel>> {
+        self.models.get(name)
+    }
+
+    /// Every servable model name, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// How many models are servable.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether nothing is servable.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Whether load lost anything — the daemon is serving, but degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.report.quarantined.is_empty()
+    }
+
+    /// The full load report.
+    pub fn report(&self) -> &LoadReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::store::tests::shared_model;
+    use crate::store::ENTRY_EXT;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("proxim_library_{}_{name}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn opens_degraded_with_survivors_when_entries_are_corrupt() {
+        let store = ModelStore::new(scratch("degraded"));
+        let model = shared_model();
+        store.save("good_a", model).unwrap();
+        store.save("good_b", model).unwrap();
+        // One corrupt entry, one torn entry, one stale temp file.
+        fs::write(store.entry_path("corrupt"), b"PXMSTOR1 but not really").unwrap();
+        let good = fs::read(store.entry_path("good_a")).unwrap();
+        fs::write(store.entry_path("torn"), &good[..good.len() / 2]).unwrap();
+        fs::write(
+            store.root().join(format!(".junk.{ENTRY_EXT}.tmp.1.2")),
+            b"debris",
+        )
+        .unwrap();
+
+        let lib = ModelLibrary::open(&store);
+        assert_eq!(lib.names(), vec!["good_a", "good_b"]);
+        assert!(lib.is_degraded());
+        assert_eq!(lib.report().quarantined.len(), 2);
+        assert_eq!(lib.report().reclaimed_tmp, 1);
+        for (path, reason) in &lib.report().quarantined {
+            assert!(path.exists(), "evidence preserved at {}", path.display());
+            assert!(!reason.is_empty());
+        }
+        // The corrupt entries are gone from the store, so a reopen is clean.
+        let lib = ModelLibrary::open(&store);
+        assert!(!lib.is_degraded());
+        assert_eq!(lib.len(), 2);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn missing_store_directory_opens_empty_not_dead() {
+        let lib = ModelLibrary::open(&ModelStore::new(scratch("missing")));
+        assert!(lib.is_empty());
+        assert!(!lib.is_degraded());
+        assert!(lib.get("anything").is_none());
+    }
+}

@@ -1,0 +1,726 @@
+//! The length-prefixed socket protocol, hardened against hostile bytes.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Everything that arrives is *untrusted input* and
+//! every way it can be wrong has a typed outcome — never a panic, never a
+//! silent drop:
+//!
+//! - an advertised length over [`MAX_FRAME_BYTES`] is rejected *before*
+//!   any payload allocation ([`ErrorKind::BadFrame`]);
+//! - EOF mid-length or mid-payload is a typed truncation, distinct from a
+//!   clean close at a frame boundary ([`read_frame`] returns `Ok(None)`
+//!   for the latter);
+//! - non-UTF-8 payloads, malformed JSON, and structure that nests deeper
+//!   than [`MAX_REQUEST_DEPTH`] are all typed errors — the depth pre-scan
+//!   runs before the recursive JSON parser ever sees the bytes, so a
+//!   nesting bomb cannot blow the stack;
+//! - semantic caps ([`MAX_BATCH_QUERIES`], [`MAX_EVENTS_PER_QUERY`],
+//!   non-finite numbers) are enforced during decoding.
+//!
+//! Responses are rendered here too, so the wire shape — including the
+//! end-to-end `degraded` provenance field carried from
+//! [`GateTiming::degradation`] — is owned by one module.
+
+use proxim_model::{DegradedReason, GateTiming, InputEvent, ModelError};
+use proxim_numeric::pwl::Edge;
+use proxim_obs::json::{push_escaped, push_f64, Json};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Hard cap on a frame payload. Every real request is far smaller; the cap
+/// exists so a hostile 4-byte prefix cannot demand a huge allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Maximum bracket-nesting depth of a request document, enforced by a
+/// string-aware pre-scan *before* the recursive parser runs.
+pub const MAX_REQUEST_DEPTH: usize = 16;
+
+/// Maximum queries in one `batch` request.
+pub const MAX_BATCH_QUERIES: usize = 256;
+
+/// Maximum input events in one query. The widest characterized cell has a
+/// handful of pins; 16 leaves headroom without letting a request buy
+/// unbounded evaluation work.
+pub const MAX_EVENTS_PER_QUERY: usize = 16;
+
+/// The typed category of a protocol-level failure, as spelled on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The bounded admission queue was full; the request was shed, not
+    /// silently dropped.
+    Overloaded,
+    /// The frame itself was unusable: oversized, truncated, or not UTF-8.
+    BadFrame,
+    /// The frame decoded but the request inside it did not: malformed
+    /// JSON, unknown op, structural caps, non-finite numbers.
+    BadRequest,
+    /// The request named a model the library does not hold.
+    UnknownModel,
+    /// The model rejected the query ([`ModelError::InvalidQuery`]).
+    InvalidQuery,
+    /// The per-request wall-clock deadline expired before an answer.
+    DeadlineExceeded,
+    /// The daemon is draining after `SIGTERM` and no longer admits work.
+    ShuttingDown,
+    /// An unexpected server-side failure; the detail names it.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable wire spelling of this kind.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Self::Overloaded => "overloaded",
+            Self::BadFrame => "bad_frame",
+            Self::BadRequest => "bad_request",
+            Self::UnknownModel => "unknown_model",
+            Self::InvalidQuery => "invalid_query",
+            Self::DeadlineExceeded => "deadline_exceeded",
+            Self::ShuttingDown => "shutting_down",
+            Self::Internal => "internal",
+        }
+    }
+}
+
+/// A typed protocol failure: what category, and the human detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    /// The typed category, stable on the wire.
+    pub kind: ErrorKind,
+    /// Human-readable specifics (never parsed by clients).
+    pub detail: String,
+}
+
+impl ProtoError {
+    /// Builds an error of `kind` with `detail`.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.wire_name(), self.detail)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One timing query: the input events and an optional explicit load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireQuery {
+    /// The switching input events.
+    pub events: Vec<InputEvent>,
+    /// Output load in farads; `None` queries at the characterized
+    /// reference load.
+    pub c_load: Option<f64>,
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate one timing query against the named model.
+    Query {
+        /// The library entry to query.
+        model: String,
+        /// The query itself.
+        query: WireQuery,
+    },
+    /// Evaluate up to [`MAX_BATCH_QUERIES`] queries against one model in
+    /// a single round trip.
+    Batch {
+        /// The library entry to query.
+        model: String,
+        /// The queries, answered in order.
+        queries: Vec<WireQuery>,
+    },
+    /// Liveness/readiness probe; answered inline, bypassing the admission
+    /// queue so it works under full overload.
+    Health,
+    /// A snapshot of the daemon's metrics registry.
+    Stats,
+    /// The names of every servable model.
+    List,
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Reads one frame. `Ok(None)` is a clean close (EOF exactly at a frame
+/// boundary); everything else wrong is a typed error.
+///
+/// # Errors
+///
+/// [`ErrorKind::BadFrame`] for oversized advertisements and mid-frame
+/// truncation; [`ErrorKind::Internal`] for transport errors (including
+/// read timeouts — the caller decides whether that means a slow client).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ProtoError::new(
+                    ErrorKind::BadFrame,
+                    format!("connection closed {got} bytes into the length prefix"),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(io_proto(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::new(
+            ErrorKind::BadFrame,
+            format!("frame advertises {len} bytes, over the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(ProtoError::new(
+                    ErrorKind::BadFrame,
+                    format!("frame truncated: got {got} of {len} payload bytes"),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(io_proto(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn io_proto(e: std::io::Error) -> ProtoError {
+    ProtoError::new(ErrorKind::Internal, format!("transport error: {e}"))
+}
+
+/// Whether a [`read_frame`]/[`write_frame`] transport error was a timeout
+/// — the slow-client signal, as opposed to a reset or a hard I/O failure.
+pub fn is_timeout(e: &ProtoError) -> bool {
+    e.kind == ErrorKind::Internal
+        && (e.detail.contains("timed out") || e.detail.contains("would block"))
+}
+
+/// Assembles the on-wire bytes of one frame: 4-byte big-endian length,
+/// then the payload. Exposed so the server's write path (which may need to
+/// tear the assembled frame under fault injection) frames identically to
+/// [`write_frame`].
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+///
+/// [`ErrorKind::Internal`] on transport failure (including write timeouts
+/// against a stalled client) and for payloads over [`MAX_FRAME_BYTES`],
+/// which a correct server never produces.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ProtoError::new(
+            ErrorKind::Internal,
+            format!("refusing to send a {}-byte frame", payload.len()),
+        ));
+    }
+    // One write call for prefix + payload: a kill between two writes must
+    // not be able to leave a prefix with no payload on the wire.
+    w.write_all(&frame_bytes(payload)).map_err(io_proto)?;
+    w.flush().map_err(io_proto)
+}
+
+/// One request/response round trip over any bidirectional stream.
+///
+/// # Errors
+///
+/// Frame-layer errors from [`write_frame`]/[`read_frame`], plus
+/// [`ErrorKind::BadFrame`] if the server closes without responding or the
+/// response is not UTF-8.
+pub fn call<S: Read + Write>(stream: &mut S, request: &str) -> Result<String, ProtoError> {
+    write_frame(stream, request.as_bytes())?;
+    let bytes = read_frame(stream)?
+        .ok_or_else(|| ProtoError::new(ErrorKind::BadFrame, "server closed without responding"))?;
+    String::from_utf8(bytes)
+        .map_err(|_| ProtoError::new(ErrorKind::BadFrame, "response is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------------
+
+/// A string-aware bracket-depth pre-scan. Runs in one pass before the
+/// recursive parser so hostile nesting depth is a typed error, not a stack
+/// overflow.
+fn max_nesting_depth(text: &str) -> usize {
+    let (mut depth, mut max, mut in_str, mut escaped) = (0usize, 0usize, false, false);
+    for b in text.bytes() {
+        if in_str {
+            match (escaped, b) {
+                (true, _) => escaped = false,
+                (false, b'\\') => escaped = true,
+                (false, b'"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' | b'[' => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    max
+}
+
+fn bad_request(detail: impl Into<String>) -> ProtoError {
+    ProtoError::new(ErrorKind::BadRequest, detail)
+}
+
+fn finite(json: &Json, what: &str) -> Result<f64, ProtoError> {
+    let x = json
+        .as_f64()
+        .ok_or_else(|| bad_request(format!("{what} is not a number")))?;
+    if !x.is_finite() {
+        return Err(bad_request(format!("{what} is not finite")));
+    }
+    Ok(x)
+}
+
+fn parse_events(json: &Json) -> Result<Vec<InputEvent>, ProtoError> {
+    let arr = json
+        .as_arr()
+        .ok_or_else(|| bad_request("\"events\" must be an array"))?;
+    if arr.is_empty() {
+        return Err(bad_request("\"events\" must not be empty"));
+    }
+    if arr.len() > MAX_EVENTS_PER_QUERY {
+        return Err(bad_request(format!(
+            "{} events, over the {MAX_EVENTS_PER_QUERY}-event cap",
+            arr.len()
+        )));
+    }
+    let mut events = Vec::with_capacity(arr.len());
+    for (i, ev) in arr.iter().enumerate() {
+        let pin = finite(
+            ev.get("pin")
+                .ok_or_else(|| bad_request("event missing \"pin\""))?,
+            "event pin",
+        )?;
+        if pin < 0.0 || pin.fract() != 0.0 || pin > 255.0 {
+            return Err(bad_request(format!(
+                "event {i} pin {pin} is not a small integer"
+            )));
+        }
+        let edge = match ev.get("edge").and_then(Json::as_str) {
+            Some("rise") => Edge::Rising,
+            Some("fall") => Edge::Falling,
+            _ => {
+                return Err(bad_request(format!(
+                    "event {i} edge must be \"rise\" or \"fall\""
+                )))
+            }
+        };
+        let t = finite(
+            ev.get("t")
+                .ok_or_else(|| bad_request("event missing \"t\""))?,
+            "event t",
+        )?;
+        let tt = finite(
+            ev.get("tt")
+                .ok_or_else(|| bad_request("event missing \"tt\""))?,
+            "event tt",
+        )?;
+        if tt <= 0.0 {
+            return Err(bad_request(format!(
+                "event {i} transition time must be positive"
+            )));
+        }
+        events.push(InputEvent::new(pin as usize, edge, t, tt));
+    }
+    Ok(events)
+}
+
+fn parse_wire_query(json: &Json) -> Result<WireQuery, ProtoError> {
+    let events = parse_events(
+        json.get("events")
+            .ok_or_else(|| bad_request("query missing \"events\""))?,
+    )?;
+    let c_load = match json.get("c_load") {
+        None => None,
+        Some(j) => {
+            let c = finite(j, "c_load")?;
+            if c <= 0.0 {
+                return Err(bad_request("c_load must be positive"));
+            }
+            Some(c)
+        }
+    };
+    Ok(WireQuery { events, c_load })
+}
+
+fn parse_model_name(json: &Json) -> Result<String, ProtoError> {
+    let name = json
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_request("request missing \"model\""))?;
+    if !crate::store::valid_name(name) {
+        return Err(bad_request(format!("model name {name:?} is not servable")));
+    }
+    Ok(name.to_owned())
+}
+
+/// Decodes one frame payload into a [`Request`].
+///
+/// # Errors
+///
+/// [`ErrorKind::BadFrame`] for non-UTF-8 payloads; [`ErrorKind::BadRequest`]
+/// for everything structurally or semantically wrong inside.
+pub fn parse_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ProtoError::new(ErrorKind::BadFrame, "frame payload is not UTF-8"))?;
+    if max_nesting_depth(text) > MAX_REQUEST_DEPTH {
+        return Err(bad_request(format!(
+            "request nests deeper than {MAX_REQUEST_DEPTH} levels"
+        )));
+    }
+    let json =
+        Json::parse(text).map_err(|e| bad_request(format!("request does not parse: {e}")))?;
+    match json.get("op").and_then(Json::as_str) {
+        Some("query") => Ok(Request::Query {
+            model: parse_model_name(&json)?,
+            query: parse_wire_query(&json)?,
+        }),
+        Some("batch") => {
+            let model = parse_model_name(&json)?;
+            let arr = json
+                .get("queries")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad_request("batch missing \"queries\" array"))?;
+            if arr.is_empty() {
+                return Err(bad_request("batch \"queries\" must not be empty"));
+            }
+            if arr.len() > MAX_BATCH_QUERIES {
+                return Err(bad_request(format!(
+                    "{} queries, over the {MAX_BATCH_QUERIES}-query cap",
+                    arr.len()
+                )));
+            }
+            let queries = arr
+                .iter()
+                .map(parse_wire_query)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Batch { model, queries })
+        }
+        Some("health") => Ok(Request::Health),
+        Some("stats") => Ok(Request::Stats),
+        Some("list") => Ok(Request::List),
+        Some(op) => Err(bad_request(format!("unknown op {op:?}"))),
+        None => Err(bad_request("request missing \"op\"")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+/// The wire spelling of a degraded-answer provenance marker.
+pub fn degraded_wire_name(reason: DegradedReason) -> &'static str {
+    match reason {
+        DegradedReason::DualSliceMissing => "dual_slice_missing",
+        DegradedReason::NldmSliceMissing => "nldm_slice_missing",
+    }
+}
+
+fn push_timing(out: &mut String, t: &GateTiming) {
+    out.push_str("{\"reference_pin\":");
+    out.push_str(&t.reference_pin.to_string());
+    out.push_str(",\"delay\":");
+    push_f64(out, t.delay);
+    out.push_str(",\"output_transition\":");
+    push_f64(out, t.output_transition);
+    out.push_str(",\"output_arrival\":");
+    push_f64(out, t.output_arrival);
+    out.push_str(",\"output_edge\":");
+    out.push_str(match t.output_edge {
+        Edge::Rising => "\"rise\"",
+        Edge::Falling => "\"fall\"",
+    });
+    out.push_str(",\"inputs_in_window\":");
+    out.push_str(&t.inputs_in_window.to_string());
+    out.push_str(",\"degraded\":");
+    match t.degradation {
+        None => out.push_str("null"),
+        Some(reason) => push_escaped(out, degraded_wire_name(reason)),
+    }
+    out.push('}');
+}
+
+fn push_error(out: &mut String, e: &ProtoError) {
+    out.push_str("{\"kind\":");
+    push_escaped(out, e.kind.wire_name());
+    out.push_str(",\"detail\":");
+    push_escaped(out, &e.detail);
+    out.push('}');
+}
+
+/// Renders a failed request: `{"ok":false,"error":{...}}`.
+pub fn render_error(e: &ProtoError) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    push_error(&mut out, e);
+    out.push('}');
+    out
+}
+
+/// Renders a successful single query: `{"ok":true,"timing":{...}}`.
+pub fn render_timing(t: &GateTiming) -> String {
+    let mut out = String::from("{\"ok\":true,\"timing\":");
+    push_timing(&mut out, t);
+    out.push('}');
+    out
+}
+
+/// Renders a batch response. The envelope is `ok` as long as the *frame*
+/// was servable; each item is independently a timing or a typed error, so
+/// one bad query cannot hide the other answers.
+pub fn render_batch(results: &[Result<GateTiming, ProtoError>]) -> String {
+    let mut out = String::from("{\"ok\":true,\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match r {
+            Ok(t) => {
+                out.push_str("{\"timing\":");
+                push_timing(&mut out, t);
+                out.push('}');
+            }
+            Err(e) => {
+                out.push_str("{\"error\":");
+                push_error(&mut out, e);
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the health probe response.
+pub fn render_health(status: &str, models: usize, degraded: bool) -> String {
+    let mut out = String::from("{\"ok\":true,\"status\":");
+    push_escaped(&mut out, status);
+    out.push_str(",\"models\":");
+    out.push_str(&models.to_string());
+    out.push_str(",\"degraded\":");
+    out.push_str(if degraded { "true" } else { "false" });
+    out.push('}');
+    out
+}
+
+/// Renders the model-list response.
+pub fn render_list(names: &[String]) -> String {
+    let mut out = String::from("{\"ok\":true,\"models\":[");
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, n);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Maps a model-evaluation failure onto the wire error taxonomy.
+pub fn model_error_to_proto(e: &ModelError) -> ProtoError {
+    match e {
+        ModelError::InvalidQuery { detail } => {
+            ProtoError::new(ErrorKind::InvalidQuery, detail.clone())
+        }
+        e if e.is_cancellation() => ProtoError::new(
+            ErrorKind::DeadlineExceeded,
+            "request deadline expired during evaluation",
+        ),
+        e => ProtoError::new(ErrorKind::Internal, e.to_string()),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"health\"}").unwrap();
+        let mut r = Cursor::new(buf);
+        let frame = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(frame, b"{\"op\":\"health\"}");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF is None");
+    }
+
+    #[test]
+    fn oversized_advertisement_is_rejected_before_allocation() {
+        let mut bytes = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"x");
+        let e = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadFrame);
+        assert!(e.detail.contains("cap"), "{e}");
+    }
+
+    #[test]
+    fn truncation_everywhere_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"list\"}").unwrap();
+        // Cut inside the prefix and inside the payload.
+        for cut in [1, 2, 3, 5, buf.len() - 1] {
+            let e = read_frame(&mut Cursor::new(buf[..cut].to_vec())).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadFrame, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_and_garbage_are_typed() {
+        assert_eq!(
+            parse_request(&[0xff, 0xfe, 0x00]).unwrap_err().kind,
+            ErrorKind::BadFrame
+        );
+        assert_eq!(
+            parse_request(b"not json at all").unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            parse_request(b"{\"op\":\"conquer\"}").unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+    }
+
+    #[test]
+    fn nesting_bomb_is_a_typed_error_not_a_stack_overflow() {
+        let mut bomb = String::new();
+        for _ in 0..100_000 {
+            bomb.push('[');
+        }
+        let e = parse_request(bomb.as_bytes()).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert!(e.detail.contains("nests deeper"), "{e}");
+        // Balanced-but-deep is equally refused.
+        let deep = "[".repeat(64) + &"]".repeat(64);
+        assert_eq!(
+            parse_request(deep.as_bytes()).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        // ...while strings full of brackets don't trip the scanner.
+        let ok = r#"{"op":"health","note":"[[[[{{{{"}"#;
+        assert!(matches!(parse_request(ok.as_bytes()), Ok(Request::Health)));
+    }
+
+    #[test]
+    fn query_decodes_and_caps_hold() {
+        let req = parse_request(
+            br#"{"op":"query","model":"inv","events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Query { model, query } => {
+                assert_eq!(model, "inv");
+                assert_eq!(query.events.len(), 1);
+                assert_eq!(query.c_load, None);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+
+        let ev = r#"{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}"#;
+        let too_many = format!(
+            r#"{{"op":"query","model":"inv","events":[{}]}}"#,
+            vec![ev; MAX_EVENTS_PER_QUERY + 1].join(",")
+        );
+        assert_eq!(
+            parse_request(too_many.as_bytes()).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+
+        let q = format!(r#"{{"events":[{ev}]}}"#);
+        let too_many_queries = format!(
+            r#"{{"op":"batch","model":"inv","queries":[{}]}}"#,
+            vec![q.as_str(); MAX_BATCH_QUERIES + 1].join(",")
+        );
+        assert_eq!(
+            parse_request(too_many_queries.as_bytes()).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+
+        for bad in [
+            r#"{"op":"query","model":"inv","events":[{"pin":0,"edge":"rise","t":1e999,"tt":1e-9}]}"#,
+            r#"{"op":"query","model":"inv","events":[{"pin":0,"edge":"rise","t":0,"tt":-1e-9}]}"#,
+            r#"{"op":"query","model":"inv","events":[{"pin":-3,"edge":"rise","t":0,"tt":1e-9}]}"#,
+            r#"{"op":"query","model":"../x","events":[{"pin":0,"edge":"rise","t":0,"tt":1e-9}]}"#,
+            r#"{"op":"query","model":"inv","events":[]}"#,
+        ] {
+            assert_eq!(
+                parse_request(bad.as_bytes()).unwrap_err().kind,
+                ErrorKind::BadRequest,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_render_parseable_json() {
+        let t = GateTiming {
+            reference_pin: 1,
+            delay: 1.25e-9,
+            output_transition: 0.5e-9,
+            output_arrival: 2e-9,
+            output_edge: Edge::Falling,
+            inputs_in_window: 2,
+            degradation: Some(DegradedReason::DualSliceMissing),
+        };
+        let json = Json::parse(&render_timing(&t)).unwrap();
+        assert_eq!(json.get("ok").and_then(Json::as_f64), None);
+        let timing = json.get("timing").unwrap();
+        assert_eq!(
+            timing.get("degraded").and_then(Json::as_str),
+            Some("dual_slice_missing")
+        );
+        assert_eq!(
+            timing.get("output_edge").and_then(Json::as_str),
+            Some("fall")
+        );
+
+        let err = ProtoError::new(ErrorKind::Overloaded, "queue full (64)");
+        let json = Json::parse(&render_error(&err)).unwrap();
+        assert_eq!(
+            json.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+
+        let batch = render_batch(&[Ok(t), Err(err)]);
+        let json = Json::parse(&batch).unwrap();
+        assert_eq!(json.get("results").and_then(Json::as_arr).unwrap().len(), 2);
+
+        let health = Json::parse(&render_health("draining", 3, true)).unwrap();
+        assert_eq!(
+            health.get("status").and_then(Json::as_str),
+            Some("draining")
+        );
+    }
+}

@@ -1,0 +1,787 @@
+//! The daemon loop: bounded admission, typed shedding, deadlines, drain.
+//!
+//! # Threading model
+//!
+//! One *acceptor* thread polls a non-blocking `UnixListener`; each accepted
+//! connection gets its own handler thread; a fixed pool of *worker*
+//! threads services a single bounded admission queue. A connection thread
+//! reads one frame, decodes it, and either answers inline (health, stats,
+//! list — probes must work even under full overload, so they never touch
+//! the queue) or submits a job and waits for the rendered response, then
+//! writes it back. Per-connection request/response alternation makes the
+//! wire trivially ordered: a response is always complete before the next
+//! frame is read, so a drain can never tear one.
+//!
+//! # Robustness mechanisms (each typed, each testable)
+//!
+//! - **Bounded admission + load shedding**: the queue has a hard capacity;
+//!   a request that arrives when it is full is *shed* with a typed
+//!   `overloaded` response and counted ([`serve_metrics::SHED`]) — never
+//!   silently dropped, never unboundedly buffered.
+//! - **Per-request deadlines**: every admitted job carries a
+//!   [`CancelToken`] whose wall-clock deadline starts at admission; workers
+//!   check it before and between evaluations, so a request that waited out
+//!   its deadline in the queue answers `deadline_exceeded` instead of
+//!   burning evaluation time nobody is waiting for.
+//! - **Slow-client bounds**: reads and writes against the peer carry
+//!   timeouts. An idle client is closed after the read timeout; a client
+//!   that stalls a response write is closed and counted
+//!   ([`serve_metrics::WRITE_TIMEOUTS`]) so it cannot pin a handler thread.
+//! - **Drain on `SIGTERM`**: cancelling [`Server::shutdown_token`] stops
+//!   the acceptor, lets every in-flight request finish (or shed typed),
+//!   completes in-progress response writes, and [`Server::join`] returns
+//!   the final metrics snapshot for the flush — exit is clean, not torn.
+
+use crate::library::ModelLibrary;
+use crate::proto::{
+    self, frame_bytes, is_timeout, model_error_to_proto, parse_request, read_frame, render_batch,
+    render_error, render_health, render_list, render_timing, ErrorKind, ProtoError, Request,
+    WireQuery,
+};
+use crate::wirefault::WireFaultStream;
+use proxim_model::{GateTiming, ProximityModel};
+use proxim_obs::serve_metrics as sm;
+use proxim_obs::{Registry, Snapshot};
+use proxim_spice::CancelToken;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning for one daemon instance. Every bound exists so that no client,
+/// workload, or peer behaviour can make the daemon's memory or thread-hold
+/// time unbounded.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads servicing the admission queue.
+    pub workers: usize,
+    /// Hard capacity of the admission queue; requests beyond it are shed
+    /// with a typed `overloaded` response.
+    pub queue_capacity: usize,
+    /// Wall-clock budget per admitted request, measured from admission
+    /// (queue wait included).
+    pub request_deadline: Duration,
+    /// How long a connection may sit idle (no frame started) before it is
+    /// closed.
+    pub read_timeout: Duration,
+    /// How long a response write may stall against a slow client before
+    /// the connection is dropped.
+    pub write_timeout: Duration,
+    /// How long [`Server::join`] waits for connection handlers to finish
+    /// their in-flight responses during drain.
+    pub drain_grace: Duration,
+    /// Test hook: an artificial stall inserted before each job is
+    /// evaluated, so overload tests and benchmarks can congest the queue
+    /// deterministically. Zero (the default) in production.
+    pub worker_stall: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            request_deadline: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(5),
+            worker_stall: Duration::ZERO,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    model: Arc<ProximityModel>,
+    queries: Vec<WireQuery>,
+    /// Whether to render a batch envelope (even for a single query).
+    batch: bool,
+    /// Deadline clock, started at admission.
+    cancel: CancelToken,
+    admitted_at: Instant,
+    reply: mpsc::SyncSender<String>,
+}
+
+struct Shared {
+    library: ModelLibrary,
+    opts: ServeOptions,
+    shutdown: CancelToken,
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    registry: Arc<Registry>,
+    active_conns: AtomicUsize,
+    conn_seq: AtomicU64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn count(&self, name: &str) {
+        self.registry.counter(name).incr();
+    }
+}
+
+/// A running daemon instance: acceptor, workers, and the shared state that
+/// connection handlers hang off.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    socket_path: PathBuf,
+}
+
+impl Server {
+    /// Binds `socket` and starts serving `library`.
+    ///
+    /// A stale socket file at the path (debris of an unclean previous
+    /// death) is removed before binding. Quarantine events from the
+    /// library's load report are mirrored into the metrics registry so
+    /// a degraded start is visible in `stats` from the first request.
+    ///
+    /// # Errors
+    ///
+    /// Only socket binding can fail; a degraded (even empty) library is
+    /// served rather than refused.
+    pub fn start(
+        library: ModelLibrary,
+        socket: impl Into<PathBuf>,
+        opts: ServeOptions,
+    ) -> io::Result<Self> {
+        let socket_path = socket.into();
+        let _ = std::fs::remove_file(&socket_path);
+        let listener = UnixListener::bind(&socket_path)?;
+        listener.set_nonblocking(true)?;
+
+        let registry = Arc::new(Registry::new());
+        registry
+            .counter(sm::STORE_QUARANTINED)
+            .add(library.report().quarantined.len() as u64);
+        // Touch the headline metrics so a flush from an idle daemon still
+        // reports them as explicit zeros.
+        for name in [sm::REQUESTS, sm::SHED, sm::PROTO_ERRORS, sm::CONNECTIONS] {
+            registry.counter(name).add(0);
+        }
+
+        let shared = Arc::new(Shared {
+            library,
+            opts: opts.clone(),
+            shutdown: CancelToken::new(),
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            registry,
+            active_conns: AtomicUsize::new(0),
+            conn_seq: AtomicU64::new(0),
+        });
+
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || acceptor_loop(&shared, &listener))?
+        };
+
+        Ok(Self {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            socket_path,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// How many models are servable.
+    pub fn model_count(&self) -> usize {
+        self.shared.library.len()
+    }
+
+    /// Whether the library lost entries to quarantine at load.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.library.is_degraded()
+    }
+
+    /// The daemon's metrics registry (shared; snapshot any time).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// A clone of the shutdown token. Cancelling it (directly, or from a
+    /// `SIGTERM` handler — [`CancelToken::cancel`] is a single atomic
+    /// store, safe in signal context) begins the drain.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shared.shutdown.clone()
+    }
+
+    /// Begins the drain: stop accepting, let in-flight work finish.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.cancel();
+    }
+
+    /// Waits out the drain and returns the final metrics snapshot (the
+    /// caller flushes it). Blocks until the shutdown token is cancelled:
+    /// the acceptor exits, workers drain the admitted queue, and
+    /// connection handlers get up to `drain_grace` to complete their
+    /// in-flight response writes. The socket file is removed.
+    pub fn join(mut self) -> Snapshot {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let drain_deadline = Instant::now() + self.shared.opts.drain_grace;
+        while self.shared.active_conns.load(Ordering::Acquire) > 0
+            && Instant::now() < drain_deadline
+        {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+        self.shared.registry.snapshot()
+    }
+}
+
+/// How often blocked loops re-check the shutdown token.
+const POLL: Duration = Duration::from_millis(10);
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &UnixListener) {
+    loop {
+        if shared.shutdown.is_cancelled() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let index = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                shared.count(sm::CONNECTIONS);
+                shared.active_conns.fetch_add(1, Ordering::AcqRel);
+                shared
+                    .registry
+                    .gauge(sm::ACTIVE_CONNECTIONS)
+                    .set(shared.active_conns.load(Ordering::Acquire) as f64);
+                let conn_shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("serve-conn-{index}"))
+                    .spawn(move || {
+                        connection_loop(&conn_shared, stream, index);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                        conn_shared
+                            .registry
+                            .gauge(sm::ACTIVE_CONNECTIONS)
+                            .set(conn_shared.active_conns.load(Ordering::Acquire) as f64);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: the connection is dropped (the
+                    // stream closes), and the gauge is repaired.
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            // Non-blocking listener: no pending connection. Sleep one poll
+            // tick so shutdown is noticed promptly without busy-spinning.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// A reader that counts delivered bytes, so the connection loop can tell
+/// an *idle* timeout (no frame started — benign keep-alive) from a stall
+/// *mid-frame* (a slow or wedged client that must be dropped).
+struct CountingReader<'a> {
+    inner: &'a UnixStream,
+    delivered: usize,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.delivered += n;
+        Ok(n)
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: UnixStream, index: u64) {
+    // Reads poll at a short interval so a draining daemon never waits a
+    // full idle timeout on a quiet connection; writes get the configured
+    // slow-client bound directly.
+    if stream.set_read_timeout(Some(POLL)).is_err()
+        || stream
+            .set_write_timeout(Some(shared.opts.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let mut faults = WireFaultStream::for_connection(index);
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.shutdown.is_cancelled() {
+            return;
+        }
+        if let Some(delay) = faults.read_delay() {
+            thread::sleep(delay);
+        }
+        let mut reader = CountingReader {
+            inner: &stream,
+            delivered: 0,
+        };
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                idle = Duration::ZERO;
+                payload
+            }
+            Ok(None) => return, // clean close
+            Err(e) if is_timeout(&e) && reader.delivered == 0 => {
+                idle += POLL;
+                if idle >= shared.opts.read_timeout {
+                    return; // idle client: close
+                }
+                continue;
+            }
+            Err(e) if e.kind == ErrorKind::BadFrame || is_timeout(&e) => {
+                // Hostile framing or a mid-frame stall. Framing is now
+                // unrecoverable on this connection: answer typed
+                // (best-effort — the peer may already be gone) and close.
+                shared.count(sm::PROTO_ERRORS);
+                let _ = write_response(shared, &stream, &mut faults, &render_error(&e));
+                return;
+            }
+            Err(_) => return, // transport failure: nothing to answer into
+        };
+        let response = respond_to(shared, &payload);
+        if write_response(shared, &stream, &mut faults, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Writes one response frame, honouring fault injection and the
+/// slow-client write timeout. `Err` means the connection must close.
+fn write_response(
+    shared: &Arc<Shared>,
+    mut stream: &UnixStream,
+    faults: &mut WireFaultStream,
+    response: &str,
+) -> Result<(), ()> {
+    let frame = frame_bytes(response.as_bytes());
+    if let Some(keep) = faults.torn_write(frame.len()) {
+        // Injected tear: send a strict prefix, then drop the connection.
+        let _ = stream.write_all(&frame[..keep]);
+        let _ = stream.flush();
+        return Err(());
+    }
+    let result = stream.write_all(&frame).and_then(|()| stream.flush());
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                shared.count(sm::WRITE_TIMEOUTS);
+            }
+            Err(())
+        }
+    }
+}
+
+/// Decodes one frame payload and produces the rendered response. Probes
+/// (health, stats, list) answer inline; queries go through admission.
+fn respond_to(shared: &Arc<Shared>, payload: &[u8]) -> String {
+    let request = match parse_request(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.count(sm::PROTO_ERRORS);
+            return render_error(&e);
+        }
+    };
+    match request {
+        Request::Health => {
+            let status = if shared.shutdown.is_cancelled() {
+                "draining"
+            } else {
+                "serving"
+            };
+            render_health(status, shared.library.len(), shared.library.is_degraded())
+        }
+        Request::Stats => {
+            let mut out = String::from("{\"ok\":true,\"stats\":");
+            out.push_str(&shared.registry.snapshot().to_json());
+            out.push('}');
+            out
+        }
+        Request::List => render_list(&shared.library.names()),
+        Request::Query { model, query } => admit(shared, &model, vec![query], false),
+        Request::Batch { model, queries } => admit(shared, &model, queries, true),
+    }
+}
+
+/// Admission: resolve the model, reserve a queue slot or shed, and wait
+/// for the worker's rendered response.
+fn admit(shared: &Arc<Shared>, model: &str, queries: Vec<WireQuery>, batch: bool) -> String {
+    if shared.shutdown.is_cancelled() {
+        return render_error(&ProtoError::new(
+            ErrorKind::ShuttingDown,
+            "daemon is draining; no new work admitted",
+        ));
+    }
+    let Some(model) = shared.library.get(model) else {
+        return render_error(&ProtoError::new(
+            ErrorKind::UnknownModel,
+            format!("no model named {model:?} (try op \"list\")"),
+        ));
+    };
+    let (tx, rx) = mpsc::sync_channel(1);
+    {
+        let mut queue = lock(&shared.queue);
+        if queue.len() >= shared.opts.queue_capacity {
+            drop(queue);
+            shared.count(sm::SHED);
+            return render_error(&ProtoError::new(
+                ErrorKind::Overloaded,
+                format!(
+                    "admission queue full ({} pending); retry with backoff",
+                    shared.opts.queue_capacity
+                ),
+            ));
+        }
+        queue.push_back(Job {
+            model: Arc::clone(model),
+            queries,
+            batch,
+            cancel: CancelToken::with_deadline_in(shared.opts.request_deadline),
+            admitted_at: Instant::now(),
+            reply: tx,
+        });
+        shared.count(sm::REQUESTS);
+        shared
+            .registry
+            .gauge(sm::QUEUE_DEPTH)
+            .set(queue.len() as f64);
+        shared.job_ready.notify_one();
+    }
+    // Workers always reply (evaluated, deadline-expired, or drain-shed),
+    // so this wait only trips if a worker thread died — answer typed
+    // rather than wedging the connection forever.
+    let guard = shared.opts.request_deadline + shared.opts.worker_stall + Duration::from_secs(30);
+    rx.recv_timeout(guard).unwrap_or_else(|_| {
+        render_error(&ProtoError::new(
+            ErrorKind::Internal,
+            "worker did not produce a response",
+        ))
+    })
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared
+                        .registry
+                        .gauge(sm::QUEUE_DEPTH)
+                        .set(queue.len() as f64);
+                    break job;
+                }
+                // Drain semantics: exit only once the queue is empty, so
+                // every admitted request gets its response.
+                if shared.shutdown.is_cancelled() {
+                    return;
+                }
+                queue = shared
+                    .job_ready
+                    .wait_timeout(queue, POLL)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        if !shared.opts.worker_stall.is_zero() {
+            thread::sleep(shared.opts.worker_stall);
+        }
+        let response = evaluate(shared, &job);
+        shared
+            .registry
+            .histogram(sm::REQUEST_SECONDS, sm::REQUEST_SECONDS_BOUNDS)
+            .observe(job.admitted_at.elapsed().as_secs_f64());
+        // The connection may have given up (its own guard timeout); a
+        // dead receiver is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Evaluates one admitted job under its deadline token.
+fn evaluate(shared: &Arc<Shared>, job: &Job) -> String {
+    let mut results: Vec<Result<GateTiming, ProtoError>> = Vec::with_capacity(job.queries.len());
+    for query in &job.queries {
+        // The deadline is checked between items, so a half-expired batch
+        // returns real answers for the items it finished and typed
+        // `deadline_exceeded` for the rest — honest partial progress.
+        if let Err(e) = job.cancel.check("serve request") {
+            shared.count(sm::DEADLINE_EXPIRED);
+            results.push(Err(ProtoError::new(
+                ErrorKind::DeadlineExceeded,
+                e.to_string(),
+            )));
+            continue;
+        }
+        let outcome = match query.c_load {
+            Some(c_load) => job.model.gate_timing_at_load(&query.events, c_load),
+            None => job.model.gate_timing(&query.events),
+        };
+        match outcome {
+            Ok(timing) => {
+                if timing.degradation.is_some() {
+                    shared.count(sm::DEGRADED_ANSWERS);
+                }
+                results.push(Ok(timing));
+            }
+            Err(e) => results.push(Err(model_error_to_proto(&e))),
+        }
+    }
+    if job.batch {
+        render_batch(&results)
+    } else {
+        match results.first() {
+            Some(Ok(timing)) => render_timing(timing),
+            Some(Err(e)) => render_error(e),
+            None => render_error(&ProtoError::new(ErrorKind::Internal, "empty job")),
+        }
+    }
+}
+
+/// Convenience client: connect, round-trip one request, disconnect.
+///
+/// # Errors
+///
+/// Connection failures surface as [`ErrorKind::Internal`]; everything else
+/// comes from [`proto::call`].
+pub fn one_shot(socket: &Path, request: &str) -> Result<String, ProtoError> {
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| ProtoError::new(ErrorKind::Internal, format!("connect: {e}")))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    proto::call(&mut stream, request)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::store::tests::shared_model;
+    use crate::store::ModelStore;
+    use proxim_obs::json::Json;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("proxim_server_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_library(dir: &Path) -> ModelLibrary {
+        let store = ModelStore::new(dir.join("store"));
+        store.save("inv", shared_model()).unwrap();
+        ModelLibrary::open(&store)
+    }
+
+    const QUERY: &str =
+        r#"{"op":"query","model":"inv","events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]}"#;
+
+    #[test]
+    fn serves_queries_probes_and_typed_errors() {
+        let dir = scratch("basic");
+        let server = Server::start(
+            test_library(&dir),
+            dir.join("s.sock"),
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let sock = server.socket_path().to_path_buf();
+
+        // A real query answers with a finite delay and no degradation.
+        let resp = one_shot(&sock, QUERY).unwrap();
+        let json = Json::parse(&resp).unwrap();
+        let timing = json.get("timing").expect(&resp);
+        assert!(timing.get("delay").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(timing.get("degraded").and_then(Json::as_str).is_none());
+
+        // Batch answers item-by-item; the bad item is typed, not fatal.
+        let batch = r#"{"op":"batch","model":"inv","queries":[
+            {"events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]},
+            {"events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}],"c_load":1e-13}]}"#;
+        let resp = one_shot(&sock, batch).unwrap();
+        let json = Json::parse(&resp).unwrap();
+        assert_eq!(json.get("results").and_then(Json::as_arr).unwrap().len(), 2);
+
+        // Probes.
+        let health = one_shot(&sock, r#"{"op":"health"}"#).unwrap();
+        let json = Json::parse(&health).unwrap();
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("serving"));
+        let list = one_shot(&sock, r#"{"op":"list"}"#).unwrap();
+        assert!(list.contains("\"inv\""), "{list}");
+        let stats = one_shot(&sock, r#"{"op":"stats"}"#).unwrap();
+        assert!(stats.contains(sm::REQUESTS), "{stats}");
+
+        // Typed errors.
+        let resp = one_shot(
+            &sock,
+            r#"{"op":"query","model":"nope","events":[{"pin":0,"edge":"rise","t":0,"tt":1e-9}]}"#,
+        )
+        .unwrap();
+        assert!(resp.contains("unknown_model"), "{resp}");
+        let resp = one_shot(&sock, "definitely not json").unwrap();
+        assert!(resp.contains("bad_request"), "{resp}");
+
+        server.begin_shutdown();
+        let snap = server.join();
+        // Only the query and the batch were *admitted*; probes bypass the
+        // queue and the unknown-model / bad-frame requests fail before it.
+        assert_eq!(snap.counter(sm::REQUESTS), 2);
+        assert_eq!(snap.counter(sm::SHED), 0);
+        assert_eq!(snap.counter(sm::PROTO_ERRORS), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overload_sheds_typed_and_probes_still_answer() {
+        let dir = scratch("overload");
+        let opts = ServeOptions {
+            workers: 1,
+            queue_capacity: 2,
+            worker_stall: Duration::from_millis(40),
+            ..ServeOptions::default()
+        };
+        let server = Server::start(test_library(&dir), dir.join("s.sock"), opts).unwrap();
+        let sock = server.socket_path().to_path_buf();
+
+        let clients: Vec<_> = (0..12)
+            .map(|_| {
+                let sock = sock.clone();
+                thread::spawn(move || one_shot(&sock, QUERY).unwrap())
+            })
+            .collect();
+        // Probes bypass the queue: immediate even while workers stall.
+        let t0 = Instant::now();
+        let health = one_shot(&sock, r#"{"op":"health"}"#).unwrap();
+        assert!(health.contains("serving"), "{health}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "probe must not queue"
+        );
+
+        let responses: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let shed = responses
+            .iter()
+            .filter(|r| r.contains("overloaded"))
+            .count();
+        let answered = responses
+            .iter()
+            .filter(|r| r.contains("\"timing\""))
+            .count();
+        assert!(shed > 0, "12 clients into a 2-deep queue must shed some");
+        assert!(answered > 0, "but not all");
+        assert_eq!(shed + answered, 12, "every request got a typed outcome");
+
+        server.begin_shutdown();
+        let snap = server.join();
+        assert_eq!(snap.counter(sm::SHED), shed as u64);
+        assert_eq!(snap.counter(sm::REQUESTS), answered as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_answer_deadline_exceeded() {
+        let dir = scratch("deadline");
+        let opts = ServeOptions {
+            workers: 1,
+            queue_capacity: 16,
+            request_deadline: Duration::from_millis(60),
+            worker_stall: Duration::from_millis(50),
+            ..ServeOptions::default()
+        };
+        let server = Server::start(test_library(&dir), dir.join("s.sock"), opts).unwrap();
+        let sock = server.socket_path().to_path_buf();
+
+        let clients: Vec<_> = (0..6)
+            .map(|_| {
+                let sock = sock.clone();
+                thread::spawn(move || one_shot(&sock, QUERY).unwrap())
+            })
+            .collect();
+        let responses: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let expired = responses
+            .iter()
+            .filter(|r| r.contains("deadline_exceeded"))
+            .count();
+        assert!(
+            expired > 0,
+            "a 60 ms deadline behind 50 ms/job must expire some: {responses:?}"
+        );
+
+        server.begin_shutdown();
+        let snap = server.join();
+        assert_eq!(snap.counter(sm::DEADLINE_EXPIRED), expired as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_finishes_in_flight_work_and_refuses_new_work() {
+        let dir = scratch("drain");
+        let opts = ServeOptions {
+            workers: 1,
+            queue_capacity: 32,
+            worker_stall: Duration::from_millis(20),
+            ..ServeOptions::default()
+        };
+        let server = Server::start(test_library(&dir), dir.join("s.sock"), opts).unwrap();
+        let sock = server.socket_path().to_path_buf();
+
+        let in_flight: Vec<_> = (0..8)
+            .map(|_| {
+                let sock = sock.clone();
+                thread::spawn(move || one_shot(&sock, QUERY).unwrap())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30)); // let them admit
+        server.begin_shutdown();
+
+        // Already-admitted work completes with real answers.
+        let responses: Vec<String> = in_flight.into_iter().map(|c| c.join().unwrap()).collect();
+        for r in &responses {
+            assert!(
+                r.contains("\"timing\"") || r.contains("overloaded"),
+                "in-flight work must finish typed, got {r}"
+            );
+        }
+        assert!(
+            responses.iter().any(|r| r.contains("\"timing\"")),
+            "at least the running job must complete"
+        );
+
+        let snap = server.join();
+        assert_eq!(snap.gauge(sm::QUEUE_DEPTH), 0.0, "drained queue is empty");
+        // New connections are refused (socket gone) or told shutting_down.
+        match one_shot(&sock, QUERY) {
+            Err(_) => {}
+            Ok(resp) => assert!(resp.contains("shutting_down"), "{resp}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

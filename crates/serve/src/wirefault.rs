@@ -1,0 +1,207 @@
+//! Deterministic wire-layer fault injection.
+//!
+//! Extends the [`proxim_spice::faultpoint`] discipline from the solver to
+//! the socket boundary: behind the `fault-injection` feature, tests can
+//! make the server tear response frames mid-write (a crashing or
+//! byte-miserly peer) and stall its reads (a slow-sending client), so the
+//! robustness suite can prove that torn frames surface as *typed*
+//! truncation errors on the receiving side and that stalled I/O is bounded
+//! by the socket timeouts rather than wedging a connection thread forever.
+//!
+//! Decisions are drawn from the same splitmix64 stream family as the
+//! solver injector, seeded by the configured seed plus the connection
+//! index — run-intrinsic, never wall clock — so a faulted run replays
+//! identically. With the feature disabled (the default) every hook
+//! compiles to a constant no-op.
+
+use std::time::Duration;
+
+#[cfg(feature = "fault-injection")]
+use proxim_spice::faultpoint::{splitmix64, unit};
+#[cfg(feature = "fault-injection")]
+use std::sync::{Mutex, PoisonError};
+
+/// Wire-fault configuration. All rates are probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireFaultConfig {
+    /// Per-response probability that the frame write is torn: only a
+    /// prefix of the bytes is sent and the connection is dropped.
+    pub torn_write_rate: f64,
+    /// Per-read probability that a stall of [`Self::slow_read`] is
+    /// injected before the read proceeds.
+    pub slow_read_rate: f64,
+    /// The injected stall duration.
+    pub slow_read: Duration,
+    /// Seed mixed into every per-connection stream.
+    pub seed: u64,
+}
+
+impl WireFaultConfig {
+    /// The inert configuration: every rate zero.
+    pub const DISARMED: Self = Self {
+        torn_write_rate: 0.0,
+        slow_read_rate: 0.0,
+        slow_read: Duration::ZERO,
+        seed: 0,
+    };
+
+    /// Whether any wire fault can ever fire under this configuration.
+    pub fn is_armed(&self) -> bool {
+        self.torn_write_rate > 0.0 || self.slow_read_rate > 0.0
+    }
+}
+
+impl Default for WireFaultConfig {
+    fn default() -> Self {
+        Self::DISARMED
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+static CONFIG: Mutex<WireFaultConfig> = Mutex::new(WireFaultConfig::DISARMED);
+
+/// Installs a process-global wire-fault configuration. Global state: tests
+/// that arm it serialize on their own lock and [`disarm`] when done.
+#[cfg(feature = "fault-injection")]
+pub fn configure(cfg: WireFaultConfig) {
+    *CONFIG.lock().unwrap_or_else(PoisonError::into_inner) = cfg;
+}
+
+/// No-op stub: without the `fault-injection` feature nothing is installed.
+#[cfg(not(feature = "fault-injection"))]
+pub fn configure(_cfg: WireFaultConfig) {}
+
+/// Resets the process-global configuration to [`WireFaultConfig::DISARMED`].
+pub fn disarm() {
+    configure(WireFaultConfig::DISARMED);
+}
+
+/// The currently installed configuration.
+#[cfg(feature = "fault-injection")]
+pub fn current() -> WireFaultConfig {
+    *CONFIG.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Always [`WireFaultConfig::DISARMED`] without the `fault-injection`
+/// feature.
+#[cfg(not(feature = "fault-injection"))]
+pub fn current() -> WireFaultConfig {
+    WireFaultConfig::DISARMED
+}
+
+#[cfg(feature = "fault-injection")]
+struct Armed {
+    cfg: WireFaultConfig,
+    state: u64,
+}
+
+/// A per-connection stream of wire-fault decisions. Disarmed (or
+/// feature-off) streams compile to constant no-ops.
+pub struct WireFaultStream {
+    #[cfg(feature = "fault-injection")]
+    armed: Option<Armed>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl WireFaultStream {
+    /// Opens the stream for the `index`-th accepted connection.
+    pub fn for_connection(index: u64) -> Self {
+        let cfg = current();
+        if !cfg.is_armed() {
+            return Self { armed: None };
+        }
+        let state = cfg.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(1);
+        Self {
+            armed: Some(Armed { cfg, state }),
+        }
+    }
+
+    /// Whether (and where) the next `frame_len`-byte response write should
+    /// be torn: `Some(keep)` means send only the first `keep` bytes and
+    /// drop the connection. `keep` is always strictly inside the frame, so
+    /// the tear is visible to the peer as a typed truncation.
+    pub fn torn_write(&mut self, frame_len: usize) -> Option<usize> {
+        let a = self.armed.as_mut()?;
+        if frame_len == 0 || a.cfg.torn_write_rate <= 0.0 {
+            return None;
+        }
+        if unit(&mut a.state) < a.cfg.torn_write_rate {
+            Some((splitmix64(&mut a.state) % frame_len as u64) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The stall to inject before the next read, if any.
+    pub fn read_delay(&mut self) -> Option<Duration> {
+        let a = self.armed.as_mut()?;
+        if a.cfg.slow_read_rate > 0.0 && unit(&mut a.state) < a.cfg.slow_read_rate {
+            Some(a.cfg.slow_read)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+impl WireFaultStream {
+    /// Opens the (inert) stream for the `index`-th accepted connection.
+    #[inline]
+    pub fn for_connection(_index: u64) -> Self {
+        Self {}
+    }
+
+    /// Never tears without the `fault-injection` feature.
+    #[inline]
+    pub fn torn_write(&mut self, _frame_len: usize) -> Option<usize> {
+        None
+    }
+
+    /// Never stalls without the `fault-injection` feature.
+    #[inline]
+    pub fn read_delay(&mut self) -> Option<Duration> {
+        None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_stream_is_inert() {
+        assert!(!WireFaultConfig::DISARMED.is_armed());
+        let mut s = WireFaultStream::for_connection(7);
+        for _ in 0..100 {
+            assert!(s.torn_write(512).is_none());
+            assert!(s.read_delay().is_none());
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn armed_stream_replays_deterministically() {
+        configure(WireFaultConfig {
+            torn_write_rate: 0.5,
+            slow_read_rate: 0.25,
+            slow_read: Duration::from_millis(5),
+            seed: 99,
+        });
+        let draw = |index: u64| -> Vec<Option<usize>> {
+            let mut s = WireFaultStream::for_connection(index);
+            (0..200).map(|_| s.torn_write(100)).collect()
+        };
+        let a = draw(3);
+        assert_eq!(a, draw(3), "same connection index must replay");
+        assert_ne!(a, draw(4), "different connections get different fates");
+        let tears = a.iter().filter(|t| t.is_some()).count();
+        assert!((60..140).contains(&tears), "~50% of 200, got {tears}");
+        assert!(
+            a.iter().flatten().all(|&keep| keep < 100),
+            "a tear always keeps strictly less than the frame"
+        );
+        disarm();
+        assert!(!current().is_armed());
+    }
+}

@@ -99,8 +99,12 @@ pub fn current() -> FaultConfig {
 }
 
 /// splitmix64: tiny, high-quality, and stable across platforms.
-#[cfg(feature = "fault-injection")]
-fn splitmix64(state: &mut u64) -> u64 {
+///
+/// Public (and compiled unconditionally) so the other deterministic fault
+/// harnesses in the workspace — the `proxim-serve` wire-layer injector in
+/// particular — draw from the exact same stream family instead of growing
+/// their own subtly different generators.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -108,9 +112,8 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A uniform draw in `[0, 1)` from the top 53 bits.
-#[cfg(feature = "fault-injection")]
-fn unit(state: &mut u64) -> f64 {
+/// A uniform draw in `[0, 1)` from the top 53 bits of [`splitmix64`].
+pub fn unit(state: &mut u64) -> f64 {
     (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 

@@ -1,0 +1,247 @@
+//! `proxim_serve`: the timing-query daemon CLI.
+//!
+//! Subcommands:
+//!
+//! - `serve --store DIR --socket PATH [...]` — load the binary model store
+//!   (degrade-instead-of-die: corrupt entries are quarantined with their
+//!   content hash and the daemon starts with the survivors), bind the Unix
+//!   socket, and answer queries until `SIGTERM`, which drains: stop
+//!   accepting, finish or shed in-flight work typed, flush the final
+//!   metrics snapshot, exit `0`.
+//! - `query --socket PATH --json REQ` — one request/response round trip;
+//!   prints the response. Exit `0` when the response says `"ok":true`,
+//!   `3` for a typed server-side error, `1` for transport failure.
+//! - `churn --store DIR --name NAME --rounds N` — characterize one demo
+//!   cell, then save it to the store `N` times, printing `round=<i>` after
+//!   each durable save. The chaos harness `SIGKILL`s this mid-write and
+//!   asserts the store is loadable and byte-identical afterwards — the
+//!   `atomic_write` crash-consistency promise, proven at the binary-store
+//!   layer.
+//!
+//! The `SIGTERM` handler lives here (one libc `signal` FFI line) so every
+//! library crate stays `forbid(unsafe_code)`; the handler body is a single
+//! atomic store ([`CancelToken::cancel`]), which is async-signal-safe.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::persist::atomic_write;
+use proxim_model::ProximityModel;
+use proxim_serve::server::one_shot;
+use proxim_serve::{ModelLibrary, ModelStore, ServeOptions, Server};
+use proxim_spice::CancelToken;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The token the SIGTERM handler trips; cancelling it begins the drain.
+static TERM_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigterm(_signum: i32) {
+    if let Some(token) = TERM_TOKEN.get() {
+        token.cancel();
+    }
+}
+
+/// Installs the SIGTERM handler via the libc `signal` entry point (no
+/// external crates in this build environment).
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         proxim_serve serve --store DIR --socket PATH [--workers N] [--queue N]\n    \
+         [--deadline-ms N] [--stall-ms N] [--metrics-out PATH] [--demo]\n  \
+         proxim_serve query --socket PATH --json REQUEST\n  \
+         proxim_serve churn --store DIR --name NAME --rounds N"
+    );
+    ExitCode::from(1)
+}
+
+/// The deterministic demo model served by `--demo` and saved by `churn`:
+/// a fast-grid NAND2 against the demo technology.
+fn demo_model() -> Result<ProximityModel, String> {
+    let tech = Technology::demo_5v();
+    let cell = Cell::nand(2);
+    ProximityModel::characterize(&cell, &tech, &CharacterizeOptions::fast())
+        .map_err(|e| format!("demo characterization failed: {e}"))
+}
+
+fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
+    let mut store_dir: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut opts = ServeOptions::default();
+    let mut demo = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => store_dir = args.next().map(Into::into),
+            "--socket" => socket = args.next().map(Into::into),
+            "--metrics-out" => metrics_out = args.next().map(Into::into),
+            "--demo" => demo = true,
+            "--workers" | "--queue" | "--deadline-ms" | "--stall-ms" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                match arg.as_str() {
+                    "--workers" => opts.workers = v as usize,
+                    "--queue" => opts.queue_capacity = v as usize,
+                    "--deadline-ms" => opts.request_deadline = Duration::from_millis(v),
+                    _ => opts.worker_stall = Duration::from_millis(v),
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    let (Some(store_dir), Some(socket)) = (store_dir, socket) else {
+        return usage();
+    };
+
+    let store = ModelStore::new(&store_dir);
+    if demo && store.list().is_empty() {
+        match demo_model() {
+            Ok(model) => {
+                if let Err(e) = store.save("nand2_demo", &model) {
+                    eprintln!("proxim_serve: cannot seed demo model: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("proxim_serve: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    // Degrade-instead-of-die: a half-corrupt (or empty) store still serves.
+    let library = ModelLibrary::open(&store);
+    for (path, reason) in &library.report().quarantined {
+        eprintln!("proxim_serve: quarantined {} ({reason})", path.display());
+    }
+
+    let server = match Server::start(library, &socket, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("proxim_serve: cannot bind {}: {e}", socket.display());
+            return ExitCode::from(1);
+        }
+    };
+    // Arm SIGTERM → drain before announcing readiness, so a terminate that
+    // races startup still drains instead of killing the process.
+    let token = TERM_TOKEN.get_or_init(CancelToken::new).clone();
+    install_sigterm_handler();
+    println!(
+        "ready socket={} models={}",
+        server.socket_path().display(),
+        server.model_count()
+    );
+    let _ = std::io::stdout().flush();
+
+    // Wait for the drain signal, then hand it to the server.
+    while !token.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.begin_shutdown();
+    let snapshot = server.join();
+    let json = snapshot.to_json();
+    if let Some(path) = metrics_out {
+        if let Err(e) = atomic_write(&path, json.as_bytes()) {
+            eprintln!("proxim_serve: metrics flush failed: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    println!("drained {json}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(args: &mut std::env::Args) -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut json: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next().map(Into::into),
+            "--json" => json = args.next(),
+            _ => return usage(),
+        }
+    }
+    let (Some(socket), Some(json)) = (socket, json) else {
+        return usage();
+    };
+    match one_shot(&socket, &json) {
+        Ok(response) => {
+            println!("{response}");
+            if response.contains("\"ok\":true") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(3)
+            }
+        }
+        Err(e) => {
+            eprintln!("proxim_serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_churn(args: &mut std::env::Args) -> ExitCode {
+    let mut store_dir: Option<PathBuf> = None;
+    let mut name = String::from("nand2_demo");
+    let mut rounds = 1u64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => store_dir = args.next().map(Into::into),
+            "--name" => {
+                let Some(v) = args.next() else { return usage() };
+                name = v;
+            }
+            "--rounds" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                rounds = v;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(store_dir) = store_dir else {
+        return usage();
+    };
+    let model = match demo_model() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("proxim_serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let store = ModelStore::new(&store_dir);
+    for round in 0..rounds {
+        if let Err(e) = store.save(&name, &model) {
+            eprintln!("proxim_serve: churn save failed: {e}");
+            return ExitCode::from(1);
+        }
+        // The harness kills us on (or right after) this marker; each line
+        // certifies one durable, renamed-into-place save.
+        println!("round={round}");
+        let _ = std::io::stdout().flush();
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    match args.next().as_deref() {
+        Some("serve") => cmd_serve(&mut args),
+        Some("query") => cmd_query(&mut args),
+        Some("churn") => cmd_churn(&mut args),
+        _ => usage(),
+    }
+}

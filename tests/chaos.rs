@@ -11,9 +11,17 @@
 //!
 //! Override the kill point with `PROXIM_CHAOS_SEED=<n>` to explore other
 //! interruption points; the default seed keeps CI deterministic.
+//!
+//! The second half of the file points the same harness at the timing-query
+//! daemon (`src/bin/proxim_serve.rs`): `SIGKILL` mid-binary-store-write
+//! must leave the library loadable and byte-identical after restart, and
+//! `SIGTERM` with a socket full of in-flight queries must drain — every
+//! client gets a complete, typed response, the final metrics flush lands,
+//! and the daemon exits `0`.
 
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Output};
+use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
 
 fn scratch_dir(name: &str) -> PathBuf {
@@ -198,6 +206,227 @@ fn sigterm_flushes_a_final_checkpoint_and_exits_typed() {
     );
     assert!(skipped_from_stdout(&output) > 0);
     assert_eq!(std::fs::read(&out).expect("model bytes"), reference);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Daemon chaos: the binary model store and the drain path
+// ---------------------------------------------------------------------------
+
+fn serve_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_proxim_serve"))
+}
+
+/// Lines of `marker` currently present in a file the child's stdout is
+/// piped to — the serve-side analogue of `journal_entries`.
+fn marker_count(path: &Path, marker: &str) -> usize {
+    std::fs::read_to_string(path)
+        .map(|text| text.lines().filter(|l| l.contains(marker)).count())
+        .unwrap_or(0)
+}
+
+/// Polls `path` until it holds at least `target` lines containing `marker`
+/// (true) or the child exits first (false).
+fn wait_for_marker(child: &mut Child, path: &Path, marker: &str, target: usize) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while Instant::now() < deadline {
+        if marker_count(path, marker) >= target {
+            return true;
+        }
+        if child.try_wait().expect("child wait").is_some() {
+            return marker_count(path, marker) >= target;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!(
+        "child never wrote {target}x {marker:?} to {}",
+        path.display()
+    );
+}
+
+fn stdout_file(dir: &Path, name: &str) -> (std::fs::File, PathBuf) {
+    let path = dir.join(name);
+    let file = std::fs::File::create(&path).expect("stdout capture file");
+    (file, path)
+}
+
+#[test]
+fn sigkill_mid_store_write_leaves_the_library_loadable_and_byte_identical() {
+    use proxim_serve::{ModelLibrary, ModelStore};
+
+    let dir = scratch_dir("store_kill");
+
+    // Reference: one clean churn round; the store entry's exact bytes.
+    // Characterization is deterministic, so every later save of the same
+    // demo model must reproduce these bytes.
+    let ref_store = dir.join("ref_store");
+    let status = serve_bin()
+        .args(["churn", "--rounds", "1", "--store"])
+        .arg(&ref_store)
+        .status()
+        .expect("reference churn");
+    assert!(status.success(), "reference churn failed");
+    let entry_rel = "nand2_demo.pxm";
+    let reference = std::fs::read(ref_store.join(entry_rel)).expect("reference entry");
+
+    // Chaos: a long churn, killed with SIGKILL at a seeded round count —
+    // the kill window covers the whole save loop, including the store's
+    // staged write, fsync, and rename.
+    let chaos_store = dir.join("chaos_store");
+    let (capture, capture_path) = stdout_file(&dir, "churn.out");
+    let target = kill_point(chaos_seed());
+    let mut child = serve_bin()
+        .args(["churn", "--rounds", "1000000", "--store"])
+        .arg(&chaos_store)
+        .stdout(Stdio::from(capture))
+        .spawn()
+        .expect("chaos churn");
+    let reached = wait_for_marker(&mut child, &capture_path, "round=", target);
+    assert!(
+        reached,
+        "churn finished before the kill point ({target} rounds)"
+    );
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap killed child");
+
+    // The store must be loadable right now: whatever instant the kill hit,
+    // the entry is a complete old or complete new container (here: the
+    // same bytes), and any staged temp file is crash debris, not damage.
+    let store = ModelStore::new(&chaos_store);
+    let library = ModelLibrary::open(&store);
+    assert_eq!(
+        library.names(),
+        vec!["nand2_demo".to_string()],
+        "the killed store must serve its entry"
+    );
+    assert!(
+        library.report().quarantined.is_empty(),
+        "an atomic-write kill must never produce a corrupt entry: {:?}",
+        library.report().quarantined
+    );
+    assert_eq!(
+        std::fs::read(chaos_store.join(entry_rel)).expect("post-kill entry"),
+        reference,
+        "post-SIGKILL store entry differs from the reference bytes"
+    );
+
+    // Restart the writer; the store stays byte-identical and clean.
+    let status = serve_bin()
+        .args(["churn", "--rounds", "1", "--store"])
+        .arg(&chaos_store)
+        .status()
+        .expect("restart churn");
+    assert!(status.success(), "churn restart failed");
+    assert_eq!(
+        std::fs::read(chaos_store.join(entry_rel)).expect("post-restart entry"),
+        reference
+    );
+    let library = ModelLibrary::open(&ModelStore::new(&chaos_store));
+    assert!(library.report().quarantined.is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_with_a_socket_full_of_in_flight_queries_drains_cleanly() {
+    use std::os::unix::net::UnixStream;
+
+    const IN_FLIGHT: usize = 64;
+    let dir = scratch_dir("serve_drain");
+    let store = dir.join("store");
+    let socket = dir.join("serve.sock");
+    let metrics = dir.join("final_metrics.json");
+
+    // Seed the store once (cheap, cached nothing): the daemon's --demo
+    // path characterizes and saves before binding the socket.
+    let (capture, capture_path) = stdout_file(&dir, "serve.out");
+    let mut daemon = serve_bin()
+        .args(["serve", "--demo", "--workers", "2", "--queue", "64"])
+        .args(["--stall-ms", "20", "--deadline-ms", "10000"])
+        .arg("--store")
+        .arg(&store)
+        .arg("--socket")
+        .arg(&socket)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .stdout(Stdio::from(capture))
+        .spawn()
+        .expect("daemon spawns");
+    let ready = wait_for_marker(&mut daemon, &capture_path, "ready", 1);
+    assert!(ready, "daemon died before becoming ready");
+
+    // Fill the sky with queries: 64 connections, one query frame each,
+    // none of them read yet. A 20 ms worker stall across 2 workers keeps
+    // the queue deep when the SIGTERM lands.
+    let query =
+        br#"{"op":"query","model":"nand2_demo","events":[{"pin":0,"edge":"fall","t":0.0,"tt":4e-10},{"pin":1,"edge":"fall","t":5e-11,"tt":4e-10}]}"#;
+    let mut frame = ((query.len() as u32).to_be_bytes()).to_vec();
+    frame.extend_from_slice(query);
+    let mut clients: Vec<UnixStream> = (0..IN_FLIGHT)
+        .map(|i| {
+            let mut s =
+                UnixStream::connect(&socket).unwrap_or_else(|e| panic!("client {i} connect: {e}"));
+            s.set_read_timeout(Some(Duration::from_secs(60)))
+                .expect("timeout");
+            s.write_all(&frame)
+                .unwrap_or_else(|e| panic!("client {i} send: {e}"));
+            s
+        })
+        .collect();
+    // Let every frame be read and admitted before pulling the trigger.
+    std::thread::sleep(Duration::from_millis(500));
+
+    let term = Command::new("kill")
+        .arg("-TERM")
+        .arg(daemon.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+
+    // Every in-flight client must receive one COMPLETE, parseable, typed
+    // response — a drain may finish or shed work, but never tear a frame
+    // or silently drop a request.
+    let mut answered = 0usize;
+    for (i, stream) in clients.iter_mut().enumerate() {
+        let mut bytes = Vec::new();
+        stream
+            .read_to_end(&mut bytes)
+            .unwrap_or_else(|e| panic!("client {i} read: {e}"));
+        assert!(bytes.len() >= 4, "client {i}: no response before close");
+        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(bytes.len(), 4 + len, "client {i}: torn response frame");
+        let body = String::from_utf8(bytes[4..].to_vec())
+            .unwrap_or_else(|e| panic!("client {i}: non-UTF8 response: {e}"));
+        let typed = body.contains("\"timing\"")
+            || body.contains("overloaded")
+            || body.contains("deadline_exceeded")
+            || body.contains("shutting_down");
+        assert!(typed, "client {i}: untyped drain response: {body}");
+        if body.contains("\"timing\"") {
+            answered += 1;
+        }
+    }
+    assert!(
+        answered > 0,
+        "admitted work must complete during the drain, not be abandoned"
+    );
+
+    // Clean exit: code 0, a "drained" line, and the flushed final metrics.
+    let status = daemon.wait().expect("reap daemon");
+    assert_eq!(status.code(), Some(0), "drain must exit cleanly");
+    assert_eq!(marker_count(&capture_path, "drained"), 1);
+    let metrics_json = std::fs::read_to_string(&metrics).expect("final metrics flush must exist");
+    let snap = proxim_obs::json::Json::parse(&metrics_json).expect("metrics parse");
+    let requests = snap
+        .get("counters")
+        .and_then(|c| c.get("serve.requests"))
+        .and_then(proxim_obs::json::Json::as_f64)
+        .expect("serve.requests in flushed metrics");
+    assert!(
+        requests >= answered as f64,
+        "flushed metrics must count the drained work ({requests} < {answered})"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

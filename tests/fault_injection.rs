@@ -348,7 +348,9 @@ fn corrupt_cache_entry_is_quarantined_and_recharacterized() {
     assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
     assert_eq!(stats.cache_quarantined, 1);
     assert!(stats.sims_run > 0, "the corrupt entry must not be served");
-    assert!(cache.quarantined_path(key).exists());
+    assert!(cache
+        .quarantined_path(key, proxim_model::persist::fnv1a_64(&bytes))
+        .exists());
     assert!(!model.is_degraded());
 
     // The fresh entry is served on the next call.
