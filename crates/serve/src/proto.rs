@@ -89,6 +89,12 @@ pub struct ProtoError {
     pub kind: ErrorKind,
     /// Human-readable specifics (never parsed by clients).
     pub detail: String,
+    /// Whether the underlying transport failure was a read/write timeout
+    /// (`WouldBlock`/`TimedOut`). Classified from [`std::io::Error::kind`]
+    /// at the I/O boundary — never from the error message, whose text is
+    /// OS- and locale-dependent (Linux spells a socket read timeout
+    /// "Resource temporarily unavailable").
+    pub timeout: bool,
 }
 
 impl ProtoError {
@@ -97,6 +103,7 @@ impl ProtoError {
         Self {
             kind,
             detail: detail.into(),
+            timeout: false,
         }
     }
 }
@@ -199,14 +206,21 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
 }
 
 fn io_proto(e: std::io::Error) -> ProtoError {
-    ProtoError::new(ErrorKind::Internal, format!("transport error: {e}"))
+    let timeout = matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    );
+    ProtoError {
+        kind: ErrorKind::Internal,
+        detail: format!("transport error: {e}"),
+        timeout,
+    }
 }
 
 /// Whether a [`read_frame`]/[`write_frame`] transport error was a timeout
 /// — the slow-client signal, as opposed to a reset or a hard I/O failure.
 pub fn is_timeout(e: &ProtoError) -> bool {
-    e.kind == ErrorKind::Internal
-        && (e.detail.contains("timed out") || e.detail.contains("would block"))
+    e.timeout
 }
 
 /// Assembles the on-wire bytes of one frame: 4-byte big-endian length,
@@ -593,6 +607,33 @@ mod tests {
             let e = read_frame(&mut Cursor::new(buf[..cut].to_vec())).unwrap_err();
             assert_eq!(e.kind, ErrorKind::BadFrame, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn timeouts_are_classified_by_io_error_kind_not_message_text() {
+        // Linux spells a Unix-socket read timeout as ErrorKind::WouldBlock
+        // with "Resource temporarily unavailable (os error 11)" — no
+        // "timed out" substring anywhere. Classification must come from
+        // the kind alone.
+        struct FailingReader(Option<std::io::Error>);
+        impl Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(self.0.take().expect("read called twice"))
+            }
+        }
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let os11 = std::io::Error::new(kind, "Resource temporarily unavailable (os error 11)");
+            let e = read_frame(&mut FailingReader(Some(os11))).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Internal);
+            assert!(is_timeout(&e), "{kind:?} must classify as timeout: {e}");
+        }
+        let reset =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "connection timed out");
+        let e = read_frame(&mut FailingReader(Some(reset))).unwrap_err();
+        assert!(
+            !is_timeout(&e),
+            "a reset is not a timeout even if its message says so: {e}"
+        );
     }
 
     #[test]

@@ -289,8 +289,13 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &UnixListener) {
                     });
                 if spawned.is_err() {
                     // Thread exhaustion: the connection is dropped (the
-                    // stream closes), and the gauge is repaired.
-                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    // stream closes), and both the counter and the gauge
+                    // are repaired.
+                    let remaining = shared.active_conns.fetch_sub(1, Ordering::AcqRel) - 1;
+                    shared
+                        .registry
+                        .gauge(sm::ACTIVE_CONNECTIONS)
+                        .set(remaining as f64);
                 }
             }
             // Non-blocking listener: no pending connection. Sleep one poll
@@ -359,6 +364,14 @@ fn connection_loop(shared: &Arc<Shared>, stream: UnixStream, index: u64) {
                 // unrecoverable on this connection: answer typed
                 // (best-effort — the peer may already be gone) and close.
                 shared.count(sm::PROTO_ERRORS);
+                let e = if is_timeout(&e) {
+                    ProtoError::new(
+                        ErrorKind::BadFrame,
+                        format!("read stalled {} bytes into a frame", reader.delivered),
+                    )
+                } else {
+                    e
+                };
                 let _ = write_response(shared, &stream, &mut faults, &render_error(&e));
                 return;
             }
@@ -469,6 +482,19 @@ fn admit(shared: &Arc<Shared>, model: &str, queries: Vec<WireQuery>, batch: bool
             admitted_at: Instant::now(),
             reply: tx,
         });
+        // Workers exit once they observe the queue empty *and* shutdown
+        // cancelled. Re-check cancellation while still holding the queue
+        // lock: if it landed between the entry check above and the push,
+        // every worker may already have seen empty+cancelled and exited,
+        // stranding the job — pop it back (the lock was never released,
+        // so it is still the tail) and answer typed instead.
+        if shared.shutdown.is_cancelled() {
+            queue.pop_back();
+            return render_error(&ProtoError::new(
+                ErrorKind::ShuttingDown,
+                "daemon is draining; no new work admitted",
+            ));
+        }
         shared.count(sm::REQUESTS);
         shared
             .registry
@@ -478,8 +504,15 @@ fn admit(shared: &Arc<Shared>, model: &str, queries: Vec<WireQuery>, batch: bool
     }
     // Workers always reply (evaluated, deadline-expired, or drain-shed),
     // so this wait only trips if a worker thread died — answer typed
-    // rather than wedging the connection forever.
-    let guard = shared.opts.request_deadline + shared.opts.worker_stall + Duration::from_secs(30);
+    // rather than wedging the connection forever. A job can sit behind up
+    // to queue_capacity stalled predecessors before its turn, so the
+    // guard scales with the queue depth.
+    let guard = shared.opts.request_deadline
+        + shared
+            .opts
+            .worker_stall
+            .saturating_mul(shared.opts.queue_capacity.min(u32::MAX as usize) as u32 + 1)
+        + Duration::from_secs(30);
     rx.recv_timeout(guard).unwrap_or_else(|_| {
         render_error(&ProtoError::new(
             ErrorKind::Internal,
@@ -512,7 +545,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .0;
             }
         };
-        if !shared.opts.worker_stall.is_zero() {
+        // The congestion stall models evaluation cost; a job already past
+        // its deadline gets none (it only needs its typed answer), so a
+        // backlog of expired jobs drains immediately instead of making
+        // live requests wait out queue_capacity stalls.
+        if !shared.opts.worker_stall.is_zero() && job.cancel.check("serve request").is_ok() {
             thread::sleep(shared.opts.worker_stall);
         }
         let response = evaluate(shared, &job);
@@ -656,6 +693,45 @@ mod tests {
         assert_eq!(snap.counter(sm::REQUESTS), 2);
         assert_eq!(snap.counter(sm::SHED), 0);
         assert_eq!(snap.counter(sm::PROTO_ERRORS), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_alive_connection_survives_idle_gaps_between_requests() {
+        let dir = scratch("keepalive");
+        let server = Server::start(
+            test_library(&dir),
+            dir.join("s.sock"),
+            ServeOptions::default(),
+        )
+        .unwrap();
+
+        // One persistent connection, several requests separated by idle
+        // gaps much longer than the internal read-poll tick (but well
+        // under read_timeout). The server must treat those as benign
+        // keep-alive idleness, not drop the connection.
+        let mut stream = UnixStream::connect(server.socket_path()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        for i in 0..3 {
+            if i > 0 {
+                thread::sleep(Duration::from_millis(120));
+            }
+            let resp = proto::call(&mut stream, QUERY)
+                .unwrap_or_else(|e| panic!("request {i} after idle gap failed: {e}"));
+            assert!(resp.contains("\"timing\""), "{resp}");
+        }
+        drop(stream);
+
+        server.begin_shutdown();
+        let snap = server.join();
+        assert_eq!(snap.counter(sm::REQUESTS), 3);
+        assert_eq!(
+            snap.counter(sm::PROTO_ERRORS),
+            0,
+            "idle gaps must not count as protocol errors"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
