@@ -34,6 +34,7 @@ step 15m "resilience: fault injection"       cargo test -q --features fault-inje
 step 15m "batch: byte identity + eviction"   cargo test -q --features fault-injection --test batch_identity
 step 15m "audit: invariants + self-repair"   cargo test -q --features fault-injection --test audit
 step 10m "observability: trace round-trip"   cargo test -q --test observability
+step 10m "observability: flight + serve"     cargo test -q --test flight_recorder --test serve_observability
 step 15m "chaos: SIGKILL/SIGTERM + resume"   cargo test -q --test chaos
 step 15m "serve: malformed-input corpus"     cargo test -q --features fault-injection --test serve_robustness
 
@@ -72,8 +73,73 @@ serve_smoke() {
 export -f serve_smoke
 step 10m "serve: daemon smoke + drain"       bash -c serve_smoke
 
+# Observability smoke: the same daemon with tracing fully on — JSONL sink
+# (PROXIM_TRACE), per-request head sampling, flight recorder armed. Drives
+# the whole introspection plane over the wire: a traced query whose
+# response echoes the client trace_id with a per-phase breakdown, a
+# Prometheus scrape (the obs CLI validates the exposition syntax before
+# printing it), a runtime knob flip plus a live flight-dump fetch, and a
+# SIGTERM drain that must leave both the sink file and the post-mortem
+# dump holding the traced request. Both JSONL artifacts must convert
+# cleanly to Chrome traces.
+obs_smoke() {
+    set -euo pipefail
+    local dir pid rc out
+    dir="$(mktemp -d)"
+    PROXIM_TRACE="${dir}/trace.jsonl" ./target/release/proxim_serve serve \
+        --store "${dir}/store" --socket "${dir}/obs.sock" \
+        --sample-every 1 --flight-out "${dir}/flight.jsonl" \
+        --metrics-out "${dir}/metrics.json" \
+        --demo >"${dir}/serve.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 600); do
+        grep -q '^ready ' "${dir}/serve.log" 2>/dev/null && break
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    grep -q '^ready ' "${dir}/serve.log" || {
+        echo "daemon never became ready:" >&2
+        cat "${dir}/serve.log" >&2
+        return 1
+    }
+    out="$(./target/release/proxim_serve query --socket "${dir}/obs.sock" --json \
+        '{"op":"query","model":"nand2_demo","trace_id":"ci-obs-1","events":[{"pin":0,"edge":"rise","t":0.0,"tt":4e-10},{"pin":1,"edge":"rise","t":5e-11,"tt":4e-10}]}')"
+    echo "$out" | grep -q '"trace_id":"ci-obs-1"' || { echo "no trace_id echo: $out" >&2; return 1; }
+    echo "$out" | grep -q '"breakdown"' || { echo "no phase breakdown: $out" >&2; return 1; }
+    ./target/release/proxim_serve obs --socket "${dir}/obs.sock" --prom \
+        >"${dir}/scrape.prom" || { echo "prometheus scrape failed" >&2; return 1; }
+    grep -q '^# TYPE serve_requests counter' "${dir}/scrape.prom" || {
+        echo "exposition missing serve_requests:" >&2
+        cat "${dir}/scrape.prom" >&2
+        return 1
+    }
+    ./target/release/proxim_serve obs --socket "${dir}/obs.sock" \
+        --slow-ms 1 --dump "${dir}/live_dump.jsonl" >"${dir}/obs_flip.out"
+    grep -q '"slow_ms":1' "${dir}/obs_flip.out" || {
+        echo "runtime obs flip not echoed:" >&2
+        cat "${dir}/obs_flip.out" >&2
+        return 1
+    }
+    head -1 "${dir}/live_dump.jsonl" | grep -q '"t":"flight"' || { echo "bad dump header" >&2; return 1; }
+    grep -q 'ci-obs-1' "${dir}/live_dump.jsonl" || { echo "traced request missing from live dump" >&2; return 1; }
+    kill -TERM "$pid"
+    wait "$pid" && rc=0 || rc=$?
+    [ "$rc" -eq 0 ] || { echo "daemon exited ${rc} after SIGTERM" >&2; return 1; }
+    grep -q '^drained ' "${dir}/serve.log" || { echo "no drained marker" >&2; return 1; }
+    grep -q 'ci-obs-1' "${dir}/flight.jsonl" || { echo "traced request missing from post-SIGTERM dump" >&2; return 1; }
+    grep -q '"name":"serve.request"' "${dir}/trace.jsonl" || { echo "no serve.request span in sink" >&2; return 1; }
+    ./target/release/trace2chrome "${dir}/trace.jsonl" -o "${dir}/trace.chrome.json"
+    ./target/release/trace2chrome "${dir}/flight.jsonl" -o "${dir}/flight.chrome.json"
+    [ -s "${dir}/trace.chrome.json" ] && [ -s "${dir}/flight.chrome.json" ] || return 1
+    rm -rf "$dir"
+}
+export -f obs_smoke
+step 10m "serve: tracing-on smoke + scrape"  bash -c obs_smoke
+
 step 15m "bench: characterization pipeline"  ./target/release/bench_characterize --out BENCH_characterize.json --scaling
 step 5m  "bench: pool smoke (jobs = 2)"      ./target/release/bench_characterize --pool-smoke
-step 10m "bench: serve latency + shed rate"  ./target/release/bench_serve --out BENCH_serve.json
+# bench_serve carries the trace-overhead gate: traced-on (shipped config)
+# must stay within 5% of traced-off, measured on process-CPU-per-request.
+step 15m "bench: serve latency + trace gate" ./target/release/bench_serve --out BENCH_serve.json
 
 echo "==> CI OK"

@@ -348,6 +348,15 @@ impl CheckpointJournal {
         };
         let line = checksummed(&payload);
         let mut inner = self.lock();
+        // The record event lands in the flight ring *before* the append,
+        // and the mirror dump below is written *after* it, all under the
+        // journal lock. A `SIGKILL` at any instant therefore leaves the
+        // on-disk dump within one entry of the journal tail: before the
+        // append they agree, between append and dump the journal is
+        // exactly one ahead. The chaos suite asserts this invariant.
+        let _ = obs::event("char.checkpoint.record")
+            .arg("phase", phase)
+            .arg("idx", idx);
         let result = inner.file.write_all(format!("{line}\n").as_bytes());
         if let Err(e) = result {
             let _ = obs::event("char.checkpoint.write_failed")
@@ -362,6 +371,11 @@ impl CheckpointJournal {
         if inner.since_sync >= inner.sync_every {
             let _ = inner.file.sync_data();
             inner.since_sync = 0;
+        }
+        if obs::flight::sync_dump_armed() {
+            if let Some(path) = obs::flight::armed_dump_path() {
+                let _ = crate::persist::atomic_write(&path, obs::flight::dump().as_bytes());
+            }
         }
     }
 

@@ -208,6 +208,10 @@ impl ProximityModel {
         opts: &CharacterizeOptions,
         control: &RunControl,
     ) -> Result<(Self, CharStats), ModelError> {
+        // Arm the flight recorder from the environment (PROXIM_FLIGHT):
+        // long characterization runs get the same post-mortem black box as
+        // the daemon, without asking for a full trace file.
+        obs::flight::init_from_env();
         let journal = match &control.checkpoint {
             Some(cfg) => {
                 let key = crate::persist::ModelCache::key(cell, tech, opts)?;
@@ -221,6 +225,12 @@ impl ProximityModel {
         // cancels the token gets its final checkpoint flush here).
         if let Some(j) = &journal {
             j.flush();
+        }
+        // The flight dump rides the same every-exit-path guarantee: if a
+        // dump path is armed, the ring's view of this run lands on disk
+        // whether the run finished, failed, or was cancelled.
+        if let Some(path) = obs::flight::armed_dump_path() {
+            let _ = crate::persist::atomic_write(&path, obs::flight::dump().as_bytes());
         }
         result
     }

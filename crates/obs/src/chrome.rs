@@ -4,9 +4,12 @@
 //!
 //! Mapping: `span` records become complete events (`"ph":"X"`, carrying
 //! `ts`/`dur` in microseconds on the span's thread track), `event` records
-//! become thread-scoped instant events (`"ph":"i"`, `"s":"t"`), and
-//! `metrics` records are skipped (they are registry state, not timeline
-//! data). All events share `pid` 1 — the trace is one process.
+//! become thread-scoped instant events (`"ph":"i"`, `"s":"t"`), `counter`
+//! records and the counter/gauge samples inside `metrics` records become
+//! counter-track events (`"ph":"C"`) so queue depth and active connections
+//! render as graphs alongside the spans, and `flight` dump headers are
+//! skipped (they describe the dump, not the timeline). All events share
+//! `pid` 1 — the trace is one process.
 
 use crate::json::{push_escaped, push_f64, Json};
 use std::fmt;
@@ -77,6 +80,20 @@ fn push_chrome_args(out: &mut String, record: &Json) {
     out.push('}');
 }
 
+/// Appends one `"ph":"C"` counter-track event. Counter tracks are
+/// per-process in the trace viewer, so no `tid` is attached.
+fn push_counter_event(out: &mut String, first: &mut bool, name: &str, ts: u64, v: f64) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"ph\":\"C\",\"cat\":\"counter\",\"name\":");
+    push_escaped(out, name);
+    out.push_str(&format!(",\"pid\":1,\"ts\":{ts},\"args\":{{\"value\":"));
+    push_f64(out, v);
+    out.push_str("}}");
+}
+
 /// Converts JSONL trace text to a Chrome `trace_event` document
 /// (`{"traceEvents":[...]}`). Blank lines are skipped; any malformed line
 /// fails the conversion with its line number.
@@ -130,8 +147,31 @@ pub fn chrome_trace(jsonl: &str) -> Result<String, ChromeError> {
                 push_chrome_args(&mut out, &record);
                 out.push('}');
             }
-            // Registry snapshots are not timeline data.
-            "metrics" => {}
+            "counter" => {
+                let name = field_str(&record, "name", lineno)?;
+                let ts = field_u64(&record, "ts", lineno)?;
+                let v = record.get("v").and_then(Json::as_f64).unwrap_or(0.0);
+                push_counter_event(&mut out, &mut first, name, ts, v);
+            }
+            // Registry snapshots: the scalar samples inside become one
+            // counter-track point each at the snapshot's timestamp, so a
+            // run that periodically emits metrics gets step graphs.
+            "metrics" => {
+                let ts = record.get("ts").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                if let Some(data) = record.get("data") {
+                    for group in ["counters", "gauges"] {
+                        if let Some(Json::Obj(members)) = data.get(group) {
+                            for (name, v) in members {
+                                let Some(v) = v.as_f64() else { continue };
+                                push_counter_event(&mut out, &mut first, name, ts, v);
+                            }
+                        }
+                    }
+                }
+            }
+            // Flight-recorder dump headers describe the dump, not the
+            // timeline — a dump converts like any other trace.
+            "flight" => {}
             other => {
                 return Err(ChromeError {
                     line: lineno,
@@ -150,7 +190,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn converts_spans_events_and_skips_metrics() {
+    fn converts_spans_events_and_empty_metrics() {
         let jsonl = concat!(
             "{\"t\":\"span\",\"name\":\"tran\",\"id\":1,\"tid\":1,\"ts\":10,\"dur\":90,\"args\":{\"steps\":\"42\"}}\n",
             "\n",
@@ -160,7 +200,7 @@ mod tests {
         let chrome = chrome_trace(jsonl).unwrap();
         let doc = Json::parse(&chrome).unwrap();
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        assert_eq!(events.len(), 2, "metrics lines are not timeline events");
+        assert_eq!(events.len(), 2, "an empty metrics record adds no events");
         assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(90.0));
         assert_eq!(
@@ -181,6 +221,46 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(1.0)
+        );
+    }
+
+    #[test]
+    fn counter_records_and_metrics_samples_become_counter_tracks() {
+        let jsonl = concat!(
+            "{\"t\":\"counter\",\"name\":\"serve.queue.depth\",\"tid\":1,\"ts\":40,\"v\":3}\n",
+            "{\"t\":\"metrics\",\"ts\":100,\"data\":{\"counters\":{\"serve.requests\":7},",
+            "\"gauges\":{\"serve.connections.active\":2.5},\"histograms\":{}}}\n",
+            "{\"t\":\"flight\",\"recorded\":12,\"capacity\":8,\"dropped\":4}\n",
+        );
+        let chrome = chrome_trace(jsonl).unwrap();
+        let doc = Json::parse(&chrome).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3, "flight headers are skipped: {chrome}");
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("C"));
+        }
+        assert_eq!(
+            events[0].get("name").unwrap().as_str(),
+            Some("serve.queue.depth")
+        );
+        assert_eq!(
+            events[0]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(100.0));
+        assert_eq!(
+            events[2]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(2.5)
         );
     }
 

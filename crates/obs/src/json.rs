@@ -82,6 +82,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -146,6 +154,23 @@ impl Json {
     }
 }
 
+/// Appends `v` in decimal without going through `core::fmt` — the trace
+/// emission hot path renders five integers per span record, and the
+/// formatting machinery's overhead is measurable at serving rates.
+pub fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap_or("0"));
+}
+
 /// Appends a JSON number. Non-finite values (which JSON cannot represent)
 /// are written as `null`.
 pub fn push_f64(out: &mut String, x: f64) {
@@ -159,18 +184,24 @@ pub fn push_f64(out: &mut String, x: f64) {
     }
 }
 
-/// Appends `s` as a quoted, escaped JSON string.
+/// Appends `s` as a quoted, escaped JSON string. The overwhelmingly common
+/// case — no character needs escaping — is a single scan and one bulk
+/// append rather than a per-character loop.
 pub fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        out.push_str(s);
+    } else {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
         }
     }
     out.push('"');

@@ -44,6 +44,8 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod chrome;
+pub mod exposition;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod sink;
@@ -112,6 +114,31 @@ pub mod serve_metrics {
     pub const REQUEST_SECONDS_BOUNDS: &[f64] = &[
         10e-6, 30e-6, 100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 30e-3, 100e-3, 1.0,
     ];
+    /// Histogram: time a request spent in admission (model resolution +
+    /// queue reservation), seconds.
+    pub const PHASE_ADMIT_SECONDS: &str = "serve.phase.admit.seconds";
+    /// Histogram: time a request waited in the admission queue before a
+    /// worker picked it up, seconds.
+    pub const PHASE_QUEUE_SECONDS: &str = "serve.phase.queue_wait.seconds";
+    /// Histogram: time a worker spent evaluating the request, seconds.
+    pub const PHASE_EXECUTE_SECONDS: &str = "serve.phase.execute.seconds";
+    /// Histogram: time spent writing the response frame to the client,
+    /// seconds.
+    pub const PHASE_WRITE_SECONDS: &str = "serve.phase.write.seconds";
+    /// Bucket bounds for the per-phase histograms: phases bottom out well
+    /// under the end-to-end bounds, so these start at a microsecond.
+    pub const PHASE_SECONDS_BOUNDS: &[f64] = &[
+        1e-6, 3e-6, 10e-6, 30e-6, 100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 30e-3, 100e-3, 1.0,
+    ];
+    /// Counter: requests whose end-to-end latency crossed the slow-request
+    /// threshold (they are force-sampled into the trace and logged).
+    pub const SLOW: &str = "serve.slow";
+    /// Counter: requests whose trace was emitted to the JSONL sink (head
+    /// sampling plus forced slow samples).
+    pub const TRACE_SAMPLED: &str = "serve.trace.sampled";
+    /// Gauge: daemon uptime in seconds, refreshed on every snapshot the
+    /// introspection plane renders.
+    pub const UPTIME_SECONDS: &str = "serve.uptime.seconds";
 }
 
 use std::path::PathBuf;

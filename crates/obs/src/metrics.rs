@@ -309,7 +309,10 @@ impl Snapshot {
     }
 
     /// Renders a plain-text summary table (one metric per line, aligned),
-    /// suitable for an end-of-run report on stderr or stdout.
+    /// suitable for an end-of-run report on stderr or stdout. Lines are in
+    /// global name order regardless of metric kind, so two snapshots of
+    /// the same registry state render byte-identically — summary diffs
+    /// and test assertions can rely on the order.
     pub fn render_summary(&self) -> String {
         let mut lines: Vec<(String, String)> = Vec::new();
         for (name, v) in &self.counters {
@@ -331,6 +334,7 @@ impl Snapshot {
                 ),
             ));
         }
+        lines.sort_by(|a, b| a.0.cmp(&b.0));
         let width = lines.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
         for (name, value) in lines {
@@ -488,6 +492,43 @@ mod tests {
                 .as_f64(),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn summary_is_globally_name_sorted_and_deterministic() {
+        let reg = Registry::new();
+        // Register in an order that interleaves kinds alphabetically:
+        // a gauge that sorts before a counter, a histogram in between.
+        reg.counter("z.count").add(1);
+        reg.gauge("a.gauge").set(2.0);
+        reg.histogram("m.hist", &[1.0]).observe(0.5);
+        reg.counter("b.count").add(3);
+        let summary = reg.snapshot().render_summary();
+        let names: Vec<&str> = summary
+            .lines()
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(names, vec!["a.gauge", "b.count", "m.hist", "z.count"]);
+        // Byte-identical across repeated renders of the same state.
+        assert_eq!(summary, reg.snapshot().render_summary());
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let make = |order_flip: bool| {
+            let reg = Registry::new();
+            let names = if order_flip {
+                ["b", "a", "c"]
+            } else {
+                ["c", "b", "a"]
+            };
+            for n in names {
+                reg.counter(n).add(1);
+                reg.gauge(format!("{n}.g").as_str()).set(1.0);
+            }
+            reg.snapshot().to_json()
+        };
+        assert_eq!(make(false), make(true), "registration order must not leak");
     }
 
     #[test]

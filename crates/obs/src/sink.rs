@@ -1,22 +1,90 @@
 //! The process-wide trace sink: where emitted JSONL lines go.
 //!
 //! At most one sink is installed at a time. Emission sites call
-//! [`write_line`], which is a no-op when nothing is installed; the
-//! [`crate::trace_enabled`] fast path checks [`is_installed`] first, so the
-//! mutex here is only touched when tracing is actually armed.
+//! [`write_line`] / [`write_block`], which are no-ops when nothing is
+//! installed; the [`crate::trace_enabled`] fast path checks
+//! [`is_installed`] first, so the lock here is only touched when tracing
+//! is actually armed.
+//!
+//! # Two sink shapes
+//!
+//! [`install_writer`] installs a *direct* sink: every record is written
+//! through synchronously. Tests use this to capture emission in memory
+//! and see records the moment they are emitted.
+//!
+//! [`install_jsonl`] installs a *double-buffered file* sink: emitters
+//! append to an in-memory front buffer (a lock plus a memcpy — tens of
+//! nanoseconds) and a background flusher thread swaps the buffer out and
+//! does the actual file I/O on its own time. At serving rates the file
+//! write is the dominant cost of tracing, and inlining it would make
+//! every concurrent emitter queue behind whichever one the page cache
+//! decided to throttle; double-buffering moves that cost off the serving
+//! path entirely. The front buffer is bounded — if the flusher cannot
+//! keep up, new records are dropped (counted, reported once on stderr)
+//! rather than letting memory grow without bound.
 //!
 //! A sink that starts failing (disk full, closed pipe) is dropped after
 //! reporting once on stderr — observability must never take the workload
 //! down.
 
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Hard cap on the front buffer: ~32 MB of pending trace is a flusher
+/// that has fallen hopelessly behind, not a burst worth absorbing.
+const MAX_PENDING_BYTES: usize = 32 << 20;
+
+/// How often the flusher thread drains the front buffer.
+const FLUSH_INTERVAL: Duration = Duration::from_millis(20);
+
+/// The double-buffered file sink shared between emitters and the flusher.
+struct Buffered {
+    /// Front buffer emitters append to.
+    pending: Mutex<String>,
+    /// Back buffer the flusher swaps in; kept (capacity and all) between
+    /// drains so steady-state emission never allocates or faults fresh
+    /// pages — `mem::take` here would hand emitters a zero-capacity
+    /// string to regrow every 20 ms.
+    back: Mutex<String>,
+    /// The output file; only the flusher and explicit [`flush`] take it.
+    file: Mutex<File>,
+    /// Tells the flusher thread to drain once more and exit.
+    stop: AtomicBool,
+    /// Records dropped because the front buffer was full.
+    dropped: AtomicU64,
+}
+
+impl Buffered {
+    /// Swaps the front buffer out and writes it to the file. Returns
+    /// `false` when the file write failed (the sink should be dropped).
+    fn drain(&self) -> bool {
+        let mut back = lock(&self.back);
+        back.clear();
+        std::mem::swap(&mut *lock(&self.pending), &mut back);
+        if back.is_empty() {
+            return true;
+        }
+        let mut file = lock(&self.file);
+        let ok = file.write_all(back.as_bytes()).is_ok();
+        ok && file.flush().is_ok()
+    }
+}
+
+enum Sink {
+    Direct(Box<dyn Write + Send>),
+    Buffered(Arc<Buffered>),
+}
 
 static INSTALLED: AtomicBool = AtomicBool::new(false);
-static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Whether a sink is currently installed (lock-free).
 #[inline]
@@ -24,30 +92,75 @@ pub fn is_installed() -> bool {
     INSTALLED.load(Ordering::Relaxed)
 }
 
-fn guard() -> std::sync::MutexGuard<'static, Option<Box<dyn Write + Send>>> {
-    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+fn guard() -> MutexGuard<'static, Option<Sink>> {
+    lock(&SINK)
 }
 
-/// Installs a buffered JSONL sink writing to `path` (truncating any
-/// existing file). Replaces and flushes any previous sink.
+/// Flushes and drops the sink currently in `slot`, stopping its flusher
+/// thread if it has one.
+fn retire(slot: &mut Option<Sink>) {
+    match slot.take() {
+        Some(Sink::Direct(mut w)) => {
+            w.flush().ok();
+        }
+        Some(Sink::Buffered(b)) => {
+            b.stop.store(true, Ordering::Relaxed);
+            b.drain();
+            let dropped = b.dropped.load(Ordering::Relaxed);
+            if dropped > 0 {
+                eprintln!("proxim-obs: trace sink dropped {dropped} records (flusher fell behind)");
+            }
+        }
+        None => {}
+    }
+}
+
+/// Installs a double-buffered JSONL sink writing to `path` (truncating
+/// any existing file): emitters pay a lock and a memcpy, a background
+/// flusher thread pays the file I/O. Replaces and flushes any previous
+/// sink.
 ///
 /// # Errors
 ///
 /// Returns the I/O error when the file cannot be created.
 pub fn install_jsonl(path: &Path) -> std::io::Result<()> {
     let file = File::create(path)?;
-    install_writer(Box::new(BufWriter::new(file)));
+    let buffered = Arc::new(Buffered {
+        pending: Mutex::new(String::new()),
+        back: Mutex::new(String::new()),
+        file: Mutex::new(file),
+        stop: AtomicBool::new(false),
+        dropped: AtomicU64::new(0),
+    });
+    let flusher = Arc::clone(&buffered);
+    std::thread::Builder::new()
+        .name("obs-sink-flush".into())
+        .spawn(move || loop {
+            std::thread::sleep(FLUSH_INTERVAL);
+            let stopping = flusher.stop.load(Ordering::Relaxed);
+            if !flusher.drain() {
+                eprintln!("proxim-obs: trace sink write failed; tracing disabled");
+                INSTALLED.store(false, Ordering::Relaxed);
+                return;
+            }
+            if stopping {
+                return;
+            }
+        })?;
+    let mut slot = guard();
+    retire(&mut slot);
+    *slot = Some(Sink::Buffered(buffered));
+    INSTALLED.store(true, Ordering::Relaxed);
     Ok(())
 }
 
-/// Installs an arbitrary writer as the sink (used by tests to capture
-/// emission in memory). Replaces and flushes any previous sink.
+/// Installs an arbitrary writer as a *direct* (synchronous) sink — used
+/// by tests to capture emission in memory and observe records
+/// immediately. Replaces and flushes any previous sink.
 pub fn install_writer(w: Box<dyn Write + Send>) {
     let mut slot = guard();
-    if let Some(mut old) = slot.take() {
-        old.flush().ok();
-    }
-    *slot = Some(w);
+    retire(&mut slot);
+    *slot = Some(Sink::Direct(w));
     INSTALLED.store(true, Ordering::Relaxed);
 }
 
@@ -55,37 +168,81 @@ pub fn install_writer(w: Box<dyn Write + Send>) {
 pub fn uninstall() {
     let mut slot = guard();
     INSTALLED.store(false, Ordering::Relaxed);
-    if let Some(mut old) = slot.take() {
-        old.flush().ok();
-    }
+    retire(&mut slot);
 }
 
-/// Flushes the current sink without removing it.
+/// Flushes the current sink without removing it: pending buffered records
+/// are drained to the file synchronously, so a caller that just emitted
+/// can read them back from disk when this returns.
 pub fn flush() {
     if !is_installed() {
         return;
     }
-    if let Some(w) = guard().as_mut() {
-        w.flush().ok();
+    match guard().as_mut() {
+        Some(Sink::Direct(w)) => {
+            w.flush().ok();
+        }
+        Some(Sink::Buffered(b)) => {
+            b.drain();
+        }
+        None => {}
+    }
+}
+
+/// Appends `text` (which must be newline-terminated) to the sink. On a
+/// direct-sink write error the sink is dropped and the error reported once
+/// on stderr; on a full buffered sink the record is dropped and counted.
+fn append(text: &str) {
+    let mut slot = guard();
+    match slot.as_mut() {
+        Some(Sink::Direct(w)) => {
+            let failed = w.write_all(text.as_bytes()).is_err();
+            if failed {
+                eprintln!("proxim-obs: trace sink write failed; tracing disabled");
+                INSTALLED.store(false, Ordering::Relaxed);
+                *slot = None;
+            }
+        }
+        Some(Sink::Buffered(b)) => {
+            let mut pending = lock(&b.pending);
+            if pending.len() + text.len() > MAX_PENDING_BYTES {
+                b.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                pending.push_str(text);
+            }
+        }
+        None => {}
     }
 }
 
 /// Writes one line (a newline is appended) to the installed sink. No-op
-/// when no sink is installed. On a write error the sink is dropped and the
-/// error reported once on stderr.
+/// when no sink is installed.
 pub fn write_line(line: &str) {
     if !is_installed() {
         return;
     }
-    let mut slot = guard();
-    let Some(w) = slot.as_mut() else { return };
-    let failed = w
-        .write_all(line.as_bytes())
-        .and_then(|()| w.write_all(b"\n"))
-        .is_err();
-    if failed {
-        eprintln!("proxim-obs: trace sink write failed; tracing disabled");
-        INSTALLED.store(false, Ordering::Relaxed);
-        *slot = None;
+    // One tiny thread-local assembly buffer so the line and its newline
+    // land in the sink as a single append.
+    thread_local! {
+        static LINE_BUF: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
     }
+    LINE_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        buf.push_str(line);
+        buf.push('\n');
+        append(&buf);
+    });
+}
+
+/// Writes a pre-assembled block of newline-terminated lines in one append
+/// under a single sink lock. Hot emission sites that produce a group of
+/// records per unit of work — the serving path writes five spans per
+/// request — use this so the group costs one lock acquisition and one
+/// buffer copy instead of five.
+pub fn write_block(block: &str) {
+    if !is_installed() || block.is_empty() {
+        return;
+    }
+    append(block);
 }

@@ -7,10 +7,14 @@
 //! parent's id without any coordination between threads. An [`Event`] marks
 //! an instant and emits on drop.
 //!
-//! Everything here is inert unless [`crate::trace_enabled`] holds at
-//! construction: an inert span is a `None` payload whose drop does nothing,
-//! so instrumentation left in the hot path costs an atomic load and a
-//! branch.
+//! Everything here is inert unless [`crate::trace_enabled`] or the
+//! [`crate::flight`] recorder holds at construction: an inert span is a
+//! `None` payload whose drop does nothing, so instrumentation left in the
+//! hot path costs an atomic load and a branch. A live record is routed to
+//! the JSONL sink (when tracing is on) and to the flight-recorder ring
+//! (when it is enabled) — the ring captures every record even when no
+//! sink is installed, which is what makes post-mortem dumps possible on
+//! processes that never asked for a trace file.
 //!
 //! ## Record formats (one JSON object per line)
 //!
@@ -23,6 +27,7 @@
 //! `ts`/`dur` are microseconds since the process trace epoch (the first
 //! timestamped call), matching the Chrome `trace_event` clock domain.
 
+use crate::flight;
 use crate::json::push_escaped;
 use crate::sink;
 use std::cell::RefCell;
@@ -71,11 +76,27 @@ struct SpanData {
 #[must_use = "a span measures its scope; dropping it immediately records nothing useful"]
 pub struct Span(Option<SpanData>);
 
+/// Whether span/event records have anywhere to go: the sink (tracing on)
+/// or the flight-recorder ring.
+#[inline]
+fn recording() -> bool {
+    crate::trace_enabled() || flight::enabled()
+}
+
+/// Routes one finished record line: to the sink when tracing is enabled,
+/// and to the flight ring when the recorder is on.
+fn route_line(line: String) {
+    if crate::trace_enabled() {
+        sink::write_line(&line);
+    }
+    flight::record(&line);
+}
+
 /// Opens a span named `name`. Inert (and free beyond the level check) when
-/// tracing is disabled. Attach fields with [`Span::arg`]; the record is
-/// emitted when the returned guard drops.
+/// neither tracing nor the flight recorder is enabled. Attach fields with
+/// [`Span::arg`]; the record is emitted when the returned guard drops.
 pub fn span(name: &str) -> Span {
-    if !crate::trace_enabled() {
+    if !recording() {
         return Span(None);
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -140,7 +161,7 @@ impl Drop for Span {
         ));
         push_args(&mut line, &data.args);
         line.push('}');
-        sink::write_line(&line);
+        route_line(line);
     }
 }
 
@@ -158,10 +179,11 @@ struct EventData {
 pub struct Event(Option<EventData>);
 
 /// Marks an instant event named `name`, recorded inside the currently open
-/// span (if any). Inert when tracing is disabled. Attach fields with
-/// [`Event::arg`]; the record is emitted when the value drops.
+/// span (if any). Inert when neither tracing nor the flight recorder is
+/// enabled. Attach fields with [`Event::arg`]; the record is emitted when
+/// the value drops.
 pub fn event(name: &str) -> Event {
-    if !crate::trace_enabled() {
+    if !recording() {
         return Event(None);
     }
     Event(Some(EventData {
@@ -195,7 +217,7 @@ impl Drop for Event {
         }
         push_args(&mut line, &data.args);
         line.push('}');
-        sink::write_line(&line);
+        route_line(line);
     }
 }
 
@@ -216,10 +238,11 @@ fn push_args(line: &mut String, args: &[(String, String)]) {
 }
 
 /// Writes a metrics-snapshot record (`{"t":"metrics","data":{...}}`) to the
-/// sink. The Chrome converter skips these; offline tools read them for
-/// end-of-run registry state. No-op when tracing is disabled.
+/// sink and the flight ring. The Chrome converter turns the counter and
+/// gauge samples inside into counter-track events; offline tools read them
+/// for end-of-run registry state. No-op when nothing is recording.
 pub fn emit_metrics(snapshot: &crate::metrics::Snapshot) {
-    if !crate::trace_enabled() {
+    if !recording() {
         return;
     }
     let mut line = String::from("{\"t\":\"metrics\",\"ts\":");
@@ -227,5 +250,190 @@ pub fn emit_metrics(snapshot: &crate::metrics::Snapshot) {
     line.push_str(",\"data\":");
     line.push_str(&snapshot.to_json());
     line.push('}');
-    sink::write_line(&line);
+    route_line(line);
+}
+
+/// Writes one counter-sample record
+/// (`{"t":"counter","name":...,"ts":...,"v":...}`): a single metric value
+/// at an instant, cheap enough to emit from inside a serving loop. The
+/// Chrome converter renders these as counter tracks, so gauges like queue
+/// depth show up in Perfetto alongside the spans they explain. No-op when
+/// nothing is recording.
+pub fn emit_counter(name: &str, value: f64) {
+    if !recording() {
+        return;
+    }
+    use crate::json::push_u64;
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"t\":\"counter\",\"name\":");
+    push_escaped(&mut line, name);
+    line.push_str(",\"tid\":");
+    push_u64(&mut line, current_tid());
+    line.push_str(",\"ts\":");
+    push_u64(&mut line, now_us());
+    line.push_str(",\"v\":");
+    crate::json::push_f64(&mut line, value);
+    line.push('}');
+    route_line(line);
+}
+
+/// Emits a span record with explicit timestamps, for callers that measure
+/// a phase with plain clocks and decide only afterwards whether to record
+/// it (the serving path's per-request sampling works this way: every
+/// request is timed, only sampled or slow ones are written to the sink,
+/// and the flight ring sees all of them).
+///
+/// `start_us` is on the [`now_us`] clock. `to_sink` gates the JSONL sink;
+/// the flight ring records whenever it is enabled. Returns the span id for
+/// parenting children, or 0 when nothing recorded.
+pub fn emit_span_at(
+    name: &str,
+    start_us: u64,
+    dur_us: u64,
+    parent: Option<u64>,
+    args: &[(&str, &str)],
+    to_sink: bool,
+) -> u64 {
+    let sink_live = to_sink && crate::trace_enabled();
+    if !sink_live && !flight::enabled() {
+        return 0;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let mut line = String::with_capacity(128);
+    format_span_into(
+        &mut line,
+        name,
+        id,
+        parent,
+        current_tid(),
+        start_us,
+        dur_us,
+        args,
+    );
+    if sink_live {
+        sink::write_line(&line);
+    }
+    flight::record(&line);
+    id
+}
+
+/// Formats one span record into `line`. `write!` into the caller's buffer
+/// keeps the hot emission path allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn format_span_into(
+    line: &mut String,
+    name: &str,
+    id: u64,
+    parent: Option<u64>,
+    tid: u64,
+    start_us: u64,
+    dur_us: u64,
+    args: &[(&str, &str)],
+) {
+    use crate::json::push_u64;
+    line.push_str("{\"t\":\"span\",\"name\":");
+    push_escaped(line, name);
+    line.push_str(",\"id\":");
+    push_u64(line, id);
+    if let Some(p) = parent {
+        line.push_str(",\"parent\":");
+        push_u64(line, p);
+    }
+    line.push_str(",\"tid\":");
+    push_u64(line, tid);
+    line.push_str(",\"ts\":");
+    push_u64(line, start_us);
+    line.push_str(",\"dur\":");
+    push_u64(line, dur_us);
+    if !args.is_empty() {
+        line.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_escaped(line, k);
+            line.push(':');
+            push_escaped(line, v);
+        }
+        line.push('}');
+    }
+    line.push('}');
+}
+
+/// One span in an [`emit_span_tree_at`] batch: a named phase with
+/// explicit timestamps and string args.
+pub struct SpanAt<'a> {
+    /// Span name (e.g. `serve.queue_wait`).
+    pub name: &'a str,
+    /// Start on the [`now_us`] clock.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// String args rendered into the record's `args` object.
+    pub args: &'a [(&'a str, &'a str)],
+}
+
+thread_local! {
+    /// Reused per-thread buffer for [`emit_span_tree_at`]: the serving
+    /// path emits one fixed tree per request, and reusing the buffer makes
+    /// that emission allocation-free in steady state.
+    static TREE_BUF: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Emits a parent span and its children as one batch: all records are
+/// formatted into one per-thread buffer and hit the sink as a single
+/// block write under a single lock instead of one per span — the
+/// difference between tracing being nearly free and tracing being a tax
+/// when a serving loop emits a fixed little tree per request. Children
+/// are parented to the parent's fresh id. Same routing as
+/// [`emit_span_at`]; returns the parent's id, or 0 when nothing was
+/// recorded.
+pub fn emit_span_tree_at(parent: &SpanAt<'_>, children: &[SpanAt<'_>], to_sink: bool) -> u64 {
+    let sink_live = to_sink && crate::trace_enabled();
+    if !sink_live && !flight::enabled() {
+        return 0;
+    }
+    // One contended fetch_add for the whole tree: span ids are only
+    // required to be unique, and at serving rates five separate RMWs on
+    // the same cache line from every worker is measurable.
+    let parent_id = NEXT_SPAN_ID.fetch_add(1 + children.len() as u64, Ordering::Relaxed);
+    let tid = current_tid();
+    if sink_live {
+        TREE_BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            format_span_into(
+                &mut buf,
+                parent.name,
+                parent_id,
+                None,
+                tid,
+                parent.start_us,
+                parent.dur_us,
+                parent.args,
+            );
+            buf.push('\n');
+            for (i, child) in children.iter().enumerate() {
+                format_span_into(
+                    &mut buf,
+                    child.name,
+                    parent_id + 1 + i as u64,
+                    Some(parent_id),
+                    tid,
+                    child.start_us,
+                    child.dur_us,
+                    child.args,
+                );
+                buf.push('\n');
+            }
+            sink::write_block(&buf);
+        });
+    }
+    // The whole tree goes into the flight ring as ONE record occupying one
+    // slot — a request is the ring's natural post-mortem unit, so an
+    // N-slot ring holds N *requests* of history. The ring keeps the
+    // tree unformatted (rendering happens at dump time), which is why the
+    // non-sampled common case never pays for JSONL at all.
+    flight::record_tree(parent, children, tid, parent_id);
+    parent_id
 }

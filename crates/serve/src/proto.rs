@@ -126,6 +126,24 @@ pub struct WireQuery {
     pub c_load: Option<f64>,
 }
 
+/// Maximum length of a client-supplied `trace_id`.
+pub const MAX_TRACE_ID_LEN: usize = 64;
+
+/// Runtime observability controls carried by the `obs` op. Every field is
+/// optional: an empty `obs` request is a read of the current configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsControl {
+    /// New process-wide observability level.
+    pub level: Option<proxim_obs::Level>,
+    /// New head-sampling rate: trace 1 in `n` requests (0 disables
+    /// head sampling; slow requests are still force-sampled).
+    pub sample_every: Option<u64>,
+    /// New slow-request threshold in milliseconds.
+    pub slow_ms: Option<u64>,
+    /// Whether to include a flight-recorder dump in the response.
+    pub dump: bool,
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -135,6 +153,10 @@ pub enum Request {
         model: String,
         /// The query itself.
         query: WireQuery,
+        /// Client-supplied trace correlation id, echoed in the response
+        /// and stamped on the request's spans. The server generates one
+        /// when absent.
+        trace_id: Option<String>,
     },
     /// Evaluate up to [`MAX_BATCH_QUERIES`] queries against one model in
     /// a single round trip.
@@ -143,14 +165,23 @@ pub enum Request {
         model: String,
         /// The queries, answered in order.
         queries: Vec<WireQuery>,
+        /// Client-supplied trace correlation id (see [`Request::Query`]).
+        trace_id: Option<String>,
     },
     /// Liveness/readiness probe; answered inline, bypassing the admission
     /// queue so it works under full overload.
     Health,
-    /// A snapshot of the daemon's metrics registry.
+    /// A snapshot of the daemon's metrics registry, uptime, queue depth,
+    /// and in-flight request table.
     Stats,
     /// The names of every servable model.
     List,
+    /// The metrics registry rendered as Prometheus text exposition.
+    /// Answered inline like the other probes.
+    Metrics,
+    /// Flip observability settings at runtime and/or fetch a
+    /// flight-recorder dump. Answered inline so it works under overload.
+    Obs(ObsControl),
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +418,71 @@ fn parse_wire_query(json: &Json) -> Result<WireQuery, ProtoError> {
     Ok(WireQuery { events, c_load })
 }
 
+/// Decodes and validates an optional client-supplied `trace_id`. The id is
+/// echoed into responses and trace records, so the charset is restricted to
+/// keep it harmless in JSONL, log lines, and shell pipelines.
+fn parse_trace_id(json: &Json) -> Result<Option<String>, ProtoError> {
+    let Some(j) = json.get("trace_id") else {
+        return Ok(None);
+    };
+    let s = j
+        .as_str()
+        .ok_or_else(|| bad_request("\"trace_id\" must be a string"))?;
+    if s.is_empty() || s.len() > MAX_TRACE_ID_LEN {
+        return Err(bad_request(format!(
+            "trace_id must be 1..={MAX_TRACE_ID_LEN} characters"
+        )));
+    }
+    if !s
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'))
+    {
+        return Err(bad_request("trace_id may contain only [A-Za-z0-9._:-]"));
+    }
+    Ok(Some(s.to_owned()))
+}
+
+/// Decodes an optional non-negative integer field.
+fn parse_u64_field(json: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    let Some(j) = json.get(key) else {
+        return Ok(None);
+    };
+    let x = finite(j, key)?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(bad_request(format!(
+            "\"{key}\" must be a non-negative integer"
+        )));
+    }
+    Ok(Some(x as u64))
+}
+
+fn parse_obs_control(json: &Json) -> Result<ObsControl, ProtoError> {
+    let level = match json.get("level") {
+        None => None,
+        Some(j) => match j.as_str() {
+            Some("off") => Some(proxim_obs::Level::Off),
+            Some("metrics") => Some(proxim_obs::Level::Metrics),
+            Some("trace") => Some(proxim_obs::Level::Trace),
+            _ => {
+                return Err(bad_request(
+                    "\"level\" must be \"off\", \"metrics\", or \"trace\"",
+                ))
+            }
+        },
+    };
+    let dump = match json.get("dump") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad_request("\"dump\" must be a boolean")),
+    };
+    Ok(ObsControl {
+        level,
+        sample_every: parse_u64_field(json, "sample_every")?,
+        slow_ms: parse_u64_field(json, "slow_ms")?,
+        dump,
+    })
+}
+
 fn parse_model_name(json: &Json) -> Result<String, ProtoError> {
     let name = json
         .get("model")
@@ -418,9 +514,11 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtoError> {
         Some("query") => Ok(Request::Query {
             model: parse_model_name(&json)?,
             query: parse_wire_query(&json)?,
+            trace_id: parse_trace_id(&json)?,
         }),
         Some("batch") => {
             let model = parse_model_name(&json)?;
+            let trace_id = parse_trace_id(&json)?;
             let arr = json
                 .get("queries")
                 .and_then(Json::as_arr)
@@ -438,11 +536,17 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 .iter()
                 .map(parse_wire_query)
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::Batch { model, queries })
+            Ok(Request::Batch {
+                model,
+                queries,
+                trace_id,
+            })
         }
         Some("health") => Ok(Request::Health),
         Some("stats") => Ok(Request::Stats),
         Some("list") => Ok(Request::List),
+        Some("metrics") => Ok(Request::Metrics),
+        Some("obs") => Ok(Request::Obs(parse_obs_control(&json)?)),
         Some(op) => Err(bad_request(format!("unknown op {op:?}"))),
         None => Err(bad_request("request missing \"op\"")),
     }
@@ -492,17 +596,61 @@ fn push_error(out: &mut String, e: &ProtoError) {
     out.push('}');
 }
 
+/// The per-request trace context echoed into a response: the correlation
+/// id plus the server-side phase breakdown in microseconds. The `write`
+/// phase cannot appear here — a response is rendered before its own write
+/// happens — so write time lands only in the trace and the phase
+/// histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEcho {
+    /// The request's correlation id (client-supplied or server-generated).
+    pub trace_id: String,
+    /// Microseconds spent in admission (decode + model resolution + queue
+    /// reservation).
+    pub admit_us: u64,
+    /// Microseconds spent waiting in the admission queue.
+    pub queue_us: u64,
+    /// Microseconds a worker spent evaluating the request.
+    pub execute_us: u64,
+}
+
+fn push_trace_echo(out: &mut String, echo: &TraceEcho) {
+    out.push_str(",\"trace_id\":");
+    push_escaped(out, &echo.trace_id);
+    out.push_str(&format!(
+        ",\"breakdown\":{{\"admit_us\":{},\"queue_us\":{},\"execute_us\":{}}}",
+        echo.admit_us, echo.queue_us, echo.execute_us
+    ));
+}
+
 /// Renders a failed request: `{"ok":false,"error":{...}}`.
 pub fn render_error(e: &ProtoError) -> String {
-    let mut out = String::from("{\"ok\":false,\"error\":");
+    render_error_traced(e, None)
+}
+
+/// Renders a failed request carrying its trace correlation id:
+/// `{"ok":false,"trace_id":...,"error":{...}}`. Shed and expired requests
+/// stay correlatable with their trace records this way.
+pub fn render_error_traced(e: &ProtoError, trace_id: Option<&str>) -> String {
+    let mut out = String::from("{\"ok\":false");
+    if let Some(id) = trace_id {
+        out.push_str(",\"trace_id\":");
+        push_escaped(&mut out, id);
+    }
+    out.push_str(",\"error\":");
     push_error(&mut out, e);
     out.push('}');
     out
 }
 
-/// Renders a successful single query: `{"ok":true,"timing":{...}}`.
-pub fn render_timing(t: &GateTiming) -> String {
-    let mut out = String::from("{\"ok\":true,\"timing\":");
+/// Renders a successful single query:
+/// `{"ok":true[,"trace_id":...,"breakdown":{...}],"timing":{...}}`.
+pub fn render_timing(t: &GateTiming, echo: Option<&TraceEcho>) -> String {
+    let mut out = String::from("{\"ok\":true");
+    if let Some(echo) = echo {
+        push_trace_echo(&mut out, echo);
+    }
+    out.push_str(",\"timing\":");
     push_timing(&mut out, t);
     out.push('}');
     out
@@ -511,8 +659,15 @@ pub fn render_timing(t: &GateTiming) -> String {
 /// Renders a batch response. The envelope is `ok` as long as the *frame*
 /// was servable; each item is independently a timing or a typed error, so
 /// one bad query cannot hide the other answers.
-pub fn render_batch(results: &[Result<GateTiming, ProtoError>]) -> String {
-    let mut out = String::from("{\"ok\":true,\"results\":[");
+pub fn render_batch(
+    results: &[Result<GateTiming, ProtoError>],
+    echo: Option<&TraceEcho>,
+) -> String {
+    let mut out = String::from("{\"ok\":true");
+    if let Some(echo) = echo {
+        push_trace_echo(&mut out, echo);
+    }
+    out.push_str(",\"results\":[");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -679,10 +834,15 @@ mod tests {
         )
         .unwrap();
         match req {
-            Request::Query { model, query } => {
+            Request::Query {
+                model,
+                query,
+                trace_id,
+            } => {
                 assert_eq!(model, "inv");
                 assert_eq!(query.events.len(), 1);
                 assert_eq!(query.c_load, None);
+                assert_eq!(trace_id, None);
             }
             other => panic!("expected query, got {other:?}"),
         }
@@ -733,7 +893,7 @@ mod tests {
             inputs_in_window: 2,
             degradation: Some(DegradedReason::DualSliceMissing),
         };
-        let json = Json::parse(&render_timing(&t)).unwrap();
+        let json = Json::parse(&render_timing(&t, None)).unwrap();
         assert_eq!(json.get("ok").and_then(Json::as_f64), None);
         let timing = json.get("timing").unwrap();
         assert_eq!(
@@ -754,7 +914,7 @@ mod tests {
             Some("overloaded")
         );
 
-        let batch = render_batch(&[Ok(t), Err(err)]);
+        let batch = render_batch(&[Ok(t), Err(err)], None);
         let json = Json::parse(&batch).unwrap();
         assert_eq!(json.get("results").and_then(Json::as_arr).unwrap().len(), 2);
 
@@ -763,5 +923,118 @@ mod tests {
             health.get("status").and_then(Json::as_str),
             Some("draining")
         );
+    }
+
+    #[test]
+    fn trace_echo_rides_along_on_every_response_shape() {
+        let echo = TraceEcho {
+            trace_id: "client-7".into(),
+            admit_us: 12,
+            queue_us: 340,
+            execute_us: 56,
+        };
+        let t = GateTiming {
+            reference_pin: 0,
+            delay: 1e-9,
+            output_transition: 1e-10,
+            output_arrival: 2e-9,
+            output_edge: Edge::Rising,
+            inputs_in_window: 1,
+            degradation: None,
+        };
+        for rendered in [
+            render_timing(&t, Some(&echo)),
+            render_batch(&[Ok(t)], Some(&echo)),
+        ] {
+            let json = Json::parse(&rendered).unwrap();
+            assert_eq!(
+                json.get("trace_id").and_then(Json::as_str),
+                Some("client-7"),
+                "{rendered}"
+            );
+            let b = json.get("breakdown").unwrap();
+            assert_eq!(b.get("admit_us").and_then(Json::as_f64), Some(12.0));
+            assert_eq!(b.get("queue_us").and_then(Json::as_f64), Some(340.0));
+            assert_eq!(b.get("execute_us").and_then(Json::as_f64), Some(56.0));
+        }
+        let err = ProtoError::new(ErrorKind::Overloaded, "queue full");
+        let shed = render_error_traced(&err, Some("client-7"));
+        let json = Json::parse(&shed).unwrap();
+        assert_eq!(
+            json.get("trace_id").and_then(Json::as_str),
+            Some("client-7")
+        );
+        assert!(
+            render_error(&err).starts_with("{\"ok\":false,\"error\""),
+            "untraced errors keep the bare shape"
+        );
+    }
+
+    #[test]
+    fn trace_ids_decode_and_hostile_ones_are_refused() {
+        let with_id = br#"{"op":"query","model":"inv","trace_id":"abc.DEF:7-x_","events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]}"#;
+        match parse_request(with_id).unwrap() {
+            Request::Query { trace_id, .. } => {
+                assert_eq!(trace_id.as_deref(), Some("abc.DEF:7-x_"));
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+        let without = br#"{"op":"batch","model":"inv","queries":[{"events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]}]}"#;
+        match parse_request(without).unwrap() {
+            Request::Batch { trace_id, .. } => assert_eq!(trace_id, None),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        let ev = r#"{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}"#;
+        for bad_id in [
+            "\"\"",
+            "42",
+            "\"has space\"",
+            "\"quote\\\"inside\"",
+            &format!("\"{}\"", "x".repeat(MAX_TRACE_ID_LEN + 1)),
+        ] {
+            let req =
+                format!(r#"{{"op":"query","model":"inv","trace_id":{bad_id},"events":[{ev}]}}"#);
+            assert_eq!(
+                parse_request(req.as_bytes()).unwrap_err().kind,
+                ErrorKind::BadRequest,
+                "{bad_id}"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_and_metrics_ops_decode() {
+        assert!(matches!(
+            parse_request(b"{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        ));
+        // An empty obs request is a configuration read.
+        match parse_request(b"{\"op\":\"obs\"}").unwrap() {
+            Request::Obs(c) => assert_eq!(c, ObsControl::default()),
+            other => panic!("expected obs, got {other:?}"),
+        }
+        let full = br#"{"op":"obs","level":"trace","sample_every":4,"slow_ms":100,"dump":true}"#;
+        match parse_request(full).unwrap() {
+            Request::Obs(c) => {
+                assert_eq!(c.level, Some(proxim_obs::Level::Trace));
+                assert_eq!(c.sample_every, Some(4));
+                assert_eq!(c.slow_ms, Some(100));
+                assert!(c.dump);
+            }
+            other => panic!("expected obs, got {other:?}"),
+        }
+        for bad in [
+            br#"{"op":"obs","level":"loud"}"#.as_slice(),
+            br#"{"op":"obs","sample_every":-1}"#.as_slice(),
+            br#"{"op":"obs","sample_every":1.5}"#.as_slice(),
+            br#"{"op":"obs","dump":"yes"}"#.as_slice(),
+        ] {
+            assert_eq!(
+                parse_request(bad).unwrap_err().kind,
+                ErrorKind::BadRequest,
+                "{}",
+                String::from_utf8_lossy(bad)
+            );
+        }
     }
 }

@@ -35,15 +35,16 @@
 use crate::library::ModelLibrary;
 use crate::proto::{
     self, frame_bytes, is_timeout, model_error_to_proto, parse_request, read_frame, render_batch,
-    render_error, render_health, render_list, render_timing, ErrorKind, ProtoError, Request,
-    WireQuery,
+    render_error, render_error_traced, render_health, render_list, render_timing, ErrorKind,
+    ObsControl, ProtoError, Request, TraceEcho, WireQuery,
 };
 use crate::wirefault::WireFaultStream;
 use proxim_model::{GateTiming, ProximityModel};
+use proxim_obs::json::{push_escaped, push_f64};
 use proxim_obs::serve_metrics as sm;
-use proxim_obs::{Registry, Snapshot};
+use proxim_obs::{exposition, flight, trace, Counter, Gauge, Histogram, Registry, Snapshot};
 use proxim_spice::CancelToken;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -79,6 +80,20 @@ pub struct ServeOptions {
     /// evaluated, so overload tests and benchmarks can congest the queue
     /// deterministically. Zero (the default) in production.
     pub worker_stall: Duration,
+    /// Head-sampling rate for request traces: 1 in `trace_sample_every`
+    /// requests is written to the JSONL sink (when tracing is on). Zero
+    /// disables head sampling; slow requests are force-sampled regardless.
+    /// Adjustable at runtime via the `obs` protocol op.
+    pub trace_sample_every: u64,
+    /// End-to-end latency at or above which a request counts as *slow*:
+    /// it increments [`sm::SLOW`], emits a `serve.slow` event, and is
+    /// force-sampled into the trace. Adjustable at runtime via `obs`.
+    pub slow_threshold: Duration,
+    /// Flight-recorder ring capacity the daemon ensures at start. The
+    /// recorder is process-wide and its capacity is fixed at first enable;
+    /// zero leaves the recorder exactly as the process configured it
+    /// (neither enabled nor disabled).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -91,6 +106,9 @@ impl Default for ServeOptions {
             write_timeout: Duration::from_secs(5),
             drain_grace: Duration::from_secs(5),
             worker_stall: Duration::ZERO,
+            trace_sample_every: 16,
+            slow_threshold: Duration::from_millis(250),
+            flight_capacity: flight::DEFAULT_CAPACITY,
         }
     }
 }
@@ -104,7 +122,44 @@ struct Job {
     /// Deadline clock, started at admission.
     cancel: CancelToken,
     admitted_at: Instant,
-    reply: mpsc::SyncSender<String>,
+    /// Request sequence number (the in-flight table key).
+    seq: u64,
+    /// Correlation id (client-supplied or server-generated).
+    trace_id: String,
+    /// Microseconds the connection spent admitting this job.
+    admit_us: u64,
+    reply: mpsc::SyncSender<WorkerReply>,
+}
+
+/// What a worker hands back: the rendered response plus the phase timings
+/// only it could measure.
+struct WorkerReply {
+    response: String,
+    queue_us: u64,
+    execute_us: u64,
+}
+
+/// One row of the live in-flight request table the `stats` op reports.
+struct InFlight {
+    trace_id: String,
+    op: &'static str,
+    since: Instant,
+    phase: &'static str,
+}
+
+/// The per-request trace context a connection carries from admission to
+/// the end of the response write, where [`finish_request`] turns it into
+/// histograms, sampling decisions, and retroactive spans.
+struct ReqTrace {
+    seq: u64,
+    trace_id: String,
+    op: &'static str,
+    start: Instant,
+    /// Request start on the [`trace::now_us`] clock, for span timestamps.
+    start_ts: u64,
+    admit_us: u64,
+    queue_us: u64,
+    execute_us: u64,
 }
 
 struct Shared {
@@ -116,15 +171,92 @@ struct Shared {
     registry: Arc<Registry>,
     active_conns: AtomicUsize,
     conn_seq: AtomicU64,
+    started: Instant,
+    /// Request sequence counter; also drives head sampling.
+    req_seq: AtomicU64,
+    /// Live copies of the runtime-adjustable observability knobs.
+    sample_every: AtomicU64,
+    slow_us: AtomicU64,
+    /// Queue-depth changes seen; rate-limits the depth counter track
+    /// (see [`Shared::emit_queue_depth`]).
+    depth_emit_seq: AtomicU64,
+    /// The in-flight request table, keyed by request sequence number.
+    inflight: Mutex<BTreeMap<u64, InFlight>>,
+    /// Pre-resolved handles for the metrics touched on every request —
+    /// a registry lookup is a global lock plus a name allocation, which
+    /// is fine per connection but not per request.
+    hot: HotMetrics,
+}
+
+/// Metric handles resolved once at startup for the per-request path.
+struct HotMetrics {
+    requests: Counter,
+    shed: Counter,
+    slow: Counter,
+    trace_sampled: Counter,
+    queue_depth: Gauge,
+    phase_admit: Histogram,
+    phase_queue: Histogram,
+    phase_execute: Histogram,
+    phase_write: Histogram,
+}
+
+impl HotMetrics {
+    fn resolve(registry: &Registry) -> Self {
+        let hist = |name| registry.histogram(name, sm::PHASE_SECONDS_BOUNDS);
+        Self {
+            requests: registry.counter(sm::REQUESTS),
+            shed: registry.counter(sm::SHED),
+            slow: registry.counter(sm::SLOW),
+            trace_sampled: registry.counter(sm::TRACE_SAMPLED),
+            queue_depth: registry.gauge(sm::QUEUE_DEPTH),
+            phase_admit: hist(sm::PHASE_ADMIT_SECONDS),
+            phase_queue: hist(sm::PHASE_QUEUE_SECONDS),
+            phase_execute: hist(sm::PHASE_EXECUTE_SECONDS),
+            phase_write: hist(sm::PHASE_WRITE_SECONDS),
+        }
+    }
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros() as u64
+}
+
 impl Shared {
     fn count(&self, name: &str) {
         self.registry.counter(name).incr();
+    }
+
+    fn set_phase(&self, seq: u64, phase: &'static str) {
+        if let Some(e) = lock(&self.inflight).get_mut(&seq) {
+            e.phase = phase;
+        }
+    }
+
+    /// Updates the queue-depth gauge and, for every 64th depth change,
+    /// emits a counter-track record for it. The gauge (and the live
+    /// `stats` op reading it) is always exact; the trace record is a
+    /// graph sample, and one in 64 is far denser than any viewer renders
+    /// at serving rates. The limiter counts changes rather than watching
+    /// the clock because a clock read is a syscall on some hosts — two
+    /// per request is a measurable tracing tax, a relaxed fetch_add is
+    /// not.
+    fn emit_queue_depth(&self, depth: usize) {
+        self.hot.queue_depth.set(depth as f64);
+        if !(proxim_obs::trace_enabled() || flight::enabled()) {
+            return;
+        }
+        if self
+            .depth_emit_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(64)
+        {
+            trace::emit_counter(sm::QUEUE_DEPTH, depth as f64);
+        }
     }
 }
 
@@ -165,10 +297,25 @@ impl Server {
             .add(library.report().quarantined.len() as u64);
         // Touch the headline metrics so a flush from an idle daemon still
         // reports them as explicit zeros.
-        for name in [sm::REQUESTS, sm::SHED, sm::PROTO_ERRORS, sm::CONNECTIONS] {
+        for name in [
+            sm::REQUESTS,
+            sm::SHED,
+            sm::PROTO_ERRORS,
+            sm::CONNECTIONS,
+            sm::SLOW,
+            sm::TRACE_SAMPLED,
+        ] {
             registry.counter(name).add(0);
         }
 
+        // The flight recorder is the daemon's black box: ensure it is on
+        // (process-wide; capacity fixed at the first enable anywhere in
+        // the process) unless the caller explicitly opted out.
+        if opts.flight_capacity > 0 {
+            flight::enable(opts.flight_capacity);
+        }
+
+        let hot = HotMetrics::resolve(&registry);
         let shared = Arc::new(Shared {
             library,
             opts: opts.clone(),
@@ -178,6 +325,13 @@ impl Server {
             registry,
             active_conns: AtomicUsize::new(0),
             conn_seq: AtomicU64::new(0),
+            started: Instant::now(),
+            req_seq: AtomicU64::new(0),
+            sample_every: AtomicU64::new(opts.trace_sample_every),
+            slow_us: AtomicU64::new(opts.slow_threshold.as_micros() as u64),
+            depth_emit_seq: AtomicU64::new(0),
+            inflight: Mutex::new(BTreeMap::new()),
+            hot,
         });
 
         let workers = (0..opts.workers.max(1))
@@ -377,11 +531,97 @@ fn connection_loop(shared: &Arc<Shared>, stream: UnixStream, index: u64) {
             }
             Err(_) => return, // transport failure: nothing to answer into
         };
-        let response = respond_to(shared, &payload);
-        if write_response(shared, &stream, &mut faults, &response).is_err() {
+        let (response, req_trace) = respond_to(shared, &payload);
+        if let Some(t) = &req_trace {
+            shared.set_phase(t.seq, "write");
+        }
+        let write_start = Instant::now();
+        let wrote = write_response(shared, &stream, &mut faults, &response);
+        // Finish observability even when the write failed: the request
+        // still happened, and the flight ring is how a post-mortem learns
+        // about responses the client never received.
+        if let Some(t) = req_trace {
+            finish_request(shared, &t, write_start.elapsed());
+        }
+        if wrote.is_err() {
             return;
         }
     }
+}
+
+/// Turns a completed request's measurements into phase histograms, the
+/// slow-request log, the head-sampling decision, and retroactive spans.
+///
+/// Spans are emitted *after* the fact with explicit timestamps
+/// ([`trace::emit_span_at`]) because the sink decision depends on the
+/// total latency: every request is measured, only sampled or slow ones
+/// reach the JSONL sink, and the flight ring records all of them.
+fn finish_request(shared: &Arc<Shared>, t: &ReqTrace, write: Duration) {
+    let write_us = write.as_micros() as u64;
+    let total_us = elapsed_us(t.start);
+    let hot = &shared.hot;
+    for (hist, us) in [
+        (&hot.phase_admit, t.admit_us),
+        (&hot.phase_queue, t.queue_us),
+        (&hot.phase_execute, t.execute_us),
+        (&hot.phase_write, write_us),
+    ] {
+        hist.observe(us as f64 * 1e-6);
+    }
+    let sample_every = shared.sample_every.load(Ordering::Relaxed);
+    let sampled = sample_every > 0 && t.seq.is_multiple_of(sample_every);
+    let slow = total_us >= shared.slow_us.load(Ordering::Relaxed);
+    if slow {
+        hot.slow.incr();
+        drop(
+            trace::event("serve.slow")
+                .arg("trace_id", &t.trace_id)
+                .arg("op", t.op)
+                .arg("total_us", total_us),
+        );
+    }
+    let to_sink = sampled || slow;
+    if to_sink && proxim_obs::trace_enabled() {
+        hot.trace_sampled.incr();
+    }
+    // One batch for the whole request tree: five records, one sink lock.
+    let write_start_ts = t.start_ts + total_us.saturating_sub(write_us);
+    trace::emit_span_tree_at(
+        &trace::SpanAt {
+            name: "serve.request",
+            start_us: t.start_ts,
+            dur_us: total_us,
+            args: &[("trace_id", t.trace_id.as_str()), ("op", t.op)],
+        },
+        &[
+            trace::SpanAt {
+                name: "serve.admit",
+                start_us: t.start_ts,
+                dur_us: t.admit_us,
+                args: &[],
+            },
+            trace::SpanAt {
+                name: "serve.queue_wait",
+                start_us: t.start_ts + t.admit_us,
+                dur_us: t.queue_us,
+                args: &[],
+            },
+            trace::SpanAt {
+                name: "serve.execute",
+                start_us: t.start_ts + t.admit_us + t.queue_us,
+                dur_us: t.execute_us,
+                args: &[],
+            },
+            trace::SpanAt {
+                name: "serve.write",
+                start_us: write_start_ts,
+                dur_us: write_us,
+                args: &[],
+            },
+        ],
+        to_sink,
+    );
+    lock(&shared.inflight).remove(&t.seq);
 }
 
 /// Writes one response frame, honouring fault injection and the
@@ -414,14 +654,16 @@ fn write_response(
     }
 }
 
-/// Decodes one frame payload and produces the rendered response. Probes
-/// (health, stats, list) answer inline; queries go through admission.
-fn respond_to(shared: &Arc<Shared>, payload: &[u8]) -> String {
+/// Decodes one frame payload and produces the rendered response (plus the
+/// per-request trace context for queries, finished after the write).
+/// Probes (health, stats, list, metrics, obs) answer inline; queries go
+/// through admission.
+fn respond_to(shared: &Arc<Shared>, payload: &[u8]) -> (String, Option<ReqTrace>) {
     let request = match parse_request(payload) {
         Ok(r) => r,
         Err(e) => {
             shared.count(sm::PROTO_ERRORS);
-            return render_error(&e);
+            return (render_error(&e), None);
         }
     };
     match request {
@@ -431,55 +673,247 @@ fn respond_to(shared: &Arc<Shared>, payload: &[u8]) -> String {
             } else {
                 "serving"
             };
-            render_health(status, shared.library.len(), shared.library.is_degraded())
+            (
+                render_health(status, shared.library.len(), shared.library.is_degraded()),
+                None,
+            )
         }
-        Request::Stats => {
-            let mut out = String::from("{\"ok\":true,\"stats\":");
-            out.push_str(&shared.registry.snapshot().to_json());
+        Request::Stats => (render_stats(shared), None),
+        Request::List => (render_list(&shared.library.names()), None),
+        Request::Metrics => {
+            let mut out = String::from("{\"ok\":true,\"exposition\":");
+            push_escaped(&mut out, &exposition::render(&shared.registry.snapshot()));
             out.push('}');
-            out
+            (out, None)
         }
-        Request::List => render_list(&shared.library.names()),
-        Request::Query { model, query } => admit(shared, &model, vec![query], false),
-        Request::Batch { model, queries } => admit(shared, &model, queries, true),
+        Request::Obs(control) => (apply_obs(shared, &control), None),
+        Request::Query {
+            model,
+            query,
+            trace_id,
+        } => admit(shared, &model, vec![query], false, trace_id, "query"),
+        Request::Batch {
+            model,
+            queries,
+            trace_id,
+        } => admit(shared, &model, queries, true, trace_id, "batch"),
     }
 }
 
+fn level_wire_name(level: proxim_obs::Level) -> &'static str {
+    match level {
+        proxim_obs::Level::Off => "off",
+        proxim_obs::Level::Metrics => "metrics",
+        proxim_obs::Level::Trace => "trace",
+    }
+}
+
+/// Appends the current observability configuration object:
+/// `{"level":...,"sample_every":N,"slow_ms":N,"flight":{...}}`.
+fn push_obs_config(shared: &Arc<Shared>, out: &mut String) {
+    out.push_str("{\"level\":");
+    push_escaped(out, level_wire_name(proxim_obs::level()));
+    out.push_str(&format!(
+        ",\"sample_every\":{},\"slow_ms\":{}",
+        shared.sample_every.load(Ordering::Relaxed),
+        shared.slow_us.load(Ordering::Relaxed) / 1000
+    ));
+    out.push_str(&format!(
+        ",\"flight\":{{\"enabled\":{},\"capacity\":{},\"recorded\":{}}}}}",
+        flight::enabled(),
+        flight::capacity(),
+        flight::recorded()
+    ));
+}
+
+/// Renders the extended `stats` response: uptime, queue depth, the live
+/// in-flight request table, the observability configuration, and the full
+/// registry snapshot (histograms with percentiles).
+fn render_stats(shared: &Arc<Shared>) -> String {
+    let uptime = shared.started.elapsed().as_secs_f64();
+    shared.registry.gauge(sm::UPTIME_SECONDS).set(uptime);
+    let queue_depth = lock(&shared.queue).len();
+    let mut out = String::from("{\"ok\":true,\"uptime_s\":");
+    push_f64(&mut out, uptime);
+    out.push_str(&format!(",\"queue_depth\":{queue_depth},\"inflight\":["));
+    {
+        let inflight = lock(&shared.inflight);
+        for (i, entry) in inflight.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"trace_id\":");
+            push_escaped(&mut out, &entry.trace_id);
+            out.push_str(",\"op\":");
+            push_escaped(&mut out, entry.op);
+            out.push_str(&format!(
+                ",\"age_us\":{},\"phase\":",
+                elapsed_us(entry.since)
+            ));
+            push_escaped(&mut out, entry.phase);
+            out.push('}');
+        }
+    }
+    out.push_str("],\"obs\":");
+    push_obs_config(shared, &mut out);
+    out.push_str(",\"stats\":");
+    out.push_str(&shared.registry.snapshot().to_json());
+    out.push('}');
+    out
+}
+
+/// Escaping a dump into a JSON string inflates it (every quote gains a
+/// backslash), so the raw budget is held well under [`proto::MAX_FRAME_BYTES`].
+const DUMP_FRAME_BUDGET: usize = 600 * 1024;
+
+/// The flight dump, tail-truncated at line boundaries so its *escaped*
+/// JSON form fits in a response frame. The header line is always kept;
+/// when truncating, the newest records win — they are what a live
+/// operator is asking about.
+fn dump_for_frame(budget: usize) -> (String, bool) {
+    let dump = flight::dump();
+    let mut lines = dump.lines();
+    let header = lines.next().unwrap_or("");
+    let body: Vec<&str> = lines.collect();
+    let escaped_len = |s: &str| {
+        s.len() + s.bytes().filter(|b| matches!(b, b'"' | b'\\')).count() + 2 // "\n"
+    };
+    let mut size = escaped_len(header);
+    let mut keep_from = body.len();
+    for (i, line) in body.iter().enumerate().rev() {
+        let cost = escaped_len(line);
+        if size + cost > budget {
+            break;
+        }
+        size += cost;
+        keep_from = i;
+    }
+    let mut text = String::with_capacity(size);
+    text.push_str(header);
+    for line in &body[keep_from..] {
+        text.push('\n');
+        text.push_str(line);
+    }
+    (text, keep_from > 0)
+}
+
+/// Applies runtime observability changes and renders the `obs` response.
+/// Level changes are process-wide (the obs crate owns one level); sampling
+/// and slow-threshold changes are per-daemon.
+fn apply_obs(shared: &Arc<Shared>, control: &ObsControl) -> String {
+    if let Some(level) = control.level {
+        proxim_obs::set_level(level);
+    }
+    if let Some(n) = control.sample_every {
+        shared.sample_every.store(n, Ordering::Relaxed);
+    }
+    if let Some(ms) = control.slow_ms {
+        shared
+            .slow_us
+            .store(ms.saturating_mul(1000), Ordering::Relaxed);
+    }
+    let mut out = String::from("{\"ok\":true,\"obs\":");
+    push_obs_config(shared, &mut out);
+    if control.dump {
+        let (dump, truncated) = dump_for_frame(DUMP_FRAME_BUDGET);
+        out.push_str(",\"truncated\":");
+        out.push_str(if truncated { "true" } else { "false" });
+        out.push_str(",\"dump\":");
+        push_escaped(&mut out, &dump);
+    }
+    out.push('}');
+    out
+}
+
 /// Admission: resolve the model, reserve a queue slot or shed, and wait
-/// for the worker's rendered response.
-fn admit(shared: &Arc<Shared>, model: &str, queries: Vec<WireQuery>, batch: bool) -> String {
+/// for the worker's rendered response. Every outcome — including shed,
+/// unknown-model, and drain refusals — carries the request's trace context
+/// back so it lands in the histograms and the flight ring.
+fn admit(
+    shared: &Arc<Shared>,
+    model: &str,
+    queries: Vec<WireQuery>,
+    batch: bool,
+    trace_id: Option<String>,
+    op: &'static str,
+) -> (String, Option<ReqTrace>) {
+    let start = Instant::now();
+    let start_ts = trace::now_us();
+    let seq = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+    let trace_id = trace_id.unwrap_or_else(|| format!("r{seq}"));
+    lock(&shared.inflight).insert(
+        seq,
+        InFlight {
+            trace_id: trace_id.clone(),
+            op,
+            since: start,
+            phase: "admit",
+        },
+    );
+    let mut t = ReqTrace {
+        seq,
+        trace_id,
+        op,
+        start,
+        start_ts,
+        admit_us: 0,
+        queue_us: 0,
+        execute_us: 0,
+    };
+    let refuse = |mut t: ReqTrace, e: &ProtoError| {
+        t.admit_us = elapsed_us(t.start);
+        (render_error_traced(e, Some(&t.trace_id)), Some(t))
+    };
     if shared.shutdown.is_cancelled() {
-        return render_error(&ProtoError::new(
-            ErrorKind::ShuttingDown,
-            "daemon is draining; no new work admitted",
-        ));
+        return refuse(
+            t,
+            &ProtoError::new(
+                ErrorKind::ShuttingDown,
+                "daemon is draining; no new work admitted",
+            ),
+        );
     }
     let Some(model) = shared.library.get(model) else {
-        return render_error(&ProtoError::new(
-            ErrorKind::UnknownModel,
-            format!("no model named {model:?} (try op \"list\")"),
-        ));
+        return refuse(
+            t,
+            &ProtoError::new(
+                ErrorKind::UnknownModel,
+                format!("no model named {model:?} (try op \"list\")"),
+            ),
+        );
     };
     let (tx, rx) = mpsc::sync_channel(1);
     {
         let mut queue = lock(&shared.queue);
         if queue.len() >= shared.opts.queue_capacity {
             drop(queue);
-            shared.count(sm::SHED);
-            return render_error(&ProtoError::new(
-                ErrorKind::Overloaded,
-                format!(
-                    "admission queue full ({} pending); retry with backoff",
-                    shared.opts.queue_capacity
+            shared.hot.shed.incr();
+            drop(
+                trace::event("serve.shed")
+                    .arg("trace_id", &t.trace_id)
+                    .arg("op", op),
+            );
+            return refuse(
+                t,
+                &ProtoError::new(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "admission queue full ({} pending); retry with backoff",
+                        shared.opts.queue_capacity
+                    ),
                 ),
-            ));
+            );
         }
+        t.admit_us = elapsed_us(start);
         queue.push_back(Job {
             model: Arc::clone(model),
             queries,
             batch,
             cancel: CancelToken::with_deadline_in(shared.opts.request_deadline),
             admitted_at: Instant::now(),
+            seq,
+            trace_id: t.trace_id.clone(),
+            admit_us: t.admit_us,
             reply: tx,
         });
         // Workers exit once they observe the queue empty *and* shutdown
@@ -490,18 +924,20 @@ fn admit(shared: &Arc<Shared>, model: &str, queries: Vec<WireQuery>, batch: bool
         // so it is still the tail) and answer typed instead.
         if shared.shutdown.is_cancelled() {
             queue.pop_back();
-            return render_error(&ProtoError::new(
-                ErrorKind::ShuttingDown,
-                "daemon is draining; no new work admitted",
-            ));
+            return refuse(
+                t,
+                &ProtoError::new(
+                    ErrorKind::ShuttingDown,
+                    "daemon is draining; no new work admitted",
+                ),
+            );
         }
-        shared.count(sm::REQUESTS);
-        shared
-            .registry
-            .gauge(sm::QUEUE_DEPTH)
-            .set(queue.len() as f64);
+        shared.hot.requests.incr();
+        let depth = queue.len();
+        shared.emit_queue_depth(depth);
         shared.job_ready.notify_one();
     }
+    shared.set_phase(seq, "queued");
     // Workers always reply (evaluated, deadline-expired, or drain-shed),
     // so this wait only trips if a worker thread died — answer typed
     // rather than wedging the connection forever. A job can sit behind up
@@ -513,12 +949,20 @@ fn admit(shared: &Arc<Shared>, model: &str, queries: Vec<WireQuery>, batch: bool
             .worker_stall
             .saturating_mul(shared.opts.queue_capacity.min(u32::MAX as usize) as u32 + 1)
         + Duration::from_secs(30);
-    rx.recv_timeout(guard).unwrap_or_else(|_| {
-        render_error(&ProtoError::new(
-            ErrorKind::Internal,
-            "worker did not produce a response",
-        ))
-    })
+    match rx.recv_timeout(guard) {
+        Ok(reply) => {
+            t.queue_us = reply.queue_us;
+            t.execute_us = reply.execute_us;
+            (reply.response, Some(t))
+        }
+        Err(_) => {
+            let resp = render_error_traced(
+                &ProtoError::new(ErrorKind::Internal, "worker did not produce a response"),
+                Some(&t.trace_id),
+            );
+            (resp, Some(t))
+        }
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -527,10 +971,8 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut queue = lock(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
-                    shared
-                        .registry
-                        .gauge(sm::QUEUE_DEPTH)
-                        .set(queue.len() as f64);
+                    let depth = queue.len();
+                    shared.emit_queue_depth(depth);
                     break job;
                 }
                 // Drain semantics: exit only once the queue is empty, so
@@ -545,6 +987,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .0;
             }
         };
+        // Queue wait ends the moment a worker owns the job; the
+        // congestion stall is evaluation cost, so it counts as execute.
+        let queue_us = elapsed_us(job.admitted_at);
+        shared.set_phase(job.seq, "execute");
+        let exec_start = Instant::now();
         // The congestion stall models evaluation cost; a job already past
         // its deadline gets none (it only needs its typed answer), so a
         // backlog of expired jobs drains immediately instead of making
@@ -552,19 +999,40 @@ fn worker_loop(shared: &Arc<Shared>) {
         if !shared.opts.worker_stall.is_zero() && job.cancel.check("serve request").is_ok() {
             thread::sleep(shared.opts.worker_stall);
         }
-        let response = evaluate(shared, &job);
+        let results = evaluate(shared, &job);
+        let execute_us = elapsed_us(exec_start);
+        let echo = TraceEcho {
+            trace_id: job.trace_id.clone(),
+            admit_us: job.admit_us,
+            queue_us,
+            execute_us,
+        };
+        let response = if job.batch {
+            render_batch(&results, Some(&echo))
+        } else {
+            match results.first() {
+                Some(Ok(timing)) => render_timing(timing, Some(&echo)),
+                Some(Err(e)) => render_error_traced(e, Some(&echo.trace_id)),
+                None => render_error(&ProtoError::new(ErrorKind::Internal, "empty job")),
+            }
+        };
         shared
             .registry
             .histogram(sm::REQUEST_SECONDS, sm::REQUEST_SECONDS_BOUNDS)
             .observe(job.admitted_at.elapsed().as_secs_f64());
         // The connection may have given up (its own guard timeout); a
         // dead receiver is not an error.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(WorkerReply {
+            response,
+            queue_us,
+            execute_us,
+        });
     }
 }
 
-/// Evaluates one admitted job under its deadline token.
-fn evaluate(shared: &Arc<Shared>, job: &Job) -> String {
+/// Evaluates one admitted job under its deadline token, returning one
+/// outcome per query.
+fn evaluate(shared: &Arc<Shared>, job: &Job) -> Vec<Result<GateTiming, ProtoError>> {
     let mut results: Vec<Result<GateTiming, ProtoError>> = Vec::with_capacity(job.queries.len());
     for query in &job.queries {
         // The deadline is checked between items, so a half-expired batch
@@ -592,15 +1060,7 @@ fn evaluate(shared: &Arc<Shared>, job: &Job) -> String {
             Err(e) => results.push(Err(model_error_to_proto(&e))),
         }
     }
-    if job.batch {
-        render_batch(&results)
-    } else {
-        match results.first() {
-            Some(Ok(timing)) => render_timing(timing),
-            Some(Err(e)) => render_error(e),
-            None => render_error(&ProtoError::new(ErrorKind::Internal, "empty job")),
-        }
-    }
+    results
 }
 
 /// Convenience client: connect, round-trip one request, disconnect.

@@ -17,6 +17,11 @@
 //!   asserts the store is loadable and byte-identical afterwards — the
 //!   `atomic_write` crash-consistency promise, proven at the binary-store
 //!   layer.
+//! - `obs --socket PATH [...]` — introspect or reconfigure a live
+//!   daemon's observability plane: flip the trace level or sampling knobs
+//!   at runtime, fetch the flight-recorder dump to a file, or scrape and
+//!   validate the Prometheus exposition. All of it rides the probe fast
+//!   path, so it works even when the admission queue is saturated.
 //!
 //! The `SIGTERM` handler lives here (one libc `signal` FFI line) so every
 //! library crate stays `forbid(unsafe_code)`; the handler body is a single
@@ -26,11 +31,13 @@ use proxim_cells::{Cell, Technology};
 use proxim_model::characterize::CharacterizeOptions;
 use proxim_model::persist::atomic_write;
 use proxim_model::ProximityModel;
+use proxim_obs::json::Json;
+use proxim_obs::{exposition, flight};
 use proxim_serve::server::one_shot;
 use proxim_serve::{ModelLibrary, ModelStore, ServeOptions, Server};
 use proxim_spice::CancelToken;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -60,11 +67,27 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          proxim_serve serve --store DIR --socket PATH [--workers N] [--queue N]\n    \
-         [--deadline-ms N] [--stall-ms N] [--metrics-out PATH] [--demo]\n  \
+         [--deadline-ms N] [--stall-ms N] [--metrics-out PATH] [--demo]\n    \
+         [--sample-every N] [--slow-ms N] [--flight-out PATH] [--flight-capacity N]\n  \
          proxim_serve query --socket PATH --json REQUEST\n  \
+         proxim_serve obs --socket PATH [--level off|metrics|trace] [--sample-every N]\n    \
+         [--slow-ms N] [--dump PATH] [--prom]\n  \
          proxim_serve churn --store DIR --name NAME --rounds N"
     );
     ExitCode::from(1)
+}
+
+/// Flushes the trace sink and writes the flight-recorder dump to the
+/// armed path, if one is armed. Used by the panic hook and the drain
+/// path; failures are reported but never escalate — a post-mortem must
+/// not mask the original exit.
+fn flush_observability() {
+    proxim_obs::sink::flush();
+    if let Some(path) = flight::armed_dump_path() {
+        if let Err(e) = atomic_write(&path, flight::dump().as_bytes()) {
+            eprintln!("proxim_serve: flight dump failed: {e}");
+        }
+    }
 }
 
 /// The deterministic demo model served by `--demo` and saved by `churn`:
@@ -80,6 +103,7 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
     let mut store_dir: Option<PathBuf> = None;
     let mut socket: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut flight_out: Option<PathBuf> = None;
     let mut opts = ServeOptions::default();
     let mut demo = false;
     while let Some(arg) = args.next() {
@@ -87,8 +111,10 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
             "--store" => store_dir = args.next().map(Into::into),
             "--socket" => socket = args.next().map(Into::into),
             "--metrics-out" => metrics_out = args.next().map(Into::into),
+            "--flight-out" => flight_out = args.next().map(Into::into),
             "--demo" => demo = true,
-            "--workers" | "--queue" | "--deadline-ms" | "--stall-ms" => {
+            "--workers" | "--queue" | "--deadline-ms" | "--stall-ms" | "--sample-every"
+            | "--slow-ms" | "--flight-capacity" => {
                 let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
                     return usage();
                 };
@@ -96,6 +122,9 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
                     "--workers" => opts.workers = v as usize,
                     "--queue" => opts.queue_capacity = v as usize,
                     "--deadline-ms" => opts.request_deadline = Duration::from_millis(v),
+                    "--sample-every" => opts.trace_sample_every = v,
+                    "--slow-ms" => opts.slow_threshold = Duration::from_millis(v),
+                    "--flight-capacity" => opts.flight_capacity = v as usize,
                     _ => opts.worker_stall = Duration::from_millis(v),
                 }
             }
@@ -105,6 +134,12 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
     let (Some(store_dir), Some(socket)) = (store_dir, socket) else {
         return usage();
     };
+    // --flight-out arms the post-mortem dump destination: the panic hook,
+    // the drain path, and the protocol's `obs` dump op all read it. The
+    // ring itself is enabled by Server::start (flight_capacity).
+    if let Some(path) = &flight_out {
+        flight::arm_dump(path.clone(), false);
+    }
 
     let store = ModelStore::new(&store_dir);
     if demo && store.list().is_empty() {
@@ -158,6 +193,9 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
             return ExitCode::from(1);
         }
     }
+    // The drain is the last chance to capture what the daemon was doing;
+    // the dump lands after join so the final requests are in the ring.
+    flush_observability();
     println!("drained {json}");
     ExitCode::SUCCESS
 }
@@ -189,6 +227,126 @@ fn cmd_query(args: &mut std::env::Args) -> ExitCode {
             ExitCode::from(1)
         }
     }
+}
+
+/// One `op:"obs"` or `op:"metrics"` round trip against a live daemon.
+/// Returns the parsed response, or an exit code when the transport failed
+/// or the daemon answered with a typed error.
+fn obs_round_trip(socket: &Path, request: &str) -> Result<Json, ExitCode> {
+    let response = match one_shot(socket, request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("proxim_serve: {e}");
+            return Err(ExitCode::from(1));
+        }
+    };
+    let json = match Json::parse(&response) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("proxim_serve: unparseable response: {e}");
+            return Err(ExitCode::from(1));
+        }
+    };
+    if json.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("proxim_serve: daemon refused: {response}");
+        return Err(ExitCode::from(3));
+    }
+    Ok(json)
+}
+
+fn cmd_obs(args: &mut std::env::Args) -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut level: Option<String> = None;
+    let mut sample_every: Option<u64> = None;
+    let mut slow_ms: Option<u64> = None;
+    let mut dump_path: Option<PathBuf> = None;
+    let mut prom = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next().map(Into::into),
+            "--dump" => dump_path = args.next().map(Into::into),
+            "--prom" => prom = true,
+            "--level" => {
+                let Some(v) = args.next() else { return usage() };
+                if !matches!(v.as_str(), "off" | "metrics" | "trace") {
+                    return usage();
+                }
+                level = Some(v);
+            }
+            "--sample-every" | "--slow-ms" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                if arg == "--sample-every" {
+                    sample_every = Some(v);
+                } else {
+                    slow_ms = Some(v);
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(socket) = socket else { return usage() };
+
+    // A bare `obs` request is a read: it reports the current observability
+    // configuration without changing anything, which is exactly what an
+    // operator wants before flipping knobs.
+    let mut request = String::from("{\"op\":\"obs\"");
+    if let Some(level) = &level {
+        request.push_str(&format!(",\"level\":\"{level}\""));
+    }
+    if let Some(n) = sample_every {
+        request.push_str(&format!(",\"sample_every\":{n}"));
+    }
+    if let Some(n) = slow_ms {
+        request.push_str(&format!(",\"slow_ms\":{n}"));
+    }
+    if dump_path.is_some() {
+        request.push_str(",\"dump\":true");
+    }
+    request.push('}');
+
+    let response = match obs_round_trip(&socket, &request) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let mut obs_line = String::new();
+    if let Some(obs) = response.get("obs") {
+        obs.render(&mut obs_line);
+    }
+    println!("obs {obs_line}");
+    if let Some(path) = dump_path {
+        let Some(dump) = response.get("dump").and_then(Json::as_str) else {
+            eprintln!("proxim_serve: response carried no dump");
+            return ExitCode::from(1);
+        };
+        if let Err(e) = atomic_write(&path, dump.as_bytes()) {
+            eprintln!("proxim_serve: cannot write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        let truncated = response.get("truncated").and_then(Json::as_bool) == Some(true);
+        println!(
+            "dump path={} lines={} truncated={truncated}",
+            path.display(),
+            dump.lines().count()
+        );
+    }
+    if prom {
+        let response = match obs_round_trip(&socket, "{\"op\":\"metrics\"}") {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        let Some(text) = response.get("exposition").and_then(Json::as_str) else {
+            eprintln!("proxim_serve: response carried no exposition");
+            return ExitCode::from(1);
+        };
+        if let Err(e) = exposition::validate(text) {
+            eprintln!("proxim_serve: invalid exposition: {e}");
+            return ExitCode::from(1);
+        }
+        print!("{text}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_churn(args: &mut std::env::Args) -> ExitCode {
@@ -236,11 +394,24 @@ fn cmd_churn(args: &mut std::env::Args) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Observability arms before anything else runs: PROXIM_TRACE installs
+    // the JSONL sink, PROXIM_FLIGHT enables the ring and arms the
+    // post-mortem dump path (CLI flags can re-arm it later).
+    proxim_obs::init_from_env();
+    flight::init_from_env();
+    // Whatever kills the process, the flight recorder's last seconds land
+    // on disk first — the dump is the crash report.
+    let default_panic = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        default_panic(info);
+        flush_observability();
+    }));
     let mut args = std::env::args();
     let _argv0 = args.next();
     match args.next().as_deref() {
         Some("serve") => cmd_serve(&mut args),
         Some("query") => cmd_query(&mut args),
+        Some("obs") => cmd_obs(&mut args),
         Some("churn") => cmd_churn(&mut args),
         _ => usage(),
     }

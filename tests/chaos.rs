@@ -169,6 +169,71 @@ fn sigkill_then_resume_reproduces_the_uninterrupted_model_bytewise() {
 }
 
 #[test]
+fn sigkill_leaves_a_flight_dump_within_one_entry_of_the_journal() {
+    let dir = scratch_dir("flight_kill");
+    let out = dir.join("model.json");
+    let journal = dir.join("run.journal");
+    let dump_path = dir.join("flight.jsonl");
+
+    // Arm the flight recorder with per-checkpoint mirror dumps: the
+    // journal's record path re-dumps the ring (atomically) after every
+    // append, so even SIGKILL — no hooks, no drop glue — leaves a dump on
+    // disk. Capacity is sized so a full characterization's spans cannot
+    // wrap the checkpoint events out of the ring.
+    let mut child = child_command(&out, &journal);
+    child
+        .env("PROXIM_FLIGHT", &dump_path)
+        .env("PROXIM_FLIGHT_SYNC", "1")
+        .env("PROXIM_FLIGHT_CAPACITY", "65536");
+    let target = kill_point(chaos_seed());
+    let mut child = child.spawn().expect("flight chaos child");
+    let reached = wait_for_entries(&mut child, &journal, target);
+    assert!(reached, "child finished before the kill point");
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap killed child");
+
+    // The dump survived the kill and is whole: the mirror goes through an
+    // atomic write, so whatever instant the kill hit, the file on disk is
+    // a complete dump, never a torn one.
+    let dump = std::fs::read_to_string(&dump_path)
+        .expect("a sync-armed flight dump must exist after SIGKILL");
+    let mut lines = dump.lines();
+    let header = proxim_obs::json::Json::parse(lines.next().expect("dump header"))
+        .expect("flight header parses");
+    assert_eq!(
+        header.get("t").and_then(proxim_obs::json::Json::as_str),
+        Some("flight")
+    );
+    let mut checkpoint_events = 0usize;
+    for line in lines {
+        let rec = proxim_obs::json::Json::parse(line)
+            .unwrap_or_else(|e| panic!("torn record in post-kill dump {line:?}: {e}"));
+        if rec.get("name").and_then(proxim_obs::json::Json::as_str)
+            == Some("char.checkpoint.record")
+        {
+            checkpoint_events += 1;
+        }
+    }
+
+    // The crash-consistency contract: the checkpoint event lands in the
+    // ring before the journal append and the mirror dump is written after
+    // it, all under the journal lock — so the dump trails the journal by
+    // at most the one entry whose mirror the kill preempted.
+    let journaled = journal_entries(&journal);
+    assert!(
+        checkpoint_events > 0,
+        "the dump must capture the checkpoint activity before the kill"
+    );
+    assert!(
+        journaled == checkpoint_events || journaled == checkpoint_events + 1,
+        "flight dump ({checkpoint_events} checkpoint events) must be within one \
+         entry of the journal tail ({journaled} entries)"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sigterm_flushes_a_final_checkpoint_and_exits_typed() {
     let dir = scratch_dir("sigterm");
     let reference = reference_model(&dir);

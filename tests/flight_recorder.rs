@@ -1,0 +1,155 @@
+//! Flight-recorder suite: the always-on in-memory ring (`proxim_obs::flight`)
+//! under wrap-around and concurrent writers.
+//!
+//! The ring is process-global and its capacity is fixed at the first
+//! [`flight::enable`], so these tests live in their own integration binary
+//! (their own process) where they control the capacity — the in-crate unit
+//! tests share the library test process and deliberately use the default
+//! capacity. The two tests here share one ring and serialize on a lock;
+//! each writes at least a full lap so the ring it dumps is entirely its
+//! own regardless of which ran first.
+
+use proxim_obs::{flight, json::Json};
+use std::sync::{Mutex, PoisonError};
+
+/// Small enough that wrap-around and full-lap overwrites are cheap to
+/// drive, large enough that the modulo arithmetic is not degenerate.
+const CAPACITY: usize = 64;
+
+/// One ring per process: serialize the tests that write to it.
+static RING_LOCK: Mutex<()> = Mutex::new(());
+
+/// Enables the shared ring and asserts no test accidentally created it
+/// with a different size (capacity is first-enable-wins).
+fn enable_ring() -> usize {
+    let cap = flight::enable(CAPACITY);
+    assert_eq!(cap, CAPACITY, "both tests must agree on the ring size");
+    cap
+}
+
+/// A self-describing single-line event record: `name` identifies the
+/// writer, `ts` its sequence within that writer.
+fn event_line(name: &str, ts: u64) -> String {
+    format!("{{\"t\":\"event\",\"name\":\"{name}\",\"tid\":1,\"ts\":{ts}}}")
+}
+
+/// Splits a dump into its header and body lines, sanity-checking the
+/// header shape on the way.
+fn parse_dump(dump: &str) -> (Json, Vec<Json>) {
+    let mut lines = dump.lines();
+    let header_line = lines.next().expect("dump always starts with a header");
+    let header = Json::parse(header_line).expect("flight header parses");
+    assert_eq!(header.get("t").and_then(Json::as_str), Some("flight"));
+    let body = lines
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("torn dump record {l:?}: {e}")))
+        .collect();
+    (header, body)
+}
+
+fn header_u64(header: &Json, key: &str) -> u64 {
+    header
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("header missing {key}")) as u64
+}
+
+#[test]
+fn wrap_around_keeps_exactly_the_last_capacity_records_in_order() {
+    let _lock = RING_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let cap = enable_ring();
+
+    // Three full laps: every slot is overwritten at least twice, and the
+    // ring ends up holding only this test's records no matter what ran
+    // before it in this process.
+    let laps = 3;
+    let before = flight::recorded();
+    for i in 0..(laps * cap as u64) {
+        flight::record(&event_line("wrap", i));
+    }
+    assert_eq!(
+        flight::recorded(),
+        before + laps * cap as u64,
+        "recorded() counts every offer, including overwritten ones"
+    );
+
+    let (header, body) = parse_dump(&flight::dump());
+    assert_eq!(header_u64(&header, "capacity"), cap as u64);
+    assert_eq!(header_u64(&header, "recorded"), before + laps * cap as u64);
+    assert_eq!(
+        header_u64(&header, "dropped"),
+        before + (laps - 1) * cap as u64,
+        "everything but the last lap fell off the back"
+    );
+
+    // The survivors are exactly the last `cap` writes, oldest-first.
+    assert_eq!(body.len(), cap, "a full ring dumps capacity records");
+    for (slot, rec) in body.iter().enumerate() {
+        assert_eq!(rec.get("name").and_then(Json::as_str), Some("wrap"));
+        let ts = rec.get("ts").and_then(Json::as_f64).expect("ts") as u64;
+        assert_eq!(
+            ts,
+            (laps - 1) * cap as u64 + slot as u64,
+            "dump must be the final lap in write order"
+        );
+    }
+
+    // A dump is sink-format JSONL: the Chrome converter takes it whole,
+    // header included.
+    let chrome = proxim_obs::chrome::chrome_trace(&flight::dump())
+        .expect("flight dumps convert to Chrome traces");
+    Json::parse(&chrome).expect("chrome output is valid JSON");
+}
+
+#[test]
+fn concurrent_writers_never_tear_or_fabricate_records() {
+    const WRITERS: usize = 4;
+    let _lock = RING_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let cap = enable_ring();
+
+    // Four writers, half a lap each — two full laps combined, so the ring
+    // is entirely this test's at dump time, and no single writer can fill
+    // it alone (64 survivors from 32-record writers must span at least
+    // two). The slot-claim order under the race is arbitrary, but every
+    // record in the final ring must be byte-identical to something some
+    // writer offered — no tearing, no fabrication.
+    let per_writer = cap as u64 / 2;
+    let before = flight::recorded();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            s.spawn(move || {
+                let name = format!("writer{w}");
+                for i in 0..per_writer {
+                    flight::record(&event_line(&name, i));
+                }
+            });
+        }
+    });
+    assert_eq!(
+        flight::recorded(),
+        before + WRITERS as u64 * per_writer,
+        "no offer may be lost from the global count"
+    );
+
+    let (header, body) = parse_dump(&flight::dump());
+    assert_eq!(header_u64(&header, "capacity"), cap as u64);
+    assert_eq!(body.len(), cap, "a full ring dumps capacity records");
+    let mut seen_writers = std::collections::BTreeSet::new();
+    for rec in &body {
+        let name = rec
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("every record has its writer name intact");
+        let writer: usize = name
+            .strip_prefix("writer")
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("record from outside this test survived: {name:?}"));
+        assert!(writer < WRITERS);
+        seen_writers.insert(writer);
+        let ts = rec.get("ts").and_then(Json::as_f64).expect("ts") as u64;
+        assert!(ts < per_writer, "ts {ts} was never written");
+    }
+    assert!(
+        seen_writers.len() > 1,
+        "four racing writers should leave more than one voice in the ring"
+    );
+}

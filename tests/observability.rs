@@ -10,9 +10,10 @@
 //!    span or event reaches the sink — the instrumentation sites reduce to
 //!    an atomic check.
 //! 3. A real characterization trace round-trips through the Chrome
-//!    `trace_event` converter: every emitted JSONL record is either
-//!    converted or (for metrics records) deliberately skipped, and the
-//!    output is valid JSON with the expected event shapes.
+//!    `trace_event` converter: every emitted JSONL record converts — spans
+//!    to complete events, instants to `"i"` events, and the scalar samples
+//!    inside metrics records fan out into counter-track (`"C"`) events —
+//!    and the output is valid JSON with the expected event shapes.
 
 use proxim_cells::{Cell, Technology};
 use proxim_model::characterize::CharacterizeOptions;
@@ -216,14 +217,30 @@ fn characterization_trace_roundtrips_through_chrome_converter() {
         assert!(jsonl.contains(name), "trace must contain {name}");
     }
     let records = parse_lines(&jsonl);
-    let metrics_records = records
+    let metrics = records
         .iter()
         .filter(|r| r.get("t").and_then(|t| t.as_str()) == Some("metrics"))
-        .count();
-    assert_eq!(metrics_records, 1);
+        .collect::<Vec<_>>();
+    assert_eq!(metrics.len(), 1);
+    // Each scalar sample inside a metrics record becomes one counter-track
+    // point in the Chrome output; histograms stay span-side only.
+    let counter_samples: usize = metrics
+        .iter()
+        .map(|r| {
+            let data = r.get("data").expect("metrics records carry data");
+            ["counters", "gauges"]
+                .iter()
+                .map(|g| match data.get(g) {
+                    Some(obs::json::Json::Obj(members)) => members.len(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+        })
+        .sum();
+    assert!(counter_samples > 0, "characterization registers counters");
 
     // Convert and re-parse: valid JSON, spans as complete ("X") events,
-    // instants as "i", and the metrics record dropped.
+    // instants as "i", metrics samples fanned out into counter tracks.
     let chrome = obs::chrome::chrome_trace(&jsonl).expect("conversion must succeed");
     let parsed = obs::json::Json::parse(&chrome).expect("chrome output is valid JSON");
     let events = parsed
@@ -232,8 +249,8 @@ fn characterization_trace_roundtrips_through_chrome_converter() {
         .expect("chrome output has a traceEvents array");
     assert_eq!(
         events.len(),
-        records.len() - metrics_records,
-        "every span/event converts; metrics records are skipped"
+        records.len() - metrics.len() + counter_samples,
+        "every span/event converts; each metrics sample becomes one counter point"
     );
     for ev in events {
         let ph = ev.get("ph").and_then(|p| p.as_str()).expect("phase");
@@ -245,6 +262,14 @@ fn characterization_trace_roundtrips_through_chrome_converter() {
             }
             "i" => {
                 assert_eq!(ev.get("s").and_then(|s| s.as_str()), Some("t"));
+            }
+            "C" => {
+                assert_eq!(ev.get("cat").and_then(|c| c.as_str()), Some("counter"));
+                let value = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_f64());
+                assert!(value.is_some(), "counter points carry a numeric value");
             }
             other => panic!("unexpected phase {other:?}"),
         }
