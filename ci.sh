@@ -37,6 +37,10 @@ step 10m "observability: trace round-trip"   cargo test -q --test observability
 step 10m "observability: flight + serve"     cargo test -q --test flight_recorder --test serve_observability
 step 15m "chaos: SIGKILL/SIGTERM + resume"   cargo test -q --test chaos
 step 15m "serve: malformed-input corpus"     cargo test -q --features fault-injection --test serve_robustness
+# Lifecycle suite: hot reload under sustained load, memory-budgeted
+# eviction, and (via the feature) every durable sink against an injected
+# full disk — including the drain-still-exits-0 contract.
+step 15m "serve: lifecycle + disk faults"    cargo test -q --features fault-injection --test serve_lifecycle
 
 # Daemon smoke: start on a temp socket, round-trip a query and a health
 # probe through the CLI client, then SIGTERM and require a clean drain
@@ -135,6 +139,56 @@ obs_smoke() {
 }
 export -f obs_smoke
 step 10m "serve: tracing-on smoke + scrape"  bash -c obs_smoke
+
+# Lifecycle smoke: the same daemon pinned to a 1-byte memory budget, so
+# every query is a cold miss (eviction churn at its harshest), driven by
+# the closed-loop churn client; then a SIGHUP reload and a wire reload
+# (through the retrying client), and a clean drain on generation 3.
+lifecycle_smoke() {
+    set -euo pipefail
+    local dir pid rc out
+    dir="$(mktemp -d)"
+    ./target/release/proxim_serve serve --store "${dir}/store" \
+        --socket "${dir}/lc.sock" --memory-budget 1 --demo \
+        >"${dir}/serve.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 600); do
+        grep -q '^ready ' "${dir}/serve.log" 2>/dev/null && break
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    grep -q '^ready ' "${dir}/serve.log" || {
+        echo "daemon never became ready:" >&2
+        cat "${dir}/serve.log" >&2
+        return 1
+    }
+    out="$(./target/release/proxim_serve churn --socket "${dir}/lc.sock" --queries 32)"
+    echo "$out" | grep -q 'ok=32' || { echo "churn queries failed: $out" >&2; return 1; }
+    echo "$out" | grep -q 'cold=32' || { echo "a 1-byte budget must serve all-cold: $out" >&2; return 1; }
+    kill -HUP "$pid"
+    for _ in $(seq 1 100); do
+        grep -q '^reloaded generation=2 ' "${dir}/serve.log" 2>/dev/null && break
+        sleep 0.1
+    done
+    grep -q '^reloaded generation=2 ' "${dir}/serve.log" || {
+        echo "SIGHUP reload never landed:" >&2
+        cat "${dir}/serve.log" >&2
+        return 1
+    }
+    out="$(./target/release/proxim_serve query --socket "${dir}/lc.sock" \
+        --retry --deadline-ms 5000 --json '{"op":"reload","label":"ci"}')"
+    echo "$out" | grep -q '"swapped":true' || { echo "wire reload refused: $out" >&2; return 1; }
+    out="$(./target/release/proxim_serve query --socket "${dir}/lc.sock" \
+        --retry --deadline-ms 5000 --json '{"op":"health"}')"
+    echo "$out" | grep -q '"generation":3' || { echo "wrong generation: $out" >&2; return 1; }
+    kill -TERM "$pid"
+    wait "$pid" && rc=0 || rc=$?
+    [ "$rc" -eq 0 ] || { echo "daemon exited ${rc} after SIGTERM" >&2; return 1; }
+    grep -q '^drained ' "${dir}/serve.log" || { echo "no drained marker" >&2; return 1; }
+    rm -rf "$dir"
+}
+export -f lifecycle_smoke
+step 10m "serve: reload + eviction smoke"    bash -c lifecycle_smoke
 
 step 15m "bench: characterization pipeline"  ./target/release/bench_characterize --out BENCH_characterize.json --scaling
 step 5m  "bench: pool smoke (jobs = 2)"      ./target/release/bench_characterize --pool-smoke

@@ -42,6 +42,14 @@
 //! them, co-tenant interference moves on
 //! (`PROXIM_SERVE_TRACE_TOLERANCE` overrides the percentage,
 //! `PROXIM_BENCH_NO_GATE` skips the assert).
+//!
+//! Two lifecycle sections follow: **reload latency** — p50/p99 of the
+//! load-validate-swap cycle, measured while 8 closed-loop clients keep
+//! querying (none of which may shed or error during the storm) — and
+//! **eviction churn** — round-robin queries over a model set 2.4x the
+//! configured memory budget, reporting the cold-miss penalty (cold vs
+//! warm end-to-end p50, plus the pure store-load component the server
+//! echoes as `load_us`).
 
 use proxim_cells::{Cell, Technology};
 use proxim_model::characterize::CharacterizeOptions;
@@ -50,10 +58,11 @@ use proxim_obs::json::Json;
 use proxim_obs::serve_metrics as sm;
 use proxim_obs::{flight, sink};
 use proxim_serve::proto;
-use proxim_serve::{ModelLibrary, ModelStore, ServeOptions, Server};
+use proxim_serve::{LibraryOptions, ModelLibrary, ModelStore, ServeOptions, Server};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Model name used for every query; must satisfy the store's name rules.
@@ -623,11 +632,202 @@ fn main() -> ExitCode {
         tolerance_pct,
     );
 
+    // --- reload latency: back-to-back swaps under sustained load ---------
+    // The number a daemon operator actually plans around: how long a
+    // validated generation swap takes, and whether the data plane notices.
+    const RELOADS: usize = 50;
+    const RELOAD_CLIENTS: usize = 8;
+    let reload_socket = scratch.join("reload.sock");
+    let reload_server = Server::start(
+        ModelLibrary::open(&store),
+        &reload_socket,
+        ServeOptions {
+            workers,
+            queue_capacity: 256,
+            request_deadline: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("start reload server");
+    let stop = AtomicBool::new(false);
+    let (reload_us, served_during) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..RELOAD_CLIENTS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut stream =
+                        UnixStream::connect(&reload_socket).expect("connect to reload server");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .expect("set read timeout");
+                    let request = request_json();
+                    let mut answered = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let resp = proto::call(&mut stream, &request)
+                            .expect("reload-storm round trip must not fail");
+                        assert!(
+                            resp.contains("\"ok\":true"),
+                            "a swap must never shed or error a query: {resp}"
+                        );
+                        answered += 1;
+                    }
+                    answered
+                })
+            })
+            .collect();
+        let mut us = Vec::with_capacity(RELOADS);
+        for _ in 0..RELOADS {
+            let outcome = reload_server
+                .reload(false, None)
+                .expect("bench reload must swap");
+            us.push(outcome.reload_us as f64);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let served: u64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("reload client panicked"))
+            .sum();
+        (us, served)
+    });
+    reload_server.begin_shutdown();
+    let reload_snap = reload_server.join();
+    assert_eq!(reload_snap.counter(sm::RELOAD_SWAPPED), RELOADS as u64);
+    assert_eq!(reload_snap.counter(sm::SHED), 0);
+    assert!(served_during > 0, "the storm must overlap live traffic");
+    let (reload50, reload99) = phase_percentiles(reload_us);
+    println!(
+        "reload: swaps={RELOADS} p50={reload50:.0}us p99={reload99:.0}us \
+         served_during={served_during}"
+    );
+    let reload_json = format!(
+        concat!(
+            "{{\"reloads\": {}, \"clients\": {}, \"p50_us\": {:.1}, ",
+            "\"p99_us\": {:.1}, \"served_during\": {}}}"
+        ),
+        RELOADS, RELOAD_CLIENTS, reload50, reload99, served_during,
+    );
+
+    // --- eviction churn: a budget 2.5 entries wide over 6 models ---------
+    let churn_names: Vec<String> = (0..6).map(|i| format!("evict_{i}")).collect();
+    for name in &churn_names {
+        store.save(name, &model).expect("seed eviction store");
+    }
+    let entry_bytes = std::fs::metadata(store.entry_path("evict_0"))
+        .expect("entry metadata")
+        .len();
+    let budget = entry_bytes * 5 / 2;
+    let churn_socket = scratch.join("churn.sock");
+    let churn_server = Server::start(
+        ModelLibrary::open_with(
+            &store,
+            LibraryOptions {
+                memory_budget: Some(budget),
+                ..LibraryOptions::default()
+            },
+        ),
+        &churn_socket,
+        ServeOptions {
+            workers,
+            queue_capacity: 256,
+            request_deadline: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("start churn server");
+    const CHURN_ROUNDS: usize = 64;
+    let mut stream = UnixStream::connect(&churn_socket).expect("connect to churn server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    let (mut warm_us, mut cold_us, mut load_us) = (Vec::new(), Vec::new(), Vec::new());
+    // Round-robin over a set wider than the budget cycles LRU (every
+    // access a miss); interleaving one hot model keeps it resident, so the
+    // run measures both sides: warm hits under churn and cold misses.
+    let access: Vec<&String> = churn_names
+        .iter()
+        .flat_map(|name| [name, &churn_names[0]])
+        .collect();
+    for _ in 0..CHURN_ROUNDS {
+        for name in &access {
+            let request = format!(
+                concat!(
+                    "{{\"op\":\"query\",\"model\":\"{}\",\"events\":[",
+                    "{{\"pin\":0,\"edge\":\"rise\",\"t\":0.0,\"tt\":4e-10}},",
+                    "{{\"pin\":1,\"edge\":\"rise\",\"t\":5e-11,\"tt\":4e-10}}]}}"
+                ),
+                name
+            );
+            let start = Instant::now();
+            let resp = proto::call(&mut stream, &request).expect("churn round trip");
+            let e2e = start.elapsed().as_secs_f64() * 1e6;
+            assert!(resp.contains("\"ok\":true"), "{name}: {resp}");
+            if resp.contains("\"cold\":true") {
+                cold_us.push(e2e);
+                let json = Json::parse(&resp).expect("churn response parses");
+                load_us.push(
+                    json.get("load_us")
+                        .and_then(Json::as_f64)
+                        .expect("a cold answer must carry load_us"),
+                );
+            } else {
+                warm_us.push(e2e);
+            }
+        }
+    }
+    drop(stream);
+    churn_server.begin_shutdown();
+    let churn_snap = churn_server.join();
+    let cold_misses = churn_snap.counter(sm::LIBRARY_COLD_MISSES);
+    let evictions = churn_snap.counter(sm::LIBRARY_EVICTIONS);
+    let resident = churn_snap.gauge(sm::LIBRARY_RESIDENT_BYTES);
+    assert!(cold_misses > 0, "an over-budget set must pay cold misses");
+    assert!(evictions > 0, "an over-budget set must evict");
+    assert!(
+        !warm_us.is_empty() && !cold_us.is_empty(),
+        "the penalty comparison needs both warm and cold samples"
+    );
+    assert!(
+        resident <= budget as f64,
+        "resident bytes {resident} exceed the budget {budget}"
+    );
+    let (warm50, warm99) = phase_percentiles(warm_us.clone());
+    let (cold50, cold99) = phase_percentiles(cold_us.clone());
+    let (load50, _) = phase_percentiles(load_us.clone());
+    println!(
+        "eviction_churn: queries={} cold={} evictions={evictions} \
+         warm_p50={warm50:.0}us cold_p50={cold50:.0}us load_p50={load50:.0}us",
+        CHURN_ROUNDS * access.len(),
+        cold_us.len(),
+    );
+    let churn_json = format!(
+        concat!(
+            "{{\"models\": {}, \"entry_bytes\": {}, \"budget_bytes\": {}, ",
+            "\"queries\": {}, \"cold_misses\": {}, \"evictions\": {}, ",
+            "\"warm\": {{\"p50_us\": {:.1}, \"p99_us\": {:.1}}}, ",
+            "\"cold\": {{\"p50_us\": {:.1}, \"p99_us\": {:.1}}}, ",
+            "\"cold_load_p50_us\": {:.1}, ",
+            "\"cold_miss_penalty_p50_us\": {:.1}, \"resident_bytes\": {:.0}}}"
+        ),
+        churn_names.len(),
+        entry_bytes,
+        budget,
+        CHURN_ROUNDS * access.len(),
+        cold_misses,
+        evictions,
+        warm50,
+        warm99,
+        cold50,
+        cold99,
+        load50,
+        cold50 - warm50,
+        resident,
+    );
+
     let report = format!(
         concat!(
             "{{\n  \"model\": \"{}\",\n  \"workers\": {},\n",
             "  \"latency\": {{{}}},\n  \"phases\": {},\n  \"overload\": {},\n",
-            "  \"trace_overhead\": {}\n}}\n"
+            "  \"trace_overhead\": {},\n  \"reload\": {},\n",
+            "  \"eviction_churn\": {}\n}}\n"
         ),
         MODEL,
         workers,
@@ -635,6 +835,8 @@ fn main() -> ExitCode {
         phases,
         overload_json,
         trace_overhead_json,
+        reload_json,
+        churn_json,
     );
     std::fs::write(&out, &report).expect("write report");
     println!("wrote {out}");

@@ -139,6 +139,35 @@ pub mod serve_metrics {
     /// Gauge: daemon uptime in seconds, refreshed on every snapshot the
     /// introspection plane renders.
     pub const UPTIME_SECONDS: &str = "serve.uptime.seconds";
+    /// Gauge: the library generation currently serving (bumped by every
+    /// successful hot reload).
+    pub const GENERATION: &str = "serve.generation";
+    /// Counter: hot reloads that validated and swapped in.
+    pub const RELOAD_SWAPPED: &str = "serve.reload.swapped";
+    /// Counter: hot reloads whose candidate was rejected (worse than the
+    /// live generation, or its store root was unreadable).
+    pub const RELOAD_REJECTED: &str = "serve.reload.rejected";
+    /// Gauge: bytes of model data currently resident in the library
+    /// (never exceeds the configured memory budget after load completes).
+    pub const LIBRARY_RESIDENT_BYTES: &str = "serve.library.resident_bytes";
+    /// Counter: models evicted from residency to stay under the memory
+    /// budget (the library drops its reference; in-flight holders keep
+    /// theirs).
+    pub const LIBRARY_EVICTIONS: &str = "serve.library.evictions";
+    /// Counter: requests that found their model non-resident and paid a
+    /// cold load from the store.
+    pub const LIBRARY_COLD_MISSES: &str = "serve.library.cold_misses";
+    /// Counter: requests that waited on another request's in-progress cold
+    /// load instead of loading the same model twice (single-flight).
+    pub const LIBRARY_SINGLEFLIGHT_WAITS: &str = "serve.library.singleflight_waits";
+    /// Counter: quarantine renames that themselves failed (read-only or
+    /// full disk); the corrupt entry stayed in place and the failure is
+    /// reported distinctly from successful quarantines.
+    pub const QUARANTINE_FAILED: &str = "serve.store.quarantine_failed";
+    /// Counter: disk writes (store entries, quarantine renames, metrics
+    /// snapshots, flight dumps) that failed with a typed ENOSPC/EIO and
+    /// were degraded instead of panicking.
+    pub const DISK_FAULTS: &str = "serve.disk.faults";
 }
 
 use std::path::PathBuf;

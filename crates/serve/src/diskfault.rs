@@ -1,0 +1,316 @@
+//! Typed disk-fault handling and deterministic disk-fault injection.
+//!
+//! Every durable sink the daemon writes — store entries, quarantine
+//! renames, metrics snapshots, flight-recorder dumps — goes through the
+//! checked entry points here instead of calling the filesystem directly.
+//! A full or failing disk then surfaces as a *typed* [`DiskError`]
+//! (`ENOSPC` distinguished from other I/O failure) that callers degrade
+//! on — count it, record a flight event, keep serving — rather than a
+//! panic or an aborted `SIGTERM` drain.
+//!
+//! Behind the `fault-injection` feature the same entry points host a
+//! deterministic injector in the [`crate::wirefault`] mold: tests arm a
+//! process-global [`DiskFaultConfig`] (optionally after `after` successful
+//! operations, so mid-run disk exhaustion is reproducible) and every write
+//! or rename fails with a synthetic error of the configured kind. No
+//! clocks, no randomness — a faulted run replays identically. With the
+//! feature off every hook compiles to a plain passthrough.
+
+use proxim_model::persist::atomic_write;
+use proxim_model::ModelError;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+#[cfg(feature = "fault-injection")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "fault-injection")]
+use std::sync::{Mutex, PoisonError};
+
+/// The typed category of a disk failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The device is out of space (`ENOSPC`): writes fail but reads keep
+    /// working, so the daemon can keep serving from what is loaded.
+    NoSpace,
+    /// Any other I/O failure (`EIO`, permissions, read-only remounts).
+    Io,
+}
+
+/// A typed disk-sink failure: what category, and the rendered detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskError {
+    /// The typed category.
+    pub kind: DiskFaultKind,
+    /// The rendered underlying error.
+    pub detail: String,
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DiskFaultKind::NoSpace => write!(f, "disk full: {}", self.detail),
+            DiskFaultKind::Io => write!(f, "disk I/O error: {}", self.detail),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Classifies a rendered I/O error message. `ENOSPC` renders as
+/// `"No space left on device (os error 28)"` on Linux; both spellings are
+/// matched so classification survives the message passing through
+/// [`ModelError::Persist`]'s string detail.
+pub fn classify_detail(detail: &str) -> DiskFaultKind {
+    if detail.contains("os error 28") || detail.contains("No space left") {
+        DiskFaultKind::NoSpace
+    } else {
+        DiskFaultKind::Io
+    }
+}
+
+fn classify_io(e: &std::io::Error) -> DiskFaultKind {
+    if e.raw_os_error() == Some(28) {
+        DiskFaultKind::NoSpace
+    } else {
+        classify_detail(&e.to_string())
+    }
+}
+
+/// Disk-fault injector configuration: which operations fail, with what
+/// kind, after how many successes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFaultConfig {
+    /// Fail atomic writes (store entries, metrics snapshots, dumps).
+    pub fail_writes: bool,
+    /// Fail renames (quarantine moves).
+    pub fail_renames: bool,
+    /// The synthetic failure kind injected.
+    pub kind: DiskFaultKind,
+    /// Number of guarded operations that succeed before faults start —
+    /// deterministic mid-run disk exhaustion.
+    pub after: u64,
+}
+
+impl DiskFaultConfig {
+    /// The inert configuration: nothing fails.
+    pub const DISARMED: Self = Self {
+        fail_writes: false,
+        fail_renames: false,
+        kind: DiskFaultKind::Io,
+        after: 0,
+    };
+
+    /// Everything fails with `ENOSPC` immediately.
+    pub const FULL_DISK: Self = Self {
+        fail_writes: true,
+        fail_renames: true,
+        kind: DiskFaultKind::NoSpace,
+        after: 0,
+    };
+
+    /// Whether any fault can ever fire under this configuration.
+    pub fn is_armed(&self) -> bool {
+        self.fail_writes || self.fail_renames
+    }
+}
+
+impl Default for DiskFaultConfig {
+    fn default() -> Self {
+        Self::DISARMED
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+static CONFIG: Mutex<DiskFaultConfig> = Mutex::new(DiskFaultConfig::DISARMED);
+#[cfg(feature = "fault-injection")]
+static OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs a process-global disk-fault configuration and resets the
+/// operation counter. Global state: tests that arm it serialize on their
+/// own lock and [`disarm`] when done.
+#[cfg(feature = "fault-injection")]
+pub fn configure(cfg: DiskFaultConfig) {
+    *CONFIG.lock().unwrap_or_else(PoisonError::into_inner) = cfg;
+    OPS.store(0, Ordering::SeqCst);
+}
+
+/// No-op stub: without the `fault-injection` feature nothing is installed.
+#[cfg(not(feature = "fault-injection"))]
+pub fn configure(_cfg: DiskFaultConfig) {}
+
+/// Resets the process-global configuration to
+/// [`DiskFaultConfig::DISARMED`].
+pub fn disarm() {
+    configure(DiskFaultConfig::DISARMED);
+}
+
+/// The currently installed configuration.
+#[cfg(feature = "fault-injection")]
+pub fn current() -> DiskFaultConfig {
+    *CONFIG.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Always [`DiskFaultConfig::DISARMED`] without the `fault-injection`
+/// feature.
+#[cfg(not(feature = "fault-injection"))]
+pub fn current() -> DiskFaultConfig {
+    DiskFaultConfig::DISARMED
+}
+
+/// Arms the injector from `PROXIM_DISKFAULT` (`enospc` or `eio`, with an
+/// optional `PROXIM_DISKFAULT_AFTER=N` success grace), so a spawned daemon
+/// built with `fault-injection` can run against a synthetic full disk.
+/// Does nothing without the feature or the variable.
+pub fn init_from_env() {
+    let Some(kind) = std::env::var_os("PROXIM_DISKFAULT") else {
+        return;
+    };
+    let kind = match kind.to_str() {
+        Some("enospc") => DiskFaultKind::NoSpace,
+        Some("eio") => DiskFaultKind::Io,
+        _ => return,
+    };
+    let after = std::env::var("PROXIM_DISKFAULT_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    configure(DiskFaultConfig {
+        fail_writes: true,
+        fail_renames: true,
+        kind,
+        after,
+    });
+}
+
+/// Whether the next guarded operation of the given class should fail, and
+/// with what synthetic error.
+#[cfg(feature = "fault-injection")]
+fn injected(rename: bool) -> Option<DiskError> {
+    let cfg = current();
+    let wanted = if rename {
+        cfg.fail_renames
+    } else {
+        cfg.fail_writes
+    };
+    if !wanted {
+        return None;
+    }
+    if OPS.fetch_add(1, Ordering::SeqCst) < cfg.after {
+        return None;
+    }
+    Some(DiskError {
+        kind: cfg.kind,
+        detail: match cfg.kind {
+            DiskFaultKind::NoSpace => "injected: No space left on device (os error 28)".into(),
+            DiskFaultKind::Io => "injected: Input/output error (os error 5)".into(),
+        },
+    })
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn injected(_rename: bool) -> Option<DiskError> {
+    None
+}
+
+/// Crash-consistent atomic write with typed disk-fault classification (and
+/// injection, under the feature). Every durable sink in the serve layer
+/// writes through here.
+///
+/// # Errors
+///
+/// A [`DiskError`] with `ENOSPC` distinguished from other I/O failure.
+pub fn checked_write(path: &Path, bytes: &[u8]) -> Result<(), DiskError> {
+    if let Some(e) = injected(false) {
+        return Err(e);
+    }
+    atomic_write(path, bytes).map_err(|e| {
+        let detail = match e {
+            ModelError::Persist { detail } => detail,
+            other => other.to_string(),
+        };
+        DiskError {
+            kind: classify_detail(&detail),
+            detail,
+        }
+    })
+}
+
+/// Rename with typed disk-fault classification (and injection, under the
+/// feature). The quarantine path moves evidence through here.
+///
+/// # Errors
+///
+/// A [`DiskError`] with `ENOSPC` distinguished from other I/O failure.
+pub fn checked_rename(from: &Path, to: &Path) -> Result<(), DiskError> {
+    if let Some(e) = injected(true) {
+        return Err(e);
+    }
+    fs::rename(from, to).map_err(|e| DiskError {
+        kind: classify_io(&e),
+        detail: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_by_errno_spelling() {
+        assert_eq!(
+            classify_detail("No space left on device (os error 28)"),
+            DiskFaultKind::NoSpace
+        );
+        assert_eq!(
+            classify_detail("Input/output error (os error 5)"),
+            DiskFaultKind::Io
+        );
+        assert_eq!(
+            classify_detail("Permission denied (os error 13)"),
+            DiskFaultKind::Io
+        );
+    }
+
+    #[test]
+    fn disarmed_passthrough_writes_and_renames() {
+        let dir = std::env::temp_dir().join(format!("proxim_diskfault_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        disarm();
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        checked_write(&a, b"payload").unwrap();
+        checked_rename(&a, &b).unwrap();
+        assert_eq!(fs::read(&b).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn armed_faults_are_typed_and_deterministic() {
+        let dir =
+            std::env::temp_dir().join(format!("proxim_diskfault_armed_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        configure(DiskFaultConfig {
+            fail_writes: true,
+            fail_renames: true,
+            kind: DiskFaultKind::NoSpace,
+            after: 1,
+        });
+        let a = dir.join("a.txt");
+        // The first guarded operation succeeds (after = 1), then every
+        // subsequent one fails with the configured typed kind.
+        checked_write(&a, b"first").unwrap();
+        let e = checked_write(&a, b"second").unwrap_err();
+        assert_eq!(e.kind, DiskFaultKind::NoSpace);
+        let e = checked_rename(&a, &dir.join("b.txt")).unwrap_err();
+        assert_eq!(e.kind, DiskFaultKind::NoSpace);
+        assert_eq!(fs::read(&a).unwrap(), b"first", "failed ops change nothing");
+        disarm();
+        checked_write(&a, b"third").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

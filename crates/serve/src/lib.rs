@@ -16,8 +16,12 @@
 //! - [`library`]: the in-memory model library the daemon serves from.
 //!   Loading is degrade-instead-of-die: corrupt entries are quarantined and
 //!   the daemon starts *degraded* with the surviving models rather than
-//!   refusing to start. After load the library is immutable and shared via
-//!   `Arc`, so concurrent readers are lock-free.
+//!   refusing to start. A library is one immutable *generation* of the
+//!   serving set, shared via `Arc`; hot reload loads a candidate generation
+//!   off to the side, judges it against the live one, and swaps a pointer —
+//!   in-flight requests finish on the generation they started on. With a
+//!   memory budget, residency is LRU-governed: non-resident models are
+//!   cold-loaded on demand with single-flight deduplication.
 //! - [`proto`]: the length-prefixed socket protocol. Frames are hardened
 //!   untrusted input: oversized, truncated, non-UTF-8, malformed, and
 //!   recursion-bomb frames all produce *typed* protocol errors, never a
@@ -31,6 +35,16 @@
 //!   answer even under full overload, and `SIGTERM` drains: stop
 //!   accepting, finish (or shed) in-flight work, flush final metrics,
 //!   exit cleanly.
+//! - [`diskfault`]: typed ENOSPC/EIO classification for every durable sink
+//!   (store writes, quarantine renames, metrics snapshots, flight dumps) —
+//!   a full disk degrades with a counter and a flight event, never a panic
+//!   or an aborted drain — plus a deterministic disk-fault injector behind
+//!   the `fault-injection` feature.
+//! - [`client`]: a deadline-aware retrying client used by the CLI's
+//!   `query`/`churn` subcommands: capped exponential backoff with
+//!   deterministic jitter on `overloaded`/`shutting_down`/connect-refused,
+//!   honoring the server's retry-after hint, never retrying past the
+//!   caller's deadline and never retrying non-idempotent ops.
 //! - [`wirefault`]: deterministic wire-layer fault injection (torn frames,
 //!   injected slow reads, dropped connections) behind the
 //!   `fault-injection` feature, extending the `proxim_spice::faultpoint`
@@ -43,13 +57,20 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod client;
+pub mod diskfault;
 pub mod library;
 pub mod proto;
 pub mod server;
 pub mod store;
 pub mod wirefault;
 
-pub use library::ModelLibrary;
+pub use client::{RetryOutcome, RetryPolicy};
+pub use diskfault::{DiskError, DiskFaultConfig, DiskFaultKind};
+pub use library::{
+    judge_candidate, AcquireError, Acquired, LibraryOptions, LoadReport, ModelLibrary,
+    ReloadRejection,
+};
 pub use proto::{ErrorKind, ProtoError, Request, MAX_FRAME_BYTES};
 pub use server::{ServeOptions, Server};
-pub use store::{ModelStore, StoreError};
+pub use store::{ModelStore, QuarantineFailure, StoreError};

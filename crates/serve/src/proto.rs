@@ -62,6 +62,10 @@ pub enum ErrorKind {
     DeadlineExceeded,
     /// The daemon is draining after `SIGTERM` and no longer admits work.
     ShuttingDown,
+    /// A `reload` candidate loaded worse than the live generation (or its
+    /// store root was unreadable) and was refused; the live generation is
+    /// untouched.
+    ReloadRejected,
     /// An unexpected server-side failure; the detail names it.
     Internal,
 }
@@ -77,8 +81,16 @@ impl ErrorKind {
             Self::InvalidQuery => "invalid_query",
             Self::DeadlineExceeded => "deadline_exceeded",
             Self::ShuttingDown => "shutting_down",
+            Self::ReloadRejected => "reload_rejected",
             Self::Internal => "internal",
         }
+    }
+
+    /// Whether a client may safely retry after this kind: the request was
+    /// refused *before* any server-side effect (shed at admission, or the
+    /// daemon is draining), so re-sending cannot double-apply anything.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Self::Overloaded | Self::ShuttingDown)
     }
 }
 
@@ -95,6 +107,10 @@ pub struct ProtoError {
     /// OS- and locale-dependent (Linux spells a socket read timeout
     /// "Resource temporarily unavailable").
     pub timeout: bool,
+    /// Server hint: how long a retrying client should wait before trying
+    /// again. Set on shed (`overloaded`) responses from the daemon's own
+    /// queue-drain estimate; rendered on the wire as `retry_after_ms`.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
@@ -104,7 +120,14 @@ impl ProtoError {
             kind,
             detail: detail.into(),
             timeout: false,
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a retry-after hint in milliseconds.
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -182,7 +205,23 @@ pub enum Request {
     /// Flip observability settings at runtime and/or fetch a
     /// flight-recorder dump. Answered inline so it works under overload.
     Obs(ObsControl),
+    /// Load a candidate library generation from the store, validate it
+    /// against the live one, and swap it in if it is no worse. Answered
+    /// inline (reload must work while the queue is full of queries).
+    Reload {
+        /// Accept a candidate that loaded worse than the live generation
+        /// (fewer survivors, new quarantines). Never overrides the
+        /// unreadable-store-root gate.
+        force: bool,
+        /// Optional operator label stamped on the new generation and
+        /// echoed on the health probe.
+        label: Option<String>,
+    },
 }
+
+/// Maximum length of an operator-supplied generation label (same bound and
+/// charset as `trace_id`: it lands in log lines and health probes).
+pub const MAX_LABEL_LEN: usize = MAX_TRACE_ID_LEN;
 
 // ---------------------------------------------------------------------------
 // Framing
@@ -245,6 +284,7 @@ fn io_proto(e: std::io::Error) -> ProtoError {
         kind: ErrorKind::Internal,
         detail: format!("transport error: {e}"),
         timeout,
+        retry_after_ms: None,
     }
 }
 
@@ -483,6 +523,35 @@ fn parse_obs_control(json: &Json) -> Result<ObsControl, ProtoError> {
     })
 }
 
+fn parse_reload(json: &Json) -> Result<Request, ProtoError> {
+    let force = match json.get("force") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad_request("\"force\" must be a boolean")),
+    };
+    let label = match json.get("label") {
+        None => None,
+        Some(j) => {
+            let s = j
+                .as_str()
+                .ok_or_else(|| bad_request("\"label\" must be a string"))?;
+            if s.is_empty() || s.len() > MAX_LABEL_LEN {
+                return Err(bad_request(format!(
+                    "label must be 1..={MAX_LABEL_LEN} characters"
+                )));
+            }
+            if !s
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'))
+            {
+                return Err(bad_request("label may contain only [A-Za-z0-9._:-]"));
+            }
+            Some(s.to_owned())
+        }
+    };
+    Ok(Request::Reload { force, label })
+}
+
 fn parse_model_name(json: &Json) -> Result<String, ProtoError> {
     let name = json
         .get("model")
@@ -547,6 +616,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtoError> {
         Some("list") => Ok(Request::List),
         Some("metrics") => Ok(Request::Metrics),
         Some("obs") => Ok(Request::Obs(parse_obs_control(&json)?)),
+        Some("reload") => parse_reload(&json),
         Some(op) => Err(bad_request(format!("unknown op {op:?}"))),
         None => Err(bad_request("request missing \"op\"")),
     }
@@ -593,6 +663,10 @@ fn push_error(out: &mut String, e: &ProtoError) {
     push_escaped(out, e.kind.wire_name());
     out.push_str(",\"detail\":");
     push_escaped(out, &e.detail);
+    if let Some(ms) = e.retry_after_ms {
+        out.push_str(",\"retry_after_ms\":");
+        out.push_str(&ms.to_string());
+    }
     out.push('}');
 }
 
@@ -612,6 +686,10 @@ pub struct TraceEcho {
     pub queue_us: u64,
     /// Microseconds a worker spent evaluating the request.
     pub execute_us: u64,
+    /// `Some(load_us)` when serving this request paid a cold model load
+    /// from the store (the model was outside the memory budget's resident
+    /// set); rendered as `"cold":true,"load_us":N`.
+    pub cold_load_us: Option<u64>,
 }
 
 fn push_trace_echo(out: &mut String, echo: &TraceEcho) {
@@ -621,6 +699,9 @@ fn push_trace_echo(out: &mut String, echo: &TraceEcho) {
         ",\"breakdown\":{{\"admit_us\":{},\"queue_us\":{},\"execute_us\":{}}}",
         echo.admit_us, echo.queue_us, echo.execute_us
     ));
+    if let Some(load_us) = echo.cold_load_us {
+        out.push_str(&format!(",\"cold\":true,\"load_us\":{load_us}"));
+    }
 }
 
 /// Renders a failed request: `{"ok":false,"error":{...}}`.
@@ -689,15 +770,62 @@ pub fn render_batch(
     out
 }
 
-/// Renders the health probe response.
-pub fn render_health(status: &str, models: usize, degraded: bool) -> String {
+/// Renders the health probe response, including which library generation
+/// is serving and — so an unreadable store can never masquerade as an
+/// empty one — the load-time store-root error, if any.
+pub fn render_health(
+    status: &str,
+    models: usize,
+    degraded: bool,
+    generation: u64,
+    store_error: Option<&str>,
+) -> String {
     let mut out = String::from("{\"ok\":true,\"status\":");
     push_escaped(&mut out, status);
     out.push_str(",\"models\":");
     out.push_str(&models.to_string());
     out.push_str(",\"degraded\":");
     out.push_str(if degraded { "true" } else { "false" });
+    out.push_str(",\"generation\":");
+    out.push_str(&generation.to_string());
+    out.push_str(",\"store_error\":");
+    match store_error {
+        None => out.push_str("null"),
+        Some(e) => push_escaped(&mut out, e),
+    }
     out.push('}');
+    out
+}
+
+/// Renders a successful reload: the generation that is now live and how
+/// long the candidate took to load, validate, and swap.
+pub fn render_reload_swapped(generation: u64, models: usize, reload_us: u64) -> String {
+    format!(
+        "{{\"ok\":true,\"swapped\":true,\"generation\":{generation},\"models\":{models},\"reload_us\":{reload_us}}}"
+    )
+}
+
+/// Renders a refused reload as a typed `reload_rejected` error carrying
+/// the full comparison report, so an operator sees exactly how the
+/// candidate was worse than the live generation.
+pub fn render_reload_rejected(rej: &crate::library::ReloadRejection) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    push_error(
+        &mut out,
+        &ProtoError::new(ErrorKind::ReloadRejected, rej.reasons.join("; ")),
+    );
+    out.push_str(",\"report\":{\"candidate_loaded\":");
+    out.push_str(&rej.candidate_loaded.to_string());
+    out.push_str(",\"live_loaded\":");
+    out.push_str(&rej.live_loaded.to_string());
+    out.push_str(",\"candidate_quarantined\":");
+    out.push_str(&rej.candidate_quarantined.to_string());
+    out.push_str(",\"root_error\":");
+    match &rej.root_error {
+        None => out.push_str("null"),
+        Some(e) => push_escaped(&mut out, e),
+    }
+    out.push_str("}}");
     out
 }
 
@@ -918,11 +1046,71 @@ mod tests {
         let json = Json::parse(&batch).unwrap();
         assert_eq!(json.get("results").and_then(Json::as_arr).unwrap().len(), 2);
 
-        let health = Json::parse(&render_health("draining", 3, true)).unwrap();
+        let health = Json::parse(&render_health("draining", 3, true, 2, None)).unwrap();
         assert_eq!(
             health.get("status").and_then(Json::as_str),
             Some("draining")
         );
+        assert_eq!(health.get("generation").and_then(Json::as_f64), Some(2.0));
+        assert!(matches!(health.get("store_error"), Some(Json::Null)));
+        let sick = Json::parse(&render_health("serving", 0, true, 1, Some("EACCES"))).unwrap();
+        assert_eq!(
+            sick.get("store_error").and_then(Json::as_str),
+            Some("EACCES")
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_renders_only_when_present() {
+        let bare = render_error(&ProtoError::new(ErrorKind::Overloaded, "queue full"));
+        assert!(!bare.contains("retry_after_ms"), "{bare}");
+        let hinted =
+            render_error(&ProtoError::new(ErrorKind::Overloaded, "queue full").with_retry_after(7));
+        let json = Json::parse(&hinted).unwrap();
+        assert_eq!(
+            json.get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Json::as_f64),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn reload_op_decodes_and_hostile_variants_are_typed() {
+        match parse_request(br#"{"op":"reload"}"#).unwrap() {
+            Request::Reload { force, label } => {
+                assert!(!force);
+                assert_eq!(label, None);
+            }
+            other => panic!("expected reload, got {other:?}"),
+        }
+        match parse_request(br#"{"op":"reload","force":true,"label":"corner-ff.v2"}"#).unwrap() {
+            Request::Reload { force, label } => {
+                assert!(force);
+                assert_eq!(label.as_deref(), Some("corner-ff.v2"));
+            }
+            other => panic!("expected reload, got {other:?}"),
+        }
+        let oversized = format!(
+            r#"{{"op":"reload","label":"{}"}}"#,
+            "g".repeat(MAX_LABEL_LEN + 1)
+        );
+        for bad in [
+            br#"{"op":"reload","force":"yes"}"#.as_slice(),
+            br#"{"op":"reload","force":1}"#.as_slice(),
+            br#"{"op":"reload","force":null}"#.as_slice(),
+            br#"{"op":"reload","label":42}"#.as_slice(),
+            br#"{"op":"reload","label":""}"#.as_slice(),
+            br#"{"op":"reload","label":"has space"}"#.as_slice(),
+            oversized.as_bytes(),
+        ] {
+            assert_eq!(
+                parse_request(bad).unwrap_err().kind,
+                ErrorKind::BadRequest,
+                "{}",
+                String::from_utf8_lossy(bad)
+            );
+        }
     }
 
     #[test]
@@ -932,6 +1120,7 @@ mod tests {
             admit_us: 12,
             queue_us: 340,
             execute_us: 56,
+            cold_load_us: None,
         };
         let t = GateTiming {
             reference_pin: 0,
@@ -968,6 +1157,14 @@ mod tests {
             render_error(&err).starts_with("{\"ok\":false,\"error\""),
             "untraced errors keep the bare shape"
         );
+        // A cold-load acquisition is marked on the response.
+        let cold_echo = TraceEcho {
+            cold_load_us: Some(870),
+            ..echo
+        };
+        let json = Json::parse(&render_timing(&t, Some(&cold_echo))).unwrap();
+        assert_eq!(json.get("cold").and_then(Json::as_bool), Some(true));
+        assert_eq!(json.get("load_us").and_then(Json::as_f64), Some(870.0));
     }
 
     #[test]

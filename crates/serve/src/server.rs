@@ -32,11 +32,14 @@
 //!   completes in-progress response writes, and [`Server::join`] returns
 //!   the final metrics snapshot for the flush — exit is clean, not torn.
 
-use crate::library::ModelLibrary;
+use crate::library::{
+    judge_candidate, AcquireError, LibraryOptions, ModelLibrary, ReloadRejection,
+};
 use crate::proto::{
     self, frame_bytes, is_timeout, model_error_to_proto, parse_request, read_frame, render_batch,
-    render_error, render_error_traced, render_health, render_list, render_timing, ErrorKind,
-    ObsControl, ProtoError, Request, TraceEcho, WireQuery,
+    render_error, render_error_traced, render_health, render_list, render_reload_rejected,
+    render_reload_swapped, render_timing, ErrorKind, ObsControl, ProtoError, Request, TraceEcho,
+    WireQuery,
 };
 use crate::wirefault::WireFaultStream;
 use proxim_model::{GateTiming, ProximityModel};
@@ -116,6 +119,9 @@ impl Default for ServeOptions {
 /// One admitted unit of work.
 struct Job {
     model: Arc<ProximityModel>,
+    /// `Some(load_us)` when admission paid a cold model load (echoed on
+    /// the response as `"cold":true,"load_us":N`).
+    cold_load_us: Option<u64>,
     queries: Vec<WireQuery>,
     /// Whether to render a batch envelope (even for a single query).
     batch: bool,
@@ -163,7 +169,14 @@ struct ReqTrace {
 }
 
 struct Shared {
-    library: ModelLibrary,
+    /// The live library generation. Every request clones the `Arc` under a
+    /// brief lock (a pointer copy, never held across I/O or evaluation);
+    /// reload swaps the `Arc`, and in-flight requests finish on the
+    /// generation they started on.
+    library: Mutex<Arc<ModelLibrary>>,
+    /// Serializes reloads: candidate load + validation happens off to the
+    /// side, and two concurrent `reload` ops must not race their swaps.
+    reload_lock: Mutex<()>,
     opts: ServeOptions,
     shutdown: CancelToken,
     queue: Mutex<VecDeque<Job>>,
@@ -226,9 +239,78 @@ fn elapsed_us(since: Instant) -> u64 {
     since.elapsed().as_micros() as u64
 }
 
+/// A successful reload's summary, for the wire response and the SIGHUP log
+/// line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// The generation now serving.
+    pub generation: u64,
+    /// Servable models in the new generation.
+    pub models: usize,
+    /// Microseconds the candidate took to load, validate, and swap.
+    pub reload_us: u64,
+}
+
 impl Shared {
     fn count(&self, name: &str) {
         self.registry.counter(name).incr();
+    }
+
+    /// The live library generation: a pointer copy under a brief lock.
+    fn library(&self) -> Arc<ModelLibrary> {
+        Arc::clone(&lock(&self.library))
+    }
+
+    /// Loads a candidate generation from the live library's store, judges
+    /// it against the live one, and — if it is no worse (or `force`) —
+    /// swaps it in. Never blocks queries: the candidate loads outside the
+    /// library lock, and the swap itself is one pointer exchange.
+    fn do_reload(
+        &self,
+        force: bool,
+        label: Option<String>,
+    ) -> Result<ReloadOutcome, ReloadRejection> {
+        let _serial = lock(&self.reload_lock);
+        let start = Instant::now();
+        let live = self.library();
+        let candidate = ModelLibrary::open_with(
+            live.store(),
+            LibraryOptions {
+                memory_budget: live.options().memory_budget,
+                generation: live.generation() + 1,
+                label,
+            },
+        );
+        if let Err(rej) = judge_candidate(&candidate, &live, force) {
+            self.count(sm::RELOAD_REJECTED);
+            drop(
+                trace::event("serve.reload.rejected")
+                    .arg("generation", candidate.generation())
+                    .arg("reasons", rej.reasons.join("; ")),
+            );
+            return Err(rej);
+        }
+        candidate.bind_metrics(&self.registry);
+        self.registry
+            .counter(sm::STORE_QUARANTINED)
+            .add(candidate.report().quarantined.len() as u64);
+        let outcome = ReloadOutcome {
+            generation: candidate.generation(),
+            models: candidate.len(),
+            reload_us: elapsed_us(start),
+        };
+        *lock(&self.library) = Arc::new(candidate);
+        self.registry
+            .gauge(sm::GENERATION)
+            .set(outcome.generation as f64);
+        self.count(sm::RELOAD_SWAPPED);
+        drop(
+            trace::event("serve.reload.swapped")
+                .arg("generation", outcome.generation)
+                .arg("models", outcome.models as u64)
+                .arg("reload_us", outcome.reload_us),
+        );
+        Ok(outcome)
     }
 
     fn set_phase(&self, seq: u64, phase: &'static str) {
@@ -295,6 +377,10 @@ impl Server {
         registry
             .counter(sm::STORE_QUARANTINED)
             .add(library.report().quarantined.len() as u64);
+        library.bind_metrics(&registry);
+        registry
+            .gauge(sm::GENERATION)
+            .set(library.generation() as f64);
         // Touch the headline metrics so a flush from an idle daemon still
         // reports them as explicit zeros.
         for name in [
@@ -317,7 +403,8 @@ impl Server {
 
         let hot = HotMetrics::resolve(&registry);
         let shared = Arc::new(Shared {
-            library,
+            library: Mutex::new(Arc::new(library)),
+            reload_lock: Mutex::new(()),
             opts: opts.clone(),
             shutdown: CancelToken::new(),
             queue: Mutex::new(VecDeque::new()),
@@ -365,12 +452,35 @@ impl Server {
 
     /// How many models are servable.
     pub fn model_count(&self) -> usize {
-        self.shared.library.len()
+        self.shared.library().len()
     }
 
     /// Whether the library lost entries to quarantine at load.
     pub fn is_degraded(&self) -> bool {
-        self.shared.library.is_degraded()
+        self.shared.library().is_degraded()
+    }
+
+    /// The live library generation (a snapshot; reload may swap it the
+    /// moment this returns).
+    pub fn library(&self) -> Arc<ModelLibrary> {
+        self.shared.library()
+    }
+
+    /// Reloads the library from its store: load a candidate generation,
+    /// validate it against the live one, swap if no worse (or `force`).
+    /// The same operation the `reload` wire op and the daemon's `SIGHUP`
+    /// handler perform.
+    ///
+    /// # Errors
+    ///
+    /// A [`ReloadRejection`] when the candidate loaded worse than the live
+    /// generation; the live generation is untouched.
+    pub fn reload(
+        &self,
+        force: bool,
+        label: Option<String>,
+    ) -> Result<ReloadOutcome, ReloadRejection> {
+        self.shared.do_reload(force, label)
     }
 
     /// The daemon's metrics registry (shared; snapshot any time).
@@ -673,13 +783,20 @@ fn respond_to(shared: &Arc<Shared>, payload: &[u8]) -> (String, Option<ReqTrace>
             } else {
                 "serving"
             };
+            let lib = shared.library();
             (
-                render_health(status, shared.library.len(), shared.library.is_degraded()),
+                render_health(
+                    status,
+                    lib.len(),
+                    lib.is_degraded(),
+                    lib.generation(),
+                    lib.report().root_error.as_deref(),
+                ),
                 None,
             )
         }
         Request::Stats => (render_stats(shared), None),
-        Request::List => (render_list(&shared.library.names()), None),
+        Request::List => (render_list(&shared.library().names()), None),
         Request::Metrics => {
             let mut out = String::from("{\"ok\":true,\"exposition\":");
             push_escaped(&mut out, &exposition::render(&shared.registry.snapshot()));
@@ -687,6 +804,28 @@ fn respond_to(shared: &Arc<Shared>, payload: &[u8]) -> (String, Option<ReqTrace>
             (out, None)
         }
         Request::Obs(control) => (apply_obs(shared, &control), None),
+        Request::Reload { force, label } => {
+            // Answered inline like the other control-plane ops: a reload
+            // must work while the queue is full of queries. Racing a
+            // shutdown answers typed — a draining daemon is about to drop
+            // the library anyway.
+            if shared.shutdown.is_cancelled() {
+                return (
+                    render_error(&ProtoError::new(
+                        ErrorKind::ShuttingDown,
+                        "daemon is draining; reload refused",
+                    )),
+                    None,
+                );
+            }
+            let response = match shared.do_reload(force, label) {
+                Ok(outcome) => {
+                    render_reload_swapped(outcome.generation, outcome.models, outcome.reload_us)
+                }
+                Err(rej) => render_reload_rejected(&rej),
+            };
+            (response, None)
+        }
         Request::Query {
             model,
             query,
@@ -825,6 +964,20 @@ fn apply_obs(shared: &Arc<Shared>, control: &ObsControl) -> String {
     out
 }
 
+/// The retry-after hint stamped on shed responses: roughly how long the
+/// full queue needs to drain ahead of a retry (`queue_capacity / workers`
+/// jobs of `worker_stall` each), clamped to a sane band. With no
+/// configured stall (production: real evaluation is microseconds) a small
+/// constant keeps retrying clients from hammering a momentary spike.
+fn retry_after_hint(opts: &ServeOptions) -> u64 {
+    let stall_ms = opts.worker_stall.as_millis() as u64;
+    if stall_ms == 0 {
+        return 5;
+    }
+    let jobs_per_worker = (opts.queue_capacity / opts.workers.max(1)).max(1) as u64;
+    stall_ms.saturating_mul(jobs_per_worker).clamp(1, 5_000)
+}
+
 /// Admission: resolve the model, reserve a queue slot or shed, and wait
 /// for the worker's rendered response. Every outcome — including shed,
 /// unknown-model, and drain refusals — carries the request's trace context
@@ -873,15 +1026,31 @@ fn admit(
             ),
         );
     }
-    let Some(model) = shared.library.get(model) else {
-        return refuse(
-            t,
-            &ProtoError::new(
-                ErrorKind::UnknownModel,
-                format!("no model named {model:?} (try op \"list\")"),
-            ),
-        );
+    // Snapshot the live generation: this request runs entirely against it,
+    // even if a reload swaps the library mid-flight.
+    let library = shared.library();
+    let acquired = match library.acquire(model) {
+        Ok(a) => a,
+        Err(AcquireError::UnknownModel) => {
+            return refuse(
+                t,
+                &ProtoError::new(
+                    ErrorKind::UnknownModel,
+                    format!("no model named {model:?} (try op \"list\")"),
+                ),
+            );
+        }
+        Err(e @ AcquireError::LoadFailed(_)) => {
+            return refuse(t, &ProtoError::new(ErrorKind::Internal, e.to_string()));
+        }
     };
+    if acquired.cold {
+        drop(
+            trace::event("serve.library.cold_miss")
+                .arg("trace_id", &t.trace_id)
+                .arg("load_us", acquired.load_us),
+        );
+    }
     let (tx, rx) = mpsc::sync_channel(1);
     {
         let mut queue = lock(&shared.queue);
@@ -901,12 +1070,14 @@ fn admit(
                         "admission queue full ({} pending); retry with backoff",
                         shared.opts.queue_capacity
                     ),
-                ),
+                )
+                .with_retry_after(retry_after_hint(&shared.opts)),
             );
         }
         t.admit_us = elapsed_us(start);
         queue.push_back(Job {
-            model: Arc::clone(model),
+            model: acquired.model,
+            cold_load_us: acquired.cold.then_some(acquired.load_us),
             queries,
             batch,
             cancel: CancelToken::with_deadline_in(shared.opts.request_deadline),
@@ -937,7 +1108,7 @@ fn admit(
         shared.emit_queue_depth(depth);
         shared.job_ready.notify_one();
     }
-    shared.set_phase(seq, "queued");
+    shared.set_phase(seq, "queue");
     // Workers always reply (evaluated, deadline-expired, or drain-shed),
     // so this wait only trips if a worker thread died — answer typed
     // rather than wedging the connection forever. A job can sit behind up
@@ -1006,6 +1177,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             admit_us: job.admit_us,
             queue_us,
             execute_us,
+            cold_load_us: job.cold_load_us,
         };
         let response = if job.batch {
             render_batch(&results, Some(&echo))

@@ -34,7 +34,8 @@
 //! (and repeated corruption events cannot overwrite each other), counted,
 //! and the rest of the library keeps serving.
 
-use proxim_model::persist::{atomic_write, fnv1a_64, MAX_MODEL_JSON_BYTES};
+use crate::diskfault::{self, DiskError, DiskFaultKind};
+use proxim_model::persist::{fnv1a_64, MAX_MODEL_JSON_BYTES};
 use proxim_model::{ModelError, ProximityModel};
 use proxim_obs::json::{push_escaped, Json};
 use std::fmt;
@@ -67,6 +68,12 @@ pub const ENTRY_EXT: &str = "pxm";
 pub enum StoreError {
     /// Filesystem failure.
     Io {
+        /// The rendered I/O error.
+        detail: String,
+    },
+    /// The device is out of space (`ENOSPC`): a *typed* write failure the
+    /// daemon degrades on — reads and already-loaded models keep serving.
+    DiskFull {
         /// The rendered I/O error.
         detail: String,
     },
@@ -106,6 +113,7 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io { detail } => write!(f, "store I/O error: {detail}"),
+            Self::DiskFull { detail } => write!(f, "store disk full: {detail}"),
             Self::BadName { name } => write!(
                 f,
                 "unstorable model name {name:?} (want 1-64 chars of [A-Za-z0-9_-])"
@@ -133,6 +141,15 @@ impl std::error::Error for StoreError {
 impl From<ModelError> for StoreError {
     fn from(e: ModelError) -> Self {
         Self::Model(e)
+    }
+}
+
+impl From<DiskError> for StoreError {
+    fn from(e: DiskError) -> Self {
+        match e.kind {
+            DiskFaultKind::NoSpace => Self::DiskFull { detail: e.detail },
+            DiskFaultKind::Io => Self::Io { detail: e.detail },
+        }
     }
 }
 
@@ -300,6 +317,29 @@ pub fn decode_entry(bytes: &[u8]) -> Result<(String, ProximityModel), StoreError
     Ok((name.to_owned(), model))
 }
 
+/// A quarantine that could not complete: the rename failed, so the corrupt
+/// entry is still at its original path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineFailure {
+    /// The corrupt entry, still in place.
+    pub entry: PathBuf,
+    /// Where the evidence was supposed to go.
+    pub intended: PathBuf,
+    /// The typed rename failure.
+    pub error: DiskError,
+}
+
+impl fmt::Display for QuarantineFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quarantine of {} failed ({}); corrupt entry left in place",
+            self.entry.display(),
+            self.error
+        )
+    }
+}
+
 /// A directory of checksummed binary model entries.
 #[derive(Debug, Clone)]
 pub struct ModelStore {
@@ -341,12 +381,14 @@ impl ModelStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::BadName`] for unstorable names, [`StoreError::Io`] /
-    /// [`StoreError::Model`] on write or serialization failure.
+    /// [`StoreError::BadName`] for unstorable names, [`StoreError::Model`]
+    /// on serialization failure, and a typed [`StoreError::DiskFull`] /
+    /// [`StoreError::Io`] on write failure (every store write goes through
+    /// the [`diskfault`]-guarded atomic path).
     pub fn save(&self, name: &str, model: &ProximityModel) -> Result<(), StoreError> {
         let bytes = encode_entry(name, model)?;
         fs::create_dir_all(&self.root).map_err(io_err)?;
-        atomic_write(&self.entry_path(name), &bytes).map_err(StoreError::from)
+        diskfault::checked_write(&self.entry_path(name), &bytes).map_err(StoreError::from)
     }
 
     /// Loads and fully validates the entry `name`.
@@ -371,13 +413,27 @@ impl ModelStore {
         Ok(model)
     }
 
-    /// Quarantines the entry file at `path` aside (best effort) and
-    /// returns where it went.
-    pub fn quarantine(&self, path: &Path) -> PathBuf {
+    /// Quarantines the entry file at `path` aside and returns where the
+    /// evidence went.
+    ///
+    /// # Errors
+    ///
+    /// A [`QuarantineFailure`] when the rename itself failed (read-only or
+    /// full disk): the corrupt entry is still *in place*, and reporting
+    /// the intended destination as evidence would be a lie — callers must
+    /// surface the rename error distinctly and count it under
+    /// `serve.store.quarantine_failed`.
+    pub fn quarantine(&self, path: &Path) -> Result<PathBuf, QuarantineFailure> {
         let content_hash = fnv1a_64(&fs::read(path).unwrap_or_default());
         let to = self.quarantined_path(path, content_hash);
-        let _ = fs::rename(path, &to);
-        to
+        match diskfault::checked_rename(path, &to) {
+            Ok(()) => Ok(to),
+            Err(error) => Err(QuarantineFailure {
+                entry: path.to_path_buf(),
+                intended: to,
+                error,
+            }),
+        }
     }
 
     /// Every live entry name in the store, sorted. Quarantined files,
@@ -550,7 +606,7 @@ pub(crate) mod tests {
         let path = store.entry_path("bad");
         for corrupt in [b"garbage one".as_slice(), b"garbage two".as_slice()] {
             fs::write(&path, corrupt).unwrap();
-            let to = store.quarantine(&path);
+            let to = store.quarantine(&path).unwrap();
             assert_eq!(fs::read(&to).unwrap(), corrupt);
         }
         assert!(store.list().is_empty(), "quarantined files are not entries");

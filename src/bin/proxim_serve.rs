@@ -7,43 +7,60 @@
 //!   content hash and the daemon starts with the survivors), bind the Unix
 //!   socket, and answer queries until `SIGTERM`, which drains: stop
 //!   accepting, finish or shed in-flight work typed, flush the final
-//!   metrics snapshot, exit `0`.
+//!   metrics snapshot, exit `0`. `SIGHUP` (or the `reload` wire op)
+//!   hot-reloads the store into a fresh generation: the candidate loads
+//!   and is judged off to the side, then swaps in with one pointer
+//!   exchange — in-flight queries finish on the generation they started
+//!   on. `--memory-budget BYTES` caps residency: models past the budget
+//!   are cold-loaded on demand and LRU-evicted.
 //! - `query --socket PATH --json REQ` — one request/response round trip;
 //!   prints the response. Exit `0` when the response says `"ok":true`,
-//!   `3` for a typed server-side error, `1` for transport failure.
+//!   `3` for a typed server-side error, `1` for transport failure. With
+//!   `--retry`, refusals that are safe to retry (`overloaded`,
+//!   `shutting_down`, connect-refused — idempotent ops only) are retried
+//!   with capped exponential backoff, never past `--deadline-ms`.
 //! - `churn --store DIR --name NAME --rounds N` — characterize one demo
 //!   cell, then save it to the store `N` times, printing `round=<i>` after
 //!   each durable save. The chaos harness `SIGKILL`s this mid-write and
 //!   asserts the store is loadable and byte-identical afterwards — the
 //!   `atomic_write` crash-consistency promise, proven at the binary-store
-//!   layer.
+//!   layer. With `--socket PATH --queries N` it instead runs a closed
+//!   query loop against a live daemon, round-robining the served model
+//!   set — the CI eviction-churn smoke.
 //! - `obs --socket PATH [...]` — introspect or reconfigure a live
 //!   daemon's observability plane: flip the trace level or sampling knobs
 //!   at runtime, fetch the flight-recorder dump to a file, or scrape and
 //!   validate the Prometheus exposition. All of it rides the probe fast
 //!   path, so it works even when the admission queue is saturated.
 //!
-//! The `SIGTERM` handler lives here (one libc `signal` FFI line) so every
-//! library crate stays `forbid(unsafe_code)`; the handler body is a single
-//! atomic store ([`CancelToken::cancel`]), which is async-signal-safe.
+//! The `SIGTERM`/`SIGHUP` handlers live here (one libc `signal` FFI line)
+//! so every library crate stays `forbid(unsafe_code)`; each handler body
+//! is a single atomic store or add, which is async-signal-safe.
 
 use proxim_cells::{Cell, Technology};
 use proxim_model::characterize::CharacterizeOptions;
-use proxim_model::persist::atomic_write;
 use proxim_model::ProximityModel;
 use proxim_obs::json::Json;
-use proxim_obs::{exposition, flight};
+use proxim_obs::{exposition, flight, serve_metrics as sm, trace};
+use proxim_serve::client::{call_with_retry, RetryPolicy};
 use proxim_serve::server::one_shot;
-use proxim_serve::{ModelLibrary, ModelStore, ServeOptions, Server};
+use proxim_serve::{diskfault, LibraryOptions, ModelLibrary, ModelStore, ServeOptions, Server};
 use proxim_spice::CancelToken;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The token the SIGTERM handler trips; cancelling it begins the drain.
 static TERM_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+/// SIGHUP arrivals; the serve wait loop folds each one into a reload.
+/// Coalescing is deliberate: N signals during one reload collapse into at
+/// most one follow-up reload, which is the operator's intent ("pick up
+/// what's on disk now"), not a queue of N redundant loads.
+static HUP_REQUESTS: AtomicU64 = AtomicU64::new(0);
 
 extern "C" fn on_sigterm(_signum: i32) {
     if let Some(token) = TERM_TOKEN.get() {
@@ -51,15 +68,21 @@ extern "C" fn on_sigterm(_signum: i32) {
     }
 }
 
-/// Installs the SIGTERM handler via the libc `signal` entry point (no
-/// external crates in this build environment).
-fn install_sigterm_handler() {
+extern "C" fn on_sighup(_signum: i32) {
+    HUP_REQUESTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Installs the SIGTERM and SIGHUP handlers via the libc `signal` entry
+/// point (no external crates in this build environment).
+fn install_signal_handlers() {
+    const SIGHUP: i32 = 1;
     const SIGTERM: i32 = 15;
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     unsafe {
         signal(SIGTERM, on_sigterm as *const () as usize);
+        signal(SIGHUP, on_sighup as *const () as usize);
     }
 }
 
@@ -68,11 +91,13 @@ fn usage() -> ExitCode {
         "usage:\n  \
          proxim_serve serve --store DIR --socket PATH [--workers N] [--queue N]\n    \
          [--deadline-ms N] [--stall-ms N] [--metrics-out PATH] [--demo]\n    \
-         [--sample-every N] [--slow-ms N] [--flight-out PATH] [--flight-capacity N]\n  \
-         proxim_serve query --socket PATH --json REQUEST\n  \
+         [--sample-every N] [--slow-ms N] [--flight-out PATH] [--flight-capacity N]\n    \
+         [--memory-budget BYTES]\n  \
+         proxim_serve query --socket PATH --json REQUEST [--retry] [--deadline-ms N]\n  \
          proxim_serve obs --socket PATH [--level off|metrics|trace] [--sample-every N]\n    \
          [--slow-ms N] [--dump PATH] [--prom]\n  \
-         proxim_serve churn --store DIR --name NAME --rounds N"
+         proxim_serve churn --store DIR --name NAME --rounds N\n  \
+         proxim_serve churn --socket PATH --queries N"
     );
     ExitCode::from(1)
 }
@@ -84,8 +109,8 @@ fn usage() -> ExitCode {
 fn flush_observability() {
     proxim_obs::sink::flush();
     if let Some(path) = flight::armed_dump_path() {
-        if let Err(e) = atomic_write(&path, flight::dump().as_bytes()) {
-            eprintln!("proxim_serve: flight dump failed: {e}");
+        if let Err(e) = diskfault::checked_write(&path, flight::dump().as_bytes()) {
+            eprintln!("proxim_serve: flight dump degraded: {e}");
         }
     }
 }
@@ -106,6 +131,7 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
     let mut flight_out: Option<PathBuf> = None;
     let mut opts = ServeOptions::default();
     let mut demo = false;
+    let mut memory_budget: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--store" => store_dir = args.next().map(Into::into),
@@ -114,7 +140,7 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
             "--flight-out" => flight_out = args.next().map(Into::into),
             "--demo" => demo = true,
             "--workers" | "--queue" | "--deadline-ms" | "--stall-ms" | "--sample-every"
-            | "--slow-ms" | "--flight-capacity" => {
+            | "--slow-ms" | "--flight-capacity" | "--memory-budget" => {
                 let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
                     return usage();
                 };
@@ -125,6 +151,7 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
                     "--sample-every" => opts.trace_sample_every = v,
                     "--slow-ms" => opts.slow_threshold = Duration::from_millis(v),
                     "--flight-capacity" => opts.flight_capacity = v as usize,
+                    "--memory-budget" => memory_budget = Some(v),
                     _ => opts.worker_stall = Duration::from_millis(v),
                 }
             }
@@ -157,9 +184,24 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
         }
     }
     // Degrade-instead-of-die: a half-corrupt (or empty) store still serves.
-    let library = ModelLibrary::open(&store);
+    let library = ModelLibrary::open_with(
+        &store,
+        LibraryOptions {
+            memory_budget,
+            ..LibraryOptions::default()
+        },
+    );
     for (path, reason) in &library.report().quarantined {
         eprintln!("proxim_serve: quarantined {} ({reason})", path.display());
+    }
+    for (path, reason) in &library.report().quarantine_failed {
+        eprintln!(
+            "proxim_serve: quarantine failed for {} ({reason})",
+            path.display()
+        );
+    }
+    if let Some(e) = &library.report().root_error {
+        eprintln!("proxim_serve: store root unreadable, serving empty: {e}");
     }
 
     let server = match Server::start(library, &socket, opts) {
@@ -169,28 +211,53 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    // Arm SIGTERM → drain before announcing readiness, so a terminate that
-    // races startup still drains instead of killing the process.
+    // Arm SIGTERM → drain and SIGHUP → reload before announcing readiness,
+    // so a signal that races startup still lands.
     let token = TERM_TOKEN.get_or_init(CancelToken::new).clone();
-    install_sigterm_handler();
+    install_signal_handlers();
     println!(
-        "ready socket={} models={}",
+        "ready socket={} models={} generation={}",
         server.socket_path().display(),
-        server.model_count()
+        server.model_count(),
+        server.library().generation()
     );
     let _ = std::io::stdout().flush();
 
-    // Wait for the drain signal, then hand it to the server.
+    // Wait for the drain signal; fold SIGHUP arrivals into hot reloads.
+    let mut hups_seen = 0u64;
     while !token.is_cancelled() {
+        let hups = HUP_REQUESTS.load(Ordering::Relaxed);
+        if hups != hups_seen {
+            hups_seen = hups;
+            match server.reload(false, None) {
+                Ok(outcome) => {
+                    println!(
+                        "reloaded generation={} models={} reload_us={}",
+                        outcome.generation, outcome.models, outcome.reload_us
+                    );
+                }
+                Err(rej) => eprintln!("proxim_serve: reload rejected: {rej}"),
+            }
+            let _ = std::io::stdout().flush();
+            continue;
+        }
         std::thread::sleep(Duration::from_millis(10));
     }
+    let registry = server.registry();
     server.begin_shutdown();
     let snapshot = server.join();
     let json = snapshot.to_json();
     if let Some(path) = metrics_out {
-        if let Err(e) = atomic_write(&path, json.as_bytes()) {
-            eprintln!("proxim_serve: metrics flush failed: {e}");
-            return ExitCode::from(1);
+        // A full disk must not turn a clean drain into a failed exit: the
+        // snapshot is a nicety, the exit status is the contract.
+        if let Err(e) = diskfault::checked_write(&path, json.as_bytes()) {
+            registry.counter(sm::DISK_FAULTS).incr();
+            drop(
+                trace::event("serve.disk.degraded")
+                    .arg("sink", "metrics_snapshot")
+                    .arg("error", e.to_string()),
+            );
+            eprintln!("proxim_serve: metrics flush degraded: {e}");
         }
     }
     // The drain is the last chance to capture what the daemon was doing;
@@ -203,17 +270,43 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
 fn cmd_query(args: &mut std::env::Args) -> ExitCode {
     let mut socket: Option<PathBuf> = None;
     let mut json: Option<String> = None;
+    let mut retry = false;
+    let mut deadline_ms: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => socket = args.next().map(Into::into),
             "--json" => json = args.next(),
+            "--retry" => retry = true,
+            "--deadline-ms" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                deadline_ms = Some(v);
+            }
             _ => return usage(),
         }
     }
     let (Some(socket), Some(json)) = (socket, json) else {
         return usage();
     };
-    match one_shot(&socket, &json) {
+    let result = if retry {
+        let policy = RetryPolicy {
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            ..RetryPolicy::default()
+        };
+        call_with_retry(&socket, &json, &policy).map(|outcome| {
+            if outcome.attempts > 1 {
+                eprintln!(
+                    "proxim_serve: served after {} attempts ({:?} backing off)",
+                    outcome.attempts, outcome.backoff
+                );
+            }
+            outcome.response
+        })
+    } else {
+        one_shot(&socket, &json)
+    };
+    match result {
         Ok(response) => {
             println!("{response}");
             if response.contains("\"ok\":true") {
@@ -320,7 +413,7 @@ fn cmd_obs(args: &mut std::env::Args) -> ExitCode {
             eprintln!("proxim_serve: response carried no dump");
             return ExitCode::from(1);
         };
-        if let Err(e) = atomic_write(&path, dump.as_bytes()) {
+        if let Err(e) = diskfault::checked_write(&path, dump.as_bytes()) {
             eprintln!("proxim_serve: cannot write {}: {e}", path.display());
             return ExitCode::from(1);
         }
@@ -349,25 +442,98 @@ fn cmd_obs(args: &mut std::env::Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Closed query loop against a live daemon: list the served models, then
+/// round-robin `queries` single-event queries across them through the
+/// retrying client. With a tight `--memory-budget` on the daemon this is
+/// the eviction-churn smoke: every model keeps cycling through residency
+/// and the loop still sees nothing but `ok` responses.
+fn churn_queries(socket: &Path, queries: u64) -> ExitCode {
+    let policy = RetryPolicy::default();
+    let names = match call_with_retry(socket, "{\"op\":\"list\"}", &policy) {
+        Ok(outcome) => match Json::parse(&outcome.response) {
+            Ok(json) => json
+                .get("models")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|j| j.as_str().map(str::to_owned))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            Err(e) => {
+                eprintln!("proxim_serve: unparseable list response: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("proxim_serve: list failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if names.is_empty() {
+        eprintln!("proxim_serve: daemon serves no models; nothing to churn");
+        return ExitCode::from(3);
+    }
+    let (mut ok, mut cold) = (0u64, 0u64);
+    for i in 0..queries {
+        let name = &names[(i as usize) % names.len()];
+        let request = format!(
+            "{{\"op\":\"query\",\"model\":\"{name}\",\"events\":[{{\"pin\":0,\"edge\":\"rise\",\"t\":0.0,\"tt\":1e-9}}]}}"
+        );
+        match call_with_retry(socket, &request, &policy) {
+            Ok(outcome) => {
+                if outcome.response.contains("\"ok\":true") {
+                    ok += 1;
+                    if outcome.response.contains("\"cold\":true") {
+                        cold += 1;
+                    }
+                } else {
+                    eprintln!("proxim_serve: query {i} refused: {}", outcome.response);
+                }
+            }
+            Err(e) => eprintln!("proxim_serve: query {i} failed: {e}"),
+        }
+    }
+    println!(
+        "queried={queries} ok={ok} cold={cold} models={}",
+        names.len()
+    );
+    if ok == queries {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
 fn cmd_churn(args: &mut std::env::Args) -> ExitCode {
     let mut store_dir: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
     let mut name = String::from("nand2_demo");
     let mut rounds = 1u64;
+    let mut queries = 64u64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--store" => store_dir = args.next().map(Into::into),
+            "--socket" => socket = args.next().map(Into::into),
             "--name" => {
                 let Some(v) = args.next() else { return usage() };
                 name = v;
             }
-            "--rounds" => {
+            "--rounds" | "--queries" => {
                 let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
                     return usage();
                 };
-                rounds = v;
+                if arg == "--rounds" {
+                    rounds = v;
+                } else {
+                    queries = v;
+                }
             }
             _ => return usage(),
         }
+    }
+    if let Some(socket) = socket {
+        return churn_queries(&socket, queries);
     }
     let Some(store_dir) = store_dir else {
         return usage();
@@ -399,6 +565,9 @@ fn main() -> ExitCode {
     // post-mortem dump path (CLI flags can re-arm it later).
     proxim_obs::init_from_env();
     flight::init_from_env();
+    // Arms the deterministic disk-fault injector (PROXIM_DISKFAULT) when
+    // the binary is built with `fault-injection`; a no-op otherwise.
+    diskfault::init_from_env();
     // Whatever kills the process, the flight recorder's last seconds land
     // on disk first — the dump is the crash report.
     let default_panic = std::panic::take_hook();

@@ -394,6 +394,125 @@ fn sigkill_mid_store_write_leaves_the_library_loadable_and_byte_identical() {
 }
 
 #[test]
+fn sigkill_mid_reload_storm_leaves_exactly_one_complete_generation() {
+    use proxim_cells::{Cell, Technology};
+    use proxim_model::characterize::CharacterizeOptions;
+    use proxim_model::ProximityModel;
+    use proxim_serve::{ModelLibrary, ModelStore};
+
+    let dir = scratch_dir("reload_kill");
+    let store_dir = dir.join("store");
+    let store = ModelStore::new(&store_dir);
+
+    // Two byte-distinct generations of the same entry: an inverter and a
+    // NAND2 alternate under one name, so a torn swap-side write would be
+    // detectable as a blend of the two.
+    let tech = Technology::demo_5v();
+    let model_a = ProximityModel::characterize(&Cell::inv(), &tech, &CharacterizeOptions::fast())
+        .expect("model A");
+    let model_b = ProximityModel::characterize(&Cell::nand(2), &tech, &CharacterizeOptions::fast())
+        .expect("model B");
+    store.save("cell", &model_a).expect("seed A");
+    let bytes_a = std::fs::read(store.entry_path("cell")).expect("bytes A");
+    store.save("cell", &model_b).expect("seed B");
+    let bytes_b = std::fs::read(store.entry_path("cell")).expect("bytes B");
+    assert_ne!(bytes_a, bytes_b, "the generations must differ byte-wise");
+    store.save("cell", &model_a).expect("reset to A");
+
+    let socket = dir.join("serve.sock");
+    let (capture, capture_path) = stdout_file(&dir, "serve.out");
+    let mut daemon = serve_bin()
+        .args(["serve", "--store"])
+        .arg(&store_dir)
+        .arg("--socket")
+        .arg(&socket)
+        .stdout(Stdio::from(capture))
+        .spawn()
+        .expect("daemon spawns");
+    assert!(
+        wait_for_marker(&mut daemon, &capture_path, "ready", 1),
+        "daemon died before becoming ready"
+    );
+
+    // A seeded number of completed rewrite+SIGHUP+swap cycles, then one
+    // final rewrite and SIGHUP answered with SIGKILL instead of a wait —
+    // the kill lands somewhere inside candidate load/judge/swap.
+    let completed = kill_point(chaos_seed());
+    let hup = |pid: u32| {
+        let status = Command::new("kill")
+            .arg("-HUP")
+            .arg(pid.to_string())
+            .status()
+            .expect("send SIGHUP");
+        assert!(status.success(), "kill -HUP failed");
+    };
+    for i in 0..completed {
+        let model = if i % 2 == 0 { &model_b } else { &model_a };
+        store.save("cell", model).expect("rewrite entry");
+        hup(daemon.id());
+        assert!(
+            wait_for_marker(&mut daemon, &capture_path, "reloaded generation=", i + 1),
+            "daemon died mid-storm"
+        );
+    }
+    let model = if completed.is_multiple_of(2) {
+        &model_b
+    } else {
+        &model_a
+    };
+    store.save("cell", model).expect("final rewrite");
+    hup(daemon.id());
+    daemon.kill().expect("SIGKILL");
+    daemon.wait().expect("reap killed daemon");
+
+    // Whatever instant the kill hit, the store holds exactly one complete
+    // generation: the entry is byte-identical to A or to B, loads clean,
+    // and a restarted daemon serves it.
+    let post = std::fs::read(store.entry_path("cell")).expect("post-kill entry");
+    assert!(
+        post == bytes_a || post == bytes_b,
+        "post-kill entry is neither generation ({} bytes)",
+        post.len()
+    );
+    let library = ModelLibrary::open(&ModelStore::new(&store_dir));
+    assert_eq!(library.names(), vec!["cell".to_string()]);
+    assert!(
+        library.report().quarantined.is_empty() && library.report().quarantine_failed.is_empty(),
+        "a reload-storm kill must never corrupt the store: {:?}",
+        library.report()
+    );
+
+    let (capture, capture_path) = stdout_file(&dir, "serve_restart.out");
+    let mut daemon = serve_bin()
+        .args(["serve", "--store"])
+        .arg(&store_dir)
+        .arg("--socket")
+        .arg(&socket)
+        .stdout(Stdio::from(capture))
+        .spawn()
+        .expect("daemon restarts");
+    assert!(
+        wait_for_marker(&mut daemon, &capture_path, "ready", 1),
+        "restarted daemon died"
+    );
+    assert_eq!(
+        marker_count(&capture_path, "models=1"),
+        1,
+        "the restarted daemon must serve the surviving generation"
+    );
+    let term = Command::new("kill")
+        .arg("-TERM")
+        .arg(daemon.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = daemon.wait().expect("reap restarted daemon");
+    assert_eq!(status.code(), Some(0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sigterm_with_a_socket_full_of_in_flight_queries_drains_cleanly() {
     use std::os::unix::net::UnixStream;
 

@@ -99,6 +99,8 @@ fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
             .as_bytes(),
         )
     };
+    let oversized_label =
+        frame_bytes(format!(r#"{{"op":"reload","label":"{}"}}"#, "g".repeat(65)).as_bytes());
 
     // (bytes, expected error kind; None = a clean close is the only
     // correct answer).
@@ -130,6 +132,36 @@ fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
                 br#"{"op":"query","model":"absent","events":[{"pin":0,"edge":"rise","t":0,"tt":1e-9}]}"#,
             ),
             Some("unknown_model"),
+        ),
+        // The reload op is control-plane input and gets the same hostile
+        // treatment: every malformed variant is a typed refusal, and the
+        // live generation is untouched (checked via the swap counter at
+        // the bottom of the test).
+        (
+            "reload with string force",
+            frame_bytes(br#"{"op":"reload","force":"yes"}"#),
+            Some("bad_request"),
+        ),
+        (
+            "reload with numeric force",
+            frame_bytes(br#"{"op":"reload","force":1}"#),
+            Some("bad_request"),
+        ),
+        (
+            "reload with null force",
+            frame_bytes(br#"{"op":"reload","force":null}"#),
+            Some("bad_request"),
+        ),
+        ("reload with oversized label", oversized_label, Some("bad_request")),
+        (
+            "reload with empty label",
+            frame_bytes(br#"{"op":"reload","label":""}"#),
+            Some("bad_request"),
+        ),
+        (
+            "reload with hostile label charset",
+            frame_bytes(br#"{"op":"reload","label":"has space"}"#),
+            Some("bad_request"),
         ),
     ];
 
@@ -179,6 +211,58 @@ fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
     assert!(
         snap.counter(proxim_obs::serve_metrics::PROTO_ERRORS) >= 10,
         "every corpus rejection must be counted"
+    );
+    assert_eq!(
+        snap.counter(proxim_obs::serve_metrics::RELOAD_SWAPPED),
+        0,
+        "no malformed reload may swap a generation"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reload_racing_shutdown_is_refused_typed_and_never_swaps() {
+    use proxim_serve::proto::{read_frame, write_frame};
+
+    let dir = scratch_dir("reload_race");
+    let server = start_server(&dir, ServeOptions::default());
+    let sock = server.socket_path().to_path_buf();
+
+    // The connection predates the drain; the reload it then sends must be
+    // refused typed (`shutting_down`) or see a clean close — never a swap,
+    // never a hang.
+    let mut stream = UnixStream::connect(&sock).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    server.begin_shutdown();
+    let sent = write_frame(&mut stream, br#"{"op":"reload"}"#);
+    if sent.is_ok() {
+        match read_frame(&mut stream) {
+            // A typed refusal, a clean close, or a reset (the drain tore
+            // down the idle connection before the frame landed) are all
+            // honest; a *partial* frame would not be.
+            Ok(None) => {}
+            Ok(Some(frame)) => {
+                let text = String::from_utf8(frame).expect("UTF-8 response");
+                assert!(
+                    text.contains("\"shutting_down\""),
+                    "a reload during drain must be a typed refusal: {text}"
+                );
+            }
+            Err(e) => assert!(
+                !e.detail.contains("truncated"),
+                "reload during drain must not tear a frame: {e}"
+            ),
+        }
+    }
+    drop(stream);
+
+    let snap = server.join();
+    assert_eq!(
+        snap.counter(proxim_obs::serve_metrics::RELOAD_SWAPPED),
+        0,
+        "a drain must never be interleaved with a generation swap"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
