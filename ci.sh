@@ -41,6 +41,9 @@ step 15m "serve: malformed-input corpus"     cargo test -q --features fault-inje
 # eviction, and (via the feature) every durable sink against an injected
 # full disk — including the drain-still-exits-0 contract.
 step 15m "serve: lifecycle + disk faults"    cargo test -q --features fault-injection --test serve_lifecycle
+# Fleet suite: supervised replicas, SIGKILL failover under churn, crash-loop
+# quarantine on a corrupt store, rolling reload, and hedged requests.
+step 15m "serve: fleet suite"                cargo test -q --test serve_fleet
 
 # Daemon smoke: start on a temp socket, round-trip a query and a health
 # probe through the CLI client, then SIGTERM and require a clean drain
@@ -189,6 +192,69 @@ lifecycle_smoke() {
 }
 export -f lifecycle_smoke
 step 10m "serve: reload + eviction smoke"    bash -c lifecycle_smoke
+
+# Fleet smoke: three supervised replicas, SIGKILL one, require that the
+# survivors keep answering, the supervisor restarts the victim back to
+# full strength (control-socket "fleet" op reports replicas_up=3), and
+# SIGTERM drains the whole fleet with exit 0.
+fleet_smoke() {
+    set -euo pipefail
+    local dir pid rc victim out
+    dir="$(mktemp -d)"
+    ./target/release/proxim_serve fleet --store "${dir}/store" \
+        --dir "${dir}/fleet" --replicas 3 --demo >"${dir}/fleet.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 600); do
+        grep -q '^fleet ready ' "${dir}/fleet.log" 2>/dev/null && break
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    grep -q '^fleet ready ' "${dir}/fleet.log" || {
+        echo "fleet never became ready:" >&2
+        cat "${dir}/fleet.log" >&2
+        return 1
+    }
+    ./target/release/proxim_serve query --socket "${dir}/fleet/replica-0.sock" --json \
+        '{"op":"query","model":"nand2_demo","events":[{"pin":0,"edge":"rise","t":0.0,"tt":4e-10},{"pin":1,"edge":"rise","t":5e-11,"tt":4e-10}]}'
+    victim="$(grep '^replica index=1 ' "${dir}/fleet.log" | head -1 \
+        | sed 's/.*pid=\([0-9-]*\).*/\1/')"
+    [ -n "$victim" ] && [ "$victim" != "-" ] || {
+        echo "no pid recorded for replica 1:" >&2
+        cat "${dir}/fleet.log" >&2
+        return 1
+    }
+    kill -KILL "$victim"
+    # Survivors answer while the victim is down.
+    ./target/release/proxim_serve query --socket "${dir}/fleet/replica-0.sock" \
+        --retry --deadline-ms 5000 --json '{"op":"health"}'
+    for _ in $(seq 1 600); do
+        grep -q '^restarted replica index=1 ' "${dir}/fleet.log" 2>/dev/null && break
+        sleep 0.1
+    done
+    grep -q '^restarted replica index=1 ' "${dir}/fleet.log" || {
+        echo "supervisor never restarted the killed replica:" >&2
+        cat "${dir}/fleet.log" >&2
+        return 1
+    }
+    out=""
+    for _ in $(seq 1 100); do
+        out="$(./target/release/proxim_serve query --socket "${dir}/fleet/fleet.sock" \
+            --json '{"op":"fleet"}')" || out=""
+        echo "$out" | grep -q '"replicas_up":3' && break
+        sleep 0.1
+    done
+    echo "$out" | grep -q '"replicas_up":3' || {
+        echo "fleet never returned to full strength: $out" >&2
+        return 1
+    }
+    kill -TERM "$pid"
+    wait "$pid" && rc=0 || rc=$?
+    [ "$rc" -eq 0 ] || { echo "fleet exited ${rc} after SIGTERM" >&2; return 1; }
+    grep -q '^fleet drained ' "${dir}/fleet.log" || { echo "no fleet drained marker" >&2; return 1; }
+    rm -rf "$dir"
+}
+export -f fleet_smoke
+step 10m "serve: fleet smoke + failover"     bash -c fleet_smoke
 
 step 15m "bench: characterization pipeline"  ./target/release/bench_characterize --out BENCH_characterize.json --scaling
 step 5m  "bench: pool smoke (jobs = 2)"      ./target/release/bench_characterize --pool-smoke

@@ -57,12 +57,16 @@ use proxim_model::ProximityModel;
 use proxim_obs::json::Json;
 use proxim_obs::serve_metrics as sm;
 use proxim_obs::{flight, sink};
+use proxim_serve::client::RetryPolicy;
 use proxim_serve::proto;
-use proxim_serve::{LibraryOptions, ModelLibrary, ModelStore, ServeOptions, Server};
+use proxim_serve::{
+    FleetClient, FleetClientOptions, LibraryOptions, ModelLibrary, ModelStore, ServeOptions, Server,
+};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Model name used for every query; must satisfy the store's name rules.
@@ -822,12 +826,173 @@ fn main() -> ExitCode {
         resident,
     );
 
+    // --- fleet: availability under rolling restart, hedge win rate -------
+    // In-process replicas (the supervised-process path is covered by the
+    // chaos suite; the bench measures the balancer itself).
+    let fleet_opts = ServeOptions {
+        workers: 2,
+        queue_capacity: 256,
+        request_deadline: Duration::from_secs(30),
+        ..ServeOptions::default()
+    };
+    let fleet_sockets: Vec<PathBuf> = (0..3)
+        .map(|i| scratch.join(format!("fl{i}.sock")))
+        .collect();
+    let mut fleet_servers: Vec<Server> = fleet_sockets
+        .iter()
+        .map(|s| {
+            Server::start(ModelLibrary::open(&store), s, fleet_opts.clone())
+                .expect("start fleet replica")
+        })
+        .collect();
+    let fleet_client = Arc::new(FleetClient::new(
+        fleet_sockets.clone(),
+        FleetClientOptions {
+            retry: RetryPolicy {
+                base: Duration::from_millis(2),
+                cap: Duration::from_millis(50),
+                ..RetryPolicy::default()
+            },
+            ..FleetClientOptions::default()
+        },
+    ));
+    // Closed-loop churn through the balancer while each replica is taken
+    // down and brought back, one at a time — availability must hold at 1.0
+    // because failover absorbs the missing replica.
+    let stop = Arc::new(AtomicBool::new(false));
+    let (fl_ok, fl_failed) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+    let fleet_churners: Vec<_> = (0..8)
+        .map(|_| {
+            let client = Arc::clone(&fleet_client);
+            let stop = Arc::clone(&stop);
+            let (ok, failed) = (Arc::clone(&fl_ok), Arc::clone(&fl_failed));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match client.call(&request_json()) {
+                        Ok(out) if out.response.contains("\"timing\"") => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for (i, socket) in fleet_sockets.iter().enumerate() {
+        let old = fleet_servers.remove(i);
+        old.begin_shutdown();
+        old.join();
+        let replacement = Server::start(ModelLibrary::open(&store), socket, fleet_opts.clone())
+            .expect("restart fleet replica");
+        fleet_servers.insert(i, replacement);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for churner in fleet_churners {
+        churner.join().expect("fleet churner");
+    }
+    let (rolled_ok, rolled_failed) = (
+        fl_ok.load(Ordering::Relaxed),
+        fl_failed.load(Ordering::Relaxed),
+    );
+    let availability = rolled_ok as f64 / ((rolled_ok + rolled_failed) as f64).max(1.0);
+    assert_eq!(
+        rolled_failed, 0,
+        "failover must absorb a rolling restart with zero client-visible failures"
+    );
+    for server in fleet_servers.drain(..) {
+        server.begin_shutdown();
+        server.join();
+    }
+
+    // Hedged vs unhedged p99 against one deterministically stalled replica.
+    const HEDGE_REQUESTS: usize = 150;
+    let stall = Duration::from_millis(10);
+    let hedge_sockets = [scratch.join("hs.sock"), scratch.join("hf.sock")];
+    let stalled = Server::start(
+        ModelLibrary::open(&store),
+        &hedge_sockets[0],
+        ServeOptions {
+            worker_stall: stall,
+            ..fleet_opts.clone()
+        },
+    )
+    .expect("start stalled replica");
+    let healthy = Server::start(
+        ModelLibrary::open(&store),
+        &hedge_sockets[1],
+        fleet_opts.clone(),
+    )
+    .expect("start healthy replica");
+    let mut hedge_section = Vec::new();
+    let mut hedge_stats = (0u64, 0u64);
+    for hedge_delay in [None, Some(Duration::from_millis(2))] {
+        let client = FleetClient::new(
+            hedge_sockets.to_vec(),
+            FleetClientOptions {
+                hedge_delay,
+                ..FleetClientOptions::default()
+            },
+        );
+        let mut lat_us: Vec<f64> = Vec::with_capacity(HEDGE_REQUESTS);
+        for _ in 0..HEDGE_REQUESTS {
+            let start = Instant::now();
+            let out = client.call(&request_json()).expect("hedge bench query");
+            assert!(out.response.contains("\"timing\""), "{}", out.response);
+            lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let (p50, p99) = (percentile(&lat_us, 0.50), percentile(&lat_us, 0.99));
+        let label = if hedge_delay.is_some() {
+            "hedged"
+        } else {
+            "unhedged"
+        };
+        println!(
+            "fleet {label}: p50={p50:.0}us p99={p99:.0}us hedges={} wins={}",
+            client.hedges(),
+            client.hedge_wins()
+        );
+        hedge_section.push(format!(
+            "\"{label}\": {{\"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}}}"
+        ));
+        if hedge_delay.is_some() {
+            hedge_stats = (client.hedges(), client.hedge_wins());
+        }
+    }
+    stalled.begin_shutdown();
+    healthy.begin_shutdown();
+    stalled.join();
+    healthy.join();
+    let (hedges, hedge_wins) = hedge_stats;
+    assert!(hedges > 0, "the stalled replica must trigger hedges");
+    let fleet_json = format!(
+        concat!(
+            "{{\"replicas\": 3, \"rolling_restart\": {{\"requests\": {}, ",
+            "\"failed\": {}, \"availability\": {:.4}}}, ",
+            "\"hedge\": {{\"requests\": {}, \"stall_ms\": {}, \"hedge_delay_ms\": 2, ",
+            "{}, \"hedges\": {}, \"hedge_wins\": {}, \"win_rate\": {:.3}}}}}"
+        ),
+        rolled_ok + rolled_failed,
+        rolled_failed,
+        availability,
+        HEDGE_REQUESTS,
+        stall.as_millis(),
+        hedge_section.join(", "),
+        hedges,
+        hedge_wins,
+        hedge_wins as f64 / (hedges as f64).max(1.0),
+    );
+    println!("fleet: availability={availability:.4} hedges={hedges} wins={hedge_wins}");
+
     let report = format!(
         concat!(
             "{{\n  \"model\": \"{}\",\n  \"workers\": {},\n",
             "  \"latency\": {{{}}},\n  \"phases\": {},\n  \"overload\": {},\n",
             "  \"trace_overhead\": {},\n  \"reload\": {},\n",
-            "  \"eviction_churn\": {}\n}}\n"
+            "  \"eviction_churn\": {},\n  \"fleet\": {}\n}}\n"
         ),
         MODEL,
         workers,
@@ -837,6 +1002,7 @@ fn main() -> ExitCode {
         trace_overhead_json,
         reload_json,
         churn_json,
+        fleet_json,
     );
     std::fs::write(&out, &report).expect("write report");
     println!("wrote {out}");

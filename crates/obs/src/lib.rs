@@ -168,6 +168,24 @@ pub mod serve_metrics {
     /// snapshots, flight dumps) that failed with a typed ENOSPC/EIO and
     /// were degraded instead of panicking.
     pub const DISK_FAULTS: &str = "serve.disk.faults";
+    /// Gauge: replicas the fleet supervisor currently counts as up
+    /// (spawned, probing healthy, not quarantined).
+    pub const FLEET_REPLICAS_UP: &str = "serve.fleet.replicas_up";
+    /// Counter: replica restarts the fleet supervisor performed after a
+    /// crash or a wedged startup.
+    pub const FLEET_RESTARTS: &str = "serve.fleet.restarts";
+    /// Counter: replicas quarantined for crash-looping (at least the
+    /// configured number of exits inside the quarantine window); the
+    /// supervisor stops restarting them and the fleet serves degraded on
+    /// the survivors.
+    pub const FLEET_QUARANTINED: &str = "serve.fleet.quarantined";
+    /// Counter: hedged attempts the fleet client issued — a second copy of
+    /// an idempotent request sent to a different replica after the hedge
+    /// delay elapsed without a response.
+    pub const FLEET_HEDGES: &str = "serve.fleet.hedges";
+    /// Counter: hedged attempts whose response arrived before the primary
+    /// attempt's (first-response-wins).
+    pub const FLEET_HEDGE_WINS: &str = "serve.fleet.hedge_wins";
 }
 
 use std::path::PathBuf;

@@ -67,6 +67,21 @@ pub struct RetryOutcome {
     pub backoff: Duration,
 }
 
+/// The idempotency of a single wire op: `Some(true)` reads, `Some(false)`
+/// mutates and must be sent exactly once, `None` is not a recognized op.
+///
+/// This match is deliberately exhaustive over [`crate::proto::WIRE_OPS`]
+/// (a test enforces it): adding a wire op without classifying it here is a
+/// compile-the-tests failure, so a new op can never *silently* become
+/// retry-unsafe (or retry-happy).
+pub fn op_idempotency(op: &str) -> Option<bool> {
+    match op {
+        "query" | "batch" | "health" | "stats" | "list" | "metrics" | "fleet" => Some(true),
+        "obs" | "reload" => Some(false),
+        _ => None,
+    }
+}
+
 /// Whether a request (by its `op`) is safe to re-send after a refusal:
 /// queries and probes read; `obs` and `reload` mutate server state and
 /// must be sent exactly once. Unknown or unparseable ops are conservative
@@ -75,10 +90,10 @@ pub fn is_idempotent(request: &str) -> bool {
     let Ok(json) = Json::parse(request) else {
         return false;
     };
-    matches!(
-        json.get("op").and_then(Json::as_str),
-        Some("query" | "batch" | "health" | "stats" | "list" | "metrics")
-    )
+    json.get("op")
+        .and_then(Json::as_str)
+        .and_then(op_idempotency)
+        .unwrap_or(false)
 }
 
 /// The retry decision for one attempt's outcome.
@@ -145,6 +160,29 @@ fn backoff_delay(policy: &RetryPolicy, retry: u32) -> Duration {
     exp.min(policy.cap)
 }
 
+/// The jittered delay before retry number `retry`, advancing the caller's
+/// jitter stream. This is the *exact* computation [`call_with_retry`]
+/// sleeps (before the `retry_after_ms` hint and deadline clamps), shared
+/// so [`backoff_schedule`] can predict it byte-for-byte.
+fn jittered_delay(policy: &RetryPolicy, retry: u32, jitter_state: &mut u64) -> Duration {
+    // Deterministic multiplicative jitter in [0.5, 1.5): desynchronizes
+    // a fleet of retrying clients without a global RNG.
+    let jitter = 0.5 + unit(jitter_state);
+    backoff_delay(policy, retry).mul_f64(jitter)
+}
+
+/// The full jittered retry schedule the policy would sleep, hint- and
+/// deadline-free: entry `i` is the delay before retry `i` (0-based).
+/// Replayable — same policy (same seed), same schedule — which is what
+/// makes retry storms debuggable from a seed in a log line.
+#[must_use]
+pub fn backoff_schedule(policy: &RetryPolicy, retries: u32) -> Vec<Duration> {
+    let mut state = policy.seed ^ 0x9E37_79B9_7F4A_7C15;
+    (0..retries)
+        .map(|retry| jittered_delay(policy, retry, &mut state))
+        .collect()
+}
+
 /// One round trip with the retry policy applied.
 ///
 /// Retries only `overloaded`, `shutting_down`, and connect-refused — and
@@ -186,10 +224,7 @@ pub fn call_with_retry(
                 backoff: backoff_total,
             });
         }
-        // Deterministic multiplicative jitter in [0.5, 1.5): desynchronizes
-        // a fleet of retrying clients without a global RNG.
-        let jitter = 0.5 + unit(&mut jitter_state);
-        let mut delay = backoff_delay(policy, attempts - 1).mul_f64(jitter);
+        let mut delay = jittered_delay(policy, attempts - 1, &mut jitter_state);
         if let Some(hint) = hint {
             delay = delay.max(hint);
         }
@@ -246,7 +281,9 @@ mod tests {
 
     #[test]
     fn op_idempotency_classification() {
-        for op in ["query", "batch", "health", "stats", "list", "metrics"] {
+        for op in [
+            "query", "batch", "health", "stats", "list", "metrics", "fleet",
+        ] {
             assert!(is_idempotent(&format!("{{\"op\":\"{op}\"}}")), "{op}");
         }
         for req in [
@@ -258,6 +295,22 @@ mod tests {
         ] {
             assert!(!is_idempotent(req), "{req}");
         }
+    }
+
+    #[test]
+    fn op_idempotency_exhaustively_covers_every_wire_op() {
+        // Every op the wire recognizes must be classified: a new op added
+        // to proto::WIRE_OPS without a call_with_retry decision fails here,
+        // so it can't silently default to an unsafe retry behavior.
+        for op in crate::proto::WIRE_OPS {
+            assert!(
+                op_idempotency(op).is_some(),
+                "wire op {op:?} has no idempotency classification"
+            );
+        }
+        assert_eq!(op_idempotency("fleet"), Some(true));
+        assert_eq!(op_idempotency("reload"), Some(false));
+        assert_eq!(op_idempotency("no_such_op"), None);
     }
 
     #[test]
@@ -346,6 +399,86 @@ mod tests {
         let e = call_with_retry(&sock, r#"{"op":"health"}"#, &policy).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Internal);
         assert!(e.detail.starts_with("connect: "), "{e}");
+    }
+
+    #[test]
+    fn backoff_schedule_is_byte_identical_per_seed() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 0xD15E_A5ED,
+            ..RetryPolicy::default()
+        };
+        let a = backoff_schedule(&policy, 8);
+        let b = backoff_schedule(&policy, 8);
+        assert_eq!(a, b, "same seed must replay the exact schedule");
+        // A different seed shifts the jitter, not the envelope.
+        let other = backoff_schedule(
+            &RetryPolicy {
+                seed: 0xF00D,
+                ..policy
+            },
+            8,
+        );
+        assert_ne!(a, other, "different seed must change the jitter");
+        for (i, d) in a.iter().enumerate() {
+            let pre = backoff_delay(&policy, i as u32);
+            assert!(
+                *d >= pre.mul_f64(0.5) && *d < pre.mul_f64(1.5),
+                "delay {i} = {d:?} outside jitter envelope of {pre:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn call_with_retry_sleeps_exactly_the_published_schedule() {
+        let sock = scratch_sock("schedule");
+        // No retry_after hint: the slept delays must equal backoff_schedule.
+        let shed = render_error(&ProtoError::new(ErrorKind::Overloaded, "queue full"));
+        let server = scripted_server(
+            &sock,
+            vec![shed.clone(), shed.clone(), shed, "{\"ok\":true}".into()],
+        );
+        let policy = RetryPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(8),
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let out = call_with_retry(&sock, r#"{"op":"list"}"#, &policy).unwrap();
+        assert_eq!(out.attempts, 4);
+        let expected: Duration = backoff_schedule(&policy, 3).iter().sum();
+        assert_eq!(
+            out.backoff, expected,
+            "slept backoff must be byte-identical to backoff_schedule"
+        );
+        assert_eq!(server.join().unwrap(), 4);
+        std::fs::remove_file(&sock).ok();
+    }
+
+    #[test]
+    fn retry_after_hint_raises_the_backoff_floor() {
+        let sock = scratch_sock("hint");
+        // The jittered schedule alone would sleep ~1-2 ms; a 40 ms hint on
+        // the shed response must raise the actual sleep to >= 40 ms.
+        let shed = render_error(
+            &ProtoError::new(ErrorKind::Overloaded, "queue full").with_retry_after(40),
+        );
+        let server = scripted_server(&sock, vec![shed, "{\"ok\":true}".into()]);
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let out = call_with_retry(&sock, r#"{"op":"list"}"#, &policy).unwrap();
+        assert_eq!(out.attempts, 2);
+        assert!(
+            out.backoff >= Duration::from_millis(40),
+            "hint not honored: slept only {:?}",
+            out.backoff
+        );
+        assert_eq!(server.join().unwrap(), 2);
+        std::fs::remove_file(&sock).ok();
     }
 
     #[test]

@@ -1,0 +1,745 @@
+//! The fleet supervisor: N replica daemons under one process manager.
+//!
+//! PRs 7–9 made a single `proxim-serve` daemon overload-safe and
+//! crash-consistent — but one process is one SIGKILL away from a total
+//! outage. [`Fleet`] spawns N replica daemons (each on its own socket
+//! under a fleet directory), health-probes them on the probe fast path,
+//! and restarts crashes with capped exponential backoff. A replica that
+//! *keeps* crashing — ≥ M exits inside the quarantine window — is
+//! **quarantined**: the supervisor stops burning restarts on it, reports
+//! it typed (`replica_quarantined`), and the fleet keeps serving degraded
+//! on the survivors. That inverts the single-daemon degrade-instead-of-die
+//! philosophy deliberately: with replicas to fail over to, a corrupt
+//! replica is worth more dead (and visibly quarantined) than limping.
+//!
+//! A control socket (`fleet.sock` in the fleet directory) answers the
+//! `fleet` stats op with per-replica state/generation/uptime and the
+//! `health` probe with the aggregate; everything else is refused typed —
+//! queries belong on replica sockets, through
+//! [`FleetClient`](crate::balance::FleetClient).
+//!
+//! Rolling reload walks the replicas one at a time — reload, wait until
+//! the replica probes healthy on its new generation, move on — so a
+//! library upgrade never drops below N−1 capacity. Quarantined replicas
+//! are skipped with a typed [`ErrorKind::ReplicaQuarantined`] error.
+//!
+//! The supervisor is plain std: child processes via `std::process`,
+//! graceful stop via `kill -TERM` (the daemon's own drain path), and the
+//! metrics in `serve.fleet.*` on the supervisor's own [`Registry`].
+
+use crate::proto::{
+    self, parse_request, render_error, render_health, write_frame, ErrorKind, ProtoError, Request,
+};
+use crate::server::one_shot;
+use proxim_obs::json::{push_escaped, Json};
+use proxim_obs::serve_metrics as sm;
+use proxim_obs::{trace, Registry, Snapshot};
+use proxim_spice::CancelToken;
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Sizing, paths, and supervision policy for a [`Fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Number of replica daemons to run.
+    pub replicas: usize,
+    /// Path to the `proxim_serve` binary the replicas run.
+    pub daemon: PathBuf,
+    /// Fleet directory: replica sockets, per-replica logs, and the
+    /// `fleet.sock` control socket all live here.
+    pub dir: PathBuf,
+    /// The model store every replica serves (shared by default).
+    pub store: PathBuf,
+    /// Per-replica store overrides by index (tests use this to hand one
+    /// replica a corrupt store). Missing indices fall back to `store`.
+    pub replica_stores: Vec<PathBuf>,
+    /// How often each running replica is health-probed.
+    pub probe_interval: Duration,
+    /// How long a replica may stay in `starting` before the supervisor
+    /// kills it and counts the attempt as an exit.
+    pub startup_grace: Duration,
+    /// First restart backoff; doubles per consecutive failure up to
+    /// [`Self::restart_backoff_cap`], resetting on a healthy probe.
+    pub restart_backoff_base: Duration,
+    /// Upper bound on a single restart backoff.
+    pub restart_backoff_cap: Duration,
+    /// Exits within [`Self::quarantine_window`] that quarantine a replica.
+    pub quarantine_threshold: u32,
+    /// Sliding window the exit count is judged over.
+    pub quarantine_window: Duration,
+    /// Pass `--strict-store` to replicas: a corrupt/empty store becomes a
+    /// startup failure (exit 2) instead of a degraded daemon, so a bad
+    /// replica crash-loops into quarantine rather than serving nothing.
+    pub strict_store: bool,
+    /// Extra CLI arguments appended to every replica's command line.
+    pub replica_args: Vec<String>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            replicas: 3,
+            daemon: PathBuf::new(),
+            dir: PathBuf::new(),
+            store: PathBuf::new(),
+            replica_stores: Vec::new(),
+            probe_interval: Duration::from_millis(100),
+            startup_grace: Duration::from_secs(60),
+            restart_backoff_base: Duration::from_millis(50),
+            restart_backoff_cap: Duration::from_secs(2),
+            quarantine_threshold: 5,
+            quarantine_window: Duration::from_secs(30),
+            strict_store: false,
+            replica_args: Vec::new(),
+        }
+    }
+}
+
+/// Where a replica is in its supervision lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Spawned, not yet answering health probes.
+    Starting,
+    /// Answering health probes.
+    Up,
+    /// Exited; waiting out the restart backoff.
+    Backoff,
+    /// Crash-looped past the threshold; the supervisor has given up on it.
+    Quarantined,
+}
+
+impl ReplicaState {
+    /// The state's wire spelling in the `fleet` response.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Self::Starting => "starting",
+            Self::Up => "up",
+            Self::Backoff => "backoff",
+            Self::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// A point-in-time public view of one replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaStatus {
+    /// Position in the fleet (stable across restarts).
+    pub index: usize,
+    /// The replica's serving socket.
+    pub socket: PathBuf,
+    /// Supervision state.
+    pub state: ReplicaState,
+    /// OS pid of the live child, if one is running.
+    pub pid: Option<u32>,
+    /// Library generation last reported by a health probe.
+    pub generation: u64,
+    /// Time since the replica last became healthy (zero if not up).
+    pub uptime: Duration,
+    /// Supervised restarts so far (first spawn not counted).
+    pub restarts: u64,
+}
+
+/// Supervision transitions, drained by [`Fleet::take_events`] (the CLI
+/// prints them as log markers).
+#[derive(Debug, Clone)]
+pub enum FleetEvent {
+    /// A crashed replica was respawned.
+    Restarted {
+        /// Replica index.
+        index: usize,
+        /// Its restart count after this respawn.
+        restarts: u64,
+    },
+    /// A replica crash-looped past the threshold and was quarantined.
+    Quarantined {
+        /// Replica index.
+        index: usize,
+        /// Exits observed inside the window at the moment of quarantine.
+        exits: usize,
+    },
+}
+
+struct Slot {
+    index: usize,
+    socket: PathBuf,
+    store: PathBuf,
+    log: PathBuf,
+    child: Option<Child>,
+    pid: Option<u32>,
+    state: ReplicaState,
+    started_at: Instant,
+    up_since: Option<Instant>,
+    generation: u64,
+    exits: VecDeque<Instant>,
+    restarts: u64,
+    consecutive_failures: u32,
+    restart_due: Option<Instant>,
+    last_probe: Option<Instant>,
+}
+
+struct Shared {
+    opts: FleetOptions,
+    slots: Mutex<Vec<Slot>>,
+    registry: Arc<Registry>,
+    shutdown: CancelToken,
+    events: Mutex<Vec<FleetEvent>>,
+}
+
+/// Mutex lock that shrugs off poisoning: supervision state must stay
+/// reachable even if a panicking thread died holding the lock.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A running fleet of supervised replica daemons.
+pub struct Fleet {
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+    control_socket: PathBuf,
+}
+
+impl Fleet {
+    /// Spawns the replicas, the supervisor, and the control socket.
+    ///
+    /// # Errors
+    ///
+    /// Fleet directory creation, control-socket bind, or the *first*
+    /// spawn of any replica failing (a missing daemon binary is a
+    /// configuration error, not something to supervise around).
+    pub fn start(opts: FleetOptions) -> io::Result<Self> {
+        if opts.replicas == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a fleet needs at least one replica",
+            ));
+        }
+        std::fs::create_dir_all(&opts.dir)?;
+        let control_socket = opts.dir.join("fleet.sock");
+        let _ = std::fs::remove_file(&control_socket);
+        let listener = UnixListener::bind(&control_socket)?;
+        listener.set_nonblocking(true)?;
+
+        let mut slots = Vec::with_capacity(opts.replicas);
+        for index in 0..opts.replicas {
+            let store = opts
+                .replica_stores
+                .get(index)
+                .cloned()
+                .unwrap_or_else(|| opts.store.clone());
+            let mut slot = Slot {
+                index,
+                socket: opts.dir.join(format!("replica-{index}.sock")),
+                store,
+                log: opts.dir.join(format!("replica-{index}.log")),
+                child: None,
+                pid: None,
+                state: ReplicaState::Starting,
+                started_at: Instant::now(),
+                up_since: None,
+                generation: 0,
+                exits: VecDeque::new(),
+                restarts: 0,
+                consecutive_failures: 0,
+                restart_due: None,
+                last_probe: None,
+            };
+            spawn_replica(&opts, &mut slot)?;
+            slots.push(slot);
+        }
+
+        let shared = Arc::new(Shared {
+            opts,
+            slots: Mutex::new(slots),
+            registry: Arc::new(Registry::new()),
+            shutdown: CancelToken::new(),
+            events: Mutex::new(Vec::new()),
+        });
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("fleet-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))?
+        };
+        let control = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("fleet-control".into())
+                .spawn(move || control_loop(&shared, &listener))?
+        };
+        Ok(Self {
+            shared,
+            threads: vec![supervisor, control],
+            control_socket,
+        })
+    }
+
+    /// The replica serving sockets, in fleet order (stable across
+    /// restarts — a respawned replica rebinds the same path).
+    #[must_use]
+    pub fn sockets(&self) -> Vec<PathBuf> {
+        lock(&self.shared.slots)
+            .iter()
+            .map(|s| s.socket.clone())
+            .collect()
+    }
+
+    /// The control socket answering the `fleet` and `health` ops.
+    #[must_use]
+    pub fn control_socket(&self) -> &Path {
+        &self.control_socket
+    }
+
+    /// The supervisor's metrics registry (`serve.fleet.*`).
+    #[must_use]
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Point-in-time view of every replica.
+    #[must_use]
+    pub fn states(&self) -> Vec<ReplicaStatus> {
+        lock(&self.shared.slots).iter().map(status_of).collect()
+    }
+
+    /// Drains accumulated supervision events.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<FleetEvent> {
+        std::mem::take(&mut *lock(&self.shared.events))
+    }
+
+    /// Blocks until every non-quarantined replica probes healthy, or the
+    /// timeout passes. Returns whether the fleet came up in time.
+    #[must_use]
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let ready = lock(&self.shared.slots)
+                .iter()
+                .all(|s| matches!(s.state, ReplicaState::Up | ReplicaState::Quarantined));
+            if ready {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Reloads the fleet one replica at a time: drive the daemon's
+    /// `reload` op, wait until the replica probes healthy again, move on —
+    /// capacity never drops below N−1. Quarantined replicas are skipped
+    /// with a typed [`ErrorKind::ReplicaQuarantined`] error. Entry `i` is
+    /// replica `i`'s reload response.
+    pub fn rolling_reload(
+        &self,
+        force: bool,
+        label: Option<&str>,
+    ) -> Vec<Result<String, ProtoError>> {
+        let targets: Vec<(usize, PathBuf, ReplicaState)> = lock(&self.shared.slots)
+            .iter()
+            .map(|s| (s.index, s.socket.clone(), s.state))
+            .collect();
+        let mut request = String::from("{\"op\":\"reload\"");
+        if force {
+            request.push_str(",\"force\":true");
+        }
+        if let Some(label) = label {
+            request.push_str(",\"label\":");
+            push_escaped(&mut request, label);
+        }
+        request.push('}');
+
+        let mut out = Vec::with_capacity(targets.len());
+        for (index, socket, state) in targets {
+            if state == ReplicaState::Quarantined {
+                out.push(Err(ProtoError::new(
+                    ErrorKind::ReplicaQuarantined,
+                    format!("replica {index} is quarantined; skipped by rolling reload"),
+                )));
+                continue;
+            }
+            let response = one_shot(&socket, &request);
+            // Hold here until the replica answers health again: the next
+            // replica's reload must not start while this one is swapping,
+            // or capacity could dip below N−1.
+            let settle = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < settle {
+                if probe(&socket).is_some() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+            out.push(response);
+        }
+        out
+    }
+
+    /// Starts the shutdown: the supervisor stops restarting, replicas are
+    /// drained in [`Self::join`].
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.cancel();
+    }
+
+    /// Drains the fleet: `SIGTERM` every replica (their own drain path),
+    /// wait out a grace period, hard-kill stragglers, and return the
+    /// supervisor's final metrics snapshot.
+    #[must_use]
+    pub fn join(mut self) -> Snapshot {
+        self.shared.shutdown.cancel();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        {
+            let mut slots = lock(&self.shared.slots);
+            for slot in slots.iter_mut() {
+                if let Some(pid) = slot.pid {
+                    let _ = Command::new("kill")
+                        .arg("-TERM")
+                        .arg(pid.to_string())
+                        .status();
+                }
+            }
+            let grace = Instant::now() + Duration::from_secs(5);
+            loop {
+                let mut alive = 0usize;
+                for slot in slots.iter_mut() {
+                    if let Some(child) = slot.child.as_mut() {
+                        match child.try_wait() {
+                            Ok(Some(_)) => {
+                                slot.child = None;
+                                slot.pid = None;
+                            }
+                            Ok(None) => alive += 1,
+                            Err(_) => {
+                                slot.child = None;
+                                slot.pid = None;
+                            }
+                        }
+                    }
+                }
+                if alive == 0 || Instant::now() >= grace {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+            for slot in slots.iter_mut() {
+                if let Some(child) = slot.child.as_mut() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                slot.child = None;
+                slot.pid = None;
+            }
+        }
+        let _ = std::fs::remove_file(&self.control_socket);
+        self.shared.registry.snapshot()
+    }
+}
+
+fn status_of(slot: &Slot) -> ReplicaStatus {
+    ReplicaStatus {
+        index: slot.index,
+        socket: slot.socket.clone(),
+        state: slot.state,
+        pid: slot.pid,
+        generation: slot.generation,
+        uptime: slot.up_since.map_or(Duration::ZERO, |t| t.elapsed()),
+        restarts: slot.restarts,
+    }
+}
+
+/// Spawns (or respawns) a replica daemon into `slot`, appending its
+/// stdout/stderr to the per-replica log.
+fn spawn_replica(opts: &FleetOptions, slot: &mut Slot) -> io::Result<()> {
+    let log = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&slot.log)?;
+    let mut cmd = Command::new(&opts.daemon);
+    cmd.arg("serve")
+        .arg("--store")
+        .arg(&slot.store)
+        .arg("--socket")
+        .arg(&slot.socket);
+    if opts.strict_store {
+        cmd.arg("--strict-store");
+    }
+    for arg in &opts.replica_args {
+        cmd.arg(arg);
+    }
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::from(log.try_clone()?))
+        .stderr(Stdio::from(log));
+    let child = cmd.spawn()?;
+    slot.pid = Some(child.id());
+    slot.child = Some(child);
+    slot.state = ReplicaState::Starting;
+    slot.started_at = Instant::now();
+    slot.up_since = None;
+    slot.restart_due = None;
+    slot.last_probe = None;
+    Ok(())
+}
+
+/// One short-timeout health probe: `Some((status, generation))` when the
+/// replica answered, `None` on any failure.
+fn probe(socket: &Path) -> Option<(String, u64)> {
+    let mut stream = UnixStream::connect(socket).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(1))).ok()?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(1)))
+        .ok()?;
+    let response = proto::call(&mut stream, "{\"op\":\"health\"}").ok()?;
+    let json = Json::parse(&response).ok()?;
+    let status = json.get("status").and_then(Json::as_str)?.to_string();
+    let generation = json
+        .get("generation")
+        .and_then(Json::as_f64)
+        .map_or(0, |g| g as u64);
+    Some((status, generation))
+}
+
+fn supervisor_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.is_cancelled() {
+        let now = Instant::now();
+        {
+            let mut slots = lock(&shared.slots);
+            for slot in slots.iter_mut() {
+                tick_slot(shared, slot, now);
+            }
+            let up = slots.iter().filter(|s| s.state == ReplicaState::Up).count();
+            shared.registry.gauge(sm::FLEET_REPLICAS_UP).set(up as f64);
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One supervision step for one replica: detect exits, quarantine crash
+/// loops, respawn after backoff, probe health.
+fn tick_slot(shared: &Arc<Shared>, slot: &mut Slot, now: Instant) {
+    let opts = &shared.opts;
+    if slot.state == ReplicaState::Quarantined {
+        return;
+    }
+
+    // Exit detection.
+    let exited = match slot.child.as_mut() {
+        Some(child) => !matches!(child.try_wait(), Ok(None)),
+        None => false,
+    };
+    if exited {
+        slot.child = None;
+        slot.pid = None;
+        slot.up_since = None;
+        slot.exits.push_back(now);
+        while let Some(front) = slot.exits.front() {
+            if now.duration_since(*front) > opts.quarantine_window {
+                slot.exits.pop_front();
+            } else {
+                break;
+            }
+        }
+        if slot.exits.len() >= opts.quarantine_threshold.max(1) as usize {
+            slot.state = ReplicaState::Quarantined;
+            shared.registry.counter(sm::FLEET_QUARANTINED).incr();
+            drop(
+                trace::event("serve.fleet.replica_quarantined")
+                    .arg("index", slot.index)
+                    .arg("exits_in_window", slot.exits.len()),
+            );
+            lock(&shared.events).push(FleetEvent::Quarantined {
+                index: slot.index,
+                exits: slot.exits.len(),
+            });
+            return;
+        }
+        slot.consecutive_failures = slot.consecutive_failures.saturating_add(1);
+        let shift = (slot.consecutive_failures - 1).min(16);
+        let delay = opts
+            .restart_backoff_base
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
+            .min(opts.restart_backoff_cap);
+        slot.restart_due = Some(now + delay);
+        slot.state = ReplicaState::Backoff;
+        return;
+    }
+
+    // Respawn once the backoff has elapsed.
+    if slot.state == ReplicaState::Backoff {
+        if slot.restart_due.is_some_and(|due| now >= due) {
+            match spawn_replica(opts, slot) {
+                Ok(()) => {
+                    slot.restarts += 1;
+                    shared.registry.counter(sm::FLEET_RESTARTS).incr();
+                    lock(&shared.events).push(FleetEvent::Restarted {
+                        index: slot.index,
+                        restarts: slot.restarts,
+                    });
+                }
+                Err(_) => {
+                    // Spawn itself failed (fork pressure, unlinked binary):
+                    // treat like another exit and back off again.
+                    slot.exits.push_back(now);
+                    slot.consecutive_failures = slot.consecutive_failures.saturating_add(1);
+                    let shift = (slot.consecutive_failures - 1).min(16);
+                    let delay = opts
+                        .restart_backoff_base
+                        .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
+                        .min(opts.restart_backoff_cap);
+                    slot.restart_due = Some(now + delay);
+                }
+            }
+        }
+        return;
+    }
+
+    // Health probing on the probe fast path.
+    let due = slot
+        .last_probe
+        .is_none_or(|t| now.duration_since(t) >= opts.probe_interval);
+    if !due {
+        return;
+    }
+    slot.last_probe = Some(now);
+    match probe(&slot.socket) {
+        Some((_, generation)) => {
+            if slot.state == ReplicaState::Starting {
+                slot.state = ReplicaState::Up;
+                slot.up_since = Some(now);
+            }
+            slot.generation = generation;
+            // A healthy probe resets the backoff ladder: the next crash
+            // starts from the base delay again.
+            slot.consecutive_failures = 0;
+        }
+        None => {
+            if slot.state == ReplicaState::Starting
+                && now.duration_since(slot.started_at) > opts.startup_grace
+            {
+                // Hung startup: kill it; the next tick sees the exit and
+                // routes through the normal backoff/quarantine ladder.
+                if let Some(child) = slot.child.as_mut() {
+                    let _ = child.kill();
+                }
+            }
+        }
+    }
+}
+
+fn control_loop(shared: &Arc<Shared>, listener: &UnixListener) {
+    while !shared.shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("fleet-control-conn".into())
+                    .spawn(move || handle_control(&shared, &stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_control(shared: &Arc<Shared>, mut stream: &UnixStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    loop {
+        let Ok(Some(payload)) = proto::read_frame(&mut stream) else {
+            return;
+        };
+        let response = match parse_request(&payload) {
+            Ok(Request::Fleet) => render_fleet(shared),
+            Ok(Request::Health) => {
+                let slots = lock(&shared.slots);
+                let up = slots.iter().filter(|s| s.state == ReplicaState::Up).count();
+                let degraded = up < slots.len();
+                let generation = slots.iter().map(|s| s.generation).min().unwrap_or(0);
+                let status = if shared.shutdown.is_cancelled() {
+                    "draining"
+                } else if up == 0 {
+                    "down"
+                } else if degraded {
+                    "degraded"
+                } else {
+                    "serving"
+                };
+                render_health(status, up, degraded, generation, None)
+            }
+            Ok(_) => render_error(&ProtoError::new(
+                ErrorKind::BadRequest,
+                "fleet control socket answers \"fleet\" and \"health\" only; \
+                 send queries to a replica socket",
+            )),
+            Err(e) => render_error(&e),
+        };
+        if write_frame(&mut stream, response.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Renders the `fleet` stats response: aggregate counts plus per-replica
+/// state/generation/uptime; quarantined replicas carry a typed
+/// `replica_quarantined` error object.
+fn render_fleet(shared: &Arc<Shared>) -> String {
+    let slots = lock(&shared.slots);
+    let up = slots.iter().filter(|s| s.state == ReplicaState::Up).count();
+    let quarantined = slots
+        .iter()
+        .filter(|s| s.state == ReplicaState::Quarantined)
+        .count();
+    let restarts: u64 = slots.iter().map(|s| s.restarts).sum();
+    let mut out = format!(
+        "{{\"ok\":true,\"fleet\":{{\"replicas\":{},\"replicas_up\":{up},\
+         \"quarantined\":{quarantined},\"restarts\":{restarts},\"replica\":[",
+        slots.len()
+    );
+    for (i, slot) in slots.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"index\":{},\"socket\":", slot.index));
+        push_escaped(&mut out, &slot.socket.display().to_string());
+        out.push_str(",\"state\":");
+        push_escaped(&mut out, slot.state.wire_name());
+        match slot.pid {
+            Some(pid) => out.push_str(&format!(",\"pid\":{pid}")),
+            None => out.push_str(",\"pid\":null"),
+        }
+        out.push_str(&format!(
+            ",\"generation\":{},\"uptime_s\":{:.3},\"restarts\":{}",
+            slot.generation,
+            slot.up_since.map_or(0.0, |t| t.elapsed().as_secs_f64()),
+            slot.restarts
+        ));
+        if slot.state == ReplicaState::Quarantined {
+            out.push_str(",\"error\":{\"kind\":");
+            push_escaped(&mut out, ErrorKind::ReplicaQuarantined.wire_name());
+            out.push_str(",\"detail\":");
+            push_escaped(
+                &mut out,
+                &format!(
+                    "replica {} crash-looped ({} exits in window); supervisor gave up",
+                    slot.index,
+                    slot.exits.len()
+                ),
+            );
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}

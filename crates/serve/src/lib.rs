@@ -49,6 +49,20 @@
 //!   injected slow reads, dropped connections) behind the
 //!   `fault-injection` feature, extending the `proxim_spice::faultpoint`
 //!   discipline to the socket boundary.
+//! - [`fleet`]: the replication layer above the daemon. A supervisor
+//!   spawns N replica daemons (each on its own socket under a fleet
+//!   directory), health-probes them on the probe fast path, restarts
+//!   crashes with capped exponential backoff, quarantines crash-loopers
+//!   (≥M exits in a window → typed `replica_quarantined`, fleet serves
+//!   degraded on the survivors), answers the `fleet` stats op on a
+//!   control socket, and drives rolling reloads one replica at a time so
+//!   an upgrade never drops below N−1 capacity.
+//! - [`balance`]: the client side of the fleet —
+//!   [`FleetClient`](balance::FleetClient) round-robins across replica
+//!   sockets with per-replica health tracking, fails over on
+//!   connect-refused/`overloaded`/`shutting_down` under the [`client`]
+//!   idempotency and deadline rules, and hedges idempotent requests to a
+//!   second replica after a configurable delay, first-response-wins.
 //!
 //! Metric names live in [`proxim_obs::serve_metrics`]; every request is
 //! traced as a `serve.request` span when tracing is enabled.
@@ -57,16 +71,20 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod balance;
 pub mod client;
 pub mod diskfault;
+pub mod fleet;
 pub mod library;
 pub mod proto;
 pub mod server;
 pub mod store;
 pub mod wirefault;
 
+pub use balance::{FleetClient, FleetClientOptions, FleetOutcome};
 pub use client::{RetryOutcome, RetryPolicy};
 pub use diskfault::{DiskError, DiskFaultConfig, DiskFaultKind};
+pub use fleet::{Fleet, FleetOptions, ReplicaState};
 pub use library::{
     judge_candidate, AcquireError, Acquired, LibraryOptions, LoadReport, ModelLibrary,
     ReloadRejection,

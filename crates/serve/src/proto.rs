@@ -66,6 +66,10 @@ pub enum ErrorKind {
     /// store root was unreadable) and was refused; the live generation is
     /// untouched.
     ReloadRejected,
+    /// A fleet replica crash-looped (too many exits inside the quarantine
+    /// window) and the supervisor stopped restarting it; the fleet keeps
+    /// serving degraded on the survivors.
+    ReplicaQuarantined,
     /// An unexpected server-side failure; the detail names it.
     Internal,
 }
@@ -82,6 +86,7 @@ impl ErrorKind {
             Self::DeadlineExceeded => "deadline_exceeded",
             Self::ShuttingDown => "shutting_down",
             Self::ReloadRejected => "reload_rejected",
+            Self::ReplicaQuarantined => "replica_quarantined",
             Self::Internal => "internal",
         }
     }
@@ -205,6 +210,11 @@ pub enum Request {
     /// Flip observability settings at runtime and/or fetch a
     /// flight-recorder dump. Answered inline so it works under overload.
     Obs(ObsControl),
+    /// Per-replica fleet state: supervision state, generation, uptime, and
+    /// restart counts for every replica. Answered by a fleet supervisor's
+    /// control socket; a plain replica daemon refuses it typed, pointing
+    /// the client at the supervisor. Read-only, so it is retry-safe.
+    Fleet,
     /// Load a candidate library generation from the store, validate it
     /// against the live one, and swap it in if it is no worse. Answered
     /// inline (reload must work while the queue is full of queries).
@@ -222,6 +232,15 @@ pub enum Request {
 /// Maximum length of an operator-supplied generation label (same bound and
 /// charset as `trace_id`: it lands in log lines and health probes).
 pub const MAX_LABEL_LEN: usize = MAX_TRACE_ID_LEN;
+
+/// Every `op` the protocol recognizes, in dispatch order. The retrying
+/// client's idempotency table is tested against this list, so adding an op
+/// here without classifying it there is a compile-visible test failure —
+/// a new op can never silently become retry-unsafe (or unsafely
+/// retryable).
+pub const WIRE_OPS: &[&str] = &[
+    "query", "batch", "health", "stats", "list", "metrics", "obs", "reload", "fleet",
+];
 
 // ---------------------------------------------------------------------------
 // Framing
@@ -617,6 +636,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtoError> {
         Some("metrics") => Ok(Request::Metrics),
         Some("obs") => Ok(Request::Obs(parse_obs_control(&json)?)),
         Some("reload") => parse_reload(&json),
+        Some("fleet") => Ok(Request::Fleet),
         Some(op) => Err(bad_request(format!("unknown op {op:?}"))),
         None => Err(bad_request("request missing \"op\"")),
     }
@@ -1197,6 +1217,36 @@ mod tests {
                 "{bad_id}"
             );
         }
+    }
+
+    #[test]
+    fn wire_ops_lists_exactly_the_recognized_ops() {
+        // Every listed op must dispatch past the unknown-op arm. A minimal
+        // `{"op":...}` document is enough: ops with required fields fail
+        // with their field-specific message, never with "unknown op".
+        for op in WIRE_OPS {
+            let req = format!("{{\"op\":\"{op}\"}}");
+            match parse_request(req.as_bytes()) {
+                Ok(_) => {}
+                Err(e) => assert!(
+                    !e.detail.contains("unknown op"),
+                    "{op} is listed in WIRE_OPS but the parser does not know it: {e}"
+                ),
+            }
+        }
+        // And an op outside the list is refused as unknown, so the list
+        // cannot silently lag behind the dispatch table.
+        let e = parse_request(br#"{"op":"conquer"}"#).unwrap_err();
+        assert!(e.detail.contains("unknown op"), "{e}");
+        assert!(matches!(
+            parse_request(br#"{"op":"fleet"}"#).unwrap(),
+            Request::Fleet
+        ));
+        assert_eq!(
+            ErrorKind::ReplicaQuarantined.wire_name(),
+            "replica_quarantined"
+        );
+        assert!(!ErrorKind::ReplicaQuarantined.is_retryable());
     }
 
     #[test]

@@ -49,6 +49,7 @@ use proxim_obs::{exposition, flight, trace, Counter, Gauge, Histogram, Registry,
 use proxim_spice::CancelToken;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -342,22 +343,129 @@ impl Shared {
     }
 }
 
-/// A running daemon instance: acceptor, workers, and the shared state that
-/// connection handlers hang off.
+/// One transport the daemon listens on. The Unix socket is the native
+/// front end; the TCP front end makes replicas reachable beyond the local
+/// filesystem (a fleet spread across hosts). Both speak the identical
+/// frame protocol.
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Self::Unix(l) => l.set_nonblocking(true),
+            Self::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Self::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Self::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+}
+
+/// One accepted connection, Unix or TCP, behind a single Read/Write
+/// surface so the connection loop is transport-agnostic.
+pub(crate) enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Unix(s) => s.set_read_timeout(d),
+            Self::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Unix(s) => s.set_write_timeout(d),
+            Self::Tcp(s) => s.set_write_timeout(d),
+        }
+    }
+}
+
+// Read/Write on `&Conn` mirror the std `&UnixStream`/`&TcpStream` impls:
+// the connection loop reads and writes through shared references, exactly
+// as it did when it held a bare `UnixStream`.
+impl Read for &Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match *self {
+            Conn::Unix(s) => (&*s).read(buf),
+            Conn::Tcp(s) => (&*s).read(buf),
+        }
+    }
+}
+
+impl Write for &Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match *self {
+            Conn::Unix(s) => (&*s).write(buf),
+            Conn::Tcp(s) => (&*s).write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match *self {
+            Conn::Unix(s) => (&*s).flush(),
+            Conn::Tcp(s) => (&*s).flush(),
+        }
+    }
+}
+
+/// Binds the daemon's Unix socket without stealing a live daemon's.
+///
+/// An existing file at the path is *probed with a connect* first: a
+/// successful connect means a daemon is accepting there right now, and
+/// binding over it would silently steal its clients — that fails typed
+/// [`io::ErrorKind::AddrInUse`]. Only a dead socket (connect refused:
+/// debris of a SIGKILL that never reached `join`) is unlinked and rebound.
+fn bind_unix_guarded(socket_path: &Path) -> io::Result<UnixListener> {
+    if socket_path.exists() {
+        match UnixStream::connect(socket_path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!(
+                        "socket {} is owned by a live daemon; refusing to steal it",
+                        socket_path.display()
+                    ),
+                ))
+            }
+            // Connect refused / not-a-socket: stale debris, safe to clear.
+            Err(_) => {
+                let _ = std::fs::remove_file(socket_path);
+            }
+        }
+    }
+    UnixListener::bind(socket_path)
+}
+
+/// A running daemon instance: acceptors, workers, and the shared state
+/// that connection handlers hang off.
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<thread::JoinHandle<()>>,
+    acceptors: Vec<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
-    socket_path: PathBuf,
+    socket_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
 }
 
 impl Server {
     /// Binds `socket` and starts serving `library`.
     ///
-    /// A stale socket file at the path (debris of an unclean previous
-    /// death) is removed before binding. Quarantine events from the
-    /// library's load report are mirrored into the metrics registry so
-    /// a degraded start is visible in `stats` from the first request.
+    /// A *stale* socket file at the path (debris of an unclean previous
+    /// death) is removed before binding; a socket a live daemon still
+    /// answers on fails typed `AddrInUse` instead of being stolen.
+    /// Quarantine events from the library's load report are mirrored into
+    /// the metrics registry so a degraded start is visible in `stats` from
+    /// the first request.
     ///
     /// # Errors
     ///
@@ -368,10 +476,52 @@ impl Server {
         socket: impl Into<PathBuf>,
         opts: ServeOptions,
     ) -> io::Result<Self> {
-        let socket_path = socket.into();
-        let _ = std::fs::remove_file(&socket_path);
-        let listener = UnixListener::bind(&socket_path)?;
-        listener.set_nonblocking(true)?;
+        Self::start_with(library, Some(socket.into()), None, opts)
+    }
+
+    /// Binds any combination of a Unix socket and a TCP front end
+    /// (`tcp` is a `host:port` string; port `0` picks a free port,
+    /// readable back via [`Server::tcp_addr`]). At least one listener is
+    /// required. Both listeners feed the same admission queue and worker
+    /// pool; the wire protocol is identical on both.
+    ///
+    /// # Errors
+    ///
+    /// Binding failures, including the typed `AddrInUse` refusal to steal
+    /// a live daemon's Unix socket, and `InvalidInput` when no listener
+    /// was requested.
+    pub fn start_with(
+        library: ModelLibrary,
+        socket: Option<PathBuf>,
+        tcp: Option<&str>,
+        opts: ServeOptions,
+    ) -> io::Result<Self> {
+        let mut listeners = Vec::new();
+        let socket_path = match socket {
+            Some(path) => {
+                listeners.push(Listener::Unix(bind_unix_guarded(&path)?));
+                Some(path)
+            }
+            None => None,
+        };
+        let tcp_addr = match tcp {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let bound = listener.local_addr()?;
+                listeners.push(Listener::Tcp(listener));
+                Some(bound)
+            }
+            None => None,
+        };
+        if listeners.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server needs at least one listener (unix socket or tcp)",
+            ));
+        }
+        for listener in &listeners {
+            listener.set_nonblocking()?;
+        }
 
         let registry = Arc::new(Registry::new());
         registry
@@ -430,24 +580,37 @@ impl Server {
             })
             .collect::<io::Result<Vec<_>>>()?;
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("serve-acceptor".into())
-                .spawn(move || acceptor_loop(&shared, &listener))?
-        };
+        let acceptors = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-acceptor-{i}"))
+                    .spawn(move || acceptor_loop(&shared, &listener))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
 
         Ok(Self {
             shared,
-            acceptor: Some(acceptor),
+            acceptors,
             workers,
             socket_path,
+            tcp_addr,
         })
     }
 
-    /// The socket path clients connect to.
+    /// The Unix socket path clients connect to. A TCP-only server (see
+    /// [`Server::start_with`]) has none and returns the empty path; such
+    /// callers address the daemon via [`Server::tcp_addr`].
     pub fn socket_path(&self) -> &Path {
-        &self.socket_path
+        self.socket_path.as_deref().unwrap_or_else(|| Path::new(""))
+    }
+
+    /// The bound TCP address, when a TCP front end was requested. Useful
+    /// with port `0`: the OS-assigned port is readable here.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
     }
 
     /// How many models are servable.
@@ -506,7 +669,7 @@ impl Server {
     /// connection handlers get up to `drain_grace` to complete their
     /// in-flight response writes. The socket file is removed.
     pub fn join(mut self) -> Snapshot {
-        if let Some(h) = self.acceptor.take() {
+        for h in self.acceptors.drain(..) {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -518,7 +681,9 @@ impl Server {
         {
             thread::sleep(Duration::from_millis(5));
         }
-        let _ = std::fs::remove_file(&self.socket_path);
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
         self.shared.registry.snapshot()
     }
 }
@@ -526,13 +691,13 @@ impl Server {
 /// How often blocked loops re-check the shutdown token.
 const POLL: Duration = Duration::from_millis(10);
 
-fn acceptor_loop(shared: &Arc<Shared>, listener: &UnixListener) {
+fn acceptor_loop(shared: &Arc<Shared>, listener: &Listener) {
     loop {
         if shared.shutdown.is_cancelled() {
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok(stream) => {
                 let index = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
                 shared.count(sm::CONNECTIONS);
                 shared.active_conns.fetch_add(1, Ordering::AcqRel);
@@ -574,19 +739,20 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &UnixListener) {
 /// an *idle* timeout (no frame started — benign keep-alive) from a stall
 /// *mid-frame* (a slow or wedged client that must be dropped).
 struct CountingReader<'a> {
-    inner: &'a UnixStream,
+    inner: &'a Conn,
     delivered: usize,
 }
 
 impl Read for CountingReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.inner.read(buf)?;
+        let mut inner = self.inner;
+        let n = inner.read(buf)?;
         self.delivered += n;
         Ok(n)
     }
 }
 
-fn connection_loop(shared: &Arc<Shared>, stream: UnixStream, index: u64) {
+fn connection_loop(shared: &Arc<Shared>, stream: Conn, index: u64) {
     // Reads poll at a short interval so a draining daemon never waits a
     // full idle timeout on a quiet connection; writes get the configured
     // slow-client bound directly.
@@ -738,10 +904,11 @@ fn finish_request(shared: &Arc<Shared>, t: &ReqTrace, write: Duration) {
 /// slow-client write timeout. `Err` means the connection must close.
 fn write_response(
     shared: &Arc<Shared>,
-    mut stream: &UnixStream,
+    stream: &Conn,
     faults: &mut WireFaultStream,
     response: &str,
 ) -> Result<(), ()> {
+    let mut stream = stream;
     let frame = frame_bytes(response.as_bytes());
     if let Some(keep) = faults.torn_write(frame.len()) {
         // Injected tear: send a strict prefix, then drop the connection.
@@ -826,6 +993,13 @@ fn respond_to(shared: &Arc<Shared>, payload: &[u8]) -> (String, Option<ReqTrace>
             };
             (response, None)
         }
+        Request::Fleet => (
+            render_error(&ProtoError::new(
+                ErrorKind::BadRequest,
+                "this daemon is not a fleet supervisor; send \"fleet\" to the fleet control socket",
+            )),
+            None,
+        ),
         Request::Query {
             model,
             query,
@@ -1249,6 +1423,21 @@ pub fn one_shot(socket: &Path, request: &str) -> Result<String, ProtoError> {
     proto::call(&mut stream, request)
 }
 
+/// [`one_shot`] over the TCP front end: connect to `addr`
+/// (`host:port`), round-trip one request, disconnect.
+///
+/// # Errors
+///
+/// Connection failures surface as [`ErrorKind::Internal`]; everything else
+/// comes from [`proto::call`].
+pub fn one_shot_tcp(addr: &str, request: &str) -> Result<String, ProtoError> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| ProtoError::new(ErrorKind::Internal, format!("connect: {e}")))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    proto::call(&mut stream, request)
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -1490,6 +1679,98 @@ mod tests {
             Err(_) => {}
             Ok(resp) => assert!(resp.contains("shutting_down"), "{resp}"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_socket_is_not_stolen_but_stale_socket_is_reclaimed() {
+        let dir = scratch("steal");
+        let path = dir.join("s.sock");
+        let server = Server::start(test_library(&dir), &path, ServeOptions::default()).unwrap();
+
+        // A second daemon on the same path must fail typed, and the first
+        // daemon must still be answering on its socket afterwards.
+        let err = match Server::start(test_library(&dir), &path, ServeOptions::default()) {
+            Ok(_) => panic!("second bind on a live socket must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse, "{err}");
+        assert!(one_shot(&path, QUERY).unwrap().contains("\"timing\""));
+
+        server.begin_shutdown();
+        server.join();
+
+        // A stale socket file (SIGKILL leftover: file exists, nobody
+        // accepting) is reclaimed silently.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "stale socket file must survive the drop");
+        let server = Server::start(test_library(&dir), &path, ServeOptions::default()).unwrap();
+        assert!(one_shot(&path, QUERY).unwrap().contains("\"timing\""));
+        server.begin_shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_front_end_serves_queries_and_typed_errors() {
+        let dir = scratch("tcp");
+        let server = Server::start_with(
+            test_library(&dir),
+            None,
+            Some("127.0.0.1:0"),
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let addr = server.tcp_addr().expect("tcp listener must report an addr");
+
+        let resp = one_shot_tcp(&addr.to_string(), QUERY).unwrap();
+        assert!(resp.contains("\"timing\""), "{resp}");
+        let resp = one_shot_tcp(&addr.to_string(), r#"{"op":"health"}"#).unwrap();
+        assert!(resp.contains("\"serving\""), "{resp}");
+        let resp = one_shot_tcp(&addr.to_string(), r#"{"op":"nope"}"#).unwrap();
+        assert!(resp.contains("bad_request"), "{resp}");
+
+        server.begin_shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dual_listeners_share_one_admission_queue() {
+        let dir = scratch("dual");
+        let server = Server::start_with(
+            test_library(&dir),
+            Some(dir.join("s.sock")),
+            Some("127.0.0.1:0"),
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let sock = server.socket_path().to_path_buf();
+        let addr = server.tcp_addr().unwrap().to_string();
+
+        assert!(one_shot(&sock, QUERY).unwrap().contains("\"timing\""));
+        assert!(one_shot_tcp(&addr, QUERY).unwrap().contains("\"timing\""));
+
+        server.begin_shutdown();
+        let snap = server.join();
+        assert_eq!(snap.counter(sm::REQUESTS), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_replica_refuses_fleet_op_typed() {
+        let dir = scratch("fleetop");
+        let server = Server::start(
+            test_library(&dir),
+            dir.join("s.sock"),
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let resp = one_shot(server.socket_path(), r#"{"op":"fleet"}"#).unwrap();
+        assert!(resp.contains("bad_request"), "{resp}");
+        assert!(resp.contains("fleet control socket"), "{resp}");
+        server.begin_shutdown();
+        server.join();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,6 +13,16 @@
 //!   exchange — in-flight queries finish on the generation they started
 //!   on. `--memory-budget BYTES` caps residency: models past the budget
 //!   are cold-loaded on demand and LRU-evicted.
+//! - `fleet --store DIR --dir DIR --replicas N` — the supervisor: spawn N
+//!   replica daemons of this same binary (each on its own socket under the
+//!   fleet directory), restart crashes with capped exponential backoff,
+//!   quarantine crash-loopers (≥M exits in a window, typed
+//!   `replica_quarantined`), answer the `fleet` stats op on
+//!   `DIR/fleet.sock`, and fold `SIGHUP` into rolling reloads (one replica
+//!   at a time, never below N−1 capacity). `SIGTERM` drains every replica
+//!   and exits 0. With `--strict-store`, replicas refuse to start on a
+//!   corrupt/empty store (exit 2) so a bad store is quarantined loudly
+//!   instead of serving nothing.
 //! - `query --socket PATH --json REQ` — one request/response round trip;
 //!   prints the response. Exit `0` when the response says `"ok":true`,
 //!   `3` for a typed server-side error, `1` for transport failure. With
@@ -43,8 +53,11 @@ use proxim_model::ProximityModel;
 use proxim_obs::json::Json;
 use proxim_obs::{exposition, flight, serve_metrics as sm, trace};
 use proxim_serve::client::{call_with_retry, RetryPolicy};
+use proxim_serve::fleet::FleetEvent;
 use proxim_serve::server::one_shot;
-use proxim_serve::{diskfault, LibraryOptions, ModelLibrary, ModelStore, ServeOptions, Server};
+use proxim_serve::{
+    diskfault, Fleet, FleetOptions, LibraryOptions, ModelLibrary, ModelStore, ServeOptions, Server,
+};
 use proxim_spice::CancelToken;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -92,7 +105,10 @@ fn usage() -> ExitCode {
          proxim_serve serve --store DIR --socket PATH [--workers N] [--queue N]\n    \
          [--deadline-ms N] [--stall-ms N] [--metrics-out PATH] [--demo]\n    \
          [--sample-every N] [--slow-ms N] [--flight-out PATH] [--flight-capacity N]\n    \
-         [--memory-budget BYTES]\n  \
+         [--memory-budget BYTES] [--listen tcp://HOST:PORT] [--strict-store]\n  \
+         proxim_serve fleet --store DIR --dir DIR [--replicas N] [--demo]\n    \
+         [--strict-store] [--quarantine-threshold N] [--quarantine-window-ms N]\n    \
+         [--probe-interval-ms N] [--backoff-base-ms N] [--backoff-cap-ms N]\n  \
          proxim_serve query --socket PATH --json REQUEST [--retry] [--deadline-ms N]\n  \
          proxim_serve obs --socket PATH [--level off|metrics|trace] [--sample-every N]\n    \
          [--slow-ms N] [--dump PATH] [--prom]\n  \
@@ -132,13 +148,17 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
     let mut opts = ServeOptions::default();
     let mut demo = false;
     let mut memory_budget: Option<u64> = None;
+    let mut strict_store = false;
+    let mut listen: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--store" => store_dir = args.next().map(Into::into),
             "--socket" => socket = args.next().map(Into::into),
             "--metrics-out" => metrics_out = args.next().map(Into::into),
             "--flight-out" => flight_out = args.next().map(Into::into),
+            "--listen" => listen = args.next(),
             "--demo" => demo = true,
+            "--strict-store" => strict_store = true,
             "--workers" | "--queue" | "--deadline-ms" | "--stall-ms" | "--sample-every"
             | "--slow-ms" | "--flight-capacity" | "--memory-budget" => {
                 let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
@@ -203,8 +223,32 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
     if let Some(e) = &library.report().root_error {
         eprintln!("proxim_serve: store root unreadable, serving empty: {e}");
     }
+    // Fleet-mode inversion of degrade-instead-of-die: under a supervisor
+    // with replicas to fail over to, a corrupt or empty store is worth
+    // more as a loud startup failure (crash-loop → quarantine) than as a
+    // silently degraded replica. Exit 2 distinguishes it from usage errors.
+    if strict_store {
+        let report = library.report();
+        if report.root_error.is_some() || !report.quarantined.is_empty() || library.is_empty() {
+            eprintln!(
+                "proxim_serve: --strict-store: store is corrupt, quarantining, or empty; \
+                 refusing to serve"
+            );
+            return ExitCode::from(2);
+        }
+    }
 
-    let server = match Server::start(library, &socket, opts) {
+    let tcp = match &listen {
+        Some(l) => match l.strip_prefix("tcp://") {
+            Some(addr) => Some(addr.to_string()),
+            None => {
+                eprintln!("proxim_serve: --listen expects tcp://HOST:PORT, got {l}");
+                return ExitCode::from(1);
+            }
+        },
+        None => None,
+    };
+    let server = match Server::start_with(library, Some(socket.clone()), tcp.as_deref(), opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("proxim_serve: cannot bind {}: {e}", socket.display());
@@ -215,8 +259,12 @@ fn cmd_serve(args: &mut std::env::Args) -> ExitCode {
     // so a signal that races startup still lands.
     let token = TERM_TOKEN.get_or_init(CancelToken::new).clone();
     install_signal_handlers();
+    let tcp_suffix = server
+        .tcp_addr()
+        .map(|a| format!(" tcp={a}"))
+        .unwrap_or_default();
     println!(
-        "ready socket={} models={} generation={}",
+        "ready socket={} models={} generation={}{tcp_suffix}",
         server.socket_path().display(),
         server.model_count(),
         server.library().generation()
@@ -579,9 +627,140 @@ fn main() -> ExitCode {
     let _argv0 = args.next();
     match args.next().as_deref() {
         Some("serve") => cmd_serve(&mut args),
+        Some("fleet") => cmd_fleet(&mut args),
         Some("query") => cmd_query(&mut args),
         Some("obs") => cmd_obs(&mut args),
         Some("churn") => cmd_churn(&mut args),
         _ => usage(),
     }
+}
+
+/// The fleet supervisor: spawn N replica daemons of this same binary,
+/// supervise them (restart with backoff, quarantine crash loops), answer
+/// the `fleet` op on the control socket, and fold `SIGHUP` into rolling
+/// reloads. `SIGTERM` drains every replica and exits 0.
+fn cmd_fleet(args: &mut std::env::Args) -> ExitCode {
+    let mut store_dir: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut opts = FleetOptions::default();
+    let mut demo = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => store_dir = args.next().map(Into::into),
+            "--dir" => dir = args.next().map(Into::into),
+            "--demo" => demo = true,
+            "--strict-store" => opts.strict_store = true,
+            "--replicas"
+            | "--quarantine-threshold"
+            | "--quarantine-window-ms"
+            | "--probe-interval-ms"
+            | "--backoff-base-ms"
+            | "--backoff-cap-ms" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                match arg.as_str() {
+                    "--replicas" => opts.replicas = v as usize,
+                    "--quarantine-threshold" => opts.quarantine_threshold = v as u32,
+                    "--quarantine-window-ms" => opts.quarantine_window = Duration::from_millis(v),
+                    "--probe-interval-ms" => opts.probe_interval = Duration::from_millis(v),
+                    "--backoff-base-ms" => opts.restart_backoff_base = Duration::from_millis(v),
+                    _ => opts.restart_backoff_cap = Duration::from_millis(v),
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    let (Some(store_dir), Some(dir)) = (store_dir, dir) else {
+        return usage();
+    };
+    // Seed the demo model once, in the supervisor, so every replica comes
+    // up serving the same store (racing N replica-side seeds would not).
+    let store = ModelStore::new(&store_dir);
+    if demo && store.list().is_empty() {
+        match demo_model() {
+            Ok(model) => {
+                if let Err(e) = store.save("nand2_demo", &model) {
+                    eprintln!("proxim_serve: cannot seed demo model: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("proxim_serve: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    opts.store = store_dir;
+    opts.dir = dir;
+    opts.daemon = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("proxim_serve: cannot locate own binary for replicas: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let fleet = match Fleet::start(opts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("proxim_serve: cannot start fleet: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let token = TERM_TOKEN.get_or_init(CancelToken::new).clone();
+    install_signal_handlers();
+    if !fleet.wait_ready(Duration::from_secs(60)) {
+        // Not fatal: the supervisor keeps restarting; announce anyway so
+        // the operator can inspect via the control socket.
+        eprintln!("proxim_serve: fleet not fully up after 60s; supervising anyway");
+    }
+    println!(
+        "fleet ready control={} replicas={}",
+        fleet.control_socket().display(),
+        fleet.sockets().len()
+    );
+    for status in fleet.states() {
+        println!(
+            "replica index={} pid={} socket={} state={}",
+            status.index,
+            status.pid.map_or_else(|| "-".into(), |p| p.to_string()),
+            status.socket.display(),
+            status.state.wire_name()
+        );
+    }
+    let _ = std::io::stdout().flush();
+
+    let mut hups_seen = 0u64;
+    while !token.is_cancelled() {
+        let hups = HUP_REQUESTS.load(Ordering::Relaxed);
+        if hups != hups_seen {
+            hups_seen = hups;
+            for (index, result) in fleet.rolling_reload(false, None).into_iter().enumerate() {
+                match result {
+                    Ok(response) => println!("rolling reload replica={index} {response}"),
+                    Err(e) => eprintln!("proxim_serve: rolling reload replica={index}: {e}"),
+                }
+            }
+        }
+        for event in fleet.take_events() {
+            match event {
+                FleetEvent::Restarted { index, restarts } => {
+                    println!("restarted replica index={index} restarts={restarts}");
+                }
+                FleetEvent::Quarantined { index, exits } => {
+                    println!(
+                        "quarantined replica index={index} exits={exits} \
+                         kind=replica_quarantined"
+                    );
+                }
+            }
+        }
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let snapshot = fleet.join();
+    flush_observability();
+    println!("fleet drained {}", snapshot.to_json());
+    ExitCode::SUCCESS
 }

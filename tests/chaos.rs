@@ -614,3 +614,130 @@ fn sigterm_with_a_socket_full_of_in_flight_queries_drains_cleanly() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The fleet chaos promise: `SIGKILL` one of three supervised replicas
+/// under a 64-client closed-loop churn and *no client sees a failed
+/// request* — connect-refused and mid-exchange deaths are absorbed by
+/// `FleetClient` failover (safe: queries are idempotent), the supervisor
+/// restarts the victim, and the fleet ends the run back at full strength.
+#[test]
+fn fleet_sigkill_one_of_three_replicas_is_invisible_to_64_churning_clients() {
+    use proxim_cells::{Cell, Technology};
+    use proxim_model::characterize::CharacterizeOptions;
+    use proxim_model::ProximityModel;
+    use proxim_obs::serve_metrics as sm;
+    use proxim_serve::balance::{FleetClient, FleetClientOptions};
+    use proxim_serve::client::RetryPolicy;
+    use proxim_serve::fleet::{Fleet, FleetOptions, ReplicaState};
+    use proxim_serve::ModelStore;
+    use std::sync::Arc;
+
+    let dir = scratch_dir("fleet_sigkill");
+    let store = ModelStore::new(dir.join("store"));
+    let tech = Technology::demo_5v();
+    let model = ProximityModel::characterize(&Cell::inv(), &tech, &CharacterizeOptions::fast())
+        .expect("characterize inv");
+    store.save("inv", &model).expect("seed store");
+
+    let fleet = Fleet::start(FleetOptions {
+        replicas: 3,
+        daemon: env!("CARGO_BIN_EXE_proxim_serve").into(),
+        dir: dir.join("fleet"),
+        store: dir.join("store"),
+        probe_interval: Duration::from_millis(20),
+        restart_backoff_base: Duration::from_millis(20),
+        restart_backoff_cap: Duration::from_millis(200),
+        ..FleetOptions::default()
+    })
+    .expect("fleet starts");
+    assert!(fleet.wait_ready(Duration::from_secs(60)), "fleet came up");
+
+    const QUERY: &str =
+        r#"{"op":"query","model":"inv","events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]}"#;
+    let client = Arc::new(FleetClient::new(
+        fleet.sockets(),
+        FleetClientOptions {
+            retry: RetryPolicy {
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(100),
+                ..RetryPolicy::default()
+            },
+            ..FleetClientOptions::default()
+        },
+    ));
+
+    // 64 closed-loop clients, ~30 queries each; the SIGKILL lands at a
+    // seeded point inside the churn.
+    let victim = fleet.states()[chaos_seed() as usize % 3]
+        .pid
+        .expect("victim pid");
+    let barrier = Arc::new(std::sync::Barrier::new(65));
+    let clients: Vec<_> = (0..64)
+        .map(|c| {
+            let client = Arc::clone(&client);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut failures = Vec::new();
+                for q in 0..30 {
+                    match client.call(QUERY) {
+                        Ok(out) if out.response.contains("\"timing\"") => {}
+                        Ok(out) => failures.push(format!("client {c} query {q}: {}", out.response)),
+                        Err(e) => failures.push(format!("client {c} query {q}: {e}")),
+                    }
+                }
+                failures
+            })
+        })
+        .collect();
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(
+        5 + (kill_point(chaos_seed()) as u64) * 10,
+    ));
+    let status = Command::new("kill")
+        .arg("-9")
+        .arg(victim.to_string())
+        .status()
+        .expect("send SIGKILL");
+    assert!(status.success(), "kill -9 failed");
+
+    let failures: Vec<String> = clients
+        .into_iter()
+        .flat_map(|c| c.join().expect("client thread"))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "zero client-visible failures required, got {}:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+
+    // Supervised restart back to full strength: 3/3 up, restart counted.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let states = fleet.states();
+        let up = states
+            .iter()
+            .filter(|s| s.state == ReplicaState::Up)
+            .count();
+        let restarts: u64 = states.iter().map(|s| s.restarts).sum();
+        if up == 3 && restarts >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never returned to full strength: {states:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    fleet.begin_shutdown();
+    let snap = fleet.join();
+    assert!(snap.counter(sm::FLEET_RESTARTS) >= 1);
+    assert_eq!(
+        snap.counter(sm::FLEET_QUARANTINED),
+        0,
+        "one SIGKILL is not a crash loop"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

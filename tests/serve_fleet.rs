@@ -1,0 +1,382 @@
+//! Integration tests for the fleet layer: supervised replica daemons,
+//! client-side failover, crash-loop quarantine, rolling reload, and
+//! hedged requests.
+//!
+//! The supervised tests spawn real `proxim_serve` replica processes via
+//! [`Fleet`] (daemon = `CARGO_BIN_EXE_proxim_serve`); the hedging test
+//! uses two in-process [`Server`]s because a deterministic stall
+//! (`worker_stall`) is a `ServeOptions` test hook, not a CLI flag.
+
+use proxim_cells::{Cell, Technology};
+use proxim_model::characterize::CharacterizeOptions;
+use proxim_model::ProximityModel;
+use proxim_obs::json::Json;
+use proxim_obs::serve_metrics as sm;
+use proxim_serve::balance::{FleetClient, FleetClientOptions};
+use proxim_serve::client::RetryPolicy;
+use proxim_serve::fleet::{Fleet, FleetOptions, ReplicaState};
+use proxim_serve::server::{one_shot, Server};
+use proxim_serve::{ModelLibrary, ModelStore, ServeOptions};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUERY: &str =
+    r#"{"op":"query","model":"inv","events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]}"#;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("proxim_fleet_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Seeds a store with one fast-characterized inverter under `"inv"`.
+fn seed_store(store_dir: &Path) -> ModelStore {
+    let store = ModelStore::new(store_dir);
+    let tech = Technology::demo_5v();
+    let model = ProximityModel::characterize(&Cell::inv(), &tech, &CharacterizeOptions::fast())
+        .expect("characterize inv");
+    store.save("inv", &model).expect("seed store");
+    store
+}
+
+/// Fleet options tuned for test speed: fast probes, short backoff.
+fn fleet_opts(dir: &Path, replicas: usize) -> FleetOptions {
+    FleetOptions {
+        replicas,
+        daemon: env!("CARGO_BIN_EXE_proxim_serve").into(),
+        dir: dir.join("fleet"),
+        store: dir.join("store"),
+        probe_interval: Duration::from_millis(20),
+        restart_backoff_base: Duration::from_millis(20),
+        restart_backoff_cap: Duration::from_millis(200),
+        ..FleetOptions::default()
+    }
+}
+
+fn assert_is_timing(response: &str) {
+    let json = Json::parse(response).expect("parse response");
+    assert!(
+        json.get("timing").is_some(),
+        "expected a timing answer, got {response}"
+    );
+}
+
+#[test]
+fn fleet_starts_replicas_and_reports_per_replica_state() {
+    let dir = scratch_dir("up");
+    seed_store(&dir.join("store"));
+    let fleet = Fleet::start(fleet_opts(&dir, 3)).expect("fleet starts");
+    assert!(fleet.wait_ready(Duration::from_secs(60)), "fleet came up");
+
+    // Every replica socket answers real queries.
+    for socket in fleet.sockets() {
+        assert_is_timing(&one_shot(&socket, QUERY).expect("replica answers"));
+    }
+
+    // The control socket reports per-replica state/generation/uptime.
+    let resp = one_shot(fleet.control_socket(), r#"{"op":"fleet"}"#).expect("fleet op");
+    let json = Json::parse(&resp).expect("parse fleet response");
+    let stats = json.get("fleet").expect("fleet object");
+    assert_eq!(
+        stats.get("replicas_up").and_then(Json::as_f64),
+        Some(3.0),
+        "{resp}"
+    );
+    assert_eq!(stats.get("quarantined").and_then(Json::as_f64), Some(0.0));
+    let replicas = stats
+        .get("replica")
+        .and_then(Json::as_arr)
+        .expect("replica array");
+    assert_eq!(replicas.len(), 3);
+    for r in replicas {
+        assert_eq!(r.get("state").and_then(Json::as_str), Some("up"), "{resp}");
+        assert!(r.get("pid").and_then(Json::as_f64).is_some(), "{resp}");
+        assert!(
+            r.get("generation").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0,
+            "{resp}"
+        );
+    }
+
+    // The control socket aggregates health and refuses everything else.
+    let health = one_shot(fleet.control_socket(), r#"{"op":"health"}"#).expect("health");
+    assert!(health.contains("\"serving\""), "{health}");
+    let refused = one_shot(fleet.control_socket(), QUERY).expect("typed refusal");
+    assert!(refused.contains("bad_request"), "{refused}");
+
+    fleet.begin_shutdown();
+    let snap = fleet.join();
+    assert_eq!(snap.counter(sm::FLEET_RESTARTS), 0);
+    assert_eq!(snap.counter(sm::FLEET_QUARANTINED), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_one_replica_fails_over_and_restarts_to_full_strength() {
+    let dir = scratch_dir("sigkill");
+    seed_store(&dir.join("store"));
+    let fleet = Fleet::start(fleet_opts(&dir, 3)).expect("fleet starts");
+    assert!(fleet.wait_ready(Duration::from_secs(60)), "fleet came up");
+
+    let client = FleetClient::new(
+        fleet.sockets(),
+        FleetClientOptions {
+            retry: RetryPolicy {
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(100),
+                ..RetryPolicy::default()
+            },
+            ..FleetClientOptions::default()
+        },
+    );
+
+    // SIGKILL replica 0 mid-churn: every query must still answer.
+    let victim = fleet.states()[0].pid.expect("replica 0 pid");
+    for i in 0..60 {
+        if i == 10 {
+            let status = Command::new("kill")
+                .arg("-9")
+                .arg(victim.to_string())
+                .status()
+                .expect("send SIGKILL");
+            assert!(status.success(), "kill -9 failed");
+        }
+        let out = client
+            .call(QUERY)
+            .unwrap_or_else(|e| panic!("query {i} failed: {e}"));
+        assert_is_timing(&out.response);
+    }
+
+    // The supervisor restarts the victim back to full strength.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let states = fleet.states();
+        let up = states
+            .iter()
+            .filter(|s| s.state == ReplicaState::Up)
+            .count();
+        let restarts: u64 = states.iter().map(|s| s.restarts).sum();
+        if up == 3 && restarts >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never returned to full strength: {states:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The restarted replica answers on its original socket.
+    assert_is_timing(&one_shot(&fleet.sockets()[0], QUERY).expect("restarted replica"));
+
+    fleet.begin_shutdown();
+    let snap = fleet.join();
+    assert!(snap.counter(sm::FLEET_RESTARTS) >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_store_replica_is_quarantined_while_survivors_serve() {
+    let dir = scratch_dir("quarantine");
+    seed_store(&dir.join("store"));
+    // Replica 2 gets its own deliberately corrupt store: a garbage entry
+    // that --strict-store turns into a startup failure (and after the
+    // first start quarantines it aside, leaving the store empty — still a
+    // strict failure), so the replica crash-loops into quarantine.
+    let bad_store = dir.join("bad_store");
+    std::fs::create_dir_all(&bad_store).expect("bad store dir");
+    std::fs::write(bad_store.join("inv.pxm"), b"not a model container").expect("garbage entry");
+
+    let mut opts = fleet_opts(&dir, 3);
+    opts.replica_stores = vec![dir.join("store"), dir.join("store"), bad_store];
+    opts.strict_store = true;
+    opts.quarantine_threshold = 3;
+    opts.restart_backoff_base = Duration::from_millis(10);
+    opts.restart_backoff_cap = Duration::from_millis(50);
+    let fleet = Fleet::start(opts).expect("fleet starts");
+
+    // The bad replica crash-loops into quarantine while the two healthy
+    // replicas serve throughout.
+    let client = FleetClient::new(fleet.sockets()[..2].to_vec(), FleetClientOptions::default());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert_is_timing(&client.call(QUERY).expect("survivors answer").response);
+        if fleet.states()[2].state == ReplicaState::Quarantined {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica 2 never quarantined: {:?}",
+            fleet.states()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The fleet op reports the quarantine typed; survivors still count.
+    let resp = one_shot(fleet.control_socket(), r#"{"op":"fleet"}"#).expect("fleet op");
+    assert!(resp.contains("replica_quarantined"), "{resp}");
+    let json = Json::parse(&resp).expect("parse");
+    let stats = json.get("fleet").expect("fleet object");
+    assert_eq!(
+        stats.get("quarantined").and_then(Json::as_f64),
+        Some(1.0),
+        "{resp}"
+    );
+    let up = stats
+        .get("replicas_up")
+        .and_then(Json::as_f64)
+        .expect("replicas_up");
+    assert!(up >= 2.0, "{resp}");
+    // Aggregate health says degraded, not down.
+    let health = one_shot(fleet.control_socket(), r#"{"op":"health"}"#).expect("health");
+    assert!(health.contains("degraded"), "{health}");
+    // And queries still answer after the quarantine settles.
+    assert_is_timing(&client.call(QUERY).expect("still serving").response);
+
+    fleet.begin_shutdown();
+    let snap = fleet.join();
+    assert_eq!(snap.counter(sm::FLEET_QUARANTINED), 1);
+    assert!(
+        snap.counter(sm::FLEET_RESTARTS) >= 2,
+        "crash loop restarts counted"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rolling_reload_upgrades_every_replica_without_dropping_capacity() {
+    let dir = scratch_dir("rolling");
+    seed_store(&dir.join("store"));
+    let fleet = Fleet::start(fleet_opts(&dir, 3)).expect("fleet starts");
+    assert!(fleet.wait_ready(Duration::from_secs(60)), "fleet came up");
+
+    // Closed-loop churn through the balancer while the reload walks the
+    // fleet: zero client-visible failures allowed.
+    let client = Arc::new(FleetClient::new(
+        fleet.sockets(),
+        FleetClientOptions::default(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let failures = Arc::new(AtomicU64::new(0));
+    let churners: Vec<_> = (0..4)
+        .map(|_| {
+            let client = Arc::clone(&client);
+            let stop = Arc::clone(&stop);
+            let failures = Arc::clone(&failures);
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match client.call(QUERY) {
+                        Ok(out) if out.response.contains("\"timing\"") => ok += 1,
+                        _ => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+
+    let results = fleet.rolling_reload(true, Some("upgrade"));
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = churners
+        .into_iter()
+        .map(|c| c.join().expect("churner"))
+        .sum();
+
+    assert_eq!(results.len(), 3);
+    for (i, result) in results.iter().enumerate() {
+        let response = result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("replica {i} reload: {e}"));
+        assert!(
+            response.contains("\"generation\":2"),
+            "replica {i}: {response}"
+        );
+    }
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "rolling reload must not drop client requests"
+    );
+    assert!(served > 0, "churners actually ran");
+
+    // Every replica probes healthy on the new generation.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let states = fleet.states();
+        if states
+            .iter()
+            .all(|s| s.generation == 2 && s.state == ReplicaState::Up)
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "generations never settled: {states:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    fleet.begin_shutdown();
+    let _ = fleet.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hedged_requests_win_against_a_stalled_replica() {
+    let dir = scratch_dir("hedge");
+    let store = seed_store(&dir.join("store"));
+
+    // Two in-process replicas: one deterministically slow (200 ms stall
+    // per job), one fast. Hedging after 20 ms must route around the stall.
+    let slow = Server::start(
+        ModelLibrary::open(&store),
+        dir.join("slow.sock"),
+        ServeOptions {
+            worker_stall: Duration::from_millis(200),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("slow server");
+    let fast = Server::start(
+        ModelLibrary::open(&store),
+        dir.join("fast.sock"),
+        ServeOptions::default(),
+    )
+    .expect("fast server");
+
+    let client = FleetClient::new(
+        vec![dir.join("slow.sock"), dir.join("fast.sock")],
+        FleetClientOptions {
+            hedge_delay: Some(Duration::from_millis(20)),
+            ..FleetClientOptions::default()
+        },
+    );
+    let mut wins_seen = 0u64;
+    for i in 0..10 {
+        let out = client
+            .call(QUERY)
+            .unwrap_or_else(|e| panic!("hedged query {i} failed: {e}"));
+        assert_is_timing(&out.response);
+        if out.hedge_won {
+            wins_seen += 1;
+        }
+    }
+    assert!(
+        client.hedges() > 0,
+        "the stalled replica must trigger hedges"
+    );
+    assert!(client.hedge_wins() > 0, "some hedges must win");
+    assert_eq!(client.hedge_wins(), wins_seen);
+    assert!(client.hedge_wins() <= client.hedges());
+
+    slow.begin_shutdown();
+    fast.begin_shutdown();
+    slow.join();
+    fast.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

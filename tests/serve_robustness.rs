@@ -78,12 +78,10 @@ fn decode_frames(mut bytes: &[u8]) -> Vec<String> {
     frames
 }
 
-#[test]
-fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
-    let dir = scratch_dir("corpus");
-    let server = start_server(&dir, ServeOptions::default());
-    let sock = server.socket_path().to_path_buf();
-
+/// The malformed-wire corpus: (name, raw bytes, expected error kind;
+/// `None` = a clean close is the only correct answer). Shared by the Unix
+/// and TCP runs — the front ends must harden identically.
+fn malformed_wire_corpus() -> Vec<(&'static str, Vec<u8>, Option<&'static str>)> {
     let huge_advert = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
     let nesting_bomb = frame_bytes("[".repeat(200_000).as_bytes());
     let negative_tt = frame_bytes(
@@ -102,9 +100,7 @@ fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
     let oversized_label =
         frame_bytes(format!(r#"{{"op":"reload","label":"{}"}}"#, "g".repeat(65)).as_bytes());
 
-    // (bytes, expected error kind; None = a clean close is the only
-    // correct answer).
-    let corpus: Vec<(&str, Vec<u8>, Option<&str>)> = vec![
+    vec![
         ("empty connection", vec![], None),
         ("truncated length prefix", vec![0x00, 0x01], Some("bad_frame")),
         ("truncated payload", frame_bytes(b"{\"op\":")[..7].to_vec(), Some("bad_frame")),
@@ -163,9 +159,16 @@ fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
             frame_bytes(br#"{"op":"reload","label":"has space"}"#),
             Some("bad_request"),
         ),
-    ];
+    ]
+}
 
-    for (what, bytes, expected) in corpus {
+#[test]
+fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
+    let dir = scratch_dir("corpus");
+    let server = start_server(&dir, ServeOptions::default());
+    let sock = server.socket_path().to_path_buf();
+
+    for (what, bytes, expected) in malformed_wire_corpus() {
         let frames = decode_frames(&send_raw(&sock, &bytes));
         match expected {
             None => assert!(
@@ -216,6 +219,85 @@ fn malformed_wire_corpus_yields_typed_errors_and_zero_panics() {
         snap.counter(proxim_obs::serve_metrics::RELOAD_SWAPPED),
         0,
         "no malformed reload may swap a generation"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// [`send_raw`] over the TCP front end.
+fn send_raw_tcp(addr: &str, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect tcp");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream.write_all(bytes).expect("send corpus bytes");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    response
+}
+
+#[test]
+fn malformed_wire_corpus_over_tcp_yields_typed_errors_and_zero_panics() {
+    use proxim_serve::server::one_shot_tcp;
+
+    let dir = scratch_dir("corpus_tcp");
+    let store = ModelStore::new(dir.join("store"));
+    store.save("inv", shared_model()).expect("seed store");
+    let server = Server::start_with(
+        ModelLibrary::open(&store),
+        None,
+        Some("127.0.0.1:0"),
+        ServeOptions::default(),
+    )
+    .expect("tcp server starts");
+    let addr = server.tcp_addr().expect("tcp addr").to_string();
+
+    for (what, bytes, expected) in malformed_wire_corpus() {
+        let frames = decode_frames(&send_raw_tcp(&addr, &bytes));
+        match expected {
+            None => assert!(
+                frames.is_empty(),
+                "{what} over tcp: expected a clean close, got {frames:?}"
+            ),
+            Some(kind) => {
+                assert_eq!(
+                    frames.len(),
+                    1,
+                    "{what} over tcp: expected one typed response, got {frames:?}"
+                );
+                let json = Json::parse(&frames[0]).unwrap_or_else(|e| {
+                    panic!("{what} over tcp: unparseable response ({e}): {}", frames[0])
+                });
+                let got = json
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("{what} over tcp: no error kind in {}", frames[0]));
+                assert_eq!(got, kind, "{what} over tcp: {}", frames[0]);
+            }
+        }
+        let health = one_shot_tcp(&addr, r#"{"op":"health"}"#)
+            .unwrap_or_else(|e| panic!("tcp health probe dead after {what}: {e}"));
+        assert!(
+            health.contains("\"status\":\"serving\""),
+            "{what} over tcp: {health}"
+        );
+    }
+
+    let resp = one_shot_tcp(
+        &addr,
+        r#"{"op":"query","model":"inv","events":[{"pin":0,"edge":"rise","t":0.0,"tt":1e-9}]}"#,
+    )
+    .expect("post-corpus tcp query");
+    assert!(resp.contains("\"timing\""), "{resp}");
+
+    server.begin_shutdown();
+    let snap = server.join();
+    assert!(
+        snap.counter(proxim_obs::serve_metrics::PROTO_ERRORS) >= 10,
+        "every corpus rejection must be counted over tcp too"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
